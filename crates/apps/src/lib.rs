@@ -1,0 +1,29 @@
+//! The three Snowflake applications (paper §6).
+//!
+//! "We built three applications to demonstrate the Snowflake architecture
+//! for sharing":
+//!
+//! * [`webserver`] — §6.1's protected web file server: "one user establishes
+//!   control over the file server by specifying the hash of his public key
+//!   when starting up the server; he may delegate to others permission to
+//!   read subtrees or individual files."  Backed by [`vfs`], an in-memory
+//!   file tree.
+//! * [`emaildb`] — §6.2's protected relational email database: insert,
+//!   update, and select arrive as RMI invocations; every method is prefixed
+//!   by the framework's `check_auth`, and restriction tags carry row-level
+//!   ownership (`(db (op select) (owner alice))`).
+//! * [`gateway`] — §6.3's quoting protocol gateway: an HTML-over-HTTP
+//!   front-end to the email database that **quotes** its clients instead of
+//!   making access-control decisions itself, so "the correct access-control
+//!   decision is made by the server."  This single application spans all
+//!   four boundaries of §2.
+
+pub mod emaildb;
+pub mod gateway;
+pub mod vfs;
+pub mod webserver;
+
+pub use emaildb::EmailDb;
+pub use gateway::QuotingGateway;
+pub use vfs::Vfs;
+pub use webserver::ProtectedWebService;

@@ -1,0 +1,111 @@
+//! An in-memory virtual file system backing the protected web server.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// A tiny path-keyed file store.
+#[derive(Default)]
+pub struct Vfs {
+    files: RwLock<BTreeMap<String, Vec<u8>>>,
+}
+
+impl Vfs {
+    /// Creates an empty file system.
+    pub fn new() -> Vfs {
+        Vfs::default()
+    }
+
+    /// Writes (creating or replacing) a file.
+    pub fn write(&self, path: &str, data: impl Into<Vec<u8>>) {
+        self.files.write().insert(normalize(path), data.into());
+    }
+
+    /// Reads a file.
+    pub fn read(&self, path: &str) -> Option<Vec<u8>> {
+        self.files.read().get(&normalize(path)).cloned()
+    }
+
+    /// Lists paths under a prefix.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let prefix = normalize(prefix);
+        self.files
+            .read()
+            .keys()
+            .filter(|p| p.starts_with(&prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Removes a file; returns whether it existed.
+    pub fn remove(&self, path: &str) -> bool {
+        self.files.write().remove(&normalize(path)).is_some()
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// Is the file system empty?
+    pub fn is_empty(&self) -> bool {
+        self.files.read().is_empty()
+    }
+}
+
+/// Normalizes to a leading-slash, no-trailing-slash form and resolves away
+/// `.`/`..` segments so delegated subtree prefixes cannot be escaped.
+fn normalize(path: &str) -> String {
+    let mut out: Vec<&str> = Vec::new();
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                out.pop();
+            }
+            s => out.push(s),
+        }
+    }
+    format!("/{}", out.join("/"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_remove() {
+        let vfs = Vfs::new();
+        vfs.write("/a/b.txt", b"hello".to_vec());
+        assert_eq!(vfs.read("/a/b.txt").unwrap(), b"hello");
+        assert_eq!(vfs.read("a/b.txt").unwrap(), b"hello", "normalization");
+        assert!(vfs.remove("/a/b.txt"));
+        assert!(!vfs.remove("/a/b.txt"));
+        assert!(vfs.read("/a/b.txt").is_none());
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let vfs = Vfs::new();
+        vfs.write("/site/index.html", b"i".to_vec());
+        vfs.write("/site/docs/a.html", b"a".to_vec());
+        vfs.write("/other/x", b"x".to_vec());
+        let site = vfs.list("/site");
+        assert_eq!(site.len(), 2);
+        assert_eq!(vfs.list("/").len(), 3);
+        assert_eq!(vfs.len(), 3);
+    }
+
+    #[test]
+    fn dotdot_cannot_escape() {
+        let vfs = Vfs::new();
+        vfs.write("/secret/key", b"k".to_vec());
+        vfs.write("/public/index", b"i".to_vec());
+        // Trying to read the secret via a public-prefixed traversal fails to
+        // produce a path under /public — it normalizes to the real path, so
+        // prefix-scoped authority checks see the true target.
+        assert_eq!(normalize("/public/../secret/key"), "/secret/key");
+        assert_eq!(normalize("/public/./x"), "/public/x");
+        assert_eq!(normalize("//public///x"), "/public/x");
+        assert_eq!(normalize("/.."), "/");
+    }
+}

@@ -1,0 +1,149 @@
+//! The protected web file server (paper §6.1).
+//!
+//! "One user establishes control over the file server by specifying the
+//! hash of his public key when starting up the server; he may delegate to
+//! others permission to read subtrees or individual files from the server."
+//!
+//! Subtree delegation falls out of the tag algebra: a delegation whose
+//! `resourcePath` field is `(* prefix /docs/)` permits every concrete
+//! request tag under that subtree.
+
+use crate::vfs::Vfs;
+use snowflake_core::{Principal, Tag};
+use snowflake_http::{HttpRequest, HttpResponse, SnowflakeService};
+use std::sync::Arc;
+
+/// The Snowflake service mapping web requests to VFS reads.
+pub struct ProtectedWebService {
+    /// The principal controlling the server (typically a key hash, as in
+    /// the paper).
+    issuer: Principal,
+    /// The service name embedded in restriction tags (Figure 5's
+    /// `(service |…|)` field).
+    service_name: String,
+    vfs: Arc<Vfs>,
+}
+
+impl ProtectedWebService {
+    /// Creates a service controlled by `issuer`, serving `vfs`.
+    pub fn new(issuer: Principal, service_name: &str, vfs: Arc<Vfs>) -> ProtectedWebService {
+        ProtectedWebService {
+            issuer,
+            service_name: service_name.to_string(),
+            vfs,
+        }
+    }
+
+    /// The tag granting read access to the subtree under `prefix` — what an
+    /// owner delegates to share a directory.
+    pub fn subtree_tag(&self, prefix: &str) -> Tag {
+        Tag::named(
+            "web",
+            vec![
+                Tag::named("method", vec![Tag::atom("GET")]),
+                Tag::named("service", vec![Tag::atom(self.service_name.as_str())]),
+                Tag::named(
+                    "resourcePath",
+                    vec![Tag::Prefix(prefix.as_bytes().to_vec())],
+                ),
+            ],
+        )
+    }
+
+    /// The tag granting read access to exactly one file.
+    pub fn file_tag(&self, path: &str) -> Tag {
+        snowflake_http::auth::web_tag("GET", &self.service_name, path)
+    }
+}
+
+impl SnowflakeService for ProtectedWebService {
+    fn issuer(&self, _req: &HttpRequest) -> Principal {
+        self.issuer.clone()
+    }
+
+    fn min_tag(&self, req: &HttpRequest) -> Tag {
+        snowflake_http::auth::web_tag(&req.method, &self.service_name, &req.path)
+    }
+
+    fn serve(&self, req: &HttpRequest, _speaker: &Principal) -> HttpResponse {
+        if req.method != "GET" {
+            return HttpResponse::status(405, "Method Not Allowed", "GET only");
+        }
+        match self.vfs.read(&req.path) {
+            Some(data) => HttpResponse::ok(content_type_for(&req.path), data),
+            None => HttpResponse::not_found(),
+        }
+    }
+}
+
+fn content_type_for(path: &str) -> &'static str {
+    if path.ends_with(".html") {
+        "text/html"
+    } else if path.ends_with(".txt") {
+        "text/plain"
+    } else {
+        "application/octet-stream"
+    }
+}
+
+// `service_name` is used through &str coercion above.
+impl ProtectedWebService {
+    /// The service's name as it appears in restriction tags.
+    pub fn service_name(&self) -> &str {
+        &self.service_name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> ProtectedWebService {
+        let vfs = Arc::new(Vfs::new());
+        vfs.write("/docs/a.html", b"<p>a</p>".to_vec());
+        vfs.write("/docs/deep/b.txt", b"b".to_vec());
+        vfs.write("/private/key", b"secret".to_vec());
+        ProtectedWebService::new(Principal::message(b"owner"), "files", vfs)
+    }
+
+    #[test]
+    fn serves_files_with_content_types() {
+        let s = service();
+        let speaker = Principal::message(b"x");
+        let resp = s.serve(&HttpRequest::get("/docs/a.html"), &speaker);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("Content-Type"), Some("text/html"));
+        let resp = s.serve(&HttpRequest::get("/docs/deep/b.txt"), &speaker);
+        assert_eq!(resp.header("Content-Type"), Some("text/plain"));
+        assert_eq!(s.serve(&HttpRequest::get("/nope"), &speaker).status, 404);
+        let mut post = HttpRequest::post("/docs/a.html", vec![]);
+        post.set_header("X", "y");
+        assert_eq!(s.serve(&post, &speaker).status, 405);
+    }
+
+    #[test]
+    fn subtree_tag_covers_children_only() {
+        let s = service();
+        let subtree = s.subtree_tag("/docs/");
+        let inside = s.min_tag(&HttpRequest::get("/docs/deep/b.txt"));
+        let outside = s.min_tag(&HttpRequest::get("/private/key"));
+        assert!(subtree.permits(&inside));
+        assert!(!subtree.permits(&outside));
+        // A single-file tag covers exactly that file.
+        let one = s.file_tag("/docs/a.html");
+        assert!(one.permits(&s.min_tag(&HttpRequest::get("/docs/a.html"))));
+        assert!(!one.permits(&inside));
+    }
+
+    #[test]
+    fn post_tags_differ_from_get() {
+        let s = service();
+        let mut post = HttpRequest::post("/docs/a.html", vec![]);
+        post.set_header("X", "y");
+        let get_tag = s.min_tag(&HttpRequest::get("/docs/a.html"));
+        let post_tag = s.min_tag(&post);
+        assert!(!get_tag.permits(&post_tag));
+        // And the GET-only subtree grant does not permit POSTs.
+        assert!(!s.subtree_tag("/docs/").permits(&post_tag));
+    }
+}

@@ -1,0 +1,307 @@
+//! The paper's culminating scenario (§6.3): a browser-side client proxy
+//! talks HTTP to a quoting gateway, which talks RMI to the protected email
+//! database — spanning administrative domains, network scales, levels of
+//! abstraction, and protocols, while the database still sees the full
+//! end-to-end chain `G|C ⇒ C ⇒ S`.
+
+use snowflake_apps::emaildb::{EmailDb, EMAIL_DB_OBJECT};
+use snowflake_apps::QuotingGateway;
+use snowflake_channel::{LocalBroker, PipeTransport, SecureChannel};
+use snowflake_core::{Certificate, Delegation, Principal, Proof, Time, Validity};
+use snowflake_crypto::{DetRng, Group, KeyPair};
+use snowflake_http::{duplex, HttpClient, HttpRequest, HttpServer, SnowflakeProxy};
+use snowflake_prover::Prover;
+use snowflake_rmi::{RmiClient, RmiServer};
+use snowflake_sexpr::Sexp;
+use std::sync::Arc;
+
+fn kp(seed: &str) -> KeyPair {
+    let mut rng = DetRng::new(seed.as_bytes());
+    KeyPair::generate(Group::test512(), &mut |b| rng.fill(b))
+}
+
+fn fixed_clock() -> Time {
+    Time(1_000_000)
+}
+
+struct World {
+    http_server: Arc<HttpServer>,
+    db_server: Arc<RmiServer>,
+    alice_proxy: SnowflakeProxy,
+    _db_thread: std::thread::JoinHandle<()>,
+}
+
+/// Builds the whole world: database server, gateway (connected over the
+/// secure channel or the broker-vouched local channel), and Alice's proxy.
+fn world(colocated: bool) -> World {
+    let db_key = kp("db-server");
+    let alice = kp("alice-identity");
+    let db_issuer = Principal::key(&db_key.public);
+
+    // --- The database server, with some of Alice's and Bob's mail. -------
+    let db_server = RmiServer::with_clock(fixed_clock);
+    let email = EmailDb::new(db_issuer.clone());
+    {
+        use snowflake_rmi::{CallerInfo, Invocation, RemoteObject};
+        let caller = CallerInfo {
+            speaker: Principal::message(b"setup"),
+            channel: snowflake_core::ChannelId {
+                kind: "setup".into(),
+                id: snowflake_core::HashVal::of(b"setup"),
+            },
+        };
+        for (owner, sender, subject, body) in [
+            ("alice", "bob", "lunch", "noon at the green?"),
+            ("alice", "carol", "draft", "attached below"),
+            ("bob", "alice", "re: lunch", "sounds good"),
+        ] {
+            email
+                .invoke(
+                    &Invocation {
+                        object: EMAIL_DB_OBJECT.into(),
+                        method: "insert".into(),
+                        args: vec![
+                            Sexp::from(owner),
+                            Sexp::from(sender),
+                            Sexp::from(subject),
+                            Sexp::from(body),
+                            Sexp::from("inbox"),
+                        ],
+                        quoting: None,
+                    },
+                    &caller,
+                )
+                .unwrap();
+        }
+    }
+    db_server.register(EMAIL_DB_OBJECT, Arc::new(email));
+
+    // --- The gateway's RMI connection to the database. -------------------
+    let gateway_session = kp("gateway-session");
+    let mut grng = DetRng::new(b"gw-prover");
+    let gateway_prover = Arc::new(Prover::with_rng(Box::new(move |b| grng.fill(b))));
+
+    let (gateway_rmi, db_thread) = if colocated {
+        // §5.2: same-host parties ride broker-vouched pipes, no encryption.
+        let broker = LocalBroker::new("shared-host");
+        let mut brng = DetRng::new(b"broker");
+        let gw_kp = broker.create_identity("gateway", &mut |b| brng.fill(b));
+        broker.create_identity("database", &mut |b| brng.fill(b));
+        let (gw_end, mut db_end) = broker.connect("gateway", "database").unwrap();
+        let server = Arc::clone(&db_server);
+        let handle = std::thread::spawn(move || {
+            let _ = server.serve_connection(&mut db_end);
+        });
+        (
+            RmiClient::with_clock(
+                Box::new(gw_end),
+                gw_kp,
+                Arc::clone(&gateway_prover),
+                fixed_clock,
+            ),
+            handle,
+        )
+    } else {
+        let (ct, st) = PipeTransport::pair();
+        let server = Arc::clone(&db_server);
+        let db_key2 = db_key.clone();
+        let handle = std::thread::spawn(move || {
+            let mut rng = DetRng::new(b"db-chan");
+            let mut channel =
+                SecureChannel::server(Box::new(st), &db_key2, None, &mut |b| rng.fill(b)).unwrap();
+            let _ = server.serve_connection(&mut channel);
+        });
+        let mut rng = DetRng::new(b"gw-chan");
+        let channel = SecureChannel::client(Box::new(ct), Some(&gateway_session), None, &mut |b| {
+            rng.fill(b)
+        })
+        .unwrap();
+        (
+            RmiClient::with_clock(
+                Box::new(channel),
+                gateway_session.clone(),
+                Arc::clone(&gateway_prover),
+                fixed_clock,
+            ),
+            handle,
+        )
+    };
+
+    // --- The HTTP front: the gateway mounted at /mail. -------------------
+    let gateway = QuotingGateway::new(gateway_rmi, fixed_clock);
+    let http_server = HttpServer::new();
+    http_server.route("/mail", Arc::new(gateway));
+
+    // --- Alice's side: owner grant + proxy. -------------------------------
+    // The database owner granted Alice's identity all ops on her rows,
+    // delegable (she must extend it to gateways).
+    let mut rng = DetRng::new(b"grant");
+    let grant = Certificate::issue(
+        &db_key,
+        Delegation {
+            subject: Principal::key(&alice.public),
+            issuer: db_issuer,
+            tag: EmailDb::owner_tag("alice"),
+            validity: Validity::always(),
+            delegable: true,
+        },
+        &mut |b| rng.fill(b),
+    );
+    let mut prng = DetRng::new(b"alice-prover");
+    let alice_prover = Arc::new(Prover::with_rng(Box::new(move |b| prng.fill(b))));
+    alice_prover.add_proof(Proof::signed_cert(grant));
+    alice_prover.add_key(alice.clone());
+    let mut xrng = DetRng::new(b"alice-proxy");
+    let alice_proxy =
+        SnowflakeProxy::with_clock(alice_prover, fixed_clock, Box::new(move |b| xrng.fill(b)));
+    alice_proxy.set_identity(Principal::key(&alice.public));
+
+    World {
+        http_server,
+        db_server,
+        alice_proxy,
+        _db_thread: db_thread,
+    }
+}
+
+fn connect(w: &World) -> (HttpClient, std::thread::JoinHandle<()>) {
+    let (client_stream, mut server_stream) = duplex();
+    let server = Arc::clone(&w.http_server);
+    let handle = std::thread::spawn(move || {
+        let _ = server.serve_stream(&mut server_stream);
+    });
+    (HttpClient::new(Box::new(client_stream)), handle)
+}
+
+#[test]
+fn alice_reads_her_mail_through_the_gateway() {
+    let w = world(false);
+    let (mut client, handle) = connect(&w);
+
+    let resp = w
+        .alice_proxy
+        .execute(&mut client, HttpRequest::get("/mail/alice/inbox"))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    let html = String::from_utf8_lossy(&resp.body);
+    assert!(html.contains("noon at the green?"), "{html}");
+    assert!(html.contains("attached below"), "{html}");
+    // Bob's mail does not leak into Alice's view.
+    assert!(!html.contains("sounds good"), "{html}");
+
+    // The database's proof cache now holds the G|C ⇒ S chain; its audit
+    // trail includes the gateway's involvement (quoting) and Alice's grant.
+    assert_eq!(w.db_server.cache_stats().proofs, 1);
+
+    drop(client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn alice_cannot_read_bobs_mail() {
+    let w = world(false);
+    let (mut client, handle) = connect(&w);
+
+    // Alice asks the gateway for *Bob's* inbox: her prover cannot produce
+    // G|Alice ⇒ S regarding (db … (owner bob)).
+    let result = w
+        .alice_proxy
+        .execute(&mut client, HttpRequest::get("/mail/bob/inbox"));
+    assert!(result.is_err(), "expected failure, got {result:?}");
+
+    drop(client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn gateway_works_identically_when_colocated() {
+    // §6.3: "It can be colocated with the server, in which case its RMI
+    // transactions automatically avoid encryption overhead by using the
+    // local channels of Section 5.2."
+    let w = world(true);
+    let (mut client, handle) = connect(&w);
+
+    let resp = w
+        .alice_proxy
+        .execute(&mut client, HttpRequest::get("/mail/alice/inbox"))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    assert!(String::from_utf8_lossy(&resp.body).contains("noon at the green?"));
+
+    drop(client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn subsequent_requests_skip_the_fanfare() {
+    // "Subsequent requests are accepted without so much fanfare, since the
+    // database server holds the appropriate proof of delegation."
+    let w = world(false);
+    let (mut client, handle) = connect(&w);
+
+    for _ in 0..3 {
+        let resp = w
+            .alice_proxy
+            .execute(&mut client, HttpRequest::get("/mail/alice/inbox"))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    // One proof sufficed for all three transactions.
+    let stats = w.db_server.cache_stats();
+    assert_eq!(stats.proofs, 1, "{stats:?}");
+
+    drop(client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn alice_composes_mail_through_the_gateway() {
+    // The gateway's write path: POST inserts, still quoting the client, so
+    // the database applies the same end-to-end decision to mutations.
+    let w = world(false);
+    let (mut client, handle) = connect(&w);
+
+    let compose = HttpRequest::post(
+        "/mail/alice/drafts",
+        b"note to self\n\nremember the milk".to_vec(),
+    );
+    let resp = w.alice_proxy.execute(&mut client, compose).unwrap();
+    assert_eq!(resp.status, 201, "{}", String::from_utf8_lossy(&resp.body));
+
+    // The draft is now visible through the read path.
+    let resp = w
+        .alice_proxy
+        .execute(&mut client, HttpRequest::get("/mail/alice/drafts"))
+        .unwrap();
+    let html = String::from_utf8_lossy(&resp.body);
+    assert!(html.contains("remember the milk"), "{html}");
+
+    // But Alice cannot insert into Bob's mailbox.
+    let forged = HttpRequest::post("/mail/bob/inbox", b"spam\n\nbuy things".to_vec());
+    assert!(w.alice_proxy.execute(&mut client, forged).is_err());
+
+    drop(client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn anonymous_browser_gets_the_g_quoting_challenge() {
+    let w = world(false);
+    let (mut client, handle) = connect(&w);
+
+    // A bare client (no proxy) sees the gateway's 401 with the quoter
+    // principal advertised — the G|? challenge.
+    let mut req = HttpRequest::get("/mail/alice/inbox");
+    req.set_header("Connection", "keep-alive");
+    let resp = client.send(&req).unwrap();
+    assert_eq!(resp.status, 401);
+    assert_eq!(resp.header("WWW-Authenticate"), Some("SnowflakeProof"));
+    assert!(resp.header("Sf-Quoter").is_some());
+    assert!(resp.header("Sf-ServiceIssuer").is_some());
+    let tag_header = resp.header("Sf-MinimumTag").unwrap();
+    let tag = snowflake_core::Tag::parse(&Sexp::parse(tag_header.as_bytes()).unwrap()).unwrap();
+    assert_eq!(tag, EmailDb::op_tag("select", "alice"));
+
+    drop(client);
+    handle.join().unwrap();
+}

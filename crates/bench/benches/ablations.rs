@@ -1,0 +1,117 @@
+//! Ablations for the design choices the core library makes.
+//!
+//! * **Proof caching** (the server caches *verified* proofs): verification
+//!   cost grows linearly with chain length, while a cache hit is a map
+//!   probe — `verify_chain` vs the `check_auth` fast path of Figure 6.
+//! * **Restriction-tag complexity**: intersection cost vs tag width, the
+//!   price paid at every transitivity step (motivates canonicalization
+//!   with absorption).
+//! * **Wire encodings**: canonical vs transport encode/decode of large
+//!   proofs (the "robust and efficient wire transfer encodings" claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snowflake_core::{Certificate, Delegation, Principal, Proof, Tag, Time, Validity, VerifyCtx};
+use snowflake_crypto::{DetRng, Group, KeyPair};
+use snowflake_sexpr::Sexp;
+
+/// Builds a `len`-certificate transitivity chain: `k_len ⇒ … ⇒ k_0`.
+fn chain(len: usize) -> Proof {
+    let mut rng = DetRng::new(b"ablation-chain");
+    let mut rb = move |b: &mut [u8]| rng.fill(b);
+    let keys: Vec<KeyPair> = (0..=len)
+        .map(|_| KeyPair::generate(Group::test512(), &mut rb))
+        .collect();
+    let mut proof: Option<Proof> = None;
+    for i in 0..len {
+        // Link i: k_{i+1} speaks for k_i.
+        let cert = Certificate::issue(
+            &keys[i],
+            Delegation {
+                subject: Principal::key(&keys[i + 1].public),
+                issuer: Principal::key(&keys[i].public),
+                tag: Tag::named("web", vec![]),
+                validity: Validity::always(),
+                delegable: true,
+            },
+            &mut rb,
+        );
+        let link = Proof::signed_cert(cert);
+        proof = Some(match proof {
+            None => link,
+            // Accumulated proof shows k_{i} ⇒ k_0; the new link is the
+            // subject side: Transitivity(link, acc) gives k_{i+1} ⇒ k_0.
+            Some(acc) => link.then(acc),
+        });
+    }
+    proof.expect("len >= 1")
+}
+
+fn verify_scaling(c: &mut Criterion) {
+    let ctx = VerifyCtx::at(Time(0));
+    let mut group = c.benchmark_group("ablation_verify_vs_chain_length");
+    group.sample_size(20);
+    for len in [1usize, 2, 4, 8] {
+        let proof = chain(len);
+        proof.verify(&ctx).expect("valid chain");
+        group.bench_with_input(BenchmarkId::new("verify", len), &len, |b, _| {
+            b.iter(|| proof.verify(&ctx).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+fn wide_tag(width: usize) -> Tag {
+    Tag::named(
+        "web",
+        (0..width)
+            .map(|i| {
+                Tag::List(vec![
+                    Tag::atom(format!("field{i}")),
+                    Tag::Set(vec![
+                        Tag::atom(format!("a{i}")),
+                        Tag::atom(format!("b{i}")),
+                        Tag::Prefix(format!("p{i}").into_bytes()),
+                    ]),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn tag_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tag_intersection");
+    for width in [1usize, 4, 16] {
+        let a = wide_tag(width);
+        let b = wide_tag(width);
+        group.bench_with_input(BenchmarkId::new("intersect", width), &width, |bch, _| {
+            bch.iter(|| a.intersect(&b).expect("overlapping"));
+        });
+    }
+    group.finish();
+}
+
+fn encoding_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_wire_encodings");
+    group.sample_size(30);
+    let proof = chain(8);
+    let canonical = proof.to_sexp().canonical();
+    let transport = proof.to_sexp().transport();
+    group.bench_function("encode_canonical", |b| {
+        b.iter(|| proof.to_sexp().canonical())
+    });
+    group.bench_function("encode_transport", |b| {
+        b.iter(|| proof.to_sexp().transport())
+    });
+    group.bench_function("decode_canonical", |b| {
+        b.iter(|| Proof::from_sexp(&Sexp::parse(&canonical).expect("parse")).expect("decode"))
+    });
+    group.bench_function("decode_transport", |b| {
+        b.iter(|| {
+            Proof::from_sexp(&Sexp::parse(transport.as_bytes()).expect("parse")).expect("decode")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, verify_scaling, tag_scaling, encoding_scaling);
+criterion_main!(benches);

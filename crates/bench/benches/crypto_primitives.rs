@@ -1,0 +1,68 @@
+//! Ablation: the primitive operations underlying every figure.
+//!
+//! The paper's cost analysis (§7.4.1) argues that Snowflake and SSL "engage
+//! in similar operations"; this bench exposes the primitive costs so the
+//! composite figures can be sanity-checked against their parts: public-key
+//! sign/verify dominate everything else by orders of magnitude, which is
+//! exactly why the MAC amortization and the proof cache exist.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowflake_crypto::chacha20::ChaCha20;
+use snowflake_crypto::hmac::hmac_sha256;
+use snowflake_crypto::{md5, sha256, DetRng, DhSecret, Group, KeyPair};
+
+fn primitives(c: &mut Criterion) {
+    let mut rng = DetRng::new(b"crypto-bench");
+    let mut rb = move |b: &mut [u8]| rng.fill(b);
+    let kp = KeyPair::generate(Group::test512(), &mut rb);
+    let kp1024 = KeyPair::generate(Group::group1024(), &mut rb);
+    let msg = vec![0xabu8; 1024];
+    let sig = kp.sign(&msg, &mut rb);
+    let sig1024 = kp1024.sign(&msg, &mut rb);
+
+    let mut group = c.benchmark_group("crypto");
+    group.bench_function("sha256_1k", |b| b.iter(|| sha256(&msg)));
+    group.bench_function("md5_1k", |b| b.iter(|| md5(&msg)));
+    group.bench_function("hmac_sha256_1k", |b| b.iter(|| hmac_sha256(b"key", &msg)));
+    group.bench_function("chacha20_1k", |b| {
+        let key = [7u8; 32];
+        let nonce = [9u8; 12];
+        b.iter(|| {
+            let mut data = msg.clone();
+            ChaCha20::new(&key, &nonce).apply(&mut data);
+            data
+        })
+    });
+
+    group.sample_size(20);
+    group.bench_function("schnorr_sign_512", |b| {
+        let mut rng = DetRng::new(b"sign-bench");
+        let mut rb = move |buf: &mut [u8]| rng.fill(buf);
+        b.iter(|| kp.sign(&msg, &mut rb));
+    });
+    group.bench_function("schnorr_verify_512", |b| {
+        b.iter(|| kp.public.verify(&msg, &sig))
+    });
+    group.bench_function("schnorr_sign_1024", |b| {
+        let mut rng = DetRng::new(b"sign-bench-1024");
+        let mut rb = move |buf: &mut [u8]| rng.fill(buf);
+        b.iter(|| kp1024.sign(&msg, &mut rb));
+    });
+    group.bench_function("schnorr_verify_1024", |b| {
+        b.iter(|| kp1024.public.verify(&msg, &sig1024))
+    });
+    group.bench_function("dh_agreement_512", |b| {
+        let mut rng = DetRng::new(b"dh-bench");
+        let mut rb = move |buf: &mut [u8]| rng.fill(buf);
+        let peer = DhSecret::generate(Group::test512(), &mut rb);
+        b.iter_batched(
+            || DhSecret::generate(Group::test512(), &mut rb),
+            |mine| mine.agree(&peer.public).expect("valid share"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, primitives);
+criterion_main!(benches);

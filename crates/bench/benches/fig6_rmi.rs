@@ -1,0 +1,40 @@
+//! Figure 6: the cost of introducing Snowflake authorization to RMI.
+//!
+//! Paper values (270 MHz Ultra 5): basic RMI 4.8 ms, RMI+ssh 13 ms,
+//! RMI+Snowflake 18 ms.  Expected shape: basic < ssh < Snowflake, with the
+//! ssh layer contributing most of the overhead and `check_auth` a modest
+//! increment.  Also covers §7.2: connection setup and forced proof
+//! re-verification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowflake_bench::rigs::{self, RmiKind};
+
+fn fig6(c: &mut Criterion) {
+    let env = rigs::rmi_env();
+    let mut group = c.benchmark_group("fig6_rmi_warm_call");
+    for (kind, name) in [
+        (RmiKind::Plain, "basic_rmi"),
+        (RmiKind::Ssh, "rmi_ssh"),
+        (RmiKind::Snowflake, "rmi_ssh_snowflake"),
+    ] {
+        let mut rig = rigs::rmi_rig(&env, kind);
+        group.bench_function(name, |b| {
+            b.iter(|| rig.call());
+        });
+    }
+    group.finish();
+
+    let mut setup = c.benchmark_group("sec7_2_setup");
+    setup.sample_size(10);
+    setup.bench_function("new_authorized_connection", |b| {
+        b.iter(|| rigs::rmi_connection_setup(&env));
+    });
+    let mut rig = rigs::rmi_rig(&env, RmiKind::Snowflake);
+    setup.bench_function("server_proof_parse_verify", |b| {
+        b.iter(|| rigs::rmi_proof_verify(&env, &mut rig));
+    });
+    setup.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

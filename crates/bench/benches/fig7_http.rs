@@ -1,0 +1,30 @@
+//! Figure 7: the cost of introducing Snowflake authorization to HTTP.
+//!
+//! Paper values: trivial C client + Apache 4.6 ms; Java + Jetty 25 ms;
+//! Snowflake 81 ms (≈40 ms of which was slow SPKI parsing).  Expected
+//! shape: minimal < framework < Snowflake-signed, with the signature and
+//! proof verification dominating the last bar.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowflake_bench::rigs::{self, HttpKind};
+
+fn fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_http_get");
+    for (kind, name) in [
+        (HttpKind::Mini, "minimal_server"),
+        (HttpKind::Framework, "framework_server"),
+        (HttpKind::SnowflakeSign, "snowflake_signed"),
+    ] {
+        let mut rig = rigs::http_rig(kind);
+        if kind == HttpKind::SnowflakeSign {
+            group.sample_size(20);
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| rig.get());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

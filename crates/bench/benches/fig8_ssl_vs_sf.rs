@@ -1,0 +1,88 @@
+//! Figure 8: standard SSL authentication (black bars) versus Snowflake
+//! client authorization (gray) and server document authentication (white).
+//!
+//! Paper values (ms): SSL ignore 14/47, SSL verify cached-session 140/290,
+//! SSL new session 250/420; Sf client auth ident 81, MAC 110, sign 380;
+//! Sf document auth cache 99 / sign 430 (cached conn) and cache 160 /
+//! sign 490 (new conn).
+//!
+//! Expected shapes: warm-channel requests ≪ cached-session handshakes ≪
+//! full handshakes; ident < MAC ≪ per-request signatures; cached document
+//! proofs < fresh signatures; cached connections < new connections.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowflake_bench::rigs::{self, HttpKind, Tier};
+use snowflake_channel::SessionCache;
+
+fn ssl_bars(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_ssl");
+    for (tier, name) in [
+        (Tier::Mini, "ignore_mini"),
+        (Tier::Framework, "ignore_framework"),
+    ] {
+        let mut rig = rigs::ssl_rig(tier, false);
+        group.bench_function(name, |b| {
+            b.iter(|| rig.get());
+        });
+    }
+    group.sample_size(10);
+    for (tier, name) in [
+        (Tier::Mini, "verify_cached_session_mini"),
+        (Tier::Framework, "verify_cached_session_framework"),
+    ] {
+        let client_cache = SessionCache::new();
+        let server_cache = SessionCache::new();
+        rigs::ssl_resumed_session(tier, &client_cache, &server_cache);
+        group.bench_function(name, |b| {
+            b.iter(|| rigs::ssl_resumed_session(tier, &client_cache, &server_cache));
+        });
+    }
+    for (tier, name) in [
+        (Tier::Mini, "verify_new_session_mini"),
+        (Tier::Framework, "verify_new_session_framework"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| rigs::ssl_new_session(tier, true));
+        });
+    }
+    group.finish();
+}
+
+fn snowflake_client_auth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_sf_client_auth");
+    for (kind, name) in [
+        (HttpKind::SnowflakeIdent, "identical_request"),
+        (HttpKind::SnowflakeMac, "mac_amortized"),
+        (HttpKind::SnowflakeSign, "signature_per_request"),
+    ] {
+        let mut rig = rigs::http_rig(kind);
+        if kind == HttpKind::SnowflakeSign {
+            group.sample_size(20);
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| rig.get());
+        });
+    }
+    group.finish();
+}
+
+fn snowflake_doc_auth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_sf_doc_auth");
+    group.sample_size(20);
+    for (cached, new_session, name) in [
+        (true, false, "cached_proof_cached_conn"),
+        (false, false, "fresh_sign_cached_conn"),
+        (true, true, "cached_proof_new_conn"),
+        (false, true, "fresh_sign_new_conn"),
+    ] {
+        let mut rig = rigs::doc_auth_rig(cached);
+        rig.get(new_session);
+        group.bench_function(name, |b| {
+            b.iter(|| rig.get(new_session));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ssl_bars, snowflake_client_auth, snowflake_doc_auth);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! §7.4.1: prover graph-traversal cost.
+//!
+//! "Proofs are usually constructed incrementally while walking the name
+//! graph … shortcuts form a cache that eliminates most deep traversals."
+//! Expected shape: cold search cost grows with chain depth; warm (shortcut
+//! cached) search cost is flat — effectively constant-depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snowflake_bench::rigs;
+
+fn prover_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prover_search");
+    for depth in [1usize, 2, 4, 8, 16] {
+        let rig = rigs::prover_rig(depth);
+        group.bench_with_input(BenchmarkId::new("cold", depth), &depth, |b, _| {
+            b.iter(|| rig.search_cold());
+        });
+        rig.search_warm();
+        group.bench_with_input(BenchmarkId::new("warm", depth), &depth, |b, _| {
+            b.iter(|| rig.search_warm());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, prover_scaling);
+criterion_main!(benches);

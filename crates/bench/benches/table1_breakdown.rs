@@ -1,0 +1,105 @@
+//! Table 1: the per-phase cost breakdown of the MAC authorization protocol.
+//!
+//! Paper columns (ms): SSL request = 5 + 20 + 22 = 47; Snowflake MAC
+//! request = 5 + 20 + ~20 + ~20 + 17 + 28 = 110.  Each phase below is one
+//! paper row; the criterion IDs match the row labels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowflake_bench::rigs::{self, HttpKind, Tier};
+use snowflake_core::{Proof, Time, VerifyCtx};
+use snowflake_crypto::hmac::hmac_sha256;
+use snowflake_http::HttpRequest;
+use snowflake_sexpr::Sexp;
+
+fn phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+
+    let mut mini = rigs::http_rig(HttpKind::Mini);
+    group.bench_function("row1_minimum_http_get", |b| {
+        b.iter(|| mini.get());
+    });
+
+    let mut framework = rigs::http_rig(HttpKind::Framework);
+    group.bench_function("row2_framework_http_get", |b| {
+        b.iter(|| framework.get());
+    });
+
+    let mut ssl = rigs::ssl_rig(Tier::Framework, false);
+    group.bench_function("row3_ssl_http_get", |b| {
+        b.iter(|| ssl.get());
+    });
+
+    // The proof-processing rows time a representative two-certificate
+    // chain — the same shape a servlet parses and verifies per request.
+    let proof_wire = representative_wire();
+
+    group.bench_function("row4_sexp_parsing", |b| {
+        b.iter(|| Sexp::parse(&proof_wire).expect("parse"));
+    });
+
+    let tree = Sexp::parse(&proof_wire).expect("parse");
+    group.bench_function("row5_spki_unmarshalling", |b| {
+        b.iter(|| Proof::from_sexp(&tree).expect("decode"));
+    });
+
+    let proof = Proof::from_sexp(&tree).expect("decode");
+    let ctx = VerifyCtx::at(Time(1_000_000));
+    group.bench_function("row6_other_snowflake_verify_marshal", |b| {
+        b.iter(|| {
+            proof.verify(&ctx).expect("verify");
+            proof.to_sexp()
+        });
+    });
+
+    let mut req = HttpRequest::get("/doc");
+    req.set_header("Connection", "keep-alive");
+    let secret = [7u8; 32];
+    group.bench_function("row7_mac_costs", |b| {
+        b.iter(|| {
+            let h = snowflake_http::request_hash(&req, snowflake_core::HashAlg::Sha256);
+            hmac_sha256(&secret, &h.bytes)
+        });
+    });
+
+    group.finish();
+}
+
+/// A two-certificate chain like the one a server verifies per request.
+fn representative_wire() -> Vec<u8> {
+    use snowflake_core::{Certificate, Delegation, Principal, Tag, Validity};
+    use snowflake_crypto::{DetRng, Group, KeyPair};
+    let mut rng = DetRng::new(b"bench-wire");
+    let mut rb = move |b: &mut [u8]| rng.fill(b);
+    let owner = KeyPair::generate(Group::test512(), &mut rb);
+    let alice = KeyPair::generate(Group::test512(), &mut rb);
+    let tag = Tag::named("web", vec![Tag::named("method", vec![Tag::atom("GET")])]);
+    let c1 = Certificate::issue(
+        &owner,
+        Delegation {
+            subject: Principal::key(&alice.public),
+            issuer: Principal::key(&owner.public),
+            tag: tag.clone(),
+            validity: Validity::always(),
+            delegable: true,
+        },
+        &mut rb,
+    );
+    let c2 = Certificate::issue(
+        &alice,
+        Delegation {
+            subject: Principal::message(b"the request"),
+            issuer: Principal::key(&alice.public),
+            tag,
+            validity: Validity::until(Time(2_000_000)),
+            delegable: false,
+        },
+        &mut rb,
+    );
+    Proof::signed_cert(c2)
+        .then(Proof::signed_cert(c1))
+        .to_sexp()
+        .canonical()
+}
+
+criterion_group!(benches, phases);
+criterion_main!(benches);

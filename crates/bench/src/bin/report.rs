@@ -1,0 +1,29 @@
+//! Prints every table and figure of the paper's §7 evaluation with live
+//! measurements next to the paper's numbers.
+//!
+//! Usage: `cargo run --release -p snowflake-bench --bin report [section] [iters]`
+//! where `section` ∈ {fig6, fig7, fig8, table1, setup, prover, all}.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let section = args.get(1).map(String::as_str).unwrap_or("all");
+    let iters: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+
+    println!("Snowflake end-to-end authorization — evaluation report");
+    println!("(paper numbers: 270 MHz Sun Ultra 5, Java 1.2, 1024-bit RSA;");
+    println!(" this build: in-process transports, 512-bit Schnorr test group)");
+
+    match section {
+        "fig6" => snowflake_bench::report::fig6(iters),
+        "fig7" => snowflake_bench::report::fig7(iters),
+        "fig8" => snowflake_bench::report::fig8(iters),
+        "table1" => snowflake_bench::report::table1(iters),
+        "setup" => snowflake_bench::report::setup(iters),
+        "prover" => snowflake_bench::report::prover(iters),
+        "all" => snowflake_bench::report::all(iters),
+        other => {
+            eprintln!("unknown section {other}; use fig6|fig7|fig8|table1|setup|prover|all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Table 1: the cost breakdown of the MAC authorization protocol.
+//!
+//! The paper decomposes one request into phases and reports two columns —
+//! an SSL request (total 47 ms) and a Snowflake MAC request (total 110 ms):
+//!
+//! ```text
+//! Minimum cost of HTTP GET            5     5
+//! Java+Jetty overhead for HTTP       20    20
+//! Java SSL overhead                  22     —
+//! S-expression parsing                —   ~20
+//! SPKI object unmarshalling           —   ~20
+//! Other Snowflake overhead            —    17
+//! MAC costs                           —    28
+//! Total                              47   110
+//! ```
+//!
+//! [`measure`] reproduces each phase with the real code paths and returns
+//! the same rows.
+
+use crate::rigs::{self, HttpKind, Tier};
+use crate::time_it;
+use snowflake_core::{Certificate, Delegation, Principal, Proof, Tag, Time, Validity, VerifyCtx};
+use snowflake_crypto::hmac::hmac_sha256;
+use snowflake_crypto::{DetRng, Group, KeyPair};
+use snowflake_http::HttpRequest;
+use snowflake_sexpr::Sexp;
+use std::time::Duration;
+
+/// One row of Table 1: phase name and the two protocol columns.
+pub struct Row {
+    /// The phase name, matching the paper's row labels.
+    pub phase: &'static str,
+    /// Cost within an SSL request, if the phase applies.
+    pub ssl: Option<Duration>,
+    /// Cost within a Snowflake MAC request, if the phase applies.
+    pub snowflake: Option<Duration>,
+}
+
+/// A representative proof: a two-certificate delegation chain, the shape a
+/// server parses and verifies per Snowflake-authorized request.
+fn representative_proof() -> Proof {
+    let mut rng = DetRng::new(b"breakdown");
+    let mut rb = move |b: &mut [u8]| rng.fill(b);
+    let owner = KeyPair::generate(Group::test512(), &mut rb);
+    let alice = KeyPair::generate(Group::test512(), &mut rb);
+    let tag = Tag::named("web", vec![Tag::named("method", vec![Tag::atom("GET")])]);
+    let c1 = Certificate::issue(
+        &owner,
+        Delegation {
+            subject: Principal::key(&alice.public),
+            issuer: Principal::key(&owner.public),
+            tag: tag.clone(),
+            validity: Validity::always(),
+            delegable: true,
+        },
+        &mut rb,
+    );
+    let c2 = Certificate::issue(
+        &alice,
+        Delegation {
+            subject: Principal::message(b"the request"),
+            issuer: Principal::key(&alice.public),
+            tag,
+            validity: Validity::until(Time(2_000_000)),
+            delegable: false,
+        },
+        &mut rb,
+    );
+    Proof::signed_cert(c2).then(Proof::signed_cert(c1))
+}
+
+/// Measures every phase of Table 1 with `iters` iterations per phase.
+pub fn measure(iters: usize) -> Vec<Row> {
+    let warmup = (iters / 10).max(1);
+
+    // Row 1: minimum cost of an HTTP GET (fast-path server).
+    let mut mini = rigs::http_rig(HttpKind::Mini);
+    let t_min = time_it(warmup, iters, || {
+        mini.get();
+    });
+
+    // Row 2: framework overhead = framework GET − minimal GET.
+    let mut framework = rigs::http_rig(HttpKind::Framework);
+    let t_framework = time_it(warmup, iters, || {
+        framework.get();
+    });
+    let framework_overhead = t_framework.saturating_sub(t_min);
+
+    // Row 3: SSL overhead = GET over the secure channel − framework GET.
+    let mut ssl = rigs::ssl_rig(Tier::Framework, false);
+    let t_ssl = time_it(warmup, iters, || {
+        ssl.get();
+    });
+    let ssl_overhead = t_ssl.saturating_sub(t_framework);
+
+    // Row 4: S-expression parsing (the representative proof's wire form).
+    let proof = representative_proof();
+    let wire = proof.to_sexp().canonical();
+    let t_parse = time_it(warmup, iters, || {
+        let _ = Sexp::parse(&wire).expect("parse");
+    });
+
+    // Row 5: SPKI object unmarshalling (typed objects from the tree).
+    let tree = Sexp::parse(&wire).expect("parse");
+    let t_unmarshal = time_it(warmup, iters, || {
+        let _ = Proof::from_sexp(&tree).expect("decode");
+    });
+
+    // Row 6: other Snowflake overhead — proof verification plus marshalling
+    // the reply-side objects.
+    let ctx = VerifyCtx::at(Time(1_000_000));
+    let t_other = time_it(warmup, iters, || {
+        proof.verify(&ctx).expect("verify");
+        let _ = proof.to_sexp();
+    });
+
+    // Row 7: MAC costs — request canonicalization, hash, and HMAC.
+    let mut req = HttpRequest::get("/doc");
+    req.set_header("Connection", "keep-alive");
+    let secret = [7u8; 32];
+    let t_mac = time_it(warmup, iters, || {
+        let h = snowflake_http::request_hash(&req, snowflake_core::HashAlg::Sha256);
+        let _ = hmac_sha256(&secret, &h.bytes);
+    });
+
+    vec![
+        Row {
+            phase: "Minimum cost of HTTP GET",
+            ssl: Some(t_min),
+            snowflake: Some(t_min),
+        },
+        Row {
+            phase: "Framework overhead for HTTP",
+            ssl: Some(framework_overhead),
+            snowflake: Some(framework_overhead),
+        },
+        Row {
+            phase: "SSL (secure channel) overhead",
+            ssl: Some(ssl_overhead),
+            snowflake: None,
+        },
+        Row {
+            phase: "S-expression parsing",
+            ssl: None,
+            snowflake: Some(t_parse),
+        },
+        Row {
+            phase: "SPKI object unmarshalling",
+            ssl: None,
+            snowflake: Some(t_unmarshal),
+        },
+        Row {
+            phase: "Other Snowflake overhead",
+            ssl: None,
+            snowflake: Some(t_other),
+        },
+        Row {
+            phase: "MAC costs",
+            ssl: None,
+            snowflake: Some(t_mac),
+        },
+    ]
+}
+
+/// Column totals `(ssl, snowflake)` over the rows.
+pub fn totals(rows: &[Row]) -> (Duration, Duration) {
+    let ssl = rows.iter().filter_map(|r| r.ssl).sum();
+    let sf = rows.iter().filter_map(|r| r.snowflake).sum();
+    (ssl, sf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_proof_verifies() {
+        let proof = representative_proof();
+        let ctx = VerifyCtx::at(Time(1_000_000));
+        proof.verify(&ctx).unwrap();
+        assert_eq!(proof.size(), 3);
+    }
+
+    #[test]
+    fn measure_produces_paper_rows() {
+        let rows = measure(2);
+        assert_eq!(rows.len(), 7);
+        // SSL column has exactly three entries; Snowflake has six.
+        assert_eq!(rows.iter().filter(|r| r.ssl.is_some()).count(), 3);
+        assert_eq!(rows.iter().filter(|r| r.snowflake.is_some()).count(), 6);
+        let (ssl, sf) = totals(&rows);
+        assert!(ssl > Duration::ZERO);
+        assert!(sf > Duration::ZERO);
+    }
+}

@@ -1,0 +1,109 @@
+//! A minimal fast-path HTTP server — the "optimized C implementation"
+//! baseline of Figure 7.
+//!
+//! The paper compares a trivial C client against Apache (4.6 ms) with the
+//! convenient-but-slow Java stack (25 ms).  The analogous comparison here is
+//! this hand-rolled responder (no header model, no routing, preformatted
+//! responses) against the `snowflake-http` framework server.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+
+/// Preformats a complete HTTP response for a body.
+fn preformat(body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: application/octet-stream\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+const NOT_FOUND: &[u8] =
+    b"HTTP/1.0 404 Not Found\r\nConnection: keep-alive\r\nContent-Length: 0\r\n\r\n";
+
+/// The minimal server: path → preformatted response bytes.
+pub struct MiniHttp {
+    responses: HashMap<String, Vec<u8>>,
+}
+
+impl MiniHttp {
+    /// Builds a server from `(path, body)` pairs.
+    pub fn new(files: &[(&str, &[u8])]) -> MiniHttp {
+        MiniHttp {
+            responses: files
+                .iter()
+                .map(|(p, b)| ((*p).to_string(), preformat(b)))
+                .collect(),
+        }
+    }
+
+    /// Serves requests until EOF.  The parser does the minimum legal work:
+    /// scan to the end of the header block, pull the path out of the first
+    /// line, write preformatted bytes.
+    pub fn serve_stream<S: Read + Write>(&self, stream: &mut S) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 1024];
+        loop {
+            // Read until we have a full header block.
+            let header_end = loop {
+                if let Some(pos) = find_double_crlf(&buf) {
+                    break pos;
+                }
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Ok(()); // clean EOF
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            };
+
+            // Path = second token of the request line.
+            let line_end = buf.iter().position(|&b| b == b'\r').unwrap_or(header_end);
+            let line = &buf[..line_end];
+            let path = line
+                .split(|&b| b == b' ')
+                .nth(1)
+                .map(|p| String::from_utf8_lossy(p).into_owned())
+                .unwrap_or_default();
+
+            match self.responses.get(&path) {
+                Some(resp) => stream.write_all(resp)?,
+                None => stream.write_all(NOT_FOUND)?,
+            }
+            stream.flush()?;
+            buf.drain(..header_end + 4);
+        }
+    }
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowflake_http::{duplex, HttpClient, HttpRequest};
+
+    #[test]
+    fn serves_preformatted_files() {
+        let mini = MiniHttp::new(&[("/doc", b"hello fast world")]);
+        let (client_stream, mut server_stream) = duplex();
+        let t = std::thread::spawn(move || {
+            let _ = mini.serve_stream(&mut server_stream);
+        });
+        let mut client = HttpClient::new(Box::new(client_stream));
+        let mut req = HttpRequest::get("/doc");
+        req.set_header("Connection", "keep-alive");
+        for _ in 0..3 {
+            let resp = client.send(&req).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body, b"hello fast world");
+        }
+        let missing = client.send(&HttpRequest::get("/none")).unwrap();
+        assert_eq!(missing.status, 404);
+        drop(client);
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,255 @@
+//! Paper-style report tables.
+//!
+//! Each function runs a figure's configurations and prints rows in the
+//! paper's layout, next to the paper's 2000-era numbers (270 MHz Sun
+//! Ultra 5, Java 1.2 with green threads).  Absolute values will differ by
+//! orders of magnitude; what must reproduce is the *shape*: who wins, by
+//! roughly what factor, and where the cheap/expensive crossovers fall.
+
+use crate::rigs::{self, HttpKind, RmiKind, Tier};
+use crate::{breakdown, ms, time_it, time_it_stable};
+use snowflake_channel::SessionCache;
+use std::time::Duration;
+
+fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!(
+        "{:<44} {:>10} {:>12}",
+        "configuration", "paper(ms)", "measured(ms)"
+    );
+    println!("{}", "-".repeat(68));
+}
+
+fn row(name: &str, paper: &str, measured: Duration) {
+    println!("{name:<44} {paper:>10} {:>12}", ms(measured));
+}
+
+/// Figure 6: the cost of introducing Snowflake authorization to RMI.
+pub fn fig6(iters: usize) {
+    header("Figure 6: RMI call cost (warm)");
+    let env = rigs::rmi_env();
+    for (kind, label, paper) in [
+        (RmiKind::Plain, "basic RMI", "4.8"),
+        (RmiKind::Ssh, "RMI + ssh channel", "13"),
+        (RmiKind::Snowflake, "RMI + ssh + Snowflake check_auth", "18"),
+    ] {
+        let mut rig = rigs::rmi_rig(&env, kind);
+        let t = time_it_stable(iters / 10 + 1, iters, || {
+            rig.call();
+        });
+        row(label, paper, t);
+    }
+}
+
+/// §7.2: connection setup and server-side proof verification costs.
+pub fn setup(iters: usize) {
+    header("Section 7.2: Snowflake RMI setup costs");
+    let env = rigs::rmi_env();
+    let n = iters.clamp(1, 10);
+    let mut total = Duration::ZERO;
+    for _ in 0..n {
+        total += rigs::rmi_connection_setup(&env);
+    }
+    row(
+        "new authorized connection (public-key op)",
+        "470",
+        total / n as u32,
+    );
+
+    let mut rig = rigs::rmi_rig(&env, RmiKind::Snowflake);
+    let mut total = Duration::ZERO;
+    for _ in 0..n {
+        total += rigs::rmi_proof_verify(&env, &mut rig);
+    }
+    row(
+        "server parses + verifies client proof",
+        "190",
+        total / n as u32,
+    );
+}
+
+/// Figure 7: the cost of introducing Snowflake authorization to HTTP.
+pub fn fig7(iters: usize) {
+    header("Figure 7: HTTP GET cost");
+    for (kind, label, paper) in [
+        (HttpKind::Mini, "minimal server (paper: C/Apache)", "4.6"),
+        (
+            HttpKind::Framework,
+            "framework server (paper: Java/Jetty)",
+            "25",
+        ),
+        (HttpKind::SnowflakeSign, "Snowflake signed request", "81"),
+    ] {
+        let mut rig = rigs::http_rig(kind);
+        let t = time_it_stable(iters / 10 + 1, iters, || {
+            rig.get();
+        });
+        row(label, paper, t);
+    }
+}
+
+/// Figure 8: SSL-like channel vs Snowflake client/server authorization.
+pub fn fig8(iters: usize) {
+    header("Figure 8: SSL vs Snowflake authorization");
+    let warm = iters / 10 + 1;
+
+    // --- SSL-like baselines (black bars). -----------------------------
+    for (tier, label, paper) in [
+        (Tier::Mini, "SSL ignore, minimal server, warm conn", "14"),
+        (
+            Tier::Framework,
+            "SSL ignore, framework server, warm conn",
+            "47",
+        ),
+    ] {
+        let mut rig = rigs::ssl_rig(tier, false);
+        let t = time_it_stable(warm, iters, || {
+            rig.get();
+        });
+        row(label, paper, t);
+    }
+    for (tier, label, paper) in [
+        (Tier::Mini, "SSL verify, cached session / request", "140"),
+        (
+            Tier::Framework,
+            "SSL verify, cached session (framework)",
+            "290",
+        ),
+    ] {
+        let client_cache = SessionCache::new();
+        let server_cache = SessionCache::new();
+        // Seed a resumable session with one full handshake.
+        rigs::ssl_resumed_session(tier, &client_cache, &server_cache);
+        let t = time_it(1, iters.min(50), || {
+            rigs::ssl_resumed_session(tier, &client_cache, &server_cache);
+        });
+        row(label, paper, t);
+    }
+    for (tier, label, paper) in [
+        (Tier::Mini, "SSL verify, new session", "250"),
+        (
+            Tier::Framework,
+            "SSL verify, new session (framework)",
+            "420",
+        ),
+    ] {
+        let t = time_it(1, iters.min(20), || {
+            rigs::ssl_new_session(tier, true);
+        });
+        row(label, paper, t);
+    }
+
+    // --- Snowflake client authorization (gray bars). -------------------
+    for (kind, label, paper) in [
+        (
+            HttpKind::SnowflakeIdent,
+            "Sf client auth: identical request",
+            "81",
+        ),
+        (
+            HttpKind::SnowflakeMac,
+            "Sf client auth: MAC-amortized",
+            "110",
+        ),
+        (
+            HttpKind::SnowflakeSign,
+            "Sf client auth: signature/request",
+            "380",
+        ),
+    ] {
+        let mut rig = rigs::http_rig(kind);
+        let t = time_it_stable(warm, iters, || {
+            rig.get();
+        });
+        row(label, paper, t);
+    }
+
+    // --- Snowflake server (document) authentication (white bars). ------
+    for (cached, new_session, label, paper) in [
+        (true, false, "Sf doc auth: cached proof, cached conn", "99"),
+        (false, false, "Sf doc auth: fresh sign, cached conn", "430"),
+        (true, true, "Sf doc auth: cached proof, new conn", "160"),
+        (false, true, "Sf doc auth: fresh sign, new conn", "490"),
+    ] {
+        let mut rig = rigs::doc_auth_rig(cached);
+        rig.get(new_session); // warm
+        let t = time_it(1, iters.min(50), || {
+            rig.get(new_session);
+        });
+        row(label, paper, t);
+    }
+}
+
+/// Table 1: breakdown of time spent in the MAC authorization protocol.
+pub fn table1(iters: usize) {
+    println!();
+    println!("=== Table 1: MAC authorization protocol breakdown ===");
+    println!(
+        "{:<34} {:>10} {:>10} {:>12} {:>12}",
+        "phase", "paper-SSL", "paper-Sf", "meas-SSL", "meas-Sf"
+    );
+    println!("{}", "-".repeat(82));
+    let paper = [
+        ("Minimum cost of HTTP GET", "5", "5"),
+        ("Framework overhead for HTTP", "20", "20"),
+        ("SSL (secure channel) overhead", "22", "-"),
+        ("S-expression parsing", "-", "~20"),
+        ("SPKI object unmarshalling", "-", "~20"),
+        ("Other Snowflake overhead", "-", "17"),
+        ("MAC costs", "-", "28"),
+    ];
+    let rows = breakdown::measure(iters);
+    for (row, (name, p_ssl, p_sf)) in rows.iter().zip(paper) {
+        assert_eq!(row.phase, name, "row order must match the paper");
+        let fmt = |d: Option<Duration>| d.map(ms).unwrap_or_else(|| "-".repeat(1));
+        println!(
+            "{:<34} {:>10} {:>10} {:>12} {:>12}",
+            row.phase,
+            p_ssl,
+            p_sf,
+            fmt(row.ssl),
+            fmt(row.snowflake)
+        );
+    }
+    let (ssl, sf) = breakdown::totals(&rows);
+    println!(
+        "{:<34} {:>10} {:>10} {:>12} {:>12}",
+        "Total",
+        "47",
+        "110",
+        ms(ssl),
+        ms(sf)
+    );
+}
+
+/// §7.4.1: prover graph traversal cost vs chain depth, with and without the
+/// shortcut cache.
+pub fn prover(iters: usize) {
+    println!();
+    println!("=== Section 7.4.1: prover search cost vs chain depth ===");
+    println!("{:<12} {:>14} {:>14}", "depth", "cold(ms)", "warm(ms)");
+    println!("{}", "-".repeat(42));
+    for depth in [1usize, 2, 4, 8, 16] {
+        let rig = rigs::prover_rig(depth);
+        let cold = time_it(2, iters, || {
+            rig.search_cold();
+        });
+        rig.search_warm(); // populate the shortcut
+        let warm = time_it(2, iters, || {
+            rig.search_warm();
+        });
+        println!("{depth:<12} {:>14} {:>14}", ms(cold), ms(warm));
+    }
+    println!("(shortcut cache turns deep traversals into constant-depth lookups)");
+}
+
+/// Runs every report section.
+pub fn all(iters: usize) {
+    fig6(iters);
+    setup(iters);
+    fig7(iters);
+    fig8(iters);
+    table1(iters);
+    prover(iters);
+}

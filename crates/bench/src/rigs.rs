@@ -1,0 +1,651 @@
+//! Pre-wired client/server pairs for every measured configuration.
+//!
+//! Each rig runs the server on a background thread over in-memory
+//! transports, so benchmarks measure protocol and computation cost (the
+//! paper's single-machine experiments, "where computation time, the
+//! dominant source of overhead, cannot hide under network latency").
+
+use snowflake_apps::{ProtectedWebService, Vfs};
+use snowflake_channel::{PipeTransport, PlainChannel, SecureChannel, SessionCache};
+use snowflake_core::{Certificate, Delegation, Principal, Proof, Tag, Time, Validity};
+use snowflake_crypto::{DetRng, Group, KeyPair};
+use snowflake_http::server::DocumentAuthenticator;
+use snowflake_http::{
+    duplex, ChannelStream, HttpClient, HttpRequest, HttpServer, ProtectedServlet, SnowflakeProxy,
+};
+use snowflake_prover::Prover;
+use snowflake_rmi::{FileObject, RmiClient, RmiServer};
+use snowflake_sexpr::Sexp;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn fixed_clock() -> Time {
+    Time(1_000_000)
+}
+
+fn det(seed: &str) -> impl FnMut(&mut [u8]) {
+    let mut r = DetRng::new(seed.as_bytes());
+    move |b: &mut [u8]| r.fill(b)
+}
+
+fn kp(seed: &str) -> KeyPair {
+    let mut r = det(seed);
+    KeyPair::generate(Group::test512(), &mut r)
+}
+
+/// The 1 KB document every HTTP/RMI rig serves (the paper's file-read
+/// operation).
+pub fn test_document() -> Vec<u8> {
+    (0..1024u32).map(|i| (i % 251) as u8).collect()
+}
+
+// ======================================================================
+// Figure 6: RMI rigs
+// ======================================================================
+
+/// Which RMI configuration a rig measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmiKind {
+    /// Bare transport, no channel security, no authorization ("basic RMI").
+    Plain,
+    /// Secure (ssh-like) channel, no authorization ("RMI + ssh").
+    Ssh,
+    /// Secure channel plus Snowflake `check_auth` ("RMI + Sf").
+    Snowflake,
+}
+
+/// A connected RMI client/server pair.
+pub struct RmiRig {
+    /// The connected client.
+    pub client: RmiClient,
+    /// The server (for cache statistics / forced forgetting).
+    pub server: Arc<RmiServer>,
+    _thread: JoinHandle<()>,
+}
+
+/// Shared fixtures: server key, client identity, and the owner's grant.
+pub struct RmiEnv {
+    server_key: KeyPair,
+    identity: KeyPair,
+    grant: Proof,
+}
+
+/// Builds the shared RMI fixtures.
+pub fn rmi_env() -> RmiEnv {
+    let server_key = kp("bench-rmi-server");
+    let identity = kp("bench-rmi-identity");
+    let mut rng = det("bench-rmi-grant");
+    let grant = Proof::signed_cert(Certificate::issue(
+        &server_key,
+        Delegation {
+            subject: Principal::key(&identity.public),
+            issuer: Principal::key(&server_key.public),
+            tag: Tag::named("rmi", vec![]),
+            validity: Validity::always(),
+            delegable: true,
+        },
+        &mut rng,
+    ));
+    RmiEnv {
+        server_key,
+        identity,
+        grant,
+    }
+}
+
+fn rmi_server(env: &RmiEnv, protected: bool) -> Arc<RmiServer> {
+    let server = RmiServer::with_clock(fixed_clock);
+    let mut files = HashMap::new();
+    files.insert("X".to_string(), test_document());
+    let object = Arc::new(FileObject::new(
+        Principal::key(&env.server_key.public),
+        files,
+    ));
+    if protected {
+        server.register("files", object);
+    } else {
+        server.register_open("files", object);
+    }
+    server
+}
+
+fn client_prover(env: &RmiEnv, seed: &str) -> Arc<Prover> {
+    let mut rng = DetRng::new(seed.as_bytes());
+    let prover = Arc::new(Prover::with_rng(Box::new(move |b| rng.fill(b))));
+    prover.add_proof(env.grant.clone());
+    prover.add_key(env.identity.clone());
+    prover
+}
+
+/// Builds a connected rig of the given kind; Snowflake rigs arrive *warm*
+/// (the first authorized call has already happened).
+pub fn rmi_rig(env: &RmiEnv, kind: RmiKind) -> RmiRig {
+    let server = rmi_server(env, kind == RmiKind::Snowflake);
+    let session_key = kp("bench-session");
+    let prover = client_prover(env, "bench-prover");
+
+    let (client, thread) = match kind {
+        RmiKind::Plain => {
+            let (ct, st) = PipeTransport::pair();
+            let server2 = Arc::clone(&server);
+            let thread = std::thread::spawn(move || {
+                let mut ch = PlainChannel::new(st, "bench-server-end");
+                let _ = server2.serve_connection(&mut ch);
+            });
+            let ch = PlainChannel::new(ct, "bench-client-end");
+            (
+                RmiClient::with_clock(Box::new(ch), session_key, prover, fixed_clock),
+                thread,
+            )
+        }
+        RmiKind::Ssh | RmiKind::Snowflake => {
+            let (ct, st) = PipeTransport::pair();
+            let server2 = Arc::clone(&server);
+            let skey = env.server_key.clone();
+            let thread = std::thread::spawn(move || {
+                let mut rng = det("bench-srv-chan");
+                let mut ch = SecureChannel::server(Box::new(st), &skey, None, &mut rng).unwrap();
+                let _ = server2.serve_connection(&mut ch);
+            });
+            let mut rng = det("bench-cli-chan");
+            let ch =
+                SecureChannel::client(Box::new(ct), Some(&session_key), None, &mut rng).unwrap();
+            (
+                RmiClient::with_clock(Box::new(ch), session_key, prover, fixed_clock),
+                thread,
+            )
+        }
+    };
+
+    let mut rig = RmiRig {
+        client,
+        server,
+        _thread: thread,
+    };
+    // Warm the proof cache so steady-state calls measure the check_auth
+    // fast path, as in Figure 6.
+    rig.call();
+    rig
+}
+
+impl RmiRig {
+    /// One remote file-read call (the Figure 6 operation).
+    pub fn call(&mut self) -> usize {
+        self.client
+            .invoke("files", "read", vec![Sexp::from("X")])
+            .expect("bench call")
+            .as_atom()
+            .expect("file bytes")
+            .len()
+    }
+}
+
+/// §7.2 setup cost: a complete fresh connection — channel handshake,
+/// `NeedAuthorization` fault, client-side delegation (public-key
+/// signature), proof submission/verification, and the retried call.
+pub fn rmi_connection_setup(env: &RmiEnv) -> Duration {
+    let start = Instant::now();
+    let rig = rmi_rig(env, RmiKind::Snowflake); // includes the warm call
+    let elapsed = start.elapsed();
+    drop(rig);
+    elapsed
+}
+
+/// §7.2 server cost: parsing and verifying the client's proof when the
+/// server has forgotten its copy (the client's delegation is cached).
+pub fn rmi_proof_verify(_env: &RmiEnv, rig: &mut RmiRig) -> Duration {
+    rig.server.forget_proofs();
+    let start = Instant::now();
+    rig.call(); // fault → cached proof resubmitted → verify → retry
+    start.elapsed()
+}
+
+// ======================================================================
+// Figure 7 / Figure 8: HTTP rigs
+// ======================================================================
+
+/// Which HTTP configuration a rig measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpKind {
+    /// The minimal fast-path server ("trivial C client / Apache" tier).
+    Mini,
+    /// The full framework server ("convenient Java packages" tier).
+    Framework,
+    /// Snowflake signed requests, fresh signature per request ("sign").
+    SnowflakeSign,
+    /// Snowflake identical-request fast path ("ident").
+    SnowflakeIdent,
+    /// Snowflake MAC-amortized protocol ("MAC").
+    SnowflakeMac,
+}
+
+/// A connected HTTP rig.
+pub struct HttpRig {
+    client: HttpClient,
+    kind: HttpKind,
+    proxy: Option<SnowflakeProxy>,
+    issuer: Principal,
+    min_tag: Tag,
+    prepared: Option<HttpRequest>,
+    counter: u64,
+    _thread: JoinHandle<()>,
+}
+
+/// Builds a connected HTTP rig of the given kind.
+pub fn http_rig(kind: HttpKind) -> HttpRig {
+    let doc = test_document();
+    let owner = kp("bench-web-owner");
+    let identity = kp("bench-web-identity");
+    let issuer = Principal::key(&owner.public);
+
+    let (client_stream, mut server_stream) = duplex();
+    let thread: JoinHandle<()>;
+
+    match kind {
+        HttpKind::Mini => {
+            let mini = MiniOwned { doc };
+            thread = std::thread::spawn(move || {
+                let m = crate::MiniHttp::new(&[("/doc", &mini.doc)]);
+                let _ = m.serve_stream(&mut server_stream);
+            });
+        }
+        HttpKind::Framework => {
+            let server = HttpServer::new();
+            let body = doc.clone();
+            server.route(
+                "/",
+                Arc::new(move |_req: &HttpRequest| {
+                    snowflake_http::HttpResponse::ok("application/octet-stream", body.clone())
+                }),
+            );
+            thread = std::thread::spawn(move || {
+                let _ = server.serve_stream(&mut server_stream);
+            });
+        }
+        HttpKind::SnowflakeSign | HttpKind::SnowflakeIdent | HttpKind::SnowflakeMac => {
+            let vfs = Arc::new(Vfs::new());
+            vfs.write("/doc", doc.clone());
+            // Pre-populate distinct paths for per-request-unique workloads.
+            for i in 0..100_000u64 {
+                if i < 4096 {
+                    vfs.write(&format!("/d/{i}"), doc.clone());
+                }
+            }
+            let service = ProtectedWebService::new(issuer.clone(), "bench", vfs);
+            let servlet =
+                ProtectedServlet::with_clock(service, fixed_clock, Box::new(det("bench-servlet")));
+            let server = HttpServer::new();
+            server.route("/", servlet);
+            thread = std::thread::spawn(move || {
+                let _ = server.serve_stream(&mut server_stream);
+            });
+        }
+    }
+
+    // Grant + prover + proxy for the Snowflake kinds.  The grant covers the
+    // whole web service (all methods) so MAC establishment (a POST) and the
+    // GET workloads both chain from it.
+    let mut grng = det("bench-web-grant");
+    let web_all = Tag::named("web", vec![]);
+    let grant = Proof::signed_cert(Certificate::issue(
+        &owner,
+        Delegation {
+            subject: Principal::key(&identity.public),
+            issuer: issuer.clone(),
+            tag: web_all.clone(),
+            validity: Validity::always(),
+            delegable: true,
+        },
+        &mut grng,
+    ));
+    let mut prng = DetRng::new(b"bench-web-prover");
+    let prover = Arc::new(Prover::with_rng(Box::new(move |b| prng.fill(b))));
+    prover.add_proof(grant);
+    prover.add_key(identity);
+    let proxy = SnowflakeProxy::with_clock(prover, fixed_clock, Box::new(det("bench-web-proxy")));
+
+    let mut rig = HttpRig {
+        client: HttpClient::new(Box::new(client_stream)),
+        kind,
+        proxy: Some(proxy),
+        issuer,
+        min_tag: web_all,
+        prepared: None,
+        counter: 0,
+        _thread: thread,
+    };
+
+    match kind {
+        HttpKind::SnowflakeIdent => {
+            // Prepare one signed request and reuse it; warm the server's
+            // identical-request cache.
+            let mut req = HttpRequest::get("/doc");
+            req.set_header("Connection", "keep-alive");
+            let tag = snowflake_http::auth::web_tag("GET", "bench", "/doc");
+            let signed = rig
+                .proxy
+                .as_ref()
+                .expect("proxy")
+                .sign_request(req, &rig.issuer.clone(), &tag)
+                .expect("sign");
+            rig.prepared = Some(signed);
+            rig.get();
+        }
+        HttpKind::SnowflakeMac => {
+            let issuer = rig.issuer.clone();
+            let tag = rig.min_tag.clone();
+            let proxy = rig.proxy.as_ref().expect("proxy");
+            proxy
+                .establish_mac_session(&mut rig.client, &issuer, &tag)
+                .expect("mac establishment");
+        }
+        _ => {}
+    }
+    rig
+}
+
+struct MiniOwned {
+    doc: Vec<u8>,
+}
+
+impl HttpRig {
+    /// One GET of the 1 KB document under the rig's protocol.
+    pub fn get(&mut self) -> usize {
+        match self.kind {
+            HttpKind::Mini | HttpKind::Framework => {
+                let mut req = HttpRequest::get("/doc");
+                req.set_header("Connection", "keep-alive");
+                let resp = self.client.send(&req).expect("get");
+                resp.body.len()
+            }
+            HttpKind::SnowflakeIdent => {
+                let req = self.prepared.clone().expect("prepared request");
+                let resp = self.client.send(&req).expect("get");
+                assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+                resp.body.len()
+            }
+            HttpKind::SnowflakeSign => {
+                // A fresh path each call forces a fresh signature and a full
+                // verification at the server.
+                self.counter = (self.counter + 1) % 4096;
+                let path = format!("/d/{}", self.counter);
+                let mut req = HttpRequest::get(&path);
+                req.set_header("Connection", "keep-alive");
+                let tag = snowflake_http::auth::web_tag("GET", "bench", &path);
+                let signed = self
+                    .proxy
+                    .as_ref()
+                    .expect("proxy")
+                    .sign_request(req, &self.issuer, &tag)
+                    .expect("sign");
+                let resp = self.client.send(&signed).expect("get");
+                assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+                resp.body.len()
+            }
+            HttpKind::SnowflakeMac => {
+                self.counter = (self.counter + 1) % 4096;
+                let path = format!("/d/{}", self.counter);
+                let mut req = HttpRequest::get(&path);
+                req.set_header("Connection", "keep-alive");
+                let signed = self
+                    .proxy
+                    .as_ref()
+                    .expect("proxy")
+                    .mac_sign(req, &self.issuer)
+                    .expect("mac session");
+                let resp = self.client.send(&signed).expect("get");
+                assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+                resp.body.len()
+            }
+        }
+    }
+}
+
+// ======================================================================
+// Figure 8: SSL-like rigs and document authentication
+// ======================================================================
+
+/// Server tier for SSL rigs (the paper's Apache vs Jetty distinction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Minimal fast-path server.
+    Mini,
+    /// Framework server.
+    Framework,
+}
+
+/// A warm HTTP-over-secure-channel connection.
+pub struct SslRig {
+    client: HttpClient,
+    _thread: JoinHandle<()>,
+}
+
+fn spawn_ssl_server(tier: Tier, server_key: KeyPair, cache: Option<SessionCache>) -> PipeTransport {
+    let (ct, st) = PipeTransport::pair();
+    std::thread::spawn(move || {
+        let mut rng = det("ssl-server");
+        let Ok(ch) = SecureChannel::server(Box::new(st), &server_key, cache.as_ref(), &mut rng)
+        else {
+            return;
+        };
+        let mut stream = ChannelStream::new(Box::new(ch));
+        match tier {
+            Tier::Mini => {
+                let doc = test_document();
+                let m = crate::MiniHttp::new(&[("/doc", &doc)]);
+                let _ = m.serve_stream(&mut stream);
+            }
+            Tier::Framework => {
+                let server = HttpServer::new();
+                let body = test_document();
+                server.route(
+                    "/",
+                    Arc::new(move |_req: &HttpRequest| {
+                        snowflake_http::HttpResponse::ok("application/octet-stream", body.clone())
+                    }),
+                );
+                let _ = server.serve_stream(&mut stream);
+            }
+        }
+    });
+    ct
+}
+
+/// Builds a warm SSL-like connection (`client_auth` selects whether the
+/// client presents a key — the paper's ignore/verify distinction).
+pub fn ssl_rig(tier: Tier, client_auth: bool) -> SslRig {
+    let server_key = kp("ssl-server-key");
+    let client_key = kp("ssl-client-key");
+    let ct = spawn_ssl_server(tier, server_key, None);
+    let mut rng = det("ssl-client");
+    let ch = SecureChannel::client(
+        Box::new(ct),
+        if client_auth { Some(&client_key) } else { None },
+        None,
+        &mut rng,
+    )
+    .expect("handshake");
+    // Dummy thread handle: the real server thread is detached inside
+    // `spawn_ssl_server`; the rig's lifetime owns only the client.
+    let t = std::thread::spawn(|| {});
+    SslRig {
+        client: HttpClient::new(Box::new(ChannelStream::new(Box::new(ch)))),
+        _thread: t,
+    }
+}
+
+impl SslRig {
+    /// One GET over the established channel.
+    pub fn get(&mut self) -> usize {
+        let mut req = HttpRequest::get("/doc");
+        req.set_header("Connection", "keep-alive");
+        let resp = self.client.send(&req).expect("ssl get");
+        resp.body.len()
+    }
+}
+
+/// One complete "new session" exchange: full handshake plus one GET.
+pub fn ssl_new_session(tier: Tier, client_auth: bool) -> usize {
+    let mut rig = ssl_rig(tier, client_auth);
+    rig.get()
+}
+
+/// One "cached session" exchange: resumption handshake plus one GET.
+///
+/// Call once with `caches` empty to seed a full handshake; subsequent calls
+/// resume without public-key operations.
+pub fn ssl_resumed_session(
+    tier: Tier,
+    client_cache: &SessionCache,
+    server_cache: &SessionCache,
+) -> usize {
+    let server_key = kp("ssl-server-key");
+    let client_key = kp("ssl-client-key");
+    let ct = spawn_ssl_server(tier, server_key, Some(server_cache.clone()));
+    let mut rng = det("ssl-resume-client");
+    let ch = SecureChannel::client(
+        Box::new(ct),
+        Some(&client_key),
+        Some((client_cache, "bench-server")),
+        &mut rng,
+    )
+    .expect("handshake");
+    let mut client = HttpClient::new(Box::new(ChannelStream::new(Box::new(ch))));
+    let mut req = HttpRequest::get("/doc");
+    req.set_header("Connection", "keep-alive");
+    client.send(&req).expect("get").body.len()
+}
+
+/// Document-authentication cost (Figure 8's white bars): one GET whose
+/// response carries `Sf-Document-Proof`, verified by the client.
+///
+/// `cached` selects the per-document proof cache ("cache" vs "sign");
+/// `new_session` tears down and rebuilds the connection per request.
+pub struct DocAuthRig {
+    server: Arc<HttpServer>,
+    issuer: Principal,
+    authenticator: Arc<DocumentAuthenticator>,
+    cached: bool,
+    connection: Option<(HttpClient, JoinHandle<()>)>,
+}
+
+/// Builds the document-authentication rig.
+pub fn doc_auth_rig(cached: bool) -> DocAuthRig {
+    let key = kp("doc-auth-key");
+    let authenticator = Arc::new(DocumentAuthenticator::new(
+        key,
+        Box::new(det("doc-auth-rng")),
+    ));
+    let issuer = authenticator.issuer();
+    let server = HttpServer::new();
+    let auth2 = Arc::clone(&authenticator);
+    let body = test_document();
+    server.route(
+        "/",
+        Arc::new(move |_req: &HttpRequest| {
+            let mut resp =
+                snowflake_http::HttpResponse::ok("application/octet-stream", body.clone());
+            auth2.attach(&mut resp, cached);
+            resp
+        }),
+    );
+    DocAuthRig {
+        server,
+        issuer,
+        authenticator,
+        cached,
+        connection: None,
+    }
+}
+
+impl DocAuthRig {
+    /// One authenticated GET; `new_session` forces a fresh connection.
+    pub fn get(&mut self, new_session: bool) -> usize {
+        if !self.cached {
+            // Force a fresh signature each time.
+            self.authenticator.clear_cache();
+        }
+        if new_session || self.connection.is_none() {
+            let (client_stream, mut server_stream) = duplex();
+            let server = Arc::clone(&self.server);
+            let t = std::thread::spawn(move || {
+                let _ = server.serve_stream(&mut server_stream);
+            });
+            self.connection = Some((HttpClient::new(Box::new(client_stream)), t));
+        }
+        let (client, _) = self.connection.as_mut().expect("connection");
+        let mut req = HttpRequest::get("/doc");
+        req.set_header("Connection", "keep-alive");
+        let resp = client.send(&req).expect("doc get");
+        let ctx = snowflake_core::VerifyCtx::at(fixed_clock());
+        snowflake_http::server::verify_document(&resp, &self.issuer, &ctx).expect("doc proof");
+        resp.body.len()
+    }
+}
+
+// ======================================================================
+// §7.4.1: prover scaling
+// ======================================================================
+
+/// A prover holding a delegation chain of configurable depth.
+pub struct ProverRig {
+    /// The prover under test.
+    pub prover: Prover,
+    /// Chain endpoints: (subject, issuer).
+    pub endpoints: (Principal, Principal),
+    tag: Tag,
+}
+
+/// Builds a prover with a `depth`-edge delegation chain.
+pub fn prover_rig(depth: usize) -> ProverRig {
+    let prover = Prover::with_rng(Box::new(det("prover-rig")));
+    let keys: Vec<KeyPair> = (0..=depth).map(|i| kp(&format!("chain-{i}"))).collect();
+    let tag = Tag::named("web", vec![]);
+    let mut rng = det("prover-rig-issue");
+    for i in 0..depth {
+        let cert = Certificate::issue(
+            &keys[i],
+            Delegation {
+                subject: Principal::key(&keys[i + 1].public),
+                issuer: Principal::key(&keys[i].public),
+                tag: tag.clone(),
+                validity: Validity::always(),
+                delegable: true,
+            },
+            &mut rng,
+        );
+        prover.add_proof(Proof::signed_cert(cert));
+    }
+    let endpoints = (
+        Principal::key(&keys[depth].public),
+        Principal::key(&keys[0].public),
+    );
+    ProverRig {
+        prover,
+        endpoints,
+        tag,
+    }
+}
+
+impl ProverRig {
+    /// One cold search (shortcut cache cleared first).
+    pub fn search_cold(&self) -> usize {
+        self.prover.clear_shortcuts();
+        let p = self
+            .prover
+            .find_proof(&self.endpoints.0, &self.endpoints.1, &self.tag, Time(0))
+            .expect("chain exists");
+        p.size()
+    }
+
+    /// One warm search (shortcut available).
+    pub fn search_warm(&self) -> usize {
+        let p = self
+            .prover
+            .find_proof(&self.endpoints.0, &self.endpoints.1, &self.tag, Time(0))
+            .expect("chain exists");
+        p.size()
+    }
+}

@@ -1,0 +1,135 @@
+//! Multi-precision division (Knuth TAOCP vol. 2, Algorithm D).
+
+use crate::Ubig;
+
+/// Divides `a` by `b`, returning `(quotient, remainder)`.
+///
+/// # Panics
+///
+/// Panics if `b` is zero.
+pub(crate) fn divrem(a: &Ubig, b: &Ubig) -> (Ubig, Ubig) {
+    assert!(!b.is_zero(), "division by zero");
+    if a < b {
+        return (Ubig::zero(), a.clone());
+    }
+    if b.limbs.len() == 1 {
+        return divrem_by_limb(a, b.limbs[0]);
+    }
+
+    // Normalize: shift so the divisor's top limb has its high bit set.
+    let shift = b.limbs.last().expect("nonzero").leading_zeros() as usize;
+    let u = a.shl(shift);
+    let v = b.shl(shift);
+    let n = v.limbs.len();
+    let m = u.limbs.len() - n;
+
+    // Working copy of the dividend with one extra high limb.
+    let mut un: Vec<u32> = u.limbs.clone();
+    un.push(0);
+    let vn = &v.limbs;
+    let mut q = vec![0u32; m + 1];
+
+    let v_top = vn[n - 1] as u64;
+    let v_next = vn[n - 2] as u64;
+
+    for j in (0..=m).rev() {
+        // Estimate the next quotient limb from the top two dividend limbs.
+        let num = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
+        let mut qhat = num / v_top;
+        let mut rhat = num % v_top;
+        while qhat >= 1 << 32 || qhat * v_next > ((rhat << 32) | un[j + n - 2] as u64) {
+            qhat -= 1;
+            rhat += v_top;
+            if rhat >= 1 << 32 {
+                break;
+            }
+        }
+
+        // Multiply-and-subtract: un[j..j+n+1] -= qhat * vn.
+        let mut borrow = 0i64;
+        let mut carry = 0u64;
+        for i in 0..n {
+            let p = qhat * vn[i] as u64 + carry;
+            carry = p >> 32;
+            let t = un[i + j] as i64 - borrow - (p as u32) as i64;
+            un[i + j] = t as u32;
+            borrow = if t < 0 { 1 } else { 0 };
+        }
+        let t = un[j + n] as i64 - borrow - carry as i64;
+        un[j + n] = t as u32;
+
+        if t < 0 {
+            // Estimate was one too high: add the divisor back.
+            qhat -= 1;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let s = un[i + j] as u64 + vn[i] as u64 + carry;
+                un[i + j] = s as u32;
+                carry = s >> 32;
+            }
+            un[j + n] = (un[j + n] as u64).wrapping_add(carry) as u32;
+        }
+        q[j] = qhat as u32;
+    }
+
+    let mut quotient = Ubig { limbs: q };
+    quotient.trim();
+    let mut rem = Ubig {
+        limbs: un[..n].to_vec(),
+    };
+    rem.trim();
+    (quotient, rem.shr(shift))
+}
+
+fn divrem_by_limb(a: &Ubig, d: u32) -> (Ubig, Ubig) {
+    let mut q = vec![0u32; a.limbs.len()];
+    let mut rem = 0u64;
+    for i in (0..a.limbs.len()).rev() {
+        let cur = (rem << 32) | a.limbs[i] as u64;
+        q[i] = (cur / d as u64) as u32;
+        rem = cur % d as u64;
+    }
+    let mut quotient = Ubig { limbs: q };
+    quotient.trim();
+    (quotient, Ubig::from(rem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_limb() {
+        let a = Ubig::from_hex("ffffffffffffffffffffffff").unwrap();
+        let (q, r) = divrem(&a, &Ubig::from(7u64));
+        assert_eq!(q.mul(&Ubig::from(7u64)).add(&r), a);
+    }
+
+    #[test]
+    fn knuth_d_add_back_case() {
+        // Construct a case that exercises the rare add-back branch:
+        // dividend = 0x7fff_ffff_8000_0000_0000_0000, divisor = 0x8000_0000_ffff_ffff.
+        let a = Ubig::from_hex("7fffffff800000000000000000000000").unwrap();
+        let b = Ubig::from_hex("80000000ffffffff").unwrap();
+        let (q, r) = divrem(&a, &b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn exhaustive_small() {
+        for a in 0..200u64 {
+            for b in 1..40u64 {
+                let (q, r) = divrem(&Ubig::from(a), &Ubig::from(b));
+                assert_eq!(q.to_u64().unwrap(), a / b);
+                assert_eq!(r.to_u64().unwrap(), a % b);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_zero_panics() {
+        let _ = divrem(&Ubig::from(1u64), &Ubig::zero());
+    }
+}

@@ -1,0 +1,570 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! The Snowflake reproduction may not use external crypto crates, so the
+//! public-key substrate (Schnorr signatures and Diffie–Hellman in
+//! `snowflake-crypto`) is built on this small big-integer library.  It
+//! provides exactly what modular-arithmetic cryptography needs: comparison,
+//! `+ - * / %`, modular exponentiation, modular inverse, and Miller–Rabin
+//! primality testing.
+//!
+//! Numbers are little-endian vectors of `u32` limbs with no leading zero
+//! limbs (zero is the empty vector).  All arithmetic is plain safe Rust;
+//! performance is adequate for 512–2048-bit groups, which is all the paper's
+//! measurements require (they used 1024-bit RSA).
+//!
+//! # Examples
+//!
+//! ```
+//! use snowflake_bigint::Ubig;
+//!
+//! let p = Ubig::from(101u64);
+//! let g = Ubig::from(2u64);
+//! assert_eq!(g.modpow(&Ubig::from(100u64), &p), Ubig::one()); // Fermat
+//! ```
+
+mod div;
+mod modular;
+mod prime;
+
+pub use prime::{gen_prime, is_probable_prime};
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Invariant: `limbs` has no trailing (most-significant) zero limbs; the
+/// value zero is represented by an empty limb vector.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Ubig {
+    pub(crate) limbs: Vec<u32>,
+}
+
+impl Ubig {
+    /// Returns zero.
+    pub fn zero() -> Self {
+        Ubig { limbs: Vec::new() }
+    }
+
+    /// Returns one.
+    pub fn one() -> Self {
+        Ubig { limbs: vec![1] }
+    }
+
+    /// Returns `true` when the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` when the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` when the value is even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    pub(crate) fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 32, i % 32);
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    /// Builds a value from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(4));
+        let mut iter = bytes.rchunks(4);
+        for chunk in &mut iter {
+            let mut limb = 0u32;
+            for &b in chunk {
+                limb = (limb << 8) | b as u32;
+            }
+            limbs.push(limb);
+        }
+        let mut n = Ubig { limbs };
+        n.trim();
+        n
+    }
+
+    /// Serializes to minimal big-endian bytes (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zero bytes of the top limb.
+                let skip = (limb.leading_zeros() / 8) as usize;
+                out.extend_from_slice(&bytes[skip..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serializes to big-endian bytes left-padded with zeros to `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(
+            raw.len() <= len,
+            "value needs {} bytes, caller allowed {len}",
+            raw.len()
+        );
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix, either case).
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let mut limbs: Vec<u32> = Vec::new();
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        for b in s.bytes() {
+            let v = (b as char).to_digit(16)? as u32;
+            // limbs = limbs * 16 + v
+            let mut carry = v;
+            for limb in limbs.iter_mut() {
+                let t = ((*limb as u64) << 4) | carry as u64;
+                *limb = t as u32;
+                carry = (t >> 32) as u32;
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        let mut n = Ubig { limbs };
+        n.trim();
+        Some(n)
+    }
+
+    /// Renders as lowercase hexadecimal ("0" for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        let mut s = String::new();
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:08x}"));
+            }
+        }
+        s
+    }
+
+    /// Converts to `u64`, or `None` when out of range.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | (self.limbs[1] as u64) << 32),
+            _ => None,
+        }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &Ubig) -> Ubig {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let sum = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+            out.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        let mut n = Ubig { limbs: out };
+        n.trim();
+        n
+    }
+
+    /// Subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (the type is unsigned).
+    pub fn sub(&self, other: &Ubig) -> Ubig {
+        assert!(self >= other, "Ubig::sub underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let d = self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = Ubig { limbs: out };
+        n.trim();
+        n
+    }
+
+    /// Multiplication (schoolbook; adequate for ≤2048-bit operands).
+    pub fn mul(&self, other: &Ubig) -> Ubig {
+        if self.is_zero() || other.is_zero() {
+            return Ubig::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = a as u64 * b as u64 + out[i + j] as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        let mut n = Ubig { limbs: out };
+        n.trim();
+        n
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: usize) -> Ubig {
+        if self.is_zero() {
+            return Ubig::zero();
+        }
+        let (limb_shift, bit_shift) = (n / 32, n % 32);
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = (l >> (32 - bit_shift)) as u32;
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut v = Ubig { limbs: out };
+        v.trim();
+        v
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr(&self, n: usize) -> Ubig {
+        let (limb_shift, bit_shift) = (n / 32, n % 32);
+        if limb_shift >= self.limbs.len() {
+            return Ubig::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs[limb_shift..]);
+        } else {
+            let src = &self.limbs[limb_shift..];
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (32 - bit_shift)
+                } else {
+                    0
+                };
+                out.push(lo | hi);
+            }
+        }
+        let mut v = Ubig { limbs: out };
+        v.trim();
+        v
+    }
+
+    /// Division with remainder: returns `(self / divisor, self % divisor)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn divrem(&self, divisor: &Ubig) -> (Ubig, Ubig) {
+        div::divrem(self, divisor)
+    }
+
+    /// Remainder `self % m`.
+    pub fn rem(&self, m: &Ubig) -> Ubig {
+        self.divrem(m).1
+    }
+
+    /// Modular addition `(self + b) mod m`.
+    pub fn addm(&self, b: &Ubig, m: &Ubig) -> Ubig {
+        self.add(b).rem(m)
+    }
+
+    /// Modular subtraction `(self - b) mod m`; operands may exceed `m`.
+    pub fn subm(&self, b: &Ubig, m: &Ubig) -> Ubig {
+        let a = self.rem(m);
+        let b = b.rem(m);
+        if a >= b {
+            a.sub(&b)
+        } else {
+            a.add(m).sub(&b)
+        }
+    }
+
+    /// Modular multiplication `(self * b) mod m`.
+    pub fn mulm(&self, b: &Ubig, m: &Ubig) -> Ubig {
+        self.mul(b).rem(m)
+    }
+
+    /// Modular exponentiation `self^exp mod m` (square-and-multiply).
+    pub fn modpow(&self, exp: &Ubig, m: &Ubig) -> Ubig {
+        modular::modpow(self, exp, m)
+    }
+
+    /// Modular inverse, or `None` when `gcd(self, m) != 1`.
+    pub fn modinv(&self, m: &Ubig) -> Option<Ubig> {
+        modular::modinv(self, m)
+    }
+
+    /// Greatest common divisor.
+    pub fn gcd(&self, other: &Ubig) -> Ubig {
+        modular::gcd(self, other)
+    }
+}
+
+impl From<u64> for Ubig {
+    fn from(v: u64) -> Self {
+        let mut n = Ubig {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
+        n.trim();
+        n
+    }
+}
+
+impl From<u32> for Ubig {
+    fn from(v: u32) -> Self {
+        Ubig::from(v as u64)
+    }
+}
+
+impl PartialOrd for Ubig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ubig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Debug for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl fmt::Display for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> Ubig {
+        Ubig::from(v)
+    }
+
+    #[test]
+    fn basics() {
+        assert!(Ubig::zero().is_zero());
+        assert!(Ubig::one().is_one());
+        assert_eq!(n(0), Ubig::zero());
+        assert_eq!(n(1).add(&n(1)), n(2));
+        assert_eq!(n(u64::MAX).add(&n(1)).to_hex(), "10000000000000000");
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        for v in [0u64, 1, 255, 256, 0xdeadbeef, u64::MAX] {
+            let b = n(v).to_bytes_be();
+            assert_eq!(Ubig::from_bytes_be(&b), n(v));
+        }
+        assert_eq!(Ubig::from_bytes_be(&[0, 0, 1, 0]), n(256));
+        assert_eq!(n(0xabcd).to_bytes_be_padded(4), vec![0, 0, 0xab, 0xcd]);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let h = "8531e8f3107b5a791d0c1781cbcd1ffd26b646b02f4044977eefe934e2e2e04d";
+        let v = Ubig::from_hex(h).unwrap();
+        assert_eq!(v.to_hex(), h);
+        assert_eq!(Ubig::from_hex("0").unwrap(), Ubig::zero());
+        assert!(Ubig::from_hex("xyz").is_none());
+        assert!(Ubig::from_hex("").is_none());
+    }
+
+    #[test]
+    fn sub_and_cmp() {
+        assert_eq!(n(1000).sub(&n(1)), n(999));
+        assert!(n(5) < n(6));
+        assert!(n(1) < n(u64::MAX));
+        let big = Ubig::from_hex("ffffffffffffffffffffffffffffffff").unwrap();
+        assert_eq!(big.sub(&big), Ubig::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = n(1).sub(&n(2));
+    }
+
+    #[test]
+    fn mul_against_u128() {
+        let cases = [
+            (0u64, 5u64),
+            (1, 7),
+            (u32::MAX as u64, u32::MAX as u64),
+            (u64::MAX, 2),
+            (123456789, 987654321),
+        ];
+        for (a, b) in cases {
+            let want = a as u128 * b as u128;
+            let got = n(a).mul(&n(b));
+            assert_eq!(got.to_hex(), format!("{want:x}"), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(n(1).shl(100).shr(100), n(1));
+        assert_eq!(n(0b1011).shl(2), n(0b101100));
+        assert_eq!(n(0b1011).shr(2), n(0b10));
+        assert_eq!(n(5).shr(64), Ubig::zero());
+        assert_eq!(n(1).shl(32).bits(), 33);
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        assert_eq!(Ubig::zero().bits(), 0);
+        assert_eq!(n(1).bits(), 1);
+        assert_eq!(n(255).bits(), 8);
+        assert_eq!(n(256).bits(), 9);
+        assert!(n(4).bit(2));
+        assert!(!n(4).bit(1));
+        assert!(!n(4).bit(100));
+    }
+
+    #[test]
+    fn divrem_small() {
+        let (q, r) = n(100).divrem(&n(7));
+        assert_eq!((q, r), (n(14), n(2)));
+        let (q, r) = n(5).divrem(&n(10));
+        assert_eq!((q, r), (Ubig::zero(), n(5)));
+        let (q, r) = n(u64::MAX).divrem(&n(1));
+        assert_eq!((q, r), (n(u64::MAX), Ubig::zero()));
+    }
+
+    #[test]
+    fn divrem_multi_limb() {
+        let a = Ubig::from_hex("123456789abcdef0123456789abcdef0123456789").unwrap();
+        let b = Ubig::from_hex("fedcba9876543210").unwrap();
+        let (q, r) = a.divrem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn modpow_fermat() {
+        // 2^(p-1) = 1 mod p for prime p.
+        let p = Ubig::from_hex("89c591c94db4d9b86ac43d68a1fe3f49b10406476d285bf673f4256432bbd1ed")
+            .unwrap();
+        let g = n(2);
+        assert_eq!(g.modpow(&p.sub(&Ubig::one()), &p), Ubig::one());
+    }
+
+    #[test]
+    fn modpow_edges() {
+        assert_eq!(n(5).modpow(&Ubig::zero(), &n(7)), Ubig::one());
+        assert_eq!(n(5).modpow(&Ubig::one(), &n(7)), n(5));
+        assert_eq!(n(0).modpow(&n(10), &n(7)), Ubig::zero());
+        assert_eq!(n(3).modpow(&n(4), &n(5)), n(1)); // 81 mod 5
+    }
+
+    #[test]
+    fn modinv_works() {
+        let m = n(101);
+        for a in 1..100u64 {
+            let inv = n(a).modinv(&m).unwrap();
+            assert_eq!(n(a).mulm(&inv, &m), Ubig::one(), "a={a}");
+        }
+        assert!(n(6).modinv(&n(9)).is_none()); // gcd 3
+    }
+
+    #[test]
+    fn gcd_works() {
+        assert_eq!(n(12).gcd(&n(18)), n(6));
+        assert_eq!(n(17).gcd(&n(13)), n(1));
+        assert_eq!(n(0).gcd(&n(5)), n(5));
+        assert_eq!(n(5).gcd(&n(0)), n(5));
+    }
+
+    #[test]
+    fn subm_wraps() {
+        let m = n(97);
+        assert_eq!(n(5).subm(&n(10), &m), n(92));
+        assert_eq!(n(10).subm(&n(5), &m), n(5));
+        assert_eq!(n(500).subm(&n(3), &m), n(497 % 97));
+    }
+
+    #[test]
+    fn to_u64_bounds() {
+        assert_eq!(Ubig::zero().to_u64(), Some(0));
+        assert_eq!(n(u64::MAX).to_u64(), Some(u64::MAX));
+        assert_eq!(n(u64::MAX).add(&Ubig::one()).to_u64(), None);
+    }
+}

@@ -1,0 +1,143 @@
+//! Modular exponentiation, inverse, and gcd.
+
+use crate::Ubig;
+
+/// Computes `base^exp mod m` by left-to-right square-and-multiply.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub(crate) fn modpow(base: &Ubig, exp: &Ubig, m: &Ubig) -> Ubig {
+    assert!(!m.is_zero(), "modpow with zero modulus");
+    if m.is_one() {
+        return Ubig::zero();
+    }
+    let mut result = Ubig::one();
+    let base = base.rem(m);
+    let nbits = exp.bits();
+    for i in (0..nbits).rev() {
+        result = result.mulm(&result, m);
+        if exp.bit(i) {
+            result = result.mulm(&base, m);
+        }
+    }
+    result
+}
+
+/// Computes the modular inverse of `a` mod `m` via the extended Euclidean
+/// algorithm, or `None` when `gcd(a, m) != 1`.
+pub(crate) fn modinv(a: &Ubig, m: &Ubig) -> Option<Ubig> {
+    if m.is_zero() || m.is_one() {
+        return None;
+    }
+    // Track Bezout coefficients for `a` only, in sign-magnitude form.
+    let mut r0 = m.clone();
+    let mut r1 = a.rem(m);
+    let mut t0 = (Ubig::zero(), false); // (magnitude, negative?)
+    let mut t1 = (Ubig::one(), false);
+
+    while !r1.is_zero() {
+        let (q, r2) = r0.divrem(&r1);
+        // t2 = t0 - q * t1  (signed arithmetic in sign-magnitude form)
+        let qt1 = q.mul(&t1.0);
+        let t2 = signed_sub(&t0, &(qt1, t1.1));
+        r0 = r1;
+        r1 = r2;
+        t0 = t1;
+        t1 = t2;
+    }
+    if !r0.is_one() {
+        return None;
+    }
+    let (mag, neg) = t0;
+    let mag = mag.rem(m);
+    Some(if neg && !mag.is_zero() {
+        m.sub(&mag)
+    } else {
+        mag
+    })
+}
+
+/// Signed subtraction over sign-magnitude pairs: returns `a - b`.
+fn signed_sub(a: &(Ubig, bool), b: &(Ubig, bool)) -> (Ubig, bool) {
+    match (a.1, b.1) {
+        // a - b with both non-negative.
+        (false, false) => {
+            if a.0 >= b.0 {
+                (a.0.sub(&b.0), false)
+            } else {
+                (b.0.sub(&a.0), true)
+            }
+        }
+        // a - (-b) = a + b.
+        (false, true) => (a.0.add(&b.0), false),
+        // (-a) - b = -(a + b).
+        (true, false) => (a.0.add(&b.0), true),
+        // (-a) - (-b) = b - a.
+        (true, true) => {
+            if b.0 >= a.0 {
+                (b.0.sub(&a.0), false)
+            } else {
+                (a.0.sub(&b.0), true)
+            }
+        }
+    }
+}
+
+/// Binary-free Euclidean gcd.
+pub(crate) fn gcd(a: &Ubig, b: &Ubig) -> Ubig {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    while !b.is_zero() {
+        let r = a.rem(&b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modpow_known() {
+        // 4^13 mod 497 = 445.
+        assert_eq!(
+            modpow(&Ubig::from(4u64), &Ubig::from(13u64), &Ubig::from(497u64)),
+            Ubig::from(445u64)
+        );
+    }
+
+    #[test]
+    fn modpow_mod_one() {
+        assert_eq!(
+            modpow(&Ubig::from(5u64), &Ubig::from(5u64), &Ubig::one()),
+            Ubig::zero()
+        );
+    }
+
+    #[test]
+    fn modinv_exhaustive_prime() {
+        let p = Ubig::from(97u64);
+        for a in 1..97u64 {
+            let inv = modinv(&Ubig::from(a), &p).unwrap();
+            assert_eq!(Ubig::from(a).mulm(&inv, &p), Ubig::one());
+        }
+    }
+
+    #[test]
+    fn modinv_large() {
+        let p = Ubig::from_hex("89c591c94db4d9b86ac43d68a1fe3f49b10406476d285bf673f4256432bbd1ed")
+            .unwrap();
+        let a = Ubig::from_hex("1234567890abcdef").unwrap();
+        let inv = modinv(&a, &p).unwrap();
+        assert_eq!(a.mulm(&inv, &p), Ubig::one());
+    }
+
+    #[test]
+    fn modinv_composite_fails() {
+        assert!(modinv(&Ubig::from(4u64), &Ubig::from(8u64)).is_none());
+        assert!(modinv(&Ubig::from(3u64), &Ubig::one()).is_none());
+    }
+}

@@ -1,0 +1,163 @@
+//! Miller–Rabin probabilistic primality testing and prime generation.
+//!
+//! Used by `snowflake-crypto` tests to validate the hard-coded Schnorr group
+//! parameters, and available for generating fresh groups.
+
+use crate::Ubig;
+
+/// Small primes for fast trial division.
+const SMALL_PRIMES: [u32; 25] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+];
+
+/// Miller–Rabin probable-prime test with `rounds` random bases drawn from
+/// the caller-supplied byte source.
+///
+/// `rand_bytes` must fill its argument with uniformly random bytes; the
+/// crypto crate passes its RNG in so this crate stays dependency-free.
+pub fn is_probable_prime(n: &Ubig, rounds: u32, rand_bytes: &mut dyn FnMut(&mut [u8])) -> bool {
+    if n < &Ubig::from(2u64) {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p = Ubig::from(p);
+        if n == &p {
+            return true;
+        }
+        if n.rem(&p).is_zero() {
+            return false;
+        }
+    }
+
+    // Write n - 1 = d * 2^r with d odd.
+    let n_minus_1 = n.sub(&Ubig::one());
+    let mut d = n_minus_1.clone();
+    let mut r = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        r += 1;
+    }
+
+    let byte_len = n.to_bytes_be().len();
+    'witness: for _ in 0..rounds {
+        // Draw a base in [2, n-2] by rejection sampling.
+        let a = loop {
+            let mut buf = vec![0u8; byte_len];
+            rand_bytes(&mut buf);
+            let a = Ubig::from_bytes_be(&buf).rem(n);
+            if a >= Ubig::from(2u64) && a <= n.sub(&Ubig::from(2u64)) {
+                break a;
+            }
+        };
+        let mut x = a.modpow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = x.mulm(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn gen_prime(bits: usize, rand_bytes: &mut dyn FnMut(&mut [u8])) -> Ubig {
+    assert!(bits >= 2, "cannot generate a prime under 2 bits");
+    loop {
+        let byte_len = bits.div_ceil(8);
+        let mut buf = vec![0u8; byte_len];
+        rand_bytes(&mut buf);
+        let mut candidate = Ubig::from_bytes_be(&buf);
+        // Clamp to exactly `bits` bits and force odd.
+        candidate = candidate.rem(&Ubig::one().shl(bits));
+        let top = Ubig::one().shl(bits - 1);
+        if candidate < top {
+            candidate = candidate.add(&top);
+        }
+        if candidate.is_even() {
+            candidate = candidate.add(&Ubig::one());
+        }
+        if candidate.bits() != bits {
+            continue;
+        }
+        if is_probable_prime(&candidate, 24, rand_bytes) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift byte source for tests.
+    fn test_rng() -> impl FnMut(&mut [u8]) {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        move |buf: &mut [u8]| {
+            for b in buf {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                *b = state as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn known_primes() {
+        let mut rng = test_rng();
+        for p in [2u64, 3, 5, 97, 101, 7919, 104729, 2147483647] {
+            assert!(
+                is_probable_prime(&Ubig::from(p), 16, &mut rng),
+                "{p} is prime"
+            );
+        }
+    }
+
+    #[test]
+    fn known_composites() {
+        let mut rng = test_rng();
+        for c in [
+            1u64, 4, 100, 561, /* Carmichael */
+            1105, 6601, 2147483649,
+        ] {
+            assert!(
+                !is_probable_prime(&Ubig::from(c), 16, &mut rng),
+                "{c} is composite"
+            );
+        }
+    }
+
+    #[test]
+    fn group_parameters_are_prime() {
+        // The hard-coded 512-bit test group modulus and subgroup order.
+        let p = Ubig::from_hex(
+            "8531e8f3107b5a791d0c1781cbcd1ffd26b646b02f4044977eefe934e2e2e04d\
+             725275f0f099503d7efe7366b8c00b1fbfbe58df5928a69eda0f0645cf6428bd",
+        )
+        .unwrap();
+        let q = Ubig::from_hex("89c591c94db4d9b86ac43d68a1fe3f49b10406476d285bf673f4256432bbd1ed")
+            .unwrap();
+        let mut rng = test_rng();
+        assert!(is_probable_prime(&p, 12, &mut rng));
+        assert!(is_probable_prime(&q, 12, &mut rng));
+        // q divides p - 1 (the subgroup structure Schnorr needs).
+        assert!(p.sub(&Ubig::one()).rem(&q).is_zero());
+    }
+
+    #[test]
+    fn gen_prime_small() {
+        let mut rng = test_rng();
+        let p = gen_prime(48, &mut rng);
+        assert_eq!(p.bits(), 48);
+        assert!(is_probable_prime(&p, 16, &mut rng));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for bigint arithmetic against a `u128` oracle and
+//! algebraic laws on larger operands.
+
+use proptest::prelude::*;
+use snowflake_bigint::Ubig;
+
+fn big(bytes: &[u8]) -> Ubig {
+    Ubig::from_bytes_be(bytes)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let want = a as u128 + b as u128;
+        let got = Ubig::from(a).add(&Ubig::from(b));
+        prop_assert_eq!(got.to_hex(), format!("{want:x}"));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let want = a as u128 * b as u128;
+        let got = Ubig::from(a).mul(&Ubig::from(b));
+        if want == 0 {
+            prop_assert!(got.is_zero());
+        } else {
+            prop_assert_eq!(got.to_hex(), format!("{want:x}"));
+        }
+    }
+
+    #[test]
+    fn divrem_matches_u64(a in any::<u64>(), b in 1..u64::MAX) {
+        let (q, r) = Ubig::from(a).divrem(&Ubig::from(b));
+        prop_assert_eq!(q.to_u64().unwrap(), a / b);
+        prop_assert_eq!(r.to_u64().unwrap(), a % b);
+    }
+
+    #[test]
+    fn divrem_reconstructs(a in proptest::collection::vec(any::<u8>(), 1..64),
+                           b in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let a = big(&a);
+        let b = big(&b);
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divrem(&b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+        prop_assert!(r < b);
+    }
+
+    #[test]
+    fn add_sub_inverse(a in proptest::collection::vec(any::<u8>(), 0..48),
+                       b in proptest::collection::vec(any::<u8>(), 0..48)) {
+        let a = big(&a);
+        let b = big(&b);
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn mul_commutes_and_distributes(a in proptest::collection::vec(any::<u8>(), 0..24),
+                                    b in proptest::collection::vec(any::<u8>(), 0..24),
+                                    c in proptest::collection::vec(any::<u8>(), 0..24)) {
+        let a = big(&a);
+        let b = big(&b);
+        let c = big(&c);
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn shifts_are_mul_div_by_powers(a in proptest::collection::vec(any::<u8>(), 0..24),
+                                    s in 0usize..70) {
+        let a = big(&a);
+        let pow = Ubig::one().shl(s);
+        prop_assert_eq!(a.shl(s), a.mul(&pow));
+        prop_assert_eq!(a.shr(s), a.divrem(&pow).0);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let v = big(&a);
+        prop_assert_eq!(Ubig::from_bytes_be(&v.to_bytes_be()), v);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let v = big(&a);
+        prop_assert_eq!(Ubig::from_hex(&v.to_hex()).unwrap(), v);
+    }
+
+    #[test]
+    fn modpow_laws(base in any::<u64>(), e1 in 0u64..64, e2 in 0u64..64, m in 2u64..1_000_000) {
+        // base^(e1+e2) = base^e1 * base^e2 (mod m)
+        let b = Ubig::from(base);
+        let m = Ubig::from(m);
+        let lhs = b.modpow(&Ubig::from(e1 + e2), &m);
+        let rhs = b.modpow(&Ubig::from(e1), &m).mulm(&b.modpow(&Ubig::from(e2), &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn modinv_is_inverse(a in 1u64..u64::MAX, m in 2u64..u64::MAX) {
+        let a = Ubig::from(a);
+        let m = Ubig::from(m);
+        if let Some(inv) = a.modinv(&m) {
+            prop_assert_eq!(a.mulm(&inv, &m), Ubig::one());
+            prop_assert!(inv < m);
+        } else {
+            prop_assert!(!a.gcd(&m).is_one());
+        }
+    }
+
+    #[test]
+    fn cmp_is_consistent_with_sub(a in any::<u64>(), b in any::<u64>()) {
+        let (ab, bb) = (Ubig::from(a), Ubig::from(b));
+        prop_assert_eq!(ab.cmp(&bb), a.cmp(&b));
+    }
+}

@@ -1,0 +1,214 @@
+//! The trusted local channel (paper §5.2).
+//!
+//! "If a server trusts its host machine enough to run its software, it may
+//! as well trust the host to identify parties connected to local IPC
+//! channels."  The [`LocalBroker`] plays the paper's trusted JVM role: it
+//! *constructs the key pairs* for colocated parties, so it knows — without
+//! any cryptography — which party holds the private key corresponding to a
+//! public key.  Connecting two registered parties yields plain in-memory
+//! pipes plus broker-vouched peer identities: "no encryption or system-call
+//! overhead … only serialization costs."
+
+use crate::transport::{PipeTransport, Transport};
+use parking_lot::Mutex;
+use snowflake_core::{ChannelId, Delegation, Principal};
+use snowflake_crypto::{Group, HashVal, KeyPair, PublicKey};
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+/// The in-process trusted authority that vouches for colocated endpoints.
+pub struct LocalBroker {
+    id: HashVal,
+    registry: Mutex<HashMap<String, PublicKey>>,
+    counter: Mutex<u64>,
+}
+
+impl LocalBroker {
+    /// Creates a broker with a unique identity derived from `label`.
+    pub fn new(label: &str) -> Arc<LocalBroker> {
+        Arc::new(LocalBroker {
+            id: HashVal::of(format!("local-broker:{label}").as_bytes()),
+            registry: Mutex::new(HashMap::new()),
+            counter: Mutex::new(0),
+        })
+    }
+
+    /// The broker's identity hash (appears in `Local` principals).
+    pub fn id(&self) -> &HashVal {
+        &self.id
+    }
+
+    /// Creates a key pair *inside the trusted broker* and registers its
+    /// ownership under `name`.
+    ///
+    /// Because the broker constructed the pair, it can later vouch that the
+    /// party named `name` holds the private key — the paper's "the trusted
+    /// system class knows whether a client holds the private key
+    /// corresponding to a given public key."
+    pub fn create_identity(&self, name: &str, rand_bytes: &mut dyn FnMut(&mut [u8])) -> KeyPair {
+        let kp = KeyPair::generate(Group::test512(), rand_bytes);
+        self.registry
+            .lock()
+            .insert(name.to_string(), kp.public.clone());
+        kp
+    }
+
+    /// The public key registered under `name`, if any.
+    pub fn lookup(&self, name: &str) -> Option<PublicKey> {
+        self.registry.lock().get(name).cloned()
+    }
+
+    /// Connects two registered parties with plain pipes and broker-vouched
+    /// identities.
+    ///
+    /// Returns `(a_end, b_end)` or an error naming the missing party.
+    pub fn connect(
+        self: &Arc<Self>,
+        a_name: &str,
+        b_name: &str,
+    ) -> io::Result<(LocalChannel, LocalChannel)> {
+        let a_key = self.lookup(a_name).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("unknown party {a_name}"))
+        })?;
+        let b_key = self.lookup(b_name).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("unknown party {b_name}"))
+        })?;
+
+        let serial = {
+            let mut c = self.counter.lock();
+            *c += 1;
+            *c
+        };
+        let channel_id = ChannelId {
+            kind: "local".into(),
+            id: HashVal::of(format!("{}:{a_name}:{b_name}:{serial}", self.id).as_bytes()),
+        };
+        let (a_pipe, b_pipe) = PipeTransport::pair();
+        Ok((
+            LocalChannel {
+                channel_id: channel_id.clone(),
+                pipe: a_pipe,
+                peer_name: b_name.to_string(),
+                peer_key: b_key,
+            },
+            LocalChannel {
+                channel_id,
+                pipe: b_pipe,
+                peer_name: a_name.to_string(),
+                peer_key: a_key,
+            },
+        ))
+    }
+}
+
+/// One endpoint of a broker-vouched local channel (no encryption).
+pub struct LocalChannel {
+    channel_id: ChannelId,
+    pipe: PipeTransport,
+    peer_name: String,
+    peer_key: PublicKey,
+}
+
+impl LocalChannel {
+    /// The channel identity (kind `local`).
+    pub fn channel_id(&self) -> ChannelId {
+        self.channel_id.clone()
+    }
+
+    /// The channel embodied as a principal.
+    pub fn principal(&self) -> Principal {
+        Principal::Channel(self.channel_id.clone())
+    }
+
+    /// The peer's public key, as vouched by the broker.
+    pub fn peer_key(&self) -> &PublicKey {
+        &self.peer_key
+    }
+
+    /// The peer's broker-registered name.
+    pub fn peer_name(&self) -> &str {
+        &self.peer_name
+    }
+
+    /// The assumption `K_CH ⇒ K_peer`, vouched by the local broker rather
+    /// than by any key exchange.
+    pub fn peer_binding(&self) -> Delegation {
+        Delegation::axiom(
+            Principal::Channel(self.channel_id.clone()),
+            Principal::key(&self.peer_key),
+        )
+    }
+
+    /// Sends one frame (plaintext — the host is trusted).
+    pub fn send(&mut self, msg: &[u8]) -> io::Result<()> {
+        self.pipe.send(msg)
+    }
+
+    /// Receives one frame.
+    pub fn recv(&mut self) -> io::Result<Vec<u8>> {
+        self.pipe.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowflake_crypto::DetRng;
+
+    #[test]
+    fn broker_vouches_identities() {
+        let broker = LocalBroker::new("jvm-1");
+        let mut rng = DetRng::new(b"r");
+        let alice = broker.create_identity("alice", &mut |b| rng.fill(b));
+        let server = broker.create_identity("server", &mut |b| rng.fill(b));
+
+        let (mut a, mut s) = broker.connect("alice", "server").unwrap();
+        assert_eq!(a.peer_key(), &server.public);
+        assert_eq!(s.peer_key(), &alice.public);
+        assert_eq!(a.peer_name(), "server");
+        assert_eq!(s.peer_name(), "alice");
+        assert_eq!(a.channel_id(), s.channel_id());
+        assert_eq!(a.channel_id().kind, "local");
+
+        a.send(b"fast local request").unwrap();
+        assert_eq!(s.recv().unwrap(), b"fast local request");
+    }
+
+    #[test]
+    fn binding_names_channel_and_peer() {
+        let broker = LocalBroker::new("jvm-2");
+        let mut rng = DetRng::new(b"r");
+        let alice = broker.create_identity("alice", &mut |b| rng.fill(b));
+        broker.create_identity("server", &mut |b| rng.fill(b));
+        let (_a, s) = broker.connect("alice", "server").unwrap();
+        let b = s.peer_binding();
+        assert_eq!(b.subject, s.principal());
+        assert_eq!(b.issuer, Principal::key(&alice.public));
+    }
+
+    #[test]
+    fn unknown_party_rejected() {
+        let broker = LocalBroker::new("jvm-3");
+        let mut rng = DetRng::new(b"r");
+        broker.create_identity("alice", &mut |b| rng.fill(b));
+        assert!(broker.connect("alice", "ghost").is_err());
+        assert!(broker.connect("ghost", "alice").is_err());
+    }
+
+    #[test]
+    fn channel_ids_are_unique_per_connection() {
+        let broker = LocalBroker::new("jvm-4");
+        let mut rng = DetRng::new(b"r");
+        broker.create_identity("a", &mut |b| rng.fill(b));
+        broker.create_identity("b", &mut |b| rng.fill(b));
+        let (c1, _) = broker.connect("a", "b").unwrap();
+        let (c2, _) = broker.connect("a", "b").unwrap();
+        assert_ne!(c1.channel_id(), c2.channel_id());
+    }
+
+    #[test]
+    fn distinct_brokers_distinct_ids() {
+        assert_ne!(LocalBroker::new("x").id(), LocalBroker::new("y").id());
+    }
+}

@@ -1,0 +1,121 @@
+//! Failure injection into the secure-channel handshake: a hostile or broken
+//! peer must produce clean errors, never panics or silent acceptance.
+
+use snowflake_channel::{PipeTransport, SecureChannel, Transport};
+use snowflake_crypto::{DetRng, Group, KeyPair};
+use snowflake_sexpr::Sexp;
+
+fn kp(seed: &str) -> KeyPair {
+    let mut rng = DetRng::new(seed.as_bytes());
+    KeyPair::generate(Group::test512(), &mut |b| rng.fill(b))
+}
+
+#[test]
+fn garbage_client_hello_rejected() {
+    for garbage in [
+        &b"not an s-expression"[..],
+        &b"(hello)"[..],
+        &b"(hello (role server) (dh #00#) (nonce #00#))"[..], // wrong role
+        &b"(resume)"[..],                                     // resume without ticket
+        &b""[..],
+    ] {
+        let (mut ct, st) = PipeTransport::pair();
+        let server_key = kp("garbage-server");
+        let handle = std::thread::spawn(move || {
+            let mut rng = DetRng::new(b"srv");
+            SecureChannel::server(Box::new(st), &server_key, None, &mut |b| rng.fill(b))
+                .err()
+                .map(|e| e.to_string())
+        });
+        ct.send(garbage).unwrap();
+        let err = handle.join().unwrap();
+        assert!(
+            err.is_some(),
+            "server must reject {:?}",
+            String::from_utf8_lossy(garbage)
+        );
+    }
+}
+
+#[test]
+fn invalid_dh_share_rejected() {
+    // A hello whose DH share is the identity element (small-subgroup
+    // confinement attempt).
+    let (mut ct, st) = PipeTransport::pair();
+    let server_key = kp("dh-server");
+    let handle = std::thread::spawn(move || {
+        let mut rng = DetRng::new(b"srv");
+        SecureChannel::server(Box::new(st), &server_key, None, &mut |b| rng.fill(b))
+            .err()
+            .map(|e| e.to_string())
+    });
+    let evil_hello = Sexp::tagged(
+        "hello",
+        vec![
+            Sexp::tagged("role", vec![Sexp::from("client")]),
+            Sexp::tagged("dh", vec![Sexp::atom(vec![1u8])]), // g^x = 1
+            Sexp::tagged("nonce", vec![Sexp::atom(vec![0u8; 16])]),
+        ],
+    );
+    ct.send(&evil_hello.canonical()).unwrap();
+    // The server may fail at agreement or while awaiting auth; either way
+    // it must error out, not complete.
+    let _ = ct.send(b"(anonymous)");
+    let err = handle.join().unwrap();
+    assert!(err.is_some(), "identity DH share must not yield a channel");
+}
+
+#[test]
+fn client_rejects_server_with_wrong_auth_signature() {
+    // A MITM replays the real server hello but cannot sign the transcript.
+    let (ct, mut st) = PipeTransport::pair();
+    let real_server = kp("mitm-real");
+    let handle = std::thread::spawn(move || {
+        // Fake server: produce a plausible hello with its own key but sign
+        // the transcript with a *different* key.
+        let mut rng = DetRng::new(b"fake");
+        let fake_signer = {
+            let mut r = DetRng::new(b"fake-signer");
+            KeyPair::generate(Group::test512(), &mut |b| r.fill(b))
+        };
+        let _client_hello = st.recv().unwrap();
+        let dh = snowflake_crypto::DhSecret::generate(Group::test512(), &mut |b| rng.fill(b));
+        let hello = Sexp::tagged(
+            "hello",
+            vec![
+                Sexp::tagged("role", vec![Sexp::from("server")]),
+                Sexp::tagged("dh", vec![Sexp::atom(dh.public.to_bytes_be())]),
+                Sexp::tagged("nonce", vec![Sexp::atom(vec![7u8; 16])]),
+                Sexp::tagged("key", vec![real_server.public.to_sexp()]),
+            ],
+        );
+        st.send(&hello.canonical()).unwrap();
+        // Sign garbage with the wrong key.
+        let bogus_sig = fake_signer.sign(b"not the transcript", &mut |b| rng.fill(b));
+        st.send(&bogus_sig.to_sexp().canonical()).unwrap();
+    });
+
+    let mut rng = DetRng::new(b"cli");
+    let result = SecureChannel::client(Box::new(ct), None, None, &mut |b| rng.fill(b));
+    assert!(
+        result.is_err(),
+        "client must reject a server that cannot sign the transcript"
+    );
+    handle.join().unwrap();
+}
+
+#[test]
+fn truncated_handshake_is_clean_error() {
+    let (ct, st) = PipeTransport::pair();
+    let server_key = kp("trunc-server");
+    let handle = std::thread::spawn(move || {
+        let mut rng = DetRng::new(b"srv");
+        SecureChannel::server(Box::new(st), &server_key, None, &mut |b| rng.fill(b))
+            .err()
+            .map(|e| e.to_string())
+    });
+    // Client connects and immediately disappears.
+    drop(ct);
+    let err = handle.join().unwrap();
+    assert!(err.is_some());
+}

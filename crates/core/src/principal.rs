@@ -1,0 +1,396 @@
+//! Principals: entities that can make statements (paper §4.2).
+//!
+//! "A principal is any entity that can make a statement.  Examples include
+//! the binary representation of a statement itself, a cryptographic key, a
+//! secure channel, a program, and a terminal."  Snowflake generalizes SPKI
+//! (whose only principals are public keys) so the same framework covers
+//! authorization on a single host, within an administrative domain, and in
+//! the wide area.
+
+use snowflake_crypto::{HashVal, PublicKey};
+use snowflake_sexpr::{ParseError, Sexp};
+use std::fmt;
+
+/// Identifies a live communications channel endpoint.
+///
+/// The `kind` records which mechanism vouches for the channel (`"ssh"`,
+/// `"local"`, …) and `id` is the hash of the channel's handshake transcript,
+/// unique per session.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId {
+    /// Mechanism label, e.g. `ssh` or `local`.
+    pub kind: String,
+    /// Hash of the session transcript (unique per channel instance).
+    pub id: HashVal,
+}
+
+impl fmt::Debug for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.kind, self.id.short_hex())
+    }
+}
+
+/// An entity that can make (or relay) statements.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Principal {
+    /// A cryptographic key: says any message signed by the key.
+    Key(Box<PublicKey>),
+    /// The hash of a key: stands for the key itself (SPKI hashed principal).
+    KeyHash(HashVal),
+    /// A named principal `base·name` (SDSI-style local namespace).
+    Name {
+        /// The namespace owner.
+        base: Box<Principal>,
+        /// The name within the owner's namespace.
+        name: String,
+    },
+    /// A live channel: says any message emanating from it.
+    Channel(ChannelId),
+    /// The hash of a message or document: "the binary representation of a
+    /// statement itself (that says only what it says)".
+    Message(HashVal),
+    /// A MAC session: the amortized signed-request protocol of §5.3.1
+    /// "represent\[s\] the MAC as a principal".  `id` is the hash of the MAC
+    /// secret.
+    Mac(HashVal),
+    /// An identity vouched for by an in-process trusted broker (the paper's
+    /// "trust the JVM and a few system classes" local case, §5.2).
+    Local {
+        /// Hash identifying the broker instance.
+        broker: HashVal,
+        /// The broker-local identity name.
+        id: String,
+    },
+    /// `quoter | quotee` — the quoter claiming to relay the quotee's
+    /// statements (Lampson's quoting principal).
+    Quoting {
+        /// The relaying principal (e.g. a gateway or channel).
+        quoter: Box<Principal>,
+        /// The principal being quoted (possibly compound).
+        quotee: Box<Principal>,
+    },
+    /// `A ∧ B ∧ …` — joint authority; speaks only when every conjunct says
+    /// the same thing.
+    Conjunction(Vec<Principal>),
+    /// SPKI threshold subject: any `k` of the listed principals jointly.
+    Threshold {
+        /// How many subjects must concur.
+        k: usize,
+        /// The candidate subjects.
+        subjects: Vec<Principal>,
+    },
+}
+
+impl Principal {
+    /// A key principal.
+    pub fn key(k: &PublicKey) -> Principal {
+        Principal::Key(Box::new(k.clone()))
+    }
+
+    /// The hash principal of a key (its SPKI name).
+    pub fn key_hash(k: &PublicKey) -> Principal {
+        Principal::KeyHash(k.hash())
+    }
+
+    /// A named principal `base·name`.
+    pub fn name(base: Principal, name: impl Into<String>) -> Principal {
+        Principal::Name {
+            base: Box::new(base),
+            name: name.into(),
+        }
+    }
+
+    /// The message principal for raw bytes (hash of the bytes).
+    pub fn message(data: &[u8]) -> Principal {
+        Principal::Message(HashVal::of(data))
+    }
+
+    /// The quoting principal `quoter | quotee`.
+    pub fn quoting(quoter: Principal, quotee: Principal) -> Principal {
+        Principal::Quoting {
+            quoter: Box::new(quoter),
+            quotee: Box::new(quotee),
+        }
+    }
+
+    /// A conjunction; flattens nested conjunctions and sorts conjuncts so
+    /// `A ∧ B == B ∧ A`.
+    pub fn conjunction(items: Vec<Principal>) -> Principal {
+        let mut flat = Vec::with_capacity(items.len());
+        for item in items {
+            match item {
+                Principal::Conjunction(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        flat.sort();
+        flat.dedup();
+        if flat.len() == 1 {
+            flat.into_iter().next().expect("len 1")
+        } else {
+            Principal::Conjunction(flat)
+        }
+    }
+
+    /// Serializes to an S-expression.
+    pub fn to_sexp(&self) -> Sexp {
+        match self {
+            Principal::Key(k) => k.to_sexp(),
+            Principal::KeyHash(h) => h.to_sexp(),
+            Principal::Name { base, name } => {
+                Sexp::tagged("name", vec![base.to_sexp(), Sexp::from(name.as_str())])
+            }
+            Principal::Channel(c) => {
+                Sexp::tagged("channel", vec![Sexp::from(c.kind.as_str()), c.id.to_sexp()])
+            }
+            Principal::Message(h) => Sexp::tagged("message", vec![h.to_sexp()]),
+            Principal::Mac(h) => Sexp::tagged("mac", vec![h.to_sexp()]),
+            Principal::Local { broker, id } => {
+                Sexp::tagged("local", vec![broker.to_sexp(), Sexp::from(id.as_str())])
+            }
+            Principal::Quoting { quoter, quotee } => {
+                Sexp::tagged("quoting", vec![quoter.to_sexp(), quotee.to_sexp()])
+            }
+            Principal::Conjunction(items) => {
+                Sexp::tagged("and", items.iter().map(Principal::to_sexp).collect())
+            }
+            Principal::Threshold { k, subjects } => {
+                let mut body = vec![Sexp::int(*k as u64), Sexp::int(subjects.len() as u64)];
+                body.extend(subjects.iter().map(Principal::to_sexp));
+                Sexp::tagged("k-of-n", body)
+            }
+        }
+    }
+
+    /// Parses the form produced by [`Principal::to_sexp`].
+    pub fn from_sexp(e: &Sexp) -> Result<Principal, ParseError> {
+        let bad = |m: &str| ParseError {
+            offset: 0,
+            message: m.into(),
+        };
+        match e.tag_name() {
+            Some("public-key") => Ok(Principal::Key(Box::new(PublicKey::from_sexp(e)?))),
+            Some("hash") => Ok(Principal::KeyHash(HashVal::from_sexp(e)?)),
+            Some("name") => {
+                let body = e.tag_body().ok_or_else(|| bad("name body"))?;
+                if body.len() != 2 {
+                    return Err(bad("(name base n) takes two items"));
+                }
+                let base = Principal::from_sexp(&body[0])?;
+                let name = body[1].as_str().ok_or_else(|| bad("name must be UTF-8"))?;
+                Ok(Principal::name(base, name))
+            }
+            Some("channel") => {
+                let body = e.tag_body().ok_or_else(|| bad("channel body"))?;
+                if body.len() != 2 {
+                    return Err(bad("(channel kind id) takes two items"));
+                }
+                let kind = body[0]
+                    .as_str()
+                    .ok_or_else(|| bad("channel kind"))?
+                    .to_string();
+                let id = HashVal::from_sexp(&body[1])?;
+                Ok(Principal::Channel(ChannelId { kind, id }))
+            }
+            Some("message") => {
+                let h = e.find("hash").map(HashVal::from_sexp).transpose()?;
+                let h = match h {
+                    Some(h) => h,
+                    None => {
+                        let body = e.tag_body().ok_or_else(|| bad("message body"))?;
+                        HashVal::from_sexp(body.first().ok_or_else(|| bad("message hash"))?)?
+                    }
+                };
+                Ok(Principal::Message(h))
+            }
+            Some("mac") => {
+                let body = e.tag_body().ok_or_else(|| bad("mac body"))?;
+                Ok(Principal::Mac(HashVal::from_sexp(
+                    body.first().ok_or_else(|| bad("mac hash"))?,
+                )?))
+            }
+            Some("local") => {
+                let body = e.tag_body().ok_or_else(|| bad("local body"))?;
+                if body.len() != 2 {
+                    return Err(bad("(local broker id) takes two items"));
+                }
+                let broker = HashVal::from_sexp(&body[0])?;
+                let id = body[1].as_str().ok_or_else(|| bad("local id"))?.to_string();
+                Ok(Principal::Local { broker, id })
+            }
+            Some("quoting") => {
+                let body = e.tag_body().ok_or_else(|| bad("quoting body"))?;
+                if body.len() != 2 {
+                    return Err(bad("(quoting q e) takes two items"));
+                }
+                Ok(Principal::quoting(
+                    Principal::from_sexp(&body[0])?,
+                    Principal::from_sexp(&body[1])?,
+                ))
+            }
+            Some("and") => {
+                let body = e.tag_body().ok_or_else(|| bad("and body"))?;
+                if body.len() < 2 {
+                    return Err(bad("(and …) needs at least two conjuncts"));
+                }
+                let items: Result<Vec<Principal>, ParseError> =
+                    body.iter().map(Principal::from_sexp).collect();
+                Ok(Principal::conjunction(items?))
+            }
+            Some("k-of-n") => {
+                let body = e.tag_body().ok_or_else(|| bad("k-of-n body"))?;
+                if body.len() < 3 {
+                    return Err(bad("(k-of-n k n s…) too short"));
+                }
+                let k = body[0].as_u64().ok_or_else(|| bad("k"))? as usize;
+                let n = body[1].as_u64().ok_or_else(|| bad("n"))? as usize;
+                let subjects: Result<Vec<Principal>, ParseError> =
+                    body[2..].iter().map(Principal::from_sexp).collect();
+                let subjects = subjects?;
+                if subjects.len() != n || k == 0 || k > n {
+                    return Err(bad("k-of-n arity mismatch"));
+                }
+                Ok(Principal::Threshold { k, subjects })
+            }
+            _ => Err(bad("unknown principal form")),
+        }
+    }
+
+    /// A short human-readable description for audit output.
+    pub fn describe(&self) -> String {
+        match self {
+            Principal::Key(k) => format!("key:{}", k.hash().short_hex()),
+            Principal::KeyHash(h) => format!("keyhash:{}", h.short_hex()),
+            Principal::Name { base, name } => format!("{}·{}", base.describe(), name),
+            Principal::Channel(c) => format!("channel({:?})", c),
+            Principal::Message(h) => format!("message:{}", h.short_hex()),
+            Principal::Mac(h) => format!("mac:{}", h.short_hex()),
+            Principal::Local { id, .. } => format!("local:{id}"),
+            Principal::Quoting { quoter, quotee } => {
+                format!("({} | {})", quoter.describe(), quotee.describe())
+            }
+            Principal::Conjunction(items) => {
+                let parts: Vec<String> = items.iter().map(Principal::describe).collect();
+                format!("({})", parts.join(" ∧ "))
+            }
+            Principal::Threshold { k, subjects } => {
+                format!("{k}-of-{}", subjects.len())
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+impl fmt::Display for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowflake_crypto::{DetRng, Group, KeyPair};
+
+    fn kp(seed: &str) -> KeyPair {
+        let mut rng = DetRng::new(seed.as_bytes());
+        KeyPair::generate(Group::test512(), &mut |b| rng.fill(b))
+    }
+
+    #[test]
+    fn sexp_roundtrip_all_variants() {
+        let k = kp("a");
+        let samples = vec![
+            Principal::key(&k.public),
+            Principal::key_hash(&k.public),
+            Principal::name(Principal::key_hash(&k.public), "mail"),
+            Principal::Channel(ChannelId {
+                kind: "ssh".into(),
+                id: HashVal::of(b"session"),
+            }),
+            Principal::message(b"GET /inbox"),
+            Principal::Mac(HashVal::of(b"mac-secret")),
+            Principal::Local {
+                broker: HashVal::of(b"jvm"),
+                id: "alice".into(),
+            },
+            Principal::quoting(
+                Principal::key_hash(&k.public),
+                Principal::name(Principal::key_hash(&k.public), "client"),
+            ),
+            Principal::conjunction(vec![
+                Principal::key_hash(&k.public),
+                Principal::message(b"x"),
+            ]),
+            Principal::Threshold {
+                k: 2,
+                subjects: vec![
+                    Principal::message(b"a"),
+                    Principal::message(b"b"),
+                    Principal::message(b"c"),
+                ],
+            },
+        ];
+        for p in samples {
+            let e = p.to_sexp();
+            let back = Principal::from_sexp(&e).unwrap_or_else(|err| panic!("{p:?}: {err}"));
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn conjunction_normalizes() {
+        let a = Principal::message(b"a");
+        let b = Principal::message(b"b");
+        let ab = Principal::conjunction(vec![a.clone(), b.clone()]);
+        let ba = Principal::conjunction(vec![b.clone(), a.clone()]);
+        assert_eq!(ab, ba);
+        // Flattening.
+        let nested = Principal::conjunction(vec![ab.clone(), a.clone()]);
+        assert_eq!(nested, ab);
+        // Singleton unwraps.
+        assert_eq!(Principal::conjunction(vec![a.clone()]), a);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for src in [
+            "(name onlybase)",
+            "(channel ssh)",
+            "(quoting (message (hash sha256 #00#)))",
+            "(and (message (hash sha256 #00#)))",
+            "(k-of-n 3 2 (mac (hash sha256 #00#)) (mac (hash sha256 #01#)))",
+            "(wat)",
+        ] {
+            let e = Sexp::parse(src.as_bytes()).unwrap();
+            assert!(Principal::from_sexp(&e).is_err(), "{src}");
+        }
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        let k = kp("b");
+        let g = Principal::quoting(
+            Principal::key_hash(&k.public),
+            Principal::name(Principal::key_hash(&k.public), "alice"),
+        );
+        let d = g.describe();
+        assert!(d.contains('|'), "{d}");
+        assert!(d.contains("·alice"), "{d}");
+    }
+
+    #[test]
+    fn ordering_total_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Principal::message(b"a"));
+        set.insert(Principal::message(b"a"));
+        set.insert(Principal::message(b"b"));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,279 @@
+//! Revocation as statements in the logic (paper §4.1).
+//!
+//! "Our semantics paper explains how SPKI's revocation mechanisms (lists and
+//! one-time revalidations) can be expressed as statements in our logic."
+//! A certificate may carry a [`RevocationPolicy`] naming a *validator*
+//! principal; the verifier must then hold a current, validator-signed
+//! [`Crl`] (that does not list the certificate) or a fresh
+//! [`Revalidation`] for the certificate.  Both artifacts are themselves
+//! signed statements — there is no out-of-band mechanism.
+
+use snowflake_crypto::{HashVal, KeyPair, PublicKey, Signature};
+use snowflake_sexpr::{ParseError, Sexp};
+
+use crate::statement::{Time, Validity};
+
+/// The revocation regime a certificate opts into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RevocationPolicy {
+    /// Verifier must hold a current CRL signed by the named validator key
+    /// hash, and the certificate must not appear on it.
+    Crl {
+        /// Hash of the validator's public key.
+        validator: HashVal,
+    },
+    /// Verifier must hold a fresh one-time revalidation of this certificate
+    /// signed by the named validator.
+    Revalidate {
+        /// Hash of the validator's public key.
+        validator: HashVal,
+    },
+}
+
+impl RevocationPolicy {
+    /// Serializes to `(revocation (crl|revalidate) <validator>)`.
+    pub fn to_sexp(&self) -> Sexp {
+        let (kind, validator) = match self {
+            RevocationPolicy::Crl { validator } => ("crl", validator),
+            RevocationPolicy::Revalidate { validator } => ("revalidate", validator),
+        };
+        Sexp::tagged("revocation", vec![Sexp::from(kind), validator.to_sexp()])
+    }
+
+    /// Parses the form produced by [`RevocationPolicy::to_sexp`].
+    pub fn from_sexp(e: &Sexp) -> Result<RevocationPolicy, ParseError> {
+        let bad = |m: &str| ParseError {
+            offset: 0,
+            message: m.into(),
+        };
+        if e.tag_name() != Some("revocation") {
+            return Err(bad("expected (revocation …)"));
+        }
+        let body = e.tag_body().ok_or_else(|| bad("revocation body"))?;
+        if body.len() != 2 {
+            return Err(bad("revocation takes kind + validator"));
+        }
+        let validator = HashVal::from_sexp(&body[1])?;
+        match body[0].as_str() {
+            Some("crl") => Ok(RevocationPolicy::Crl { validator }),
+            Some("revalidate") => Ok(RevocationPolicy::Revalidate { validator }),
+            _ => Err(bad("unknown revocation kind")),
+        }
+    }
+
+    /// The validator's key hash.
+    pub fn validator(&self) -> &HashVal {
+        match self {
+            RevocationPolicy::Crl { validator } | RevocationPolicy::Revalidate { validator } => {
+                validator
+            }
+        }
+    }
+}
+
+/// A signed certificate revocation list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Crl {
+    /// Hashes of revoked certificates.
+    pub revoked: Vec<HashVal>,
+    /// When this list is authoritative.
+    pub validity: Validity,
+    /// The validator key that signed the list.
+    pub signer: PublicKey,
+    /// Signature over the canonical list body.
+    pub signature: Signature,
+}
+
+impl Crl {
+    /// Issues a signed CRL.
+    pub fn issue(
+        validator: &KeyPair,
+        revoked: Vec<HashVal>,
+        validity: Validity,
+        rand_bytes: &mut dyn FnMut(&mut [u8]),
+    ) -> Crl {
+        let tbs = Self::tbs(&revoked, &validity);
+        let signature = validator.sign(&tbs.canonical(), rand_bytes);
+        Crl {
+            revoked,
+            validity,
+            signer: validator.public.clone(),
+            signature,
+        }
+    }
+
+    fn tbs(revoked: &[HashVal], validity: &Validity) -> Sexp {
+        let mut body = vec![validity.to_sexp()];
+        body.extend(revoked.iter().map(HashVal::to_sexp));
+        Sexp::tagged("crl", body)
+    }
+
+    /// Checks signature, currency, and signer identity.
+    pub fn check(&self, expected_validator: &HashVal, now: Time) -> Result<(), String> {
+        if snowflake_crypto::HashVal::digest(
+            expected_validator.alg,
+            &self.signer.to_sexp().canonical(),
+        ) != *expected_validator
+        {
+            return Err("CRL signed by wrong validator".into());
+        }
+        if !self.validity.contains(now) {
+            return Err("CRL not current".into());
+        }
+        let tbs = Self::tbs(&self.revoked, &self.validity);
+        if !self.signer.verify(&tbs.canonical(), &self.signature) {
+            return Err("CRL signature invalid".into());
+        }
+        Ok(())
+    }
+
+    /// Is `cert_hash` on the list?
+    pub fn revokes(&self, cert_hash: &HashVal) -> bool {
+        self.revoked.contains(cert_hash)
+    }
+}
+
+/// A signed one-time revalidation of a specific certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Revalidation {
+    /// Hash of the certificate being revalidated.
+    pub cert_hash: HashVal,
+    /// The (short) window during which the revalidation holds.
+    pub validity: Validity,
+    /// The validator key that signed.
+    pub signer: PublicKey,
+    /// Signature over the canonical body.
+    pub signature: Signature,
+}
+
+impl Revalidation {
+    /// Issues a signed revalidation for `cert_hash`.
+    pub fn issue(
+        validator: &KeyPair,
+        cert_hash: HashVal,
+        validity: Validity,
+        rand_bytes: &mut dyn FnMut(&mut [u8]),
+    ) -> Revalidation {
+        let tbs = Self::tbs(&cert_hash, &validity);
+        let signature = validator.sign(&tbs.canonical(), rand_bytes);
+        Revalidation {
+            cert_hash,
+            validity,
+            signer: validator.public.clone(),
+            signature,
+        }
+    }
+
+    fn tbs(cert_hash: &HashVal, validity: &Validity) -> Sexp {
+        Sexp::tagged(
+            "revalidation",
+            vec![cert_hash.to_sexp(), validity.to_sexp()],
+        )
+    }
+
+    /// Checks signature, currency, signer identity, and target certificate.
+    pub fn check(
+        &self,
+        expected_validator: &HashVal,
+        cert_hash: &HashVal,
+        now: Time,
+    ) -> Result<(), String> {
+        if &self.cert_hash != cert_hash {
+            return Err("revalidation covers a different certificate".into());
+        }
+        if snowflake_crypto::HashVal::digest(
+            expected_validator.alg,
+            &self.signer.to_sexp().canonical(),
+        ) != *expected_validator
+        {
+            return Err("revalidation signed by wrong validator".into());
+        }
+        if !self.validity.contains(now) {
+            return Err("revalidation expired".into());
+        }
+        let tbs = Self::tbs(&self.cert_hash, &self.validity);
+        if !self.signer.verify(&tbs.canonical(), &self.signature) {
+            return Err("revalidation signature invalid".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowflake_crypto::{DetRng, Group};
+
+    fn rng(seed: &str) -> impl FnMut(&mut [u8]) {
+        let mut r = DetRng::new(seed.as_bytes());
+        move |b: &mut [u8]| r.fill(b)
+    }
+
+    #[test]
+    fn policy_sexp_roundtrip() {
+        let v = HashVal::of(b"validator-key");
+        for p in [
+            RevocationPolicy::Crl {
+                validator: v.clone(),
+            },
+            RevocationPolicy::Revalidate { validator: v },
+        ] {
+            assert_eq!(RevocationPolicy::from_sexp(&p.to_sexp()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn crl_check() {
+        let mut r = rng("crl");
+        let validator = KeyPair::generate(Group::test512(), &mut r);
+        let vhash = validator.public.hash();
+        let bad_cert = HashVal::of(b"revoked cert");
+        let crl = Crl::issue(
+            &validator,
+            vec![bad_cert.clone()],
+            Validity::between(Time(100), Time(200)),
+            &mut r,
+        );
+        assert!(crl.check(&vhash, Time(150)).is_ok());
+        assert!(crl.check(&vhash, Time(250)).is_err(), "stale CRL");
+        assert!(
+            crl.check(&HashVal::of(b"other"), Time(150)).is_err(),
+            "wrong validator"
+        );
+        assert!(crl.revokes(&bad_cert));
+        assert!(!crl.revokes(&HashVal::of(b"innocent")));
+    }
+
+    #[test]
+    fn crl_tamper_detected() {
+        let mut r = rng("crl2");
+        let validator = KeyPair::generate(Group::test512(), &mut r);
+        let vhash = validator.public.hash();
+        let mut crl = Crl::issue(&validator, vec![], Validity::always(), &mut r);
+        // Adversary adds a revocation entry without re-signing.
+        crl.revoked.push(HashVal::of(b"sneaky"));
+        assert!(crl.check(&vhash, Time(1)).is_err());
+    }
+
+    #[test]
+    fn revalidation_check() {
+        let mut r = rng("reval");
+        let validator = KeyPair::generate(Group::test512(), &mut r);
+        let vhash = validator.public.hash();
+        let cert = HashVal::of(b"cert");
+        let reval = Revalidation::issue(
+            &validator,
+            cert.clone(),
+            Validity::between(Time(10), Time(20)),
+            &mut r,
+        );
+        assert!(reval.check(&vhash, &cert, Time(15)).is_ok());
+        assert!(reval.check(&vhash, &cert, Time(25)).is_err(), "expired");
+        assert!(
+            reval
+                .check(&vhash, &HashVal::of(b"other"), Time(15))
+                .is_err(),
+            "wrong cert"
+        );
+    }
+}

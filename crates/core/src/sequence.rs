@@ -1,0 +1,336 @@
+//! SPKI sequences: the linear proof format Snowflake argues against.
+//!
+//! "SPKI's sequence objects also represent proofs of authority.  SPKI
+//! sequences are poorly defined, but they are linear programs apparently
+//! intended to run on a simple verifier implemented as a stack machine.
+//! When certificates and opcodes are presented to the machine in the
+//! correct order, the machine arrives at the desired conclusion" (§4.3).
+//!
+//! This module implements that stack machine for transitivity chains —
+//! enough to interoperate with sequence-speaking SPKI peers — plus
+//! lossless conversion to and from the structured [`Proof`] form.  The
+//! conversion functions are themselves the paper's argument made
+//! executable: flattening a structured proof *loses* the non-linear rules
+//! (quoting, conjunction, name manipulation), which is reason one why
+//! Snowflake transmits structured proofs.
+
+use crate::cert::Certificate;
+use crate::proof::{Proof, ProofError};
+use crate::statement::Delegation;
+use crate::verify::VerifyCtx;
+use snowflake_sexpr::{ParseError, Sexp};
+
+/// One instruction of a sequence program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Push a certificate's statement onto the stack.
+    Cert(Box<Certificate>),
+    /// Pop `B ⇒ C` then `A ⇒ B`; push the composed `A ⇒ C`.
+    Compose,
+}
+
+/// A linear SPKI-style proof: a program for the stack verifier.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Sequence {
+    /// The instructions, executed in order.
+    pub ops: Vec<Op>,
+}
+
+impl Sequence {
+    /// Runs the stack machine, returning the single conclusion left on the
+    /// stack.
+    ///
+    /// Every certificate is checked as it is pushed; `Compose` enforces the
+    /// same side conditions as the structured `Transitivity` rule.
+    pub fn verify(&self, ctx: &VerifyCtx) -> Result<Delegation, ProofError> {
+        let mut stack: Vec<Delegation> = Vec::new();
+        for op in &self.ops {
+            match op {
+                Op::Cert(cert) => {
+                    cert.check().map_err(ProofError::BadCertificate)?;
+                    ctx.check_revocation(cert)?;
+                    stack.push(cert.delegation.clone());
+                }
+                Op::Compose => {
+                    let right = stack
+                        .pop()
+                        .ok_or_else(|| ProofError::Malformed("compose on empty stack".into()))?;
+                    let left = stack.pop().ok_or_else(|| {
+                        ProofError::Malformed("compose needs two operands".into())
+                    })?;
+                    if left.issuer != right.subject {
+                        return Err(ProofError::BadInference(format!(
+                            "sequence gap: {} vs {}",
+                            left.issuer.describe(),
+                            right.subject.describe()
+                        )));
+                    }
+                    if !right.delegable {
+                        return Err(ProofError::BadInference(
+                            "sequence composes through a non-delegable statement".into(),
+                        ));
+                    }
+                    let tag = left
+                        .tag
+                        .intersect(&right.tag)
+                        .ok_or_else(|| ProofError::BadInference("empty tag intersection".into()))?;
+                    let validity = left.validity.intersect(&right.validity).ok_or_else(|| {
+                        ProofError::BadInference("disjoint validity windows".into())
+                    })?;
+                    stack.push(Delegation {
+                        subject: left.subject,
+                        issuer: right.issuer,
+                        tag,
+                        validity,
+                        delegable: left.delegable && right.delegable,
+                    });
+                }
+            }
+        }
+        if stack.len() != 1 {
+            return Err(ProofError::Malformed(format!(
+                "sequence leaves {} values on the stack",
+                stack.len()
+            )));
+        }
+        Ok(stack.pop().expect("len checked"))
+    }
+
+    /// Flattens a structured proof into a sequence.
+    ///
+    /// Only certificate/transitivity trees flatten; the non-linear rules
+    /// (quoting, conjunction, names, hashes, assumptions) have no sequence
+    /// encoding — exactly the expressiveness gap the paper cites when
+    /// arguing for structured proofs.
+    pub fn from_proof(proof: &Proof) -> Result<Sequence, ProofError> {
+        let mut seq = Sequence::default();
+        flatten(proof, &mut seq)?;
+        Ok(seq)
+    }
+
+    /// Rebuilds a structured proof from the sequence (the reverse mapping
+    /// the paper notes SPKI verifiers need externally).
+    pub fn to_proof(&self) -> Result<Proof, ProofError> {
+        let mut stack: Vec<Proof> = Vec::new();
+        for op in &self.ops {
+            match op {
+                Op::Cert(cert) => stack.push(Proof::SignedCert(cert.clone())),
+                Op::Compose => {
+                    let right = stack
+                        .pop()
+                        .ok_or_else(|| ProofError::Malformed("compose on empty stack".into()))?;
+                    let left = stack.pop().ok_or_else(|| {
+                        ProofError::Malformed("compose needs two operands".into())
+                    })?;
+                    stack.push(left.then(right));
+                }
+            }
+        }
+        if stack.len() != 1 {
+            return Err(ProofError::Malformed(
+                "sequence does not reduce to one proof".into(),
+            ));
+        }
+        Ok(stack.pop().expect("len checked"))
+    }
+
+    /// Serializes to `(sequence <cert|compose>…)`.
+    pub fn to_sexp(&self) -> Sexp {
+        let body = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                Op::Cert(c) => c.to_sexp(),
+                Op::Compose => Sexp::list(vec![Sexp::from("compose")]),
+            })
+            .collect();
+        Sexp::tagged("sequence", body)
+    }
+
+    /// Parses the form produced by [`Sequence::to_sexp`].
+    pub fn from_sexp(e: &Sexp) -> Result<Sequence, ParseError> {
+        let bad = |m: &str| ParseError {
+            offset: 0,
+            message: m.into(),
+        };
+        if e.tag_name() != Some("sequence") {
+            return Err(bad("expected (sequence …)"));
+        }
+        let mut ops = Vec::new();
+        for item in e.tag_body().unwrap_or(&[]) {
+            match item.tag_name() {
+                Some("signed-cert") => ops.push(Op::Cert(Box::new(Certificate::from_sexp(item)?))),
+                Some("compose") => ops.push(Op::Compose),
+                _ => return Err(bad("unknown sequence opcode")),
+            }
+        }
+        Ok(Sequence { ops })
+    }
+}
+
+fn flatten(proof: &Proof, seq: &mut Sequence) -> Result<(), ProofError> {
+    match proof {
+        Proof::SignedCert(cert) => {
+            seq.ops.push(Op::Cert(cert.clone()));
+            Ok(())
+        }
+        Proof::Transitivity(left, right) => {
+            flatten(left, seq)?;
+            flatten(right, seq)?;
+            seq.ops.push(Op::Compose);
+            Ok(())
+        }
+        other => Err(ProofError::Malformed(format!(
+            "rule {:?} has no SPKI-sequence encoding (structured proofs are strictly more expressive)",
+            other
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::principal::Principal;
+    use crate::statement::{Time, Validity};
+    use snowflake_crypto::{DetRng, Group, KeyPair};
+    use snowflake_tags::Tag;
+
+    fn kp(seed: &str) -> KeyPair {
+        let mut rng = DetRng::new(seed.as_bytes());
+        KeyPair::generate(Group::test512(), &mut |b| rng.fill(b))
+    }
+
+    fn chain(len: usize) -> (Proof, Vec<KeyPair>) {
+        let keys: Vec<KeyPair> = (0..=len).map(|i| kp(&format!("seq-{i}"))).collect();
+        let mut rng = DetRng::new(b"seq-sign");
+        let mut proof: Option<Proof> = None;
+        for i in 0..len {
+            let cert = Certificate::issue(
+                &keys[i],
+                Delegation {
+                    subject: Principal::key(&keys[i + 1].public),
+                    issuer: Principal::key(&keys[i].public),
+                    tag: Tag::named("web", vec![]),
+                    validity: Validity::always(),
+                    delegable: true,
+                },
+                &mut |b| rng.fill(b),
+            );
+            let link = Proof::signed_cert(cert);
+            proof = Some(match proof {
+                None => link,
+                Some(acc) => link.then(acc),
+            });
+        }
+        (proof.expect("len >= 1"), keys)
+    }
+
+    #[test]
+    fn sequence_and_structured_agree() {
+        let ctx = VerifyCtx::at(Time(0));
+        for len in [1usize, 2, 5] {
+            let (structured, _) = chain(len);
+            structured.verify(&ctx).unwrap();
+            let seq = Sequence::from_proof(&structured).unwrap();
+            let seq_conclusion = seq.verify(&ctx).unwrap();
+            assert_eq!(seq_conclusion, structured.conclusion(), "len {len}");
+            // And back again.
+            let rebuilt = seq.to_proof().unwrap();
+            rebuilt.verify(&ctx).unwrap();
+            assert_eq!(rebuilt.conclusion(), structured.conclusion());
+        }
+    }
+
+    #[test]
+    fn sexp_roundtrip() {
+        let (structured, _) = chain(3);
+        let seq = Sequence::from_proof(&structured).unwrap();
+        let back = Sequence::from_sexp(&seq.to_sexp()).unwrap();
+        assert_eq!(back, seq);
+        assert_eq!(
+            back.verify(&VerifyCtx::at(Time(0))).unwrap(),
+            structured.conclusion()
+        );
+    }
+
+    #[test]
+    fn malformed_programs_rejected() {
+        let ctx = VerifyCtx::at(Time(0));
+        // Compose with too few operands.
+        let bad = Sequence {
+            ops: vec![Op::Compose],
+        };
+        assert!(matches!(bad.verify(&ctx), Err(ProofError::Malformed(_))));
+        // Two certificates, no compose: two values left.
+        let (p1, _) = chain(1);
+        let Proof::SignedCert(c) = p1 else {
+            panic!("chain(1) is one cert")
+        };
+        let bad = Sequence {
+            ops: vec![Op::Cert(c.clone()), Op::Cert(c)],
+        };
+        assert!(matches!(bad.verify(&ctx), Err(ProofError::Malformed(_))));
+        // Empty program.
+        assert!(Sequence::default().verify(&ctx).is_err());
+    }
+
+    #[test]
+    fn wrong_order_is_a_gap() {
+        // Pushing the chain in the wrong order makes the composition
+        // ill-typed — the machine must notice, not silently conclude.
+        let (structured, _) = chain(2);
+        let seq = Sequence::from_proof(&structured).unwrap();
+        let mut swapped = seq.clone();
+        swapped.ops.swap(0, 1);
+        assert!(swapped.verify(&VerifyCtx::at(Time(0))).is_err());
+    }
+
+    #[test]
+    fn nonlinear_rules_do_not_flatten() {
+        // Quoting has no sequence encoding — the expressiveness gap.
+        let (inner, _) = chain(1);
+        let quoted = Proof::QuoteQuotee {
+            inner: Box::new(inner),
+            quoter: Principal::message(b"gw"),
+        };
+        assert!(Sequence::from_proof(&quoted).is_err());
+    }
+
+    #[test]
+    fn sequence_enforces_delegable_and_tags() {
+        let a = kp("sq-a");
+        let b = kp("sq-b");
+        let c = kp("sq-c");
+        let mut rng = DetRng::new(b"sq");
+        // a→b non-delegable; composing b→c onto it must fail.
+        let c1 = Certificate::issue(
+            &a,
+            Delegation {
+                subject: Principal::key(&b.public),
+                issuer: Principal::key(&a.public),
+                tag: Tag::named("web", vec![]),
+                validity: Validity::always(),
+                delegable: false,
+            },
+            &mut |x| rng.fill(x),
+        );
+        let c2 = Certificate::issue(
+            &b,
+            Delegation {
+                subject: Principal::key(&c.public),
+                issuer: Principal::key(&b.public),
+                tag: Tag::named("web", vec![]),
+                validity: Validity::always(),
+                delegable: true,
+            },
+            &mut |x| rng.fill(x),
+        );
+        let seq = Sequence {
+            ops: vec![Op::Cert(Box::new(c2)), Op::Cert(Box::new(c1)), Op::Compose],
+        };
+        assert!(matches!(
+            seq.verify(&VerifyCtx::at(Time(0))),
+            Err(ProofError::BadInference(_))
+        ));
+    }
+}

@@ -1,0 +1,336 @@
+//! Statements: the delegation form `B =T⇒ A` and its validity window.
+//!
+//! "The primary form of statement is `B =T⇒ A`, read 'Bob speaks for Alice
+//! regarding the statements in set T'. … the *speaks for* captures
+//! delegation, and the *regarding* captures restriction" (paper §3).
+//! Expiration is "encoded … as part of the restriction of a delegation, so
+//! that each proof need be verified only once" (§4.3): [`Validity`] is
+//! intersected exactly like tags when proofs compose, and request matching
+//! automatically disregards expired conclusions.
+
+use crate::principal::Principal;
+use snowflake_sexpr::{ParseError, Sexp};
+use snowflake_tags::Tag;
+use std::fmt;
+
+/// A point in time, in seconds since the Unix epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The current wall-clock time.
+    pub fn now() -> Time {
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        Time(secs)
+    }
+
+    /// This time plus `secs` seconds.
+    pub fn plus(self, secs: u64) -> Time {
+        Time(self.0.saturating_add(secs))
+    }
+}
+
+/// A validity window (both bounds inclusive; `None` = unbounded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Validity {
+    /// Statement is not valid before this time.
+    pub not_before: Option<Time>,
+    /// Statement is not valid after this time.
+    pub not_after: Option<Time>,
+}
+
+impl Validity {
+    /// The always-valid window.
+    pub fn always() -> Validity {
+        Validity::default()
+    }
+
+    /// Valid from now until `t`.
+    pub fn until(t: Time) -> Validity {
+        Validity {
+            not_before: None,
+            not_after: Some(t),
+        }
+    }
+
+    /// Valid during `[from, to]`.
+    pub fn between(from: Time, to: Time) -> Validity {
+        Validity {
+            not_before: Some(from),
+            not_after: Some(to),
+        }
+    }
+
+    /// Does the window contain `t`?
+    pub fn contains(&self, t: Time) -> bool {
+        self.not_before.map_or(true, |nb| t >= nb) && self.not_after.map_or(true, |na| t <= na)
+    }
+
+    /// Intersects two windows; `None` when they do not overlap.
+    pub fn intersect(&self, other: &Validity) -> Option<Validity> {
+        let not_before = match (self.not_before, other.not_before) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        let not_after = match (self.not_after, other.not_after) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if let (Some(nb), Some(na)) = (not_before, not_after) {
+            if nb > na {
+                return None;
+            }
+        }
+        Some(Validity {
+            not_before,
+            not_after,
+        })
+    }
+
+    /// Is `self` entirely contained in `outer`?
+    pub fn within(&self, outer: &Validity) -> bool {
+        let nb_ok = match (outer.not_before, self.not_before) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(o), Some(s)) => s >= o,
+        };
+        let na_ok = match (outer.not_after, self.not_after) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(o), Some(s)) => s <= o,
+        };
+        nb_ok && na_ok
+    }
+
+    /// Serializes to `(valid [(not-before t)] [(not-after t)])`.
+    pub fn to_sexp(&self) -> Sexp {
+        let mut body = Vec::new();
+        if let Some(t) = self.not_before {
+            body.push(Sexp::tagged("not-before", vec![Sexp::int(t.0)]));
+        }
+        if let Some(t) = self.not_after {
+            body.push(Sexp::tagged("not-after", vec![Sexp::int(t.0)]));
+        }
+        Sexp::tagged("valid", body)
+    }
+
+    /// Parses the form produced by [`Validity::to_sexp`].
+    pub fn from_sexp(e: &Sexp) -> Result<Validity, ParseError> {
+        let bad = |m: &str| ParseError {
+            offset: 0,
+            message: m.into(),
+        };
+        if e.tag_name() != Some("valid") {
+            return Err(bad("expected (valid …)"));
+        }
+        let not_before = e
+            .find_value("not-before")
+            .map(|v| v.as_u64())
+            .flatten()
+            .map(Time);
+        let not_after = e
+            .find_value("not-after")
+            .map(|v| v.as_u64())
+            .flatten()
+            .map(Time);
+        // Reject windows that could never hold.
+        if let (Some(nb), Some(na)) = (not_before, not_after) {
+            if nb > na {
+                return Err(bad("not-before after not-after"));
+            }
+        }
+        Ok(Validity {
+            not_before,
+            not_after,
+        })
+    }
+}
+
+/// The statement `subject =tag⇒ issuer`, optionally re-delegable.
+///
+/// `delegable` is SPKI's *propagate* bit: whether the subject may extend the
+/// received authority onward to further subjects.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Delegation {
+    /// Who receives authority (the speaker).
+    pub subject: Principal,
+    /// Whose authority is spoken for.
+    pub issuer: Principal,
+    /// What statements the delegation covers.
+    pub tag: Tag,
+    /// When the delegation holds.
+    pub validity: Validity,
+    /// May the subject re-delegate?
+    pub delegable: bool,
+}
+
+impl Delegation {
+    /// A convenience constructor for an unrestricted, always-valid,
+    /// re-delegable statement (used by axioms like hash identity).
+    pub fn axiom(subject: Principal, issuer: Principal) -> Delegation {
+        Delegation {
+            subject,
+            issuer,
+            tag: Tag::Star,
+            validity: Validity::always(),
+            delegable: true,
+        }
+    }
+
+    /// Serializes to `(cert (issuer …) (subject …) (tag …) (valid …) [propagate])`.
+    ///
+    /// The layout intentionally mirrors an SPKI certificate body; this is
+    /// the exact byte string that gets signed.
+    pub fn to_sexp(&self) -> Sexp {
+        let mut body = vec![
+            Sexp::tagged("issuer", vec![self.issuer.to_sexp()]),
+            Sexp::tagged("subject", vec![self.subject.to_sexp()]),
+            self.tag.to_sexp(),
+            self.validity.to_sexp(),
+        ];
+        if self.delegable {
+            body.push(Sexp::list(vec![Sexp::from("propagate")]));
+        }
+        Sexp::tagged("cert", body)
+    }
+
+    /// Parses the form produced by [`Delegation::to_sexp`].
+    pub fn from_sexp(e: &Sexp) -> Result<Delegation, ParseError> {
+        let bad = |m: &str| ParseError {
+            offset: 0,
+            message: m.into(),
+        };
+        if e.tag_name() != Some("cert") {
+            return Err(bad("expected (cert …)"));
+        }
+        let issuer = Principal::from_sexp(
+            e.find_value("issuer")
+                .ok_or_else(|| bad("missing issuer"))?,
+        )?;
+        let subject = Principal::from_sexp(
+            e.find_value("subject")
+                .ok_or_else(|| bad("missing subject"))?,
+        )?;
+        let tag = Tag::parse(e.find("tag").ok_or_else(|| bad("missing tag"))?)?;
+        let validity = match e.find("valid") {
+            Some(v) => Validity::from_sexp(v)?,
+            None => Validity::always(),
+        };
+        let delegable = e.find("propagate").is_some();
+        Ok(Delegation {
+            subject,
+            issuer,
+            tag,
+            validity,
+            delegable,
+        })
+    }
+
+    /// Hash of the canonical form — the statement-as-principal identity and
+    /// the key revocation lists use to name certificates.
+    pub fn hash(&self) -> snowflake_crypto::HashVal {
+        snowflake_crypto::HashVal::of_sexp(&self.to_sexp())
+    }
+}
+
+impl fmt::Debug for Delegation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ={:?}⇒ {}{}",
+            self.subject.describe(),
+            self.tag,
+            self.issuer.describe(),
+            if self.delegable { " (propagate)" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_contains() {
+        let v = Validity::between(Time(10), Time(20));
+        assert!(!v.contains(Time(9)));
+        assert!(v.contains(Time(10)));
+        assert!(v.contains(Time(20)));
+        assert!(!v.contains(Time(21)));
+        assert!(Validity::always().contains(Time(0)));
+        assert!(Validity::always().contains(Time(u64::MAX)));
+    }
+
+    #[test]
+    fn validity_intersection() {
+        let a = Validity::between(Time(10), Time(30));
+        let b = Validity::between(Time(20), Time(40));
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, Validity::between(Time(20), Time(30)));
+        assert!(a.intersect(&Validity::always()).unwrap() == a);
+        // Disjoint windows.
+        let c = Validity::between(Time(50), Time(60));
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn validity_within() {
+        let outer = Validity::between(Time(10), Time(40));
+        assert!(Validity::between(Time(20), Time(30)).within(&outer));
+        assert!(outer.within(&outer));
+        assert!(!Validity::between(Time(5), Time(30)).within(&outer));
+        assert!(!Validity::always().within(&outer));
+        assert!(outer.within(&Validity::always()));
+    }
+
+    #[test]
+    fn validity_sexp_roundtrip() {
+        for v in [
+            Validity::always(),
+            Validity::until(Time(12345)),
+            Validity::between(Time(10), Time(99)),
+            Validity {
+                not_before: Some(Time(7)),
+                not_after: None,
+            },
+        ] {
+            assert_eq!(Validity::from_sexp(&v.to_sexp()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn validity_rejects_inverted() {
+        let e = Sexp::parse(b"(valid (not-before 100) (not-after 50))").unwrap();
+        assert!(Validity::from_sexp(&e).is_err());
+    }
+
+    #[test]
+    fn delegation_sexp_roundtrip() {
+        let d = Delegation {
+            subject: Principal::message(b"bob"),
+            issuer: Principal::message(b"alice"),
+            tag: Tag::named("web", vec![Tag::named("method", vec![Tag::atom("GET")])]),
+            validity: Validity::until(Time(1_000_000)),
+            delegable: true,
+        };
+        let e = d.to_sexp();
+        assert_eq!(Delegation::from_sexp(&e).unwrap(), d);
+        // Non-delegable variant differs in encoding.
+        let nd = Delegation {
+            delegable: false,
+            ..d.clone()
+        };
+        assert_ne!(nd.to_sexp().canonical(), e.canonical());
+        assert_ne!(nd.hash(), d.hash());
+    }
+
+    #[test]
+    fn time_helpers() {
+        assert!(Time::now().0 > 1_600_000_000, "clock should be past 2020");
+        assert_eq!(Time(5).plus(10), Time(15));
+        assert_eq!(Time(u64::MAX).plus(10), Time(u64::MAX));
+    }
+}

@@ -1,0 +1,110 @@
+//! The verifier's local trusted state.
+//!
+//! Proofs arrive from untrusted parties; what makes verification meaningful
+//! is the verifier's own knowledge: the current time, which live channels it
+//! has itself authenticated, which local identities its in-process broker
+//! vouches for, and what revocation data it holds.  [`VerifyCtx`] carries
+//! exactly that knowledge, keeping the proof-checking engine minimal — the
+//! paper's "minimal verification engine" design goal.
+
+use crate::cert::Certificate;
+use crate::proof::ProofError;
+use crate::revocation::{Crl, Revalidation, RevocationPolicy};
+use crate::statement::{Delegation, Time};
+use snowflake_crypto::HashVal;
+use std::collections::{HashMap, HashSet};
+
+/// Trusted local state used while verifying proofs.
+#[derive(Debug, Default, Clone)]
+pub struct VerifyCtx {
+    /// The verification time (conclusions must be valid at this instant).
+    pub now: Time,
+    /// Assumption statements this verifier's own machinery vouches for
+    /// (channel bindings, utterances witnessed on channels, local-broker
+    /// vouchers, MAC-session bindings).
+    assumptions: HashSet<HashVal>,
+    /// Current CRLs, keyed by validator key hash.
+    crls: HashMap<HashVal, Crl>,
+    /// Current revalidations, keyed by certificate hash.
+    revalidations: HashMap<HashVal, Revalidation>,
+}
+
+impl Default for Time {
+    fn default() -> Self {
+        Time(0)
+    }
+}
+
+impl VerifyCtx {
+    /// An empty context at time `now` (no assumptions, no revocation data).
+    pub fn at(now: Time) -> VerifyCtx {
+        VerifyCtx {
+            now,
+            ..Default::default()
+        }
+    }
+
+    /// An empty context at the current wall-clock time.
+    pub fn now() -> VerifyCtx {
+        Self::at(Time::now())
+    }
+
+    /// Records that this verifier's own machinery vouches for `stmt`.
+    ///
+    /// Channel layers call this when a handshake binds a channel to a peer
+    /// key, when a message is witnessed emanating from a channel, or when a
+    /// local broker vouches an identity.
+    pub fn assume(&mut self, stmt: &Delegation) {
+        self.assumptions.insert(stmt.hash());
+    }
+
+    /// Does this verifier vouch for `stmt`?
+    pub fn assumes(&self, stmt: &Delegation) -> bool {
+        self.assumptions.contains(&stmt.hash())
+    }
+
+    /// Installs a CRL (replacing any previous list from the same validator).
+    pub fn install_crl(&mut self, crl: Crl) {
+        self.crls.insert(crl.signer.hash(), crl);
+    }
+
+    /// Installs a revalidation.
+    pub fn install_revalidation(&mut self, r: Revalidation) {
+        self.revalidations.insert(r.cert_hash.clone(), r);
+    }
+
+    /// Enforces a certificate's revocation policy, if any.
+    pub fn check_revocation(&self, cert: &Certificate) -> Result<(), ProofError> {
+        let Some(policy) = &cert.revocation else {
+            return Ok(());
+        };
+        match policy {
+            RevocationPolicy::Crl { validator } => {
+                let crl = self.crls.get(validator).ok_or_else(|| {
+                    ProofError::Revoked("no current CRL from required validator".into())
+                })?;
+                crl.check(validator, self.now)
+                    .map_err(ProofError::Revoked)?;
+                if crl.revokes(&cert.hash()) {
+                    return Err(ProofError::Revoked("certificate is on the CRL".into()));
+                }
+                Ok(())
+            }
+            RevocationPolicy::Revalidate { validator } => {
+                let hash = cert.hash();
+                let reval = self.revalidations.get(&hash).ok_or_else(|| {
+                    ProofError::Revoked("no current revalidation for certificate".into())
+                })?;
+                reval
+                    .check(validator, &hash, self.now)
+                    .map_err(ProofError::Revoked)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of assumption statements currently vouched.
+    pub fn assumption_count(&self) -> usize {
+        self.assumptions.len()
+    }
+}

@@ -1,0 +1,83 @@
+//! Decoder robustness: untrusted wire bytes must never panic any `from_sexp`
+//! decoder, and random valid objects must round-trip.
+
+use proptest::prelude::*;
+use snowflake_core::{Certificate, Delegation, Principal, Proof, Validity};
+use snowflake_crypto::HashVal;
+use snowflake_sexpr::Sexp;
+use snowflake_tags::Tag;
+
+fn arb_principal() -> impl Strategy<Value = Principal> {
+    let leaf = prop_oneof![
+        proptest::collection::vec(any::<u8>(), 1..16)
+            .prop_map(|b| Principal::Message(HashVal::of(&b))),
+        proptest::collection::vec(any::<u8>(), 1..16).prop_map(|b| Principal::Mac(HashVal::of(&b))),
+        ("[a-z]{1,8}", proptest::collection::vec(any::<u8>(), 1..8)).prop_map(|(id, b)| {
+            Principal::Local {
+                broker: HashVal::of(&b),
+                id,
+            }
+        }),
+        ("[a-z]{1,6}", proptest::collection::vec(any::<u8>(), 1..8)).prop_map(|(kind, b)| {
+            Principal::Channel(snowflake_core::ChannelId {
+                kind,
+                id: HashVal::of(&b),
+            })
+        }),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), "[a-z]{1,6}").prop_map(|(base, name)| Principal::name(base, name)),
+            (inner.clone(), inner.clone()).prop_map(|(q, e)| Principal::quoting(q, e)),
+            proptest::collection::vec(inner, 2..4).prop_map(Principal::conjunction),
+        ]
+    })
+}
+
+proptest! {
+    /// Arbitrary bytes through every decoder: errors allowed, panics not.
+    #[test]
+    fn decoders_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(sexp) = Sexp::parse(&bytes) {
+            let _ = Principal::from_sexp(&sexp);
+            let _ = Delegation::from_sexp(&sexp);
+            let _ = Certificate::from_sexp(&sexp);
+            let _ = Proof::from_sexp(&sexp);
+            let _ = Tag::parse(&sexp);
+            let _ = Validity::from_sexp(&sexp);
+            let _ = HashVal::from_sexp(&sexp);
+        }
+    }
+
+    /// Structured-looking but adversarial S-expressions (valid syntax,
+    /// random tag names and shapes) through the decoders.
+    #[test]
+    fn structured_garbage_never_panics(
+        name in "[a-z-]{1,12}",
+        children in proptest::collection::vec("[a-zA-Z0-9]{0,12}", 0..6),
+    ) {
+        let body: Vec<Sexp> = children.iter().map(|c| Sexp::from(c.as_str())).collect();
+        let e = Sexp::tagged(&name, body);
+        let _ = Principal::from_sexp(&e);
+        let _ = Delegation::from_sexp(&e);
+        let _ = Certificate::from_sexp(&e);
+        let _ = Proof::from_sexp(&e);
+        let _ = Tag::parse(&e);
+    }
+
+    /// Random well-formed principals round-trip exactly.
+    #[test]
+    fn principals_roundtrip(p in arb_principal()) {
+        let e = p.to_sexp();
+        prop_assert_eq!(Principal::from_sexp(&e).unwrap(), p.clone());
+        // And through the transport encoding.
+        let t = Sexp::parse(e.transport().as_bytes()).unwrap();
+        prop_assert_eq!(Principal::from_sexp(&t).unwrap(), p);
+    }
+
+    /// Describe never panics and is non-empty for any principal.
+    #[test]
+    fn describe_total(p in arb_principal()) {
+        prop_assert!(!p.describe().is_empty());
+    }
+}

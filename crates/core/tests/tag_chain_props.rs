@@ -1,0 +1,141 @@
+//! Property tests on the interaction of tags, validity windows, and the
+//! delegation rules — the security-critical composition invariants.
+
+use proptest::prelude::*;
+use snowflake_core::{Delegation, Principal, Proof, Tag, Time, Validity, VerifyCtx};
+use snowflake_crypto::HashVal;
+use snowflake_tags::{Bound, RangeOrdering};
+
+fn arb_tag() -> impl Strategy<Value = Tag> {
+    let leaf = prop_oneof![
+        Just(Tag::Star),
+        "[a-z]{1,6}".prop_map(|s| Tag::Atom(s.into_bytes())),
+        "[a-z]{0,3}".prop_map(|s| Tag::Prefix(s.into_bytes())),
+        (0u32..50, 50u32..100).prop_map(|(lo, hi)| Tag::Range {
+            ordering: RangeOrdering::Numeric,
+            low: Some(Bound {
+                value: lo.to_string().into_bytes(),
+                inclusive: true
+            }),
+            high: Some(Bound {
+                value: hi.to_string().into_bytes(),
+                inclusive: true
+            }),
+        }),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Tag::List),
+            proptest::collection::vec(inner, 1..3).prop_map(Tag::Set),
+        ]
+    })
+}
+
+fn arb_validity() -> impl Strategy<Value = Validity> {
+    prop_oneof![
+        Just(Validity::always()),
+        (0u64..500, 500u64..1000).prop_map(|(a, b)| Validity::between(Time(a), Time(b))),
+        (0u64..1000).prop_map(|t| Validity::until(Time(t))),
+    ]
+}
+
+/// Assumption-backed delegation chains (cheap — no signatures) let us
+/// property-test the *composition rules* in volume.
+fn assumed(subject: Principal, issuer: Principal, tag: Tag, validity: Validity) -> Proof {
+    Proof::Assumption {
+        stmt: Delegation {
+            subject,
+            issuer,
+            tag,
+            validity,
+            delegable: true,
+        },
+        authority: "prop-test".into(),
+    }
+}
+
+fn p(n: u8) -> Principal {
+    Principal::Message(HashVal::of(&[n]))
+}
+
+proptest! {
+    /// Composed validity is the intersection: the chain never authorizes at
+    /// a time either link excludes.
+    #[test]
+    fn chain_validity_is_intersection(v1 in arb_validity(), v2 in arb_validity(),
+                                      at in 0u64..1200) {
+        let link1 = assumed(p(1), p(2), Tag::Star, v1);
+        let link2 = assumed(p(2), p(3), Tag::Star, v2);
+        let chain = link1.then(link2);
+        let mut ctx = VerifyCtx::at(Time(at));
+        for l in chain.lemmas() {
+            if let Proof::Assumption { stmt, .. } = l {
+                ctx.assume(stmt);
+            }
+        }
+        let authorized = chain.authorizes(&p(1), &p(3), &Tag::Star, &ctx).is_ok();
+        let both_valid = v1.contains(Time(at)) && v2.contains(Time(at))
+            && v1.intersect(&v2).is_some();
+        prop_assert_eq!(authorized, both_valid && chain.verify(&ctx).is_ok());
+        if authorized {
+            prop_assert!(both_valid);
+        }
+    }
+
+    /// Weakening soundness: any conclusion produced by a valid Weaken node
+    /// authorizes only requests the inner proof also authorizes.
+    #[test]
+    fn weakening_cannot_escalate(t_strong in arb_tag(), t_weak in arb_tag(),
+                                 req in arb_tag()) {
+        let inner = assumed(p(1), p(2), t_strong.clone(), Validity::always());
+        let weak = Proof::Weaken {
+            inner: Box::new(inner.clone()),
+            conclusion: Delegation {
+                subject: p(1),
+                issuer: p(2),
+                tag: t_weak,
+                validity: Validity::always(),
+                delegable: false,
+            },
+        };
+        let mut ctx = VerifyCtx::at(Time(0));
+        if let Proof::Assumption { stmt, .. } = &inner {
+            ctx.assume(stmt);
+        }
+        if weak.verify(&ctx).is_ok() && weak.conclusion().tag.permits(&req) {
+            prop_assert!(
+                t_strong.permits(&req),
+                "weakened proof authorized a request the original would not"
+            );
+        }
+    }
+
+    /// Quoting monotonicity preserves tags and validity exactly.
+    #[test]
+    fn quoting_preserves_restriction(t in arb_tag(), v in arb_validity()) {
+        let inner = assumed(p(1), p(2), t.clone(), v);
+        let quoted = Proof::QuoteQuotee {
+            inner: Box::new(inner),
+            quoter: p(9),
+        };
+        let c = quoted.conclusion();
+        prop_assert_eq!(c.tag, t);
+        prop_assert_eq!(c.validity, v);
+        prop_assert_eq!(c.subject, Principal::quoting(p(9), p(1)));
+        prop_assert_eq!(c.issuer, Principal::quoting(p(9), p(2)));
+    }
+
+    /// Conjunction introduction: the conclusion tag permits exactly the
+    /// requests every branch permits.
+    #[test]
+    fn conjunction_tag_is_meet(t1 in arb_tag(), t2 in arb_tag(), req in arb_tag()) {
+        let b1 = assumed(p(1), p(2), t1.clone(), Validity::always());
+        let b2 = assumed(p(1), p(3), t2.clone(), Validity::always());
+        let conj = Proof::ConjIntro(vec![b1, b2]);
+        let c = conj.conclusion();
+        if c.tag.permits(&req) {
+            prop_assert!(t1.permits(&req));
+            prop_assert!(t2.permits(&req));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//!
+//! Used by the secure channel's record layer and by [`crate::DetRng`].
+
+/// ChaCha20 keystream generator / stream cipher.
+pub struct ChaCha20 {
+    state: [u32; 16],
+    keystream: [u8; 64],
+    offset: usize,
+}
+
+impl ChaCha20 {
+    /// Creates a cipher from a 256-bit key and 96-bit nonce, counter = 0.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> Self {
+        let mut state = [0u32; 16];
+        state[0] = 0x61707865;
+        state[1] = 0x3320646e;
+        state[2] = 0x79622d32;
+        state[3] = 0x6b206574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        state[12] = 0; // block counter
+        for i in 0..3 {
+            state[13 + i] =
+                u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        ChaCha20 {
+            state,
+            keystream: [0; 64],
+            offset: 64,
+        }
+    }
+
+    /// XORs the keystream into `data` in place (encrypt == decrypt).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for byte in data {
+            if self.offset == 64 {
+                self.refill();
+            }
+            *byte ^= self.keystream[self.offset];
+            self.offset += 1;
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter(&mut working, 0, 4, 8, 12);
+            quarter(&mut working, 1, 5, 9, 13);
+            quarter(&mut working, 2, 6, 10, 14);
+            quarter(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter(&mut working, 0, 5, 10, 15);
+            quarter(&mut working, 1, 6, 11, 12);
+            quarter(&mut working, 2, 7, 8, 13);
+            quarter(&mut working, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            let word = working[i].wrapping_add(self.state[i]);
+            self.keystream[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.state[12] = self.state[12].wrapping_add(1);
+        self.offset = 0;
+    }
+}
+
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowflake_sexpr::{hex_decode, hex_encode};
+
+    #[test]
+    fn rfc8439_keystream() {
+        // RFC 8439 §2.4.2 test vector: key 00..1f, nonce 00 00 00 00 00 00 00 4a 00 00 00 00,
+        // counter starting at 1.
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] = hex_decode(b"000000000000004a00000000")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let mut c = ChaCha20::new(&key, &nonce);
+        // Advance one block to start the counter at 1 as the vector does.
+        let mut skip = [0u8; 64];
+        c.apply(&mut skip);
+
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        c.apply(&mut data);
+        assert_eq!(hex_encode(&data[..16]), "6e2e359a2568f98041ba0728dd0d6981");
+        assert_eq!(hex_encode(&data[data.len() - 10..]), "b40b8eedf2785e42874d");
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let key = [7u8; 32];
+        let nonce = [9u8; 12];
+        let msg: Vec<u8> = (0..1000).map(|i| (i * 7) as u8).collect();
+        let mut data = msg.clone();
+        ChaCha20::new(&key, &nonce).apply(&mut data);
+        assert_ne!(data, msg);
+        ChaCha20::new(&key, &nonce).apply(&mut data);
+        assert_eq!(data, msg);
+    }
+
+    #[test]
+    fn chunked_equals_oneshot() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let msg = vec![0xabu8; 300];
+        let mut oneshot = msg.clone();
+        ChaCha20::new(&key, &nonce).apply(&mut oneshot);
+
+        let mut chunked = msg.clone();
+        let mut c = ChaCha20::new(&key, &nonce);
+        for chunk in chunked.chunks_mut(37) {
+            c.apply(chunk);
+        }
+        assert_eq!(chunked, oneshot);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [1u8; 32];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        ChaCha20::new(&key, &[0u8; 12]).apply(&mut a);
+        ChaCha20::new(&key, &[1u8; 12]).apply(&mut b);
+        assert_ne!(a, b);
+    }
+}

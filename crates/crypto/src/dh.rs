@@ -1,0 +1,91 @@
+//! Diffie–Hellman key agreement over a Schnorr group.
+//!
+//! The secure channel of paper §5.1 performs a key exchange to establish the
+//! symmetric session key `K_CH`; each side then *signs* the transcript with
+//! its long-term key so the channel is bound to a pair of public keys
+//! (the `K_1`/`K_2` of Figure 3).
+
+use crate::group::Group;
+use crate::hmac::derive_key;
+use snowflake_bigint::Ubig;
+
+/// An ephemeral Diffie–Hellman secret.
+pub struct DhSecret {
+    group: &'static Group,
+    x: Ubig,
+    /// The public share `g^x mod p` to send to the peer.
+    pub public: Ubig,
+}
+
+impl DhSecret {
+    /// Generates an ephemeral secret and its public share.
+    pub fn generate(group: &'static Group, rand_bytes: &mut dyn FnMut(&mut [u8])) -> Self {
+        let x = group.random_exponent(rand_bytes);
+        let public = group.power(&x);
+        DhSecret { group, x, public }
+    }
+
+    /// Combines with the peer's public share into a 32-byte shared secret.
+    ///
+    /// Returns `None` when the peer's share is not a valid subgroup element
+    /// (small-subgroup / identity attacks).
+    pub fn agree(&self, peer_public: &Ubig) -> Option<[u8; 32]> {
+        if !self.group.is_element(peer_public) {
+            return None;
+        }
+        let shared = peer_public.modpow(&self.x, &self.group.p);
+        let p_len = self.group.p.to_bytes_be().len();
+        Some(derive_key(
+            &shared.to_bytes_be_padded(p_len),
+            b"snowflake-dh-v1",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DetRng;
+
+    fn det(seed: &str) -> impl FnMut(&mut [u8]) {
+        let mut rng = DetRng::new(seed.as_bytes());
+        move |buf: &mut [u8]| rng.fill(buf)
+    }
+
+    #[test]
+    fn agreement() {
+        let g = Group::test512();
+        let mut ra = det("a");
+        let mut rb = det("b");
+        let a = DhSecret::generate(g, &mut ra);
+        let b = DhSecret::generate(g, &mut rb);
+        let sa = a.agree(&b.public).unwrap();
+        let sb = b.agree(&a.public).unwrap();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn third_party_differs() {
+        let g = Group::test512();
+        let mut r = det("xyz");
+        let a = DhSecret::generate(g, &mut r);
+        let b = DhSecret::generate(g, &mut r);
+        let c = DhSecret::generate(g, &mut r);
+        assert_ne!(a.agree(&b.public).unwrap(), a.agree(&c.public).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_shares() {
+        let g = Group::test512();
+        let mut r = det("a");
+        let a = DhSecret::generate(g, &mut r);
+        assert!(a.agree(&Ubig::zero()).is_none());
+        assert!(a.agree(&Ubig::one()).is_none());
+        assert!(a.agree(&g.p).is_none());
+        // An element of the full group but (almost surely) not the q-subgroup.
+        let outside = Ubig::from(2u64);
+        if !g.is_element(&outside) {
+            assert!(a.agree(&outside).is_none());
+        }
+    }
+}

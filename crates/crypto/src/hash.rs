@@ -1,0 +1,177 @@
+//! Hash values as first-class objects.
+//!
+//! In Snowflake, hashes *are principals*: "the binary representation of a
+//! statement itself" and hashed keys and documents all appear as
+//! `(hash <alg> |bytes|)` S-expressions (paper Figures 1 and 5).  This module
+//! provides the algorithm-tagged hash value used throughout the workspace.
+
+use crate::{md5, sha256};
+use snowflake_sexpr::{ParseError, Sexp};
+use std::fmt;
+
+/// Hash algorithm identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HashAlg {
+    /// SHA-256 — the default algorithm for all Snowflake objects.
+    Sha256,
+    /// MD5 — provided for SPKI `(hash md5 …)` interoperability only.
+    Md5,
+}
+
+impl HashAlg {
+    /// The SPKI token naming this algorithm.
+    pub fn name(self) -> &'static str {
+        match self {
+            HashAlg::Sha256 => "sha256",
+            HashAlg::Md5 => "md5",
+        }
+    }
+
+    /// Looks an algorithm up by its SPKI token.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "sha256" => Some(HashAlg::Sha256),
+            "md5" => Some(HashAlg::Md5),
+            _ => None,
+        }
+    }
+
+    /// Digest length in bytes.
+    pub fn digest_len(self) -> usize {
+        match self {
+            HashAlg::Sha256 => 32,
+            HashAlg::Md5 => 16,
+        }
+    }
+}
+
+/// An algorithm-tagged hash value.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HashVal {
+    /// Which algorithm produced this digest.
+    pub alg: HashAlg,
+    /// The digest bytes (length matches `alg.digest_len()`).
+    pub bytes: Vec<u8>,
+}
+
+impl HashVal {
+    /// Hashes `data` with the given algorithm.
+    pub fn digest(alg: HashAlg, data: &[u8]) -> Self {
+        let bytes = match alg {
+            HashAlg::Sha256 => sha256(data).to_vec(),
+            HashAlg::Md5 => md5(data).to_vec(),
+        };
+        HashVal { alg, bytes }
+    }
+
+    /// Hashes with the workspace default (SHA-256).
+    pub fn of(data: &[u8]) -> Self {
+        Self::digest(HashAlg::Sha256, data)
+    }
+
+    /// Hashes the canonical encoding of an S-expression.
+    pub fn of_sexp(e: &Sexp) -> Self {
+        Self::of(&e.canonical())
+    }
+
+    /// Renders as the SPKI form `(hash <alg> |digest|)`.
+    pub fn to_sexp(&self) -> Sexp {
+        Sexp::tagged(
+            "hash",
+            vec![Sexp::from(self.alg.name()), Sexp::atom(self.bytes.clone())],
+        )
+    }
+
+    /// Parses the SPKI form `(hash <alg> |digest|)`.
+    pub fn from_sexp(e: &Sexp) -> Result<Self, ParseError> {
+        let bad = |m: &str| ParseError {
+            offset: 0,
+            message: m.into(),
+        };
+        if e.tag_name() != Some("hash") {
+            return Err(bad("expected (hash alg bytes)"));
+        }
+        let body = e.tag_body().ok_or_else(|| bad("hash body missing"))?;
+        if body.len() != 2 {
+            return Err(bad("hash needs exactly alg + digest"));
+        }
+        let alg = body[0]
+            .as_str()
+            .and_then(HashAlg::from_name)
+            .ok_or_else(|| bad("unknown hash algorithm"))?;
+        let bytes = body[1]
+            .as_atom()
+            .ok_or_else(|| bad("digest must be an atom"))?
+            .to_vec();
+        if bytes.len() != alg.digest_len() {
+            return Err(bad("digest length mismatch"));
+        }
+        Ok(HashVal { alg, bytes })
+    }
+
+    /// Short hex prefix for human-readable debugging output.
+    pub fn short_hex(&self) -> String {
+        snowflake_sexpr::hex_encode(&self.bytes[..self.bytes.len().min(6)])
+    }
+}
+
+impl fmt::Debug for HashVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.alg.name(), self.short_hex())
+    }
+}
+
+impl fmt::Display for HashVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}",
+            self.alg.name(),
+            snowflake_sexpr::hex_encode(&self.bytes)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_dispatch() {
+        assert_eq!(HashVal::digest(HashAlg::Sha256, b"abc").bytes.len(), 32);
+        assert_eq!(HashVal::digest(HashAlg::Md5, b"abc").bytes.len(), 16);
+        assert_ne!(
+            HashVal::digest(HashAlg::Sha256, b"a"),
+            HashVal::digest(HashAlg::Sha256, b"b")
+        );
+    }
+
+    #[test]
+    fn sexp_roundtrip() {
+        for alg in [HashAlg::Sha256, HashAlg::Md5] {
+            let h = HashVal::digest(alg, b"document");
+            let e = h.to_sexp();
+            assert_eq!(HashVal::from_sexp(&e).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn sexp_rejects_malformed() {
+        use snowflake_sexpr::sexp;
+        assert!(HashVal::from_sexp(&sexp!["hash", "sha256"]).is_err());
+        assert!(HashVal::from_sexp(&sexp!["hash", "blake3", "xx"]).is_err());
+        assert!(HashVal::from_sexp(&sexp!["nothash", "md5", "xx"]).is_err());
+        // Wrong digest length.
+        let short = Sexp::tagged(
+            "hash",
+            vec![Sexp::from("sha256"), Sexp::atom(vec![1, 2, 3])],
+        );
+        assert!(HashVal::from_sexp(&short).is_err());
+    }
+
+    #[test]
+    fn of_sexp_is_canonical_hash() {
+        let e = Sexp::tagged("x", vec![Sexp::from("y")]);
+        assert_eq!(HashVal::of_sexp(&e), HashVal::of(&e.canonical()));
+    }
+}

@@ -1,0 +1,117 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+
+use crate::sha256::Sha256;
+
+const BLOCK: usize = 64;
+
+/// Computes `HMAC-SHA256(key, data)`.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let digest = crate::sha256(key);
+        k[..32].copy_from_slice(&digest);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(data);
+    let inner_digest = inner.finish();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finish()
+}
+
+/// Constant-time comparison of two byte strings.
+///
+/// Returns `false` for length mismatches without inspecting content.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// HKDF-style key derivation: expands a shared secret into a labeled key.
+///
+/// `derive_key(secret, label)` = HMAC-SHA256(secret, label); used by the
+/// secure channel to split one Diffie–Hellman secret into per-direction
+/// encryption and MAC keys.
+pub fn derive_key(secret: &[u8], label: &[u8]) -> [u8; 32] {
+    hmac_sha256(secret, label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowflake_sexpr::hex_encode;
+
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex_encode(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex_encode(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let mac = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex_encode(&mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        let key = [0xaau8; 131];
+        let mac = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex_encode(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn ct_eq_works() {
+        assert!(ct_eq(b"same", b"same"));
+        assert!(!ct_eq(b"same", b"sane"));
+        assert!(!ct_eq(b"short", b"longer"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn derive_key_labels_differ() {
+        let s = b"shared secret";
+        assert_ne!(derive_key(s, b"c2s"), derive_key(s, b"s2c"));
+    }
+}

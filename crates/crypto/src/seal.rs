@@ -1,0 +1,198 @@
+//! Sealed boxes: public-key authenticated encryption.
+//!
+//! Implements the paper's §9 future-work direction — "a gateway that
+//! operates with only partial access to the information it translates,
+//! passing from server to client encrypted content that it need not view
+//! to accomplish its task."  A server *seals* a payload to the client's
+//! public key; intermediaries relay the sealed bytes (and the usual
+//! authorization proofs about their hash) without the ability to read
+//! them.
+//!
+//! Construction: ephemeral-static Diffie–Hellman.  The sender draws an
+//! ephemeral exponent, derives `k = KDF(DH(eph, recipient) ‖ context)`,
+//! encrypts with ChaCha20, and authenticates ciphertext + ephemeral share
+//! with HMAC-SHA256.  The recipient recomputes `k` from its private key.
+
+use crate::chacha20::ChaCha20;
+use crate::group::Group;
+use crate::hmac::{ct_eq, derive_key, hmac_sha256};
+use crate::schnorr::{KeyPair, PublicKey};
+use snowflake_bigint::Ubig;
+use snowflake_sexpr::Sexp;
+
+/// A sealed payload: ephemeral share, ciphertext, and MAC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBox {
+    /// The sender's ephemeral public share `g^e`.
+    pub ephemeral: Ubig,
+    /// ChaCha20 ciphertext.
+    pub ciphertext: Vec<u8>,
+    /// HMAC over ephemeral ‖ ciphertext.
+    pub mac: [u8; 32],
+}
+
+const CONTEXT: &[u8] = b"snowflake-sealed-box-v1";
+
+fn keys_for(shared: &[u8; 32]) -> ([u8; 32], [u8; 32]) {
+    (
+        derive_key(shared, b"seal-enc"),
+        derive_key(shared, b"seal-mac"),
+    )
+}
+
+/// Seals `plaintext` to `recipient`.
+///
+/// Returns `None` only if the recipient's key is invalid for its group
+/// (cannot happen for keys produced by this library).
+pub fn seal(
+    recipient: &PublicKey,
+    plaintext: &[u8],
+    rand_bytes: &mut dyn FnMut(&mut [u8]),
+) -> Option<SealedBox> {
+    let group = recipient.group;
+    let e = group.random_exponent(rand_bytes);
+    let ephemeral = group.power(&e);
+    let shared_point = recipient.y.modpow(&e, &group.p);
+    let shared = shared_secret(group, &shared_point);
+
+    let (enc_key, mac_key) = keys_for(&shared);
+    let mut ciphertext = plaintext.to_vec();
+    ChaCha20::new(&enc_key, &[0u8; 12]).apply(&mut ciphertext);
+    let mac = seal_mac(&mac_key, group, &ephemeral, &ciphertext);
+    Some(SealedBox {
+        ephemeral,
+        ciphertext,
+        mac,
+    })
+}
+
+/// Opens a sealed box with the recipient's key pair.
+///
+/// Returns `None` on any authenticity failure.
+pub fn open(recipient: &KeyPair, sealed: &SealedBox) -> Option<Vec<u8>> {
+    let group = recipient.public.group;
+    if !group.is_element(&sealed.ephemeral) {
+        return None;
+    }
+    let shared_point = recipient.dh(&sealed.ephemeral);
+    let shared = shared_secret(group, &shared_point);
+    let (enc_key, mac_key) = keys_for(&shared);
+    let expect = seal_mac(&mac_key, group, &sealed.ephemeral, &sealed.ciphertext);
+    if !ct_eq(&expect, &sealed.mac) {
+        return None;
+    }
+    let mut plaintext = sealed.ciphertext.clone();
+    ChaCha20::new(&enc_key, &[0u8; 12]).apply(&mut plaintext);
+    Some(plaintext)
+}
+
+fn shared_secret(group: &Group, point: &Ubig) -> [u8; 32] {
+    let p_len = group.p.to_bytes_be().len();
+    let mut input = point.to_bytes_be_padded(p_len);
+    input.extend_from_slice(CONTEXT);
+    crate::sha256(&input)
+}
+
+fn seal_mac(mac_key: &[u8; 32], group: &Group, ephemeral: &Ubig, ciphertext: &[u8]) -> [u8; 32] {
+    let p_len = group.p.to_bytes_be().len();
+    let mut input = ephemeral.to_bytes_be_padded(p_len);
+    input.extend_from_slice(ciphertext);
+    hmac_sha256(mac_key, &input)
+}
+
+impl SealedBox {
+    /// Serializes to `(sealed (eph |…|) (ct |…|) (mac |…|))`.
+    pub fn to_sexp(&self) -> Sexp {
+        Sexp::tagged(
+            "sealed",
+            vec![
+                Sexp::tagged("eph", vec![Sexp::atom(self.ephemeral.to_bytes_be())]),
+                Sexp::tagged("ct", vec![Sexp::atom(self.ciphertext.clone())]),
+                Sexp::tagged("mac", vec![Sexp::atom(self.mac.to_vec())]),
+            ],
+        )
+    }
+
+    /// Parses the form produced by [`SealedBox::to_sexp`].
+    pub fn from_sexp(e: &Sexp) -> Option<SealedBox> {
+        if e.tag_name() != Some("sealed") {
+            return None;
+        }
+        let eph = e.find_value("eph")?.as_atom()?;
+        let ct = e.find_value("ct")?.as_atom()?.to_vec();
+        let mac_bytes = e.find_value("mac")?.as_atom()?;
+        let mac: [u8; 32] = mac_bytes.try_into().ok()?;
+        Some(SealedBox {
+            ephemeral: Ubig::from_bytes_be(eph),
+            ciphertext: ct,
+            mac,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DetRng;
+
+    fn det(seed: &str) -> impl FnMut(&mut [u8]) {
+        let mut r = DetRng::new(seed.as_bytes());
+        move |b: &mut [u8]| r.fill(b)
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let mut r = det("seal");
+        let recipient = KeyPair::generate(Group::test512(), &mut r);
+        let msg = b"for the client's eyes only";
+        let sealed = seal(&recipient.public, msg, &mut r).unwrap();
+        assert_ne!(sealed.ciphertext, msg.to_vec());
+        assert_eq!(open(&recipient, &sealed).unwrap(), msg);
+    }
+
+    #[test]
+    fn wrong_recipient_cannot_open() {
+        let mut r = det("seal2");
+        let recipient = KeyPair::generate(Group::test512(), &mut r);
+        let eavesdropper = KeyPair::generate(Group::test512(), &mut r);
+        let sealed = seal(&recipient.public, b"secret", &mut r).unwrap();
+        assert!(open(&eavesdropper, &sealed).is_none());
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let mut r = det("seal3");
+        let recipient = KeyPair::generate(Group::test512(), &mut r);
+        let sealed = seal(&recipient.public, b"payload bytes", &mut r).unwrap();
+        let mut bad_ct = sealed.clone();
+        bad_ct.ciphertext[0] ^= 1;
+        assert!(open(&recipient, &bad_ct).is_none());
+        let mut bad_mac = sealed.clone();
+        bad_mac.mac[0] ^= 1;
+        assert!(open(&recipient, &bad_mac).is_none());
+        let mut bad_eph = sealed;
+        bad_eph.ephemeral = Ubig::one();
+        assert!(open(&recipient, &bad_eph).is_none());
+    }
+
+    #[test]
+    fn sexp_roundtrip() {
+        let mut r = det("seal4");
+        let recipient = KeyPair::generate(Group::test512(), &mut r);
+        let sealed = seal(&recipient.public, b"wire me", &mut r).unwrap();
+        let back = SealedBox::from_sexp(&sealed.to_sexp()).unwrap();
+        assert_eq!(back, sealed);
+        assert_eq!(open(&recipient, &back).unwrap(), b"wire me");
+    }
+
+    #[test]
+    fn empty_and_large_payloads() {
+        let mut r = det("seal5");
+        let recipient = KeyPair::generate(Group::test512(), &mut r);
+        for len in [0usize, 1, 64 * 1024] {
+            let msg = vec![0x5au8; len];
+            let sealed = seal(&recipient.public, &msg, &mut r).unwrap();
+            assert_eq!(open(&recipient, &sealed).unwrap(), msg);
+        }
+    }
+}

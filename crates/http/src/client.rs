@@ -1,0 +1,383 @@
+//! The HTTP client and the Snowflake proxy (paper §5.3.5).
+//!
+//! "We realize our client as an HTTP proxy that enhances a browser with
+//! Snowflake authorization and server document-authentication services.
+//! Like any proxy, it forwards each HTTP request from the browser to a
+//! server.  When a reply is '401 Unauthorized' and requires Snowflake
+//! authorization, the proxy uses its Prover to find a suitable proof,
+//! rewrites the request with an Authorization header, and retries."
+
+use crate::auth;
+use crate::mac::{ClientMacSession, MAC_SESSION_PATH};
+use crate::message::{HttpRequest, HttpResponse};
+use parking_lot::Mutex;
+use snowflake_core::{HashAlg, Principal, Proof, Tag, Time, Validity, VerifyCtx};
+use snowflake_prover::Prover;
+use snowflake_sexpr::Sexp;
+use std::collections::HashMap;
+use std::io::{self, BufReader, Read, Write};
+use std::sync::Arc;
+
+/// A byte stream an HTTP client can speak over.
+pub trait ClientStream: Read + Write + Send {}
+impl<T: Read + Write + Send> ClientStream for T {}
+
+/// A simple HTTP client over one connection.
+pub struct HttpClient {
+    stream: Box<dyn ClientStream>,
+}
+
+impl HttpClient {
+    /// Wraps a connected stream.
+    pub fn new(stream: Box<dyn ClientStream>) -> HttpClient {
+        HttpClient { stream }
+    }
+
+    /// Sends a request and reads the response.
+    pub fn send(&mut self, req: &HttpRequest) -> io::Result<HttpResponse> {
+        req.write_to(&mut self.stream)?;
+        let mut reader = BufReader::new(&mut self.stream);
+        HttpResponse::read_from(&mut reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"))
+    }
+}
+
+/// Errors from the Snowflake proxy.
+#[derive(Debug)]
+pub enum ProxyError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The Prover could not produce the demanded proof.
+    NoProof {
+        /// The demanded issuer.
+        issuer: Principal,
+        /// The demanded minimum restriction set.
+        tag: Tag,
+    },
+    /// The server rejected the proof we sent.
+    Rejected(String),
+    /// Protocol-level surprise.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProxyError::Io(e) => write!(f, "proxy i/o error: {e}"),
+            ProxyError::NoProof { issuer, tag } => {
+                write!(
+                    f,
+                    "no proof of authority over {} re {:?}",
+                    issuer.describe(),
+                    tag
+                )
+            }
+            ProxyError::Rejected(m) => write!(f, "server rejected authorization: {m}"),
+            ProxyError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {}
+
+impl From<io::Error> for ProxyError {
+    fn from(e: io::Error) -> Self {
+        ProxyError::Io(e)
+    }
+}
+
+/// The client-side Snowflake engine: answers challenges with proofs,
+/// maintains MAC sessions, and verifies document authentication.
+pub struct SnowflakeProxy {
+    prover: Arc<Prover>,
+    hash_alg: HashAlg,
+    /// MAC sessions keyed by the issuer they were established with.
+    mac_sessions: Mutex<HashMap<Principal, ClientMacSession>>,
+    /// The identity principal the user acts as (substituted for the `?`
+    /// pseudo-principal in gateway challenges).
+    identity: Mutex<Option<Principal>>,
+    clock: fn() -> Time,
+    rng: Mutex<Box<dyn FnMut(&mut [u8]) + Send>>,
+}
+
+impl SnowflakeProxy {
+    /// Creates a proxy backed by `prover`, with wall-clock time and OS
+    /// entropy.
+    pub fn new(prover: Arc<Prover>) -> SnowflakeProxy {
+        Self::with_clock(prover, Time::now, Box::new(snowflake_crypto::rand_bytes))
+    }
+
+    /// Creates a proxy with injected clock and entropy.
+    pub fn with_clock(
+        prover: Arc<Prover>,
+        clock: fn() -> Time,
+        rng: Box<dyn FnMut(&mut [u8]) + Send>,
+    ) -> SnowflakeProxy {
+        SnowflakeProxy {
+            prover,
+            hash_alg: HashAlg::Sha256,
+            mac_sessions: Mutex::new(HashMap::new()),
+            identity: Mutex::new(None),
+            clock,
+            rng: Mutex::new(rng),
+        }
+    }
+
+    /// Sets the identity principal substituted for `?` in gateway
+    /// challenges.
+    pub fn set_identity(&self, identity: Principal) {
+        *self.identity.lock() = Some(identity);
+    }
+
+    /// The Prover backing this proxy.
+    pub fn prover(&self) -> &Arc<Prover> {
+        &self.prover
+    }
+
+    /// Executes a request, handling the Snowflake challenge protocol.
+    ///
+    /// MAC sessions are used when one exists for the target issuer;
+    /// otherwise the request is retried with a signed proof on a 401.
+    pub fn execute(
+        &self,
+        client: &mut HttpClient,
+        mut req: HttpRequest,
+    ) -> Result<HttpResponse, ProxyError> {
+        // Keep connections alive across the challenge round trip.
+        req.set_header("Connection", "keep-alive");
+
+        let first = client.send(&req)?;
+        let Some((issuer, min_tag)) = auth::parse_challenge(&first) else {
+            return Ok(first);
+        };
+
+        // Gateway challenge (§6.3): the gateway names itself as the quoter
+        // and the client substitutes its identity for the `?`
+        // pseudo-principal, delegating to "gateway quoting client".
+        if let Some(quoter) = auth::parse_quoter(&first) {
+            return self.answer_gateway_challenge(client, req, &issuer, &min_tag, quoter);
+        }
+
+        // A live MAC session for this issuer authorizes cheaply (§5.3.1).
+        if let Some(session) = self.mac_sessions.lock().get(&issuer).cloned() {
+            if session.validity.contains((self.clock)()) {
+                let hash = auth::request_hash(&req, self.hash_alg);
+                req.set_header("Sf-Mac-Id", &session.id_header());
+                req.set_header("Sf-Mac", &session.authenticate(&hash));
+                let resp = client.send(&req)?;
+                if resp.status != 401 && resp.status != 403 {
+                    return Ok(resp);
+                }
+                req.remove_header("Sf-Mac-Id");
+                req.remove_header("Sf-Mac");
+            }
+        }
+
+        // Sign the retry: the proof's subject is the hash of the retried
+        // request, less the Authorization header.
+        let retry = self.sign_request(req, &issuer, &min_tag)?;
+        let resp = client.send(&retry)?;
+        if resp.status == 401 || resp.status == 403 {
+            return Err(ProxyError::Rejected(
+                String::from_utf8_lossy(&resp.body).into_owned(),
+            ));
+        }
+        Ok(resp)
+    }
+
+    /// Answers a gateway's `G|? ⇒ S` challenge: delegates authority over
+    /// `issuer` to "gateway quoting me", and signs the retried request so
+    /// the gateway can check `R ⇒ C`.
+    fn answer_gateway_challenge(
+        &self,
+        client: &mut HttpClient,
+        mut req: HttpRequest,
+        issuer: &Principal,
+        min_tag: &Tag,
+        quoter: Principal,
+    ) -> Result<HttpResponse, ProxyError> {
+        let identity =
+            self.identity.lock().clone().ok_or_else(|| {
+                ProxyError::Protocol("gateway challenge but no identity set".into())
+            })?;
+        let now = (self.clock)();
+
+        // The delegation G|C ⇒ S the gateway needs.
+        let g_quoting_c = Principal::quoting(quoter, identity.clone());
+        let delegation = self
+            .prover
+            .complete_proof(
+                &g_quoting_c,
+                issuer,
+                min_tag,
+                Validity::until(now.plus(3600)),
+                now,
+            )
+            .ok_or_else(|| ProxyError::NoProof {
+                issuer: issuer.clone(),
+                tag: min_tag.clone(),
+            })?;
+        auth::attach_proof(&mut req, &delegation);
+
+        // The signed copy of the original request, showing R ⇒ C.
+        req.remove_header(auth::CLIENT_PROOF_HEADER);
+        let r_principal = auth::request_principal(&req, self.hash_alg);
+        let client_proof = self
+            .prover
+            .delegate(
+                &r_principal,
+                &identity,
+                Tag::Star,
+                Validity::until(now.plus(300)),
+                false,
+            )
+            .ok_or_else(|| {
+                ProxyError::Protocol("identity principal is not controlled by prover".into())
+            })?;
+        auth::attach_client_proof(&mut req, &client_proof);
+
+        let resp = client.send(&req)?;
+        if resp.status == 401 || resp.status == 403 {
+            return Err(ProxyError::Rejected(
+                String::from_utf8_lossy(&resp.body).into_owned(),
+            ));
+        }
+        Ok(resp)
+    }
+
+    /// Attaches a proof to `req` for `issuer`/`tag` (exposed for benches).
+    pub fn sign_request(
+        &self,
+        mut req: HttpRequest,
+        issuer: &Principal,
+        min_tag: &Tag,
+    ) -> Result<HttpRequest, ProxyError> {
+        req.remove_header("Authorization");
+        let subject = auth::request_principal(&req, self.hash_alg);
+        let now = (self.clock)();
+        let proof = self
+            .prover
+            .complete_proof(
+                &subject,
+                issuer,
+                min_tag,
+                Validity::until(now.plus(300)),
+                now,
+            )
+            .ok_or_else(|| ProxyError::NoProof {
+                issuer: issuer.clone(),
+                tag: min_tag.clone(),
+            })?;
+        auth::attach_proof(&mut req, &proof);
+        Ok(req)
+    }
+
+    /// Establishes a MAC session with the service behind `client`.
+    ///
+    /// Sends a Snowflake-authorized POST to the well-known MAC path; on
+    /// success later [`SnowflakeProxy::execute`] calls authenticate with the
+    /// cheap HMAC instead of a public-key signature.
+    pub fn establish_mac_session(
+        &self,
+        client: &mut HttpClient,
+        issuer: &Principal,
+        tag: &Tag,
+    ) -> Result<(), ProxyError> {
+        let (body, dh) = {
+            let mut rng = self.rng.lock();
+            ClientMacSession::request_body(&mut **rng)
+        };
+        let mut req = HttpRequest::post(MAC_SESSION_PATH, body);
+        req.set_header("Connection", "keep-alive");
+        let signed = self.sign_request(req, issuer, tag)?;
+        let resp = client.send(&signed)?;
+        if resp.status != 200 {
+            return Err(ProxyError::Rejected(format!(
+                "MAC establishment failed: {} {}",
+                resp.status, resp.reason
+            )));
+        }
+        let now = (self.clock)();
+        let session = ClientMacSession::from_grant(&resp.body, &dh, Validity::until(now.plus(300)))
+            .map_err(ProxyError::Protocol)?;
+        self.mac_sessions.lock().insert(issuer.clone(), session);
+        Ok(())
+    }
+
+    /// Does the proxy hold a MAC session for `issuer`?
+    pub fn has_mac_session(&self, issuer: &Principal) -> bool {
+        self.mac_sessions.lock().contains_key(issuer)
+    }
+
+    /// Attaches MAC headers to a request using the session for `issuer`,
+    /// without any challenge round trip (benchmarks measure this as the
+    /// steady-state MAC-protocol cost).
+    pub fn mac_sign(&self, mut req: HttpRequest, issuer: &Principal) -> Option<HttpRequest> {
+        let session = self.mac_sessions.lock().get(issuer).cloned()?;
+        let hash = auth::request_hash(&req, self.hash_alg);
+        req.set_header("Sf-Mac-Id", &session.id_header());
+        req.set_header("Sf-Mac", &session.authenticate(&hash));
+        Some(req)
+    }
+
+    /// Verifies a response's document-authentication proof (§5.3.3).
+    pub fn verify_document(
+        &self,
+        resp: &HttpResponse,
+        expected_issuer: &Principal,
+    ) -> Result<(), String> {
+        let ctx = VerifyCtx::at((self.clock)());
+        crate::server::verify_document(resp, expected_issuer, &ctx)
+    }
+
+    /// Generates the shareable delegation link of §5.3.5: "a link inside
+    /// the snippet names the destination page and carries both the
+    /// delegation from the user as well as the proof the user needed to
+    /// access the page."
+    pub fn make_delegation_link(
+        &self,
+        url: &str,
+        recipient: &Principal,
+        issuer: &Principal,
+        tag: &Tag,
+        validity: Validity,
+    ) -> Result<Sexp, ProxyError> {
+        let now = (self.clock)();
+        // The recipient is a user who must be able to extend the authority
+        // to their own request hashes, so the hop carries the propagate bit.
+        let proof = self
+            .prover
+            .complete_proof_delegable(recipient, issuer, tag, validity, now, true)
+            .ok_or_else(|| ProxyError::NoProof {
+                issuer: issuer.clone(),
+                tag: tag.clone(),
+            })?;
+        Ok(Sexp::tagged(
+            "sf-link",
+            vec![
+                Sexp::tagged("url", vec![Sexp::from(url)]),
+                Sexp::tagged("proof", vec![proof.to_sexp()]),
+            ],
+        ))
+    }
+
+    /// Imports a delegation link: digests the carried proofs into the
+    /// Prover and returns the destination URL.
+    pub fn import_delegation_link(&self, link: &Sexp) -> Result<String, ProxyError> {
+        if link.tag_name() != Some("sf-link") {
+            return Err(ProxyError::Protocol("expected (sf-link …)".into()));
+        }
+        let url = link
+            .find_value("url")
+            .and_then(Sexp::as_str)
+            .ok_or_else(|| ProxyError::Protocol("sf-link missing url".into()))?
+            .to_string();
+        let proof_sexp = link
+            .find_value("proof")
+            .ok_or_else(|| ProxyError::Protocol("sf-link missing proof".into()))?;
+        let proof = Proof::from_sexp(proof_sexp)
+            .map_err(|e| ProxyError::Protocol(format!("sf-link bad proof: {e}")))?;
+        self.prover.add_proof(proof);
+        Ok(url)
+    }
+}

@@ -1,0 +1,378 @@
+//! HTTP/1.0-style message model.
+//!
+//! Deliberately small: request line + headers + `Content-Length` body,
+//! optional keep-alive.  That is all the paper's protocols (Figure 5, the
+//! MAC optimization, document authentication) require, and it keeps the
+//! parsing cost honest for the Figure 7 baseline comparisons.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted header section size.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Maximum accepted body size.
+const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (absolute, e.g. `/inbox/1`).
+    pub path: String,
+    /// Protocol version string (`HTTP/1.0`).
+    pub version: String,
+    /// Ordered header list.
+    pub headers: Vec<(String, String)>,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// A GET request with no body.
+    pub fn get(path: &str) -> HttpRequest {
+        HttpRequest {
+            method: "GET".into(),
+            path: path.into(),
+            version: "HTTP/1.0".into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A POST request carrying `body`.
+    pub fn post(path: &str, body: Vec<u8>) -> HttpRequest {
+        HttpRequest {
+            method: "POST".into(),
+            path: path.into(),
+            version: "HTTP/1.0".into(),
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// First value of the named header (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_get(&self.headers, name)
+    }
+
+    /// Sets (replacing) a header.
+    pub fn set_header(&mut self, name: &str, value: &str) {
+        header_set(&mut self.headers, name, value);
+    }
+
+    /// Removes all occurrences of a header.
+    pub fn remove_header(&mut self, name: &str) {
+        self.headers.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+    }
+
+    /// Serializes onto a writer (adds `Content-Length`).
+    pub fn write_to(&self, w: &mut dyn Write) -> io::Result<()> {
+        let mut head = format!("{} {} {}\r\n", self.method, self.path, self.version);
+        for (n, v) in &self.headers {
+            if n.eq_ignore_ascii_case("content-length") {
+                continue;
+            }
+            head.push_str(&format!("{n}: {v}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", self.body.len()));
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+
+    /// Parses one request from a buffered reader; `Ok(None)` on clean EOF.
+    pub fn read_from(r: &mut dyn BufRead) -> io::Result<Option<HttpRequest>> {
+        let Some(line) = read_line(r)? else {
+            return Ok(None);
+        };
+        let mut parts = line.split_whitespace();
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v.to_string()),
+            _ => return Err(bad("malformed request line")),
+        };
+        let headers = read_headers(r)?;
+        let body = read_body(r, &headers)?;
+        Ok(Some(HttpRequest {
+            method,
+            path,
+            version,
+            headers,
+            body,
+        }))
+    }
+
+    /// Does the client ask to keep the connection open?
+    pub fn keep_alive(&self) -> bool {
+        self.header("Connection")
+            .map(|v| v.eq_ignore_ascii_case("keep-alive"))
+            .unwrap_or(false)
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Ordered header list.
+    pub headers: Vec<(String, String)>,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A 200 response with the given content type and body.
+    pub fn ok(content_type: &str, body: Vec<u8>) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            reason: "OK".into(),
+            headers: vec![("Content-Type".into(), content_type.into())],
+            body,
+        }
+    }
+
+    /// A plain-text response with an arbitrary status.
+    pub fn status(status: u16, reason: &str, body: &str) -> HttpResponse {
+        HttpResponse {
+            status,
+            reason: reason.into(),
+            headers: vec![("Content-Type".into(), "text/plain".into())],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// 404.
+    pub fn not_found() -> HttpResponse {
+        Self::status(404, "Not Found", "not found")
+    }
+
+    /// 403 — "to indicate the authorization failure".
+    pub fn forbidden(msg: &str) -> HttpResponse {
+        Self::status(403, "Forbidden", msg)
+    }
+
+    /// First value of the named header (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_get(&self.headers, name)
+    }
+
+    /// Sets (replacing) a header.
+    pub fn set_header(&mut self, name: &str, value: &str) {
+        header_set(&mut self.headers, name, value);
+    }
+
+    /// Serializes onto a writer (adds `Content-Length`).
+    pub fn write_to(&self, w: &mut dyn Write) -> io::Result<()> {
+        let mut head = format!("HTTP/1.0 {} {}\r\n", self.status, self.reason);
+        for (n, v) in &self.headers {
+            if n.eq_ignore_ascii_case("content-length") {
+                continue;
+            }
+            head.push_str(&format!("{n}: {v}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", self.body.len()));
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+
+    /// Parses one response; `Ok(None)` on clean EOF.
+    pub fn read_from(r: &mut dyn BufRead) -> io::Result<Option<HttpResponse>> {
+        let Some(line) = read_line(r)? else {
+            return Ok(None);
+        };
+        let mut parts = line.splitn(3, ' ');
+        let _version = parts.next().ok_or_else(|| bad("missing version"))?;
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad status code"))?;
+        let reason = parts.next().unwrap_or("").to_string();
+        let headers = read_headers(r)?;
+        let body = read_body(r, &headers)?;
+        Ok(Some(HttpResponse {
+            status,
+            reason,
+            headers,
+            body,
+        }))
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn read_line(r: &mut dyn BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.len() > MAX_HEADER_BYTES {
+        return Err(bad("header line too long"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+fn read_headers(r: &mut dyn BufRead) -> io::Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    let mut total = 0usize;
+    loop {
+        let line = read_line(r)?.ok_or_else(|| bad("eof inside headers"))?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        total += line.len();
+        if total > MAX_HEADER_BYTES {
+            return Err(bad("header section too large"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad("malformed header"))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+}
+
+fn read_body(r: &mut dyn BufRead, headers: &[(String, String)]) -> io::Result<Vec<u8>> {
+    let len: usize = header_get(headers, "Content-Length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if len > MAX_BODY_BYTES {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; len];
+    io::Read::read_exact(r, &mut body)?;
+    Ok(body)
+}
+
+fn header_get<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+fn header_set(headers: &mut Vec<(String, String)>, name: &str, value: &str) {
+    headers.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+    headers.push((name.to_string(), value.to_string()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip_request(req: &HttpRequest) -> HttpRequest {
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        HttpRequest::read_from(&mut BufReader::new(&buf[..]))
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let mut req = HttpRequest::get("/inbox/1");
+        req.set_header("Host", "mail.example");
+        req.set_header("X-Custom", "value with spaces");
+        let back = roundtrip_request(&req);
+        assert_eq!(back.method, "GET");
+        assert_eq!(back.path, "/inbox/1");
+        assert_eq!(back.header("host"), Some("mail.example"));
+        assert_eq!(back.header("x-custom"), Some("value with spaces"));
+        assert!(back.body.is_empty());
+    }
+
+    #[test]
+    fn post_body_roundtrip() {
+        let req = HttpRequest::post("/submit", b"a=1&b=2".to_vec());
+        let back = roundtrip_request(&req);
+        assert_eq!(back.body, b"a=1&b=2");
+        assert_eq!(back.header("content-length"), Some("7"));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut resp = HttpResponse::ok("text/html", b"<p>hi</p>".to_vec());
+        resp.set_header("Server", "Snowflake");
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let back = HttpResponse::read_from(&mut BufReader::new(&buf[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(back.status, 200);
+        assert_eq!(back.reason, "OK");
+        assert_eq!(back.body, b"<p>hi</p>");
+        assert_eq!(back.header("server"), Some("Snowflake"));
+    }
+
+    #[test]
+    fn eof_returns_none() {
+        let empty: &[u8] = b"";
+        assert!(HttpRequest::read_from(&mut BufReader::new(empty))
+            .unwrap()
+            .is_none());
+        assert!(HttpResponse::read_from(&mut BufReader::new(empty))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        for bytes in [
+            &b"NOT-A-REQUEST\r\n\r\n"[..],
+            &b"GET /\r\n\r\n"[..],                    // missing version
+            &b"GET / HTTP/1.0\r\nbroken\r\n\r\n"[..], // header without colon
+        ] {
+            assert!(
+                HttpRequest::read_from(&mut BufReader::new(bytes)).is_err(),
+                "{:?}",
+                String::from_utf8_lossy(bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn header_replacement() {
+        let mut req = HttpRequest::get("/");
+        req.set_header("A", "1");
+        req.set_header("a", "2");
+        assert_eq!(req.header("A"), Some("2"));
+        assert_eq!(
+            req.headers
+                .iter()
+                .filter(|(n, _)| n.eq_ignore_ascii_case("a"))
+                .count(),
+            1
+        );
+        req.remove_header("A");
+        assert_eq!(req.header("A"), None);
+    }
+
+    #[test]
+    fn keep_alive_flag() {
+        let mut req = HttpRequest::get("/");
+        assert!(!req.keep_alive());
+        req.set_header("Connection", "keep-alive");
+        assert!(req.keep_alive());
+        req.set_header("Connection", "close");
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_sequentially() {
+        let mut buf = Vec::new();
+        HttpRequest::get("/a").write_to(&mut buf).unwrap();
+        HttpRequest::get("/b").write_to(&mut buf).unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(HttpRequest::read_from(&mut r).unwrap().unwrap().path, "/a");
+        assert_eq!(HttpRequest::read_from(&mut r).unwrap().unwrap().path, "/b");
+        assert!(HttpRequest::read_from(&mut r).unwrap().is_none());
+    }
+}

@@ -1,0 +1,204 @@
+//! Byte-stream plumbing for HTTP.
+//!
+//! HTTP is a byte-stream protocol; Snowflake channels are frame-based.
+//! [`MemStream`] gives tests an in-memory connected stream pair, and
+//! [`ChannelStream`] adapts any [`AuthChannel`] into a byte stream so HTTP
+//! can run over the secure channel (the SSL-like configurations of
+//! Figure 8).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use snowflake_channel::AuthChannel;
+use std::io::{self, Read, Write};
+
+/// One end of an in-memory duplex byte stream.
+pub struct MemStream {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    pending: Vec<u8>,
+    offset: usize,
+}
+
+/// Creates a connected pair of in-memory byte streams.
+pub fn duplex() -> (MemStream, MemStream) {
+    let (atx, arx) = unbounded();
+    let (btx, brx) = unbounded();
+    (
+        MemStream {
+            tx: atx,
+            rx: brx,
+            pending: Vec::new(),
+            offset: 0,
+        },
+        MemStream {
+            tx: btx,
+            rx: arx,
+            pending: Vec::new(),
+            offset: 0,
+        },
+    )
+}
+
+impl Read for MemStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.offset >= self.pending.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.pending = chunk;
+                    self.offset = 0;
+                }
+                // Peer closed: EOF.
+                Err(_) => return Ok(0),
+            }
+        }
+        let available = &self.pending[self.offset..];
+        let n = available.len().min(buf.len());
+        buf[..n].copy_from_slice(&available[..n]);
+        self.offset += n;
+        Ok(n)
+    }
+}
+
+impl Write for MemStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx
+            .send(buf.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Adapts a frame-based channel into a byte stream.
+///
+/// Writes buffer until [`flush`](Write::flush), which emits one frame; reads
+/// drain one frame at a time.  HTTP code always flushes after a complete
+/// message, so framing boundaries align with messages.
+pub struct ChannelStream {
+    channel: Box<dyn AuthChannel>,
+    write_buf: Vec<u8>,
+    read_buf: Vec<u8>,
+    read_off: usize,
+}
+
+impl ChannelStream {
+    /// Wraps an authenticated channel.
+    pub fn new(channel: Box<dyn AuthChannel>) -> ChannelStream {
+        ChannelStream {
+            channel,
+            write_buf: Vec::new(),
+            read_buf: Vec::new(),
+            read_off: 0,
+        }
+    }
+
+    /// Access to the underlying channel (for peer identity queries).
+    pub fn channel(&self) -> &dyn AuthChannel {
+        self.channel.as_ref()
+    }
+}
+
+impl Read for ChannelStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.read_off >= self.read_buf.len() {
+            match self.channel.recv() {
+                Ok(frame) => {
+                    self.read_buf = frame;
+                    self.read_off = 0;
+                }
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(0),
+                Err(e) => return Err(e),
+            }
+        }
+        let available = &self.read_buf[self.read_off..];
+        let n = available.len().min(buf.len());
+        buf[..n].copy_from_slice(&available[..n]);
+        self.read_off += n;
+        Ok(n)
+    }
+}
+
+impl Write for ChannelStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.write_buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if !self.write_buf.is_empty() {
+            let frame = std::mem::take(&mut self.write_buf);
+            self.channel.send(&frame)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{HttpRequest, HttpResponse};
+    use snowflake_channel::{PipeTransport, SecureChannel};
+    use snowflake_crypto::{DetRng, Group, KeyPair};
+    use std::io::BufReader;
+
+    #[test]
+    fn mem_stream_carries_http() {
+        let (mut c, mut s) = duplex();
+        let t = std::thread::spawn(move || {
+            let mut req_buf = BufReader::new(&mut s);
+            let req = HttpRequest::read_from(&mut req_buf).unwrap().unwrap();
+            assert_eq!(req.path, "/hello");
+            HttpResponse::ok("text/plain", b"hi".to_vec())
+                .write_to(&mut s)
+                .unwrap();
+        });
+        HttpRequest::get("/hello").write_to(&mut c).unwrap();
+        let resp = HttpResponse::read_from(&mut BufReader::new(&mut c))
+            .unwrap()
+            .unwrap();
+        assert_eq!(resp.body, b"hi");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn channel_stream_carries_http_over_secure_channel() {
+        let mut rng_k = DetRng::new(b"k");
+        let server_key = KeyPair::generate(Group::test512(), &mut |b| rng_k.fill(b));
+        let server_key2 = server_key.clone();
+        let (ct, st) = PipeTransport::pair();
+        let t = std::thread::spawn(move || {
+            let mut rng = DetRng::new(b"s");
+            let ch = SecureChannel::server(Box::new(st), &server_key2, None, &mut |b| rng.fill(b))
+                .unwrap();
+            let mut stream = ChannelStream::new(Box::new(ch));
+            let req = {
+                let mut r = BufReader::new(&mut stream);
+                HttpRequest::read_from(&mut r).unwrap().unwrap()
+            };
+            assert_eq!(req.path, "/secure");
+            HttpResponse::ok("text/plain", b"over ssl-like".to_vec())
+                .write_to(&mut stream)
+                .unwrap();
+        });
+        let mut rng = DetRng::new(b"c");
+        let ch = SecureChannel::client(Box::new(ct), None, None, &mut |b| rng.fill(b)).unwrap();
+        let mut stream = ChannelStream::new(Box::new(ch));
+        HttpRequest::get("/secure").write_to(&mut stream).unwrap();
+        let resp = {
+            let mut r = BufReader::new(&mut stream);
+            HttpResponse::read_from(&mut r).unwrap().unwrap()
+        };
+        assert_eq!(resp.body, b"over ssl-like");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mem_stream_eof_on_close() {
+        let (mut c, s) = duplex();
+        drop(s);
+        let mut buf = [0u8; 8];
+        assert_eq!(c.read(&mut buf).unwrap(), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! The conventional HTTP authentication methods (RFC 2617), provided for
+//! comparison with Snowflake Authorization — "Both methods authenticate the
+//! client as the holder of a secret password, and leave authorization to an
+//! ACL at the server" (§5.3).
+
+use snowflake_http::auth::{basic_authorization, digest_response, parse_basic, verify_digest};
+use snowflake_http::{duplex, HttpClient, HttpRequest, HttpResponse, HttpServer};
+use std::sync::Arc;
+
+/// A Basic-auth handler: the ACL lives at the server — exactly the coupling
+/// Snowflake removes.
+fn basic_guard(req: &HttpRequest) -> HttpResponse {
+    let acl = [("alice", "wonderland")];
+    match req.header("Authorization").and_then(parse_basic) {
+        Some((user, pass)) if acl.contains(&(user.as_str(), pass.as_str())) => {
+            HttpResponse::ok("text/plain", format!("hello {user}").into_bytes())
+        }
+        Some(_) => HttpResponse::forbidden("bad credentials"),
+        None => {
+            let mut resp = HttpResponse::status(401, "Unauthorized", "authentication required");
+            resp.set_header("WWW-Authenticate", "Basic realm=\"compare\"");
+            resp
+        }
+    }
+}
+
+#[test]
+fn basic_auth_end_to_end() {
+    let server = HttpServer::new();
+    server.route("/", Arc::new(basic_guard));
+    let (cs, mut ss) = duplex();
+    let t = std::thread::spawn(move || {
+        let _ = server.serve_stream(&mut ss);
+    });
+    let mut client = HttpClient::new(Box::new(cs));
+
+    // Unauthenticated → challenge.
+    let mut req = HttpRequest::get("/secret");
+    req.set_header("Connection", "keep-alive");
+    let resp = client.send(&req).unwrap();
+    assert_eq!(resp.status, 401);
+    assert!(resp
+        .header("WWW-Authenticate")
+        .unwrap()
+        .starts_with("Basic"));
+
+    // Right password → 200; wrong → 403.
+    req.set_header("Authorization", &basic_authorization("alice", "wonderland"));
+    assert_eq!(client.send(&req).unwrap().status, 200);
+    req.set_header("Authorization", &basic_authorization("alice", "guess"));
+    assert_eq!(client.send(&req).unwrap().status, 403);
+
+    drop(client);
+    t.join().unwrap();
+}
+
+#[test]
+fn digest_auth_round() {
+    // Server side state for one digest exchange.
+    let realm = "compare";
+    let nonce = "f3a95bd4";
+    let password = "wonderland";
+
+    // Client computes the response hash; server recomputes and compares in
+    // constant time.
+    let client_resp = digest_response("alice", realm, password, "GET", "/secret", nonce);
+    let server_expect = digest_response("alice", realm, password, "GET", "/secret", nonce);
+    assert!(verify_digest(&server_expect, &client_resp));
+
+    // Any parameter change breaks the hash.
+    for (user, pw, method, uri, n) in [
+        ("mallory", password, "GET", "/secret", nonce),
+        ("alice", "guess", "GET", "/secret", nonce),
+        ("alice", password, "POST", "/secret", nonce),
+        ("alice", password, "GET", "/other", nonce),
+        ("alice", password, "GET", "/secret", "00000000"),
+    ] {
+        let attempt = digest_response(user, realm, pw, method, uri, n);
+        assert!(!verify_digest(&server_expect, &attempt));
+    }
+}

@@ -1,0 +1,315 @@
+//! End-to-end tests of the Snowflake HTTP authorization protocol (§5.3):
+//! the 401 challenge / signed-request retry, the MAC amortization, document
+//! authentication, and delegation links.
+
+use snowflake_core::{Certificate, Delegation, Principal, Tag, Time, Validity};
+use snowflake_crypto::{DetRng, Group, KeyPair};
+use snowflake_http::server::DocumentAuthenticator;
+use snowflake_http::{
+    duplex, HttpClient, HttpRequest, HttpResponse, HttpServer, ProtectedServlet, SnowflakeProxy,
+    SnowflakeService,
+};
+use snowflake_prover::Prover;
+use snowflake_sexpr::Sexp;
+use std::sync::Arc;
+
+fn kp(seed: &str) -> KeyPair {
+    let mut rng = DetRng::new(seed.as_bytes());
+    KeyPair::generate(Group::test512(), &mut |b| rng.fill(b))
+}
+
+fn fixed_clock() -> Time {
+    Time(1_000_000)
+}
+
+/// A protected web file service over an in-memory "site".
+struct WebService {
+    issuer: Principal,
+    service_name: String,
+}
+
+impl SnowflakeService for WebService {
+    fn issuer(&self, _req: &HttpRequest) -> Principal {
+        self.issuer.clone()
+    }
+
+    fn min_tag(&self, req: &HttpRequest) -> Tag {
+        snowflake_http::auth::web_tag(&req.method, &self.service_name, &req.path)
+    }
+
+    fn serve(&self, req: &HttpRequest, speaker: &Principal) -> HttpResponse {
+        let body = format!("contents of {} served to {}", req.path, speaker.describe());
+        HttpResponse::ok("text/plain", body.into_bytes())
+    }
+}
+
+struct Rig {
+    server: Arc<HttpServer>,
+    servlet: Arc<ProtectedServlet<WebService>>,
+    issuer: Principal,
+    proxy: SnowflakeProxy,
+}
+
+fn rig(grant_tag: &str) -> Rig {
+    let owner = kp("owner");
+    let alice = kp("alice");
+    let issuer = Principal::key(&owner.public);
+
+    // The owner grants Alice's identity key access, delegable.
+    let mut rng = DetRng::new(b"rig");
+    let tag = Tag::parse(&Sexp::parse(grant_tag.as_bytes()).unwrap()).unwrap();
+    let cert = Certificate::issue(
+        &owner,
+        Delegation {
+            subject: Principal::key(&alice.public),
+            issuer: issuer.clone(),
+            tag,
+            validity: Validity::always(),
+            delegable: true,
+        },
+        &mut |b| rng.fill(b),
+    );
+
+    let mut prng = DetRng::new(b"prover");
+    let prover = Arc::new(Prover::with_rng(Box::new(move |b| prng.fill(b))));
+    prover.add_proof(snowflake_core::Proof::signed_cert(cert));
+    prover.add_key(alice);
+
+    let mut srng = DetRng::new(b"servlet");
+    let servlet = ProtectedServlet::with_clock(
+        WebService {
+            issuer: issuer.clone(),
+            service_name: "Jon's Protected Service".into(),
+        },
+        fixed_clock,
+        Box::new(move |b| srng.fill(b)),
+    );
+    let server = HttpServer::new();
+    server.route(
+        "/",
+        Arc::clone(&servlet) as Arc<dyn snowflake_http::Handler>,
+    );
+
+    let mut xrng = DetRng::new(b"proxy");
+    let proxy = SnowflakeProxy::with_clock(prover, fixed_clock, Box::new(move |b| xrng.fill(b)));
+    Rig {
+        server,
+        servlet,
+        issuer,
+        proxy,
+    }
+}
+
+/// Spawns the server on one end of an in-memory stream and returns a client
+/// on the other end.
+fn connect(rig: &Rig) -> (HttpClient, std::thread::JoinHandle<()>) {
+    let (client_stream, mut server_stream) = duplex();
+    let server = Arc::clone(&rig.server);
+    let handle = std::thread::spawn(move || {
+        let _ = server.serve_stream(&mut server_stream);
+    });
+    (HttpClient::new(Box::new(client_stream)), handle)
+}
+
+#[test]
+fn challenge_and_signed_retry() {
+    let r = rig("(tag (web (method GET)))");
+    let (mut client, handle) = connect(&r);
+
+    let resp = r
+        .proxy
+        .execute(&mut client, HttpRequest::get("/inbox/1"))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(String::from_utf8_lossy(&resp.body).contains("/inbox/1"));
+
+    let stats = r.servlet.stats();
+    assert_eq!(stats.challenges, 1);
+    assert_eq!(stats.proof_verifications, 1);
+    drop(client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn identical_request_hits_cache() {
+    let r = rig("(tag (web (method GET)))");
+    let (mut client, handle) = connect(&r);
+
+    // Same request thrice: one challenge, one verification, then the
+    // identical-request fast path (the "ident" bar of Figure 8).
+    for _ in 0..3 {
+        let resp = r
+            .proxy
+            .execute(&mut client, HttpRequest::get("/inbox/1"))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    let stats = r.servlet.stats();
+    assert_eq!(stats.proof_verifications, 1);
+    assert!(stats.ident_hits >= 1, "{stats:?}");
+    drop(client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn insufficient_delegation_rejected() {
+    // Alice only holds (web (method GET)); a POST must fail with 403 and
+    // the proxy surfaces the rejection.
+    let r = rig("(tag (web (method GET)))");
+    let (mut client, handle) = connect(&r);
+
+    let result = r
+        .proxy
+        .execute(&mut client, HttpRequest::post("/inbox", b"x".to_vec()));
+    assert!(result.is_err(), "POST should not be provable: {result:?}");
+    drop(client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn stranger_has_no_proof() {
+    let r = rig("(tag (web (method GET)))");
+    // A proxy whose prover has no delegation chain.
+    let stranger = kp("stranger");
+    let mut prng = DetRng::new(b"stranger");
+    let prover = Arc::new(Prover::with_rng(Box::new(move |b| prng.fill(b))));
+    prover.add_key(stranger);
+    let mut xrng = DetRng::new(b"stranger-proxy");
+    let proxy = SnowflakeProxy::with_clock(prover, fixed_clock, Box::new(move |b| xrng.fill(b)));
+
+    let (mut client, handle) = connect(&r);
+    let result = proxy.execute(&mut client, HttpRequest::get("/inbox/1"));
+    assert!(matches!(
+        result,
+        Err(snowflake_http::client::ProxyError::NoProof { .. })
+    ));
+    drop(client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn tampered_request_after_signing_rejected() {
+    let r = rig("(tag (web (method GET)))");
+    let (mut client, handle) = connect(&r);
+
+    // Sign one request, then alter the path: the hash no longer matches the
+    // proof subject.
+    let req = HttpRequest::get("/inbox/1");
+    let tag = snowflake_http::auth::web_tag("GET", "Jon's Protected Service", "/inbox/1");
+    let mut signed = r.proxy.sign_request(req, &r.issuer, &tag).unwrap();
+    signed.path = "/secret/2".into();
+    signed.set_header("Connection", "keep-alive");
+    let resp = client.send(&signed).unwrap();
+    assert_eq!(resp.status, 403, "{}", String::from_utf8_lossy(&resp.body));
+    drop(client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn mac_session_amortizes_signatures() {
+    let r = rig("(tag (web))");
+    let (mut client, handle) = connect(&r);
+
+    // Establish the MAC session (one signed request)…
+    let tag = Tag::parse(&Sexp::parse(b"(tag (web))").unwrap()).unwrap();
+    r.proxy
+        .establish_mac_session(&mut client, &r.issuer, &tag)
+        .unwrap();
+    assert!(r.proxy.has_mac_session(&r.issuer));
+
+    // …then many requests ride the MAC fast path.
+    for i in 0..5 {
+        let resp = r
+            .proxy
+            .execute(&mut client, HttpRequest::get(&format!("/inbox/{i}")))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    let stats = r.servlet.stats();
+    assert_eq!(stats.mac_hits, 5, "{stats:?}");
+    // Only the establishment needed a public-key verification.
+    assert_eq!(stats.proof_verifications, 1, "{stats:?}");
+    drop(client);
+    handle.join().unwrap();
+}
+
+#[test]
+fn document_authentication_end_to_end() {
+    // A separate unprotected route that signs its documents.
+    let doc_key = kp("doc-signer");
+    let mut arng = DetRng::new(b"doc");
+    let authenticator = Arc::new(DocumentAuthenticator::new(
+        doc_key,
+        Box::new(move |b| arng.fill(b)),
+    ));
+    let issuer = authenticator.issuer();
+
+    let server = HttpServer::new();
+    let auth2 = Arc::clone(&authenticator);
+    server.route(
+        "/",
+        Arc::new(move |_req: &HttpRequest| {
+            let mut resp = HttpResponse::ok("text/html", b"<p>the course list</p>".to_vec());
+            auth2.attach(&mut resp, true);
+            resp
+        }),
+    );
+
+    let (client_stream, mut server_stream) = duplex();
+    let handle = std::thread::spawn(move || {
+        let _ = server.serve_stream(&mut server_stream);
+    });
+    let mut client = HttpClient::new(Box::new(client_stream));
+
+    let mut prng = DetRng::new(b"p");
+    let prover = Arc::new(Prover::with_rng(Box::new(move |b| prng.fill(b))));
+    let mut xrng = DetRng::new(b"x");
+    let proxy = SnowflakeProxy::with_clock(prover, fixed_clock, Box::new(move |b| xrng.fill(b)));
+
+    let resp = client.send(&HttpRequest::get("/course-list")).unwrap();
+    proxy.verify_document(&resp, &issuer).unwrap();
+    // Wrong issuer: rejected.
+    assert!(proxy
+        .verify_document(&resp, &Principal::message(b"evil"))
+        .is_err());
+    handle.join().unwrap();
+}
+
+#[test]
+fn delegation_link_shares_access() {
+    let r = rig("(tag (web (method GET)))");
+
+    // Alice generates a link for Bob.
+    let bob = kp("bob");
+    let bob_principal = Principal::key(&bob.public);
+    let tag = snowflake_http::auth::web_tag("GET", "Jon's Protected Service", "/inbox/1");
+    let link = r
+        .proxy
+        .make_delegation_link(
+            "http://mail.example/inbox/1",
+            &bob_principal,
+            &r.issuer,
+            &tag,
+            Validity::until(Time(2_000_000)),
+        )
+        .unwrap();
+
+    // Bob's proxy imports the link: his prover now holds the chain
+    // Bob ⇒ Alice ⇒ owner, so he can answer challenges.
+    let mut brng = DetRng::new(b"bob-prover");
+    let bob_prover = Arc::new(Prover::with_rng(Box::new(move |b| brng.fill(b))));
+    bob_prover.add_key(bob);
+    let mut xrng = DetRng::new(b"bob-proxy");
+    let bob_proxy =
+        SnowflakeProxy::with_clock(bob_prover, fixed_clock, Box::new(move |b| xrng.fill(b)));
+    let url = bob_proxy.import_delegation_link(&link).unwrap();
+    assert_eq!(url, "http://mail.example/inbox/1");
+
+    let (mut client, handle) = connect(&r);
+    let resp = bob_proxy
+        .execute(&mut client, HttpRequest::get("/inbox/1"))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    drop(client);
+    handle.join().unwrap();
+}

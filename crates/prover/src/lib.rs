@@ -1,0 +1,818 @@
+//! The Prover: proof collection, caching, and construction (paper §4.4).
+//!
+//! "A `Prover` object helps Snowflake applications collect and create
+//! proofs.  It has three tasks: it collects delegations, caches proofs, and
+//! constructs new delegations."
+//!
+//! The Prover maintains a graph whose nodes are principals and whose edges
+//! are proofs of delegation from one principal to the next (Figure 2).  It:
+//!
+//! * **digests** incoming multi-step proofs into their component lemmas so
+//!   each becomes an independent edge;
+//! * adds **shortcut edges** for every derived proof it computes, forming a
+//!   cache that "eliminates most deep traversals of the graph";
+//! * searches **breadth-first**, working backwards from the required issuer
+//!   (the paper's example: from node `S` back to the final node `A`);
+//! * stores **closures** for controlled principals (objects that know the
+//!   private key), letting it *complete* new proofs by delegating restricted
+//!   authority from a controlled principal to a new subject — this is how a
+//!   client delegates its authority to a channel key (`K_CH ⇒ A` in the
+//!   paper's example).
+//!
+//! The Prover is deliberately simple and incomplete: the general
+//! access-control decision problem with conjunction and quoting is
+//! exponential (Abadi et al.), but "in the common case … proofs are built
+//! incrementally with graph traversals of constant depth."
+
+use parking_lot::RwLock;
+use snowflake_core::{Certificate, Delegation, Principal, Proof, Time, Validity};
+use snowflake_crypto::KeyPair;
+use snowflake_tags::Tag;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// An object that can exercise a controlled principal's authority.
+pub enum Closure {
+    /// Holds a private key; can sign new delegations from principals the
+    /// key controls.
+    SigningKey(Box<KeyPair>),
+}
+
+/// One edge of the delegation graph: a proof that `subject ⇒ issuer`.
+#[derive(Clone)]
+struct Edge {
+    subject: Principal,
+    /// The proof's conclusion, cached so searches never re-derive it from
+    /// the (possibly deep) proof tree.
+    conclusion: Delegation,
+    proof: Arc<Proof>,
+    /// Shortcut edges are derived proofs cached after a successful search
+    /// (the dotted edges of Figure 2).
+    shortcut: bool,
+}
+
+/// Statistics about the Prover's graph, exposed for benchmarks and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProverStats {
+    /// Number of non-shortcut edges.
+    pub base_edges: usize,
+    /// Number of cached shortcut edges.
+    pub shortcut_edges: usize,
+    /// Number of controlled (final) principals.
+    pub finals: usize,
+    /// BFS node expansions performed since creation.
+    pub expansions: u64,
+}
+
+/// Collects delegations, caches proofs, and constructs new delegations.
+///
+/// All methods take `&self`; internal state is lock-protected so a single
+/// Prover can serve every connection of an application, as in the paper's
+/// client (one Prover per `SSHContext` scope).
+pub struct Prover {
+    inner: RwLock<Inner>,
+    rng: parking_lot::Mutex<Box<dyn FnMut(&mut [u8]) + Send>>,
+}
+
+struct Inner {
+    /// Edges indexed by *issuer*: `edges[Y]` holds proofs `X ⇒ Y`.
+    edges: HashMap<Principal, Vec<Edge>>,
+    /// Closures for controlled (final) principals, keyed by the principals
+    /// they control.
+    closures: HashMap<Principal, Arc<Closure>>,
+    /// Dedup of inserted proofs by hash.
+    known: HashSet<snowflake_core::HashVal>,
+    expansions: u64,
+}
+
+/// Maximum BFS depth; the paper expects constant-depth traversals in
+/// practice, so a small bound guards against adversarial graphs.
+const MAX_DEPTH: usize = 24;
+
+impl Prover {
+    /// Creates an empty Prover drawing entropy from the OS.
+    pub fn new() -> Prover {
+        Self::with_rng(Box::new(snowflake_crypto::rand_bytes))
+    }
+
+    /// Creates a Prover with a caller-supplied entropy source (tests and
+    /// benchmarks use a deterministic one).
+    pub fn with_rng(rng: Box<dyn FnMut(&mut [u8]) + Send>) -> Prover {
+        Prover {
+            inner: RwLock::new(Inner {
+                edges: HashMap::new(),
+                closures: HashMap::new(),
+                known: HashSet::new(),
+                expansions: 0,
+            }),
+            rng: parking_lot::Mutex::new(rng),
+        }
+    }
+
+    /// Registers a controlled key: its principals become *final* nodes.
+    ///
+    /// Both the key principal and its hash principal gain closures, and
+    /// hash-identity edges (`H(K) ⇔ K`) are added so searches can bridge the
+    /// two representations.
+    pub fn add_key(&self, keypair: KeyPair) {
+        let key_p = Principal::key(&keypair.public);
+        let hash_p = Principal::key_hash(&keypair.public);
+        let closure = Arc::new(Closure::SigningKey(Box::new(keypair.clone())));
+        {
+            let mut inner = self.inner.write();
+            inner.closures.insert(key_p, Arc::clone(&closure));
+            inner.closures.insert(hash_p, closure);
+        }
+        // H(K) ⇒ K and K ⇒ H(K) let proofs phrased either way connect.
+        for hash_to_key in [true, false] {
+            self.add_proof(Proof::HashIdent {
+                key: Box::new(keypair.public.clone()),
+                alg: snowflake_core::HashAlg::Sha256,
+                hash_to_key,
+            });
+        }
+    }
+
+    /// Digests a proof into the graph (paper: "the Prover 'digests' the
+    /// proof into its component parts for storage in the graph").
+    ///
+    /// Every lemma becomes its own edge, and the overall conclusion becomes
+    /// an edge too, so partial chains remain reusable after the whole proof
+    /// expires.
+    pub fn add_proof(&self, proof: Proof) {
+        // Collect owned lemma clones first to avoid holding borrows.
+        let lemmas: Vec<Proof> = proof.lemmas().into_iter().cloned().collect();
+        let mut inner = self.inner.write();
+        for lemma in lemmas {
+            inner.insert_edge(lemma, false);
+        }
+    }
+
+    /// Is this principal controlled (final) — can the Prover make it say
+    /// things?
+    pub fn is_final(&self, p: &Principal) -> bool {
+        self.inner.read().closures.contains_key(p)
+    }
+
+    /// Issues a fresh signed delegation `subject =tag⇒ controlled`, where
+    /// `controlled` must be a principal this Prover holds a closure for.
+    ///
+    /// Returns `None` when `controlled` is not final.
+    pub fn delegate(
+        &self,
+        subject: &Principal,
+        controlled: &Principal,
+        tag: Tag,
+        validity: Validity,
+        delegable: bool,
+    ) -> Option<Proof> {
+        let closure = self.inner.read().closures.get(controlled).cloned()?;
+        let Closure::SigningKey(kp) = closure.as_ref();
+        let delegation = Delegation {
+            subject: subject.clone(),
+            issuer: controlled.clone(),
+            tag,
+            validity,
+            delegable,
+        };
+        let cert = {
+            let mut rng = self.rng.lock();
+            Certificate::issue(kp, delegation, &mut **rng)
+        };
+        let proof = Proof::signed_cert(cert);
+        self.add_proof(proof.clone());
+        Some(proof)
+    }
+
+    /// Finds an existing proof that `subject =T⇒ issuer` with `T` covering
+    /// `tag`, valid at `now`, by BFS backwards from `issuer`.
+    ///
+    /// On success the derived proof is cached as a shortcut edge.
+    pub fn find_proof(
+        &self,
+        subject: &Principal,
+        issuer: &Principal,
+        tag: &Tag,
+        now: Time,
+    ) -> Option<Proof> {
+        if subject == issuer {
+            return Some(Proof::Reflex(subject.clone()));
+        }
+        let found = self.bfs(subject, issuer, tag, now)?;
+        // Cache multi-step results as shortcut edges (Figure 2's dotted
+        // lines): "these shortcuts form a cache that eliminates most deep
+        // traversals of the graph."
+        if found.size() > 1 {
+            self.inner.write().insert_edge(found.clone(), true);
+        }
+        Some(found)
+    }
+
+    /// Completes a proof that `new_subject =tag⇒ issuer` by finding a chain
+    /// from a controlled principal to `issuer` and then delegating from the
+    /// controlled principal to `new_subject` with the closure.
+    ///
+    /// This is the paper's channel-authorization step: the Prover "simply
+    /// issues a delegation `K_CH ⇒ A` to complete the proof."  Channel and
+    /// request-hash subjects need `delegable: false` (they speak directly);
+    /// sharing with another *user* needs `delegable: true` so the recipient
+    /// can extend the authority to their own channels and requests.
+    pub fn complete_proof(
+        &self,
+        new_subject: &Principal,
+        issuer: &Principal,
+        tag: &Tag,
+        validity: Validity,
+        now: Time,
+    ) -> Option<Proof> {
+        self.complete_proof_delegable(new_subject, issuer, tag, validity, now, false)
+    }
+
+    /// Like [`Prover::complete_proof`] with an explicit propagate bit on the
+    /// freshly issued hop.
+    pub fn complete_proof_delegable(
+        &self,
+        new_subject: &Principal,
+        issuer: &Principal,
+        tag: &Tag,
+        validity: Validity,
+        now: Time,
+        delegable: bool,
+    ) -> Option<Proof> {
+        // Fast path: an existing proof already covers the new subject.
+        if let Some(p) = self.find_proof(new_subject, issuer, tag, now) {
+            if !delegable || p.conclusion().delegable {
+                return Some(p);
+            }
+        }
+        let finals: Vec<Principal> = self.inner.read().closures.keys().cloned().collect();
+        for final_p in finals {
+            // The controlled principal itself is the issuer…
+            if &final_p == issuer {
+                return self.delegate(new_subject, &final_p, tag.clone(), validity, delegable);
+            }
+            // …or a chain from the controlled principal to the issuer exists.
+            if let Some(chain) = self.find_proof(&final_p, issuer, tag, now) {
+                if !chain.conclusion().delegable {
+                    continue;
+                }
+                let hop = self.delegate(new_subject, &final_p, tag.clone(), validity, delegable)?;
+                let full = hop.then(chain);
+                self.add_proof(full.clone());
+                return Some(full);
+            }
+        }
+        None
+    }
+
+    /// Current graph statistics.
+    pub fn stats(&self) -> ProverStats {
+        let inner = self.inner.read();
+        let mut s = ProverStats {
+            finals: inner.closures.len(),
+            expansions: inner.expansions,
+            ..Default::default()
+        };
+        for edges in inner.edges.values() {
+            for e in edges {
+                if e.shortcut {
+                    s.shortcut_edges += 1;
+                } else {
+                    s.base_edges += 1;
+                }
+            }
+        }
+        s
+    }
+
+    /// Removes all shortcut edges (used by benchmarks to compare cold/warm
+    /// search costs).
+    pub fn clear_shortcuts(&self) {
+        let mut inner = self.inner.write();
+        let mut removed_hashes = Vec::new();
+        for edges in inner.edges.values_mut() {
+            edges.retain(|e| {
+                if e.shortcut {
+                    removed_hashes.push(e.proof.hash());
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        // Allow the shortcuts to be re-learned later.
+        for h in removed_hashes {
+            inner.known.remove(&h);
+        }
+    }
+
+    fn bfs(&self, subject: &Principal, issuer: &Principal, tag: &Tag, now: Time) -> Option<Proof> {
+        let mut inner = self.inner.write();
+        // Queue holds (node, path so far as proof + incrementally composed
+        // conclusion, depth).  Composing conclusions incrementally keeps
+        // each expansion O(edge) instead of O(path length).
+        struct Path {
+            proof: Proof,
+            concl: Delegation,
+        }
+        let mut queue: VecDeque<(Principal, Option<Path>, usize)> = VecDeque::new();
+        let mut visited: HashSet<Principal> = HashSet::new();
+        queue.push_back((issuer.clone(), None, 0));
+        visited.insert(issuer.clone());
+
+        while let Some((node, so_far, depth)) = queue.pop_front() {
+            if depth >= MAX_DEPTH {
+                continue;
+            }
+            inner.expansions += 1;
+            let edges: Vec<Edge> = inner.edges.get(&node).cloned().unwrap_or_default();
+            for edge in edges {
+                // Compose edge (X ⇒ node) with so_far (node ⇒ issuer).
+                let candidate = match &so_far {
+                    None => Path {
+                        proof: (*edge.proof).clone(),
+                        concl: edge.conclusion.clone(),
+                    },
+                    Some(tail) => {
+                        // Only delegable tails may be extended.
+                        if !tail.concl.delegable {
+                            continue;
+                        }
+                        let Some(t) = edge.conclusion.tag.intersect(&tail.concl.tag) else {
+                            continue;
+                        };
+                        let Some(v) = edge.conclusion.validity.intersect(&tail.concl.validity)
+                        else {
+                            continue;
+                        };
+                        Path {
+                            proof: (*edge.proof).clone().then(tail.proof.clone()),
+                            concl: Delegation {
+                                subject: edge.conclusion.subject.clone(),
+                                issuer: tail.concl.issuer.clone(),
+                                tag: t,
+                                validity: v,
+                                delegable: edge.conclusion.delegable && tail.concl.delegable,
+                            },
+                        }
+                    }
+                };
+                if candidate.concl.tag.intersect(tag).is_none() {
+                    continue;
+                }
+                if !candidate.concl.validity.contains(now) {
+                    continue;
+                }
+                if &edge.subject == subject {
+                    if candidate.concl.tag.implies(tag) {
+                        return Some(candidate.proof);
+                    }
+                    continue;
+                }
+                if visited.insert(edge.subject.clone()) {
+                    queue.push_back((edge.subject.clone(), Some(candidate), depth + 1));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Default for Prover {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Inner {
+    fn insert_edge(&mut self, proof: Proof, shortcut: bool) {
+        let hash = proof.hash();
+        if !self.known.insert(hash) {
+            return;
+        }
+        let concl = proof.conclusion();
+        // Reflexive edges add nothing to search.
+        if concl.subject == concl.issuer {
+            return;
+        }
+        let edge = Edge {
+            subject: concl.subject.clone(),
+            conclusion: concl.clone(),
+            proof: Arc::new(proof),
+            shortcut,
+        };
+        self.edges.entry(concl.issuer).or_default().push(edge);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowflake_core::VerifyCtx;
+    use snowflake_crypto::{DetRng, Group};
+    use snowflake_sexpr::Sexp;
+
+    fn det_prover(seed: &str) -> Prover {
+        let mut rng = DetRng::new(seed.as_bytes());
+        Prover::with_rng(Box::new(move |b| rng.fill(b)))
+    }
+
+    fn kp(seed: &str) -> KeyPair {
+        let mut rng = DetRng::new(seed.as_bytes());
+        KeyPair::generate(Group::test512(), &mut |b| rng.fill(b))
+    }
+
+    fn tag(src: &str) -> Tag {
+        Tag::parse(&Sexp::parse(src.as_bytes()).unwrap()).unwrap()
+    }
+
+    /// Builds a chain k0 → k1 → … → kn of delegable grants (k_{i+1} speaks
+    /// for k_i) and returns the prover plus the keys.
+    fn chain_prover(n: usize) -> (Prover, Vec<KeyPair>) {
+        let prover = det_prover("chain");
+        let keys: Vec<KeyPair> = (0..=n).map(|i| kp(&format!("k{i}"))).collect();
+        let mut rng = DetRng::new(b"issue");
+        for i in 0..n {
+            let d = Delegation {
+                subject: Principal::key(&keys[i + 1].public),
+                issuer: Principal::key(&keys[i].public),
+                tag: tag("(web)"),
+                validity: Validity::always(),
+                delegable: true,
+            };
+            let cert = Certificate::issue(&keys[i], d, &mut |b| rng.fill(b));
+            prover.add_proof(Proof::signed_cert(cert));
+        }
+        (prover, keys)
+    }
+
+    #[test]
+    fn finds_single_edge() {
+        let (prover, keys) = chain_prover(1);
+        let p = prover
+            .find_proof(
+                &Principal::key(&keys[1].public),
+                &Principal::key(&keys[0].public),
+                &tag("(web)"),
+                Time(0),
+            )
+            .expect("single edge");
+        p.verify(&VerifyCtx::at(Time(0))).unwrap();
+    }
+
+    #[test]
+    fn finds_deep_chain_and_caches_shortcut() {
+        let (prover, keys) = chain_prover(6);
+        let subject = Principal::key(&keys[6].public);
+        let issuer = Principal::key(&keys[0].public);
+        let before = prover.stats();
+        let p = prover
+            .find_proof(&subject, &issuer, &tag("(web)"), Time(0))
+            .expect("chain");
+        p.verify(&VerifyCtx::at(Time(0))).unwrap();
+        assert_eq!(p.conclusion().subject, subject);
+        assert_eq!(p.conclusion().issuer, issuer);
+
+        let after = prover.stats();
+        assert!(
+            after.shortcut_edges > before.shortcut_edges,
+            "shortcut cached"
+        );
+
+        // Second query must be answerable in a couple of expansions via the
+        // shortcut edge.
+        let exp_before = prover.stats().expansions;
+        let p2 = prover
+            .find_proof(&subject, &issuer, &tag("(web)"), Time(0))
+            .expect("cached");
+        p2.verify(&VerifyCtx::at(Time(0))).unwrap();
+        let exp_after = prover.stats().expansions;
+        assert!(
+            exp_after - exp_before <= 2,
+            "shortcut should answer in ≤2 expansions, took {}",
+            exp_after - exp_before
+        );
+    }
+
+    #[test]
+    fn respects_tag_restriction() {
+        let (prover, keys) = chain_prover(2);
+        let subject = Principal::key(&keys[2].public);
+        let issuer = Principal::key(&keys[0].public);
+        // The chain only grants (web); a (db) proof must not be found.
+        assert!(prover
+            .find_proof(&subject, &issuer, &tag("(db)"), Time(0))
+            .is_none());
+        // A narrower request is fine.
+        assert!(prover
+            .find_proof(&subject, &issuer, &tag("(web (method GET))"), Time(0))
+            .is_some());
+    }
+
+    #[test]
+    fn respects_expiry() {
+        let prover = det_prover("expiry");
+        let a = kp("a");
+        let b = kp("b");
+        let mut rng = DetRng::new(b"i");
+        let d = Delegation {
+            subject: Principal::key(&b.public),
+            issuer: Principal::key(&a.public),
+            tag: tag("(web)"),
+            validity: Validity::until(Time(100)),
+            delegable: false,
+        };
+        prover.add_proof(Proof::signed_cert(Certificate::issue(&a, d, &mut |x| {
+            rng.fill(x)
+        })));
+        let subject = Principal::key(&b.public);
+        let issuer = Principal::key(&a.public);
+        assert!(prover
+            .find_proof(&subject, &issuer, &tag("(web)"), Time(50))
+            .is_some());
+        assert!(prover
+            .find_proof(&subject, &issuer, &tag("(web)"), Time(150))
+            .is_none());
+    }
+
+    #[test]
+    fn respects_delegable_bit() {
+        let prover = det_prover("nodeleg");
+        let (a, b, c) = (kp("a"), kp("b"), kp("c"));
+        let mut rng = DetRng::new(b"i");
+        // a grants b WITHOUT propagate; b grants c.
+        let d1 = Delegation {
+            subject: Principal::key(&b.public),
+            issuer: Principal::key(&a.public),
+            tag: tag("(web)"),
+            validity: Validity::always(),
+            delegable: false,
+        };
+        let d2 = Delegation {
+            subject: Principal::key(&c.public),
+            issuer: Principal::key(&b.public),
+            tag: tag("(web)"),
+            validity: Validity::always(),
+            delegable: true,
+        };
+        prover.add_proof(Proof::signed_cert(Certificate::issue(&a, d1, &mut |x| {
+            rng.fill(x)
+        })));
+        prover.add_proof(Proof::signed_cert(Certificate::issue(&b, d2, &mut |x| {
+            rng.fill(x)
+        })));
+        // c ⇒ a would need to extend through the non-delegable a→b edge.
+        assert!(prover
+            .find_proof(
+                &Principal::key(&c.public),
+                &Principal::key(&a.public),
+                &tag("(web)"),
+                Time(0)
+            )
+            .is_none());
+        // b ⇒ a itself is fine (the non-delegable edge is subject-side).
+        assert!(prover
+            .find_proof(
+                &Principal::key(&b.public),
+                &Principal::key(&a.public),
+                &tag("(web)"),
+                Time(0)
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn digests_multi_step_proofs_into_lemmas() {
+        let (prover, keys) = chain_prover(3);
+        let subject = Principal::key(&keys[3].public);
+        let issuer = Principal::key(&keys[0].public);
+        let full = prover
+            .find_proof(&subject, &issuer, &tag("(web)"), Time(0))
+            .unwrap();
+
+        // A fresh prover digesting only the composite proof can still answer
+        // queries about the interior lemmas.
+        let fresh = det_prover("fresh");
+        fresh.add_proof(full);
+        let mid = fresh
+            .find_proof(
+                &Principal::key(&keys[2].public),
+                &Principal::key(&keys[0].public),
+                &tag("(web)"),
+                Time(0),
+            )
+            .expect("interior lemma available after digestion");
+        mid.verify(&VerifyCtx::at(Time(0))).unwrap();
+    }
+
+    #[test]
+    fn complete_proof_delegates_from_final_principal() {
+        // The Figure 2 scenario: prove K_CH ⇒ S where the graph holds
+        // A ⇒ … ⇒ S and A is final.
+        let prover = det_prover("complete");
+        let (alice, server) = (kp("alice"), kp("server"));
+        let mut rng = DetRng::new(b"i");
+        let d = Delegation {
+            subject: Principal::key(&alice.public),
+            issuer: Principal::key(&server.public),
+            tag: tag("(web)"),
+            validity: Validity::always(),
+            delegable: true,
+        };
+        prover.add_proof(Proof::signed_cert(Certificate::issue(
+            &server,
+            d,
+            &mut |x| rng.fill(x),
+        )));
+        prover.add_key(alice.clone());
+
+        let channel = Principal::Channel(snowflake_core::ChannelId {
+            kind: "ssh".into(),
+            id: snowflake_core::HashVal::of(b"session-1"),
+        });
+        let proof = prover
+            .complete_proof(
+                &channel,
+                &Principal::key(&server.public),
+                &tag("(web)"),
+                Validity::until(Time(1_000)),
+                Time(0),
+            )
+            .expect("completed proof");
+        proof.verify(&VerifyCtx::at(Time(0))).unwrap();
+        let c = proof.conclusion();
+        assert_eq!(c.subject, channel);
+        assert_eq!(c.issuer, Principal::key(&server.public));
+    }
+
+    #[test]
+    fn complete_proof_when_controlled_is_issuer() {
+        let prover = det_prover("self-issue");
+        let alice = kp("alice");
+        prover.add_key(alice.clone());
+        let bob = Principal::message(b"bob-stand-in");
+        let proof = prover
+            .complete_proof(
+                &bob,
+                &Principal::key(&alice.public),
+                &tag("(web)"),
+                Validity::always(),
+                Time(0),
+            )
+            .expect("direct delegation");
+        proof.verify(&VerifyCtx::at(Time(0))).unwrap();
+        assert_eq!(proof.conclusion().subject, bob);
+    }
+
+    #[test]
+    fn complete_proof_fails_without_authority() {
+        let prover = det_prover("noauth");
+        let alice = kp("alice");
+        let stranger = kp("stranger");
+        prover.add_key(alice);
+        // No chain from alice to stranger exists.
+        assert!(prover
+            .complete_proof(
+                &Principal::message(b"x"),
+                &Principal::key(&stranger.public),
+                &tag("(web)"),
+                Validity::always(),
+                Time(0),
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn quoting_gateway_completion() {
+        // §6.3: the client proxy delegates to "gateway quoting client".
+        let prover = det_prover("gateway");
+        let (client, server) = (kp("client"), kp("server"));
+        let mut rng = DetRng::new(b"i");
+        // Server granted the client (db) access, delegable.
+        let d = Delegation {
+            subject: Principal::key(&client.public),
+            issuer: Principal::key(&server.public),
+            tag: tag("(db)"),
+            validity: Validity::always(),
+            delegable: true,
+        };
+        prover.add_proof(Proof::signed_cert(Certificate::issue(
+            &server,
+            d,
+            &mut |x| rng.fill(x),
+        )));
+        prover.add_key(client.clone());
+
+        let gateway = Principal::Local {
+            broker: snowflake_core::HashVal::of(b"host"),
+            id: "gateway".into(),
+        };
+        let g_quoting_c = Principal::quoting(gateway, Principal::key(&client.public));
+        let proof = prover
+            .complete_proof(
+                &g_quoting_c,
+                &Principal::key(&server.public),
+                &tag("(db (op select))"),
+                Validity::until(Time(500)),
+                Time(0),
+            )
+            .expect("G|C ⇒ S");
+        proof.verify(&VerifyCtx::at(Time(0))).unwrap();
+        let c = proof.conclusion();
+        assert_eq!(c.subject, g_quoting_c);
+        assert_eq!(c.issuer, Principal::key(&server.public));
+        // The proof's audit trail shows the gateway's involvement.
+        assert!(proof.audit_trail().contains("gateway"));
+    }
+
+    #[test]
+    fn hash_and_key_principals_bridge() {
+        // A delegation phrased to H(K_bob) must be found when searching for
+        // Key(K_bob) as the subject, via the hash-identity edges.
+        let prover = det_prover("bridge");
+        let (alice, bob) = (kp("alice"), kp("bob"));
+        let mut rng = DetRng::new(b"i");
+        let d = Delegation {
+            subject: Principal::key_hash(&bob.public),
+            issuer: Principal::key(&alice.public),
+            tag: tag("(web)"),
+            validity: Validity::always(),
+            delegable: true,
+        };
+        prover.add_proof(Proof::signed_cert(Certificate::issue(
+            &alice,
+            d,
+            &mut |x| rng.fill(x),
+        )));
+        prover.add_key(bob.clone());
+
+        let p = prover
+            .find_proof(
+                &Principal::key(&bob.public),
+                &Principal::key(&alice.public),
+                &tag("(web)"),
+                Time(0),
+            )
+            .expect("bridged via hash identity");
+        p.verify(&VerifyCtx::at(Time(0))).unwrap();
+    }
+
+    #[test]
+    fn reflexive_query() {
+        let prover = det_prover("reflex");
+        let p = Principal::message(b"me");
+        let proof = prover.find_proof(&p, &p, &tag("(x)"), Time(0)).unwrap();
+        assert!(matches!(proof, Proof::Reflex(_)));
+    }
+
+    #[test]
+    fn no_proof_in_empty_graph() {
+        let prover = det_prover("empty");
+        assert!(prover
+            .find_proof(
+                &Principal::message(b"a"),
+                &Principal::message(b"b"),
+                &Tag::Star,
+                Time(0)
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn cycle_does_not_hang() {
+        let prover = det_prover("cycle");
+        let (a, b) = (kp("a"), kp("b"));
+        let mut rng = DetRng::new(b"i");
+        for (from, to) in [(&a, &b), (&b, &a)] {
+            let d = Delegation {
+                subject: Principal::key(&to.public),
+                issuer: Principal::key(&from.public),
+                tag: tag("(web)"),
+                validity: Validity::always(),
+                delegable: true,
+            };
+            prover.add_proof(Proof::signed_cert(Certificate::issue(from, d, &mut |x| {
+                rng.fill(x)
+            })));
+        }
+        // A query for an unrelated subject terminates despite the cycle.
+        assert!(prover
+            .find_proof(
+                &Principal::message(b"nobody"),
+                &Principal::key(&a.public),
+                &tag("(web)"),
+                Time(0)
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn stats_reflect_graph() {
+        let (prover, _) = chain_prover(4);
+        let s = prover.stats();
+        assert_eq!(s.base_edges, 4);
+        assert_eq!(s.shortcut_edges, 0);
+        prover.clear_shortcuts();
+        assert_eq!(prover.stats().shortcut_edges, 0);
+    }
+}

@@ -1,0 +1,574 @@
+//! A small relational database substrate.
+//!
+//! The paper's second application "attaches Snowflake security to a
+//! relational email database … accept\[ing\] insert, update, and select
+//! requests as RMI invocations on a Remote Database object" (§6.2).  No
+//! external database is permitted in this reproduction, so this crate is
+//! that substrate: typed columns, tables, predicate-filtered
+//! select/insert/update/delete, a simple hash index, and an S-expression
+//! encoding for shipping queries and rows over RMI.
+
+mod predicate;
+mod value;
+
+pub use predicate::Predicate;
+pub use value::Value;
+
+use snowflake_sexpr::{ParseError, Sexp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// UTF-8 text.
+    Text,
+    /// Raw bytes.
+    Bytes,
+    /// Boolean.
+    Bool,
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+/// A table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Ordered column definitions.
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    pub fn new(cols: &[(&str, ColumnType)]) -> Schema {
+        Schema {
+            columns: cols
+                .iter()
+                .map(|(n, t)| Column {
+                    name: (*n).to_string(),
+                    ty: *t,
+                })
+                .collect(),
+        }
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Validates a row against the schema.
+    pub fn check_row(&self, row: &[Value]) -> Result<(), DbError> {
+        if row.len() != self.columns.len() {
+            return Err(DbError::Schema(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        for (value, col) in row.iter().zip(&self.columns) {
+            let ok = matches!(
+                (value, col.ty),
+                (Value::Int(_), ColumnType::Int)
+                    | (Value::Text(_), ColumnType::Text)
+                    | (Value::Bytes(_), ColumnType::Bytes)
+                    | (Value::Bool(_), ColumnType::Bool)
+                    | (Value::Null, _)
+            );
+            if !ok {
+                return Err(DbError::Schema(format!(
+                    "value {value:?} does not fit column {} ({:?})",
+                    col.name, col.ty
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Database errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Unknown table.
+    NoSuchTable(String),
+    /// Unknown column.
+    NoSuchColumn(String),
+    /// Schema violation.
+    Schema(String),
+    /// Malformed query encoding.
+    Decode(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            DbError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            DbError::Schema(m) => write!(f, "schema violation: {m}"),
+            DbError::Decode(m) => write!(f, "decode error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<ParseError> for DbError {
+    fn from(e: ParseError) -> Self {
+        DbError::Decode(e.to_string())
+    }
+}
+
+/// One table: schema, row storage, and optional single-column hash indexes.
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+    /// Hash indexes: column index → value → row ids.
+    indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+    /// Tombstones from deletes (row ids are stable).
+    live: Vec<bool>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: Schema) -> Table {
+        Table {
+            schema,
+            rows: Vec::new(),
+            indexes: HashMap::new(),
+            live: Vec::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Creates a hash index on a column.
+    pub fn create_index(&mut self, column: &str) -> Result<(), DbError> {
+        let idx = self
+            .schema
+            .index_of(column)
+            .ok_or_else(|| DbError::NoSuchColumn(column.into()))?;
+        let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (rid, row) in self.rows.iter().enumerate() {
+            if self.live[rid] {
+                map.entry(row[idx].clone()).or_default().push(rid);
+            }
+        }
+        self.indexes.insert(idx, map);
+        Ok(())
+    }
+
+    /// Inserts a row, returning its row id.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<usize, DbError> {
+        self.schema.check_row(&row)?;
+        let rid = self.rows.len();
+        for (col, map) in self.indexes.iter_mut() {
+            map.entry(row[*col].clone()).or_default().push(rid);
+        }
+        self.rows.push(row);
+        self.live.push(true);
+        Ok(rid)
+    }
+
+    /// Selects rows matching `pred`, projecting `columns` (empty = all).
+    pub fn select(&self, pred: &Predicate, columns: &[String]) -> Result<Vec<Vec<Value>>, DbError> {
+        let proj: Vec<usize> = if columns.is_empty() {
+            (0..self.schema.columns.len()).collect()
+        } else {
+            columns
+                .iter()
+                .map(|c| {
+                    self.schema
+                        .index_of(c)
+                        .ok_or_else(|| DbError::NoSuchColumn(c.clone()))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let mut out = Vec::new();
+        for rid in self.candidates(pred) {
+            if !self.live[rid] {
+                continue;
+            }
+            let row = &self.rows[rid];
+            if pred.eval(&self.schema, row)? {
+                out.push(proj.iter().map(|&i| row[i].clone()).collect());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Updates matching rows with `(column, value)` assignments; returns the
+    /// number of rows changed.
+    pub fn update(
+        &mut self,
+        pred: &Predicate,
+        assignments: &[(String, Value)],
+    ) -> Result<usize, DbError> {
+        let assign_idx: Vec<(usize, Value)> = assignments
+            .iter()
+            .map(|(c, v)| {
+                self.schema
+                    .index_of(c)
+                    .map(|i| (i, v.clone()))
+                    .ok_or_else(|| DbError::NoSuchColumn(c.clone()))
+            })
+            .collect::<Result<_, _>>()?;
+        let candidates: Vec<usize> = self.candidates(pred).collect();
+        let mut changed = 0;
+        for rid in candidates {
+            if !self.live[rid] {
+                continue;
+            }
+            if pred.eval(&self.schema, &self.rows[rid])? {
+                for (i, v) in &assign_idx {
+                    // Maintain indexes across the change.
+                    if let Some(map) = self.indexes.get_mut(i) {
+                        if let Some(ids) = map.get_mut(&self.rows[rid][*i]) {
+                            ids.retain(|r| r != &rid);
+                        }
+                        map.entry(v.clone()).or_default().push(rid);
+                    }
+                    self.rows[rid][*i] = v.clone();
+                }
+                changed += 1;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Deletes matching rows; returns the number deleted.
+    pub fn delete(&mut self, pred: &Predicate) -> Result<usize, DbError> {
+        let candidates: Vec<usize> = self.candidates(pred).collect();
+        let mut deleted = 0;
+        for rid in candidates {
+            if !self.live[rid] {
+                continue;
+            }
+            if pred.eval(&self.schema, &self.rows[rid])? {
+                self.live[rid] = false;
+                for (col, map) in self.indexes.iter_mut() {
+                    if let Some(ids) = map.get_mut(&self.rows[rid][*col]) {
+                        ids.retain(|r| r != &rid);
+                    }
+                }
+                deleted += 1;
+            }
+        }
+        Ok(deleted)
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live.iter().filter(|l| **l).count()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row ids that could match the predicate (uses an index when the
+    /// predicate pins an indexed column to an equality).
+    fn candidates(&self, pred: &Predicate) -> Box<dyn Iterator<Item = usize> + '_> {
+        if let Some((col, value)) = pred.pinned_equality(&self.schema) {
+            if let Some(map) = self.indexes.get(&col) {
+                let ids = map.get(&value).cloned().unwrap_or_default();
+                return Box::new(ids.into_iter());
+            }
+        }
+        Box::new(0..self.rows.len())
+    }
+}
+
+/// A database: named tables.
+#[derive(Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Creates a table.
+    pub fn create_table(&mut self, name: &str, schema: Schema) {
+        self.tables.insert(name.to_string(), Table::new(schema));
+    }
+
+    /// A table by name.
+    pub fn table(&self, name: &str) -> Result<&Table, DbError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::NoSuchTable(name.into()))
+    }
+
+    /// A mutable table by name.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::NoSuchTable(name.into()))
+    }
+
+    /// Table names.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// Encodes rows as `(rows (row v…) …)` for RMI transport.
+pub fn rows_to_sexp(rows: &[Vec<Value>]) -> Sexp {
+    Sexp::tagged(
+        "rows",
+        rows.iter()
+            .map(|r| Sexp::tagged("row", r.iter().map(Value::to_sexp).collect()))
+            .collect(),
+    )
+}
+
+/// Decodes the form produced by [`rows_to_sexp`].
+pub fn rows_from_sexp(e: &Sexp) -> Result<Vec<Vec<Value>>, DbError> {
+    if e.tag_name() != Some("rows") {
+        return Err(DbError::Decode("expected (rows …)".into()));
+    }
+    e.tag_body()
+        .unwrap_or(&[])
+        .iter()
+        .map(|r| {
+            if r.tag_name() != Some("row") {
+                return Err(DbError::Decode("expected (row …)".into()));
+            }
+            r.tag_body()
+                .unwrap_or(&[])
+                .iter()
+                .map(Value::from_sexp)
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds the email-database schema of §6.2: a `messages` table owned
+/// per-user plus a `users` table.
+pub fn email_schema(db: &mut Database) {
+    db.create_table(
+        "messages",
+        Schema::new(&[
+            ("id", ColumnType::Int),
+            ("owner", ColumnType::Text),
+            ("sender", ColumnType::Text),
+            ("subject", ColumnType::Text),
+            ("body", ColumnType::Text),
+            ("folder", ColumnType::Text),
+            ("unread", ColumnType::Bool),
+        ]),
+    );
+    db.table_mut("messages")
+        .expect("just created")
+        .create_index("owner")
+        .expect("column exists");
+    db.create_table(
+        "users",
+        Schema::new(&[("name", ColumnType::Text), ("quota", ColumnType::Int)]),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        let mut t = Table::new(Schema::new(&[
+            ("name", ColumnType::Text),
+            ("age", ColumnType::Int),
+            ("active", ColumnType::Bool),
+        ]));
+        for (n, a, act) in [("alice", 30, true), ("bob", 25, true), ("carol", 35, false)] {
+            t.insert(vec![Value::text(n), Value::Int(a), Value::Bool(act)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_select_all() {
+        let t = people();
+        let all = t.select(&Predicate::True, &[]).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn select_with_predicate_and_projection() {
+        let t = people();
+        let names = t
+            .select(&Predicate::gt("age", Value::Int(26)), &["name".to_string()])
+            .unwrap();
+        assert_eq!(names.len(), 2);
+        assert!(names.contains(&vec![Value::text("alice")]));
+        assert!(names.contains(&vec![Value::text("carol")]));
+    }
+
+    #[test]
+    fn compound_predicates() {
+        let t = people();
+        let p = Predicate::and(
+            Predicate::gt("age", Value::Int(20)),
+            Predicate::eq("active", Value::Bool(true)),
+        );
+        assert_eq!(t.select(&p, &[]).unwrap().len(), 2);
+        let p = Predicate::or(
+            Predicate::eq("name", Value::text("carol")),
+            Predicate::eq("name", Value::text("bob")),
+        );
+        assert_eq!(t.select(&p, &[]).unwrap().len(), 2);
+        let p = Predicate::not(Predicate::eq("active", Value::Bool(true)));
+        assert_eq!(t.select(&p, &[]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn update_rows() {
+        let mut t = people();
+        let n = t
+            .update(
+                &Predicate::eq("name", Value::text("bob")),
+                &[("age".to_string(), Value::Int(26))],
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        let rows = t
+            .select(
+                &Predicate::eq("name", Value::text("bob")),
+                &["age".to_string()],
+            )
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(26)]]);
+    }
+
+    #[test]
+    fn delete_rows() {
+        let mut t = people();
+        let n = t
+            .delete(&Predicate::eq("active", Value::Bool(false)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(t.len(), 2);
+        // Deleted rows stay gone.
+        assert!(t
+            .select(&Predicate::eq("name", Value::text("carol")), &[])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn schema_enforced() {
+        let mut t = people();
+        // Wrong arity.
+        assert!(t.insert(vec![Value::text("x")]).is_err());
+        // Wrong type.
+        assert!(t
+            .insert(vec![Value::Int(1), Value::Int(2), Value::Bool(true)])
+            .is_err());
+        // Nulls are allowed in any column.
+        assert!(t
+            .insert(vec![Value::Null, Value::Null, Value::Null])
+            .is_ok());
+        // Unknown column in projection/update.
+        assert!(t.select(&Predicate::True, &["ghost".to_string()]).is_err());
+        assert!(t
+            .update(&Predicate::True, &[("ghost".to_string(), Value::Null)])
+            .is_err());
+    }
+
+    #[test]
+    fn index_accelerates_and_stays_consistent() {
+        let mut t = Table::new(Schema::new(&[
+            ("owner", ColumnType::Text),
+            ("n", ColumnType::Int),
+        ]));
+        t.create_index("owner").unwrap();
+        for i in 0..100 {
+            let owner = if i % 2 == 0 { "alice" } else { "bob" };
+            t.insert(vec![Value::text(owner), Value::Int(i)]).unwrap();
+        }
+        let alice = t
+            .select(&Predicate::eq("owner", Value::text("alice")), &[])
+            .unwrap();
+        assert_eq!(alice.len(), 50);
+
+        // Updates move rows between index buckets.
+        t.update(
+            &Predicate::eq("n", Value::Int(0)),
+            &[("owner".to_string(), Value::text("bob"))],
+        )
+        .unwrap();
+        assert_eq!(
+            t.select(&Predicate::eq("owner", Value::text("alice")), &[])
+                .unwrap()
+                .len(),
+            49
+        );
+        assert_eq!(
+            t.select(&Predicate::eq("owner", Value::text("bob")), &[])
+                .unwrap()
+                .len(),
+            51
+        );
+
+        // Deletes remove from buckets.
+        t.delete(&Predicate::eq("owner", Value::text("bob")))
+            .unwrap();
+        assert!(t
+            .select(&Predicate::eq("owner", Value::text("bob")), &[])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn rows_sexp_roundtrip() {
+        let rows = vec![
+            vec![Value::Int(1), Value::text("hello"), Value::Bool(true)],
+            vec![Value::Null, Value::bytes(vec![0, 255]), Value::Int(-42)],
+        ];
+        let e = rows_to_sexp(&rows);
+        assert_eq!(rows_from_sexp(&e).unwrap(), rows);
+    }
+
+    #[test]
+    fn email_schema_builds() {
+        let mut db = Database::new();
+        email_schema(&mut db);
+        assert_eq!(db.table_names(), vec!["messages", "users"]);
+        let msgs = db.table_mut("messages").unwrap();
+        msgs.insert(vec![
+            Value::Int(1),
+            Value::text("alice"),
+            Value::text("bob"),
+            Value::text("hi"),
+            Value::text("lunch?"),
+            Value::text("inbox"),
+            Value::Bool(true),
+        ])
+        .unwrap();
+        assert_eq!(msgs.len(), 1);
+    }
+
+    #[test]
+    fn database_errors() {
+        let db = Database::new();
+        assert!(matches!(db.table("ghost"), Err(DbError::NoSuchTable(_))));
+    }
+}

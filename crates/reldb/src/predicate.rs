@@ -1,0 +1,269 @@
+//! Row-filter predicates with an S-expression encoding.
+
+use crate::{DbError, Schema, Value};
+use snowflake_sexpr::Sexp;
+
+/// A predicate over one row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Matches everything.
+    True,
+    /// `column == value`.
+    Eq(String, Value),
+    /// `column < value` (same-variant comparison only).
+    Lt(String, Value),
+    /// `column > value`.
+    Gt(String, Value),
+    /// Text column starts with the given prefix.
+    Prefix(String, String),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column == value`.
+    pub fn eq(column: &str, value: Value) -> Predicate {
+        Predicate::Eq(column.into(), value)
+    }
+
+    /// `column < value`.
+    pub fn lt(column: &str, value: Value) -> Predicate {
+        Predicate::Lt(column.into(), value)
+    }
+
+    /// `column > value`.
+    pub fn gt(column: &str, value: Value) -> Predicate {
+        Predicate::Gt(column.into(), value)
+    }
+
+    /// Text prefix match.
+    pub fn prefix(column: &str, prefix: &str) -> Predicate {
+        Predicate::Prefix(column.into(), prefix.into())
+    }
+
+    /// Conjunction.
+    pub fn and(a: Predicate, b: Predicate) -> Predicate {
+        Predicate::And(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction.
+    pub fn or(a: Predicate, b: Predicate) -> Predicate {
+        Predicate::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Negation.
+    pub fn not(p: Predicate) -> Predicate {
+        Predicate::Not(Box::new(p))
+    }
+
+    /// Evaluates against a row.
+    pub fn eval(&self, schema: &Schema, row: &[Value]) -> Result<bool, DbError> {
+        match self {
+            Predicate::True => Ok(true),
+            Predicate::Eq(c, v) => Ok(self.cell(schema, row, c)? == v),
+            Predicate::Lt(c, v) => Ok(compare(self.cell(schema, row, c)?, v)
+                .map(|o| o == std::cmp::Ordering::Less)
+                .unwrap_or(false)),
+            Predicate::Gt(c, v) => Ok(compare(self.cell(schema, row, c)?, v)
+                .map(|o| o == std::cmp::Ordering::Greater)
+                .unwrap_or(false)),
+            Predicate::Prefix(c, p) => Ok(match self.cell(schema, row, c)? {
+                Value::Text(s) => s.starts_with(p),
+                _ => false,
+            }),
+            Predicate::And(a, b) => Ok(a.eval(schema, row)? && b.eval(schema, row)?),
+            Predicate::Or(a, b) => Ok(a.eval(schema, row)? || b.eval(schema, row)?),
+            Predicate::Not(p) => Ok(!p.eval(schema, row)?),
+        }
+    }
+
+    fn cell<'a>(
+        &self,
+        schema: &Schema,
+        row: &'a [Value],
+        column: &str,
+    ) -> Result<&'a Value, DbError> {
+        let idx = schema
+            .index_of(column)
+            .ok_or_else(|| DbError::NoSuchColumn(column.to_string()))?;
+        Ok(&row[idx])
+    }
+
+    /// If this predicate pins an indexed equality (an `Eq` conjunct at the
+    /// top level), returns `(column index, value)` for index lookup.
+    pub fn pinned_equality(&self, schema: &Schema) -> Option<(usize, Value)> {
+        match self {
+            Predicate::Eq(c, v) => schema.index_of(c).map(|i| (i, v.clone())),
+            Predicate::And(a, b) => a
+                .pinned_equality(schema)
+                .or_else(|| b.pinned_equality(schema)),
+            _ => None,
+        }
+    }
+
+    /// Serializes to an S-expression (for RMI transport).
+    pub fn to_sexp(&self) -> Sexp {
+        match self {
+            Predicate::True => Sexp::list(vec![Sexp::from("true")]),
+            Predicate::Eq(c, v) => Sexp::tagged("eq", vec![Sexp::from(c.as_str()), v.to_sexp()]),
+            Predicate::Lt(c, v) => Sexp::tagged("lt", vec![Sexp::from(c.as_str()), v.to_sexp()]),
+            Predicate::Gt(c, v) => Sexp::tagged("gt", vec![Sexp::from(c.as_str()), v.to_sexp()]),
+            Predicate::Prefix(c, p) => Sexp::tagged(
+                "prefix",
+                vec![Sexp::from(c.as_str()), Sexp::from(p.as_str())],
+            ),
+            Predicate::And(a, b) => Sexp::tagged("and", vec![a.to_sexp(), b.to_sexp()]),
+            Predicate::Or(a, b) => Sexp::tagged("or", vec![a.to_sexp(), b.to_sexp()]),
+            Predicate::Not(p) => Sexp::tagged("not", vec![p.to_sexp()]),
+        }
+    }
+
+    /// Parses the form produced by [`Predicate::to_sexp`].
+    pub fn from_sexp(e: &Sexp) -> Result<Predicate, DbError> {
+        let body = e.tag_body().unwrap_or(&[]);
+        let col = |i: usize| -> Result<String, DbError> {
+            body.get(i)
+                .and_then(Sexp::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| DbError::Decode("missing column".into()))
+        };
+        match e.tag_name() {
+            Some("true") => Ok(Predicate::True),
+            Some("eq") => Ok(Predicate::Eq(
+                col(0)?,
+                Value::from_sexp(
+                    body.get(1)
+                        .ok_or_else(|| DbError::Decode("missing value".into()))?,
+                )?,
+            )),
+            Some("lt") => Ok(Predicate::Lt(
+                col(0)?,
+                Value::from_sexp(
+                    body.get(1)
+                        .ok_or_else(|| DbError::Decode("missing value".into()))?,
+                )?,
+            )),
+            Some("gt") => Ok(Predicate::Gt(
+                col(0)?,
+                Value::from_sexp(
+                    body.get(1)
+                        .ok_or_else(|| DbError::Decode("missing value".into()))?,
+                )?,
+            )),
+            Some("prefix") => Ok(Predicate::Prefix(col(0)?, col(1)?)),
+            Some("and") | Some("or") => {
+                if body.len() != 2 {
+                    return Err(DbError::Decode("and/or take two predicates".into()));
+                }
+                let a = Predicate::from_sexp(&body[0])?;
+                let b = Predicate::from_sexp(&body[1])?;
+                Ok(if e.tag_name() == Some("and") {
+                    Predicate::and(a, b)
+                } else {
+                    Predicate::or(a, b)
+                })
+            }
+            Some("not") => {
+                if body.len() != 1 {
+                    return Err(DbError::Decode("not takes one predicate".into()));
+                }
+                Ok(Predicate::not(Predicate::from_sexp(&body[0])?))
+            }
+            _ => Err(DbError::Decode("unknown predicate form".into())),
+        }
+    }
+}
+
+/// Same-variant comparison; `None` for cross-type or NULL comparisons.
+fn compare(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Some(x.cmp(y)),
+        (Value::Text(x), Value::Text(y)) => Some(x.cmp(y)),
+        (Value::Bytes(x), Value::Bytes(y)) => Some(x.cmp(y)),
+        (Value::Bool(x), Value::Bool(y)) => Some(x.cmp(y)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ColumnType;
+
+    fn schema() -> Schema {
+        Schema::new(&[("name", ColumnType::Text), ("age", ColumnType::Int)])
+    }
+
+    #[test]
+    fn eval_basics() {
+        let s = schema();
+        let row = vec![Value::text("alice"), Value::Int(30)];
+        assert!(Predicate::True.eval(&s, &row).unwrap());
+        assert!(Predicate::eq("name", Value::text("alice"))
+            .eval(&s, &row)
+            .unwrap());
+        assert!(!Predicate::eq("name", Value::text("bob"))
+            .eval(&s, &row)
+            .unwrap());
+        assert!(Predicate::lt("age", Value::Int(31)).eval(&s, &row).unwrap());
+        assert!(Predicate::gt("age", Value::Int(29)).eval(&s, &row).unwrap());
+        assert!(Predicate::prefix("name", "al").eval(&s, &row).unwrap());
+        assert!(!Predicate::prefix("name", "bo").eval(&s, &row).unwrap());
+    }
+
+    #[test]
+    fn null_never_compares() {
+        let s = schema();
+        let row = vec![Value::Null, Value::Null];
+        assert!(!Predicate::lt("age", Value::Int(100))
+            .eval(&s, &row)
+            .unwrap());
+        assert!(!Predicate::gt("age", Value::Int(0)).eval(&s, &row).unwrap());
+        // But NULL == NULL under Eq (identity semantics, documented).
+        assert!(Predicate::eq("age", Value::Null).eval(&s, &row).unwrap());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let s = schema();
+        let row = vec![Value::text("a"), Value::Int(1)];
+        assert!(Predicate::eq("ghost", Value::Null).eval(&s, &row).is_err());
+    }
+
+    #[test]
+    fn sexp_roundtrip() {
+        let p = Predicate::and(
+            Predicate::or(
+                Predicate::eq("name", Value::text("alice")),
+                Predicate::prefix("name", "bo"),
+            ),
+            Predicate::not(Predicate::lt("age", Value::Int(18))),
+        );
+        let e = p.to_sexp();
+        assert_eq!(Predicate::from_sexp(&e).unwrap(), p);
+    }
+
+    #[test]
+    fn pinned_equality_detection() {
+        let s = schema();
+        assert!(Predicate::eq("name", Value::text("a"))
+            .pinned_equality(&s)
+            .is_some());
+        assert!(Predicate::and(
+            Predicate::gt("age", Value::Int(1)),
+            Predicate::eq("name", Value::text("a"))
+        )
+        .pinned_equality(&s)
+        .is_some());
+        assert!(Predicate::or(
+            Predicate::eq("name", Value::text("a")),
+            Predicate::eq("name", Value::text("b"))
+        )
+        .pinned_equality(&s)
+        .is_none());
+    }
+}

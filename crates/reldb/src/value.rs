@@ -1,0 +1,126 @@
+//! Cell values.
+
+use crate::DbError;
+use snowflake_sexpr::Sexp;
+use std::fmt;
+
+/// One cell value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// SQL-style NULL (fits any column).
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 text.
+    Text(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Text constructor.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Bytes constructor.
+    pub fn bytes(b: impl Into<Vec<u8>>) -> Value {
+        Value::Bytes(b.into())
+    }
+
+    /// Serializes as a typed S-expression.
+    pub fn to_sexp(&self) -> Sexp {
+        match self {
+            Value::Null => Sexp::list(vec![Sexp::from("null")]),
+            Value::Int(i) => Sexp::tagged("int", vec![Sexp::from(i.to_string())]),
+            Value::Text(s) => Sexp::tagged("text", vec![Sexp::from(s.as_str())]),
+            Value::Bytes(b) => Sexp::tagged("bytes", vec![Sexp::atom(b.clone())]),
+            Value::Bool(v) => {
+                Sexp::tagged("bool", vec![Sexp::from(if *v { "true" } else { "false" })])
+            }
+        }
+    }
+
+    /// Parses the form produced by [`Value::to_sexp`].
+    pub fn from_sexp(e: &Sexp) -> Result<Value, DbError> {
+        let body = e.tag_body().unwrap_or(&[]);
+        match e.tag_name() {
+            Some("null") => Ok(Value::Null),
+            Some("int") => body
+                .first()
+                .and_then(Sexp::as_str)
+                .and_then(|s| s.parse().ok())
+                .map(Value::Int)
+                .ok_or_else(|| DbError::Decode("bad int".into())),
+            Some("text") => body
+                .first()
+                .and_then(Sexp::as_str)
+                .map(Value::text)
+                .ok_or_else(|| DbError::Decode("bad text".into())),
+            Some("bytes") => body
+                .first()
+                .and_then(Sexp::as_atom)
+                .map(Value::bytes)
+                .ok_or_else(|| DbError::Decode("bad bytes".into())),
+            Some("bool") => match body.first().and_then(Sexp::as_str) {
+                Some("true") => Ok(Value::Bool(true)),
+                Some("false") => Ok(Value::Bool(false)),
+                _ => Err(DbError::Decode("bad bool".into())),
+            },
+            _ => Err(DbError::Decode("unknown value form".into())),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Bytes(b) => write!(f, "0x{}", snowflake_sexpr::hex_encode(b)),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sexp_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Int(0),
+            Value::Int(-123456),
+            Value::Int(i64::MAX),
+            Value::text(""),
+            Value::text("hello world"),
+            Value::bytes(vec![]),
+            Value::bytes(vec![0, 1, 255]),
+            Value::Bool(true),
+            Value::Bool(false),
+        ] {
+            assert_eq!(Value::from_sexp(&v.to_sexp()).unwrap(), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        for src in ["(int abc)", "(bool maybe)", "(mystery 1)", "(int)"] {
+            let e = Sexp::parse(src.as_bytes()).unwrap();
+            assert!(Value::from_sexp(&e).is_err(), "{src}");
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(-5).to_string(), "-5");
+        assert_eq!(Value::text("x").to_string(), "x");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::bytes(vec![0xab]).to_string(), "0xab");
+    }
+}

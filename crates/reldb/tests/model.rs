@@ -1,0 +1,128 @@
+//! Model-based property test: the table must agree with a naive Vec-of-rows
+//! model under arbitrary interleavings of insert/update/delete/select, with
+//! and without an index.
+
+use proptest::prelude::*;
+use snowflake_reldb::{ColumnType, Predicate, Schema, Table, Value};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { owner: u8, n: i64 },
+    UpdateOwner { from: u8, to: u8 },
+    Delete { owner: u8 },
+    Select { owner: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, any::<i64>()).prop_map(|(owner, n)| Op::Insert { owner, n }),
+        (0u8..4, 0u8..4).prop_map(|(from, to)| Op::UpdateOwner { from, to }),
+        (0u8..4).prop_map(|owner| Op::Delete { owner }),
+        (0u8..4).prop_map(|owner| Op::Select { owner }),
+    ]
+}
+
+fn owner_name(o: u8) -> String {
+    format!("user{o}")
+}
+
+/// The trivially correct model.
+#[derive(Default)]
+struct Model {
+    rows: Vec<(String, i64)>,
+}
+
+impl Model {
+    fn apply(&mut self, op: &Op) -> Option<Vec<i64>> {
+        match op {
+            Op::Insert { owner, n } => {
+                self.rows.push((owner_name(*owner), *n));
+                None
+            }
+            Op::UpdateOwner { from, to } => {
+                let from = owner_name(*from);
+                let to = owner_name(*to);
+                for row in &mut self.rows {
+                    if row.0 == from {
+                        row.0 = to.clone();
+                    }
+                }
+                None
+            }
+            Op::Delete { owner } => {
+                let o = owner_name(*owner);
+                self.rows.retain(|r| r.0 != o);
+                None
+            }
+            Op::Select { owner } => {
+                let o = owner_name(*owner);
+                let mut out: Vec<i64> =
+                    self.rows.iter().filter(|r| r.0 == o).map(|r| r.1).collect();
+                out.sort_unstable();
+                Some(out)
+            }
+        }
+    }
+}
+
+fn apply_table(table: &mut Table, op: &Op) -> Option<Vec<i64>> {
+    match op {
+        Op::Insert { owner, n } => {
+            table
+                .insert(vec![Value::text(owner_name(*owner)), Value::Int(*n)])
+                .unwrap();
+            None
+        }
+        Op::UpdateOwner { from, to } => {
+            table
+                .update(
+                    &Predicate::eq("owner", Value::text(owner_name(*from))),
+                    &[("owner".to_string(), Value::text(owner_name(*to)))],
+                )
+                .unwrap();
+            None
+        }
+        Op::Delete { owner } => {
+            table
+                .delete(&Predicate::eq("owner", Value::text(owner_name(*owner))))
+                .unwrap();
+            None
+        }
+        Op::Select { owner } => {
+            let rows = table
+                .select(
+                    &Predicate::eq("owner", Value::text(owner_name(*owner))),
+                    &["n".to_string()],
+                )
+                .unwrap();
+            let mut out: Vec<i64> = rows
+                .into_iter()
+                .map(|r| match &r[0] {
+                    Value::Int(n) => *n,
+                    other => panic!("expected int, got {other:?}"),
+                })
+                .collect();
+            out.sort_unstable();
+            Some(out)
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn table_matches_model(ops in proptest::collection::vec(arb_op(), 0..60),
+                           indexed in any::<bool>()) {
+        let schema = Schema::new(&[("owner", ColumnType::Text), ("n", ColumnType::Int)]);
+        let mut table = Table::new(schema);
+        if indexed {
+            table.create_index("owner").unwrap();
+        }
+        let mut model = Model::default();
+        for op in &ops {
+            let got = apply_table(&mut table, op);
+            let want = model.apply(op);
+            prop_assert_eq!(got, want, "diverged on {:?} (indexed={})", op, indexed);
+        }
+        prop_assert_eq!(table.len(), model.rows.len());
+    }
+}

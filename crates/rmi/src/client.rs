@@ -1,0 +1,139 @@
+//! The client side: the rewritten stub and its `invoker` helper (Figure 4).
+
+use crate::proto::{submit_proof_invocation, Invocation, RmiFault, RmiReply};
+use crate::RmiError;
+use snowflake_channel::AuthChannel;
+use snowflake_core::{Principal, Time, Validity};
+use snowflake_crypto::KeyPair;
+use snowflake_prover::Prover;
+use snowflake_sexpr::Sexp;
+use std::sync::Arc;
+
+/// An RMI client bound to one channel, one session key, and one Prover.
+///
+/// This is the paper's client-side scope: "in a `try … finally` block, it
+/// establishes its own `SSHContext` and a `Prover` that holds its private
+/// key `K_C`.  Any method called in the run-time scope of the try block will
+/// inherit the established authority."  In Rust the scope is the lifetime of
+/// the `RmiClient` value.
+pub struct RmiClient {
+    channel: Box<dyn AuthChannel>,
+    prover: Arc<Prover>,
+    /// The session key pair used in the channel handshake (`K₂`).
+    session_key: KeyPair,
+    /// When set, invocations quote this principal (gateway mode).
+    quoting: Option<Principal>,
+    clock: fn() -> Time,
+}
+
+impl RmiClient {
+    /// Wraps an authenticated channel.
+    ///
+    /// `session_key` must be the key pair the channel was handshaken with;
+    /// the Prover must be able to connect the client's identity key to any
+    /// issuer the servers will demand.
+    pub fn new(
+        channel: Box<dyn AuthChannel>,
+        session_key: KeyPair,
+        prover: Arc<Prover>,
+    ) -> RmiClient {
+        Self::with_clock(channel, session_key, prover, Time::now)
+    }
+
+    /// Like [`RmiClient::new`] with an injected clock.
+    pub fn with_clock(
+        channel: Box<dyn AuthChannel>,
+        session_key: KeyPair,
+        prover: Arc<Prover>,
+        clock: fn() -> Time,
+    ) -> RmiClient {
+        RmiClient {
+            channel,
+            prover,
+            session_key,
+            quoting: None,
+            clock,
+        }
+    }
+
+    /// Switches this client into quoting mode: subsequent invocations claim
+    /// to quote `principal` (paper §6.3 — the gateway "intentionally quoting
+    /// Alice in its requests").
+    pub fn set_quoting(&mut self, principal: Option<Principal>) {
+        self.quoting = principal;
+    }
+
+    /// The principal servers will attribute requests to.
+    pub fn speaker(&self) -> Principal {
+        match &self.quoting {
+            None => Principal::key(&self.session_key.public),
+            Some(q) => Principal::quoting(Principal::key(&self.session_key.public), q.clone()),
+        }
+    }
+
+    /// The Prover backing this client.
+    pub fn prover(&self) -> &Arc<Prover> {
+        &self.prover
+    }
+
+    /// Invokes `method` on the named remote object, transparently handling
+    /// the need-authorization retry protocol.
+    ///
+    /// On [`RmiFault::NeedAuthorization`] the invoker queries the Prover for
+    /// (or completes) a proof of the required authority, submits it to the
+    /// server's proof recipient, and retries the original call once.
+    pub fn invoke(
+        &mut self,
+        object: &str,
+        method: &str,
+        args: Vec<Sexp>,
+    ) -> Result<Sexp, RmiError> {
+        let invocation = Invocation {
+            object: object.to_string(),
+            method: method.to_string(),
+            args,
+            quoting: self.quoting.clone(),
+        };
+
+        match self.round_trip(&invocation)? {
+            RmiReply::Return(v) => Ok(v),
+            RmiReply::Fault(RmiFault::NeedAuthorization { issuer, tag }) => {
+                // The invoker inspects the exception to discover the issuer
+                // it must speak for and the minimum restriction set.
+                let now = (self.clock)();
+                let subject = self.speaker();
+                let proof = self
+                    .prover
+                    .complete_proof(
+                        &subject,
+                        &issuer,
+                        &tag,
+                        Validity::until(now.plus(3600)),
+                        now,
+                    )
+                    .ok_or(RmiError::NoProof { issuer, tag })?;
+
+                // Pass the proof to the server's proofRecipient…
+                match self.round_trip(&submit_proof_invocation(&proof))? {
+                    RmiReply::Return(_) => {}
+                    RmiReply::Fault(f) => return Err(RmiError::Fault(f)),
+                }
+
+                // …and send the original invocation again.
+                match self.round_trip(&invocation)? {
+                    RmiReply::Return(v) => Ok(v),
+                    RmiReply::Fault(f) => Err(RmiError::Fault(f)),
+                }
+            }
+            RmiReply::Fault(f) => Err(RmiError::Fault(f)),
+        }
+    }
+
+    /// One raw request/reply exchange.
+    fn round_trip(&mut self, invocation: &Invocation) -> Result<RmiReply, RmiError> {
+        self.channel.send(&invocation.to_sexp().canonical())?;
+        let frame = self.channel.recv()?;
+        let sexp = Sexp::parse(&frame).map_err(|e| RmiError::Protocol(e.to_string()))?;
+        RmiReply::from_sexp(&sexp).map_err(|e| RmiError::Protocol(e.to_string()))
+    }
+}

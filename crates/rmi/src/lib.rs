@@ -1,0 +1,78 @@
+//! RMI-style RPC with end-to-end authorization (paper §5.1.1, Figure 4).
+//!
+//! This crate reproduces the paper's Snowflake/RMI integration call-for-call:
+//!
+//! 1. The client invokes a method through an [`RmiClient`] (the paper's
+//!    rewritten stub + `invoker` helper).
+//! 2. The server-side skeleton ([`RmiServer`]) receives the invocation over
+//!    an authenticated channel and calls `check_auth()` before running the
+//!    implementation.
+//! 3. `check_auth()` discovers the key `K₂` associated with the channel and
+//!    looks for a cached, verified proof that `K₂ =T⇒ K_S`.  Missing proof →
+//!    the call faults with [`RmiFault::NeedAuthorization`] carrying the
+//!    issuer it must speak for and the minimum restriction set.
+//! 4. The invoker catches the fault, asks its Prover to complete a proof
+//!    (delegating from the client's identity key `K_C` to the session key
+//!    `K₂`), submits it to the server's *proof recipient* object, and
+//!    retries the original call.
+//! 5. Future calls hit the proof cache and "are only slowed by the layer of
+//!    encryption protecting the integrity of the ssh channel."
+//!
+//! Gateways set a *quoting* principal on their client: the server then
+//! associates requests with the compound principal `channel | quotee`
+//! (paper §4.2), enabling the §6.3 quoting-gateway pattern.
+
+mod client;
+mod proto;
+mod server;
+
+pub use client::RmiClient;
+pub use proto::{Invocation, RmiFault, RmiReply, PROOF_RECIPIENT};
+pub use server::{
+    method_tag, session_validity, speaker_for, CallerInfo, FileObject, ProofCacheStats,
+    RemoteObject, RmiServer,
+};
+
+/// Errors surfaced to RMI callers.
+#[derive(Debug)]
+pub enum RmiError {
+    /// Transport-level failure.
+    Io(std::io::Error),
+    /// The peer sent something unparseable.
+    Protocol(String),
+    /// The server faulted and the client could not recover.
+    Fault(RmiFault),
+    /// The client's Prover could not produce the demanded proof.
+    NoProof {
+        /// The issuer the server demanded.
+        issuer: snowflake_core::Principal,
+        /// The minimum restriction set demanded.
+        tag: snowflake_core::Tag,
+    },
+}
+
+impl std::fmt::Display for RmiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RmiError::Io(e) => write!(f, "rmi transport error: {e}"),
+            RmiError::Protocol(m) => write!(f, "rmi protocol error: {m}"),
+            RmiError::Fault(fault) => write!(f, "rmi fault: {fault:?}"),
+            RmiError::NoProof { issuer, tag } => {
+                write!(
+                    f,
+                    "prover cannot show authority over {} re {:?}",
+                    issuer.describe(),
+                    tag
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RmiError {}
+
+impl From<std::io::Error> for RmiError {
+    fn from(e: std::io::Error) -> Self {
+        RmiError::Io(e)
+    }
+}

@@ -1,0 +1,280 @@
+//! The RMI wire protocol: invocations, replies, and faults as S-expressions.
+
+use snowflake_core::{Principal, Proof, Tag};
+use snowflake_sexpr::{ParseError, Sexp};
+
+/// A method invocation on a named remote object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// The remote object's registry name.
+    pub object: String,
+    /// The method to call.
+    pub method: String,
+    /// Arguments (application-defined S-expressions).
+    pub args: Vec<Sexp>,
+    /// When set, the caller claims to quote this principal (gateway mode);
+    /// the server associates the request with `channel | quoting`.
+    pub quoting: Option<Principal>,
+}
+
+impl Invocation {
+    /// Serializes to `(invoke (object o) (method m) (args …) [(quoting p)])`.
+    pub fn to_sexp(&self) -> Sexp {
+        let mut body = vec![
+            Sexp::tagged("object", vec![Sexp::from(self.object.as_str())]),
+            Sexp::tagged("method", vec![Sexp::from(self.method.as_str())]),
+            Sexp::tagged("args", self.args.clone()),
+        ];
+        if let Some(q) = &self.quoting {
+            body.push(Sexp::tagged("quoting", vec![q.to_sexp()]));
+        }
+        Sexp::tagged("invoke", body)
+    }
+
+    /// Parses the form produced by [`Invocation::to_sexp`].
+    pub fn from_sexp(e: &Sexp) -> Result<Invocation, ParseError> {
+        let bad = |m: &str| ParseError {
+            offset: 0,
+            message: m.into(),
+        };
+        if e.tag_name() != Some("invoke") {
+            return Err(bad("expected (invoke …)"));
+        }
+        let object = e
+            .find_value("object")
+            .and_then(Sexp::as_str)
+            .ok_or_else(|| bad("missing object"))?
+            .to_string();
+        let method = e
+            .find_value("method")
+            .and_then(Sexp::as_str)
+            .ok_or_else(|| bad("missing method"))?
+            .to_string();
+        let args = e
+            .find("args")
+            .and_then(Sexp::tag_body)
+            .map(<[Sexp]>::to_vec)
+            .unwrap_or_default();
+        let quoting = e
+            .find_value("quoting")
+            .map(Principal::from_sexp)
+            .transpose()?;
+        Ok(Invocation {
+            object,
+            method,
+            args,
+            quoting,
+        })
+    }
+}
+
+/// Faults a server may raise instead of a return value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RmiFault {
+    /// The `SfNeedAuthorizationException` of Figure 4: the caller must prove
+    /// it speaks for `issuer` regarding at least `tag`.
+    NeedAuthorization {
+        /// The issuer (`K_S`) the caller must speak for.
+        issuer: Principal,
+        /// The minimum restriction set (`T`).
+        tag: Tag,
+    },
+    /// Authorization was presented but insufficient (403-equivalent).
+    NotAuthorized(String),
+    /// No object registered under the requested name.
+    NoSuchObject(String),
+    /// Object exists but has no such method.
+    NoSuchMethod(String),
+    /// Application-level error from the method implementation.
+    Application(String),
+}
+
+impl RmiFault {
+    /// Serializes to `(fault <kind> …)`.
+    pub fn to_sexp(&self) -> Sexp {
+        match self {
+            RmiFault::NeedAuthorization { issuer, tag } => Sexp::tagged(
+                "fault",
+                vec![
+                    Sexp::from("need-authorization"),
+                    Sexp::tagged("issuer", vec![issuer.to_sexp()]),
+                    tag.to_sexp(),
+                ],
+            ),
+            RmiFault::NotAuthorized(m) => Sexp::tagged(
+                "fault",
+                vec![Sexp::from("not-authorized"), Sexp::from(m.as_str())],
+            ),
+            RmiFault::NoSuchObject(m) => Sexp::tagged(
+                "fault",
+                vec![Sexp::from("no-such-object"), Sexp::from(m.as_str())],
+            ),
+            RmiFault::NoSuchMethod(m) => Sexp::tagged(
+                "fault",
+                vec![Sexp::from("no-such-method"), Sexp::from(m.as_str())],
+            ),
+            RmiFault::Application(m) => Sexp::tagged(
+                "fault",
+                vec![Sexp::from("application"), Sexp::from(m.as_str())],
+            ),
+        }
+    }
+
+    /// Parses the form produced by [`RmiFault::to_sexp`].
+    pub fn from_sexp(e: &Sexp) -> Result<RmiFault, ParseError> {
+        let bad = |m: &str| ParseError {
+            offset: 0,
+            message: m.into(),
+        };
+        let body = e.tag_body().ok_or_else(|| bad("fault body"))?;
+        let kind = body
+            .first()
+            .and_then(Sexp::as_str)
+            .ok_or_else(|| bad("fault kind"))?;
+        let text = || body.get(1).and_then(Sexp::as_str).unwrap_or("").to_string();
+        match kind {
+            "need-authorization" => {
+                let issuer = Principal::from_sexp(
+                    e.find_value("issuer").ok_or_else(|| bad("fault issuer"))?,
+                )?;
+                let tag = Tag::parse(e.find("tag").ok_or_else(|| bad("fault tag"))?)?;
+                Ok(RmiFault::NeedAuthorization { issuer, tag })
+            }
+            "not-authorized" => Ok(RmiFault::NotAuthorized(text())),
+            "no-such-object" => Ok(RmiFault::NoSuchObject(text())),
+            "no-such-method" => Ok(RmiFault::NoSuchMethod(text())),
+            "application" => Ok(RmiFault::Application(text())),
+            _ => Err(bad("unknown fault kind")),
+        }
+    }
+}
+
+/// A server's reply to an invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RmiReply {
+    /// Successful return value.
+    Return(Sexp),
+    /// Fault.
+    Fault(RmiFault),
+}
+
+impl RmiReply {
+    /// Serializes the reply.
+    pub fn to_sexp(&self) -> Sexp {
+        match self {
+            RmiReply::Return(v) => Sexp::tagged("return", vec![v.clone()]),
+            RmiReply::Fault(f) => f.to_sexp(),
+        }
+    }
+
+    /// Parses a reply.
+    pub fn from_sexp(e: &Sexp) -> Result<RmiReply, ParseError> {
+        let bad = |m: &str| ParseError {
+            offset: 0,
+            message: m.into(),
+        };
+        match e.tag_name() {
+            Some("return") => {
+                let body = e.tag_body().ok_or_else(|| bad("return body"))?;
+                if body.len() != 1 {
+                    return Err(bad("return takes one value"));
+                }
+                Ok(RmiReply::Return(body[0].clone()))
+            }
+            Some("fault") => Ok(RmiReply::Fault(RmiFault::from_sexp(e)?)),
+            _ => Err(bad("expected return or fault")),
+        }
+    }
+}
+
+/// The reserved object name proofs are submitted to (Figure 4's
+/// `proofRecipient`).
+pub const PROOF_RECIPIENT: &str = "proof-recipient";
+
+/// Builds the proof-submission invocation.
+pub fn submit_proof_invocation(proof: &Proof) -> Invocation {
+    Invocation {
+        object: PROOF_RECIPIENT.into(),
+        method: "submit".into(),
+        args: vec![proof.to_sexp()],
+        quoting: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowflake_sexpr::sexp;
+
+    #[test]
+    fn invocation_roundtrip() {
+        let inv = Invocation {
+            object: "database".into(),
+            method: "select".into(),
+            args: vec![sexp!["where", ["owner", "alice"]]],
+            quoting: None,
+        };
+        assert_eq!(Invocation::from_sexp(&inv.to_sexp()).unwrap(), inv);
+    }
+
+    #[test]
+    fn invocation_with_quoting_roundtrip() {
+        let inv = Invocation {
+            object: "database".into(),
+            method: "select".into(),
+            args: vec![],
+            quoting: Some(Principal::message(b"client-identity")),
+        };
+        let back = Invocation::from_sexp(&inv.to_sexp()).unwrap();
+        assert_eq!(back, inv);
+        assert!(back.quoting.is_some());
+    }
+
+    #[test]
+    fn fault_roundtrips() {
+        let faults = vec![
+            RmiFault::NeedAuthorization {
+                issuer: Principal::message(b"ks"),
+                tag: Tag::named("db", vec![]),
+            },
+            RmiFault::NotAuthorized("proof expired".into()),
+            RmiFault::NoSuchObject("ghost".into()),
+            RmiFault::NoSuchMethod("frobnicate".into()),
+            RmiFault::Application("row not found".into()),
+        ];
+        for f in faults {
+            let e = f.to_sexp();
+            assert_eq!(RmiFault::from_sexp(&e).unwrap(), f);
+            // And through RmiReply.
+            let r = RmiReply::Fault(f.clone());
+            assert_eq!(RmiReply::from_sexp(&r.to_sexp()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn reply_return_roundtrip() {
+        let r = RmiReply::Return(sexp!["rows", ["r1"], ["r2"]]);
+        assert_eq!(RmiReply::from_sexp(&r.to_sexp()).unwrap(), r);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        for src in [
+            "(invoke)",
+            "(fault)",
+            "(fault martian)",
+            "(return a b)",
+            "(other)",
+        ] {
+            let e = Sexp::parse(src.as_bytes()).unwrap();
+            assert!(
+                Invocation::from_sexp(&e).is_err() || src != "(invoke)",
+                "{src} as invocation"
+            );
+            assert!(
+                RmiReply::from_sexp(&e).is_err() || src.starts_with("(return"),
+                "{src}"
+            );
+        }
+    }
+}

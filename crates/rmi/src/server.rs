@@ -1,0 +1,333 @@
+//! The server side: skeleton dispatch, `check_auth`, and the proof cache.
+
+use crate::proto::{Invocation, RmiFault, RmiReply, PROOF_RECIPIENT};
+use parking_lot::Mutex;
+use snowflake_channel::AuthChannel;
+use snowflake_core::{ChannelId, Delegation, Principal, Proof, Tag, Time, Validity, VerifyCtx};
+use snowflake_crypto::PublicKey;
+use snowflake_sexpr::Sexp;
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+/// Information about the authenticated caller, passed to implementations.
+#[derive(Debug, Clone)]
+pub struct CallerInfo {
+    /// The principal the request is attributed to (`K₂`, or
+    /// `K₂ | quotee` for quoting callers).
+    pub speaker: Principal,
+    /// The channel the request arrived on.
+    pub channel: ChannelId,
+}
+
+/// A remote object: issuer, method→restriction mapping, and implementation.
+///
+/// "The server programmer defines the object server key `K_S` and the
+/// mapping from method invocation to restriction set (T) for a server
+/// object, then prefixes each Remote method with calls to a generic
+/// `checkAuth()`."  Here the framework itself calls `check_auth` before
+/// `invoke`, which makes it impossible to leave a method unprotected — the
+/// paper's motivation for automating the injection.
+pub trait RemoteObject: Send + Sync {
+    /// The principal that controls this object (the paper's `K_S`).
+    fn issuer(&self) -> Principal;
+
+    /// Maps an invocation to its minimum restriction set `T`.
+    ///
+    /// The default is the singleton request
+    /// `(rmi (object o) (method m))`.
+    fn restriction(&self, invocation: &Invocation) -> Tag {
+        method_tag(&invocation.object, &invocation.method)
+    }
+
+    /// The implementation, called only after authorization succeeded.
+    fn invoke(&self, invocation: &Invocation, caller: &CallerInfo) -> Result<Sexp, RmiFault>;
+}
+
+/// The standard restriction tag for an RMI method.
+pub fn method_tag(object: &str, method: &str) -> Tag {
+    Tag::named(
+        "rmi",
+        vec![
+            Tag::named("object", vec![Tag::atom(object)]),
+            Tag::named("method", vec![Tag::atom(method)]),
+        ],
+    )
+}
+
+/// Statistics about the server's proof cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProofCacheStats {
+    /// Cached (verified) proofs held.
+    pub proofs: usize,
+    /// `check_auth` calls answered from cache.
+    pub hits: u64,
+    /// `check_auth` calls that faulted for want of proof.
+    pub misses: u64,
+}
+
+/// One verified proof in the cache.
+struct CachedProof {
+    conclusion: Delegation,
+    #[expect(dead_code, reason = "retained for audit trails")]
+    proof: Proof,
+}
+
+/// The RMI server: object registry, proof cache, and per-connection loop.
+pub struct RmiServer {
+    objects: Mutex<HashMap<String, Arc<dyn RemoteObject>>>,
+    /// Objects served without authorization (the "basic RMI" baseline of
+    /// the paper's Figure 6 measurements).
+    open_objects: Mutex<HashMap<String, Arc<dyn RemoteObject>>>,
+    /// Verified proofs keyed by subject principal.
+    cache: Mutex<HashMap<Principal, Vec<CachedProof>>>,
+    stats: Mutex<ProofCacheStats>,
+    /// Base context cloned per connection (carries revocation data).
+    base_ctx: Mutex<VerifyCtx>,
+    clock: fn() -> Time,
+}
+
+impl RmiServer {
+    /// Creates an empty server using wall-clock time.
+    pub fn new() -> Arc<RmiServer> {
+        Self::with_clock(Time::now)
+    }
+
+    /// Creates a server with an injected clock (tests and benches).
+    pub fn with_clock(clock: fn() -> Time) -> Arc<RmiServer> {
+        Arc::new(RmiServer {
+            objects: Mutex::new(HashMap::new()),
+            open_objects: Mutex::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ProofCacheStats::default()),
+            base_ctx: Mutex::new(VerifyCtx::at(clock())),
+            clock,
+        })
+    }
+
+    /// Registers an object served *without* authorization.
+    ///
+    /// Exists only to reproduce the paper's "basic RMI" baseline; real
+    /// services should use [`RmiServer::register`].
+    pub fn register_open(&self, name: &str, object: Arc<dyn RemoteObject>) {
+        assert_ne!(name, PROOF_RECIPIENT, "{PROOF_RECIPIENT} is reserved");
+        self.open_objects.lock().insert(name.to_string(), object);
+    }
+
+    /// Registers a remote object under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` collides with the reserved proof-recipient object.
+    pub fn register(&self, name: &str, object: Arc<dyn RemoteObject>) {
+        assert_ne!(name, PROOF_RECIPIENT, "{PROOF_RECIPIENT} is reserved");
+        self.objects.lock().insert(name.to_string(), object);
+    }
+
+    /// Installs revocation data shared by all connections.
+    pub fn base_ctx(&self) -> parking_lot::MutexGuard<'_, VerifyCtx> {
+        self.base_ctx.lock()
+    }
+
+    /// Proof-cache statistics.
+    pub fn cache_stats(&self) -> ProofCacheStats {
+        let mut s = *self.stats.lock();
+        s.proofs = self.cache.lock().values().map(Vec::len).sum();
+        s
+    }
+
+    /// Drops all cached proofs (benchmarks use this to force re-submission).
+    pub fn forget_proofs(&self) {
+        self.cache.lock().clear();
+    }
+
+    /// Serves one connection until the peer closes it.
+    ///
+    /// Each received frame is one invocation; each reply is one frame.
+    pub fn serve_connection(self: &Arc<Self>, channel: &mut dyn AuthChannel) -> io::Result<()> {
+        loop {
+            let frame = match channel.recv() {
+                Ok(f) => f,
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            let reply = self.handle_frame(&frame, channel);
+            channel.send(&reply.to_sexp().canonical())?;
+        }
+    }
+
+    /// Handles a single raw frame (exposed for benchmarks that drive the
+    /// server without threads).
+    pub fn handle_frame(self: &Arc<Self>, frame: &[u8], channel: &dyn AuthChannel) -> RmiReply {
+        let sexp = match Sexp::parse(frame) {
+            Ok(s) => s,
+            Err(e) => return RmiReply::Fault(RmiFault::Application(format!("parse: {e}"))),
+        };
+        let invocation = match Invocation::from_sexp(&sexp) {
+            Ok(i) => i,
+            Err(e) => return RmiReply::Fault(RmiFault::Application(format!("decode: {e}"))),
+        };
+        self.dispatch(&invocation, channel)
+    }
+
+    /// Dispatches a decoded invocation.
+    pub fn dispatch(
+        self: &Arc<Self>,
+        invocation: &Invocation,
+        channel: &dyn AuthChannel,
+    ) -> RmiReply {
+        if invocation.object == PROOF_RECIPIENT {
+            return self.receive_proof(invocation, channel);
+        }
+        // Unprotected baseline objects bypass check_auth entirely.
+        if let Some(object) = self.open_objects.lock().get(&invocation.object).cloned() {
+            let caller = CallerInfo {
+                speaker: Principal::Channel(channel.channel_id()),
+                channel: channel.channel_id(),
+            };
+            return match object.invoke(invocation, &caller) {
+                Ok(v) => RmiReply::Return(v),
+                Err(f) => RmiReply::Fault(f),
+            };
+        }
+        let Some(object) = self.objects.lock().get(&invocation.object).cloned() else {
+            return RmiReply::Fault(RmiFault::NoSuchObject(invocation.object.clone()));
+        };
+
+        // The speaker: K₂ from the channel, wrapped in a Quoting principal
+        // when the caller claims to quote someone (paper §4.2).
+        let Some(peer) = channel.peer_key() else {
+            return RmiReply::Fault(RmiFault::NeedAuthorization {
+                issuer: object.issuer(),
+                tag: object.restriction(invocation),
+            });
+        };
+        let speaker = match &invocation.quoting {
+            None => Principal::key(peer),
+            Some(q) => Principal::quoting(Principal::key(peer), q.clone()),
+        };
+
+        // check_auth(): find a cached, already-verified proof for this
+        // subject whose conclusion covers the request — the fast path
+        // measured in Figure 6.
+        let tag = object.restriction(invocation);
+        let now = (self.clock)();
+        if !self.check_auth(&speaker, &object.issuer(), &tag, now) {
+            self.stats.lock().misses += 1;
+            return RmiReply::Fault(RmiFault::NeedAuthorization {
+                issuer: object.issuer(),
+                tag,
+            });
+        }
+        self.stats.lock().hits += 1;
+
+        let caller = CallerInfo {
+            speaker,
+            channel: channel.channel_id(),
+        };
+        match object.invoke(invocation, &caller) {
+            Ok(v) => RmiReply::Return(v),
+            Err(f) => RmiReply::Fault(f),
+        }
+    }
+
+    fn check_auth(&self, speaker: &Principal, issuer: &Principal, tag: &Tag, now: Time) -> bool {
+        let cache = self.cache.lock();
+        let Some(entries) = cache.get(speaker) else {
+            return false;
+        };
+        entries.iter().any(|e| {
+            e.conclusion.issuer == *issuer
+                && e.conclusion.tag.permits(tag)
+                && e.conclusion.validity.contains(now)
+        })
+    }
+
+    /// The proof-recipient object: verifies a submitted proof against this
+    /// connection's channel bindings and caches it by subject.
+    fn receive_proof(
+        self: &Arc<Self>,
+        invocation: &Invocation,
+        channel: &dyn AuthChannel,
+    ) -> RmiReply {
+        let Some(proof_sexp) = invocation.args.first() else {
+            return RmiReply::Fault(RmiFault::Application("missing proof argument".into()));
+        };
+        let proof = match Proof::from_sexp(proof_sexp) {
+            Ok(p) => p,
+            Err(e) => return RmiReply::Fault(RmiFault::Application(format!("bad proof: {e}"))),
+        };
+
+        // Build this connection's verification context: base (revocation
+        // data) + the channel binding this endpoint itself witnessed.
+        let mut ctx = self.base_ctx.lock().clone();
+        ctx.now = (self.clock)();
+        if let Some(binding) = channel.peer_binding() {
+            ctx.assume(&binding);
+        }
+
+        if let Err(e) = proof.verify(&ctx) {
+            return RmiReply::Fault(RmiFault::NotAuthorized(format!("proof rejected: {e}")));
+        }
+        let conclusion = proof.conclusion();
+        self.cache
+            .lock()
+            .entry(conclusion.subject.clone())
+            .or_default()
+            .push(CachedProof { conclusion, proof });
+        RmiReply::Return(Sexp::from("ok"))
+    }
+}
+
+/// A trivial remote object for tests and benchmarks: returns the contents
+/// of named in-memory files (the paper's Figure 6 test operation is "a
+/// Remote object that returns the contents of a file").
+pub struct FileObject {
+    issuer: Principal,
+    files: HashMap<String, Vec<u8>>,
+}
+
+impl FileObject {
+    /// Creates a file object controlled by `issuer` serving `files`.
+    pub fn new(issuer: Principal, files: HashMap<String, Vec<u8>>) -> FileObject {
+        FileObject { issuer, files }
+    }
+}
+
+impl RemoteObject for FileObject {
+    fn issuer(&self) -> Principal {
+        self.issuer.clone()
+    }
+
+    fn invoke(&self, invocation: &Invocation, _caller: &CallerInfo) -> Result<Sexp, RmiFault> {
+        match invocation.method.as_str() {
+            "read" => {
+                let name = invocation
+                    .args
+                    .first()
+                    .and_then(Sexp::as_str)
+                    .ok_or_else(|| RmiFault::Application("read needs a file name".into()))?;
+                match self.files.get(name) {
+                    Some(data) => Ok(Sexp::atom(data.clone())),
+                    None => Err(RmiFault::Application(format!("no such file {name}"))),
+                }
+            }
+            other => Err(RmiFault::NoSuchMethod(other.into())),
+        }
+    }
+}
+
+/// Helper: the default validity window for channel delegations issued by
+/// clients (kept short; it covers a session, not a lifetime).
+pub fn session_validity(now: Time) -> Validity {
+    Validity::until(now.plus(3600))
+}
+
+/// Re-exported convenience: the speaker principal the server will derive for
+/// a connection (used by clients to phrase delegations).
+pub fn speaker_for(peer: &PublicKey, quoting: Option<&Principal>) -> Principal {
+    match quoting {
+        None => Principal::key(peer),
+        Some(q) => Principal::quoting(Principal::key(peer), q.clone()),
+    }
+}

@@ -1,0 +1,149 @@
+//! Base64 and hex codecs implemented from scratch.
+//!
+//! The transport encoding and the advanced encoding's `|…|` and `#…#` atom
+//! forms need base64 and hex.  No external codec crates are used; these are
+//! straightforward RFC 4648 implementations, whitespace-tolerant on decode as
+//! the S-expression draft requires.
+
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as standard base64 with `=` padding.
+pub fn b64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = *chunk.get(1).unwrap_or(&0) as u32;
+        let b2 = *chunk.get(2).unwrap_or(&0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(B64_ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(B64_ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            B64_ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64_ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decodes base64, ignoring ASCII whitespace; `=` padding is optional.
+pub fn b64_decode(text: &[u8]) -> Option<Vec<u8>> {
+    let mut acc: u32 = 0;
+    let mut bits = 0u32;
+    let mut out = Vec::with_capacity(text.len() / 4 * 3);
+    let mut seen_pad = false;
+    for &c in text {
+        if c.is_ascii_whitespace() {
+            continue;
+        }
+        if c == b'=' {
+            seen_pad = true;
+            continue;
+        }
+        if seen_pad {
+            return None; // data after padding
+        }
+        let v = match c {
+            b'A'..=b'Z' => c - b'A',
+            b'a'..=b'z' => c - b'a' + 26,
+            b'0'..=b'9' => c - b'0' + 52,
+            b'+' => 62,
+            b'/' => 63,
+            _ => return None,
+        } as u32;
+        acc = (acc << 6) | v;
+        bits += 6;
+        if bits >= 8 {
+            bits -= 8;
+            out.push((acc >> bits) as u8);
+        }
+    }
+    // Any leftover bits must be zero padding bits from the final sextet.
+    if bits > 0 && (acc & ((1 << bits) - 1)) != 0 {
+        return None;
+    }
+    Some(out)
+}
+
+/// Encodes bytes as lowercase hex.
+pub fn hex_encode(data: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 15) as usize] as char);
+    }
+    out
+}
+
+/// Decodes hex (either case), ignoring ASCII whitespace.
+pub fn hex_decode(text: &[u8]) -> Option<Vec<u8>> {
+    let mut nibbles = Vec::with_capacity(text.len());
+    for &c in text {
+        if c.is_ascii_whitespace() {
+            continue;
+        }
+        let v = match c {
+            b'0'..=b'9' => c - b'0',
+            b'a'..=b'f' => c - b'a' + 10,
+            b'A'..=b'F' => c - b'A' + 10,
+            _ => return None,
+        };
+        nibbles.push(v);
+    }
+    if nibbles.len() % 2 != 0 {
+        return None;
+    }
+    Some(nibbles.chunks(2).map(|p| (p[0] << 4) | p[1]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b64_rfc4648_vectors() {
+        assert_eq!(b64_encode(b""), "");
+        assert_eq!(b64_encode(b"f"), "Zg==");
+        assert_eq!(b64_encode(b"fo"), "Zm8=");
+        assert_eq!(b64_encode(b"foo"), "Zm9v");
+        assert_eq!(b64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(b64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(b64_encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn b64_decode_vectors() {
+        assert_eq!(b64_decode(b"Zm9vYmFy").unwrap(), b"foobar");
+        assert_eq!(b64_decode(b"Zm9v YmFy\n").unwrap(), b"foobar");
+        assert_eq!(b64_decode(b"Zg==").unwrap(), b"f");
+        assert_eq!(b64_decode(b"Zg").unwrap(), b"f");
+        assert!(b64_decode(b"Zg==X").is_none());
+        assert!(b64_decode(b"Z!").is_none());
+        // Non-zero trailing bits rejected.
+        assert!(b64_decode(b"Zh==").is_none());
+    }
+
+    #[test]
+    fn b64_roundtrip_all_bytes() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(b64_decode(b64_encode(&data).as_bytes()).unwrap(), data);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(hex_decode(hex_encode(&data).as_bytes()).unwrap(), data);
+        assert_eq!(
+            hex_decode(b"DeadBEEF").unwrap(),
+            vec![0xde, 0xad, 0xbe, 0xef]
+        );
+        assert!(hex_decode(b"abc").is_none());
+        assert!(hex_decode(b"zz").is_none());
+    }
+}

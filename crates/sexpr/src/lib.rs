@@ -1,0 +1,457 @@
+//! SPKI S-expressions.
+//!
+//! Snowflake encodes every statement, principal, proof, and wire message as
+//! an S-expression in the style of [Rivest's draft][sexp] used by SPKI
+//! (RFC 2693).  The paper relies on this format because it has "both robust
+//! and efficient wire transfer encodings" (§2.4): the *canonical* encoding is
+//! a unique byte string suitable for hashing and signing, the *transport*
+//! encoding wraps the canonical form in base64 for 7-bit-safe protocols such
+//! as HTTP headers, and the *advanced* encoding is the human-readable form
+//! shown in the paper's Figure 5.
+//!
+//! [sexp]: https://people.csail.mit.edu/rivest/Sexp.txt
+//!
+//! # Examples
+//!
+//! ```
+//! use snowflake_sexpr::Sexp;
+//!
+//! let e = Sexp::list(vec![
+//!     Sexp::from("tag"),
+//!     Sexp::list(vec![Sexp::from("web"), Sexp::from("GET")]),
+//! ]);
+//! assert_eq!(e.canonical(), b"(3:tag(3:web3:GET))".to_vec());
+//! let parsed = Sexp::parse(&e.canonical()).unwrap();
+//! assert_eq!(parsed, e);
+//! ```
+
+mod base64;
+mod error;
+mod parse;
+mod print;
+
+pub use base64::{b64_decode, b64_encode, hex_decode, hex_encode};
+pub use error::ParseError;
+
+use std::fmt;
+
+/// An SPKI S-expression: an octet-string atom or a list of S-expressions.
+///
+/// Atoms may carry an optional *display hint* (`[hint]bytes` in the wire
+/// encodings) describing how the octet string should be presented, per the
+/// Rivest draft.  Hints participate in equality and in the canonical
+/// encoding, so two atoms differing only in hint hash differently.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sexp {
+    /// An octet-string atom with an optional display hint.
+    Atom {
+        /// Optional display hint (e.g. `text/plain`).
+        hint: Option<Vec<u8>>,
+        /// The octet string itself.
+        bytes: Vec<u8>,
+    },
+    /// A parenthesized list of sub-expressions.
+    List(Vec<Sexp>),
+}
+
+impl Sexp {
+    /// Creates an atom from raw bytes with no display hint.
+    pub fn atom(bytes: impl Into<Vec<u8>>) -> Self {
+        Sexp::Atom {
+            hint: None,
+            bytes: bytes.into(),
+        }
+    }
+
+    /// Creates an atom with a display hint.
+    pub fn hinted_atom(hint: impl Into<Vec<u8>>, bytes: impl Into<Vec<u8>>) -> Self {
+        Sexp::Atom {
+            hint: Some(hint.into()),
+            bytes: bytes.into(),
+        }
+    }
+
+    /// Creates a list expression.
+    pub fn list(items: Vec<Sexp>) -> Self {
+        Sexp::List(items)
+    }
+
+    /// Creates a list whose first element is the atom `tag_name` — the
+    /// ubiquitous SPKI "tagged list" shape, e.g. `(hash md5 |...|)`.
+    pub fn tagged(tag_name: &str, rest: Vec<Sexp>) -> Self {
+        let mut items = Vec::with_capacity(rest.len() + 1);
+        items.push(Sexp::atom(tag_name.as_bytes().to_vec()));
+        items.extend(rest);
+        Sexp::List(items)
+    }
+
+    /// Creates an atom holding the decimal representation of `n`.
+    pub fn int(n: u64) -> Self {
+        Sexp::atom(n.to_string().into_bytes())
+    }
+
+    /// Returns the atom's bytes, or `None` for a list.
+    pub fn as_atom(&self) -> Option<&[u8]> {
+        match self {
+            Sexp::Atom { bytes, .. } => Some(bytes),
+            Sexp::List(_) => None,
+        }
+    }
+
+    /// Returns the atom's bytes as UTF-8, or `None` for lists / non-UTF-8.
+    pub fn as_str(&self) -> Option<&str> {
+        self.as_atom().and_then(|b| std::str::from_utf8(b).ok())
+    }
+
+    /// Parses the atom as a decimal `u64`, or `None`.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_str().and_then(|s| s.parse().ok())
+    }
+
+    /// Returns the list's items, or `None` for an atom.
+    pub fn as_list(&self) -> Option<&[Sexp]> {
+        match self {
+            Sexp::Atom { .. } => None,
+            Sexp::List(items) => Some(items),
+        }
+    }
+
+    /// Returns `true` if this is an atom.
+    pub fn is_atom(&self) -> bool {
+        matches!(self, Sexp::Atom { .. })
+    }
+
+    /// For a tagged list `(name …)`, returns `name` when it is a UTF-8 atom.
+    pub fn tag_name(&self) -> Option<&str> {
+        self.as_list()
+            .and_then(|items| items.first())
+            .and_then(|h| h.as_str())
+    }
+
+    /// For a tagged list, returns the elements after the tag name.
+    pub fn tag_body(&self) -> Option<&[Sexp]> {
+        match self.as_list() {
+            Some(items) if !items.is_empty() => Some(&items[1..]),
+            _ => None,
+        }
+    }
+
+    /// Looks up the first sub-list of a tagged list whose own tag is `name`.
+    ///
+    /// This is the common SPKI accessor pattern: in
+    /// `(cert (issuer X) (subject Y))`, `find("subject")` returns
+    /// `(subject Y)`.
+    pub fn find(&self, name: &str) -> Option<&Sexp> {
+        self.tag_body()?.iter().find(|e| e.tag_name() == Some(name))
+    }
+
+    /// Like [`Sexp::find`] but returns the *single* body element of the found
+    /// sub-list, i.e. `find_value("subject")` on
+    /// `(cert (subject Y))` returns `Y`.
+    pub fn find_value(&self, name: &str) -> Option<&Sexp> {
+        let found = self.find(name)?;
+        let body = found.tag_body()?;
+        if body.len() == 1 {
+            Some(&body[0])
+        } else {
+            None
+        }
+    }
+
+    /// Serializes to the canonical encoding (unique; used for hashing and
+    /// signing).
+    pub fn canonical(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.canonical_len());
+        self.write_canonical(&mut out);
+        out
+    }
+
+    /// Length in bytes of the canonical encoding, without materializing it.
+    pub fn canonical_len(&self) -> usize {
+        match self {
+            Sexp::Atom { hint, bytes } => {
+                let mut n = dec_len(bytes.len()) + 1 + bytes.len();
+                if let Some(h) = hint {
+                    n += 2 + dec_len(h.len()) + 1 + h.len();
+                }
+                n
+            }
+            Sexp::List(items) => 2 + items.iter().map(Sexp::canonical_len).sum::<usize>(),
+        }
+    }
+
+    fn write_canonical(&self, out: &mut Vec<u8>) {
+        match self {
+            Sexp::Atom { hint, bytes } => {
+                if let Some(h) = hint {
+                    out.push(b'[');
+                    out.extend_from_slice(h.len().to_string().as_bytes());
+                    out.push(b':');
+                    out.extend_from_slice(h);
+                    out.push(b']');
+                }
+                out.extend_from_slice(bytes.len().to_string().as_bytes());
+                out.push(b':');
+                out.extend_from_slice(bytes);
+            }
+            Sexp::List(items) => {
+                out.push(b'(');
+                for item in items {
+                    item.write_canonical(out);
+                }
+                out.push(b')');
+            }
+        }
+    }
+
+    /// Serializes to the transport encoding: `{base64(canonical)}`.
+    ///
+    /// The transport encoding is 7-bit safe and whitespace tolerant, which is
+    /// what lets proofs travel inside HTTP headers (paper §5.3, Figure 5).
+    pub fn transport(&self) -> String {
+        format!("{{{}}}", b64_encode(&self.canonical()))
+    }
+
+    /// Serializes to the human-readable advanced encoding.
+    ///
+    /// Token-safe atoms print bare, printable strings print quoted, and
+    /// binary atoms print as base64 between `|` bars — the format used in the
+    /// paper's Figure 5.
+    pub fn advanced(&self) -> String {
+        let mut s = String::new();
+        print::write_advanced(self, &mut s, 0, false);
+        s
+    }
+
+    /// Pretty multi-line advanced encoding with indentation.
+    pub fn advanced_pretty(&self) -> String {
+        let mut s = String::new();
+        print::write_advanced(self, &mut s, 0, true);
+        s
+    }
+
+    /// Parses any of the three encodings (auto-detected).
+    ///
+    /// A leading `{` selects the transport encoding; otherwise the input is
+    /// parsed as the advanced grammar, of which the canonical encoding is a
+    /// subset.
+    pub fn parse(input: &[u8]) -> Result<Sexp, ParseError> {
+        parse::parse(input)
+    }
+
+    /// Parses a sequence of S-expressions separated by whitespace.
+    pub fn parse_many(input: &[u8]) -> Result<Vec<Sexp>, ParseError> {
+        parse::parse_many(input)
+    }
+}
+
+impl From<&str> for Sexp {
+    fn from(s: &str) -> Self {
+        Sexp::atom(s.as_bytes().to_vec())
+    }
+}
+
+impl From<String> for Sexp {
+    fn from(s: String) -> Self {
+        Sexp::atom(s.into_bytes())
+    }
+}
+
+impl From<u64> for Sexp {
+    fn from(n: u64) -> Self {
+        Sexp::int(n)
+    }
+}
+
+impl fmt::Display for Sexp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.advanced())
+    }
+}
+
+impl fmt::Debug for Sexp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.advanced())
+    }
+}
+
+fn dec_len(mut n: usize) -> usize {
+    let mut digits = 1;
+    while n >= 10 {
+        n /= 10;
+        digits += 1;
+    }
+    digits
+}
+
+/// Convenience macro for building S-expressions.
+///
+/// # Examples
+///
+/// ```
+/// use snowflake_sexpr::{sexp, Sexp};
+/// let e = sexp!["tag", ["web", ["method", "GET"]]];
+/// assert_eq!(e.canonical(), b"(3:tag(3:web(6:method3:GET)))".to_vec());
+/// ```
+#[macro_export]
+macro_rules! sexp {
+    ([ $($item:tt),* $(,)? ]) => {
+        $crate::Sexp::list(vec![ $( $crate::sexp!($item) ),* ])
+    };
+    ($e:expr) => {
+        $crate::Sexp::from($e)
+    };
+    ($($item:tt),+ $(,)?) => {
+        $crate::Sexp::list(vec![ $( $crate::sexp!($item) ),* ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_canonical() {
+        assert_eq!(Sexp::from("abc").canonical(), b"3:abc");
+        assert_eq!(Sexp::atom(vec![]).canonical(), b"0:");
+        let long = Sexp::atom(vec![b'x'; 120]);
+        let mut expect = b"120:".to_vec();
+        expect.extend(vec![b'x'; 120]);
+        assert_eq!(long.canonical(), expect);
+    }
+
+    #[test]
+    fn hinted_atom_canonical_roundtrip() {
+        let e = Sexp::hinted_atom("text/plain", "hello");
+        let c = e.canonical();
+        assert_eq!(c, b"[10:text/plain]5:hello");
+        assert_eq!(Sexp::parse(&c).unwrap(), e);
+    }
+
+    #[test]
+    fn list_canonical() {
+        let e = Sexp::tagged("hash", vec![Sexp::from("md5"), Sexp::atom(vec![0u8, 255])]);
+        let c = e.canonical();
+        let parsed = Sexp::parse(&c).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn canonical_len_matches() {
+        let e = sexp![
+            "cert",
+            ["issuer", "alice"],
+            ["subject", "bob"],
+            ["tag", ["*"]]
+        ];
+        assert_eq!(e.canonical_len(), e.canonical().len());
+    }
+
+    #[test]
+    fn transport_roundtrip() {
+        let e = sexp!["a", ["b", "c"], "d"];
+        let t = e.transport();
+        assert!(t.starts_with('{') && t.ends_with('}'));
+        assert_eq!(Sexp::parse(t.as_bytes()).unwrap(), e);
+    }
+
+    #[test]
+    fn advanced_roundtrip_tokens() {
+        let e = sexp![
+            "tag",
+            ["web", ["method", "GET"], ["resourcePath", "/inbox/1"]]
+        ];
+        let a = e.advanced();
+        assert_eq!(Sexp::parse(a.as_bytes()).unwrap(), e);
+    }
+
+    #[test]
+    fn advanced_roundtrip_binary() {
+        let e = Sexp::tagged(
+            "hash",
+            vec![Sexp::from("md5"), Sexp::atom(vec![1, 2, 3, 250])],
+        );
+        let a = e.advanced();
+        assert!(a.contains('|'), "binary atom should render as base64: {a}");
+        assert_eq!(Sexp::parse(a.as_bytes()).unwrap(), e);
+    }
+
+    #[test]
+    fn advanced_quoted_string() {
+        let e = Sexp::from("hello world (not a list)");
+        let a = e.advanced();
+        assert!(a.starts_with('"'), "{a}");
+        assert_eq!(Sexp::parse(a.as_bytes()).unwrap(), e);
+    }
+
+    #[test]
+    fn figure5_style_message_parses() {
+        // The challenge parameters from the paper's Figure 5.
+        let txt =
+            br#"(tag (web (method GET) (service |Sm9uJ3MgUHJvdGVjdGVpY2U=|) (resourcePath "")))"#;
+        let e = Sexp::parse(txt).unwrap();
+        assert_eq!(e.tag_name(), Some("tag"));
+        let web = e.find("web").expect("web");
+        assert_eq!(web.find_value("method").unwrap().as_str(), Some("GET"));
+        assert_eq!(web.find_value("resourcePath").unwrap().as_str(), Some(""));
+    }
+
+    #[test]
+    fn find_accessors() {
+        let e = sexp!["cert", ["issuer", "alice"], ["subject", "bob"]];
+        assert_eq!(e.find_value("issuer").unwrap().as_str(), Some("alice"));
+        assert_eq!(e.find_value("subject").unwrap().as_str(), Some("bob"));
+        assert!(e.find("tag").is_none());
+        assert!(e.find_value("missing").is_none());
+    }
+
+    #[test]
+    fn nested_empty_list() {
+        let e = Sexp::list(vec![Sexp::list(vec![]), Sexp::from("x")]);
+        let c = e.canonical();
+        assert_eq!(c, b"(()1:x)");
+        assert_eq!(Sexp::parse(&c).unwrap(), e);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Sexp::parse(b"(unterminated").is_err());
+        assert!(Sexp::parse(b")").is_err());
+        assert!(Sexp::parse(b"5:ab").is_err());
+        assert!(Sexp::parse(b"").is_err());
+        assert!(Sexp::parse(b"(a) trailing").is_err());
+        assert!(Sexp::parse(b"{not-base64!}").is_err());
+    }
+
+    #[test]
+    fn parse_many_sequence() {
+        let v = Sexp::parse_many(b"(a b) (c) atom").unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[2].as_str(), Some("atom"));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = Sexp::from("a");
+        let b = Sexp::from("b");
+        let l = Sexp::list(vec![a.clone()]);
+        assert!(a < b);
+        // Atoms order before/after lists deterministically.
+        assert_ne!(a.cmp(&l), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn as_u64_parses_decimal() {
+        assert_eq!(Sexp::int(12345).as_u64(), Some(12345));
+        assert_eq!(Sexp::from("nope").as_u64(), None);
+        assert_eq!(Sexp::list(vec![]).as_u64(), None);
+    }
+
+    #[test]
+    fn display_hint_distinguishes_atoms() {
+        let plain = Sexp::atom("x");
+        let hinted = Sexp::hinted_atom("h", "x");
+        assert_ne!(plain, hinted);
+        assert_ne!(plain.canonical(), hinted.canonical());
+    }
+}

@@ -1,0 +1,376 @@
+//! Parser for the canonical, transport, and advanced encodings.
+//!
+//! One recursive-descent parser covers all three: canonical verbatim atoms
+//! (`3:abc`) are part of the advanced grammar, and a leading `{` switches to
+//! the transport encoding (base64 of canonical).
+
+use crate::base64::{b64_decode, hex_decode};
+use crate::error::ParseError;
+use crate::Sexp;
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+/// Parses exactly one S-expression; trailing non-whitespace is an error.
+pub fn parse(input: &[u8]) -> Result<Sexp, ParseError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing data after expression"));
+    }
+    Ok(e)
+}
+
+/// Parses a whitespace-separated sequence of S-expressions.
+pub fn parse_many(input: &[u8]) -> Result<Vec<Sexp>, ParseError> {
+    let mut p = Parser { input, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.pos == p.input.len() {
+            return Ok(out);
+        }
+        out.push(p.expr()?);
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.pos, msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expr(&mut self) -> Result<Sexp, ParseError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'(') => self.list(),
+            Some(b'{') => self.transport(),
+            Some(b'[') => {
+                let hint = self.display_hint()?;
+                let mut atom = self.atom()?;
+                if let Sexp::Atom { hint: h, .. } = &mut atom {
+                    *h = Some(hint);
+                }
+                Ok(atom)
+            }
+            Some(b')') => Err(self.err("unmatched ')'")),
+            Some(_) => self.atom(),
+        }
+    }
+
+    fn list(&mut self) -> Result<Sexp, ParseError> {
+        debug_assert_eq!(self.peek(), Some(b'('));
+        self.bump();
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Err(self.err("unterminated list")),
+                Some(b')') => {
+                    self.bump();
+                    return Ok(Sexp::List(items));
+                }
+                Some(_) => items.push(self.expr()?),
+            }
+        }
+    }
+
+    fn transport(&mut self) -> Result<Sexp, ParseError> {
+        debug_assert_eq!(self.peek(), Some(b'{'));
+        let start = self.pos;
+        self.bump();
+        let open = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'}' {
+                let inner = &self.input[open..self.pos];
+                self.bump();
+                let canonical = b64_decode(inner).ok_or_else(|| {
+                    ParseError::new(start, "invalid base64 in transport encoding")
+                })?;
+                return parse(&canonical).map_err(|e| {
+                    ParseError::new(start, format!("inside transport encoding: {}", e.message))
+                });
+            }
+            self.bump();
+        }
+        Err(self.err("unterminated transport encoding"))
+    }
+
+    fn display_hint(&mut self) -> Result<Vec<u8>, ParseError> {
+        debug_assert_eq!(self.peek(), Some(b'['));
+        self.bump();
+        let atom = self.atom()?;
+        let bytes = match atom {
+            Sexp::Atom { bytes, .. } => bytes,
+            Sexp::List(_) => unreachable!("atom() never returns a list"),
+        };
+        if self.peek() != Some(b']') {
+            return Err(self.err("expected ']' after display hint"));
+        }
+        self.bump();
+        Ok(bytes)
+    }
+
+    /// Parses any atom form: verbatim `N:bytes`, decimal-prefixed base64 /
+    /// quoted strings, bare tokens, `"quoted"`, `|base64|`, `#hex#`.
+    fn atom(&mut self) -> Result<Sexp, ParseError> {
+        match self.peek() {
+            Some(b'0'..=b'9') => self.length_prefixed(),
+            Some(b'"') => self.quoted(None),
+            Some(b'|') => self.base64_atom(),
+            Some(b'#') => self.hex_atom(),
+            Some(c) if is_token_start(c) => self.token(),
+            Some(c) => Err(self.err(format!("unexpected byte 0x{c:02x}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn length_prefixed(&mut self) -> Result<Sexp, ParseError> {
+        let mut len: usize = 0;
+        let digits_start = self.pos;
+        while let Some(c @ b'0'..=b'9') = self.peek() {
+            len = len
+                .checked_mul(10)
+                .and_then(|n| n.checked_add((c - b'0') as usize))
+                .ok_or_else(|| self.err("length overflow"))?;
+            self.bump();
+        }
+        if self.pos == digits_start {
+            return Err(self.err("expected decimal length"));
+        }
+        match self.peek() {
+            Some(b':') => {
+                self.bump();
+                if self.pos + len > self.input.len() {
+                    return Err(self.err("verbatim atom extends past end of input"));
+                }
+                let bytes = self.input[self.pos..self.pos + len].to_vec();
+                self.pos += len;
+                Ok(Sexp::atom(bytes))
+            }
+            Some(b'"') => self.quoted(Some(len)),
+            Some(b'|') => {
+                let a = self.base64_atom()?;
+                self.check_decoded_len(&a, len)?;
+                Ok(a)
+            }
+            Some(b'#') => {
+                let a = self.hex_atom()?;
+                self.check_decoded_len(&a, len)?;
+                Ok(a)
+            }
+            _ => {
+                // A bare numeric token such as `12345`.
+                let text = &self.input[digits_start..self.pos];
+                Ok(Sexp::atom(text.to_vec()))
+            }
+        }
+    }
+
+    fn check_decoded_len(&self, atom: &Sexp, expected: usize) -> Result<(), ParseError> {
+        let got = atom.as_atom().map(<[u8]>::len).unwrap_or(0);
+        if got != expected {
+            return Err(self.err(format!(
+                "length prefix {expected} does not match decoded length {got}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn quoted(&mut self, expected_len: Option<usize>) -> Result<Sexp, ParseError> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.bump();
+        let mut bytes = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated quoted string")),
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    None => return Err(self.err("unterminated escape")),
+                    Some(b'n') => bytes.push(b'\n'),
+                    Some(b'r') => bytes.push(b'\r'),
+                    Some(b't') => bytes.push(b'\t'),
+                    Some(b'\\') => bytes.push(b'\\'),
+                    Some(b'"') => bytes.push(b'"'),
+                    Some(b'x') => {
+                        let hi = self.bump().ok_or_else(|| self.err("bad \\x escape"))?;
+                        let lo = self.bump().ok_or_else(|| self.err("bad \\x escape"))?;
+                        let v = hex_decode(&[hi, lo]).ok_or_else(|| self.err("bad \\x escape"))?;
+                        bytes.push(v[0]);
+                    }
+                    Some(c) => return Err(self.err(format!("unknown escape \\{}", c as char))),
+                },
+                Some(c) => bytes.push(c),
+            }
+        }
+        if let Some(n) = expected_len {
+            if bytes.len() != n {
+                return Err(self.err("length prefix does not match quoted string"));
+            }
+        }
+        Ok(Sexp::atom(bytes))
+    }
+
+    fn base64_atom(&mut self) -> Result<Sexp, ParseError> {
+        debug_assert_eq!(self.peek(), Some(b'|'));
+        self.bump();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'|' {
+                let inner = &self.input[start..self.pos];
+                self.bump();
+                let bytes = b64_decode(inner)
+                    .ok_or_else(|| ParseError::new(start, "invalid base64 atom"))?;
+                return Ok(Sexp::atom(bytes));
+            }
+            self.bump();
+        }
+        Err(self.err("unterminated base64 atom"))
+    }
+
+    fn hex_atom(&mut self) -> Result<Sexp, ParseError> {
+        debug_assert_eq!(self.peek(), Some(b'#'));
+        self.bump();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'#' {
+                let inner = &self.input[start..self.pos];
+                self.bump();
+                let bytes =
+                    hex_decode(inner).ok_or_else(|| ParseError::new(start, "invalid hex atom"))?;
+                return Ok(Sexp::atom(bytes));
+            }
+            self.bump();
+        }
+        Err(self.err("unterminated hex atom"))
+    }
+
+    fn token(&mut self) -> Result<Sexp, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if is_token_char(c)) {
+            self.bump();
+        }
+        Ok(Sexp::atom(self.input[start..self.pos].to_vec()))
+    }
+}
+
+/// Token characters per the Rivest draft: alphanumeric plus punctuation that
+/// cannot be confused with structure.
+pub(crate) fn is_token_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric()
+        || matches!(
+            c,
+            b'-' | b'.'
+                | b'/'
+                | b'_'
+                | b':'
+                | b'*'
+                | b'+'
+                | b'='
+                | b'?'
+                | b'!'
+                | b'%'
+                | b'^'
+                | b'~'
+                | b'\''
+                | b'@'
+        )
+}
+
+/// A token may not start with a digit (that selects the verbatim form).
+pub(crate) fn is_token_start(c: u8) -> bool {
+    is_token_char(c) && !c.is_ascii_digit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_subset() {
+        let e = parse(b"(3:tag(3:web))").unwrap();
+        assert_eq!(e.tag_name(), Some("tag"));
+    }
+
+    #[test]
+    fn token_and_quoted_mix() {
+        let e = parse(br#"(name "Alice B." alias)"#).unwrap();
+        let items = e.as_list().unwrap();
+        assert_eq!(items[1].as_str(), Some("Alice B."));
+        assert_eq!(items[2].as_str(), Some("alias"));
+    }
+
+    #[test]
+    fn escapes_in_quoted() {
+        let e = parse(br#""a\n\t\"\\\x41""#).unwrap();
+        assert_eq!(e.as_atom().unwrap(), b"a\n\t\"\\A");
+    }
+
+    #[test]
+    fn hex_and_b64_atoms() {
+        assert_eq!(
+            parse(b"#deadbeef#").unwrap().as_atom().unwrap(),
+            &[0xde, 0xad, 0xbe, 0xef]
+        );
+        assert_eq!(parse(b"|Zm9v|").unwrap().as_atom().unwrap(), b"foo");
+    }
+
+    #[test]
+    fn length_prefixed_variants() {
+        assert_eq!(parse(b"3:foo").unwrap().as_atom().unwrap(), b"foo");
+        assert_eq!(parse(b"3|Zm9v|").unwrap().as_atom().unwrap(), b"foo");
+        assert_eq!(
+            parse(b"4#deadbeef#").unwrap().as_atom().unwrap(),
+            &[0xde, 0xad, 0xbe, 0xef]
+        );
+        assert_eq!(parse(br#"3"foo""#).unwrap().as_atom().unwrap(), b"foo");
+        assert!(parse(b"2|Zm9v|").is_err());
+    }
+
+    #[test]
+    fn bare_number_is_token() {
+        assert_eq!(parse(b"12345").unwrap().as_str(), Some("12345"));
+    }
+
+    #[test]
+    fn whitespace_tolerance() {
+        let e = parse(b"  ( a\n\t(b   c) )  ").unwrap();
+        assert_eq!(e.as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut txt = String::new();
+        for _ in 0..200 {
+            txt.push('(');
+        }
+        txt.push('x');
+        for _ in 0..200 {
+            txt.push(')');
+        }
+        let mut e = parse(txt.as_bytes()).unwrap();
+        for _ in 0..200 {
+            e = e.as_list().unwrap()[0].clone();
+        }
+        assert_eq!(e.as_str(), Some("x"));
+    }
+}

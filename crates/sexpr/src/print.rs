@@ -1,0 +1,125 @@
+//! Advanced-encoding printer.
+//!
+//! Chooses, per atom, the most readable advanced form that round-trips:
+//! bare token, quoted string, or base64 between `|` bars.
+
+use crate::base64::b64_encode;
+use crate::parse::{is_token_char, is_token_start};
+use crate::Sexp;
+
+/// Writes the advanced encoding of `e` into `out`.
+///
+/// When `pretty` is set, lists longer than a few elements break across lines
+/// with two-space indentation per `depth`.
+pub(crate) fn write_advanced(e: &Sexp, out: &mut String, depth: usize, pretty: bool) {
+    match e {
+        Sexp::Atom { hint, bytes } => {
+            if let Some(h) = hint {
+                out.push('[');
+                write_atom_bytes(h, out);
+                out.push(']');
+            }
+            write_atom_bytes(bytes, out);
+        }
+        Sexp::List(items) => {
+            out.push('(');
+            let break_lines = pretty && items.len() > 3;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    if break_lines {
+                        out.push('\n');
+                        for _ in 0..=depth {
+                            out.push_str("  ");
+                        }
+                    } else {
+                        out.push(' ');
+                    }
+                }
+                write_advanced(item, out, depth + 1, pretty);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn write_atom_bytes(bytes: &[u8], out: &mut String) {
+    if is_bare_token(bytes) {
+        // SAFETY-free: token chars are ASCII.
+        out.push_str(std::str::from_utf8(bytes).expect("token bytes are ASCII"));
+    } else if is_quotable(bytes) {
+        out.push('"');
+        for &b in bytes {
+            match b {
+                b'"' => out.push_str("\\\""),
+                b'\\' => out.push_str("\\\\"),
+                b'\n' => out.push_str("\\n"),
+                b'\r' => out.push_str("\\r"),
+                b'\t' => out.push_str("\\t"),
+                _ => out.push(b as char),
+            }
+        }
+        out.push('"');
+    } else {
+        out.push('|');
+        out.push_str(&b64_encode(bytes));
+        out.push('|');
+    }
+}
+
+/// A bare token: nonempty, token-safe characters, non-digit start.
+fn is_bare_token(bytes: &[u8]) -> bool {
+    match bytes.first() {
+        None => false,
+        Some(&c0) if !is_token_start(c0) => false,
+        Some(_) => bytes.iter().all(|&c| is_token_char(c)),
+    }
+}
+
+/// Quotable: printable ASCII and common whitespace escapes only.
+fn is_quotable(bytes: &[u8]) -> bool {
+    bytes
+        .iter()
+        .all(|&b| (0x20..0x7f).contains(&b) || matches!(b, b'\n' | b'\r' | b'\t'))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{sexp, Sexp};
+
+    #[test]
+    fn tokens_print_bare() {
+        assert_eq!(Sexp::from("hello-world").advanced(), "hello-world");
+        assert_eq!(Sexp::from("a/b.c_d").advanced(), "a/b.c_d");
+    }
+
+    #[test]
+    fn digit_start_is_quoted_or_verbatim() {
+        // `9lives` starts with a digit: cannot print bare (would parse as a
+        // length prefix), so it must round-trip via quotes.
+        let e = Sexp::from("9lives");
+        let a = e.advanced();
+        assert_eq!(Sexp::parse(a.as_bytes()).unwrap(), e);
+        assert_ne!(a, "9lives");
+    }
+
+    #[test]
+    fn binary_prints_base64() {
+        let e = Sexp::atom(vec![0u8, 1, 2]);
+        assert_eq!(e.advanced(), "|AAEC|");
+    }
+
+    #[test]
+    fn pretty_breaks_long_lists() {
+        let e = sexp!["cert", ["a", "1"], ["b", "2"], ["c", "3"], ["d", "4"]];
+        let p = e.advanced_pretty();
+        assert!(p.contains('\n'));
+        assert_eq!(Sexp::parse(p.as_bytes()).unwrap(), e);
+    }
+
+    #[test]
+    fn empty_atom_roundtrips() {
+        let e = Sexp::atom(Vec::new());
+        let a = e.advanced();
+        assert_eq!(Sexp::parse(a.as_bytes()).unwrap(), e);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests: every encoding round-trips every expression.
+
+use proptest::prelude::*;
+use snowflake_sexpr::Sexp;
+
+/// Strategy producing arbitrary S-expressions up to a bounded depth/size.
+fn arb_sexp() -> impl Strategy<Value = Sexp> {
+    let leaf = prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(Sexp::atom),
+        "[a-zA-Z][a-zA-Z0-9._/-]{0,15}".prop_map(|s| Sexp::from(s.as_str())),
+        proptest::collection::vec(any::<u8>(), 0..8).prop_map(|h| Sexp::hinted_atom(h, "payload")),
+    ];
+    leaf.prop_recursive(4, 64, 6, |inner| {
+        proptest::collection::vec(inner, 0..6).prop_map(Sexp::list)
+    })
+}
+
+proptest! {
+    #[test]
+    fn canonical_roundtrip(e in arb_sexp()) {
+        let c = e.canonical();
+        prop_assert_eq!(Sexp::parse(&c).unwrap(), e);
+    }
+
+    #[test]
+    fn transport_roundtrip(e in arb_sexp()) {
+        let t = e.transport();
+        prop_assert_eq!(Sexp::parse(t.as_bytes()).unwrap(), e);
+    }
+
+    #[test]
+    fn advanced_roundtrip(e in arb_sexp()) {
+        let a = e.advanced();
+        prop_assert_eq!(Sexp::parse(a.as_bytes()).unwrap(), e.clone());
+        let p = e.advanced_pretty();
+        prop_assert_eq!(Sexp::parse(p.as_bytes()).unwrap(), e);
+    }
+
+    #[test]
+    fn canonical_len_exact(e in arb_sexp()) {
+        prop_assert_eq!(e.canonical_len(), e.canonical().len());
+    }
+
+    #[test]
+    fn canonical_is_injective(a in arb_sexp(), b in arb_sexp()) {
+        // Distinct expressions never share a canonical form.
+        if a != b {
+            prop_assert_ne!(a.canonical(), b.canonical());
+        }
+    }
+
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Sexp::parse(&bytes);
+        let _ = Sexp::parse_many(&bytes);
+    }
+
+    #[test]
+    fn b64_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let enc = snowflake_sexpr::b64_encode(&bytes);
+        prop_assert_eq!(snowflake_sexpr::b64_decode(enc.as_bytes()).unwrap(), bytes);
+    }
+
+    #[test]
+    fn hex_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let enc = snowflake_sexpr::hex_encode(&bytes);
+        prop_assert_eq!(snowflake_sexpr::hex_decode(enc.as_bytes()).unwrap(), bytes);
+    }
+}

@@ -1,0 +1,357 @@
+//! Complete tag intersection.
+//!
+//! The paper (§4.1) emphasizes replacing the minimal SPKI tag implementation
+//! with "a complete one that performs arbitrary intersection operations"
+//! [Howell's thesis, ch. 6].  Every pair of tag forms intersects here; when
+//! the greatest lower bound of two forms has no simpler representation (for
+//! example `prefix ∩ range`), the result is the exact symbolic
+//! [`Tag::Both`] intersection rather than an approximation.
+
+use crate::{Bound, Tag};
+use std::cmp::Ordering as CmpOrdering;
+
+/// Computes the set intersection of two tags, `None` when empty.
+pub(crate) fn intersect(a: &Tag, b: &Tag) -> Option<Tag> {
+    use Tag::*;
+    match (a, b) {
+        // The universal tag is the identity of intersection.
+        (Star, other) | (other, Star) => Some(other.clone()),
+
+        // Sets distribute: (s₁ ∪ s₂ …) ∩ t = ∪ᵢ (sᵢ ∩ t).
+        (Set(items), other) | (other, Set(items)) => {
+            let hits: Vec<Tag> = items.iter().filter_map(|i| intersect(i, other)).collect();
+            if hits.is_empty() {
+                None
+            } else {
+                Some(Set(hits))
+            }
+        }
+
+        // Symbolic intersections: flatten every conjunct on both sides and
+        // combine pairwise.  (Folding one side into the other can loop —
+        // `Both(P,R₁) ∩ R₂ → Both(P,R₂) ∩ R₁ → …` — so the conjunct-list
+        // algorithm below reduces a finite list monotonically instead.)
+        (Both(_, _), _) | (_, Both(_, _)) => {
+            let mut conjuncts = Vec::new();
+            flatten_conjuncts(a, &mut conjuncts);
+            flatten_conjuncts(b, &mut conjuncts);
+            combine_conjuncts(conjuncts)
+        }
+
+        (Atom(x), Atom(y)) => (x == y).then(|| Atom(x.clone())),
+
+        (Atom(x), Prefix(p)) | (Prefix(p), Atom(x)) => x.starts_with(p).then(|| Atom(x.clone())),
+
+        (
+            Atom(x),
+            Range {
+                ordering,
+                low,
+                high,
+            },
+        )
+        | (
+            Range {
+                ordering,
+                low,
+                high,
+            },
+            Atom(x),
+        ) => ordering.contains(x, low, high).then(|| Atom(x.clone())),
+
+        (Prefix(p), Prefix(q)) => {
+            if p.starts_with(q) {
+                Some(Prefix(p.clone()))
+            } else if q.starts_with(p) {
+                Some(Prefix(q.clone()))
+            } else {
+                None
+            }
+        }
+
+        (Prefix(_), Range { .. }) | (Range { .. }, Prefix(_)) => {
+            // Exact but not representable in a single form.
+            Some(Both(Box::new(a.clone()), Box::new(b.clone())))
+        }
+
+        (
+            Range {
+                ordering: o1,
+                low: l1,
+                high: h1,
+            },
+            Range {
+                ordering: o2,
+                low: l2,
+                high: h2,
+            },
+        ) => {
+            if o1 != o2 {
+                // Different orderings: keep the exact conjunction.
+                return Some(Both(Box::new(a.clone()), Box::new(b.clone())));
+            }
+            let low = tighter_bound(*o1, l1, l2, true)?;
+            let high = tighter_bound(*o1, h1, h2, false)?;
+            // Reject crossed/empty results.
+            if let (Some(l), Some(h)) = (&low, &high) {
+                match o1.compare(&l.value, &h.value) {
+                    Some(CmpOrdering::Greater) | None => return None,
+                    Some(CmpOrdering::Equal) => {
+                        if !(l.inclusive && h.inclusive) {
+                            return None;
+                        }
+                        // Degenerate point range collapses to the atom.
+                        return Some(Atom(l.value.clone()));
+                    }
+                    Some(CmpOrdering::Less) => {}
+                }
+            }
+            Some(Range {
+                ordering: *o1,
+                low,
+                high,
+            })
+        }
+
+        (List(xs), List(ys)) => {
+            // Elementwise over the common prefix; the longer (more specific)
+            // list contributes its tail.  Paper semantics: appending fields
+            // restricts, so the intersection is as long as the longer list.
+            let (short, long) = if xs.len() <= ys.len() {
+                (xs, ys)
+            } else {
+                (ys, xs)
+            };
+            let mut out = Vec::with_capacity(long.len());
+            for i in 0..long.len() {
+                if i < short.len() {
+                    out.push(intersect(&short[i], &long[i])?);
+                } else {
+                    out.push(long[i].clone());
+                }
+            }
+            Some(List(out))
+        }
+
+        // Structure mismatches are empty.
+        (List(_), Atom(_) | Prefix(_) | Range { .. })
+        | (Atom(_) | Prefix(_) | Range { .. }, List(_)) => None,
+    }
+}
+
+/// Flattens a tag's conjunction tree into Both-free conjuncts.
+fn flatten_conjuncts(t: &Tag, out: &mut Vec<Tag>) {
+    match t {
+        Tag::Both(x, y) => {
+            flatten_conjuncts(x, out);
+            flatten_conjuncts(y, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+enum Pair {
+    /// The two conjuncts have an empty intersection.
+    Empty,
+    /// The two conjuncts merge into one (possibly compound) tag.
+    Simplified(Tag),
+    /// No simpler joint form exists; keep both conjuncts.
+    Irreducible,
+}
+
+/// Combines two Both-free conjuncts.
+fn pairwise(a: &Tag, b: &Tag) -> Pair {
+    use Tag::*;
+    match (a, b) {
+        // The irreducible combinations — these are exactly the pairs for
+        // which `intersect` would emit a symbolic `Both`, so asking it
+        // again would not make progress.
+        (Prefix(_), Range { .. }) | (Range { .. }, Prefix(_)) => Pair::Irreducible,
+        (Range { ordering: o1, .. }, Range { ordering: o2, .. }) if o1 != o2 => Pair::Irreducible,
+        _ => match intersect(a, b) {
+            None => Pair::Empty,
+            Some(t) => Pair::Simplified(t),
+        },
+    }
+}
+
+/// Reduces a conjunct list to its intersection.
+///
+/// Each merge strictly shrinks the working list, so this terminates even
+/// though individual merges may produce compound results.
+fn combine_conjuncts(items: Vec<Tag>) -> Option<Tag> {
+    let mut result: Vec<Tag> = Vec::new();
+    for item in items {
+        let mut item = item;
+        let mut i = 0;
+        while i < result.len() {
+            match pairwise(&result[i], &item) {
+                Pair::Empty => return None,
+                Pair::Simplified(t) => {
+                    result.remove(i);
+                    item = t;
+                    i = 0; // retry the merged result against the rest
+                }
+                Pair::Irreducible => i += 1,
+            }
+        }
+        result.push(item);
+    }
+    let mut iter = result.into_iter();
+    let first = iter.next()?;
+    Some(iter.fold(first, |acc, t| Tag::Both(Box::new(acc), Box::new(t))))
+}
+
+/// Picks the tighter of two optional bounds.
+///
+/// For lower bounds (`want_max = true`) the larger value wins; for upper
+/// bounds the smaller wins.  On ties, the *exclusive* bound is tighter.
+/// Returns `None` (propagating failure) only when the bound values cannot be
+/// compared under the ordering, which parsing already prevents.
+fn tighter_bound(
+    ordering: crate::RangeOrdering,
+    a: &Option<Bound>,
+    b: &Option<Bound>,
+    want_max: bool,
+) -> Option<Option<Bound>> {
+    match (a, b) {
+        (None, None) => Some(None),
+        (Some(x), None) | (None, Some(x)) => Some(Some(x.clone())),
+        (Some(x), Some(y)) => {
+            let cmp = ordering.compare(&x.value, &y.value)?;
+            let pick_x = match cmp {
+                CmpOrdering::Equal => {
+                    // Exclusive beats inclusive.
+                    return Some(Some(Bound {
+                        value: x.value.clone(),
+                        inclusive: x.inclusive && y.inclusive,
+                    }));
+                }
+                CmpOrdering::Greater => want_max,
+                CmpOrdering::Less => !want_max,
+            };
+            Some(Some(if pick_x { x.clone() } else { y.clone() }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowflake_sexpr::Sexp;
+
+    fn t(src: &str) -> Tag {
+        Tag::parse(&Sexp::parse(src.as_bytes()).unwrap()).unwrap()
+    }
+
+    fn ix(a: &str, b: &str) -> Option<Tag> {
+        t(a).intersect(&t(b))
+    }
+
+    #[test]
+    fn commutative_on_samples() {
+        let samples = [
+            "(*)",
+            "GET",
+            "POST",
+            "(web (method GET))",
+            "(web (method (* set GET HEAD)))",
+            "(* set GET POST)",
+            "(* prefix /inbox/)",
+            "(* range numeric ge 10 le 99)",
+            "(* range alpha ge a le m)",
+        ];
+        for a in samples {
+            for b in samples {
+                assert_eq!(ix(a, b), ix(b, a), "{a} ∩ {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn idempotent_on_samples() {
+        for a in [
+            "GET",
+            "(a b)",
+            "(* set x y)",
+            "(* prefix p)",
+            "(* range numeric ge 1 le 5)",
+        ] {
+            let tag = t(a).canonicalize();
+            assert_eq!(tag.intersect(&tag), Some(tag.clone()), "{a}");
+        }
+    }
+
+    #[test]
+    fn star_identity() {
+        for a in ["GET", "(a b)", "(* set x y)"] {
+            assert_eq!(ix("(*)", a), Some(t(a).canonicalize()));
+        }
+    }
+
+    #[test]
+    fn point_range_collapses_to_atom() {
+        let i = ix(
+            "(* range numeric ge 5 le 10)",
+            "(* range numeric ge 10 le 20)",
+        )
+        .unwrap();
+        assert_eq!(i, t("10"));
+    }
+
+    #[test]
+    fn exclusive_point_is_empty() {
+        assert!(ix(
+            "(* range numeric ge 5 l 10)",
+            "(* range numeric ge 10 le 20)"
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn mixed_ordering_stays_symbolic() {
+        let i = ix("(* range numeric ge 1)", "(* range alpha le z)").unwrap();
+        assert!(matches!(i, Tag::Both(_, _)));
+        // It still evaluates membership exactly: "5" satisfies both.
+        assert!(i.permits(&t("5")));
+        // "abc" fails the numeric side.
+        assert!(!i.permits(&t("abc")));
+    }
+
+    #[test]
+    fn set_of_ranges_prunes_empties() {
+        let i = ix(
+            "(* set (* range numeric le 5) (* range numeric ge 100))",
+            "(* range numeric ge 3 le 4)",
+        )
+        .unwrap();
+        assert!(i.permits(&t("3")));
+        assert!(i.permits(&t("4")));
+        assert!(!i.permits(&t("100")));
+    }
+
+    #[test]
+    fn list_atom_mismatch_empty() {
+        assert!(ix("(a)", "a").is_none());
+        assert!(ix("a", "(a)").is_none());
+    }
+
+    #[test]
+    fn nested_list_intersection() {
+        let i = ix(
+            "(db (op (* set select update)) (owner alice))",
+            "(db (op select))",
+        )
+        .unwrap();
+        assert_eq!(i, t("(db (op select) (owner alice))"));
+    }
+
+    #[test]
+    fn unbounded_ranges() {
+        let i = ix("(* range numeric ge 10)", "(* range numeric le 20)").unwrap();
+        assert!(i.permits(&t("10")));
+        assert!(i.permits(&t("20")));
+        assert!(!i.permits(&t("9")));
+        assert!(!i.permits(&t("21")));
+    }
+}

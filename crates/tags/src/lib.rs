@@ -1,0 +1,687 @@
+//! SPKI authorization tags: the *restriction* part of restricted delegation.
+//!
+//! A delegation `B =T⇒ A` ("B speaks for A regarding T", paper §3) carries a
+//! tag `T` describing the set of statements the delegation covers.  Tags
+//! "concisely represent infinitely refinable sets" (§4.1): a tag is a tree
+//! whose leaves may be literal byte strings, wildcards, sets, prefixes, or
+//! ranges.  The paper replaced Morcos' minimal implementation with "a
+//! complete one that performs arbitrary intersection operations" [12, ch. 6];
+//! this module is that complete implementation.
+//!
+//! # The tag algebra
+//!
+//! * `(*)` — matches anything.
+//! * A byte string — matches exactly itself.
+//! * A list `(a b c …)` — matches any list whose first elements match
+//!   elementwise; **longer lists are more specific**, so the tag
+//!   `(web (method GET))` permits the request
+//!   `(web (method GET) (resourcePath "/x"))`.
+//! * `(* set t₁ t₂ …)` — matches anything matching one of the alternatives.
+//! * `(* prefix bytes)` — matches any byte string with the given prefix.
+//! * `(* range ordering low high)` — matches byte strings within bounds
+//!   under `alpha`, `numeric`, `time`, `binary`, or `date` ordering.
+//! * `(* intersect t₁ t₂)` — matches what both match.  This form closes the
+//!   algebra under intersection: combinations with no simpler representation
+//!   (for example a prefix crossed with a range) remain exact instead of
+//!   being approximated.
+//!
+//! [`Tag::intersect`] computes the greatest lower bound of two tags,
+//! [`Tag::implies`] decides delegation-chain narrowing, and
+//! [`Tag::permits`] matches a ground request tag.
+//!
+//! # Examples
+//!
+//! ```
+//! use snowflake_tags::Tag;
+//! use snowflake_sexpr::Sexp;
+//!
+//! let granted = Tag::parse(&Sexp::parse(b"(tag (web (method (* set GET HEAD))))").unwrap()).unwrap();
+//! let request = Tag::parse(&Sexp::parse(b"(tag (web (method GET) (resourcePath \"/inbox\")))").unwrap()).unwrap();
+//! assert!(granted.permits(&request));
+//! ```
+
+mod intersect;
+mod order;
+
+pub use order::Ordering as RangeOrdering;
+
+use snowflake_sexpr::{ParseError, Sexp};
+use std::fmt;
+
+/// One bound of a range tag.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bound {
+    /// The bound value (interpreted under the range's ordering).
+    pub value: Vec<u8>,
+    /// Whether the bound itself is included (`ge`/`le` vs `g`/`l`).
+    pub inclusive: bool,
+}
+
+/// An SPKI authorization tag.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tag {
+    /// `(*)` — the universal tag.
+    Star,
+    /// A literal byte string.
+    Atom(Vec<u8>),
+    /// A structured list; longer lists are more specific.
+    List(Vec<Tag>),
+    /// `(* set …)` — union of alternatives.
+    Set(Vec<Tag>),
+    /// `(* prefix bytes)` — byte strings beginning with `bytes`.
+    Prefix(Vec<u8>),
+    /// `(* range ordering [low] [high])` — ordered interval of byte strings.
+    Range {
+        /// How bound comparisons are performed.
+        ordering: RangeOrdering,
+        /// Lower bound, if any.
+        low: Option<Bound>,
+        /// Upper bound, if any.
+        high: Option<Bound>,
+    },
+    /// `(* intersect t₁ t₂)` — exact intersection with no simpler form.
+    Both(Box<Tag>, Box<Tag>),
+}
+
+impl Tag {
+    /// Convenience constructor: an atom tag from a string.
+    pub fn atom(s: impl Into<Vec<u8>>) -> Tag {
+        Tag::Atom(s.into())
+    }
+
+    /// Convenience constructor: a list tag.
+    pub fn list(items: Vec<Tag>) -> Tag {
+        Tag::List(items)
+    }
+
+    /// Convenience constructor: a list beginning with an atom name.
+    pub fn named(name: &str, rest: Vec<Tag>) -> Tag {
+        let mut items = vec![Tag::atom(name)];
+        items.extend(rest);
+        Tag::List(items)
+    }
+
+    /// Computes the intersection of two tags.
+    ///
+    /// Returns `None` when the intersection is empty.  The result is
+    /// canonicalized (sets sorted and deduplicated, singletons unwrapped).
+    pub fn intersect(&self, other: &Tag) -> Option<Tag> {
+        intersect::intersect(self, other).map(|t| t.canonicalize())
+    }
+
+    /// Returns `true` when `self` covers everything `other` covers.
+    ///
+    /// This is the delegation-narrowing test: a chain `A =T⇒ B =U⇒ C` yields
+    /// authority `T ∩ U`, and a re-delegation is valid when the new tag is
+    /// implied by the old.  Decided as `self ∩ other ≡ other` on canonical
+    /// forms.
+    pub fn implies(&self, other: &Tag) -> bool {
+        match self.intersect(other) {
+            None => other.clone().canonicalize_opt().is_none(),
+            Some(i) => Some(i) == other.clone().canonicalize_opt(),
+        }
+    }
+
+    /// Returns `true` when this tag permits the concrete request tag.
+    ///
+    /// Equivalent to [`Tag::implies`]; named separately because call sites
+    /// read better ("does the delegation permit this request?").
+    pub fn permits(&self, request: &Tag) -> bool {
+        self.implies(request)
+    }
+
+    /// Canonicalizes: flattens/sorts/dedups sets, unwraps singleton sets,
+    /// normalizes nested intersections.
+    pub fn canonicalize(self) -> Tag {
+        self.canonicalize_opt().unwrap_or(Tag::Set(Vec::new()))
+    }
+
+    /// Conservative structural subsumption: `true` means `self` certainly
+    /// covers everything `other` covers.
+    ///
+    /// Sound but deliberately incomplete — it never consults
+    /// [`Tag::intersect`], so canonicalization can use it for absorption
+    /// without recursion.  [`Tag::implies`] is the complete test.
+    pub fn covers(&self, other: &Tag) -> bool {
+        use Tag::*;
+        if self == other {
+            return true;
+        }
+        match (self, other) {
+            (Star, _) => true,
+            // A set covers whatever any member covers; anything covering all
+            // members of a set covers the set.
+            (Set(items), o) => items.iter().any(|i| i.covers(o)),
+            (s, Set(items)) => items.iter().all(|i| s.covers(i)),
+            // Both(x, y) ⊆ x and ⊆ y, so covering either side suffices.
+            (s, Both(x, y)) => s.covers(x) || s.covers(y),
+            // To cover something with Both you must cover it with both arms.
+            (Both(x, y), o) => x.covers(o) && y.covers(o),
+            (Prefix(p), Atom(a)) => a.starts_with(p),
+            (Prefix(p), Prefix(q)) => q.starts_with(p),
+            (
+                Range {
+                    ordering,
+                    low,
+                    high,
+                },
+                Atom(a),
+            ) => ordering.contains(a, low, high),
+            (
+                Range {
+                    ordering: o1,
+                    low: l1,
+                    high: h1,
+                },
+                Range {
+                    ordering: o2,
+                    low: l2,
+                    high: h2,
+                },
+            ) => o1 == o2 && bound_covers(*o1, l1, l2, true) && bound_covers(*o1, h1, h2, false),
+            // Shorter lists are more general: a list covers a longer list
+            // whose common elements it covers.
+            (List(xs), List(ys)) => {
+                xs.len() <= ys.len() && xs.iter().zip(ys).all(|(x, y)| x.covers(y))
+            }
+            _ => false,
+        }
+    }
+
+    /// Canonicalization that maps empty sets to `None`.
+    fn canonicalize_opt(self) -> Option<Tag> {
+        match self {
+            Tag::Set(items) => {
+                let mut flat: Vec<Tag> = Vec::new();
+                for item in items {
+                    match item.canonicalize_opt() {
+                        Some(Tag::Set(inner)) => flat.extend(inner),
+                        Some(t) => flat.push(t),
+                        None => {}
+                    }
+                }
+                flat.sort();
+                flat.dedup();
+                // Absorption: drop members subsumed by another member, so
+                // set-distribution during intersection cannot bloat results
+                // with redundant alternatives.  Uses the conservative
+                // structural test [`Tag::covers`] (no recursion back into
+                // intersection).
+                let mut kept: Vec<Tag> = Vec::new();
+                'outer: for (i, item) in flat.iter().enumerate() {
+                    for (j, other) in flat.iter().enumerate() {
+                        if i != j && other.covers(item) {
+                            // Mutually-equivalent members: keep the first.
+                            if item.covers(other) && i < j {
+                                continue;
+                            }
+                            continue 'outer;
+                        }
+                    }
+                    kept.push(item.clone());
+                }
+                match kept.len() {
+                    0 => None,
+                    1 => Some(kept.into_iter().next().expect("len 1")),
+                    _ => Some(Tag::Set(kept)),
+                }
+            }
+            Tag::List(items) => {
+                let canon: Option<Vec<Tag>> =
+                    items.into_iter().map(Tag::canonicalize_opt).collect();
+                Some(Tag::List(canon?))
+            }
+            Tag::Both(a, b) => {
+                let a = a.canonicalize_opt()?;
+                let b = b.canonicalize_opt()?;
+                // Normalize operand order so `Both` is symmetric.
+                if a == b {
+                    Some(a)
+                } else if a <= b {
+                    Some(Tag::Both(Box::new(a), Box::new(b)))
+                } else {
+                    Some(Tag::Both(Box::new(b), Box::new(a)))
+                }
+            }
+            Tag::Range {
+                ordering,
+                low: Some(l),
+                high: Some(h),
+            } => {
+                // A point range is the atom (intersection collapses it the
+                // same way, keeping `a ∩ a == canon(a)`).
+                if l.inclusive
+                    && h.inclusive
+                    && ordering.compare(&l.value, &h.value) == Some(std::cmp::Ordering::Equal)
+                {
+                    Some(Tag::Atom(l.value))
+                } else {
+                    Some(Tag::Range {
+                        ordering,
+                        low: Some(l),
+                        high: Some(h),
+                    })
+                }
+            }
+            other => Some(other),
+        }
+    }
+
+    /// Serializes the tag body (the part inside `(tag …)`).
+    pub fn body_sexp(&self) -> Sexp {
+        match self {
+            Tag::Star => Sexp::list(vec![Sexp::from("*")]),
+            Tag::Atom(bytes) => Sexp::atom(bytes.clone()),
+            Tag::List(items) => Sexp::list(items.iter().map(Tag::body_sexp).collect()),
+            Tag::Set(items) => {
+                let mut out = vec![Sexp::from("*"), Sexp::from("set")];
+                out.extend(items.iter().map(Tag::body_sexp));
+                Sexp::list(out)
+            }
+            Tag::Prefix(bytes) => Sexp::list(vec![
+                Sexp::from("*"),
+                Sexp::from("prefix"),
+                Sexp::atom(bytes.clone()),
+            ]),
+            Tag::Range {
+                ordering,
+                low,
+                high,
+            } => {
+                let mut out = vec![
+                    Sexp::from("*"),
+                    Sexp::from("range"),
+                    Sexp::from(ordering.name()),
+                ];
+                if let Some(b) = low {
+                    out.push(Sexp::from(if b.inclusive { "ge" } else { "g" }));
+                    out.push(Sexp::atom(b.value.clone()));
+                }
+                if let Some(b) = high {
+                    out.push(Sexp::from(if b.inclusive { "le" } else { "l" }));
+                    out.push(Sexp::atom(b.value.clone()));
+                }
+                Sexp::list(out)
+            }
+            Tag::Both(a, b) => Sexp::list(vec![
+                Sexp::from("*"),
+                Sexp::from("intersect"),
+                a.body_sexp(),
+                b.body_sexp(),
+            ]),
+        }
+    }
+
+    /// Serializes as a full `(tag …)` S-expression.
+    pub fn to_sexp(&self) -> Sexp {
+        Sexp::tagged("tag", vec![self.body_sexp()])
+    }
+
+    /// Parses either a full `(tag …)` wrapper or a bare tag body.
+    pub fn parse(e: &Sexp) -> Result<Tag, ParseError> {
+        if e.tag_name() == Some("tag") {
+            let body = e.tag_body().unwrap_or(&[]);
+            if body.len() != 1 {
+                return Err(err("(tag …) must contain exactly one body"));
+            }
+            return Self::parse_body(&body[0]);
+        }
+        Self::parse_body(e)
+    }
+
+    /// Parses a tag body S-expression.
+    pub fn parse_body(e: &Sexp) -> Result<Tag, ParseError> {
+        match e {
+            Sexp::Atom { bytes, .. } => Ok(Tag::Atom(bytes.clone())),
+            Sexp::List(items) => {
+                if items.first().and_then(Sexp::as_str) == Some("*") {
+                    return Self::parse_star_form(&items[1..]);
+                }
+                let parsed: Result<Vec<Tag>, ParseError> =
+                    items.iter().map(Self::parse_body).collect();
+                Ok(Tag::List(parsed?))
+            }
+        }
+    }
+
+    fn parse_star_form(rest: &[Sexp]) -> Result<Tag, ParseError> {
+        let Some(kind) = rest.first() else {
+            return Ok(Tag::Star);
+        };
+        match kind.as_str() {
+            Some("set") => {
+                let items: Result<Vec<Tag>, ParseError> =
+                    rest[1..].iter().map(Self::parse_body).collect();
+                Ok(Tag::Set(items?))
+            }
+            Some("prefix") => {
+                if rest.len() != 2 {
+                    return Err(err("(* prefix …) takes one byte-string"));
+                }
+                let bytes = rest[1]
+                    .as_atom()
+                    .ok_or_else(|| err("prefix argument must be an atom"))?;
+                Ok(Tag::Prefix(bytes.to_vec()))
+            }
+            Some("range") => Self::parse_range(&rest[1..]),
+            Some("intersect") => {
+                if rest.len() != 3 {
+                    return Err(err("(* intersect …) takes two tags"));
+                }
+                Ok(Tag::Both(
+                    Box::new(Self::parse_body(&rest[1])?),
+                    Box::new(Self::parse_body(&rest[2])?),
+                ))
+            }
+            _ => Err(err("unknown (* …) form")),
+        }
+    }
+
+    fn parse_range(rest: &[Sexp]) -> Result<Tag, ParseError> {
+        let ordering = rest
+            .first()
+            .and_then(Sexp::as_str)
+            .and_then(RangeOrdering::from_name)
+            .ok_or_else(|| err("range needs a known ordering"))?;
+        let mut low = None;
+        let mut high = None;
+        let mut i = 1;
+        while i < rest.len() {
+            let op = rest[i]
+                .as_str()
+                .ok_or_else(|| err("range op must be a token"))?;
+            let value = rest
+                .get(i + 1)
+                .and_then(Sexp::as_atom)
+                .ok_or_else(|| err("range bound missing value"))?
+                .to_vec();
+            match op {
+                "ge" => {
+                    low = Some(Bound {
+                        value,
+                        inclusive: true,
+                    })
+                }
+                "g" => {
+                    low = Some(Bound {
+                        value,
+                        inclusive: false,
+                    })
+                }
+                "le" => {
+                    high = Some(Bound {
+                        value,
+                        inclusive: true,
+                    })
+                }
+                "l" => {
+                    high = Some(Bound {
+                        value,
+                        inclusive: false,
+                    })
+                }
+                _ => return Err(err("range op must be ge/g/le/l")),
+            }
+            i += 2;
+        }
+        if !ordering.valid_range(&low, &high) {
+            return Err(err("range bounds not valid under ordering"));
+        }
+        Ok(Tag::Range {
+            ordering,
+            low,
+            high,
+        })
+    }
+}
+
+/// Is bound `a` at least as permissive as bound `b`?
+///
+/// For lower bounds (`is_low`), "more permissive" means lower or absent;
+/// for upper bounds it means higher or absent.
+fn bound_covers(
+    ordering: RangeOrdering,
+    a: &Option<Bound>,
+    b: &Option<Bound>,
+    is_low: bool,
+) -> bool {
+    match (a, b) {
+        (None, _) => true,
+        (Some(_), None) => false,
+        (Some(x), Some(y)) => match ordering.compare(&x.value, &y.value) {
+            None => false,
+            Some(std::cmp::Ordering::Equal) => x.inclusive || !y.inclusive,
+            Some(std::cmp::Ordering::Less) => is_low,
+            Some(std::cmp::Ordering::Greater) => !is_low,
+        },
+    }
+}
+
+fn err(m: &str) -> ParseError {
+    ParseError {
+        offset: 0,
+        message: m.into(),
+    }
+}
+
+impl fmt::Debug for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.body_sexp())
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_sexp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(src: &str) -> Tag {
+        Tag::parse(&Sexp::parse(src.as_bytes()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parse_and_print_roundtrip() {
+        for src in [
+            "(*)",
+            "GET",
+            "(web (method GET))",
+            "(* set GET POST)",
+            "(* prefix /inbox/)",
+            "(* range numeric ge 10 le 99)",
+            "(* range alpha g aaa)",
+            "(* intersect (* prefix ab) (* range alpha le az))",
+            "(tag (web (method GET) (resourcePath \"\")))",
+        ] {
+            let tag = t(src);
+            let printed = tag.to_sexp();
+            assert_eq!(Tag::parse(&printed).unwrap(), tag, "{src}");
+        }
+    }
+
+    #[test]
+    fn star_permits_everything() {
+        for src in ["GET", "(a b c)", "(* set x y)", "(* prefix p)"] {
+            assert!(Tag::Star.permits(&t(src)), "{src}");
+        }
+    }
+
+    #[test]
+    fn atom_equality() {
+        assert!(t("GET").permits(&t("GET")));
+        assert!(!t("GET").permits(&t("POST")));
+        assert!(!t("GET").permits(&t("(GET)")));
+    }
+
+    #[test]
+    fn list_prefix_specificity() {
+        // Paper semantics: the shorter list is the more general tag.
+        let general = t("(web (method GET))");
+        let specific = t("(web (method GET) (resourcePath \"/inbox\"))");
+        assert!(general.permits(&specific));
+        assert!(!specific.permits(&general));
+        // Same length must match elementwise.
+        assert!(!general.permits(&t("(web (method POST))")));
+    }
+
+    #[test]
+    fn set_union_semantics() {
+        let s = t("(* set GET HEAD)");
+        assert!(s.permits(&t("GET")));
+        assert!(s.permits(&t("HEAD")));
+        assert!(!s.permits(&t("POST")));
+        // A set inside a list position.
+        let l = t("(web (method (* set GET HEAD)))");
+        assert!(l.permits(&t("(web (method GET))")));
+        assert!(!l.permits(&t("(web (method DELETE))")));
+    }
+
+    #[test]
+    fn prefix_semantics() {
+        let p = t("(* prefix /inbox/)");
+        assert!(p.permits(&t("/inbox/42")));
+        assert!(p.permits(&t("/inbox/")));
+        assert!(!p.permits(&t("/outbox/42")));
+        // Prefix of a prefix.
+        assert!(t("(* prefix /in)").implies(&t("(* prefix /inbox/)")));
+        assert!(!t("(* prefix /inbox/)").implies(&t("(* prefix /in)")));
+    }
+
+    #[test]
+    fn numeric_range_semantics() {
+        let r = t("(* range numeric ge 10 le 99)");
+        assert!(r.permits(&t("10")));
+        assert!(r.permits(&t("55")));
+        assert!(r.permits(&t("99")));
+        assert!(!r.permits(&t("9")));
+        assert!(!r.permits(&t("100")));
+        // Numeric compares by value, not lexically: "9" < "10".
+        assert!(!t("(* range numeric le 9)").permits(&t("10")));
+        assert!(t("(* range numeric le 10)").permits(&t("9")));
+    }
+
+    #[test]
+    fn alpha_range_semantics() {
+        let r = t("(* range alpha ge b l d)");
+        assert!(r.permits(&t("b")));
+        assert!(r.permits(&t("cat")));
+        assert!(!r.permits(&t("d")));
+        assert!(!r.permits(&t("a")));
+    }
+
+    #[test]
+    fn exclusive_bounds() {
+        let r = t("(* range numeric g 10 l 20)");
+        assert!(!r.permits(&t("10")));
+        assert!(r.permits(&t("11")));
+        assert!(r.permits(&t("19")));
+        assert!(!r.permits(&t("20")));
+    }
+
+    #[test]
+    fn intersect_narrows_chains() {
+        // Alice grants (web); Bob re-delegates (web (method GET)).
+        let alice = t("(web)");
+        let bob = t("(web (method GET))");
+        let chained = alice.intersect(&bob).unwrap();
+        assert_eq!(chained, bob);
+        // Disjoint atoms do not intersect.
+        assert!(t("GET").intersect(&t("POST")).is_none());
+    }
+
+    #[test]
+    fn intersect_ranges() {
+        let a = t("(* range numeric ge 10 le 50)");
+        let b = t("(* range numeric ge 30 le 99)");
+        let i = a.intersect(&b).unwrap();
+        assert!(i.permits(&t("30")));
+        assert!(i.permits(&t("50")));
+        assert!(!i.permits(&t("29")));
+        assert!(!i.permits(&t("51")));
+        // Disjoint ranges.
+        assert!(t("(* range numeric le 5)")
+            .intersect(&t("(* range numeric ge 6)"))
+            .is_none());
+    }
+
+    #[test]
+    fn intersect_set_distributes() {
+        let s = t("(* set GET POST PUT)");
+        let l = t("(* set POST PUT DELETE)");
+        let i = s.intersect(&l).unwrap();
+        assert!(i.permits(&t("POST")));
+        assert!(i.permits(&t("PUT")));
+        assert!(!i.permits(&t("GET")));
+        assert!(!i.permits(&t("DELETE")));
+    }
+
+    #[test]
+    fn intersect_prefix_range_is_exact() {
+        // No simpler representation exists; the Both form keeps it exact.
+        let p = t("(* prefix ab)");
+        let r = t("(* range alpha le abz)");
+        let i = p.intersect(&r).unwrap();
+        assert!(i.permits(&t("abc")));
+        assert!(!i.permits(&t("ac"))); // fails prefix? no — fails range? ac > abz alpha. Also fails prefix.
+        assert!(!i.permits(&t("aa"))); // fails prefix
+    }
+
+    #[test]
+    fn implies_is_reflexive_on_samples() {
+        for src in [
+            "GET",
+            "(a (b c))",
+            "(* set x y)",
+            "(* prefix p)",
+            "(* range numeric ge 1 le 9)",
+        ] {
+            let tag = t(src);
+            assert!(tag.implies(&tag), "{src}");
+        }
+    }
+
+    #[test]
+    fn canonicalize_sets() {
+        let messy = t("(* set b a (* set a c))");
+        let canon = messy.canonicalize();
+        assert_eq!(canon, t("(* set a b c)").canonicalize());
+        // Singleton set unwraps.
+        assert_eq!(t("(* set only)").canonicalize(), t("only"));
+    }
+
+    #[test]
+    fn paper_figure5_tag() {
+        let tag =
+            t(r#"(tag (web (method GET) (service |Sm9uJ3MgUHJvdGVjdGVpY2U=|) (resourcePath "")))"#);
+        // The tag permits exactly itself (it is fully ground).
+        assert!(tag.permits(&tag));
+        let weaker = t(r#"(tag (web (method GET)))"#);
+        assert!(weaker.permits(&tag));
+        assert!(!tag.permits(&weaker));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Tag::parse(&Sexp::parse(b"(* prefix)").unwrap()).is_err());
+        assert!(Tag::parse(&Sexp::parse(b"(* range)").unwrap()).is_err());
+        assert!(Tag::parse(&Sexp::parse(b"(* range sideways ge 1)").unwrap()).is_err());
+        assert!(Tag::parse(&Sexp::parse(b"(* range numeric gg 1)").unwrap()).is_err());
+        assert!(Tag::parse(&Sexp::parse(b"(* frobnicate)").unwrap()).is_err());
+        assert!(Tag::parse(&Sexp::parse(b"(tag a b)").unwrap()).is_err());
+        // Numeric range with non-numeric bound.
+        assert!(Tag::parse(&Sexp::parse(b"(* range numeric ge abc)").unwrap()).is_err());
+    }
+
+    #[test]
+    fn intersect_list_keeps_longer_tail() {
+        let a = t("(web (method GET))");
+        let b = t("(web (method (* set GET HEAD)) (resourcePath \"/x\"))");
+        let i = a.intersect(&b).unwrap();
+        // Intersection is (web (method GET) (resourcePath "/x")).
+        assert_eq!(i, t("(web (method GET) (resourcePath \"/x\"))"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Range orderings for `(* range …)` tags (RFC 2693 §5.5 vocabulary).
+
+use std::cmp::Ordering as CmpOrdering;
+
+use crate::Bound;
+
+/// How range bounds compare byte strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ordering {
+    /// Plain lexicographic byte comparison.
+    Alpha,
+    /// Unsigned decimal integers (leading zeros ignored).
+    Numeric,
+    /// ISO-style timestamps `YYYY-MM-DD_HH:MM:SS` (lexicographic on the
+    /// canonical form, which orders chronologically).
+    Time,
+    /// Big-endian binary magnitude (shorter strings are smaller after
+    /// leading-zero-byte stripping).
+    Binary,
+    /// ISO dates `YYYY-MM-DD` (lexicographic, which orders chronologically).
+    Date,
+}
+
+impl Ordering {
+    /// The SPKI token naming this ordering.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ordering::Alpha => "alpha",
+            Ordering::Numeric => "numeric",
+            Ordering::Time => "time",
+            Ordering::Binary => "binary",
+            Ordering::Date => "date",
+        }
+    }
+
+    /// Looks up an ordering by its SPKI token.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "alpha" => Some(Ordering::Alpha),
+            "numeric" => Some(Ordering::Numeric),
+            "time" => Some(Ordering::Time),
+            "binary" => Some(Ordering::Binary),
+            "date" => Some(Ordering::Date),
+            _ => None,
+        }
+    }
+
+    /// Compares two byte strings under this ordering, or `None` when either
+    /// operand is not well-formed for the ordering (e.g. non-digits under
+    /// `numeric`).
+    pub fn compare(self, a: &[u8], b: &[u8]) -> Option<CmpOrdering> {
+        match self {
+            Ordering::Alpha | Ordering::Time | Ordering::Date => Some(a.cmp(b)),
+            Ordering::Numeric => {
+                if !is_decimal(a) || !is_decimal(b) {
+                    return None;
+                }
+                Some(cmp_magnitude(strip_zeros(a, b'0'), strip_zeros(b, b'0')))
+            }
+            Ordering::Binary => Some(cmp_magnitude(strip_zeros(a, 0), strip_zeros(b, 0))),
+        }
+    }
+
+    /// Returns `true` when `value` is well-formed for this ordering.
+    pub fn well_formed(self, value: &[u8]) -> bool {
+        match self {
+            Ordering::Numeric => is_decimal(value),
+            _ => true,
+        }
+    }
+
+    /// Validates that optional bounds are well-formed and non-crossing.
+    pub fn valid_range(self, low: &Option<Bound>, high: &Option<Bound>) -> bool {
+        if let Some(b) = low {
+            if !self.well_formed(&b.value) {
+                return false;
+            }
+        }
+        if let Some(b) = high {
+            if !self.well_formed(&b.value) {
+                return false;
+            }
+        }
+        if let (Some(l), Some(h)) = (low, high) {
+            match self.compare(&l.value, &h.value) {
+                Some(CmpOrdering::Greater) | None => return false,
+                Some(CmpOrdering::Equal) if !(l.inclusive && h.inclusive) => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Returns `true` when `value` lies within `[low, high]` (respecting
+    /// bound inclusivity) under this ordering.
+    pub fn contains(self, value: &[u8], low: &Option<Bound>, high: &Option<Bound>) -> bool {
+        if !self.well_formed(value) {
+            return false;
+        }
+        if let Some(b) = low {
+            match self.compare(value, &b.value) {
+                Some(CmpOrdering::Greater) => {}
+                Some(CmpOrdering::Equal) if b.inclusive => {}
+                _ => return false,
+            }
+        }
+        if let Some(b) = high {
+            match self.compare(value, &b.value) {
+                Some(CmpOrdering::Less) => {}
+                Some(CmpOrdering::Equal) if b.inclusive => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+fn is_decimal(v: &[u8]) -> bool {
+    !v.is_empty() && v.iter().all(u8::is_ascii_digit)
+}
+
+fn strip_zeros(v: &[u8], zero: u8) -> &[u8] {
+    let mut s = v;
+    while s.len() > 1 && s[0] == zero {
+        s = &s[1..];
+    }
+    // All-zero collapses to a single zero.
+    if s.iter().all(|&b| b == zero) && !s.is_empty() {
+        return &s[..1];
+    }
+    s
+}
+
+fn cmp_magnitude(a: &[u8], b: &[u8]) -> CmpOrdering {
+    a.len().cmp(&b.len()).then_with(|| a.cmp(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_compares_by_value() {
+        let n = Ordering::Numeric;
+        assert_eq!(n.compare(b"9", b"10"), Some(CmpOrdering::Less));
+        assert_eq!(n.compare(b"010", b"10"), Some(CmpOrdering::Equal));
+        assert_eq!(n.compare(b"00", b"0"), Some(CmpOrdering::Equal));
+        assert_eq!(n.compare(b"123", b"122"), Some(CmpOrdering::Greater));
+        assert_eq!(n.compare(b"12x", b"5"), None);
+        assert_eq!(n.compare(b"", b"5"), None);
+    }
+
+    #[test]
+    fn alpha_is_lexicographic() {
+        let a = Ordering::Alpha;
+        assert_eq!(a.compare(b"10", b"9"), Some(CmpOrdering::Less)); // '1' < '9'
+        assert_eq!(a.compare(b"abc", b"abd"), Some(CmpOrdering::Less));
+    }
+
+    #[test]
+    fn binary_magnitude() {
+        let b = Ordering::Binary;
+        assert_eq!(b.compare(&[0, 1], &[1]), Some(CmpOrdering::Equal));
+        assert_eq!(b.compare(&[2], &[1, 0]), Some(CmpOrdering::Less));
+    }
+
+    #[test]
+    fn date_time_chronological() {
+        let d = Ordering::Date;
+        assert_eq!(
+            d.compare(b"2000-04-08", b"2000-10-01"),
+            Some(CmpOrdering::Less)
+        );
+        let t = Ordering::Time;
+        assert_eq!(
+            t.compare(b"2000-04-08_15:18:47", b"2000-04-08_15:18:48"),
+            Some(CmpOrdering::Less)
+        );
+    }
+
+    #[test]
+    fn contains_respects_inclusivity() {
+        let n = Ordering::Numeric;
+        let low = Some(Bound {
+            value: b"10".to_vec(),
+            inclusive: false,
+        });
+        let high = Some(Bound {
+            value: b"20".to_vec(),
+            inclusive: true,
+        });
+        assert!(!n.contains(b"10", &low, &high));
+        assert!(n.contains(b"11", &low, &high));
+        assert!(n.contains(b"20", &low, &high));
+        assert!(!n.contains(b"21", &low, &high));
+        assert!(!n.contains(b"abc", &low, &high));
+    }
+
+    #[test]
+    fn valid_range_rejects_crossed() {
+        let n = Ordering::Numeric;
+        let lo = |v: &str, inc| {
+            Some(Bound {
+                value: v.into(),
+                inclusive: inc,
+            })
+        };
+        assert!(n.valid_range(&lo("1", true), &lo("9", true)));
+        assert!(!n.valid_range(&lo("9", true), &lo("1", true)));
+        // Point range needs both bounds inclusive.
+        assert!(n.valid_range(&lo("5", true), &lo("5", true)));
+        assert!(!n.valid_range(&lo("5", false), &lo("5", true)));
+        assert!(!n.valid_range(&lo("x", true), &None));
+    }
+}

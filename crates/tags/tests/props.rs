@@ -1,0 +1,118 @@
+//! Property tests for the tag intersection algebra.
+
+use proptest::prelude::*;
+use snowflake_tags::{Bound, RangeOrdering, Tag};
+
+/// Strategy for arbitrary (bounded-depth) tags.
+fn arb_tag() -> impl Strategy<Value = Tag> {
+    let leaf = prop_oneof![
+        Just(Tag::Star),
+        "[a-z]{1,6}".prop_map(|s| Tag::Atom(s.into_bytes())),
+        "[0-9]{1,3}".prop_map(|s| Tag::Atom(s.into_bytes())),
+        "[a-z]{0,4}".prop_map(|s| Tag::Prefix(s.into_bytes())),
+        (0u32..500, 0u32..500).prop_map(|(a, b)| {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            Tag::Range {
+                ordering: RangeOrdering::Numeric,
+                low: Some(Bound {
+                    value: lo.to_string().into_bytes(),
+                    inclusive: true,
+                }),
+                high: Some(Bound {
+                    value: hi.to_string().into_bytes(),
+                    inclusive: true,
+                }),
+            }
+        }),
+        "[a-m]".prop_map(|s| Tag::Range {
+            ordering: RangeOrdering::Alpha,
+            low: Some(Bound {
+                value: s.into_bytes(),
+                inclusive: true
+            }),
+            high: None,
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Tag::List),
+            proptest::collection::vec(inner, 1..4).prop_map(Tag::Set),
+        ]
+    })
+}
+
+/// Strategy for ground request tags (atoms and lists of atoms only).
+fn arb_request() -> impl Strategy<Value = Tag> {
+    let leaf = prop_oneof![
+        "[a-z]{1,6}".prop_map(|s| Tag::Atom(s.into_bytes())),
+        "[0-9]{1,3}".prop_map(|s| Tag::Atom(s.into_bytes())),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        proptest::collection::vec(inner, 1..4).prop_map(Tag::List)
+    })
+}
+
+proptest! {
+    #[test]
+    fn intersection_commutes(a in arb_tag(), b in arb_tag()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+    }
+
+    #[test]
+    fn intersection_idempotent(a in arb_tag()) {
+        let canon = a.clone().canonicalize();
+        prop_assert_eq!(a.intersect(&a), Some(canon));
+    }
+
+    #[test]
+    fn star_is_identity(a in arb_tag()) {
+        prop_assert_eq!(Tag::Star.intersect(&a), Some(a.canonicalize()));
+    }
+
+    #[test]
+    fn intersection_sound_for_requests(a in arb_tag(), b in arb_tag(), r in arb_request()) {
+        // r ∈ (a ∩ b)  ⟺  r ∈ a ∧ r ∈ b.
+        let both = a.permits(&r) && b.permits(&r);
+        match a.intersect(&b) {
+            None => prop_assert!(!both, "empty intersection but {r:?} matches both"),
+            Some(i) => prop_assert_eq!(i.permits(&r), both),
+        }
+    }
+
+    #[test]
+    fn implies_reflexive(a in arb_tag()) {
+        prop_assert!(a.implies(&a));
+    }
+
+    #[test]
+    fn implies_transitive_via_intersection(a in arb_tag(), b in arb_tag(), r in arb_request()) {
+        // If a permits r then (a ∩ star) permits r etc.; specifically test
+        // that intersecting can only shrink the permitted set.
+        if let Some(i) = a.intersect(&b) {
+            if i.permits(&r) {
+                prop_assert!(a.permits(&r));
+                prop_assert!(b.permits(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn sexp_roundtrip(a in arb_tag()) {
+        let e = a.to_sexp();
+        let back = Tag::parse(&e).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn canonicalize_stable(a in arb_tag()) {
+        let once = a.canonicalize();
+        let twice = once.clone().canonicalize();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn canonicalize_preserves_request_semantics(a in arb_tag(), r in arb_request()) {
+        let canon = a.clone().canonicalize();
+        prop_assert_eq!(a.permits(&r), canon.permits(&r));
+    }
+}

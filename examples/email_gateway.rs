@@ -1,0 +1,153 @@
+//! The quoting protocol gateway (paper §6.3): the application that spans
+//! all four boundaries at once.
+//!
+//! A browser-side proxy speaks HTTP to the gateway; the gateway speaks RMI
+//! over an ssh-like channel to the protected email database; the database
+//! sees — and audits — the complete chain `request ⇒ gateway|alice ⇒ alice
+//! ⇒ database`.
+//!
+//! Run with `cargo run --example email_gateway`.
+
+use snowflake_apps::emaildb::{EmailDb, EMAIL_DB_OBJECT};
+use snowflake_apps::QuotingGateway;
+use snowflake_channel::{PipeTransport, SecureChannel};
+use snowflake_core::{Certificate, Delegation, Principal, Proof, Time, Validity};
+use snowflake_crypto::{rand_bytes, Group, KeyPair};
+use snowflake_http::{duplex, HttpClient, HttpRequest, HttpServer, SnowflakeProxy};
+use snowflake_prover::Prover;
+use snowflake_rmi::{CallerInfo, Invocation, RemoteObject, RmiClient, RmiServer};
+use snowflake_sexpr::Sexp;
+use std::sync::Arc;
+
+fn main() {
+    let db_key = KeyPair::generate_os(Group::test512());
+    let alice = KeyPair::generate_os(Group::test512());
+    let db_issuer = Principal::key(&db_key.public);
+
+    // --- The email database, pre-populated. ---------------------------
+    let db_server = RmiServer::new();
+    let email = EmailDb::new(db_issuer.clone());
+    let setup_caller = CallerInfo {
+        speaker: Principal::message(b"setup"),
+        channel: snowflake_core::ChannelId {
+            kind: "setup".into(),
+            id: snowflake_core::HashVal::of(b"setup"),
+        },
+    };
+    for (owner, sender, subject, body) in [
+        ("alice", "bob", "lunch?", "how about noon"),
+        ("alice", "dave", "minutes", "attached"),
+        ("bob", "alice", "re: lunch?", "noon works"),
+    ] {
+        email
+            .invoke(
+                &Invocation {
+                    object: EMAIL_DB_OBJECT.into(),
+                    method: "insert".into(),
+                    args: vec![
+                        Sexp::from(owner),
+                        Sexp::from(sender),
+                        Sexp::from(subject),
+                        Sexp::from(body),
+                        Sexp::from("inbox"),
+                    ],
+                    quoting: None,
+                },
+                &setup_caller,
+            )
+            .unwrap();
+    }
+    db_server.register(EMAIL_DB_OBJECT, Arc::new(email));
+
+    // --- Gateway ⇄ database over the secure channel. -------------------
+    let gateway_key = KeyPair::generate_os(Group::test512());
+    let (ct, st) = PipeTransport::pair();
+    let db_server2 = Arc::clone(&db_server);
+    let db_key2 = db_key.clone();
+    std::thread::spawn(move || {
+        let mut channel =
+            SecureChannel::server(Box::new(st), &db_key2, None, &mut rand_bytes).unwrap();
+        let _ = db_server2.serve_connection(&mut channel);
+    });
+    let channel =
+        SecureChannel::client(Box::new(ct), Some(&gateway_key), None, &mut rand_bytes).unwrap();
+    let gateway_prover = Arc::new(Prover::new());
+    let gateway_rmi = RmiClient::new(Box::new(channel), gateway_key.clone(), gateway_prover);
+    println!(
+        "gateway principal G = {}",
+        Principal::key(&gateway_key.public).describe()
+    );
+
+    // --- HTTP front end. ------------------------------------------------
+    let gateway = QuotingGateway::new(gateway_rmi, Time::now);
+    let http = HttpServer::new();
+    http.route("/mail", Arc::new(gateway));
+
+    // --- Alice's side. ----------------------------------------------------
+    // The database owner granted Alice all ops on her rows, delegable.
+    let grant = Certificate::issue(
+        &db_key,
+        Delegation {
+            subject: Principal::key(&alice.public),
+            issuer: db_issuer,
+            tag: EmailDb::owner_tag("alice"),
+            validity: Validity::always(),
+            delegable: true,
+        },
+        &mut rand_bytes,
+    );
+    let alice_prover = Arc::new(Prover::new());
+    alice_prover.add_proof(Proof::signed_cert(grant));
+    alice_prover.add_key(alice.clone());
+    let proxy = SnowflakeProxy::new(alice_prover);
+    proxy.set_identity(Principal::key(&alice.public));
+
+    let (client_stream, mut server_stream) = duplex();
+    let http2 = Arc::clone(&http);
+    let t = std::thread::spawn(move || {
+        let _ = http2.serve_stream(&mut server_stream);
+    });
+    let mut client = HttpClient::new(Box::new(client_stream));
+
+    // Show the gateway's G|? challenge first.
+    let mut bare = HttpRequest::get("/mail/alice/inbox");
+    bare.set_header("Connection", "keep-alive");
+    let challenge = client.send(&bare).unwrap();
+    println!(
+        "\ngateway challenge: {} {} (needs proof that G|? ⇒ S)",
+        challenge.status, challenge.reason
+    );
+    println!(
+        "  Sf-Quoter present: {}",
+        challenge.header("Sf-Quoter").is_some()
+    );
+
+    // The proxy substitutes Alice for `?`, delegates to G|Alice, signs the
+    // request, and retries — all inside execute().
+    let resp = proxy
+        .execute(&mut client, HttpRequest::get("/mail/alice/inbox"))
+        .unwrap();
+    println!(
+        "\n✓ Alice's inbox through the gateway ({}):\n{}",
+        resp.status,
+        String::from_utf8_lossy(&resp.body)
+    );
+
+    // Alice cannot read Bob's mail: her prover holds no (owner bob) chain.
+    let denied = proxy.execute(&mut client, HttpRequest::get("/mail/bob/inbox"));
+    println!("✗ Alice asking for Bob's inbox: {}", denied.unwrap_err());
+
+    // Subsequent requests ride the cached proof at the database.
+    for _ in 0..2 {
+        proxy
+            .execute(&mut client, HttpRequest::get("/mail/alice/inbox"))
+            .unwrap();
+    }
+    println!(
+        "\ndatabase proof cache: {:?} (one proof served every request)",
+        db_server.cache_stats()
+    );
+
+    drop(client);
+    t.join().unwrap();
+}

@@ -1,0 +1,122 @@
+//! The protected web file server (paper §6.1) with the Figure 5 challenge
+//! on the wire, plus the §5.3.5 delegation-link sharing flow.
+//!
+//! Run with `cargo run --example protected_web`.
+
+use snowflake_apps::{ProtectedWebService, Vfs};
+use snowflake_core::{Certificate, Delegation, Principal, Proof, Time, Validity};
+use snowflake_crypto::{rand_bytes, Group, KeyPair};
+use snowflake_http::{
+    duplex, HttpClient, HttpRequest, HttpServer, ProtectedServlet, SnowflakeProxy,
+};
+use snowflake_prover::Prover;
+use std::sync::Arc;
+
+fn main() {
+    // The owner "establishes control over the file server by specifying the
+    // hash of his public key when starting up the server".
+    let owner = KeyPair::generate_os(Group::test512());
+    let issuer = Principal::key_hash(&owner.public);
+    println!("server issuer: {}", issuer.describe());
+
+    let vfs = Arc::new(Vfs::new());
+    vfs.write(
+        "/docs/readme.txt",
+        b"welcome to the protected tree".to_vec(),
+    );
+    vfs.write("/docs/paper.txt", b"end-to-end authorization".to_vec());
+    vfs.write("/private/diary.txt", b"top secret".to_vec());
+
+    let service = ProtectedWebService::new(issuer.clone(), "Jon's Protected Service", vfs);
+    let subtree_tag = service.subtree_tag("/docs/");
+    let servlet = ProtectedServlet::new(service);
+    let server = HttpServer::new();
+    server.route("/", servlet);
+
+    // Alice's identity and the owner's grant: the /docs subtree, delegable.
+    let alice = KeyPair::generate_os(Group::test512());
+    let grant = Certificate::issue(
+        &owner,
+        Delegation {
+            subject: Principal::key(&alice.public),
+            issuer: issuer.clone(),
+            tag: subtree_tag.clone(),
+            validity: Validity::until(Time::now().plus(3600)),
+            delegable: true,
+        },
+        &mut rand_bytes,
+    );
+    let prover = Arc::new(Prover::new());
+    prover.add_proof(Proof::signed_cert(grant));
+    prover.add_key(alice.clone());
+    let proxy = SnowflakeProxy::new(prover);
+
+    // Connect and watch the challenge protocol run.
+    let (client_stream, mut server_stream) = duplex();
+    let server2 = Arc::clone(&server);
+    let t = std::thread::spawn(move || {
+        let _ = server2.serve_stream(&mut server_stream);
+    });
+    let mut client = HttpClient::new(Box::new(client_stream));
+
+    // Show the raw 401 challenge first (what Figure 5 prints).
+    let mut bare = HttpRequest::get("/docs/readme.txt");
+    bare.set_header("Connection", "keep-alive");
+    let challenge = client.send(&bare).unwrap();
+    println!("\nthe server's challenge (Figure 5):");
+    println!("  HTTP/1.0 {} {}", challenge.status, challenge.reason);
+    for h in ["WWW-Authenticate", "Sf-ServiceIssuer", "Sf-MinimumTag"] {
+        if let Some(v) = challenge.header(h) {
+            let shown = if v.len() > 72 {
+                format!("{}…", &v[..72])
+            } else {
+                v.to_string()
+            };
+            println!("  {h}: {shown}");
+        }
+    }
+
+    // The proxy answers it transparently.
+    let resp = proxy
+        .execute(&mut client, HttpRequest::get("/docs/readme.txt"))
+        .unwrap();
+    println!(
+        "\n✓ GET /docs/readme.txt → {} ({})",
+        resp.status,
+        String::from_utf8_lossy(&resp.body)
+    );
+
+    // Outside the delegated subtree: the prover cannot help.
+    let denied = proxy.execute(&mut client, HttpRequest::get("/private/diary.txt"));
+    println!("✗ GET /private/diary.txt → {}", denied.unwrap_err());
+
+    // §5.3.5: share /docs with Bob via a delegation link.
+    let bob = KeyPair::generate_os(Group::test512());
+    let link = proxy
+        .make_delegation_link(
+            "http://files.example/docs/paper.txt",
+            &Principal::key(&bob.public),
+            &issuer,
+            &subtree_tag,
+            Validity::until(Time::now().plus(600)),
+        )
+        .unwrap();
+    println!("\ndelegation link for Bob:\n{}", link.advanced_pretty());
+
+    // Bob imports it and reads the page through his own proxy.
+    let bob_prover = Arc::new(Prover::new());
+    bob_prover.add_key(bob);
+    let bob_proxy = SnowflakeProxy::new(bob_prover);
+    let url = bob_proxy.import_delegation_link(&link).unwrap();
+    let resp = bob_proxy
+        .execute(&mut client, HttpRequest::get("/docs/paper.txt"))
+        .unwrap();
+    println!(
+        "\n✓ Bob follows {url} → {} ({})",
+        resp.status,
+        String::from_utf8_lossy(&resp.body)
+    );
+
+    drop(client);
+    t.join().unwrap();
+}

@@ -1,0 +1,121 @@
+//! Figure 2, animated: a look inside Alice's Prover.
+//!
+//! The graph holds proofs as edges between principals; `A` is *final*
+//! (Alice's Prover holds its private key).  To prove that a channel
+//! `K_CH` speaks for a server `S`, the Prover works backwards from `S`,
+//! finds the existing chain `A ⇒ V∩X ⇒ S`, and completes the proof by
+//! issuing a fresh delegation `K_CH ⇒ A` with its closure.
+//!
+//! Run with `cargo run --example prover_graph`.
+
+use snowflake_core::{
+    Certificate, ChannelId, Delegation, HashVal, Principal, Proof, Tag, Time, Validity, VerifyCtx,
+};
+use snowflake_crypto::{rand_bytes, Group, KeyPair};
+use snowflake_prover::Prover;
+use std::collections::HashMap;
+
+fn main() {
+    // The principals of Figure 2: A (final), B, C, T, V, X, S, and the
+    // conjunction V ∧ X that controls S.
+    let names = ["A", "B", "C", "T", "V", "X", "S"];
+    let keys: HashMap<&str, KeyPair> = names
+        .iter()
+        .map(|n| (*n, KeyPair::generate_os(Group::test512())))
+        .collect();
+    let p = |n: &str| Principal::key(&keys[n].public);
+
+    let prover = Prover::new();
+    let tag = Tag::named("service", vec![]);
+
+    // Edges of the figure: A→B, A→T, A→V, B→C (illustrative), V∧X→S via V,X.
+    let mut edge = |from: &str, to: &str| {
+        let cert = Certificate::issue(
+            &keys[to],
+            Delegation {
+                subject: p(from),
+                issuer: p(to),
+                tag: tag.clone(),
+                validity: Validity::always(),
+                delegable: true,
+            },
+            &mut rand_bytes,
+        );
+        prover.add_proof(Proof::signed_cert(cert));
+    };
+    edge("A", "B"); // A =T⇒ B
+    edge("B", "C");
+    edge("A", "T");
+    edge("A", "V");
+    edge("A", "X");
+    // V ∧ X ⇒ S: both V and X must agree; Alice speaks for both, so the
+    // conjunction intro applies on her side.
+    let conj = Principal::conjunction(vec![p("V"), p("X")]);
+    let cert = Certificate::issue(
+        &keys["S"],
+        Delegation {
+            subject: conj.clone(),
+            issuer: p("S"),
+            tag: tag.clone(),
+            validity: Validity::always(),
+            delegable: true,
+        },
+        &mut rand_bytes,
+    );
+    prover.add_proof(Proof::signed_cert(cert));
+
+    // A ⇒ V and A ⇒ X give A ⇒ V∧X by conjunction introduction; feed the
+    // composite into the graph so the search can cross it.
+    let a_to_v = prover
+        .find_proof(&p("A"), &p("V"), &tag, Time(0))
+        .expect("A ⇒ V");
+    let a_to_x = prover
+        .find_proof(&p("A"), &p("X"), &tag, Time(0))
+        .expect("A ⇒ X");
+    prover.add_proof(Proof::ConjIntro(vec![a_to_v, a_to_x]));
+
+    // A is final: the Prover holds its key (and can make A say things).
+    prover.add_key(keys["A"].clone());
+
+    let stats = prover.stats();
+    println!(
+        "graph: {} base edges, {} finals",
+        stats.base_edges, stats.finals
+    );
+
+    // The Figure 2 task: prove K_CH ⇒ S for a fresh channel.
+    let channel = Principal::Channel(ChannelId {
+        kind: "ssh".into(),
+        id: HashVal::of(b"session-42"),
+    });
+    let proof = prover
+        .complete_proof(
+            &channel,
+            &p("S"),
+            &tag,
+            Validity::until(Time(10_000)),
+            Time(0),
+        )
+        .expect("K_CH ⇒ S completed");
+
+    println!("\ncompleted proof that {} ⇒ S:", channel.describe());
+    println!("{}", proof.audit_trail());
+    proof.verify(&VerifyCtx::at(Time(0))).expect("verifies");
+
+    // The derived proof was cached as a shortcut edge (the dotted lines).
+    let stats = prover.stats();
+    println!(
+        "after search: {} shortcut edges cached",
+        stats.shortcut_edges
+    );
+
+    // A second query answers from the shortcut with almost no expansions.
+    let before = prover.stats().expansions;
+    prover
+        .find_proof(&channel, &p("S"), &tag, Time(0))
+        .expect("cached");
+    println!(
+        "second query cost: {} expansions",
+        prover.stats().expansions - before
+    );
+}

@@ -1,0 +1,80 @@
+//! Quickstart: restricted delegation and self-verifying proofs in a dozen
+//! lines.
+//!
+//! Alice shares read access to her inbox with Bob, across any
+//! administrative boundary — no accounts, no shared passwords, no gateway
+//! ACLs.  Run with `cargo run --example quickstart`.
+
+use snowflake_core::{Certificate, Delegation, Principal, Proof, Tag, Time, Validity, VerifyCtx};
+use snowflake_crypto::{rand_bytes, Group, KeyPair};
+use snowflake_sexpr::Sexp;
+
+fn main() {
+    // Two principals in different administrative domains.
+    let alice = KeyPair::generate_os(Group::test512());
+    let bob = KeyPair::generate_os(Group::test512());
+    println!("alice = {}", Principal::key(&alice.public).describe());
+    println!("bob   = {}", Principal::key(&bob.public).describe());
+
+    // Alice delegates: "Bob speaks for me regarding GET on /inbox/**,
+    // until t = 2_000_000, and may not re-delegate."
+    let tag = Tag::parse(
+        &Sexp::parse(b"(tag (web (method GET) (resourcePath (* prefix /inbox/))))").unwrap(),
+    )
+    .unwrap();
+    let delegation = Delegation {
+        subject: Principal::key(&bob.public),
+        issuer: Principal::key(&alice.public),
+        tag,
+        validity: Validity::until(Time(2_000_000)),
+        delegable: false,
+    };
+    let cert = Certificate::issue(&alice, delegation, &mut rand_bytes);
+    let proof = Proof::signed_cert(cert);
+
+    // The proof travels as an S-expression — here is its wire form.
+    println!(
+        "\nwire form (advanced encoding):\n{}",
+        proof.to_sexp().advanced_pretty()
+    );
+
+    // Any server can verify it with no prior knowledge of Bob.
+    let ctx = VerifyCtx::at(Time(1_000_000));
+    let request =
+        Tag::parse(&Sexp::parse(b"(tag (web (method GET) (resourcePath /inbox/42)))").unwrap())
+            .unwrap();
+    proof
+        .authorizes(
+            &Principal::key(&bob.public),
+            &Principal::key(&alice.public),
+            &request,
+            &ctx,
+        )
+        .expect("Bob is authorized for GET /inbox/42");
+    println!("✓ GET /inbox/42 authorized");
+
+    // The restriction is enforced…
+    let outside =
+        Tag::parse(&Sexp::parse(b"(tag (web (method DELETE) (resourcePath /inbox/42)))").unwrap())
+            .unwrap();
+    let denied = proof.authorizes(
+        &Principal::key(&bob.public),
+        &Principal::key(&alice.public),
+        &outside,
+        &ctx,
+    );
+    println!("✗ DELETE /inbox/42 rejected: {}", denied.unwrap_err());
+
+    // …and so is the expiry, which lives *inside* the restriction.
+    let late = VerifyCtx::at(Time(3_000_000));
+    let expired = proof.authorizes(
+        &Principal::key(&bob.public),
+        &Principal::key(&alice.public),
+        &request,
+        &late,
+    );
+    println!("✗ after expiry rejected: {}", expired.unwrap_err());
+
+    // Every proof is its own audit trail.
+    println!("\naudit trail:\n{}", proof.audit_trail());
+}

@@ -1,0 +1,64 @@
+//! Structured proofs vs SPKI sequences (paper §4.3).
+//!
+//! The paper gives three reasons to transmit proofs in structured form
+//! rather than as SPKI's linear stack-machine sequences.  This example
+//! makes the comparison concrete: a delegation chain travels both ways,
+//! both verifiers agree — and then quoting appears and only the structured
+//! form can express it.
+//!
+//! Run with `cargo run --example spki_sequence`.
+
+use snowflake_core::{
+    sequence::Sequence, Certificate, Delegation, Principal, Proof, Tag, Time, Validity, VerifyCtx,
+};
+use snowflake_crypto::{rand_bytes, Group, KeyPair};
+
+fn main() {
+    let alice = KeyPair::generate_os(Group::test512());
+    let bob = KeyPair::generate_os(Group::test512());
+    let carol = KeyPair::generate_os(Group::test512());
+
+    // A two-certificate chain: carol ⇒ bob ⇒ alice.
+    let mk = |from: &KeyPair, to: &KeyPair| {
+        Proof::signed_cert(Certificate::issue(
+            from,
+            Delegation {
+                subject: Principal::key(&to.public),
+                issuer: Principal::key(&from.public),
+                tag: Tag::named("web", vec![]),
+                validity: Validity::until(Time::now().plus(600)),
+                delegable: true,
+            },
+            &mut rand_bytes,
+        ))
+    };
+    let structured = mk(&bob, &carol).then(mk(&alice, &bob));
+    let ctx = VerifyCtx::now();
+    structured.verify(&ctx).expect("structured verifies");
+
+    // Flatten to a SPKI sequence and run the stack machine.
+    let sequence = Sequence::from_proof(&structured).expect("chains flatten");
+    println!("sequence program ({} ops):", sequence.ops.len());
+    println!("{}", sequence.to_sexp().advanced_pretty());
+    let conclusion = sequence.verify(&ctx).expect("stack machine agrees");
+    assert_eq!(conclusion, structured.conclusion());
+    println!("\n✓ both verifiers conclude: {:?}", conclusion);
+
+    // Round-trip back to structured form.
+    let rebuilt = sequence.to_proof().expect("rebuilds");
+    assert_eq!(rebuilt.conclusion(), structured.conclusion());
+    println!("✓ sequence → structured round trip preserves the conclusion");
+
+    // The expressiveness gap: a quoting step has no sequence encoding.
+    let gateway = Principal::message(b"gateway");
+    let quoted = Proof::QuoteQuotee {
+        inner: Box::new(structured),
+        quoter: gateway,
+    };
+    match Sequence::from_proof(&quoted) {
+        Err(e) => println!("\n✗ quoting does not flatten: {e}"),
+        Ok(_) => unreachable!("quoting must not flatten"),
+    }
+    println!("(reason two for structured proofs: each component maps 1:1 to its verifier;");
+    println!(" reason three: lemmas extract — see `cargo run --example structured_proof`)");
+}

@@ -1,0 +1,111 @@
+//! Figure 1, reconstructed: the structured proof that document D is the
+//! object client C associates with the name N — and the lemma reuse that
+//! structured proofs make possible.
+//!
+//! ```text
+//! transitivity              H_D ⇒ K_C·N
+//! ├─ signed-certificate     H_D ⇒ K_S          (short-lived!)
+//! └─ transitivity           K_S ⇒ K_C·N
+//!    ├─ signed-certificate  K_S ⇒ H_{K_C}·N
+//!    └─ name-monotonicity   H_{K_C}·N ⇒ K_C·N
+//!       └─ hash-identity    H_{K_C} ⇒ K_C
+//! ```
+//!
+//! Run with `cargo run --example structured_proof`.
+
+use snowflake_core::{
+    Certificate, Delegation, HashAlg, Principal, Proof, Tag, Time, Validity, VerifyCtx,
+};
+use snowflake_crypto::{rand_bytes, Group, KeyPair};
+
+fn main() {
+    let server = KeyPair::generate_os(Group::test512()); // K_S
+    let client = KeyPair::generate_os(Group::test512()); // K_C
+    let document = b"# The document D\nSnowflake makes sharing safe.\n";
+
+    // H_D: the document embodied as a principal — "the binary
+    // representation of a statement itself, that says only what it says."
+    let h_d = Principal::message(document);
+
+    // signed-certificate: H_D ⇒ K_S, short-lived (content changes often).
+    let cert_doc = Certificate::issue(
+        &server,
+        Delegation {
+            subject: h_d.clone(),
+            issuer: Principal::key(&server.public),
+            tag: Tag::Star,
+            validity: Validity::until(Time(1_000)),
+            delegable: true,
+        },
+        &mut rand_bytes,
+    );
+
+    // signed-certificate: K_S ⇒ H_{K_C}·N — the client's name binding,
+    // issued under the hash of the client's own key.
+    let name_under_hash = Principal::name(Principal::key_hash(&client.public), "N");
+    let cert_name = Certificate::issue(
+        &client,
+        Delegation {
+            subject: Principal::key(&server.public),
+            issuer: name_under_hash,
+            tag: Tag::Star,
+            validity: Validity::always(),
+            delegable: true,
+        },
+        &mut rand_bytes,
+    );
+
+    // hash-identity (H_{K_C} ⇒ K_C) lifted by name-monotonicity to
+    // H_{K_C}·N ⇒ K_C·N.
+    let lift = Proof::NameMono {
+        inner: Box::new(Proof::HashIdent {
+            key: Box::new(client.public.clone()),
+            alg: HashAlg::Sha256,
+            hash_to_key: true,
+        }),
+        name: "N".into(),
+    };
+
+    // Assemble Figure 1.
+    let lemma = Proof::signed_cert(cert_name).then(lift); // K_S ⇒ K_C·N
+    let full = Proof::signed_cert(cert_doc).then(lemma.clone()); // H_D ⇒ K_C·N
+
+    println!("the Figure 1 proof ({} nodes):\n", full.size());
+    println!("{}", full.audit_trail());
+
+    let ctx = VerifyCtx::at(Time(500));
+    full.verify(&ctx).expect("valid at t=500");
+    println!(
+        "✓ verifies at t=500: {} ⇒ {}",
+        full.conclusion().subject.describe(),
+        full.conclusion().issuer.describe()
+    );
+
+    // The topmost statement expires with the short-lived H_D ⇒ K_S…
+    let late = VerifyCtx::at(Time(5_000));
+    let err = full
+        .authorizes(
+            &full.conclusion().subject,
+            &full.conclusion().issuer,
+            &Tag::Star,
+            &late,
+        )
+        .unwrap_err();
+    println!("\n✗ at t=5000 the full proof no longer authorizes: {err}");
+
+    // …but "the still-useful proof of K_S ⇒ K_C·N may be extracted and
+    // reused in future proofs."
+    lemma.verify(&late).expect("lemma outlives the composite");
+    println!(
+        "✓ extracted lemma still valid: {} ⇒ {}",
+        lemma.conclusion().subject.describe(),
+        lemma.conclusion().issuer.describe()
+    );
+
+    // Structured proofs enumerate their lemmas mechanically.
+    println!("\nall {} lemmas:", full.lemmas().len());
+    for l in full.lemmas() {
+        let c = l.conclusion();
+        println!("  {} ⇒ {}", c.subject.describe(), c.issuer.describe());
+    }
+}

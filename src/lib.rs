@@ -1,0 +1,21 @@
+//! Snowflake: end-to-end authorization (Howell & Kotz, OSDI 2000).
+//!
+//! This facade crate re-exports every workspace member; see the README for
+//! the architecture overview and each member crate for its subsystem:
+//! [`snowflake_core`] (the logic of authority), [`snowflake_prover`],
+//! [`snowflake_channel`], [`snowflake_rmi`], [`snowflake_http`],
+//! [`snowflake_apps`], and the substrates [`snowflake_sexpr`],
+//! [`snowflake_tags`], [`snowflake_crypto`], [`snowflake_bigint`],
+//! [`snowflake_reldb`].
+
+pub use snowflake_apps as apps;
+pub use snowflake_bigint as bigint;
+pub use snowflake_channel as channel;
+pub use snowflake_core as core;
+pub use snowflake_crypto as crypto;
+pub use snowflake_http as http;
+pub use snowflake_prover as prover;
+pub use snowflake_reldb as reldb;
+pub use snowflake_rmi as rmi;
+pub use snowflake_sexpr as sexpr;
+pub use snowflake_tags as tags;

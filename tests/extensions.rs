@@ -1,0 +1,230 @@
+//! Tests for the paper's extension directions:
+//!
+//! * §9 future work — a gateway relaying *sealed* content it cannot read,
+//!   while the end-to-end authorization chain still covers the payload.
+//! * §5.3.2 — demanding authentication inside the logic by delegating to
+//!   "authentication server's Alice" (a named principal), so the
+//!   authorization chain itself forces Alice to authenticate.
+
+use snowflake_core::{
+    Certificate, Delegation, HashAlg, Principal, Proof, Tag, Time, Validity, VerifyCtx,
+};
+use snowflake_crypto::{open, seal, DetRng, Group, KeyPair, SealedBox};
+use snowflake_sexpr::Sexp;
+
+fn kp(seed: &str) -> KeyPair {
+    let mut rng = DetRng::new(seed.as_bytes());
+    KeyPair::generate(Group::test512(), &mut |b| rng.fill(b))
+}
+
+fn det(seed: &str) -> impl FnMut(&mut [u8]) {
+    let mut r = DetRng::new(seed.as_bytes());
+    move |b: &mut [u8]| r.fill(b)
+}
+
+/// §9: the server seals a document to the client; the gateway relays the
+/// sealed bytes and the document-authentication proof; the client opens
+/// and verifies.  The gateway never holds the plaintext, yet the
+/// end-to-end chain (hash-of-sealed-bytes ⇒ server) passes through it
+/// intact.
+#[test]
+fn opaque_gateway_relays_sealed_content() {
+    let server = kp("opaque-server");
+    let client = kp("opaque-client");
+    let mut rng = det("opaque");
+
+    let secret_doc = b"quarterly numbers: do not show the gateway";
+
+    // Server side: seal to the client, then prove that *the sealed bytes*
+    // speak for the server (document authentication over the ciphertext).
+    let sealed = seal(&client.public, secret_doc, &mut rng).unwrap();
+    let sealed_wire = sealed.to_sexp();
+    let doc_cert = Certificate::issue(
+        &server,
+        Delegation {
+            subject: Principal::message(&sealed_wire.canonical()),
+            issuer: Principal::key(&server.public),
+            tag: Tag::Star,
+            validity: Validity::until(Time(2_000)),
+            delegable: false,
+        },
+        &mut rng,
+    );
+    let doc_proof = Proof::signed_cert(doc_cert);
+
+    // Gateway side: it sees only ciphertext.  (It could try to open the
+    // box; it fails.)
+    let gateway = kp("opaque-gateway");
+    let relayed_box = SealedBox::from_sexp(&sealed_wire).unwrap();
+    assert!(
+        open(&gateway, &relayed_box).is_none(),
+        "gateway must not read the payload"
+    );
+    let relayed_proof = Proof::from_sexp(&doc_proof.to_sexp()).unwrap();
+
+    // Client side: verify the chain over the *sealed* bytes, then open.
+    let ctx = VerifyCtx::at(Time(1_000));
+    relayed_proof
+        .authorizes(
+            &Principal::message(&relayed_box.to_sexp().canonical()),
+            &Principal::key(&server.public),
+            &Tag::Star,
+            &ctx,
+        )
+        .expect("sealed bytes speak for the server");
+    let opened = open(&client, &relayed_box).expect("client opens");
+    assert_eq!(opened, secret_doc);
+
+    // A gateway that swaps the payload is caught: the proof subject no
+    // longer matches.
+    let mut forged = relayed_box.clone();
+    forged.ciphertext[0] ^= 1;
+    assert!(relayed_proof
+        .authorizes(
+            &Principal::message(&forged.to_sexp().canonical()),
+            &Principal::key(&server.public),
+            &Tag::Star,
+            &ctx,
+        )
+        .is_err());
+}
+
+/// §5.3.2: "one may delegate a resource to 'authentication server's
+/// Alice', requiring Alice to authenticate herself to the server to invoke
+/// her authority over the resource."
+///
+/// The resource owner delegates to the *named* principal `AS·alice`; Alice
+/// can exercise it only by also presenting the authentication server's
+/// binding `K_alice ⇒ AS·alice` — authentication demanded inside the
+/// logic, not beside it.
+#[test]
+fn delegation_to_authentication_servers_alice() {
+    let owner = kp("as-owner");
+    let auth_server = kp("as-as");
+    let alice = kp("as-alice");
+    let eve = kp("as-eve");
+    let mut rng = det("as");
+
+    let as_alice = Principal::name(Principal::key(&auth_server.public), "alice");
+
+    // The owner's grant names AS·alice, not any key.
+    let grant = Certificate::issue(
+        &owner,
+        Delegation {
+            subject: as_alice.clone(),
+            issuer: Principal::key(&owner.public),
+            tag: Tag::named("web", vec![]),
+            validity: Validity::always(),
+            delegable: true,
+        },
+        &mut rng,
+    );
+
+    // The authentication server binds Alice's key to the name — this is
+    // the authentication step, expressed as a statement.
+    let binding = Certificate::issue(
+        &auth_server,
+        Delegation {
+            subject: Principal::key(&alice.public),
+            issuer: as_alice.clone(),
+            tag: Tag::Star,
+            validity: Validity::until(Time(1_000)), // auth sessions expire
+            delegable: true,
+        },
+        &mut rng,
+    );
+
+    // Alice's complete chain: K_alice ⇒ AS·alice ⇒ owner.
+    let chain = Proof::signed_cert(binding).then(Proof::signed_cert(grant.clone()));
+    let ctx = VerifyCtx::at(Time(500));
+    chain.verify(&ctx).unwrap();
+    let c = chain.conclusion();
+    assert_eq!(c.subject, Principal::key(&alice.public));
+    assert_eq!(c.issuer, Principal::key(&owner.public));
+
+    // Without the authentication server's binding, the grant alone does
+    // not empower Alice's key…
+    let bare = Proof::signed_cert(grant);
+    assert!(bare
+        .authorizes(
+            &Principal::key(&alice.public),
+            &Principal::key(&owner.public),
+            &Tag::named("web", vec![]),
+            &ctx,
+        )
+        .is_err());
+
+    // …and Eve cannot mint the binding herself: only the auth server's key
+    // controls the AS·alice namespace.
+    let forged_binding = Delegation {
+        subject: Principal::key(&eve.public),
+        issuer: as_alice,
+        tag: Tag::Star,
+        validity: Validity::always(),
+        delegable: true,
+    };
+    let forged = Certificate {
+        delegation: forged_binding.clone(),
+        signer: eve.public.clone(),
+        revocation: None,
+        signature: eve.sign(&forged_binding.to_sexp().canonical(), &mut rng),
+    };
+    assert!(
+        forged.check().is_err(),
+        "Eve's key does not control AS·alice"
+    );
+
+    // When the authentication session expires, so does Alice's authority —
+    // "resolve the secure bindings … after the fact" also works, since the
+    // proof records which binding was used.
+    let late = VerifyCtx::at(Time(2_000));
+    assert!(chain
+        .authorizes(
+            &Principal::key(&alice.public),
+            &Principal::key(&owner.public),
+            &Tag::named("web", vec![]),
+            &late,
+        )
+        .is_err());
+    assert!(chain.audit_trail().contains("·alice"));
+}
+
+/// Sealed boxes compose with the md5 hash-principal flavor: the relayed
+/// payload can be named by any supported hash.
+#[test]
+fn sealed_payload_named_by_md5() {
+    let server = kp("md5-seal-server");
+    let client = kp("md5-seal-client");
+    let mut rng = det("md5-seal");
+    let sealed = seal(&client.public, b"payload", &mut rng).unwrap();
+    let wire = sealed.to_sexp().canonical();
+
+    let subject = Principal::Message(snowflake_crypto::HashVal::digest(HashAlg::Md5, &wire));
+    let cert = Certificate::issue(
+        &server,
+        Delegation {
+            subject: subject.clone(),
+            issuer: Principal::key(&server.public),
+            tag: Tag::Star,
+            validity: Validity::always(),
+            delegable: false,
+        },
+        &mut rng,
+    );
+    let proof = Proof::signed_cert(cert);
+    let parsed = Sexp::parse(&wire).unwrap();
+    let received = SealedBox::from_sexp(&parsed).unwrap();
+    let received_subject = Principal::Message(snowflake_crypto::HashVal::digest(
+        HashAlg::Md5,
+        &received.to_sexp().canonical(),
+    ));
+    assert_eq!(received_subject, subject);
+    proof
+        .authorizes(
+            &received_subject,
+            &Principal::key(&server.public),
+            &Tag::Star,
+            &VerifyCtx::at(Time(0)),
+        )
+        .unwrap();
+}

@@ -1,0 +1,192 @@
+//! Workspace-level property tests: invariants that span crates.
+
+use proptest::prelude::*;
+use snowflake_core::{Certificate, Delegation, Principal, Proof, Tag, Time, Validity, VerifyCtx};
+use snowflake_crypto::{DetRng, Group, KeyPair};
+use snowflake_http::HttpRequest;
+use snowflake_tags::{Bound, RangeOrdering};
+
+fn kp(seed: u64) -> KeyPair {
+    let mut rng = DetRng::new(&seed.to_be_bytes());
+    KeyPair::generate(Group::test512(), &mut |b| rng.fill(b))
+}
+
+/// Arbitrary structured tags (bounded).
+fn arb_tag() -> impl Strategy<Value = Tag> {
+    let leaf = prop_oneof![
+        Just(Tag::Star),
+        "[a-z]{1,8}".prop_map(|s| Tag::Atom(s.into_bytes())),
+        "[a-z]{0,4}".prop_map(|s| Tag::Prefix(s.into_bytes())),
+        (0u32..100, 100u32..200).prop_map(|(lo, hi)| Tag::Range {
+            ordering: RangeOrdering::Numeric,
+            low: Some(Bound {
+                value: lo.to_string().into_bytes(),
+                inclusive: true
+            }),
+            high: Some(Bound {
+                value: hi.to_string().into_bytes(),
+                inclusive: true
+            }),
+        }),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Tag::List),
+            proptest::collection::vec(inner, 1..3).prop_map(Tag::Set),
+        ]
+    })
+}
+
+fn arb_validity() -> impl Strategy<Value = Validity> {
+    (0u64..1000, 1000u64..5000).prop_map(|(a, b)| Validity::between(Time(a), Time(b)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any certificate round-trips the wire and still verifies; any bit
+    /// flip in its canonical form is rejected or changes the statement.
+    #[test]
+    fn certificates_roundtrip_and_resist_tampering(
+        t in arb_tag(),
+        v in arb_validity(),
+        delegable in any::<bool>(),
+        flip in any::<u16>(),
+    ) {
+        let alice = kp(1);
+        let bob = kp(2);
+        let mut rng = DetRng::new(b"prop-cert");
+        let cert = Certificate::issue(
+            &alice,
+            Delegation {
+                subject: Principal::key(&bob.public),
+                issuer: Principal::key(&alice.public),
+                tag: t,
+                validity: v,
+                delegable,
+            },
+            &mut |b| rng.fill(b),
+        );
+        let wire = cert.to_sexp();
+        let back = Certificate::from_sexp(&wire).unwrap();
+        prop_assert!(back.check().is_ok());
+        prop_assert_eq!(&back, &cert);
+
+        // Flip one byte somewhere in the canonical encoding; the result
+        // either fails to parse or fails to check.
+        let mut bytes = wire.canonical();
+        let idx = (flip as usize) % bytes.len();
+        bytes[idx] ^= 0x01;
+        if let Ok(parsed) = snowflake_sexpr::Sexp::parse(&bytes) {
+            if let Ok(tampered) = Certificate::from_sexp(&parsed) {
+                if tampered != cert {
+                    prop_assert!(
+                        tampered.check().is_err(),
+                        "tampered cert must not verify"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Transitivity narrows: a chained conclusion never authorizes a
+    /// request the narrower link rejected.
+    #[test]
+    fn chains_never_widen(t1 in arb_tag(), t2 in arb_tag(), req in arb_tag()) {
+        let a = kp(11);
+        let b = kp(12);
+        let c = kp(13);
+        let mut rng = DetRng::new(b"prop-chain");
+        let mk = |from: &KeyPair, to: &KeyPair, tag: Tag, delegable: bool| {
+            Proof::signed_cert(Certificate::issue(
+                from,
+                Delegation {
+                    subject: Principal::key(&to.public),
+                    issuer: Principal::key(&from.public),
+                    tag,
+                    validity: Validity::always(),
+                    delegable,
+                },
+                &mut DetRng::new(b"prop-chain-sign").fill_adapter(),
+            ))
+        };
+        let _ = &mut rng;
+        let p1 = mk(&a, &b, t1.clone(), true);
+        let p2 = mk(&b, &c, t2.clone(), false);
+        let chain = p2.then(p1);
+        let ctx = VerifyCtx::at(Time(0));
+        if chain.verify(&ctx).is_ok() {
+            let concl = chain.conclusion();
+            if concl.tag.permits(&req) {
+                prop_assert!(t1.permits(&req), "chain wider than link 1");
+                prop_assert!(t2.permits(&req), "chain wider than link 2");
+            }
+        }
+    }
+
+    /// Request hashing is stable across serialization: the hash computed on
+    /// the client's in-memory request equals the hash on the server's
+    /// parsed copy.
+    #[test]
+    fn request_hash_survives_the_wire(
+        path in "/[a-z0-9/]{0,24}",
+        headers in proptest::collection::vec(("[A-Za-z][A-Za-z-]{0,10}", "[ -~]{0,16}"), 0..5),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut req = HttpRequest::post(&path, body);
+        for (n, v) in &headers {
+            // Skip headers the canonical form excludes or serialization owns.
+            let lower = n.to_ascii_lowercase();
+            if ["authorization", "content-length", "sf-mac", "sf-mac-id", "sf-client-proof"]
+                .contains(&lower.as_str())
+            {
+                continue;
+            }
+            req.set_header(n, v.trim());
+        }
+        let h1 = snowflake_http::request_hash(&req, snowflake_core::HashAlg::Sha256);
+
+        let mut wire = Vec::new();
+        req.write_to(&mut wire).unwrap();
+        let parsed = HttpRequest::read_from(&mut std::io::BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap();
+        let h2 = snowflake_http::request_hash(&parsed, snowflake_core::HashAlg::Sha256);
+        prop_assert_eq!(h1, h2);
+    }
+
+    /// Proof S-expression round trips preserve verification results.
+    #[test]
+    fn proof_roundtrip_preserves_verdict(t in arb_tag(), v in arb_validity()) {
+        let a = kp(21);
+        let b = kp(22);
+        let mut rng = DetRng::new(b"prop-proof");
+        let proof = Proof::signed_cert(Certificate::issue(
+            &a,
+            Delegation {
+                subject: Principal::key(&b.public),
+                issuer: Principal::key(&a.public),
+                tag: t,
+                validity: v,
+                delegable: true,
+            },
+            &mut |buf| rng.fill(buf),
+        ));
+        let back = Proof::from_sexp(&proof.to_sexp()).unwrap();
+        let ctx = VerifyCtx::at(Time(0));
+        prop_assert_eq!(proof.verify(&ctx).is_ok(), back.verify(&ctx).is_ok());
+        prop_assert_eq!(proof.conclusion(), back.conclusion());
+    }
+}
+
+/// Adapter so a DetRng can be used where `FnMut(&mut [u8])` is needed
+/// inline (proptest closures capture by move).
+trait FillAdapter {
+    fn fill_adapter(self) -> Box<dyn FnMut(&mut [u8])>;
+}
+
+impl FillAdapter for DetRng {
+    fn fill_adapter(mut self) -> Box<dyn FnMut(&mut [u8])> {
+        Box::new(move |b| self.fill(b))
+    }
+}
