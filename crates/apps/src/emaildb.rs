@@ -7,7 +7,8 @@
 //! mapping carries row ownership, so a delegation
 //! `(db (op select) (owner alice))` lets its holder read only Alice's mail.
 
-use parking_lot::Mutex;
+use snowflake_core::sync::LockExt;
+use std::sync::Mutex;
 use snowflake_core::{Principal, Tag};
 use snowflake_reldb::{email_schema, rows_to_sexp, Database, Predicate, Value};
 use snowflake_rmi::{CallerInfo, Invocation, RemoteObject, RmiFault};
@@ -70,7 +71,7 @@ impl EmailDb {
         if let Some(f) = folder {
             pred = Predicate::and(pred, Predicate::eq("folder", Value::text(f)));
         }
-        let db = self.db.lock();
+        let db = self.db.plock();
         let rows = db
             .table("messages")
             .and_then(|t| t.select(&pred, &[]))
@@ -90,12 +91,12 @@ impl EmailDb {
         let body = field(3, "body")?;
         let folder = field(4, "folder")?;
         let id = {
-            let mut n = self.next_id.lock();
+            let mut n = self.next_id.plock();
             let id = *n;
             *n += 1;
             id
         };
-        let mut db = self.db.lock();
+        let mut db = self.db.plock();
         db.table_mut("messages")
             .and_then(|t| {
                 t.insert(vec![
@@ -121,7 +122,7 @@ impl EmailDb {
             Predicate::eq("owner", Value::text(owner)),
             Predicate::eq("id", Value::Int(id as i64)),
         );
-        let mut db = self.db.lock();
+        let mut db = self.db.plock();
         let n = db
             .table_mut("messages")
             .and_then(|t| t.update(&pred, &[("unread".to_string(), Value::Bool(false))]))
@@ -138,7 +139,7 @@ impl EmailDb {
             Predicate::eq("owner", Value::text(owner)),
             Predicate::eq("id", Value::Int(id as i64)),
         );
-        let mut db = self.db.lock();
+        let mut db = self.db.plock();
         let n = db
             .table_mut("messages")
             .and_then(|t| t.delete(&pred))

@@ -23,7 +23,8 @@
 //!    `G|C ⇒ S` proof and the database fulfills the request.
 //! 6. `G` renders HTML from the rows. Subsequent requests skip the fanfare.
 
-use parking_lot::Mutex;
+use snowflake_core::sync::LockExt;
+use std::sync::Mutex;
 use snowflake_core::{Principal, Tag, Time, VerifyCtx};
 use snowflake_http::{auth, Handler, HttpRequest, HttpResponse};
 use snowflake_reldb::{rows_from_sexp, Value};
@@ -99,7 +100,7 @@ impl QuotingGateway {
         method: &str,
         args: Vec<Sexp>,
     ) -> Result<Result<Sexp, (Principal, Tag)>, String> {
-        let mut rmi = self.rmi.lock();
+        let mut rmi = self.rmi.plock();
         rmi.set_quoting(Some(quotee));
         let result = rmi.invoke(EMAIL_DB_OBJECT, method, args);
         rmi.set_quoting(None);
@@ -168,7 +169,7 @@ impl Handler for QuotingGateway {
                         let mut resp = auth::challenge(&issuer, &tag);
                         // `G` is the gateway's channel-facing key: that is
                         // the quoter the database will see.
-                        let rmi = self.rmi.lock();
+                        let rmi = self.rmi.plock();
                         auth::add_quoter(&mut resp, &rmi.speaker());
                         return resp;
                     }
@@ -183,7 +184,7 @@ impl Handler for QuotingGateway {
 
         // Digest the delegation proof (G|C ⇒ S) the client supplied.
         if let Some(proof) = auth::extract_proof(req) {
-            self.rmi.lock().prover().add_proof(proof);
+            self.rmi.plock().prover().add_proof(proof);
         }
 
         // Forward the request, quoting the client.
@@ -204,7 +205,7 @@ impl Handler for QuotingGateway {
             Ok(Err((issuer, tag))) => {
                 // Still unauthorized: re-challenge (e.g. wrong owner).
                 let mut resp = auth::challenge(&issuer, &tag);
-                let rmi = self.rmi.lock();
+                let rmi = self.rmi.plock();
                 auth::add_quoter(&mut resp, &rmi.speaker());
                 resp
             }

@@ -1,6 +1,7 @@
 //! An in-memory virtual file system backing the protected web server.
 
-use parking_lot::RwLock;
+use snowflake_core::sync::RwLockExt;
+use std::sync::RwLock;
 use std::collections::BTreeMap;
 
 /// A tiny path-keyed file store.
@@ -17,19 +18,19 @@ impl Vfs {
 
     /// Writes (creating or replacing) a file.
     pub fn write(&self, path: &str, data: impl Into<Vec<u8>>) {
-        self.files.write().insert(normalize(path), data.into());
+        self.files.pwrite().insert(normalize(path), data.into());
     }
 
     /// Reads a file.
     pub fn read(&self, path: &str) -> Option<Vec<u8>> {
-        self.files.read().get(&normalize(path)).cloned()
+        self.files.pread().get(&normalize(path)).cloned()
     }
 
     /// Lists paths under a prefix.
     pub fn list(&self, prefix: &str) -> Vec<String> {
         let prefix = normalize(prefix);
         self.files
-            .read()
+            .pread()
             .keys()
             .filter(|p| p.starts_with(&prefix))
             .cloned()
@@ -38,17 +39,17 @@ impl Vfs {
 
     /// Removes a file; returns whether it existed.
     pub fn remove(&self, path: &str) -> bool {
-        self.files.write().remove(&normalize(path)).is_some()
+        self.files.pwrite().remove(&normalize(path)).is_some()
     }
 
     /// Number of files.
     pub fn len(&self) -> usize {
-        self.files.read().len()
+        self.files.pread().len()
     }
 
     /// Is the file system empty?
     pub fn is_empty(&self) -> bool {
-        self.files.read().is_empty()
+        self.files.pread().is_empty()
     }
 }
 

@@ -9,8 +9,9 @@
 //! pipes plus broker-vouched peer identities: "no encryption or system-call
 //! overhead … only serialization costs."
 
+use snowflake_core::sync::LockExt;
 use crate::transport::{PipeTransport, Transport};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use snowflake_core::{ChannelId, Delegation, Principal};
 use snowflake_crypto::{Group, HashVal, KeyPair, PublicKey};
 use std::collections::HashMap;
@@ -49,14 +50,14 @@ impl LocalBroker {
     pub fn create_identity(&self, name: &str, rand_bytes: &mut dyn FnMut(&mut [u8])) -> KeyPair {
         let kp = KeyPair::generate(Group::test512(), rand_bytes);
         self.registry
-            .lock()
+            .plock()
             .insert(name.to_string(), kp.public.clone());
         kp
     }
 
     /// The public key registered under `name`, if any.
     pub fn lookup(&self, name: &str) -> Option<PublicKey> {
-        self.registry.lock().get(name).cloned()
+        self.registry.plock().get(name).cloned()
     }
 
     /// Connects two registered parties with plain pipes and broker-vouched
@@ -76,7 +77,7 @@ impl LocalBroker {
         })?;
 
         let serial = {
-            let mut c = self.counter.lock();
+            let mut c = self.counter.plock();
             *c += 1;
             *c
         };

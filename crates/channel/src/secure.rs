@@ -21,8 +21,9 @@
 //! SSL-baseline cost points of the paper's Figure 8: *new session* vs
 //! *cached session* vs *client verification on/off*.
 
+use snowflake_core::sync::LockExt;
 use crate::transport::Transport;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use snowflake_bigint::Ubig;
 use snowflake_core::{ChannelId, Delegation, Principal};
 use snowflake_crypto::chacha20::ChaCha20;
@@ -57,21 +58,21 @@ impl SessionCache {
     }
 
     fn put(&self, key: Vec<u8>, session: CachedSession) {
-        self.inner.lock().insert(key, session);
+        self.inner.plock().insert(key, session);
     }
 
     fn get(&self, key: &[u8]) -> Option<CachedSession> {
-        self.inner.lock().get(key).cloned()
+        self.inner.plock().get(key).cloned()
     }
 
     /// Number of cached sessions.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.plock().len()
     }
 
     /// Is the cache empty?
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.plock().is_empty()
     }
 }
 

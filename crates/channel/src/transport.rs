@@ -5,7 +5,7 @@
 //! for colocated parties and tests, and length-prefixed TCP for loopback or
 //! real networks.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 

@@ -56,11 +56,14 @@
 //! assert!(proof.verify(&ctx).is_ok());
 //! ```
 
+#![deny(missing_docs)]
+
 mod cert;
 mod principal;
 mod proof;
 mod revocation;
 pub mod sequence;
+pub mod sync;
 mod statement;
 mod verify;
 

@@ -1,0 +1,75 @@
+//! Poison-recovering lock helpers shared across the workspace.
+//!
+//! The workspace originally used `parking_lot`, whose locks do not poison:
+//! a panic while holding a guard simply releases the lock. These extension
+//! traits reproduce that policy over `std::sync` in one place — a panicking
+//! request handler must not permanently wedge a server's routing table or
+//! session store. All guarded state here is plain data that stays
+//! consistent statement-by-statement, so recovering the guard is safe. If
+//! the policy ever needs to change (log on poison, abort in sensitive
+//! paths), change it here.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// `Mutex` acquisition that recovers from poisoning (parking_lot policy).
+pub trait LockExt<T> {
+    /// Locks, recovering the guard if a previous holder panicked.
+    fn plock(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockExt<T> for Mutex<T> {
+    fn plock(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// `RwLock` acquisition that recovers from poisoning (parking_lot policy).
+pub trait RwLockExt<T> {
+    /// Read-locks, recovering the guard if a previous writer panicked.
+    fn pread(&self) -> RwLockReadGuard<'_, T>;
+    /// Write-locks, recovering the guard if a previous holder panicked.
+    fn pwrite(&self) -> RwLockWriteGuard<'_, T>;
+}
+
+impl<T> RwLockExt<T> for RwLock<T> {
+    fn pread(&self) -> RwLockReadGuard<'_, T> {
+        self.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn pwrite(&self) -> RwLockWriteGuard<'_, T> {
+        self.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn plock_recovers_after_panic() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "std lock should report poisoning");
+        assert_eq!(*m.plock(), 7, "plock recovers the data");
+    }
+
+    #[test]
+    fn rwlock_recovers_after_panic() {
+        let l = Arc::new(RwLock::new(vec![1, 2]));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(l.pread().len(), 2);
+        l.pwrite().push(3);
+        assert_eq!(l.pread().len(), 3);
+    }
+}

@@ -43,6 +43,19 @@ impl ChaCha20 {
         }
     }
 
+    /// Writes raw keystream into `buf`, ignoring its prior contents — what
+    /// the RNG paths want, without `apply`'s read-xor-write pass over data
+    /// that would have to be zeroed first.
+    pub fn fill_keystream(&mut self, buf: &mut [u8]) {
+        for byte in buf {
+            if self.offset == 64 {
+                self.refill();
+            }
+            *byte = self.keystream[self.offset];
+            self.offset += 1;
+        }
+    }
+
     fn refill(&mut self) {
         let mut working = self.state;
         for _ in 0..10 {

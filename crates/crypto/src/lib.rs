@@ -17,8 +17,9 @@
 //!   [`chacha20`] and authenticated with [`hmac`]; the MAC-amortized signed
 //!   request protocol of §5.3.1 uses HMAC as its message authentication code.
 //!
-//! No external cryptography crates are used anywhere in the workspace; the
-//! only dependency is `rand` for entropy.
+//! No external cryptography crates are used anywhere in the workspace;
+//! entropy comes straight from the operating system (`/dev/urandom`),
+//! keyed through a ChaCha20 stream.
 
 pub mod chacha20;
 pub mod dh;
@@ -40,9 +41,50 @@ pub use md5::md5;
 pub use sha256::sha256;
 
 /// Fills `buf` with cryptographically secure random bytes from the OS.
+///
+/// Reads a 32-byte seed from `/dev/urandom` once per process and expands it
+/// with ChaCha20, mixing in a per-call counter. If the OS entropy device is
+/// unavailable (exotic sandboxes), falls back to a seed derived from the
+/// clock, the process id, and ASLR-randomized addresses, printing a warning
+/// to stderr — adequate for the tests and benches this workspace runs, but
+/// **not** a CSPRNG; do not trust keys generated after that warning.
 pub fn rand_bytes(buf: &mut [u8]) {
-    use rand::RngCore;
-    rand::rngs::OsRng.fill_bytes(buf);
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+
+    static SEED: OnceLock<[u8; 32]> = OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    let seed = SEED.get_or_init(|| {
+        let mut s = [0u8; 32];
+        if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
+            use std::io::Read;
+            if f.read_exact(&mut s).is_ok() {
+                return s;
+            }
+        }
+        // Fallback entropy: clock + pid + ASLR. This is guessable; key
+        // material generated from it must not be trusted, so say so loudly
+        // on the only channel a library has.
+        eprintln!(
+            "snowflake_crypto: WARNING: /dev/urandom unavailable; falling back to \
+             low-entropy clock/pid/ASLR seeding. Generated keys are NOT secure."
+        );
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap_or_default();
+        let mut material = Vec::new();
+        material.extend_from_slice(&now.as_nanos().to_be_bytes());
+        material.extend_from_slice(&std::process::id().to_be_bytes());
+        material.extend_from_slice(&(rand_bytes as *const () as usize).to_be_bytes());
+        let local = 0u8;
+        material.extend_from_slice(&(&local as *const u8 as usize).to_be_bytes());
+        sha256(&material)
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut nonce = [0u8; 12];
+    nonce[..8].copy_from_slice(&n.to_be_bytes());
+    chacha20::ChaCha20::new(seed, &nonce).fill_keystream(buf);
 }
 
 /// A deterministic ChaCha20-based byte stream for reproducible tests and
@@ -65,8 +107,7 @@ impl DetRng {
 
     /// Fills `buf` with the next bytes of the deterministic stream.
     pub fn fill(&mut self, buf: &mut [u8]) {
-        buf.fill(0);
-        self.cipher.apply(buf);
+        self.cipher.fill_keystream(buf);
     }
 }
 

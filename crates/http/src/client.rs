@@ -7,10 +7,11 @@
 //! authorization, the proxy uses its Prover to find a suitable proof,
 //! rewrites the request with an Authorization header, and retries."
 
+use snowflake_core::sync::LockExt;
 use crate::auth;
 use crate::mac::{ClientMacSession, MAC_SESSION_PATH};
 use crate::message::{HttpRequest, HttpResponse};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use snowflake_core::{HashAlg, Principal, Proof, Tag, Time, Validity, VerifyCtx};
 use snowflake_prover::Prover;
 use snowflake_sexpr::Sexp;
@@ -126,7 +127,7 @@ impl SnowflakeProxy {
     /// Sets the identity principal substituted for `?` in gateway
     /// challenges.
     pub fn set_identity(&self, identity: Principal) {
-        *self.identity.lock() = Some(identity);
+        *self.identity.plock() = Some(identity);
     }
 
     /// The Prover backing this proxy.
@@ -159,7 +160,7 @@ impl SnowflakeProxy {
         }
 
         // A live MAC session for this issuer authorizes cheaply (§5.3.1).
-        if let Some(session) = self.mac_sessions.lock().get(&issuer).cloned() {
+        if let Some(session) = self.mac_sessions.plock().get(&issuer).cloned() {
             if session.validity.contains((self.clock)()) {
                 let hash = auth::request_hash(&req, self.hash_alg);
                 req.set_header("Sf-Mac-Id", &session.id_header());
@@ -197,7 +198,7 @@ impl SnowflakeProxy {
         quoter: Principal,
     ) -> Result<HttpResponse, ProxyError> {
         let identity =
-            self.identity.lock().clone().ok_or_else(|| {
+            self.identity.plock().clone().ok_or_else(|| {
                 ProxyError::Protocol("gateway challenge but no identity set".into())
             })?;
         let now = (self.clock)();
@@ -284,7 +285,7 @@ impl SnowflakeProxy {
         tag: &Tag,
     ) -> Result<(), ProxyError> {
         let (body, dh) = {
-            let mut rng = self.rng.lock();
+            let mut rng = self.rng.plock();
             ClientMacSession::request_body(&mut **rng)
         };
         let mut req = HttpRequest::post(MAC_SESSION_PATH, body);
@@ -300,20 +301,20 @@ impl SnowflakeProxy {
         let now = (self.clock)();
         let session = ClientMacSession::from_grant(&resp.body, &dh, Validity::until(now.plus(300)))
             .map_err(ProxyError::Protocol)?;
-        self.mac_sessions.lock().insert(issuer.clone(), session);
+        self.mac_sessions.plock().insert(issuer.clone(), session);
         Ok(())
     }
 
     /// Does the proxy hold a MAC session for `issuer`?
     pub fn has_mac_session(&self, issuer: &Principal) -> bool {
-        self.mac_sessions.lock().contains_key(issuer)
+        self.mac_sessions.plock().contains_key(issuer)
     }
 
     /// Attaches MAC headers to a request using the session for `issuer`,
     /// without any challenge round trip (benchmarks measure this as the
     /// steady-state MAC-protocol cost).
     pub fn mac_sign(&self, mut req: HttpRequest, issuer: &Principal) -> Option<HttpRequest> {
-        let session = self.mac_sessions.lock().get(issuer).cloned()?;
+        let session = self.mac_sessions.plock().get(issuer).cloned()?;
         let hash = auth::request_hash(&req, self.hash_alg);
         req.set_header("Sf-Mac-Id", &session.id_header());
         req.set_header("Sf-Mac", &session.authenticate(&hash));

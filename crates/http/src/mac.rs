@@ -16,7 +16,8 @@
 //! *verified establishment proof*, so the MAC principal holds exactly the
 //! authority the client demonstrated, no more.
 
-use parking_lot::Mutex;
+use snowflake_core::sync::LockExt;
+use std::sync::Mutex;
 use snowflake_bigint::Ubig;
 use snowflake_core::{Delegation, HashVal, Principal, Proof, Tag, Time, Validity};
 use snowflake_crypto::chacha20::ChaCha20;
@@ -52,12 +53,12 @@ impl MacSessionStore {
 
     /// Number of live sessions.
     pub fn len(&self) -> usize {
-        self.sessions.lock().len()
+        self.sessions.plock().len()
     }
 
     /// Is the store empty?
     pub fn is_empty(&self) -> bool {
-        self.sessions.lock().is_empty()
+        self.sessions.plock().is_empty()
     }
 
     /// Handles an establishment request body, returning the grant body.
@@ -104,7 +105,7 @@ impl MacSessionStore {
             validity: proven.validity,
             delegable: false,
         };
-        self.sessions.lock().insert(
+        self.sessions.plock().insert(
             mac_id.clone(),
             MacSession {
                 secret,
@@ -137,7 +138,7 @@ impl MacSessionStore {
         request_tag: &Tag,
         now: Time,
     ) -> Result<(Principal, Delegation), String> {
-        let sessions = self.sessions.lock();
+        let sessions = self.sessions.plock();
         let session = sessions.get(mac_id).ok_or("unknown MAC session")?;
         let expect = hmac_sha256(&session.secret, &request_hash.bytes);
         if !ct_eq(&expect, presented_mac) {
@@ -155,7 +156,7 @@ impl MacSessionStore {
     /// The audit trail for a session: the establishment proof.
     pub fn audit(&self, mac_id: &HashVal) -> Option<String> {
         self.sessions
-            .lock()
+            .plock()
             .get(mac_id)
             .map(|s| s.establishment.audit_trail())
     }

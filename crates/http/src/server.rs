@@ -10,10 +10,11 @@
 //! the resource, not an ACL … the client is responsible to know and exploit
 //! its group memberships as represented in delegations."
 
+use snowflake_core::sync::LockExt;
 use crate::auth;
 use crate::mac::{self, MacSessionStore, MAC_SESSION_PATH};
 use crate::message::{HttpRequest, HttpResponse};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use snowflake_core::{
     Certificate, Delegation, HashAlg, HashVal, Principal, Proof, Tag, Time, Validity, VerifyCtx,
 };
@@ -53,20 +54,27 @@ impl HttpServer {
 
     /// Mounts a handler at a path prefix (longest prefix wins).
     pub fn route(&self, prefix: &str, handler: Arc<dyn Handler>) {
-        let mut routes = self.routes.lock();
+        let mut routes = self.routes.plock();
         routes.push((prefix.to_string(), handler));
         routes.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
     }
 
     /// Produces the response for one request (no I/O).
     pub fn respond(&self, req: &HttpRequest) -> HttpResponse {
-        let routes = self.routes.lock();
-        for (prefix, handler) in routes.iter() {
-            if req.path.starts_with(prefix.as_str()) {
-                return handler.handle(req);
-            }
+        // Resolve the handler and release the routes lock before dispatch:
+        // handlers may be slow (gateway RMI round-trips) or panic, and
+        // neither should stall or poison routing for other connections.
+        let handler = {
+            let routes = self.routes.plock();
+            routes
+                .iter()
+                .find(|(prefix, _)| req.path.starts_with(prefix.as_str()))
+                .map(|(_, h)| Arc::clone(h))
+        };
+        match handler {
+            Some(h) => h.handle(req),
+            None => HttpResponse::not_found(),
         }
-        HttpResponse::not_found()
     }
 
     /// Serves one connection (possibly multiple keep-alive requests).
@@ -171,19 +179,19 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
     }
 
     /// Access to the shared verification context (e.g. to install CRLs).
-    pub fn base_ctx(&self) -> parking_lot::MutexGuard<'_, VerifyCtx> {
-        self.base_ctx.lock()
+    pub fn base_ctx(&self) -> std::sync::MutexGuard<'_, VerifyCtx> {
+        self.base_ctx.plock()
     }
 
     /// Current statistics.
     pub fn stats(&self) -> ServletStats {
-        *self.stats.lock()
+        *self.stats.plock()
     }
 
     /// Clears the identical-request cache (benchmarks use this to force the
     /// full verification path).
     pub fn forget_verified(&self) {
-        self.verified.lock().clear();
+        self.verified.plock().clear();
     }
 
     /// The inner service.
@@ -207,15 +215,15 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
         // non-idempotent services should fold a client nonce or channel
         // binding into the request so distinct transactions hash apart.
         let default_hash = auth::request_hash(req, self.hash_alg);
-        if let Some((cached_speaker, expiry)) = self.verified.lock().get(&default_hash) {
+        if let Some((cached_speaker, expiry)) = self.verified.plock().get(&default_hash) {
             if *expiry >= now {
-                self.stats.lock().ident_hits += 1;
+                self.stats.plock().ident_hits += 1;
                 return Ok(cached_speaker.clone());
             }
         }
 
         let Some(proof) = auth::extract_proof(req) else {
-            self.stats.lock().challenges += 1;
+            self.stats.plock().challenges += 1;
             return Err(auth::challenge(&issuer, &request_tag));
         };
 
@@ -232,25 +240,25 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
             default_hash
         } else {
             let h = auth::request_hash(req, alg);
-            if let Some((cached_speaker, expiry)) = self.verified.lock().get(&h) {
+            if let Some((cached_speaker, expiry)) = self.verified.plock().get(&h) {
                 if *expiry >= now {
-                    self.stats.lock().ident_hits += 1;
+                    self.stats.plock().ident_hits += 1;
                     return Ok(cached_speaker.clone());
                 }
             }
             h
         };
 
-        let mut ctx = self.base_ctx.lock().clone();
+        let mut ctx = self.base_ctx.plock().clone();
         ctx.now = now;
         match proof.authorizes(&speaker, &issuer, &request_tag, &ctx) {
             Ok(()) => {
-                self.stats.lock().proof_verifications += 1;
+                self.stats.plock().proof_verifications += 1;
                 let expiry = match proof.conclusion().validity.not_after {
                     Some(t) => t.min(now.plus(300)),
                     None => now.plus(300),
                 };
-                self.verified.lock().insert(hash, (speaker.clone(), expiry));
+                self.verified.plock().insert(hash, (speaker.clone(), expiry));
                 Ok(speaker)
             }
             Err(e) => Err(HttpResponse::forbidden(&format!(
@@ -275,7 +283,7 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
             .verify(&mac_id, &mac_bytes, &hash, &request_tag, (self.clock)())
         {
             Ok((speaker, _grant)) => {
-                self.stats.lock().mac_hits += 1;
+                self.stats.plock().mac_hits += 1;
                 Some(Ok(speaker))
             }
             Err(e) => Some(Err(HttpResponse::forbidden(&format!("MAC rejected: {e}")))),
@@ -284,7 +292,7 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
 
     fn establish_mac(&self, req: &HttpRequest, proof: Proof) -> HttpResponse {
         let conclusion = proof.conclusion();
-        let mut rng = self.rng.lock();
+        let mut rng = self.rng.plock();
         match self
             .macs
             .establish(&req.body, conclusion, proof, &mut **rng)
@@ -354,7 +362,7 @@ impl DocumentAuthenticator {
     pub fn attach(&self, resp: &mut HttpResponse, use_cache: bool) {
         let doc_hash = HashVal::of(&resp.body);
         if use_cache {
-            if let Some(header) = self.cache.lock().get(&doc_hash) {
+            if let Some(header) = self.cache.plock().get(&doc_hash) {
                 resp.set_header(DOCUMENT_PROOF_HEADER, header);
                 return;
             }
@@ -367,17 +375,17 @@ impl DocumentAuthenticator {
             delegable: false,
         };
         let cert = {
-            let mut rng = self.rng.lock();
+            let mut rng = self.rng.plock();
             Certificate::issue(&self.key, delegation, &mut **rng)
         };
         let header = Proof::signed_cert(cert).to_sexp().transport();
-        self.cache.lock().insert(doc_hash, header.clone());
+        self.cache.plock().insert(doc_hash, header.clone());
         resp.set_header(DOCUMENT_PROOF_HEADER, &header);
     }
 
     /// Drops the per-document proof cache.
     pub fn clear_cache(&self) {
-        self.cache.lock().clear();
+        self.cache.plock().clear();
     }
 }
 

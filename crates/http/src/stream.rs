@@ -6,7 +6,7 @@
 //! can run over the secure channel (the SSL-like configurations of
 //! Figure 8).
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use snowflake_channel::AuthChannel;
 use std::io::{self, Read, Write};
 

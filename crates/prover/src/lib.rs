@@ -24,7 +24,10 @@
 //! exponential (Abadi et al.), but "in the common case … proofs are built
 //! incrementally with graph traversals of constant depth."
 
-use parking_lot::RwLock;
+#![deny(missing_docs)]
+
+use snowflake_core::sync::{LockExt, RwLockExt};
+use std::sync::RwLock;
 use snowflake_core::{Certificate, Delegation, Principal, Proof, Time, Validity};
 use snowflake_crypto::KeyPair;
 use snowflake_tags::Tag;
@@ -71,7 +74,7 @@ pub struct ProverStats {
 /// client (one Prover per `SSHContext` scope).
 pub struct Prover {
     inner: RwLock<Inner>,
-    rng: parking_lot::Mutex<Box<dyn FnMut(&mut [u8]) + Send>>,
+    rng: std::sync::Mutex<Box<dyn FnMut(&mut [u8]) + Send>>,
 }
 
 struct Inner {
@@ -105,7 +108,7 @@ impl Prover {
                 known: HashSet::new(),
                 expansions: 0,
             }),
-            rng: parking_lot::Mutex::new(rng),
+            rng: std::sync::Mutex::new(rng),
         }
     }
 
@@ -119,7 +122,7 @@ impl Prover {
         let hash_p = Principal::key_hash(&keypair.public);
         let closure = Arc::new(Closure::SigningKey(Box::new(keypair.clone())));
         {
-            let mut inner = self.inner.write();
+            let mut inner = self.inner.pwrite();
             inner.closures.insert(key_p, Arc::clone(&closure));
             inner.closures.insert(hash_p, closure);
         }
@@ -142,7 +145,7 @@ impl Prover {
     pub fn add_proof(&self, proof: Proof) {
         // Collect owned lemma clones first to avoid holding borrows.
         let lemmas: Vec<Proof> = proof.lemmas().into_iter().cloned().collect();
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.pwrite();
         for lemma in lemmas {
             inner.insert_edge(lemma, false);
         }
@@ -151,7 +154,7 @@ impl Prover {
     /// Is this principal controlled (final) — can the Prover make it say
     /// things?
     pub fn is_final(&self, p: &Principal) -> bool {
-        self.inner.read().closures.contains_key(p)
+        self.inner.pread().closures.contains_key(p)
     }
 
     /// Issues a fresh signed delegation `subject =tag⇒ controlled`, where
@@ -166,7 +169,7 @@ impl Prover {
         validity: Validity,
         delegable: bool,
     ) -> Option<Proof> {
-        let closure = self.inner.read().closures.get(controlled).cloned()?;
+        let closure = self.inner.pread().closures.get(controlled).cloned()?;
         let Closure::SigningKey(kp) = closure.as_ref();
         let delegation = Delegation {
             subject: subject.clone(),
@@ -176,7 +179,7 @@ impl Prover {
             delegable,
         };
         let cert = {
-            let mut rng = self.rng.lock();
+            let mut rng = self.rng.plock();
             Certificate::issue(kp, delegation, &mut **rng)
         };
         let proof = Proof::signed_cert(cert);
@@ -203,7 +206,7 @@ impl Prover {
         // lines): "these shortcuts form a cache that eliminates most deep
         // traversals of the graph."
         if found.size() > 1 {
-            self.inner.write().insert_edge(found.clone(), true);
+            self.inner.pwrite().insert_edge(found.clone(), true);
         }
         Some(found)
     }
@@ -245,7 +248,7 @@ impl Prover {
                 return Some(p);
             }
         }
-        let finals: Vec<Principal> = self.inner.read().closures.keys().cloned().collect();
+        let finals: Vec<Principal> = self.inner.pread().closures.keys().cloned().collect();
         for final_p in finals {
             // The controlled principal itself is the issuer…
             if &final_p == issuer {
@@ -267,7 +270,7 @@ impl Prover {
 
     /// Current graph statistics.
     pub fn stats(&self) -> ProverStats {
-        let inner = self.inner.read();
+        let inner = self.inner.pread();
         let mut s = ProverStats {
             finals: inner.closures.len(),
             expansions: inner.expansions,
@@ -288,7 +291,7 @@ impl Prover {
     /// Removes all shortcut edges (used by benchmarks to compare cold/warm
     /// search costs).
     pub fn clear_shortcuts(&self) {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.pwrite();
         let mut removed_hashes = Vec::new();
         for edges in inner.edges.values_mut() {
             edges.retain(|e| {
@@ -307,7 +310,7 @@ impl Prover {
     }
 
     fn bfs(&self, subject: &Principal, issuer: &Principal, tag: &Tag, now: Time) -> Option<Proof> {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.pwrite();
         // Queue holds (node, path so far as proof + incrementally composed
         // conclusion, depth).  Composing conclusions incrementally keeps
         // each expansion O(edge) instead of O(path length).

@@ -1,7 +1,8 @@
 //! The server side: skeleton dispatch, `check_auth`, and the proof cache.
 
+use snowflake_core::sync::LockExt;
 use crate::proto::{Invocation, RmiFault, RmiReply, PROOF_RECIPIENT};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use snowflake_channel::AuthChannel;
 use snowflake_core::{ChannelId, Delegation, Principal, Proof, Tag, Time, Validity, VerifyCtx};
 use snowflake_crypto::PublicKey;
@@ -111,7 +112,7 @@ impl RmiServer {
     /// services should use [`RmiServer::register`].
     pub fn register_open(&self, name: &str, object: Arc<dyn RemoteObject>) {
         assert_ne!(name, PROOF_RECIPIENT, "{PROOF_RECIPIENT} is reserved");
-        self.open_objects.lock().insert(name.to_string(), object);
+        self.open_objects.plock().insert(name.to_string(), object);
     }
 
     /// Registers a remote object under `name`.
@@ -121,24 +122,24 @@ impl RmiServer {
     /// Panics when `name` collides with the reserved proof-recipient object.
     pub fn register(&self, name: &str, object: Arc<dyn RemoteObject>) {
         assert_ne!(name, PROOF_RECIPIENT, "{PROOF_RECIPIENT} is reserved");
-        self.objects.lock().insert(name.to_string(), object);
+        self.objects.plock().insert(name.to_string(), object);
     }
 
     /// Installs revocation data shared by all connections.
-    pub fn base_ctx(&self) -> parking_lot::MutexGuard<'_, VerifyCtx> {
-        self.base_ctx.lock()
+    pub fn base_ctx(&self) -> std::sync::MutexGuard<'_, VerifyCtx> {
+        self.base_ctx.plock()
     }
 
     /// Proof-cache statistics.
     pub fn cache_stats(&self) -> ProofCacheStats {
-        let mut s = *self.stats.lock();
-        s.proofs = self.cache.lock().values().map(Vec::len).sum();
+        let mut s = *self.stats.plock();
+        s.proofs = self.cache.plock().values().map(Vec::len).sum();
         s
     }
 
     /// Drops all cached proofs (benchmarks use this to force re-submission).
     pub fn forget_proofs(&self) {
-        self.cache.lock().clear();
+        self.cache.plock().clear();
     }
 
     /// Serves one connection until the peer closes it.
@@ -180,7 +181,7 @@ impl RmiServer {
             return self.receive_proof(invocation, channel);
         }
         // Unprotected baseline objects bypass check_auth entirely.
-        if let Some(object) = self.open_objects.lock().get(&invocation.object).cloned() {
+        if let Some(object) = self.open_objects.plock().get(&invocation.object).cloned() {
             let caller = CallerInfo {
                 speaker: Principal::Channel(channel.channel_id()),
                 channel: channel.channel_id(),
@@ -190,7 +191,7 @@ impl RmiServer {
                 Err(f) => RmiReply::Fault(f),
             };
         }
-        let Some(object) = self.objects.lock().get(&invocation.object).cloned() else {
+        let Some(object) = self.objects.plock().get(&invocation.object).cloned() else {
             return RmiReply::Fault(RmiFault::NoSuchObject(invocation.object.clone()));
         };
 
@@ -213,13 +214,13 @@ impl RmiServer {
         let tag = object.restriction(invocation);
         let now = (self.clock)();
         if !self.check_auth(&speaker, &object.issuer(), &tag, now) {
-            self.stats.lock().misses += 1;
+            self.stats.plock().misses += 1;
             return RmiReply::Fault(RmiFault::NeedAuthorization {
                 issuer: object.issuer(),
                 tag,
             });
         }
-        self.stats.lock().hits += 1;
+        self.stats.plock().hits += 1;
 
         let caller = CallerInfo {
             speaker,
@@ -232,7 +233,7 @@ impl RmiServer {
     }
 
     fn check_auth(&self, speaker: &Principal, issuer: &Principal, tag: &Tag, now: Time) -> bool {
-        let cache = self.cache.lock();
+        let cache = self.cache.plock();
         let Some(entries) = cache.get(speaker) else {
             return false;
         };
@@ -260,7 +261,7 @@ impl RmiServer {
 
         // Build this connection's verification context: base (revocation
         // data) + the channel binding this endpoint itself witnessed.
-        let mut ctx = self.base_ctx.lock().clone();
+        let mut ctx = self.base_ctx.plock().clone();
         ctx.now = (self.clock)();
         if let Some(binding) = channel.peer_binding() {
             ctx.assume(&binding);
@@ -271,7 +272,7 @@ impl RmiServer {
         }
         let conclusion = proof.conclusion();
         self.cache
-            .lock()
+            .plock()
             .entry(conclusion.subject.clone())
             .or_default()
             .push(CachedProof { conclusion, proof });

@@ -1,0 +1,199 @@
+//! In-tree, dependency-free shim for the [`criterion`] benchmark harness.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the subset of criterion's API the `snowflake-bench`
+//! benches use: [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], `sample_size`, [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], plus the `criterion_group!`/`criterion_main!`
+//! macros. Instead of criterion's statistical engine it reports the *minimum
+//! batch mean* over a handful of batches — the same estimator
+//! `snowflake_bench::time_it_stable` uses — printed one line per benchmark.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility.
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark (`BenchmarkId::new("cold", 8)`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter into `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// Drives the measured closure; handed to `bench_function` callbacks.
+pub struct Bencher {
+    samples: usize,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`, reporting the minimum batch mean.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm up and size the batch so one batch costs ~2 ms.
+        black_box(f());
+        let probe = Instant::now();
+        black_box(f());
+        let one = probe.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (Duration::from_millis(2).as_nanos() / one.as_nanos()).clamp(1, 10_000) as usize;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples.max(2) {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            best = best.min(start.elapsed() / per_batch as u32);
+        }
+        self.result = Some(best);
+    }
+
+    /// Measures `routine` alone, calling `setup` outside the timed region.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples.max(2) {
+            let mut total = Duration::ZERO;
+            let iters = 8usize;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            best = best.min(total / iters as u32);
+        }
+        self.result = Some(best);
+    }
+}
+
+fn report(group: &str, id: &str, result: Option<Duration>) {
+    match result {
+        Some(d) => println!("{group}/{id:<40} {:>12.3?}", d),
+        None => println!("{group}/{id:<40} (no measurement)"),
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.clamp(2, 100);
+        self
+    }
+
+    /// Runs one benchmark under this group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            result: None,
+        };
+        let mut f = f;
+        f(&mut b);
+        report(&self.name, &id, b.result);
+        self
+    }
+
+    /// Runs one parameterized benchmark under this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            result: None,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.name, b.result);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level harness handle passed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 5 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        self.sample_size = 5;
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        let mut f = f;
+        f(&mut b);
+        report("bench", &id, b.result);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one name for [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -29,7 +29,7 @@ fn main() {
     let tag = Tag::named("service", vec![]);
 
     // Edges of the figure: A→B, A→T, A→V, B→C (illustrative), V∧X→S via V,X.
-    let mut edge = |from: &str, to: &str| {
+    let edge = |from: &str, to: &str| {
         let cert = Certificate::issue(
             &keys[to],
             Delegation {

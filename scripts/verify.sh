@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 verification for the Snowflake workspace, plus the doc build.
+# Everything runs offline: all dependencies are in-tree (see crates/shims/).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo doc --no-deps"
+cargo doc --no-deps --offline
+
+echo "==> all green"
