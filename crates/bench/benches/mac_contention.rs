@@ -1,0 +1,45 @@
+//! Multi-threaded MAC `verify` throughput on one shared session store.
+//!
+//! Sessions live in N independently locked shards and the HMAC runs
+//! outside any lock, so verifies on disjoint sessions proceed in parallel:
+//! a fixed batch of verifies should finish faster as threads are added.
+//! The old single-`Mutex` store held its lock across the HMAC, so thread
+//! counts measured the same serialized time.
+//!
+//! Set `SF_BENCH_SMOKE=1` to run each configuration exactly once (CI smoke
+//! mode: proves the rig still builds and verifies, measures nothing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snowflake_bench::contention;
+
+const TOTAL_VERIFIES: usize = 8_000;
+const SESSIONS: usize = 64;
+const THREADS: [usize; 3] = [1, 4, 8];
+
+fn mac_contention(c: &mut Criterion) {
+    let rig = contention::mac_contention_rig(SESSIONS);
+
+    if std::env::var_os("SF_BENCH_SMOKE").is_some() {
+        for threads in THREADS {
+            let d = contention::run_mac_contention(&rig, threads, threads);
+            println!("mac_contention/smoke/{threads}threads ok ({d:?})");
+        }
+        return;
+    }
+
+    let mut group = c.benchmark_group("mac_contention");
+    group.sample_size(10);
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::new("disjoint_verifies", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| contention::run_mac_contention(&rig, threads, TOTAL_VERIFIES));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mac_contention);
+criterion_main!(benches);

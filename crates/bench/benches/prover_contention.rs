@@ -1,0 +1,45 @@
+//! Multi-threaded `find_proof` throughput on one shared Prover.
+//!
+//! The search path takes only the read side of the graph lock, so a fixed
+//! batch of queries should finish *faster* as threads are added (up to the
+//! core count).  Before the read-mostly layout, BFS took the write lock and
+//! the thread counts all measured the same serialized time.
+//!
+//! Set `SF_BENCH_SMOKE=1` to run each configuration exactly once (CI smoke
+//! mode: proves the rig still builds and answers, measures nothing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snowflake_bench::contention;
+
+const TOTAL_QUERIES: usize = 2_000;
+const THREADS: [usize; 3] = [1, 4, 8];
+
+fn prover_contention(c: &mut Criterion) {
+    let rig = contention::prover_contention_rig(8, 64);
+    // Warm the shortcut cache so every thread measures the steady state.
+    contention::run_prover_contention(&rig, 1, 16);
+
+    if std::env::var_os("SF_BENCH_SMOKE").is_some() {
+        for threads in THREADS {
+            let d = contention::run_prover_contention(&rig, threads, threads);
+            println!("prover_contention/smoke/{threads}threads ok ({d:?})");
+        }
+        return;
+    }
+
+    let mut group = c.benchmark_group("prover_contention");
+    group.sample_size(10);
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::new("warm_queries", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| contention::run_prover_contention(&rig, threads, TOTAL_QUERIES));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, prover_contention);
+criterion_main!(benches);

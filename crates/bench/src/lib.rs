@@ -18,8 +18,10 @@
 //! | Figure 8 | SSL vs Snowflake client auth vs document auth | [`rigs::ssl_rig`], [`rigs::http_rig`], [`rigs::doc_auth_rig`] |
 //! | Table 1 | MAC protocol cost breakdown | [`breakdown`] |
 //! | §7.4.1 | prover graph traversal costs | [`rigs::prover_rig`] |
+//! | (post-paper) | prover search / MAC verify under thread contention | [`contention`] |
 
 pub mod breakdown;
+pub mod contention;
 pub mod minihttp;
 pub mod report;
 pub mod rigs;

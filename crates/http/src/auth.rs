@@ -10,14 +10,48 @@
 //! subject of the proof is a hash of the request, less the Authorization
 //! header."
 
+use crate::mac::{self, MacSessionStore};
 use crate::message::{HttpRequest, HttpResponse};
-use snowflake_core::{HashAlg, HashVal, Principal, Tag};
+use snowflake_core::{Delegation, HashAlg, HashVal, Principal, Tag, Time};
 use snowflake_crypto::hmac::ct_eq;
 use snowflake_crypto::md5;
 use snowflake_sexpr::{b64_decode, b64_encode, hex_encode, Sexp};
 
 /// The authentication scheme token in `WWW-Authenticate` / `Authorization`.
 pub const WWW_AUTH_SNOWFLAKE: &str = "SnowflakeProof";
+
+/// The request header naming a MAC session (`H(secret)`, transport form).
+pub const MAC_ID_HEADER: &str = "Sf-Mac-Id";
+
+/// The request header carrying `HMAC-SHA256(secret, request-hash)`.
+pub const MAC_HEADER: &str = "Sf-Mac";
+
+/// Authorizes a request by its MAC headers against a session store
+/// (§5.3.1's amortized path).
+///
+/// Returns `None` when the request carries no MAC headers (the caller
+/// falls through to the signed-request path), otherwise the store's
+/// verdict: the speaker principal and session grant, or why the MAC was
+/// rejected.  The HMAC itself is computed outside the store's shard locks,
+/// so this path scales across connections.
+pub fn authorize_mac(
+    store: &MacSessionStore,
+    req: &HttpRequest,
+    request_tag: &Tag,
+    alg: HashAlg,
+    now: Time,
+) -> Option<Result<(Principal, Delegation), String>> {
+    let id_header = req.header(MAC_ID_HEADER)?;
+    let mac_header = req.header(MAC_HEADER)?;
+    let Some(mac_id) = mac::decode_mac_id_header(id_header) else {
+        return Some(Err("bad Sf-Mac-Id".into()));
+    };
+    let Some(mac_bytes) = mac::decode_mac_header(mac_header) else {
+        return Some(Err("bad Sf-Mac".into()));
+    };
+    let hash = request_hash(req, alg);
+    Some(store.verify(&mac_id, &mac_bytes, &hash, request_tag, now))
+}
 
 /// Canonicalizes a request for hashing: the request *less* the
 /// `Authorization` header (and the MAC headers added after hashing), as an
@@ -31,9 +65,9 @@ pub fn request_canonical(req: &HttpRequest) -> Sexp {
         .iter()
         .filter(|(n, _)| {
             !n.eq_ignore_ascii_case("authorization")
-                && !n.eq_ignore_ascii_case("sf-mac")
-                && !n.eq_ignore_ascii_case("sf-mac-id")
-                && !n.eq_ignore_ascii_case("sf-client-proof")
+                && !n.eq_ignore_ascii_case(MAC_HEADER)
+                && !n.eq_ignore_ascii_case(MAC_ID_HEADER)
+                && !n.eq_ignore_ascii_case(CLIENT_PROOF_HEADER)
                 // Derivable from the body; serializers add it implicitly.
                 && !n.eq_ignore_ascii_case("content-length")
         })

@@ -163,14 +163,14 @@ impl SnowflakeProxy {
         if let Some(session) = self.mac_sessions.plock().get(&issuer).cloned() {
             if session.validity.contains((self.clock)()) {
                 let hash = auth::request_hash(&req, self.hash_alg);
-                req.set_header("Sf-Mac-Id", &session.id_header());
-                req.set_header("Sf-Mac", &session.authenticate(&hash));
+                req.set_header(auth::MAC_ID_HEADER, &session.id_header());
+                req.set_header(auth::MAC_HEADER, &session.authenticate(&hash));
                 let resp = client.send(&req)?;
                 if resp.status != 401 && resp.status != 403 {
                     return Ok(resp);
                 }
-                req.remove_header("Sf-Mac-Id");
-                req.remove_header("Sf-Mac");
+                req.remove_header(auth::MAC_ID_HEADER);
+                req.remove_header(auth::MAC_HEADER);
             }
         }
 
@@ -316,8 +316,8 @@ impl SnowflakeProxy {
     pub fn mac_sign(&self, mut req: HttpRequest, issuer: &Principal) -> Option<HttpRequest> {
         let session = self.mac_sessions.plock().get(issuer).cloned()?;
         let hash = auth::request_hash(&req, self.hash_alg);
-        req.set_header("Sf-Mac-Id", &session.id_header());
-        req.set_header("Sf-Mac", &session.authenticate(&hash));
+        req.set_header(auth::MAC_ID_HEADER, &session.id_header());
+        req.set_header(auth::MAC_HEADER, &session.authenticate(&hash));
         Some(req)
     }
 

@@ -25,51 +25,112 @@ use snowflake_crypto::hmac::{ct_eq, derive_key, hmac_sha256};
 use snowflake_crypto::{DhSecret, Group};
 use snowflake_sexpr::{b64_decode, b64_encode, Sexp};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The well-known path MAC sessions are established at.
 pub const MAC_SESSION_PATH: &str = "/.sf/mac-session";
+
+/// Default shard count: enough that concurrent verifies on disjoint
+/// sessions almost never collide on a lock, small enough to stay cheap.
+pub const DEFAULT_MAC_SHARDS: usize = 16;
 
 /// One live MAC session on the server.
 pub struct MacSession {
     secret: [u8; 32],
     /// The authority this MAC principal carries (from the establishment
-    /// proof's verified conclusion).
-    pub grant: Delegation,
+    /// proof's verified conclusion).  Behind an `Arc` so `verify` can take
+    /// a reference out of the shard with a refcount bump and do every
+    /// check outside the lock.
+    pub grant: Arc<Delegation>,
     /// The establishment proof, retained for end-to-end audit trails.
     pub establishment: Proof,
 }
 
 /// Server-side store of MAC sessions, keyed by MAC id (`H(secret)`).
-#[derive(Default)]
+///
+/// Sessions are spread over N independently locked shards (the MAC id is
+/// already a cryptographic hash, so its leading bytes pick the shard
+/// uniformly).  `verify` copies the 32-byte secret out of the shard and
+/// computes the HMAC *outside* any lock, so one slow verify cannot stall
+/// establishment or verifies of other sessions.
 pub struct MacSessionStore {
-    sessions: Mutex<HashMap<HashVal, MacSession>>,
+    shards: Box<[Mutex<HashMap<HashVal, MacSession>>]>,
+}
+
+impl Default for MacSessionStore {
+    fn default() -> MacSessionStore {
+        MacSessionStore::with_shards(DEFAULT_MAC_SHARDS)
+    }
 }
 
 impl MacSessionStore {
-    /// Creates an empty store.
+    /// Creates an empty store with the default shard count.
     pub fn new() -> MacSessionStore {
         MacSessionStore::default()
     }
 
+    /// Creates an empty store with `n` shards (`n ≥ 1`).
+    pub fn with_shards(n: usize) -> MacSessionStore {
+        let shards: Vec<Mutex<HashMap<HashVal, MacSession>>> =
+            (0..n.max(1)).map(|_| Mutex::new(HashMap::new())).collect();
+        MacSessionStore {
+            shards: shards.into_boxed_slice(),
+        }
+    }
+
+    /// Number of shards the store spreads sessions over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, mac_id: &HashVal) -> &Mutex<HashMap<HashVal, MacSession>> {
+        // The id is itself a hash; fold its bytes for the shard index so
+        // every byte contributes regardless of digest length.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in &mac_id.bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
     /// Number of live sessions.
     pub fn len(&self) -> usize {
-        self.sessions.plock().len()
+        self.shards.iter().map(|s| s.plock().len()).sum()
     }
 
     /// Is the store empty?
     pub fn is_empty(&self) -> bool {
-        self.sessions.plock().is_empty()
+        self.shards.iter().all(|s| s.plock().is_empty())
+    }
+
+    /// Removes every session whose validity window has closed before
+    /// `now`, returning how many were reclaimed.  Long-running servers
+    /// otherwise accumulate one dead entry per establishment forever.
+    pub fn evict_expired(&self, now: Time) -> usize {
+        let mut evicted = 0;
+        for shard in self.shards.iter() {
+            let mut sessions = shard.plock();
+            let before = sessions.len();
+            sessions.retain(|_, s| !expired(&s.grant, now));
+            evicted += before - sessions.len();
+        }
+        evicted
     }
 
     /// Handles an establishment request body, returning the grant body.
     ///
     /// `proof` must already be verified by the caller;
     /// `proven` is its conclusion (the authority the MAC inherits).
+    /// Establishment also sweeps expired sessions from the shard the new
+    /// session lands in, so steady establishment traffic keeps the store
+    /// from leaking.
     pub fn establish(
         &self,
         body: &[u8],
         proven: Delegation,
         establishment: Proof,
+        now: Time,
         rand_bytes: &mut dyn FnMut(&mut [u8]),
     ) -> Result<Vec<u8>, String> {
         let req = Sexp::parse(body).map_err(|e| format!("bad mac-request: {e}"))?;
@@ -98,21 +159,25 @@ impl MacSessionStore {
 
         // Record the session: the MAC principal carries the authority the
         // establishment proof demonstrated.
-        let grant = Delegation {
+        let grant = Arc::new(Delegation {
             subject: Principal::Mac(mac_id.clone()),
             issuer: proven.issuer.clone(),
             tag: proven.tag.clone(),
             validity: proven.validity,
             delegable: false,
-        };
-        self.sessions.plock().insert(
-            mac_id.clone(),
-            MacSession {
-                secret,
-                grant,
-                establishment,
-            },
-        );
+        });
+        {
+            let mut sessions = self.shard(&mac_id).plock();
+            sessions.retain(|_, s| !expired(&s.grant, now));
+            sessions.insert(
+                mac_id.clone(),
+                MacSession {
+                    secret,
+                    grant,
+                    establishment,
+                },
+            );
+        }
 
         let reply = Sexp::tagged(
             "mac-grant",
@@ -130,6 +195,11 @@ impl MacSessionStore {
     /// Returns the speaker principal (`Mac(id)`) and the session grant when
     /// `request_hash` is correctly authenticated, the grant covers
     /// `request_tag`, and the session is still valid at `now`.
+    ///
+    /// The shard lock is held only long enough to copy the 32-byte secret
+    /// and bump the grant's refcount; the HMAC and the tag/validity checks
+    /// run lock-free, so verifies on disjoint sessions proceed fully in
+    /// parallel and never stall establishment.
     pub fn verify(
         &self,
         mac_id: &HashVal,
@@ -138,28 +208,37 @@ impl MacSessionStore {
         request_tag: &Tag,
         now: Time,
     ) -> Result<(Principal, Delegation), String> {
-        let sessions = self.sessions.plock();
-        let session = sessions.get(mac_id).ok_or("unknown MAC session")?;
-        let expect = hmac_sha256(&session.secret, &request_hash.bytes);
+        let (secret, grant) = {
+            let sessions = self.shard(mac_id).plock();
+            let session = sessions.get(mac_id).ok_or("unknown MAC session")?;
+            (session.secret, Arc::clone(&session.grant))
+        };
+        let expect = hmac_sha256(&secret, &request_hash.bytes);
         if !ct_eq(&expect, presented_mac) {
             return Err("MAC verification failed".into());
         }
-        if !session.grant.tag.permits(request_tag) {
+        if !grant.tag.permits(request_tag) {
             return Err("MAC session does not cover this request".into());
         }
-        if !session.grant.validity.contains(now) {
+        if !grant.validity.contains(now) {
             return Err("MAC session expired".into());
         }
-        Ok((Principal::Mac(mac_id.clone()), session.grant.clone()))
+        Ok((Principal::Mac(mac_id.clone()), (*grant).clone()))
     }
 
     /// The audit trail for a session: the establishment proof.
     pub fn audit(&self, mac_id: &HashVal) -> Option<String> {
-        self.sessions
+        self.shard(mac_id)
             .plock()
             .get(mac_id)
             .map(|s| s.establishment.audit_trail())
     }
+}
+
+/// A session is dead once its validity window has closed; windows that
+/// merely have not opened yet are kept.
+fn expired(grant: &Delegation, now: Time) -> bool {
+    grant.validity.not_after.is_some_and(|t| t < now)
 }
 
 /// Client-side state of one MAC session.
@@ -288,7 +367,7 @@ mod tests {
         let mut srng = det("server");
         let (body, dh) = ClientMacSession::request_body(&mut crng);
         let (grant, proof) = proven();
-        let reply = store.establish(&body, grant, proof, &mut srng).unwrap();
+        let reply = store.establish(&body, grant, proof, Time(0), &mut srng).unwrap();
         let session =
             ClientMacSession::from_grant(&reply, &dh, Validity::until(Time(1_000))).unwrap();
         assert_eq!(store.len(), 1);
@@ -318,7 +397,7 @@ mod tests {
         let mut srng = det("s2");
         let (body, dh) = ClientMacSession::request_body(&mut crng);
         let (grant, proof) = proven();
-        let reply = store.establish(&body, grant, proof, &mut srng).unwrap();
+        let reply = store.establish(&body, grant, proof, Time(0), &mut srng).unwrap();
         let session = ClientMacSession::from_grant(&reply, &dh, Validity::always()).unwrap();
 
         let h1 = HashVal::of(b"request one");
@@ -347,7 +426,7 @@ mod tests {
         let mut srng = det("s3");
         let (body, dh) = ClientMacSession::request_body(&mut crng);
         let (grant, proof) = proven(); // grants only (web (method GET)), until t=1000
-        let reply = store.establish(&body, grant, proof, &mut srng).unwrap();
+        let reply = store.establish(&body, grant, proof, Time(0), &mut srng).unwrap();
         let session =
             ClientMacSession::from_grant(&reply, &dh, Validity::until(Time(1_000))).unwrap();
 
@@ -369,6 +448,124 @@ mod tests {
             .is_ok());
     }
 
+    fn proven_until(t: Time) -> (Delegation, Proof) {
+        let d = Delegation {
+            subject: Principal::message(b"establishment request"),
+            issuer: Principal::message(b"service issuer"),
+            tag: Tag::Star,
+            validity: Validity::until(t),
+            delegable: false,
+        };
+        (
+            d.clone(),
+            Proof::Assumption {
+                stmt: d,
+                authority: "test".into(),
+            },
+        )
+    }
+
+    /// Expired sessions are reclaimed by the explicit sweep — a
+    /// long-running server must not leak one entry per establishment.
+    #[test]
+    fn evict_expired_reclaims_dead_sessions() {
+        let store = MacSessionStore::new();
+        let mut srng = det("evict-server");
+        for i in 0..8 {
+            let mut crng = det(&format!("evict-client-{i}"));
+            let (body, _dh) = ClientMacSession::request_body(&mut crng);
+            // Half the sessions die at t=100, half live until t=10_000.
+            let (grant, proof) = proven_until(Time(if i % 2 == 0 { 100 } else { 10_000 }));
+            store
+                .establish(&body, grant, proof, Time(0), &mut srng)
+                .unwrap();
+        }
+        assert_eq!(store.len(), 8);
+        // Nothing has expired yet.
+        assert_eq!(store.evict_expired(Time(50)), 0);
+        assert_eq!(store.len(), 8);
+        // The short-lived half is reclaimed.
+        assert_eq!(store.evict_expired(Time(500)), 4);
+        assert_eq!(store.len(), 4);
+        // Eventually everything is.
+        assert_eq!(store.evict_expired(Time(20_000)), 4);
+        assert!(store.is_empty());
+    }
+
+    /// Establishment itself sweeps the shard it lands in, so steady
+    /// traffic bounds the store without anyone calling `evict_expired`.
+    #[test]
+    fn establish_sweeps_expired_sessions() {
+        // One shard so every establishment sweeps every session.
+        let store = MacSessionStore::with_shards(1);
+        let mut srng = det("sweep-server");
+        let mut crng = det("sweep-client-a");
+        let (body, _dh) = ClientMacSession::request_body(&mut crng);
+        let (grant, proof) = proven_until(Time(100));
+        store
+            .establish(&body, grant, proof, Time(0), &mut srng)
+            .unwrap();
+        assert_eq!(store.len(), 1);
+
+        // A later establishment (past the first session's expiry) replaces
+        // rather than accumulates.
+        let mut crng = det("sweep-client-b");
+        let (body, _dh) = ClientMacSession::request_body(&mut crng);
+        let (grant, proof) = proven_until(Time(10_000));
+        store
+            .establish(&body, grant, proof, Time(500), &mut srng)
+            .unwrap();
+        assert_eq!(store.len(), 1, "the expired session was swept");
+    }
+
+    /// Sessions spread across shards, and verifies on disjoint sessions
+    /// run concurrently from many threads.
+    #[test]
+    fn concurrent_verify_across_shards() {
+        let store = std::sync::Arc::new(MacSessionStore::new());
+        let mut srng = det("shard-server");
+        let mut sessions = Vec::new();
+        for i in 0..32 {
+            let mut crng = det(&format!("shard-client-{i}"));
+            let (body, dh) = ClientMacSession::request_body(&mut crng);
+            let (grant, proof) = proven_until(Time(1_000_000));
+            let reply = store
+                .establish(&body, grant, proof, Time(0), &mut srng)
+                .unwrap();
+            sessions
+                .push(ClientMacSession::from_grant(&reply, &dh, Validity::always()).unwrap());
+        }
+        // With 32 random ids over 16 shards, more than one shard must be
+        // populated (the ids are hashes; all colliding would mean the
+        // shard function ignores them).
+        let populated = (0..store.shard_count())
+            .filter(|&i| !store.shards[i].plock().is_empty())
+            .count();
+        assert!(populated > 1, "sessions all landed in one shard");
+
+        let threads: Vec<_> = sessions
+            .chunks(8)
+            .map(|chunk| {
+                let store = std::sync::Arc::clone(&store);
+                let chunk: Vec<ClientMacSession> = chunk.to_vec();
+                std::thread::spawn(move || {
+                    for s in &chunk {
+                        for r in 0..16u32 {
+                            let h = HashVal::of(&r.to_be_bytes());
+                            let mac = decode_mac_header(&s.authenticate(&h)).unwrap();
+                            store
+                                .verify(&s.mac_id, &mac, &h, &Tag::Star, Time(500))
+                                .expect("verify under contention");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
     #[test]
     fn tampered_grant_rejected_by_client() {
         let store = MacSessionStore::new();
@@ -376,7 +573,7 @@ mod tests {
         let mut srng = det("s4");
         let (body, dh) = ClientMacSession::request_body(&mut crng);
         let (grant, proof) = proven();
-        let reply = store.establish(&body, grant, proof, &mut srng).unwrap();
+        let reply = store.establish(&body, grant, proof, Time(0), &mut srng).unwrap();
         // Flip a byte of the wrapped secret.
         let mut tampered = reply.clone();
         let pos = tampered.len() / 2;

@@ -12,7 +12,7 @@
 
 use snowflake_core::sync::LockExt;
 use crate::auth;
-use crate::mac::{self, MacSessionStore, MAC_SESSION_PATH};
+use crate::mac::{MacSessionStore, MAC_SESSION_PATH};
 use crate::message::{HttpRequest, HttpResponse};
 use std::sync::Mutex;
 use snowflake_core::{
@@ -57,6 +57,11 @@ impl HttpServer {
         let mut routes = self.routes.plock();
         routes.push((prefix.to_string(), handler));
         routes.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+    }
+
+    /// Is a handler already mounted at exactly this prefix?
+    pub fn has_route(&self, prefix: &str) -> bool {
+        self.routes.plock().iter().any(|(p, _)| p == prefix)
     }
 
     /// Produces the response for one request (no I/O).
@@ -126,6 +131,29 @@ pub trait SnowflakeService: Send + Sync {
     fn serve(&self, req: &HttpRequest, speaker: &Principal) -> HttpResponse;
 }
 
+/// Upper bound (seconds) on a MAC session's lifetime at establishment.
+const MAX_MAC_SESSION_LIFE: u64 = 3_600;
+
+/// The identical-request cache with an amortized expiry sweep: every entry
+/// carries an expiry, so reclaiming lazily when the map doubles past its
+/// last swept size keeps a long-running server from leaking one entry per
+/// distinct request (the same leak class the MAC store sweeps for).
+#[derive(Default)]
+struct VerifiedCache {
+    entries: HashMap<HashVal, (Principal, Time)>,
+    sweep_at: usize,
+}
+
+impl VerifiedCache {
+    fn insert(&mut self, hash: HashVal, speaker: Principal, expiry: Time, now: Time) {
+        self.entries.insert(hash, (speaker, expiry));
+        if self.entries.len() >= self.sweep_at.max(64) {
+            self.entries.retain(|_, (_, exp)| *exp >= now);
+            self.sweep_at = self.entries.len() * 2;
+        }
+    }
+}
+
 /// Counters exposed for the Table 1 cost breakdown.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ServletStats {
@@ -145,9 +173,12 @@ pub struct ServletStats {
 pub struct ProtectedServlet<S: SnowflakeService> {
     service: S,
     hash_alg: HashAlg,
-    macs: MacSessionStore,
+    /// Shared so several servlets (one per mounted app) can pool one
+    /// sharded store: a MAC session established against any of them then
+    /// authorizes requests wherever its grant's tag reaches.
+    macs: Arc<MacSessionStore>,
     /// Verified identical requests: request hash → (speaker, expiry).
-    verified: Mutex<HashMap<HashVal, (Principal, Time)>>,
+    verified: Mutex<VerifiedCache>,
     stats: Mutex<ServletStats>,
     base_ctx: Mutex<VerifyCtx>,
     clock: fn() -> Time,
@@ -166,16 +197,33 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
         clock: fn() -> Time,
         rng: Box<dyn FnMut(&mut [u8]) + Send>,
     ) -> Arc<ProtectedServlet<S>> {
+        Self::with_store(service, clock, rng, Arc::new(MacSessionStore::new()))
+    }
+
+    /// Wraps a service around an existing (possibly shared) MAC session
+    /// store.
+    pub fn with_store(
+        service: S,
+        clock: fn() -> Time,
+        rng: Box<dyn FnMut(&mut [u8]) + Send>,
+        macs: Arc<MacSessionStore>,
+    ) -> Arc<ProtectedServlet<S>> {
         Arc::new(ProtectedServlet {
             service,
             hash_alg: HashAlg::Sha256,
-            macs: MacSessionStore::new(),
-            verified: Mutex::new(HashMap::new()),
+            macs,
+            verified: Mutex::new(VerifiedCache::default()),
             stats: Mutex::new(ServletStats::default()),
             base_ctx: Mutex::new(VerifyCtx::at(clock())),
             clock,
             rng: Mutex::new(rng),
         })
+    }
+
+    /// The servlet's MAC session store (shared with other servlets when
+    /// constructed via [`ProtectedServlet::with_store`]).
+    pub fn mac_store(&self) -> &Arc<MacSessionStore> {
+        &self.macs
     }
 
     /// Access to the shared verification context (e.g. to install CRLs).
@@ -191,7 +239,7 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
     /// Clears the identical-request cache (benchmarks use this to force the
     /// full verification path).
     pub fn forget_verified(&self) {
-        self.verified.plock().clear();
+        self.verified.plock().entries.clear();
     }
 
     /// The inner service.
@@ -215,7 +263,7 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
         // non-idempotent services should fold a client nonce or channel
         // binding into the request so distinct transactions hash apart.
         let default_hash = auth::request_hash(req, self.hash_alg);
-        if let Some((cached_speaker, expiry)) = self.verified.plock().get(&default_hash) {
+        if let Some((cached_speaker, expiry)) = self.verified.plock().entries.get(&default_hash) {
             if *expiry >= now {
                 self.stats.plock().ident_hits += 1;
                 return Ok(cached_speaker.clone());
@@ -240,7 +288,7 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
             default_hash
         } else {
             let h = auth::request_hash(req, alg);
-            if let Some((cached_speaker, expiry)) = self.verified.plock().get(&h) {
+            if let Some((cached_speaker, expiry)) = self.verified.plock().entries.get(&h) {
                 if *expiry >= now {
                     self.stats.plock().ident_hits += 1;
                     return Ok(cached_speaker.clone());
@@ -258,7 +306,7 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
                     Some(t) => t.min(now.plus(300)),
                     None => now.plus(300),
                 };
-                self.verified.plock().insert(hash, (speaker.clone(), expiry));
+                self.verified.plock().insert(hash, speaker.clone(), expiry, now);
                 Ok(speaker)
             }
             Err(e) => Err(HttpResponse::forbidden(&format!(
@@ -268,21 +316,23 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
     }
 
     fn try_mac(&self, req: &HttpRequest) -> Option<Result<Principal, HttpResponse>> {
-        let id_header = req.header("Sf-Mac-Id")?;
-        let mac_header = req.header("Sf-Mac")?;
-        let Some(mac_id) = mac::decode_mac_id_header(id_header) else {
-            return Some(Err(HttpResponse::forbidden("bad Sf-Mac-Id")));
-        };
-        let Some(mac_bytes) = mac::decode_mac_header(mac_header) else {
-            return Some(Err(HttpResponse::forbidden("bad Sf-Mac")));
-        };
-        let hash = auth::request_hash(req, self.hash_alg);
+        // Header-presence check before building the request tag: the vast
+        // majority of non-MAC requests must pay nothing here.
+        req.header(auth::MAC_ID_HEADER)?;
         let request_tag = self.service.min_tag(req);
-        match self
-            .macs
-            .verify(&mac_id, &mac_bytes, &hash, &request_tag, (self.clock)())
-        {
-            Ok((speaker, _grant)) => {
+        let result =
+            auth::authorize_mac(&self.macs, req, &request_tag, self.hash_alg, (self.clock)())?;
+        match result {
+            Ok((speaker, grant)) => {
+                // The grant names the issuer the establishment proof was
+                // verified against; with a store shared across services it
+                // must match *this* service's issuer, or a session from one
+                // service would authorize requests another issuer controls.
+                if grant.issuer != self.service.issuer(req) {
+                    return Some(Err(HttpResponse::forbidden(
+                        "MAC rejected: session speaks for a different issuer",
+                    )));
+                }
                 self.stats.plock().mac_hits += 1;
                 Some(Ok(speaker))
             }
@@ -290,15 +340,56 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
         }
     }
 
-    fn establish_mac(&self, req: &HttpRequest, proof: Proof) -> HttpResponse {
+    /// Handles a POST to the well-known MAC establishment path.
+    ///
+    /// The proof is verified against the issuer *it names*, not this
+    /// service's: one servlet routes the path for a whole (possibly
+    /// multi-issuer) site, the session inherits exactly the authority the
+    /// chain demonstrates, and `try_mac`'s per-request issuer check keeps
+    /// a session from reaching services its issuer does not control.
+    fn authorize_and_establish(&self, req: &HttpRequest) -> HttpResponse {
+        let Some(proof) = auth::extract_proof(req) else {
+            self.stats.plock().challenges += 1;
+            // Challenge with this service's issuer as a hint; the proof may
+            // target any issuer the client can build a chain to.
+            let resp = auth::challenge(&self.service.issuer(req), &self.service.min_tag(req));
+            return resp;
+        };
         let conclusion = proof.conclusion();
-        let mut rng = self.rng.plock();
-        match self
-            .macs
-            .establish(&req.body, conclusion, proof, &mut **rng)
-        {
-            Ok(reply) => HttpResponse::ok("application/sexp", reply),
-            Err(e) => HttpResponse::forbidden(&e),
+        // The proof's subject names the hash algorithm the client used.
+        let alg = match conclusion.subject {
+            Principal::Message(ref h) => h.alg,
+            _ => self.hash_alg,
+        };
+        let speaker = auth::request_principal(req, alg);
+        let now = (self.clock)();
+        // Establishment is open to any provable chain, so sessions must be
+        // bounded or strangers could grow the store with never-expiring
+        // entries the sweeps cannot reclaim.  Real clients sign
+        // establishment hops with short windows (the proxy uses 300 s).
+        match conclusion.validity.not_after {
+            Some(t) if t <= now.plus(MAX_MAC_SESSION_LIFE) => {}
+            _ => {
+                return HttpResponse::forbidden(&format!(
+                    "MAC establishment requires a validity bounded to {MAX_MAC_SESSION_LIFE} s"
+                ))
+            }
+        }
+        let mut ctx = self.base_ctx.plock().clone();
+        ctx.now = now;
+        match proof.authorizes(&speaker, &conclusion.issuer, &conclusion.tag, &ctx) {
+            Ok(()) => {
+                self.stats.plock().proof_verifications += 1;
+                let mut rng = self.rng.plock();
+                match self
+                    .macs
+                    .establish(&req.body, conclusion, proof, now, &mut **rng)
+                {
+                    Ok(reply) => HttpResponse::ok("application/sexp", reply),
+                    Err(e) => HttpResponse::forbidden(&e),
+                }
+            }
+            Err(e) => HttpResponse::forbidden(&format!("authorization failed: {e}")),
         }
     }
 }
@@ -312,17 +403,14 @@ impl<S: SnowflakeService> Handler for ProtectedServlet<S> {
                 Err(resp) => resp,
             };
         }
-        // Signed-request path (possibly challenging first).
+        // MAC establishment is issuer-agnostic (see
+        // `authorize_and_establish`); everything else takes the
+        // signed-request path (possibly challenging first).
+        if req.path == MAC_SESSION_PATH {
+            return self.authorize_and_establish(req);
+        }
         match self.authorize_signed(req) {
-            Ok(speaker) => {
-                if req.path == MAC_SESSION_PATH {
-                    // Establishment itself required a verified proof.
-                    let proof = auth::extract_proof(req).expect("authorized implies proof");
-                    self.establish_mac(req, proof)
-                } else {
-                    self.service.serve(req, &speaker)
-                }
-            }
+            Ok(speaker) => self.service.serve(req, &speaker),
             Err(resp) => resp,
         }
     }

@@ -27,12 +27,12 @@
 #![deny(missing_docs)]
 
 use snowflake_core::sync::{LockExt, RwLockExt};
-use std::sync::RwLock;
 use snowflake_core::{Certificate, Delegation, Principal, Proof, Time, Validity};
 use snowflake_crypto::KeyPair;
 use snowflake_tags::Tag;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// An object that can exercise a controlled principal's authority.
 pub enum Closure {
@@ -72,25 +72,44 @@ pub struct ProverStats {
 /// All methods take `&self`; internal state is lock-protected so a single
 /// Prover can serve every connection of an application, as in the paper's
 /// client (one Prover per `SSHContext` scope).
+///
+/// The graph is laid out read-mostly: searches take only the read side of
+/// the lock (many may run concurrently), adjacency lists are shared
+/// `Arc<[Edge]>` slices so expanding a node never clones edge vectors, and
+/// the expansion counter is an atomic bumped outside any lock.  Writers
+/// (`add_proof`, `delegate`, shortcut caching) copy-on-write the touched
+/// adjacency slices.
 pub struct Prover {
     inner: RwLock<Inner>,
+    /// BFS node expansions, counted outside the graph lock so read-only
+    /// searches never serialize on a writer.
+    expansions: AtomicU64,
     rng: std::sync::Mutex<Box<dyn FnMut(&mut [u8]) + Send>>,
 }
 
 struct Inner {
     /// Edges indexed by *issuer*: `edges[Y]` holds proofs `X ⇒ Y`.
-    edges: HashMap<Principal, Vec<Edge>>,
+    edges: HashMap<Principal, Arc<[Edge]>>,
+    /// Reverse index by *subject*: `by_subject[X]` holds the same proofs
+    /// `X ⇒ Y`, so single-hop and cached-shortcut queries resolve by
+    /// looking at the subject's few outgoing edges instead of scanning a
+    /// potentially huge in-edge list on the issuer.
+    by_subject: HashMap<Principal, Arc<[Edge]>>,
     /// Closures for controlled (final) principals, keyed by the principals
     /// they control.
     closures: HashMap<Principal, Arc<Closure>>,
     /// Dedup of inserted proofs by hash.
     known: HashSet<snowflake_core::HashVal>,
-    expansions: u64,
 }
 
 /// Maximum BFS depth; the paper expects constant-depth traversals in
 /// practice, so a small bound guards against adversarial graphs.
 const MAX_DEPTH: usize = 24;
+
+/// Maximum widening revisits tracked per node: bounds the search at
+/// O(nodes × cap) queue entries even when an adversarial graph offers
+/// pairwise-incomparable tags on parallel edges.
+const MAX_NODE_FRONTIERS: usize = 8;
 
 impl Prover {
     /// Creates an empty Prover drawing entropy from the OS.
@@ -104,10 +123,11 @@ impl Prover {
         Prover {
             inner: RwLock::new(Inner {
                 edges: HashMap::new(),
+                by_subject: HashMap::new(),
                 closures: HashMap::new(),
                 known: HashSet::new(),
-                expansions: 0,
             }),
+            expansions: AtomicU64::new(0),
             rng: std::sync::Mutex::new(rng),
         }
     }
@@ -190,7 +210,10 @@ impl Prover {
     /// Finds an existing proof that `subject =T⇒ issuer` with `T` covering
     /// `tag`, valid at `now`, by BFS backwards from `issuer`.
     ///
-    /// On success the derived proof is cached as a shortcut edge.
+    /// Single-hop answers — including previously cached shortcuts — resolve
+    /// through the subject-indexed reverse map without BFS or any write
+    /// lock.  On a successful multi-hop search the derived proof is cached
+    /// as a shortcut edge.
     pub fn find_proof(
         &self,
         subject: &Principal,
@@ -198,10 +221,42 @@ impl Prover {
         tag: &Tag,
         now: Time,
     ) -> Option<Proof> {
+        self.search(subject, issuer, tag, now, false)
+    }
+
+    /// Like [`Prover::find_proof`] but only returns chains whose conclusion
+    /// keeps the propagate bit — what `complete_proof` needs before it can
+    /// extend a chain with a fresh hop.  A plain `find_proof` may answer
+    /// with a non-delegable proof even when a delegable alternative exists
+    /// (both are correct answers to "does subject speak for issuer?"), so
+    /// extension sites must ask for delegability explicitly.
+    pub fn find_delegable_proof(
+        &self,
+        subject: &Principal,
+        issuer: &Principal,
+        tag: &Tag,
+        now: Time,
+    ) -> Option<Proof> {
+        self.search(subject, issuer, tag, now, true)
+    }
+
+    fn search(
+        &self,
+        subject: &Principal,
+        issuer: &Principal,
+        tag: &Tag,
+        now: Time,
+        need_delegable: bool,
+    ) -> Option<Proof> {
         if subject == issuer {
             return Some(Proof::Reflex(subject.clone()));
         }
-        let found = self.bfs(subject, issuer, tag, now)?;
+        // Fast path: an existing direct edge (base or shortcut) answers by
+        // scanning only the subject's outgoing edges.
+        if let Some(found) = self.direct_edge(subject, issuer, tag, now, need_delegable) {
+            return Some(found);
+        }
+        let found = self.bfs(subject, issuer, tag, now, need_delegable)?;
         // Cache multi-step results as shortcut edges (Figure 2's dotted
         // lines): "these shortcuts form a cache that eliminates most deep
         // traversals of the graph."
@@ -209,6 +264,31 @@ impl Prover {
             self.inner.pwrite().insert_edge(found.clone(), true);
         }
         Some(found)
+    }
+
+    /// Looks for one existing edge `subject ⇒ issuer` covering `tag` at
+    /// `now`, using the reverse map (read lock only).
+    ///
+    /// With `need_delegable`, non-delegable edges do not answer at all
+    /// (the BFS may still find a delegable multi-hop chain).
+    fn direct_edge(
+        &self,
+        subject: &Principal,
+        issuer: &Principal,
+        tag: &Tag,
+        now: Time,
+        need_delegable: bool,
+    ) -> Option<Proof> {
+        let inner = self.inner.pread();
+        let out = inner.by_subject.get(subject)?;
+        out.iter()
+            .find(|e| {
+                e.conclusion.issuer == *issuer
+                    && (e.conclusion.delegable || !need_delegable)
+                    && e.conclusion.validity.contains(now)
+                    && e.conclusion.tag.implies(tag)
+            })
+            .map(|e| (*e.proof).clone())
     }
 
     /// Completes a proof that `new_subject =tag⇒ issuer` by finding a chain
@@ -243,10 +323,13 @@ impl Prover {
         delegable: bool,
     ) -> Option<Proof> {
         // Fast path: an existing proof already covers the new subject.
-        if let Some(p) = self.find_proof(new_subject, issuer, tag, now) {
-            if !delegable || p.conclusion().delegable {
-                return Some(p);
-            }
+        let existing = if delegable {
+            self.find_delegable_proof(new_subject, issuer, tag, now)
+        } else {
+            self.find_proof(new_subject, issuer, tag, now)
+        };
+        if let Some(p) = existing {
+            return Some(p);
         }
         let finals: Vec<Principal> = self.inner.pread().closures.keys().cloned().collect();
         for final_p in finals {
@@ -254,11 +337,9 @@ impl Prover {
             if &final_p == issuer {
                 return self.delegate(new_subject, &final_p, tag.clone(), validity, delegable);
             }
-            // …or a chain from the controlled principal to the issuer exists.
-            if let Some(chain) = self.find_proof(&final_p, issuer, tag, now) {
-                if !chain.conclusion().delegable {
-                    continue;
-                }
+            // …or a delegable chain from the controlled principal to the
+            // issuer exists (only delegable chains may grow a fresh hop).
+            if let Some(chain) = self.find_delegable_proof(&final_p, issuer, tag, now) {
                 let hop = self.delegate(new_subject, &final_p, tag.clone(), validity, delegable)?;
                 let full = hop.then(chain);
                 self.add_proof(full.clone());
@@ -273,11 +354,11 @@ impl Prover {
         let inner = self.inner.pread();
         let mut s = ProverStats {
             finals: inner.closures.len(),
-            expansions: inner.expansions,
+            expansions: self.expansions.load(Ordering::Relaxed),
             ..Default::default()
         };
         for edges in inner.edges.values() {
-            for e in edges {
+            for e in edges.iter() {
                 if e.shortcut {
                     s.shortcut_edges += 1;
                 } else {
@@ -291,26 +372,47 @@ impl Prover {
     /// Removes all shortcut edges (used by benchmarks to compare cold/warm
     /// search costs).
     pub fn clear_shortcuts(&self) {
-        let mut inner = self.inner.pwrite();
+        let inner = &mut *self.inner.pwrite();
         let mut removed_hashes = Vec::new();
-        for edges in inner.edges.values_mut() {
-            edges.retain(|e| {
-                if e.shortcut {
-                    removed_hashes.push(e.proof.hash());
-                    false
-                } else {
-                    true
+        for map in [&mut inner.edges, &mut inner.by_subject] {
+            map.retain(|_, edges| {
+                if edges.iter().any(|e| e.shortcut) {
+                    let kept: Vec<Edge> = edges
+                        .iter()
+                        .filter(|e| {
+                            if e.shortcut {
+                                removed_hashes.push(e.proof.hash());
+                                false
+                            } else {
+                                true
+                            }
+                        })
+                        .cloned()
+                        .collect();
+                    if kept.is_empty() {
+                        return false;
+                    }
+                    *edges = kept.into();
                 }
+                true
             });
         }
+        // Both maps hold every edge, so each shortcut hash appears twice.
         // Allow the shortcuts to be re-learned later.
         for h in removed_hashes {
             inner.known.remove(&h);
         }
     }
 
-    fn bfs(&self, subject: &Principal, issuer: &Principal, tag: &Tag, now: Time) -> Option<Proof> {
-        let mut inner = self.inner.pwrite();
+    fn bfs(
+        &self,
+        subject: &Principal,
+        issuer: &Principal,
+        tag: &Tag,
+        now: Time,
+        need_delegable: bool,
+    ) -> Option<Proof> {
+        let inner = self.inner.pread();
         // Queue holds (node, path so far as proof + incrementally composed
         // conclusion, depth).  Composing conclusions incrementally keeps
         // each expansion O(edge) instead of O(path length).
@@ -318,18 +420,33 @@ impl Prover {
             proof: Proof,
             concl: Delegation,
         }
+        // The authority a path carries at a node: what matters for any
+        // further extension through that node.  Only delegable paths are
+        // ever enqueued, so the propagate bit needs no tracking.
+        struct Reached {
+            tag: Tag,
+            validity: Validity,
+        }
+        impl Reached {
+            /// Is this at least as wide as the other on both axes — tag
+            /// and validity window?
+            fn covers(&self, tag: &Tag, validity: &Validity) -> bool {
+                validity.within(&self.validity) && self.tag.implies(tag)
+            }
+        }
         let mut queue: VecDeque<(Principal, Option<Path>, usize)> = VecDeque::new();
-        let mut visited: HashSet<Principal> = HashSet::new();
+        let mut reached: HashMap<Principal, Vec<Reached>> = HashMap::new();
         queue.push_back((issuer.clone(), None, 0));
-        visited.insert(issuer.clone());
 
         while let Some((node, so_far, depth)) = queue.pop_front() {
             if depth >= MAX_DEPTH {
                 continue;
             }
-            inner.expansions += 1;
-            let edges: Vec<Edge> = inner.edges.get(&node).cloned().unwrap_or_default();
-            for edge in edges {
+            self.expansions.fetch_add(1, Ordering::Relaxed);
+            let Some(edges) = inner.edges.get(&node) else {
+                continue;
+            };
+            for edge in edges.iter() {
                 // Compose edge (X ⇒ node) with so_far (node ⇒ issuer).
                 let candidate = match &so_far {
                     None => Path {
@@ -367,14 +484,49 @@ impl Prover {
                     continue;
                 }
                 if &edge.subject == subject {
-                    if candidate.concl.tag.implies(tag) {
+                    if candidate.concl.tag.implies(tag)
+                        && (candidate.concl.delegable || !need_delegable)
+                    {
                         return Some(candidate.proof);
                     }
                     continue;
                 }
-                if visited.insert(edge.subject.clone()) {
-                    queue.push_back((edge.subject.clone(), Some(candidate), depth + 1));
+                // Re-entering the start node can only form a cycle.
+                if &edge.subject == issuer {
+                    continue;
                 }
+                // A non-delegable path can never be extended another hop
+                // (the tail-delegability check above), so enqueueing it is
+                // dead weight — and letting it hold a frontier slot could
+                // cap out a live delegable path.
+                if !candidate.concl.delegable {
+                    continue;
+                }
+                // A new path through an already-reached node is redundant
+                // only when some earlier path covers it on every axis; a
+                // narrow first arrival must not shadow a wider alternate,
+                // so non-dominated revisits re-enqueue.
+                let new = Reached {
+                    tag: candidate.concl.tag.clone(),
+                    validity: candidate.concl.validity,
+                };
+                let seen = reached.entry(edge.subject.clone()).or_default();
+                if seen.iter().any(|r| r.covers(&new.tag, &new.validity)) {
+                    continue;
+                }
+                // The new path may in turn cover earlier, narrower
+                // arrivals; release their slots before the cap check so a
+                // wide path always gets through.
+                seen.retain(|r| !new.covers(&r.tag, &r.validity));
+                // Cap the frontiers tracked per node: pairwise-incomparable
+                // tags between the same principals could otherwise enumerate
+                // exponentially many paths.  The prover is deliberately
+                // incomplete (§4.4); past the cap we keep the first arrivals.
+                if seen.len() >= MAX_NODE_FRONTIERS {
+                    continue;
+                }
+                seen.push(new);
+                queue.push_back((edge.subject.clone(), Some(candidate), depth + 1));
             }
         }
         None
@@ -404,7 +556,25 @@ impl Inner {
             proof: Arc::new(proof),
             shortcut,
         };
-        self.edges.entry(concl.issuer).or_default().push(edge);
+        push_edge(&mut self.by_subject, concl.subject.clone(), edge.clone());
+        push_edge(&mut self.edges, concl.issuer, edge);
+    }
+}
+
+/// Copy-on-write append to an adjacency slice: readers keep iterating their
+/// old `Arc` while the map swaps in the extended one.
+fn push_edge(map: &mut HashMap<Principal, Arc<[Edge]>>, key: Principal, edge: Edge) {
+    match map.entry(key) {
+        std::collections::hash_map::Entry::Occupied(mut o) => {
+            let old = o.get();
+            let mut v = Vec::with_capacity(old.len() + 1);
+            v.extend(old.iter().cloned());
+            v.push(edge);
+            *o.get_mut() = v.into();
+        }
+        std::collections::hash_map::Entry::Vacant(v) => {
+            v.insert(vec![edge].into());
+        }
     }
 }
 
@@ -807,6 +977,264 @@ mod tests {
                 Time(0)
             )
             .is_none());
+    }
+
+    /// Regression: BFS used to mark a node visited on the *first* path
+    /// reaching it, so a narrow-tag path through `M` shadowed the wider
+    /// alternate path through the same node and the search wrongly failed.
+    #[test]
+    fn narrow_tag_path_does_not_shadow_wider_path() {
+        let prover = det_prover("two-path");
+        let (s, m, a) = (kp("s"), kp("m"), kp("a"));
+        let mut rng = DetRng::new(b"i");
+        let mut grant = |from: &KeyPair, to: &KeyPair, t: Tag| {
+            let d = Delegation {
+                subject: Principal::key(&to.public),
+                issuer: Principal::key(&from.public),
+                tag: t,
+                validity: Validity::always(),
+                delegable: true,
+            };
+            prover.add_proof(Proof::signed_cert(Certificate::issue(from, d, &mut |x| {
+                rng.fill(x)
+            })));
+        };
+        // Narrow M ⇒ S first (GET only), wide M ⇒ S second: the narrow
+        // edge reaches M first in BFS order.
+        grant(&s, &m, tag("(web (method GET))"));
+        grant(&s, &m, tag("(web)"));
+        grant(&m, &a, tag("(web)"));
+
+        let p = prover
+            .find_proof(
+                &Principal::key(&a.public),
+                &Principal::key(&s.public),
+                &tag("(web)"),
+                Time(0),
+            )
+            .expect("the wide path must be found despite the narrow one arriving first");
+        p.verify(&VerifyCtx::at(Time(0))).unwrap();
+        assert!(p.conclusion().tag.implies(&tag("(web)")));
+    }
+
+    /// The same shadowing through the propagate bit: a non-delegable path
+    /// reaching `M` first must not suppress the delegable alternate, which
+    /// is the only one that can be extended another hop.
+    #[test]
+    fn non_delegable_path_does_not_shadow_delegable_path() {
+        let prover = det_prover("two-path-delegable");
+        let (s, m, a) = (kp("s"), kp("m"), kp("a"));
+        let mut rng = DetRng::new(b"i");
+        let mut grant = |from: &KeyPair, to: &KeyPair, delegable: bool| {
+            let d = Delegation {
+                subject: Principal::key(&to.public),
+                issuer: Principal::key(&from.public),
+                tag: tag("(web)"),
+                validity: Validity::always(),
+                delegable,
+            };
+            prover.add_proof(Proof::signed_cert(Certificate::issue(from, d, &mut |x| {
+                rng.fill(x)
+            })));
+        };
+        grant(&s, &m, false);
+        grant(&s, &m, true);
+        grant(&m, &a, true);
+
+        let p = prover
+            .find_proof(
+                &Principal::key(&a.public),
+                &Principal::key(&s.public),
+                &tag("(web)"),
+                Time(0),
+            )
+            .expect("the delegable path must be found despite the dead-end arriving first");
+        p.verify(&VerifyCtx::at(Time(0))).unwrap();
+    }
+
+    /// When a subject holds both a non-delegable and a delegable edge to
+    /// the issuer, the delegable-required search must return the delegable
+    /// one so callers that need to extend the chain (e.g.
+    /// `complete_proof`'s finals loop) are not wrongly denied.
+    #[test]
+    fn delegable_direct_edge_preferred_over_non_delegable() {
+        let prover = det_prover("direct-delegable");
+        let (s, f) = (kp("s"), kp("f"));
+        let mut rng = DetRng::new(b"i");
+        for delegable in [false, true] {
+            let d = Delegation {
+                subject: Principal::key(&f.public),
+                issuer: Principal::key(&s.public),
+                tag: tag("(web)"),
+                validity: Validity::always(),
+                delegable,
+            };
+            prover.add_proof(Proof::signed_cert(Certificate::issue(&s, d, &mut |x| {
+                rng.fill(x)
+            })));
+        }
+        // The plain search finds *an* edge; the delegable-required search
+        // must find the delegable sibling specifically.
+        assert!(prover
+            .find_proof(
+                &Principal::key(&f.public),
+                &Principal::key(&s.public),
+                &tag("(web)"),
+                Time(0),
+            )
+            .is_some());
+        let p = prover
+            .find_delegable_proof(
+                &Principal::key(&f.public),
+                &Principal::key(&s.public),
+                &tag("(web)"),
+                Time(0),
+            )
+            .expect("edge exists");
+        assert!(
+            p.conclusion().delegable,
+            "the delegable edge must win over the non-delegable one"
+        );
+
+        // And the consequence: completing a proof through the controlled
+        // principal F works, which requires the delegable F ⇒ S chain.
+        prover.add_key(f.clone());
+        let channel = Principal::message(b"channel");
+        let completed = prover
+            .complete_proof(
+                &channel,
+                &Principal::key(&s.public),
+                &tag("(web)"),
+                Validity::always(),
+                Time(0),
+            )
+            .expect("delegable chain must be usable for completion");
+        completed.verify(&VerifyCtx::at(Time(0))).unwrap();
+    }
+
+    /// A non-delegable *direct* edge must not shadow a delegable
+    /// *multi-hop* chain when the caller needs to extend the chain: the
+    /// fast path may answer plain queries with the direct edge, but the
+    /// delegable search must keep looking and completion must succeed.
+    #[test]
+    fn non_delegable_direct_edge_does_not_shadow_delegable_chain() {
+        let prover = det_prover("direct-vs-chain");
+        let (s, m, f) = (kp("s"), kp("m"), kp("f"));
+        let mut rng = DetRng::new(b"i");
+        let mut grant = |from: &KeyPair, to: &KeyPair, delegable: bool| {
+            let d = Delegation {
+                subject: Principal::key(&to.public),
+                issuer: Principal::key(&from.public),
+                tag: tag("(web)"),
+                validity: Validity::always(),
+                delegable,
+            };
+            prover.add_proof(Proof::signed_cert(Certificate::issue(from, d, &mut |x| {
+                rng.fill(x)
+            })));
+        };
+        // Direct F ⇒ S without propagate; delegable chain F ⇒ M ⇒ S.
+        grant(&s, &f, false);
+        grant(&s, &m, true);
+        grant(&m, &f, true);
+
+        let (subject, issuer) = (Principal::key(&f.public), Principal::key(&s.public));
+        let p = prover
+            .find_delegable_proof(&subject, &issuer, &tag("(web)"), Time(0))
+            .expect("the delegable chain must be found past the direct edge");
+        assert!(p.conclusion().delegable);
+        p.verify(&VerifyCtx::at(Time(0))).unwrap();
+
+        prover.add_key(f.clone());
+        let completed = prover
+            .complete_proof(
+                &Principal::message(b"channel"),
+                &issuer,
+                &tag("(web)"),
+                Validity::always(),
+                Time(0),
+            )
+            .expect("completion must extend the delegable chain");
+        completed.verify(&VerifyCtx::at(Time(0))).unwrap();
+    }
+
+    /// A wide path arriving after the per-node frontier cap has filled
+    /// with narrow incomparable paths must still get through: it covers
+    /// (and evicts) the narrow arrivals rather than being dropped at the
+    /// cap.
+    #[test]
+    fn wide_path_reclaims_capped_frontier_slots() {
+        let prover = det_prover("cap-evict");
+        let (s, m, a) = (kp("s"), kp("m"), kp("a"));
+        let mut rng = DetRng::new(b"i");
+        let mut grant = |from: &KeyPair, to: &KeyPair, t: Tag| {
+            let d = Delegation {
+                subject: Principal::key(&to.public),
+                issuer: Principal::key(&from.public),
+                tag: t,
+                validity: Validity::always(),
+                delegable: true,
+            };
+            prover.add_proof(Proof::signed_cert(Certificate::issue(from, d, &mut |x| {
+                rng.fill(x)
+            })));
+        };
+        // Fill M's frontier slots with MAX_NODE_FRONTIERS pairwise
+        // incomparable narrow tags, then add the wide edge last.
+        for method in ["A", "B", "C", "D", "E", "F", "G", "H"] {
+            grant(&s, &m, tag(&format!("(web (method {method}))")));
+        }
+        grant(&s, &m, tag("(web)"));
+        grant(&m, &a, tag("(web)"));
+
+        let p = prover
+            .find_proof(
+                &Principal::key(&a.public),
+                &Principal::key(&s.public),
+                &tag("(web)"),
+                Time(0),
+            )
+            .expect("the wide path must evict narrow frontier entries, not be capped out");
+        p.verify(&VerifyCtx::at(Time(0))).unwrap();
+    }
+
+    /// An adversarial graph with parallel incomparable-tag edges at every
+    /// hop must not blow the search up: the per-node frontier cap bounds
+    /// it, and a query for an absent subject still terminates quickly.
+    #[test]
+    fn incomparable_parallel_edges_stay_bounded() {
+        let prover = det_prover("parallel-edges");
+        let keys: Vec<KeyPair> = (0..=10).map(|i| kp(&format!("p{i}"))).collect();
+        let mut rng = DetRng::new(b"i");
+        for i in 0..10 {
+            for t in ["(web (method GET))", "(web (method PUT))", "(db)"] {
+                let d = Delegation {
+                    subject: Principal::key(&keys[i + 1].public),
+                    issuer: Principal::key(&keys[i].public),
+                    tag: tag(t),
+                    validity: Validity::always(),
+                    delegable: true,
+                };
+                prover.add_proof(Proof::signed_cert(Certificate::issue(
+                    &keys[i],
+                    d,
+                    &mut |x| rng.fill(x),
+                )));
+            }
+        }
+        let before = prover.stats().expansions;
+        assert!(prover
+            .find_proof(
+                &Principal::message(b"nobody"),
+                &Principal::key(&keys[0].public),
+                &tag("(web)"),
+                Time(0),
+            )
+            .is_none());
+        let spent = prover.stats().expansions - before;
+        // 11 nodes × MAX_NODE_FRONTIERS is the worst case; far below the
+        // 3^10 paths an uncapped widening search could enumerate.
+        assert!(spent <= 11 * 8 + 1, "search expanded {spent} nodes");
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Concurrency and equivalence properties of the read-mostly Prover graph:
+//! many searches race writers without deadlock or wrong answers, and the
+//! shortcut cache never changes what a query returns.
+
+use proptest::prelude::*;
+use snowflake_core::{Certificate, Delegation, Principal, Proof, Time, Validity, VerifyCtx};
+use snowflake_crypto::{DetRng, Group, KeyPair};
+use snowflake_prover::Prover;
+use snowflake_sexpr::Sexp;
+use snowflake_tags::Tag;
+use std::sync::{Arc, OnceLock};
+
+/// Key generation dominates test time, so every test draws from one pool.
+fn key(i: usize) -> &'static KeyPair {
+    static POOL: OnceLock<Vec<KeyPair>> = OnceLock::new();
+    &POOL.get_or_init(|| {
+        (0..10)
+            .map(|i| {
+                let mut rng = DetRng::new(format!("pool-key-{i}").as_bytes());
+                KeyPair::generate(Group::test512(), &mut |b| rng.fill(b))
+            })
+            .collect()
+    })[i]
+}
+
+fn tag(src: &str) -> Tag {
+    Tag::parse(&Sexp::parse(src.as_bytes()).unwrap()).unwrap()
+}
+
+/// A prover holding the delegable chain `key(n) ⇒ … ⇒ key(0)` over `(web)`.
+fn chain_prover(n: usize) -> Prover {
+    let mut prng = DetRng::new(b"chain-prover");
+    let prover = Prover::with_rng(Box::new(move |b| prng.fill(b)));
+    let mut rng = DetRng::new(b"chain-issue");
+    for i in 0..n {
+        let d = Delegation {
+            subject: Principal::key(&key(i + 1).public),
+            issuer: Principal::key(&key(i).public),
+            tag: tag("(web)"),
+            validity: Validity::always(),
+            delegable: true,
+        };
+        prover.add_proof(Proof::signed_cert(Certificate::issue(key(i), d, &mut |b| {
+            rng.fill(b)
+        })));
+    }
+    prover
+}
+
+/// N searcher threads race a writer inserting fresh edges and a thread
+/// repeatedly clearing the shortcut cache.  The chain answer must hold on
+/// every query, and the whole thing must finish (no deadlock between the
+/// read-side BFS and the copy-on-write inserts).
+#[test]
+fn searches_race_writers_without_deadlock() {
+    const DEPTH: usize = 6;
+    const READERS: usize = 4;
+    const QUERIES: usize = 100;
+
+    let prover = Arc::new(chain_prover(DEPTH));
+    prover.add_key(key(9).clone());
+    let subject = Principal::key(&key(DEPTH).public);
+    let issuer = Principal::key(&key(0).public);
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let prover = Arc::clone(&prover);
+            let subject = subject.clone();
+            let issuer = issuer.clone();
+            std::thread::spawn(move || {
+                for q in 0..QUERIES {
+                    let found = prover
+                        .find_proof(&subject, &issuer, &tag("(web)"), Time(0))
+                        .unwrap_or_else(|| panic!("reader {r} lost the chain at query {q}"));
+                    assert_eq!(found.conclusion().subject, subject);
+                    assert_eq!(found.conclusion().issuer, issuer);
+                    // A subject with no chain stays unprovable.
+                    assert!(prover
+                        .find_proof(
+                            &Principal::message(b"stranger"),
+                            &issuer,
+                            &tag("(web)"),
+                            Time(0)
+                        )
+                        .is_none());
+                }
+            })
+        })
+        .collect();
+
+    // Writer: keeps issuing fresh delegations from the controlled key so
+    // the graph (and its copy-on-write adjacency slices) keeps changing.
+    let writer = {
+        let prover = Arc::clone(&prover);
+        std::thread::spawn(move || {
+            for i in 0..48u32 {
+                let subject = Principal::message(format!("tenant-{i}").as_bytes());
+                prover
+                    .delegate(
+                        &subject,
+                        &Principal::key(&key(9).public),
+                        tag("(web)"),
+                        Validity::always(),
+                        false,
+                    )
+                    .expect("controlled key can always delegate");
+            }
+        })
+    };
+
+    // Cache antagonist: forces cold BFS paths while readers run.
+    let clearer = {
+        let prover = Arc::clone(&prover);
+        std::thread::spawn(move || {
+            for _ in 0..64 {
+                prover.clear_shortcuts();
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    for t in readers {
+        t.join().unwrap();
+    }
+    writer.join().unwrap();
+    clearer.join().unwrap();
+
+    let stats = prover.stats();
+    assert!(stats.base_edges >= DEPTH + 48, "writer edges landed");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A shortcut-cached (warm) answer is equivalent to the cold-search
+    /// answer: same found/not-found verdict for every endpoint pair and
+    /// request tag, and warm proofs verify with matching conclusions.
+    #[test]
+    fn shortcut_cache_answers_equal_cold_answers(
+        depth in 1usize..6,
+        lo in 0usize..5,
+        span in 1usize..5,
+        which in 0usize..3,
+    ) {
+        let hi = (lo + span).min(depth);
+        prop_assume!(lo < hi);
+        let request = match which {
+            0 => tag("(web)"),
+            1 => tag("(web (method GET))"),
+            _ => tag("(db)"),
+        };
+        let prover = chain_prover(depth);
+        let subject = Principal::key(&key(hi).public);
+        let issuer = Principal::key(&key(lo).public);
+
+        prover.clear_shortcuts();
+        let cold = prover.find_proof(&subject, &issuer, &request, Time(0));
+        // The second query is answered from the shortcut cache when the
+        // cold search composed one.
+        let warm = prover.find_proof(&subject, &issuer, &request, Time(0));
+
+        prop_assert_eq!(cold.is_some(), warm.is_some(), "cache changed the verdict");
+        if let (Some(c), Some(w)) = (cold, warm) {
+            prop_assert!(
+                w.verify(&VerifyCtx::at(Time(0))).is_ok(),
+                "warm proof failed verification"
+            );
+            prop_assert_eq!(c.conclusion().subject, w.conclusion().subject);
+            prop_assert_eq!(c.conclusion().issuer, w.conclusion().issuer);
+            prop_assert!(w.conclusion().tag.implies(&request));
+        }
+    }
+}
