@@ -1,0 +1,68 @@
+//! Revocation freshness: validator push throughput under N subscribers,
+//! the staleness window (revoke → every subscribed verifier rejects), and
+//! the pull-refresh cost that push amortizes away.
+//!
+//! Each revocation signs one CRL and every subscriber re-verifies it, so
+//! fan-out cost is `sign + N × verify`; the staleness bars should stay
+//! flat-ish in N while refresh cost grows linearly with the fleet.
+//!
+//! Set `SF_BENCH_SMOKE=1` to run each configuration exactly once (CI smoke
+//! mode: proves the rig still builds and converges, measures nothing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snowflake_bench::revocation;
+
+const SUBSCRIBERS: [usize; 3] = [1, 8, 32];
+const REVOCATIONS: usize = 16;
+const REFRESH_ROUNDS: usize = 8;
+
+fn revocation_freshness(c: &mut Criterion) {
+    if std::env::var_os("SF_BENCH_SMOKE").is_some() {
+        for subs in SUBSCRIBERS {
+            let rig = revocation::push_rig(subs);
+            let fan = revocation::run_push_fanout(&rig, 2);
+            let stale = revocation::run_staleness_window(&rig);
+            println!("revocation_freshness/smoke/{subs}subs fanout={fan:?} staleness={stale:?}");
+        }
+        let rig = revocation::push_rig(4);
+        let refresh = revocation::run_refresh(&rig, 1);
+        println!("revocation_freshness/smoke/refresh ok ({refresh:?})");
+        return;
+    }
+
+    let mut group = c.benchmark_group("revocation_freshness");
+    group.sample_size(10);
+    for subs in SUBSCRIBERS {
+        let rig = revocation::push_rig(subs);
+        group.bench_with_input(
+            BenchmarkId::new("push_fanout", subs),
+            &subs,
+            |b, _| {
+                b.iter(|| revocation::run_push_fanout(&rig, REVOCATIONS));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("staleness_window", subs),
+            &subs,
+            |b, _| {
+                b.iter(|| {
+                    // A fresh rig per measurement: staleness is one-shot
+                    // (the certificate stays revoked once pushed).
+                    let rig = revocation::push_rig(subs);
+                    revocation::run_staleness_window(&rig)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("crl_refresh", subs),
+            &subs,
+            |b, _| {
+                b.iter(|| revocation::run_refresh(&rig, REFRESH_ROUNDS));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, revocation_freshness);
+criterion_main!(benches);

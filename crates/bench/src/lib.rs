@@ -19,11 +19,13 @@
 //! | Table 1 | MAC protocol cost breakdown | [`breakdown`] |
 //! | §7.4.1 | prover graph traversal costs | [`rigs::prover_rig`] |
 //! | (post-paper) | prover search / MAC verify under thread contention | [`contention`] |
+//! | (post-paper) | revocation push fan-out / staleness window / CRL refresh | [`revocation`] |
 
 pub mod breakdown;
 pub mod contention;
 pub mod minihttp;
 pub mod report;
+pub mod revocation;
 pub mod rigs;
 
 pub use minihttp::MiniHttp;

@@ -1,0 +1,183 @@
+//! Revocation freshness rigs: validator push throughput under N
+//! subscribers, the staleness window (revoke → every subscriber rejects),
+//! and pull-mode CRL refresh throughput.
+//!
+//! The dominant costs are cryptographic and per-subscriber: each
+//! revocation signs one fresh CRL (Schnorr sign) and every subscriber
+//! re-verifies it on receipt (Schnorr verify), so push fan-out scales as
+//! `sign + N × verify`.  The staleness window is what the subsystem
+//! exists to shrink: with push it collapses from "rest of the CRL
+//! validity window" (up to minutes) to one synchronous broadcast.
+
+use snowflake_core::{
+    Certificate, Delegation, Principal, RevocationPolicy, Time, Validity, VerifyCtx,
+};
+use snowflake_crypto::{DetRng, Group, HashVal, KeyPair};
+use snowflake_revocation::{AgentSink, FreshnessAgent, InProcessValidator, ValidatorService};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn det(seed: &str) -> Box<dyn FnMut(&mut [u8]) + Send> {
+    let mut r = DetRng::new(seed.as_bytes());
+    Box::new(move |b: &mut [u8]| r.fill(b))
+}
+
+fn kp(seed: &str) -> KeyPair {
+    let mut r = DetRng::new(seed.as_bytes());
+    KeyPair::generate(Group::test512(), &mut |b| r.fill(b))
+}
+
+fn fixed_clock() -> Time {
+    Time(1_000_000)
+}
+
+/// A validator with `n` subscribed freshness agents and one revocable
+/// certificate warm at every verifier.
+pub struct PushRig {
+    /// The validator under load.
+    pub validator: Arc<ValidatorService>,
+    /// One agent per subscribed verifier.
+    pub agents: Vec<Arc<FreshnessAgent>>,
+    /// The revocable certificate every verifier honors.
+    pub cert: Certificate,
+}
+
+/// Builds the rig: `subscribers` agents, each registered with and
+/// subscribed to one validator, plus a revocable certificate.
+pub fn push_rig(subscribers: usize) -> PushRig {
+    let validator = ValidatorService::with_clock(kp("push-validator"), fixed_clock, det("push-rng"));
+    let agents: Vec<Arc<FreshnessAgent>> = (0..subscribers)
+        .map(|i| {
+            let agent = FreshnessAgent::with_pacing(fixed_clock, 30, 10, i as u64);
+            agent.register_validator(
+                validator.validator_hash(),
+                Arc::new(InProcessValidator(Arc::clone(&validator))),
+            );
+            validator.subscribe(Box::new(AgentSink::new(&agent)));
+            agent
+        })
+        .collect();
+    let owner = kp("push-owner");
+    let mut rng = DetRng::new(b"push-cert");
+    let cert = Certificate::issue_with_revocation(
+        &owner,
+        Delegation {
+            subject: Principal::message(b"warm subject"),
+            issuer: Principal::key(&owner.public),
+            tag: snowflake_core::Tag::Star,
+            validity: Validity::always(),
+            delegable: false,
+        },
+        Some(RevocationPolicy::Crl {
+            validator: validator.validator_hash(),
+        }),
+        &mut |b| rng.fill(b),
+    );
+    PushRig {
+        validator,
+        agents,
+        cert,
+    }
+}
+
+/// Revokes `revocations` distinct hashes, each broadcast to every
+/// subscriber, and returns the wall time for the whole batch — the
+/// validator's push throughput under this fan-out.
+pub fn run_push_fanout(rig: &PushRig, revocations: usize) -> Duration {
+    let start = Instant::now();
+    for i in 0..revocations {
+        rig.validator
+            .revoke(HashVal::of(format!("dead-{i}").as_bytes()));
+    }
+    start.elapsed()
+}
+
+/// Measures the staleness window: from the instant `revoke` is called
+/// until *every* subscribed verifier's agent-fed `VerifyCtx` rejects the
+/// certificate.  Returns the window (push makes it one broadcast wide).
+pub fn run_staleness_window(rig: &PushRig) -> Duration {
+    let ctxs: Vec<VerifyCtx> = rig
+        .agents
+        .iter()
+        .map(|a| VerifyCtx::at(fixed_clock()).with_revocation_source(Arc::clone(a) as _))
+        .collect();
+    // Warm: every verifier honors the certificate.
+    for ctx in &ctxs {
+        assert!(
+            ctx.check_revocation(&rig.cert).is_ok(),
+            "cert must verify before revocation"
+        );
+    }
+    let start = Instant::now();
+    rig.validator.revoke(rig.cert.hash());
+    loop {
+        if ctxs
+            .iter()
+            .all(|ctx| ctx.check_revocation(&rig.cert).is_err())
+        {
+            return start.elapsed();
+        }
+    }
+}
+
+/// Runs `rounds` pull refreshes per agent (each fetching and re-checking
+/// the validator's current CRL) and returns the wall time — the pull-mode
+/// cost push amortizes away.
+pub fn run_refresh(rig: &PushRig, rounds: usize) -> Duration {
+    // Pull agents: refresh is always due (lead covers the whole window).
+    let pullers: Vec<Arc<FreshnessAgent>> = (0..rig.agents.len())
+        .map(|i| {
+            let agent = FreshnessAgent::with_pacing(
+                fixed_clock,
+                snowflake_revocation::DEFAULT_CRL_WINDOW,
+                0,
+                i as u64,
+            );
+            agent.register_validator(
+                rig.validator.validator_hash(),
+                Arc::new(InProcessValidator(Arc::clone(&rig.validator))),
+            );
+            agent
+        })
+        .collect();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for agent in &pullers {
+            assert_eq!(agent.refresh_due(), 1, "refresh must fetch every round");
+        }
+    }
+    start.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_rig_broadcasts_to_all_subscribers() {
+        let rig = push_rig(4);
+        let d = run_push_fanout(&rig, 2);
+        assert!(d > Duration::ZERO);
+        for agent in &rig.agents {
+            assert!(agent.stats().deltas_applied >= 2, "every agent saw the pushes");
+        }
+    }
+
+    #[test]
+    fn staleness_window_closes() {
+        let rig = push_rig(3);
+        let d = run_staleness_window(&rig);
+        assert!(d > Duration::ZERO);
+        for agent in &rig.agents {
+            let ctx = VerifyCtx::at(fixed_clock()).with_revocation_source(Arc::clone(agent) as _);
+            assert!(ctx.check_revocation(&rig.cert).is_err());
+        }
+    }
+
+    #[test]
+    fn refresh_pulls_every_round() {
+        let rig = push_rig(2);
+        let d = run_refresh(&rig, 3);
+        assert!(d > Duration::ZERO);
+    }
+}

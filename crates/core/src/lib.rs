@@ -73,7 +73,7 @@ pub use proof::{Proof, ProofError};
 pub use revocation::{Crl, Revalidation, RevocationPolicy};
 pub use sequence::Sequence;
 pub use statement::{Delegation, Time, Validity};
-pub use verify::VerifyCtx;
+pub use verify::{RevocationSource, VerifyCtx};
 
 pub use snowflake_crypto::{HashAlg, HashVal};
 pub use snowflake_tags::Tag;

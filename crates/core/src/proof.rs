@@ -507,6 +507,26 @@ impl Proof {
         self.lemmas().len()
     }
 
+    /// The hashes of every signed certificate this proof depends on
+    /// (deduplicated) — the proof's *revocation provenance*.
+    ///
+    /// Caches that retain conclusions derived from a proof (prover shortcut
+    /// edges, MAC sessions, verified-request entries, RMI proof caches)
+    /// record these hashes so that revoking one certificate can evict
+    /// exactly the state that depended on it.
+    pub fn cert_hashes(&self) -> Vec<HashVal> {
+        let mut out = Vec::new();
+        for lemma in self.lemmas() {
+            if let Proof::SignedCert(cert) = lemma {
+                let h = cert.hash();
+                if !out.contains(&h) {
+                    out.push(h);
+                }
+            }
+        }
+        out
+    }
+
     /// Renders an indented, human-readable audit trail of the proof.
     pub fn audit_trail(&self) -> String {
         let mut s = String::new();

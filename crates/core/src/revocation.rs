@@ -7,9 +7,15 @@
 //! [`Crl`] (that does not list the certificate) or a fresh
 //! [`Revalidation`] for the certificate.  Both artifacts are themselves
 //! signed statements — there is no out-of-band mechanism.
+//!
+//! Both artifacts have full signed wire forms ([`Crl::to_sexp`],
+//! [`Revalidation::to_sexp`]) so a validator service can serve them over
+//! the same transports every other Snowflake statement travels on.
 
 use snowflake_crypto::{HashVal, KeyPair, PublicKey, Signature};
 use snowflake_sexpr::{ParseError, Sexp};
+use std::collections::HashSet;
+use std::sync::OnceLock;
 
 use crate::statement::{Time, Validity};
 
@@ -72,8 +78,14 @@ impl RevocationPolicy {
 }
 
 /// A signed certificate revocation list.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The `serial` is part of the signed body and increases with every
+/// reissue, so a verifier fed lists out of order (replayed push deltas,
+/// raced fetches) can refuse to roll its knowledge backwards.
+#[derive(Debug, Clone)]
 pub struct Crl {
+    /// Monotonically increasing issue number (signed).
+    pub serial: u64,
     /// Hashes of revoked certificates.
     pub revoked: Vec<HashVal>,
     /// When this list is authoritative.
@@ -82,28 +94,62 @@ pub struct Crl {
     pub signer: PublicKey,
     /// Signature over the canonical list body.
     pub signature: Signature,
+    /// Membership index, built once on first [`Crl::revokes`] call so the
+    /// verify hot path is O(1) instead of a linear scan of the list.  Not
+    /// part of the wire format or equality; mutating `revoked` after the
+    /// first lookup is not supported (it would break the signature anyway).
+    index: OnceLock<HashSet<HashVal>>,
 }
 
+impl PartialEq for Crl {
+    fn eq(&self, other: &Self) -> bool {
+        self.serial == other.serial
+            && self.revoked == other.revoked
+            && self.validity == other.validity
+            && self.signer == other.signer
+            && self.signature == other.signature
+    }
+}
+
+impl Eq for Crl {}
+
 impl Crl {
-    /// Issues a signed CRL.
+    /// Issues a signed CRL with serial 0 (single-shot uses; services that
+    /// reissue should use [`Crl::issue_with_serial`]).
     pub fn issue(
         validator: &KeyPair,
         revoked: Vec<HashVal>,
         validity: Validity,
         rand_bytes: &mut dyn FnMut(&mut [u8]),
     ) -> Crl {
-        let tbs = Self::tbs(&revoked, &validity);
+        Self::issue_with_serial(validator, 0, revoked, validity, rand_bytes)
+    }
+
+    /// Issues a signed CRL carrying an explicit serial number.
+    pub fn issue_with_serial(
+        validator: &KeyPair,
+        serial: u64,
+        revoked: Vec<HashVal>,
+        validity: Validity,
+        rand_bytes: &mut dyn FnMut(&mut [u8]),
+    ) -> Crl {
+        let tbs = Self::tbs(serial, &revoked, &validity);
         let signature = validator.sign(&tbs.canonical(), rand_bytes);
         Crl {
+            serial,
             revoked,
             validity,
             signer: validator.public.clone(),
             signature,
+            index: OnceLock::new(),
         }
     }
 
-    fn tbs(revoked: &[HashVal], validity: &Validity) -> Sexp {
-        let mut body = vec![validity.to_sexp()];
+    fn tbs(serial: u64, revoked: &[HashVal], validity: &Validity) -> Sexp {
+        let mut body = vec![
+            Sexp::tagged("serial", vec![Sexp::int(serial)]),
+            validity.to_sexp(),
+        ];
         body.extend(revoked.iter().map(HashVal::to_sexp));
         Sexp::tagged("crl", body)
     }
@@ -120,16 +166,72 @@ impl Crl {
         if !self.validity.contains(now) {
             return Err("CRL not current".into());
         }
-        let tbs = Self::tbs(&self.revoked, &self.validity);
+        let tbs = Self::tbs(self.serial, &self.revoked, &self.validity);
         if !self.signer.verify(&tbs.canonical(), &self.signature) {
             return Err("CRL signature invalid".into());
         }
         Ok(())
     }
 
-    /// Is `cert_hash` on the list?
+    /// Is `cert_hash` on the list?  O(1) after the first call builds the
+    /// membership index (large CRLs sit on the verify hot path).
     pub fn revokes(&self, cert_hash: &HashVal) -> bool {
-        self.revoked.contains(cert_hash)
+        self.index
+            .get_or_init(|| self.revoked.iter().cloned().collect())
+            .contains(cert_hash)
+    }
+
+    /// Serializes the full signed list:
+    /// `(crl-signed <tbs> <signer> <signature>)`.
+    pub fn to_sexp(&self) -> Sexp {
+        Sexp::tagged(
+            "crl-signed",
+            vec![
+                Self::tbs(self.serial, &self.revoked, &self.validity),
+                self.signer.to_sexp(),
+                self.signature.to_sexp(),
+            ],
+        )
+    }
+
+    /// Parses the form produced by [`Crl::to_sexp`].
+    ///
+    /// Parsing does **not** verify the signature; call [`Crl::check`].
+    pub fn from_sexp(e: &Sexp) -> Result<Crl, ParseError> {
+        let bad = |m: &str| ParseError {
+            offset: 0,
+            message: m.into(),
+        };
+        if e.tag_name() != Some("crl-signed") {
+            return Err(bad("expected (crl-signed …)"));
+        }
+        let body = e.tag_body().ok_or_else(|| bad("crl-signed body"))?;
+        if body.len() != 3 {
+            return Err(bad("crl-signed takes tbs, signer, signature"));
+        }
+        let tbs = &body[0];
+        if tbs.tag_name() != Some("crl") {
+            return Err(bad("expected (crl …) body"));
+        }
+        let tbs_body = tbs.tag_body().ok_or_else(|| bad("crl body"))?;
+        if tbs_body.len() < 2 {
+            return Err(bad("crl takes serial + validity + hashes"));
+        }
+        let serial = tbs
+            .find_value("serial")
+            .and_then(Sexp::as_u64)
+            .ok_or_else(|| bad("missing serial"))?;
+        let validity = Validity::from_sexp(&tbs_body[1])?;
+        let revoked: Result<Vec<HashVal>, ParseError> =
+            tbs_body[2..].iter().map(HashVal::from_sexp).collect();
+        Ok(Crl {
+            serial,
+            revoked: revoked?,
+            validity,
+            signer: PublicKey::from_sexp(&body[1])?,
+            signature: Signature::from_sexp(&body[2])?,
+            index: OnceLock::new(),
+        })
     }
 }
 
@@ -197,6 +299,49 @@ impl Revalidation {
         }
         Ok(())
     }
+
+    /// Serializes the full signed revalidation:
+    /// `(revalidation-signed <tbs> <signer> <signature>)`.
+    pub fn to_sexp(&self) -> Sexp {
+        Sexp::tagged(
+            "revalidation-signed",
+            vec![
+                Self::tbs(&self.cert_hash, &self.validity),
+                self.signer.to_sexp(),
+                self.signature.to_sexp(),
+            ],
+        )
+    }
+
+    /// Parses the form produced by [`Revalidation::to_sexp`].
+    ///
+    /// Parsing does **not** verify the signature; call [`Revalidation::check`].
+    pub fn from_sexp(e: &Sexp) -> Result<Revalidation, ParseError> {
+        let bad = |m: &str| ParseError {
+            offset: 0,
+            message: m.into(),
+        };
+        if e.tag_name() != Some("revalidation-signed") {
+            return Err(bad("expected (revalidation-signed …)"));
+        }
+        let body = e.tag_body().ok_or_else(|| bad("revalidation-signed body"))?;
+        if body.len() != 3 {
+            return Err(bad("revalidation-signed takes tbs, signer, signature"));
+        }
+        let tbs_body = body[0]
+            .tag_body()
+            .filter(|_| body[0].tag_name() == Some("revalidation"))
+            .ok_or_else(|| bad("expected (revalidation …) body"))?;
+        if tbs_body.len() != 2 {
+            return Err(bad("revalidation takes cert-hash + validity"));
+        }
+        Ok(Revalidation {
+            cert_hash: HashVal::from_sexp(&tbs_body[0])?,
+            validity: Validity::from_sexp(&tbs_body[1])?,
+            signer: PublicKey::from_sexp(&body[1])?,
+            signature: Signature::from_sexp(&body[2])?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +401,57 @@ mod tests {
     }
 
     #[test]
+    fn crl_serial_is_signed() {
+        let mut r = rng("crl-serial");
+        let validator = KeyPair::generate(Group::test512(), &mut r);
+        let vhash = validator.public.hash();
+        let mut crl =
+            Crl::issue_with_serial(&validator, 7, vec![], Validity::always(), &mut r);
+        assert!(crl.check(&vhash, Time(1)).is_ok());
+        // An adversary cannot replay the list under a newer serial.
+        crl.serial = 8;
+        assert!(crl.check(&vhash, Time(1)).is_err());
+    }
+
+    #[test]
+    fn crl_membership_scales() {
+        let mut r = rng("crl-big");
+        let validator = KeyPair::generate(Group::test512(), &mut r);
+        let revoked: Vec<HashVal> = (0..4_096u32)
+            .map(|i| HashVal::of(&i.to_be_bytes()))
+            .collect();
+        let crl = Crl::issue(&validator, revoked, Validity::always(), &mut r);
+        // Every listed hash answers true, absent ones false; the index is
+        // built once, so this loop is O(n) total rather than O(n²).
+        for i in 0..4_096u32 {
+            assert!(crl.revokes(&HashVal::of(&i.to_be_bytes())));
+        }
+        assert!(!crl.revokes(&HashVal::of(b"innocent")));
+    }
+
+    #[test]
+    fn crl_sexp_roundtrip() {
+        let mut r = rng("crl-wire");
+        let validator = KeyPair::generate(Group::test512(), &mut r);
+        let vhash = validator.public.hash();
+        let crl = Crl::issue_with_serial(
+            &validator,
+            42,
+            vec![HashVal::of(b"a"), HashVal::of(b"b")],
+            Validity::between(Time(5), Time(500)),
+            &mut r,
+        );
+        let back = Crl::from_sexp(&crl.to_sexp()).unwrap();
+        assert_eq!(back, crl);
+        assert!(back.check(&vhash, Time(50)).is_ok());
+        assert!(back.revokes(&HashVal::of(b"a")));
+        // And through the transport encoding, as a header or frame would
+        // carry it.
+        let transported = Sexp::parse(crl.to_sexp().transport().as_bytes()).unwrap();
+        assert_eq!(Crl::from_sexp(&transported).unwrap(), crl);
+    }
+
+    #[test]
     fn revalidation_check() {
         let mut r = rng("reval");
         let validator = KeyPair::generate(Group::test512(), &mut r);
@@ -275,5 +471,22 @@ mod tests {
                 .is_err(),
             "wrong cert"
         );
+    }
+
+    #[test]
+    fn revalidation_sexp_roundtrip() {
+        let mut r = rng("reval-wire");
+        let validator = KeyPair::generate(Group::test512(), &mut r);
+        let vhash = validator.public.hash();
+        let cert = HashVal::of(b"cert");
+        let reval = Revalidation::issue(
+            &validator,
+            cert.clone(),
+            Validity::between(Time(10), Time(20)),
+            &mut r,
+        );
+        let back = Revalidation::from_sexp(&reval.to_sexp()).unwrap();
+        assert_eq!(back, reval);
+        assert!(back.check(&vhash, &cert, Time(15)).is_ok());
     }
 }

@@ -6,6 +6,14 @@
 //! vouches for, and what revocation data it holds.  [`VerifyCtx`] carries
 //! exactly that knowledge, keeping the proof-checking engine minimal — the
 //! paper's "minimal verification engine" design goal.
+//!
+//! Revocation data reaches the context two ways: artifacts can be
+//! *installed* directly ([`VerifyCtx::install_crl`],
+//! [`VerifyCtx::install_revalidation`]), or a pluggable
+//! [`RevocationSource`] can be attached whose cache the context consults on
+//! demand.  Sources answer from local state only — a verifier-side
+//! freshness agent refreshes them *outside* the verify path, so proof
+//! checking never blocks on a network fetch.
 
 use crate::cert::Certificate;
 use crate::proof::ProofError;
@@ -13,9 +21,31 @@ use crate::revocation::{Crl, Revalidation, RevocationPolicy};
 use crate::statement::{Delegation, Time};
 use snowflake_crypto::HashVal;
 use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// A cache-backed supplier of revocation artifacts.
+///
+/// Implementations must answer **without blocking on I/O**: they return
+/// whatever current artifact they already hold (a freshness agent keeps
+/// that cache warm from its own refresh loop and push subscriptions).
+/// Returned artifacts are still fully re-checked — signature, signer
+/// identity, currency — by [`VerifyCtx::check_revocation`], so a buggy or
+/// hostile source can cause spurious denials but never spurious approvals.
+pub trait RevocationSource: Send + Sync {
+    /// The current CRL from the validator with this key hash, if one is
+    /// cached and valid at `now`.  Returned behind an `Arc` so the hot
+    /// path shares the cached list (and its built-once membership index)
+    /// instead of cloning it per verification.
+    fn crl(&self, validator: &HashVal, now: Time) -> Option<Arc<Crl>>;
+
+    /// A current revalidation of the certificate with this hash, if one is
+    /// cached and valid at `now`.
+    fn revalidation(&self, cert_hash: &HashVal, now: Time) -> Option<Revalidation>;
+}
 
 /// Trusted local state used while verifying proofs.
-#[derive(Debug, Default, Clone)]
+#[derive(Default, Clone)]
 pub struct VerifyCtx {
     /// The verification time (conclusions must be valid at this instant).
     pub now: Time,
@@ -27,6 +57,20 @@ pub struct VerifyCtx {
     crls: HashMap<HashVal, Crl>,
     /// Current revalidations, keyed by certificate hash.
     revalidations: HashMap<HashVal, Revalidation>,
+    /// Pluggable supplier consulted when no (current) artifact is installed.
+    source: Option<Arc<dyn RevocationSource>>,
+}
+
+impl fmt::Debug for VerifyCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VerifyCtx")
+            .field("now", &self.now)
+            .field("assumptions", &self.assumptions.len())
+            .field("crls", &self.crls.len())
+            .field("revalidations", &self.revalidations.len())
+            .field("source", &self.source.is_some())
+            .finish()
+    }
 }
 
 impl Default for Time {
@@ -73,6 +117,18 @@ impl VerifyCtx {
         self.revalidations.insert(r.cert_hash.clone(), r);
     }
 
+    /// Attaches a pluggable revocation source (e.g. a freshness agent)
+    /// consulted when no current artifact is installed directly.
+    pub fn set_revocation_source(&mut self, source: Arc<dyn RevocationSource>) {
+        self.source = Some(source);
+    }
+
+    /// Builder form of [`VerifyCtx::set_revocation_source`].
+    pub fn with_revocation_source(mut self, source: Arc<dyn RevocationSource>) -> VerifyCtx {
+        self.set_revocation_source(source);
+        self
+    }
+
     /// Enforces a certificate's revocation policy, if any.
     pub fn check_revocation(&self, cert: &Certificate) -> Result<(), ProofError> {
         let Some(policy) = &cert.revocation else {
@@ -80,9 +136,41 @@ impl VerifyCtx {
         };
         match policy {
             RevocationPolicy::Crl { validator } => {
-                let crl = self.crls.get(validator).ok_or_else(|| {
-                    ProofError::Revoked("no current CRL from required validator".into())
-                })?;
+                // Between a directly installed, still-current list and one
+                // the pluggable source holds, the *newer* (higher-serial)
+                // list wins: a pushed revocation must not be shadowed by a
+                // hand-installed list that happens to still be inside its
+                // window.  A stale installed list only surfaces when
+                // nothing current exists, so the error names currency,
+                // not absence.
+                let installed = self.crls.get(validator);
+                let fetched = self
+                    .source
+                    .as_ref()
+                    .and_then(|s| s.crl(validator, self.now));
+                let installed_current = installed.filter(|c| c.validity.contains(self.now));
+                let fetched_current = fetched
+                    .as_deref()
+                    .filter(|c| c.validity.contains(self.now));
+                let crl = match (installed_current, fetched_current) {
+                    (Some(i), Some(f)) => {
+                        if f.serial > i.serial {
+                            f
+                        } else {
+                            i
+                        }
+                    }
+                    (Some(i), None) => i,
+                    (None, Some(f)) => f,
+                    (None, None) => match installed {
+                        Some(stale) => stale,
+                        None => {
+                            return Err(ProofError::Revoked(
+                                "no current CRL from required validator".into(),
+                            ))
+                        }
+                    },
+                };
                 crl.check(validator, self.now)
                     .map_err(ProofError::Revoked)?;
                 if crl.revokes(&cert.hash()) {
@@ -92,9 +180,25 @@ impl VerifyCtx {
             }
             RevocationPolicy::Revalidate { validator } => {
                 let hash = cert.hash();
-                let reval = self.revalidations.get(&hash).ok_or_else(|| {
-                    ProofError::Revoked("no current revalidation for certificate".into())
-                })?;
+                let fetched;
+                let installed = self.revalidations.get(&hash);
+                let reval = match installed.filter(|r| r.validity.contains(self.now)) {
+                    Some(r) => r,
+                    None => {
+                        fetched = self
+                            .source
+                            .as_ref()
+                            .and_then(|s| s.revalidation(&hash, self.now));
+                        match fetched.as_ref().or(installed) {
+                            Some(r) => r,
+                            None => {
+                                return Err(ProofError::Revoked(
+                                    "no current revalidation for certificate".into(),
+                                ))
+                            }
+                        }
+                    }
+                };
                 reval
                     .check(validator, &hash, self.now)
                     .map_err(ProofError::Revoked)?;

@@ -42,6 +42,11 @@ pub struct MacSession {
     /// a reference out of the shard with a refcount bump and do every
     /// check outside the lock.
     pub grant: Arc<Delegation>,
+    /// Hashes of the certificates the establishment proof chain depended
+    /// on — the session's revocation provenance.  A revocation push evicts
+    /// exactly the sessions whose provenance names the revoked certificate
+    /// ([`MacSessionStore::evict_by_cert`]).
+    pub certs: Arc<[HashVal]>,
     /// The establishment proof, retained for end-to-end audit trails.
     pub establishment: Proof,
 }
@@ -55,6 +60,13 @@ pub struct MacSession {
 /// establishment or verifies of other sessions.
 pub struct MacSessionStore {
     shards: Box<[Mutex<HashMap<HashVal, MacSession>>]>,
+    /// Bumped by [`MacSessionStore::evict_by_cert`] *before* it sweeps the
+    /// shards.  [`MacSessionStore::establish_at_epoch`] re-reads it under
+    /// the shard lock: an eviction racing an establishment either sees the
+    /// new session in its sweep, or forces the establishment to refuse —
+    /// a session verified against pre-revocation state can never slip in
+    /// behind the sweep.
+    invalidation_epoch: std::sync::atomic::AtomicU64,
 }
 
 impl Default for MacSessionStore {
@@ -75,7 +87,18 @@ impl MacSessionStore {
             (0..n.max(1)).map(|_| Mutex::new(HashMap::new())).collect();
         MacSessionStore {
             shards: shards.into_boxed_slice(),
+            invalidation_epoch: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// The current invalidation epoch.  Callers that verify an
+    /// establishment proof read this *before* verifying and pass it to
+    /// [`MacSessionStore::establish_at_epoch`], so a revocation landing
+    /// between verification and insertion refuses the session instead of
+    /// resurrecting it.
+    pub fn invalidation_epoch(&self) -> u64 {
+        self.invalidation_epoch
+            .load(std::sync::atomic::Ordering::SeqCst)
     }
 
     /// Number of shards the store spreads sessions over.
@@ -118,6 +141,28 @@ impl MacSessionStore {
         evicted
     }
 
+    /// Removes every session whose establishment proof chain depended on
+    /// the certificate with this hash, returning how many were evicted.
+    ///
+    /// This is the MAC store's arm of revocation push: a session minted
+    /// from a since-revoked delegation must stop authorizing immediately,
+    /// without flushing unrelated sessions or restarting the server.
+    pub fn evict_by_cert(&self, cert_hash: &HashVal) -> usize {
+        // Bump the epoch before sweeping: any establishment that read the
+        // old epoch and locks its shard after this sweep passed it will
+        // see the new value (the shard Mutex orders the two) and refuse.
+        self.invalidation_epoch
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let mut evicted = 0;
+        for shard in self.shards.iter() {
+            let mut sessions = shard.plock();
+            let before = sessions.len();
+            sessions.retain(|_, s| !s.certs.contains(cert_hash));
+            evicted += before - sessions.len();
+        }
+        evicted
+    }
+
     /// Handles an establishment request body, returning the grant body.
     ///
     /// `proof` must already be verified by the caller;
@@ -132,6 +177,24 @@ impl MacSessionStore {
         establishment: Proof,
         now: Time,
         rand_bytes: &mut dyn FnMut(&mut [u8]),
+    ) -> Result<Vec<u8>, String> {
+        let epoch = self.invalidation_epoch();
+        self.establish_at_epoch(body, proven, establishment, now, rand_bytes, epoch)
+    }
+
+    /// Like [`MacSessionStore::establish`], refusing when the store's
+    /// invalidation epoch has moved past `verified_at_epoch` (read before
+    /// the caller verified the establishment proof): the proof was checked
+    /// against revocation state that a push has since superseded, so the
+    /// session must not be created from it.
+    pub fn establish_at_epoch(
+        &self,
+        body: &[u8],
+        proven: Delegation,
+        establishment: Proof,
+        now: Time,
+        rand_bytes: &mut dyn FnMut(&mut [u8]),
+        verified_at_epoch: u64,
     ) -> Result<Vec<u8>, String> {
         let req = Sexp::parse(body).map_err(|e| format!("bad mac-request: {e}"))?;
         if req.tag_name() != Some("mac-request") {
@@ -167,13 +230,23 @@ impl MacSessionStore {
             delegable: false,
         });
         {
+            let certs: Arc<[HashVal]> = establishment.cert_hashes().into();
             let mut sessions = self.shard(&mac_id).plock();
+            // The shard Mutex orders this load against a racing
+            // `evict_by_cert`'s bump: either the sweep sees this session,
+            // or this check sees the sweep.
+            if self.invalidation_epoch() != verified_at_epoch {
+                return Err("a revocation landed since the establishment proof \
+                            was verified; re-verify and retry"
+                    .into());
+            }
             sessions.retain(|_, s| !expired(&s.grant, now));
             sessions.insert(
                 mac_id.clone(),
                 MacSession {
                     secret,
                     grant,
+                    certs,
                     establishment,
                 },
             );
@@ -564,6 +637,95 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
+    }
+
+    /// An establishment whose proof was verified before a revocation push
+    /// landed must be refused: the epoch handshake closes the
+    /// verify-then-insert window that eviction alone cannot see.
+    #[test]
+    fn establishment_refused_when_revocation_raced_verification() {
+        let store = MacSessionStore::new();
+        let mut srng = det("race-server");
+
+        // Caller reads the epoch, verifies the proof… and a push lands.
+        let epoch = store.invalidation_epoch();
+        store.evict_by_cert(&HashVal::of(b"some revoked cert"));
+
+        let mut crng = det("race-client");
+        let (body, _dh) = ClientMacSession::request_body(&mut crng);
+        let (grant, proof) = proven();
+        let refused = store.establish_at_epoch(&body, grant, proof, Time(0), &mut srng, epoch);
+        assert!(refused.is_err(), "stale-epoch establishment must refuse");
+        assert!(store.is_empty());
+
+        // Re-verifying (reading the fresh epoch) succeeds.
+        let epoch = store.invalidation_epoch();
+        let mut crng = det("race-client-2");
+        let (body, _dh) = ClientMacSession::request_body(&mut crng);
+        let (grant, proof) = proven();
+        store
+            .establish_at_epoch(&body, grant, proof, Time(0), &mut srng, epoch)
+            .unwrap();
+        assert_eq!(store.len(), 1);
+    }
+
+    /// Sessions record the certificates their establishment chain used,
+    /// and revoking one evicts exactly the dependent sessions.
+    #[test]
+    fn evict_by_cert_targets_dependent_sessions() {
+        use snowflake_crypto::{Group, KeyPair};
+
+        let store = MacSessionStore::new();
+        let mut srng = det("cert-evict-server");
+        let mut krng = det("cert-evict-key");
+        let owner = KeyPair::generate(Group::test512(), &mut krng);
+
+        // Session A: established through a signed-certificate chain.
+        let delegation = Delegation {
+            subject: Principal::message(b"establishment A"),
+            issuer: Principal::key(&owner.public),
+            tag: Tag::Star,
+            validity: Validity::until(Time(10_000)),
+            delegable: false,
+        };
+        let cert = snowflake_core::Certificate::issue(&owner, delegation.clone(), &mut krng);
+        let cert_hash = cert.hash();
+        let mut crng = det("cert-evict-client-a");
+        let (body, _dh) = ClientMacSession::request_body(&mut crng);
+        store
+            .establish(
+                &body,
+                delegation,
+                Proof::signed_cert(cert),
+                Time(0),
+                &mut srng,
+            )
+            .unwrap();
+
+        // Session B: established through an assumption (no certificates).
+        let (grant, proof) = proven();
+        let mut crng = det("cert-evict-client-b");
+        let (body, dh_b) = ClientMacSession::request_body(&mut crng);
+        let reply = store.establish(&body, grant, proof, Time(0), &mut srng).unwrap();
+        let session_b = ClientMacSession::from_grant(&reply, &dh_b, Validity::always()).unwrap();
+
+        assert_eq!(store.len(), 2);
+        // Revoking an unrelated certificate evicts nothing.
+        assert_eq!(store.evict_by_cert(&HashVal::of(b"unrelated")), 0);
+        // Revoking the establishment certificate evicts only session A.
+        assert_eq!(store.evict_by_cert(&cert_hash), 1);
+        assert_eq!(store.len(), 1);
+        let h = HashVal::of(b"r");
+        let mac = decode_mac_header(&session_b.authenticate(&h)).unwrap();
+        assert!(store
+            .verify(
+                &session_b.mac_id,
+                &mac,
+                &h,
+                &Tag::named("web", vec![Tag::named("method", vec![Tag::atom("GET")])]),
+                Time(500)
+            )
+            .is_ok());
     }
 
     #[test]

@@ -134,21 +134,30 @@ pub trait SnowflakeService: Send + Sync {
 /// Upper bound (seconds) on a MAC session's lifetime at establishment.
 const MAX_MAC_SESSION_LIFE: u64 = 3_600;
 
+/// One verified identical-request entry: who spoke, until when the cached
+/// conclusion holds, and which certificates the verified proof depended on
+/// (so a revocation push can evict exactly the dependent entries).
+struct VerifiedEntry {
+    speaker: Principal,
+    expiry: Time,
+    certs: Arc<[HashVal]>,
+}
+
 /// The identical-request cache with an amortized expiry sweep: every entry
 /// carries an expiry, so reclaiming lazily when the map doubles past its
 /// last swept size keeps a long-running server from leaking one entry per
 /// distinct request (the same leak class the MAC store sweeps for).
 #[derive(Default)]
 struct VerifiedCache {
-    entries: HashMap<HashVal, (Principal, Time)>,
+    entries: HashMap<HashVal, VerifiedEntry>,
     sweep_at: usize,
 }
 
 impl VerifiedCache {
-    fn insert(&mut self, hash: HashVal, speaker: Principal, expiry: Time, now: Time) {
-        self.entries.insert(hash, (speaker, expiry));
+    fn insert(&mut self, hash: HashVal, entry: VerifiedEntry, now: Time) {
+        self.entries.insert(hash, entry);
         if self.entries.len() >= self.sweep_at.max(64) {
-            self.entries.retain(|_, (_, exp)| *exp >= now);
+            self.entries.retain(|_, e| e.expiry >= now);
             self.sweep_at = self.entries.len() * 2;
         }
     }
@@ -179,6 +188,11 @@ pub struct ProtectedServlet<S: SnowflakeService> {
     macs: Arc<MacSessionStore>,
     /// Verified identical requests: request hash → (speaker, expiry).
     verified: Mutex<VerifiedCache>,
+    /// Bumped by `invalidate_cert` while holding the `verified` lock;
+    /// `authorize_signed` re-reads it under the same lock before caching a
+    /// verification, so a revocation push landing mid-verification cannot
+    /// be resurrected by the subsequent cache insert.
+    cache_epoch: std::sync::atomic::AtomicU64,
     stats: Mutex<ServletStats>,
     base_ctx: Mutex<VerifyCtx>,
     clock: fn() -> Time,
@@ -213,6 +227,7 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
             hash_alg: HashAlg::Sha256,
             macs,
             verified: Mutex::new(VerifiedCache::default()),
+            cache_epoch: std::sync::atomic::AtomicU64::new(0),
             stats: Mutex::new(ServletStats::default()),
             base_ctx: Mutex::new(VerifyCtx::at(clock())),
             clock,
@@ -229,6 +244,34 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
     /// Access to the shared verification context (e.g. to install CRLs).
     pub fn base_ctx(&self) -> std::sync::MutexGuard<'_, VerifyCtx> {
         self.base_ctx.plock()
+    }
+
+    /// Attaches a pluggable revocation source (e.g. a freshness agent) to
+    /// every verification this servlet performs.  Sources answer from their
+    /// own cache, so the request hot path never blocks on a fetch.
+    pub fn set_revocation_source(&self, source: Arc<dyn snowflake_core::RevocationSource>) {
+        self.base_ctx.plock().set_revocation_source(source);
+    }
+
+    /// Evicts every warm-cache entry that depended on the certificate with
+    /// this hash — verified identical-request entries *and* MAC sessions in
+    /// this servlet's (possibly shared) store — returning how many were
+    /// dropped.  This is the servlet's arm of revocation push: after a
+    /// revocation lands, no cached state keeps honoring the dead
+    /// delegation, and no full-cache flush is needed.
+    pub fn invalidate_cert(&self, cert_hash: &HashVal) -> usize {
+        let mut dropped = 0;
+        {
+            let mut verified = self.verified.plock();
+            // Bumped under the lock: an in-flight verification that read
+            // the old epoch will re-check under this lock and skip caching.
+            self.cache_epoch
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let before = verified.entries.len();
+            verified.entries.retain(|_, e| !e.certs.contains(cert_hash));
+            dropped += before - verified.entries.len();
+        }
+        dropped + self.macs.evict_by_cert(cert_hash)
     }
 
     /// Current statistics.
@@ -263,10 +306,10 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
         // non-idempotent services should fold a client nonce or channel
         // binding into the request so distinct transactions hash apart.
         let default_hash = auth::request_hash(req, self.hash_alg);
-        if let Some((cached_speaker, expiry)) = self.verified.plock().entries.get(&default_hash) {
-            if *expiry >= now {
+        if let Some(entry) = self.verified.plock().entries.get(&default_hash) {
+            if entry.expiry >= now {
                 self.stats.plock().ident_hits += 1;
-                return Ok(cached_speaker.clone());
+                return Ok(entry.speaker.clone());
             }
         }
 
@@ -288,15 +331,16 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
             default_hash
         } else {
             let h = auth::request_hash(req, alg);
-            if let Some((cached_speaker, expiry)) = self.verified.plock().entries.get(&h) {
-                if *expiry >= now {
+            if let Some(entry) = self.verified.plock().entries.get(&h) {
+                if entry.expiry >= now {
                     self.stats.plock().ident_hits += 1;
-                    return Ok(cached_speaker.clone());
+                    return Ok(entry.speaker.clone());
                 }
             }
             h
         };
 
+        let epoch = self.cache_epoch.load(std::sync::atomic::Ordering::SeqCst);
         let mut ctx = self.base_ctx.plock().clone();
         ctx.now = now;
         match proof.authorizes(&speaker, &issuer, &request_tag, &ctx) {
@@ -306,7 +350,26 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
                     Some(t) => t.min(now.plus(300)),
                     None => now.plus(300),
                 };
-                self.verified.plock().insert(hash, speaker.clone(), expiry, now);
+                {
+                    // Skip caching when an invalidation landed while the
+                    // proof was being verified: the verdict used
+                    // pre-revocation state, and caching it would outlive
+                    // the push.  (This request is still served — the same
+                    // benign race exists for a request verified an
+                    // instant before the revocation.)
+                    let mut verified = self.verified.plock();
+                    if self.cache_epoch.load(std::sync::atomic::Ordering::SeqCst) == epoch {
+                        verified.insert(
+                            hash,
+                            VerifiedEntry {
+                                speaker: speaker.clone(),
+                                expiry,
+                                certs: proof.cert_hashes().into(),
+                            },
+                            now,
+                        );
+                    }
+                }
                 Ok(speaker)
             }
             Err(e) => Err(HttpResponse::forbidden(&format!(
@@ -375,16 +438,24 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
                 ))
             }
         }
+        // Read the store's invalidation epoch before verifying: a
+        // revocation push racing this establishment then refuses the
+        // session instead of minting one from a superseded verdict.
+        let store_epoch = self.macs.invalidation_epoch();
         let mut ctx = self.base_ctx.plock().clone();
         ctx.now = now;
         match proof.authorizes(&speaker, &conclusion.issuer, &conclusion.tag, &ctx) {
             Ok(()) => {
                 self.stats.plock().proof_verifications += 1;
                 let mut rng = self.rng.plock();
-                match self
-                    .macs
-                    .establish(&req.body, conclusion, proof, now, &mut **rng)
-                {
+                match self.macs.establish_at_epoch(
+                    &req.body,
+                    conclusion,
+                    proof,
+                    now,
+                    &mut **rng,
+                    store_epoch,
+                ) {
                     Ok(reply) => HttpResponse::ok("application/sexp", reply),
                     Err(e) => HttpResponse::forbidden(&e),
                 }

@@ -49,6 +49,10 @@ struct Edge {
     /// the (possibly deep) proof tree.
     conclusion: Delegation,
     proof: Arc<Proof>,
+    /// Hashes of the signed certificates the proof depends on — its
+    /// revocation provenance.  [`Prover::invalidate_cert`] removes exactly
+    /// the edges whose provenance names a revoked certificate.
+    certs: Arc<[snowflake_core::HashVal]>,
     /// Shortcut edges are derived proofs cached after a successful search
     /// (the dotted edges of Figure 2).
     shortcut: bool,
@@ -65,6 +69,10 @@ pub struct ProverStats {
     pub finals: usize,
     /// BFS node expansions performed since creation.
     pub expansions: u64,
+    /// Edges removed by targeted certificate invalidation since creation.
+    pub invalidated_edges: u64,
+    /// `invalidate_cert` calls since creation.
+    pub cert_invalidations: u64,
 }
 
 /// Collects delegations, caches proofs, and constructs new delegations.
@@ -84,6 +92,10 @@ pub struct Prover {
     /// BFS node expansions, counted outside the graph lock so read-only
     /// searches never serialize on a writer.
     expansions: AtomicU64,
+    /// Edges removed by `invalidate_cert` (cumulative).
+    invalidated_edges: AtomicU64,
+    /// `invalidate_cert` calls (cumulative).
+    cert_invalidations: AtomicU64,
     rng: std::sync::Mutex<Box<dyn FnMut(&mut [u8]) + Send>>,
 }
 
@@ -128,6 +140,8 @@ impl Prover {
                 known: HashSet::new(),
             }),
             expansions: AtomicU64::new(0),
+            invalidated_edges: AtomicU64::new(0),
+            cert_invalidations: AtomicU64::new(0),
             rng: std::sync::Mutex::new(rng),
         }
     }
@@ -256,12 +270,22 @@ impl Prover {
         if let Some(found) = self.direct_edge(subject, issuer, tag, now, need_delegable) {
             return Some(found);
         }
+        // The invalidation epoch brackets the (read-locked) search: if an
+        // `invalidate_cert` completes between the BFS and the caching
+        // write below, the found chain may be built on a just-revoked
+        // certificate, and caching it would resurrect state the
+        // invalidation purged — so the shortcut is skipped (the caller
+        // still gets the proof; its verification is the caller's check).
+        let epoch = self.cert_invalidations.load(Ordering::Acquire);
         let found = self.bfs(subject, issuer, tag, now, need_delegable)?;
         // Cache multi-step results as shortcut edges (Figure 2's dotted
         // lines): "these shortcuts form a cache that eliminates most deep
         // traversals of the graph."
         if found.size() > 1 {
-            self.inner.pwrite().insert_edge(found.clone(), true);
+            let mut inner = self.inner.pwrite();
+            if self.cert_invalidations.load(Ordering::Acquire) == epoch {
+                inner.insert_edge(found.clone(), true);
+            }
         }
         Some(found)
     }
@@ -355,6 +379,8 @@ impl Prover {
         let mut s = ProverStats {
             finals: inner.closures.len(),
             expansions: self.expansions.load(Ordering::Relaxed),
+            invalidated_edges: self.invalidated_edges.load(Ordering::Relaxed),
+            cert_invalidations: self.cert_invalidations.load(Ordering::Relaxed),
             ..Default::default()
         };
         for edges in inner.edges.values() {
@@ -367,6 +393,54 @@ impl Prover {
             }
         }
         s
+    }
+
+    /// Removes every edge — base or shortcut — whose proof depends on the
+    /// certificate with this hash, returning how many distinct edges were
+    /// dropped.
+    ///
+    /// This is the targeted form of cache invalidation a revocation push
+    /// needs: one revoked certificate evicts exactly the chains built from
+    /// it, leaving every other warm shortcut intact (no
+    /// [`Prover::clear_shortcuts`] flush).  Removed proofs are forgotten
+    /// from the dedup set, so a *re-issued* certificate can be learned
+    /// again later.
+    pub fn invalidate_cert(&self, cert_hash: &snowflake_core::HashVal) -> usize {
+        let inner = &mut *self.inner.pwrite();
+        let mut removed_hashes = HashSet::new();
+        for map in [&mut inner.edges, &mut inner.by_subject] {
+            map.retain(|_, edges| {
+                if edges.iter().any(|e| e.certs.contains(cert_hash)) {
+                    let kept: Vec<Edge> = edges
+                        .iter()
+                        .filter(|e| {
+                            if e.certs.contains(cert_hash) {
+                                removed_hashes.insert(e.proof.hash());
+                                false
+                            } else {
+                                true
+                            }
+                        })
+                        .cloned()
+                        .collect();
+                    if kept.is_empty() {
+                        return false;
+                    }
+                    *edges = kept.into();
+                }
+                true
+            });
+        }
+        for h in &removed_hashes {
+            inner.known.remove(h);
+        }
+        let n = removed_hashes.len();
+        self.invalidated_edges.fetch_add(n as u64, Ordering::Relaxed);
+        // Bumped while the write lock is still held: `search` re-reads the
+        // epoch under the same lock before caching a shortcut, so any
+        // invalidation that purged the graph is visible there.
+        self.cert_invalidations.fetch_add(1, Ordering::Release);
+        n
     }
 
     /// Removes all shortcut edges (used by benchmarks to compare cold/warm
@@ -553,6 +627,7 @@ impl Inner {
         let edge = Edge {
             subject: concl.subject.clone(),
             conclusion: concl.clone(),
+            certs: proof.cert_hashes().into(),
             proof: Arc::new(proof),
             shortcut,
         };
@@ -1235,6 +1310,88 @@ mod tests {
         // 11 nodes × MAX_NODE_FRONTIERS is the worst case; far below the
         // 3^10 paths an uncapped widening search could enumerate.
         assert!(spent <= 11 * 8 + 1, "search expanded {spent} nodes");
+    }
+
+    /// Regression for blunt-flush invalidation: before
+    /// `Prover::invalidate_cert`, reacting to one revoked certificate
+    /// required `clear_shortcuts` (and that did not even touch base
+    /// edges).  Targeted invalidation must (a) kill every chain built on
+    /// the revoked certificate, including warm shortcuts, and (b) leave
+    /// unrelated warm shortcuts answering without re-search.
+    #[test]
+    fn invalidate_cert_is_targeted() {
+        let prover = det_prover("invalidate");
+        let (s, a, b) = (kp("s"), kp("a"), kp("b"));
+        let (x, y) = (kp("x"), kp("y"));
+        let mut rng = DetRng::new(b"i");
+        let mut issue = |from: &KeyPair, to: &KeyPair| {
+            let d = Delegation {
+                subject: Principal::key(&to.public),
+                issuer: Principal::key(&from.public),
+                tag: tag("(web)"),
+                validity: Validity::always(),
+                delegable: true,
+            };
+            Certificate::issue(from, d, &mut |buf| rng.fill(buf))
+        };
+        // Chain 1: B ⇒ A ⇒ S (the S→A cert will be revoked).
+        let cert_sa = issue(&s, &a);
+        let revoked_hash = cert_sa.hash();
+        prover.add_proof(Proof::signed_cert(cert_sa));
+        prover.add_proof(Proof::signed_cert(issue(&a, &b)));
+        // Chain 2: Y ⇒ X ⇒ S, unrelated.
+        prover.add_proof(Proof::signed_cert(issue(&s, &x)));
+        prover.add_proof(Proof::signed_cert(issue(&x, &y)));
+
+        let issuer = Principal::key(&s.public);
+        // Warm both multi-hop chains so shortcut edges exist for each.
+        assert!(prover
+            .find_proof(&Principal::key(&b.public), &issuer, &tag("(web)"), Time(0))
+            .is_some());
+        assert!(prover
+            .find_proof(&Principal::key(&y.public), &issuer, &tag("(web)"), Time(0))
+            .is_some());
+        assert_eq!(prover.stats().shortcut_edges, 2);
+
+        // Revoke S→A: the base edge and the B ⇒ S shortcut derived from it
+        // must go; nothing else.
+        let removed = prover.invalidate_cert(&revoked_hash);
+        assert_eq!(removed, 2, "base edge + derived shortcut");
+        let stats = prover.stats();
+        assert_eq!(stats.invalidated_edges, 2);
+        assert_eq!(stats.cert_invalidations, 1);
+        assert_eq!(stats.shortcut_edges, 1, "unrelated shortcut survives");
+
+        // The revoked chain no longer answers…
+        assert!(prover
+            .find_proof(&Principal::key(&b.public), &issuer, &tag("(web)"), Time(0))
+            .is_none());
+        assert!(prover
+            .find_proof(&Principal::key(&a.public), &issuer, &tag("(web)"), Time(0))
+            .is_none());
+        // …while the unrelated warm shortcut still answers in ≤2 expansions
+        // — proof that no blunt `clear_shortcuts` flush was needed.
+        let before = prover.stats().expansions;
+        assert!(prover
+            .find_proof(&Principal::key(&y.public), &issuer, &tag("(web)"), Time(0))
+            .is_some());
+        assert!(prover.stats().expansions - before <= 2, "warm path kept");
+
+        // A re-issued (distinct) certificate for the same principals can be
+        // learned after invalidation.
+        let d = Delegation {
+            subject: Principal::key(&a.public),
+            issuer: issuer.clone(),
+            tag: tag("(web)"),
+            validity: Validity::until(Time(9_999)),
+            delegable: true,
+        };
+        prover.add_proof(Proof::signed_cert(Certificate::issue(&s, d, &mut |buf| {
+            rng.fill(buf)
+        })));
+        assert!(prover
+            .find_proof(&Principal::key(&b.public), &issuer, &tag("(web)"), Time(0))
+            .is_some());
     }
 
     #[test]

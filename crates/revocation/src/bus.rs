@@ -1,0 +1,60 @@
+//! The revocation bus: fanning push notifications into warm caches.
+//!
+//! Verification rejecting *new* proofs is only half the freshness story:
+//! the concurrency work left several warm paths that never re-verify —
+//! prover shortcut edges, established MAC sessions, the servlet's
+//! identical-request cache, and the RMI server's proof cache.  Each of
+//! those layers records the certificate hashes its entries were built
+//! from, and implements [`RevocationBus`] so a freshness agent can evict
+//! exactly the entries a revoked certificate poisoned — no flush, no
+//! restart.
+
+use snowflake_crypto::HashVal;
+use snowflake_http::{MacSessionStore, ProtectedServlet, SnowflakeService};
+use snowflake_prover::Prover;
+use snowflake_rmi::RmiServer;
+use std::sync::Arc;
+
+/// A warm cache that can evict everything built from one certificate.
+pub trait RevocationBus: Send + Sync {
+    /// Evicts all state depending on the certificate with this hash and
+    /// returns how many entries were dropped.
+    fn certificate_revoked(&self, cert_hash: &HashVal) -> usize;
+}
+
+impl RevocationBus for Prover {
+    fn certificate_revoked(&self, cert_hash: &HashVal) -> usize {
+        self.invalidate_cert(cert_hash)
+    }
+}
+
+impl RevocationBus for MacSessionStore {
+    fn certificate_revoked(&self, cert_hash: &HashVal) -> usize {
+        self.evict_by_cert(cert_hash)
+    }
+}
+
+impl RevocationBus for RmiServer {
+    fn certificate_revoked(&self, cert_hash: &HashVal) -> usize {
+        self.invalidate_cert(cert_hash)
+    }
+}
+
+impl<S: SnowflakeService> RevocationBus for ProtectedServlet<S> {
+    fn certificate_revoked(&self, cert_hash: &HashVal) -> usize {
+        self.invalidate_cert(cert_hash)
+    }
+}
+
+/// A bus broadcasting to several others (useful when one subscription
+/// must reach caches owned by different subsystems).
+pub struct FanoutBus(pub Vec<Arc<dyn RevocationBus>>);
+
+impl RevocationBus for FanoutBus {
+    fn certificate_revoked(&self, cert_hash: &HashVal) -> usize {
+        self.0
+            .iter()
+            .map(|b| b.certificate_revoked(cert_hash))
+            .sum()
+    }
+}

@@ -1,0 +1,105 @@
+//! The push-notification wire form: a signed revocation delta.
+//!
+//! When a certificate is revoked, the validator broadcasts one frame to
+//! every subscriber: the hashes that just became invalid (so warm caches
+//! can evict *exactly* the dependent state) together with the freshly
+//! issued CRL (so verifiers can start rejecting new proofs immediately,
+//! without a round trip back to the validator).  Authenticity rides on the
+//! CRL's signature — the delta adds no trust of its own, and a forged
+//! `newly` list can at worst evict caches that honest re-verification
+//! would repopulate.
+
+use snowflake_core::{Crl, Time};
+use snowflake_crypto::HashVal;
+use snowflake_sexpr::{ParseError, Sexp};
+
+/// One push notification: what was just revoked, plus the current CRL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevocationDelta {
+    /// Certificate hashes revoked by the event this delta announces.  On a
+    /// new subscription the validator sends a *snapshot* delta listing
+    /// everything currently revoked, so late subscribers converge.
+    pub newly_revoked: Vec<HashVal>,
+    /// The full signed list as of this event (its `serial` orders deltas;
+    /// verifiers drop any delta older than what they already hold).
+    pub crl: Crl,
+}
+
+impl RevocationDelta {
+    /// Checks the embedded CRL against the expected validator at `now`.
+    pub fn check(&self, expected_validator: &HashVal, now: Time) -> Result<(), String> {
+        self.crl.check(expected_validator, now)
+    }
+
+    /// Serializes to `(revocation-delta (newly <hash>…) <crl-signed …>)`.
+    pub fn to_sexp(&self) -> Sexp {
+        Sexp::tagged(
+            "revocation-delta",
+            vec![
+                Sexp::tagged(
+                    "newly",
+                    self.newly_revoked.iter().map(HashVal::to_sexp).collect(),
+                ),
+                self.crl.to_sexp(),
+            ],
+        )
+    }
+
+    /// Parses the form produced by [`RevocationDelta::to_sexp`].
+    pub fn from_sexp(e: &Sexp) -> Result<RevocationDelta, ParseError> {
+        let bad = |m: &str| ParseError {
+            offset: 0,
+            message: m.into(),
+        };
+        if e.tag_name() != Some("revocation-delta") {
+            return Err(bad("expected (revocation-delta …)"));
+        }
+        let body = e.tag_body().ok_or_else(|| bad("revocation-delta body"))?;
+        if body.len() != 2 {
+            return Err(bad("revocation-delta takes newly + crl"));
+        }
+        let newly = body[0]
+            .tag_body()
+            .filter(|_| body[0].tag_name() == Some("newly"))
+            .ok_or_else(|| bad("expected (newly …)"))?;
+        let newly_revoked: Result<Vec<HashVal>, ParseError> =
+            newly.iter().map(HashVal::from_sexp).collect();
+        Ok(RevocationDelta {
+            newly_revoked: newly_revoked?,
+            crl: Crl::from_sexp(&body[1])?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowflake_core::Validity;
+    use snowflake_crypto::{DetRng, Group, KeyPair};
+
+    #[test]
+    fn delta_sexp_roundtrip() {
+        let mut r = DetRng::new(b"delta");
+        let mut rng = move |b: &mut [u8]| r.fill(b);
+        let validator = KeyPair::generate(Group::test512(), &mut rng);
+        let bad = HashVal::of(b"bad cert");
+        let delta = RevocationDelta {
+            newly_revoked: vec![bad.clone()],
+            crl: Crl::issue_with_serial(
+                &validator,
+                3,
+                vec![bad],
+                Validity::between(Time(10), Time(100)),
+                &mut rng,
+            ),
+        };
+        let back = RevocationDelta::from_sexp(&delta.to_sexp()).unwrap();
+        assert_eq!(back, delta);
+        assert!(back.check(&validator.public.hash(), Time(50)).is_ok());
+        assert!(back.check(&validator.public.hash(), Time(500)).is_err());
+        // And through the transport (frame) encoding.
+        let framed = delta.to_sexp().canonical();
+        let back = RevocationDelta::from_sexp(&Sexp::parse(&framed).unwrap()).unwrap();
+        assert_eq!(back, delta);
+    }
+}

@@ -1,0 +1,489 @@
+//! The validator service: the authority that *distributes* revocation.
+//!
+//! A [`ValidatorService`] owns the revocation state for one validator key:
+//! which certificates are dead, the current signed [`Crl`], and the
+//! one-time [`Revalidation`]s it is willing to mint.  It serves both pull
+//! (fetch the current CRL, request a revalidation — including over RMI via
+//! [`ValidatorObject`]) and push: subscribers registered through
+//! [`ValidatorService::subscribe`] receive a signed [`RevocationDelta`]
+//! the moment a certificate is revoked, over whatever sink they choose —
+//! an in-process freshness agent, an mpsc channel, or a framed
+//! [`Transport`] to another host.
+//!
+//! This is the production shape of Vanadium-style third-party validators:
+//! short-lived signed artifacts minted centrally, cached and refreshed at
+//! every verifier.
+
+use crate::delta::RevocationDelta;
+use snowflake_channel::Transport;
+use snowflake_core::sync::LockExt;
+use snowflake_core::{Crl, Principal, Revalidation, Time, Validity};
+use snowflake_crypto::{HashVal, KeyPair, PublicKey};
+use snowflake_rmi::{CallerInfo, Invocation, RemoteObject, RmiFault};
+use snowflake_sexpr::Sexp;
+use std::collections::BTreeSet;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+/// Default CRL validity window (seconds).  Short enough that a verifier
+/// cut off from both push and pull fails closed quickly; long enough that
+/// refresh traffic stays cheap.
+pub const DEFAULT_CRL_WINDOW: u64 = 300;
+
+/// Default revalidation validity window (seconds) — one-time revalidations
+/// are deliberately much shorter than CRLs.
+pub const DEFAULT_REVALIDATION_WINDOW: u64 = 30;
+
+/// The registry name [`ValidatorObject`] is conventionally bound to.
+pub const VALIDATOR_OBJECT: &str = "revocation-validator";
+
+/// A push-notification sink.  Returning `false` unsubscribes the sink
+/// (dead transports and dropped agents clean themselves up this way).
+///
+/// `push` runs with the validator's subscriber list locked and so must
+/// **not block indefinitely**: transport-backed sinks hand the delta to a
+/// per-subscriber forwarder thread instead of writing the socket inline,
+/// so one stalled remote verifier cannot halt revocation distribution
+/// for the whole fleet.
+pub trait PushSink: Send {
+    /// Delivers one delta; `false` drops the subscription.
+    fn push(&mut self, delta: &RevocationDelta) -> bool;
+}
+
+/// A sink forwarding deltas into an in-process mpsc channel.
+pub struct ChannelSink(Sender<RevocationDelta>);
+
+impl PushSink for ChannelSink {
+    fn push(&mut self, delta: &RevocationDelta) -> bool {
+        self.0.send(delta.clone()).is_ok()
+    }
+}
+
+/// Bounded queue depth between the validator and each transport
+/// forwarder thread: a subscriber this far behind is treated as stalled
+/// and dropped rather than allowed to buffer without bound.
+pub const TRANSPORT_SINK_QUEUE: usize = 64;
+
+/// A sink writing each delta as one canonical S-expression frame on a
+/// [`Transport`] — how a validator pushes to verifiers on other hosts.
+///
+/// The socket write happens on a per-subscriber forwarder thread behind a
+/// bounded queue; `push` only enqueues, so a stalled or slow remote never
+/// blocks the validator's broadcast (it gets dropped once its queue
+/// fills).
+pub struct TransportSink {
+    queue: std::sync::mpsc::SyncSender<RevocationDelta>,
+}
+
+impl TransportSink {
+    /// Wraps a connected transport, spawning its forwarder thread (which
+    /// exits when the sink is dropped or the transport dies).
+    pub fn new(mut transport: Box<dyn Transport>) -> TransportSink {
+        let (queue, rx) = std::sync::mpsc::sync_channel::<RevocationDelta>(TRANSPORT_SINK_QUEUE);
+        std::thread::spawn(move || {
+            while let Ok(delta) = rx.recv() {
+                if transport.send(&delta.to_sexp().canonical()).is_err() {
+                    return;
+                }
+            }
+        });
+        TransportSink { queue }
+    }
+}
+
+impl PushSink for TransportSink {
+    fn push(&mut self, delta: &RevocationDelta) -> bool {
+        // Full queue = stalled subscriber; disconnected = dead transport.
+        // Either way the subscription is dropped.
+        self.queue.try_send(delta.clone()).is_ok()
+    }
+}
+
+/// Counters exposed for the freshness benchmarks and tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ValidatorStats {
+    /// Certificates revoked so far.
+    pub revocations: u64,
+    /// Signed CRLs issued (initial + reissues + per-revocation).
+    pub crls_issued: u64,
+    /// Revalidations minted.
+    pub revalidations: u64,
+    /// Deltas delivered to subscribers (one per subscriber per event).
+    pub deltas_pushed: u64,
+    /// Subscribers dropped after a failed push.
+    pub subscribers_dropped: u64,
+}
+
+struct State {
+    revoked: BTreeSet<HashVal>,
+    serial: u64,
+    cached: Option<Crl>,
+}
+
+/// Owns revocation state for one validator key and distributes it.
+pub struct ValidatorService {
+    key: KeyPair,
+    clock: fn() -> Time,
+    crl_window: u64,
+    reval_window: u64,
+    state: Mutex<State>,
+    subscribers: Mutex<Vec<Box<dyn PushSink>>>,
+    stats: Mutex<ValidatorStats>,
+    rng: Mutex<Box<dyn FnMut(&mut [u8]) + Send>>,
+}
+
+impl ValidatorService {
+    /// Creates a validator with the default windows, wall-clock time, and
+    /// OS entropy.
+    pub fn new(key: KeyPair) -> Arc<ValidatorService> {
+        Self::with_clock(key, Time::now, Box::new(snowflake_crypto::rand_bytes))
+    }
+
+    /// Creates a validator with injected clock and entropy (tests/benches).
+    pub fn with_clock(
+        key: KeyPair,
+        clock: fn() -> Time,
+        rng: Box<dyn FnMut(&mut [u8]) + Send>,
+    ) -> Arc<ValidatorService> {
+        Self::with_windows(key, clock, rng, DEFAULT_CRL_WINDOW, DEFAULT_REVALIDATION_WINDOW)
+    }
+
+    /// Full-control constructor: CRL and revalidation windows in seconds.
+    pub fn with_windows(
+        key: KeyPair,
+        clock: fn() -> Time,
+        rng: Box<dyn FnMut(&mut [u8]) + Send>,
+        crl_window: u64,
+        reval_window: u64,
+    ) -> Arc<ValidatorService> {
+        Arc::new(ValidatorService {
+            key,
+            clock,
+            crl_window,
+            reval_window,
+            state: Mutex::new(State {
+                revoked: BTreeSet::new(),
+                serial: 0,
+                cached: None,
+            }),
+            subscribers: Mutex::new(Vec::new()),
+            stats: Mutex::new(ValidatorStats::default()),
+            rng: Mutex::new(rng),
+        })
+    }
+
+    /// The validator's public key.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.key.public
+    }
+
+    /// The validator's key hash — what certificates name in their
+    /// [`snowflake_core::RevocationPolicy`].
+    pub fn validator_hash(&self) -> HashVal {
+        self.key.public.hash()
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ValidatorStats {
+        *self.stats.plock()
+    }
+
+    /// Is this certificate hash currently revoked?
+    pub fn is_revoked(&self, cert_hash: &HashVal) -> bool {
+        self.state.plock().revoked.contains(cert_hash)
+    }
+
+    /// Issues (and caches) a CRL for the current state, bumping the serial.
+    fn issue_locked(&self, state: &mut State, now: Time) -> Crl {
+        state.serial += 1;
+        let revoked: Vec<HashVal> = state.revoked.iter().cloned().collect();
+        let crl = {
+            let mut rng = self.rng.plock();
+            Crl::issue_with_serial(
+                &self.key,
+                state.serial,
+                revoked,
+                Validity::between(now, now.plus(self.crl_window)),
+                &mut **rng,
+            )
+        };
+        state.cached = Some(crl.clone());
+        self.stats.plock().crls_issued += 1;
+        crl
+    }
+
+    /// The current signed CRL, reissued when the cached one is no longer
+    /// current (so pull clients always receive a full freshness window).
+    pub fn current_crl(&self) -> Crl {
+        let now = (self.clock)();
+        let mut state = self.state.plock();
+        if let Some(crl) = &state.cached {
+            // Serve the cached list through the first half of its window;
+            // refreshing pullers then always get ≥ half a window of margin.
+            let fresh_until = Time(crl.validity.not_before.map_or(0, |t| t.0) + self.crl_window / 2);
+            if crl.validity.contains(now) && now <= fresh_until {
+                return crl.clone();
+            }
+        }
+        self.issue_locked(&mut state, now)
+    }
+
+    /// Revokes a certificate: updates state, issues a fresh CRL, and
+    /// broadcasts a signed delta to every subscriber.  Returns the delta
+    /// (idempotent: revoking an already-dead certificate re-broadcasts).
+    pub fn revoke(&self, cert_hash: HashVal) -> RevocationDelta {
+        let now = (self.clock)();
+        let delta = {
+            let mut state = self.state.plock();
+            state.revoked.insert(cert_hash.clone());
+            let crl = self.issue_locked(&mut state, now);
+            RevocationDelta {
+                newly_revoked: vec![cert_hash],
+                crl,
+            }
+        };
+        self.stats.plock().revocations += 1;
+        self.broadcast(&delta);
+        delta
+    }
+
+    /// Mints a one-time revalidation for a live certificate; refuses for a
+    /// revoked one.
+    pub fn revalidate(&self, cert_hash: &HashVal) -> Result<Revalidation, String> {
+        if self.is_revoked(cert_hash) {
+            return Err("certificate has been revoked".into());
+        }
+        let now = (self.clock)();
+        let reval = {
+            let mut rng = self.rng.plock();
+            Revalidation::issue(
+                &self.key,
+                cert_hash.clone(),
+                Validity::between(now, now.plus(self.reval_window)),
+                &mut **rng,
+            )
+        };
+        self.stats.plock().revalidations += 1;
+        Ok(reval)
+    }
+
+    /// Registers a push subscriber and immediately sends it a snapshot
+    /// delta (everything currently revoked + the current CRL), so late
+    /// subscribers converge without waiting for the next event.
+    ///
+    /// The subscriber list is locked across snapshot-build, push, and
+    /// registration: a revocation racing the subscription is therefore
+    /// either inside the snapshot (it updated state before the snapshot
+    /// read it) or broadcast to the now-registered sink afterwards —
+    /// never lost in between.
+    pub fn subscribe(&self, mut sink: Box<dyn PushSink>) {
+        let mut sinks = self.subscribers.plock();
+        let snapshot = {
+            let now = (self.clock)();
+            let mut state = self.state.plock();
+            let crl = match &state.cached {
+                Some(c) if c.validity.contains(now) => c.clone(),
+                _ => self.issue_locked(&mut state, now),
+            };
+            RevocationDelta {
+                newly_revoked: state.revoked.iter().cloned().collect(),
+                crl,
+            }
+        };
+        if sink.push(&snapshot) {
+            self.stats.plock().deltas_pushed += 1;
+            sinks.push(sink);
+        } else {
+            self.stats.plock().subscribers_dropped += 1;
+        }
+    }
+
+    /// Subscribes via an in-process channel; the caller drains the
+    /// receiver (colocated verifiers and tests).
+    pub fn subscribe_channel(&self) -> Receiver<RevocationDelta> {
+        let (tx, rx) = channel();
+        self.subscribe(Box::new(ChannelSink(tx)));
+        rx
+    }
+
+    /// Subscribes a remote verifier over a framed transport: every delta
+    /// is sent as one canonical S-expression frame.
+    pub fn subscribe_transport(&self, transport: Box<dyn Transport>) {
+        self.subscribe(Box::new(TransportSink::new(transport)));
+    }
+
+    /// Number of live subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.plock().len()
+    }
+
+    fn broadcast(&self, delta: &RevocationDelta) {
+        let mut sinks = self.subscribers.plock();
+        let before = sinks.len();
+        sinks.retain_mut(|s| s.push(delta));
+        let delivered = sinks.len() as u64;
+        let dropped = (before - sinks.len()) as u64;
+        let mut stats = self.stats.plock();
+        stats.deltas_pushed += delivered;
+        stats.subscribers_dropped += dropped;
+    }
+}
+
+/// The validator served as an RMI remote object — `crl` returns the
+/// current signed list, `revalidate <cert-hash>` mints a one-time
+/// revalidation.  Both artifacts are signed statements, so the object is
+/// safe to register *open* (no authorization needed to read public
+/// revocation data): `server.register_open(VALIDATOR_OBJECT, obj)`.
+pub struct ValidatorObject(pub Arc<ValidatorService>);
+
+impl RemoteObject for ValidatorObject {
+    fn issuer(&self) -> Principal {
+        Principal::key(self.0.public_key())
+    }
+
+    fn invoke(&self, invocation: &Invocation, _caller: &CallerInfo) -> Result<Sexp, RmiFault> {
+        match invocation.method.as_str() {
+            "crl" => Ok(self.0.current_crl().to_sexp()),
+            "revalidate" => {
+                let hash_sexp = invocation
+                    .args
+                    .first()
+                    .ok_or_else(|| RmiFault::Application("revalidate needs a cert hash".into()))?;
+                let cert_hash = HashVal::from_sexp(hash_sexp)
+                    .map_err(|e| RmiFault::Application(format!("bad cert hash: {e}")))?;
+                self.0
+                    .revalidate(&cert_hash)
+                    .map(|r| r.to_sexp())
+                    .map_err(RmiFault::Application)
+            }
+            other => Err(RmiFault::NoSuchMethod(other.into())),
+        }
+    }
+}
+
+/// Reads one pushed delta frame from a transport (the verifier side of
+/// [`ValidatorService::subscribe_transport`]).
+pub fn read_delta(transport: &mut dyn Transport) -> std::io::Result<RevocationDelta> {
+    let frame = transport.recv()?;
+    let sexp = Sexp::parse(&frame)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    RevocationDelta::from_sexp(&sexp)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowflake_crypto::{DetRng, Group};
+
+    fn fixed_clock() -> Time {
+        Time(1_000)
+    }
+
+    fn validator(seed: &str) -> Arc<ValidatorService> {
+        let mut kr = DetRng::new(seed.as_bytes());
+        let key = KeyPair::generate(Group::test512(), &mut |b| kr.fill(b));
+        let mut sr = DetRng::new(b"svc-rng");
+        ValidatorService::with_clock(key, fixed_clock, Box::new(move |b| sr.fill(b)))
+    }
+
+    #[test]
+    fn crl_serials_increase_and_cache_serves() {
+        let v = validator("serial");
+        let c1 = v.current_crl();
+        let c2 = v.current_crl();
+        assert_eq!(c1, c2, "cached list served while fresh");
+        let delta = v.revoke(HashVal::of(b"dead"));
+        assert!(delta.crl.serial > c1.serial);
+        assert!(delta.crl.revokes(&HashVal::of(b"dead")));
+        assert!(v.current_crl().revokes(&HashVal::of(b"dead")));
+        assert!(v
+            .current_crl()
+            .check(&v.validator_hash(), fixed_clock())
+            .is_ok());
+    }
+
+    #[test]
+    fn revalidation_refused_for_revoked() {
+        let v = validator("reval");
+        let cert = HashVal::of(b"cert");
+        let r = v.revalidate(&cert).unwrap();
+        assert!(r.check(&v.validator_hash(), &cert, fixed_clock()).is_ok());
+        v.revoke(cert.clone());
+        assert!(v.revalidate(&cert).is_err());
+    }
+
+    #[test]
+    fn channel_subscription_gets_snapshot_and_events() {
+        let v = validator("subs");
+        v.revoke(HashVal::of(b"already-dead"));
+        let rx = v.subscribe_channel();
+        // Snapshot delta covers pre-subscription revocations.
+        let snapshot = rx.try_recv().unwrap();
+        assert_eq!(snapshot.newly_revoked, vec![HashVal::of(b"already-dead")]);
+        // Live event arrives as its own delta.
+        v.revoke(HashVal::of(b"newly-dead"));
+        let event = rx.try_recv().unwrap();
+        assert_eq!(event.newly_revoked, vec![HashVal::of(b"newly-dead")]);
+        assert!(event.crl.revokes(&HashVal::of(b"already-dead")));
+        assert!(event.crl.serial > snapshot.crl.serial);
+        // Dropping the receiver unsubscribes on the next push.
+        drop(rx);
+        v.revoke(HashVal::of(b"third"));
+        assert_eq!(v.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn transport_subscription_frames_deltas() {
+        use snowflake_channel::PipeTransport;
+        let v = validator("transport");
+        let (server_end, mut client_end) = PipeTransport::pair();
+        v.subscribe_transport(Box::new(server_end));
+        // Snapshot frame first.
+        let snapshot = read_delta(&mut client_end).unwrap();
+        assert!(snapshot.newly_revoked.is_empty());
+        v.revoke(HashVal::of(b"gone"));
+        let event = read_delta(&mut client_end).unwrap();
+        assert_eq!(event.newly_revoked, vec![HashVal::of(b"gone")]);
+        assert!(event.check(&v.validator_hash(), fixed_clock()).is_ok());
+    }
+
+    #[test]
+    fn rmi_object_serves_crl_and_revalidation() {
+        let v = validator("rmi");
+        let obj = ValidatorObject(Arc::clone(&v));
+        let caller = CallerInfo {
+            speaker: Principal::message(b"anyone"),
+            channel: snowflake_core::ChannelId {
+                kind: "test".into(),
+                id: HashVal::of(b"ch"),
+            },
+        };
+        let inv = |method: &str, args: Vec<Sexp>| Invocation {
+            object: VALIDATOR_OBJECT.into(),
+            method: method.into(),
+            args,
+            quoting: None,
+        };
+        let crl = Crl::from_sexp(&obj.invoke(&inv("crl", vec![]), &caller).unwrap()).unwrap();
+        assert!(crl.check(&v.validator_hash(), fixed_clock()).is_ok());
+
+        let cert = HashVal::of(b"cert");
+        let r = Revalidation::from_sexp(
+            &obj.invoke(&inv("revalidate", vec![cert.to_sexp()]), &caller)
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(r.check(&v.validator_hash(), &cert, fixed_clock()).is_ok());
+
+        v.revoke(cert.clone());
+        assert!(matches!(
+            obj.invoke(&inv("revalidate", vec![cert.to_sexp()]), &caller),
+            Err(RmiFault::Application(_))
+        ));
+        assert!(matches!(
+            obj.invoke(&inv("nope", vec![]), &caller),
+            Err(RmiFault::NoSuchMethod(_))
+        ));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property: a `VerifyCtx` fed by a [`FreshnessAgent`] (attached as its
+//! pluggable `RevocationSource`) answers `check_revocation` identically to
+//! a context hand-loaded with the same CRLs and revalidations — for every
+//! mix of revoked/live certificates, both policy kinds, and instants
+//! inside and outside the freshness windows.
+
+use proptest::prelude::*;
+use snowflake_core::{
+    Certificate, Delegation, Principal, RevocationPolicy, Time, Validity, VerifyCtx,
+};
+use snowflake_crypto::{DetRng, Group, KeyPair};
+use snowflake_revocation::{AgentSink, FreshnessAgent, InProcessValidator, ValidatorService};
+use snowflake_tags::Tag;
+use std::sync::{Arc, OnceLock};
+
+fn fixed_clock() -> Time {
+    Time(1_000_000)
+}
+
+/// Key generation dominates test time; share one owner/validator pair.
+fn owner() -> &'static KeyPair {
+    static K: OnceLock<KeyPair> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut rng = DetRng::new(b"props-owner");
+        KeyPair::generate(Group::test512(), &mut |b| rng.fill(b))
+    })
+}
+
+fn validator_key() -> &'static KeyPair {
+    static K: OnceLock<KeyPair> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut rng = DetRng::new(b"props-validator");
+        KeyPair::generate(Group::test512(), &mut |b| rng.fill(b))
+    })
+}
+
+/// Issues cert `i` with the requested policy kind.
+fn cert(i: usize, crl_policy: bool) -> Certificate {
+    let mut rng = DetRng::new(format!("props-cert-{i}").as_bytes());
+    let policy = if crl_policy {
+        RevocationPolicy::Crl {
+            validator: validator_key().public.hash(),
+        }
+    } else {
+        RevocationPolicy::Revalidate {
+            validator: validator_key().public.hash(),
+        }
+    };
+    Certificate::issue_with_revocation(
+        owner(),
+        Delegation {
+            subject: Principal::message(format!("subject-{i}").as_bytes()),
+            issuer: Principal::key(&owner().public),
+            tag: Tag::Star,
+            validity: Validity::always(),
+            delegable: false,
+        },
+        Some(policy),
+        &mut |b| rng.fill(b),
+    )
+}
+
+/// Regression: an installed, still-current CRL must not shadow a *newer*
+/// list the attached source holds — the common shape after `populate`
+/// followed by a push — or a pushed revocation would be ignored for the
+/// rest of the installed list's window.
+#[test]
+fn installed_crl_does_not_shadow_newer_pushed_crl() {
+    let validator = ValidatorService::with_clock(validator_key().clone(), fixed_clock, {
+        let mut r = DetRng::new(b"shadow-rng");
+        Box::new(move |b: &mut [u8]| r.fill(b))
+    });
+    let agent = FreshnessAgent::with_pacing(fixed_clock, 30, 0, 0);
+    agent.register_validator(
+        validator.validator_hash(),
+        Arc::new(InProcessValidator(Arc::clone(&validator))),
+    );
+    validator.subscribe(Box::new(AgentSink::new(&agent)));
+
+    let c = cert(0, true);
+    // Hand-load the pre-revocation list AND attach the agent as source.
+    let mut ctx = VerifyCtx::at(fixed_clock());
+    agent.populate(&mut ctx);
+    let ctx = ctx.with_revocation_source(agent.clone());
+    assert!(ctx.check_revocation(&c).is_ok());
+
+    // The push installs a newer list at the agent; the same ctx (whose
+    // installed copy is still inside its window) must reject now.
+    validator.revoke(c.hash());
+    assert!(
+        ctx.check_revocation(&c).is_err(),
+        "newer pushed CRL must win over the older installed one"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn agent_fed_ctx_equals_hand_loaded_ctx(
+        crl_flags in proptest::collection::vec(any::<bool>(), 6usize..7),
+        revoke_flags in proptest::collection::vec(any::<bool>(), 6usize..7),
+        reval_flags in proptest::collection::vec(any::<bool>(), 6usize..7),
+        time_skew in 0u64..600,
+    ) {
+        let validator = ValidatorService::with_clock(
+            validator_key().clone(),
+            fixed_clock,
+            {
+                let mut r = DetRng::new(b"props-svc-rng");
+                Box::new(move |b: &mut [u8]| r.fill(b))
+            },
+        );
+        let agent = FreshnessAgent::with_pacing(fixed_clock, 30, 0, 0);
+        agent.register_validator(
+            validator.validator_hash(),
+            Arc::new(InProcessValidator(Arc::clone(&validator))),
+        );
+        validator.subscribe(Box::new(AgentSink::new(&agent)));
+
+        // Build the world: certs with either policy, a random subset
+        // revoked, a random subset pre-fetched as revalidations.
+        let certs: Vec<Certificate> =
+            (0..crl_flags.len()).map(|i| cert(i, crl_flags[i])).collect();
+        for (i, c) in certs.iter().enumerate() {
+            // Fetch revalidations before revoking (a revoked cert cannot
+            // be revalidated), mirroring a verifier that cached them.
+            if reval_flags[i] && !crl_flags[i] {
+                agent
+                    .fetch_revalidation(&validator.validator_hash(), &c.hash())
+                    .unwrap();
+            }
+        }
+        for (i, c) in certs.iter().enumerate() {
+            if revoke_flags[i] {
+                validator.revoke(c.hash());
+            }
+        }
+
+        // The two contexts under comparison, at an instant possibly past
+        // the freshness windows (time_skew pushes beyond the 300 s CRL
+        // window and 30 s revalidation window in some cases).
+        let now = Time(fixed_clock().0 + time_skew);
+        let sourced = VerifyCtx::at(now).with_revocation_source(agent.clone());
+        let mut hand_loaded = VerifyCtx::at(now);
+        agent.populate(&mut hand_loaded);
+
+        for c in &certs {
+            let a = sourced.check_revocation(c);
+            let b = hand_loaded.check_revocation(c);
+            prop_assert_eq!(
+                a.is_ok(),
+                b.is_ok(),
+                "sourced {:?} vs hand-loaded {:?} for {:?}",
+                a,
+                b,
+                c
+            );
+        }
+    }
+}

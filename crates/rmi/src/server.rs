@@ -70,6 +70,9 @@ pub struct ProofCacheStats {
 /// One verified proof in the cache.
 struct CachedProof {
     conclusion: Delegation,
+    /// Hashes of the certificates the proof depends on — its revocation
+    /// provenance, consulted by [`RmiServer::invalidate_cert`].
+    certs: Vec<snowflake_core::HashVal>,
     #[expect(dead_code, reason = "retained for audit trails")]
     proof: Proof,
 }
@@ -82,6 +85,11 @@ pub struct RmiServer {
     open_objects: Mutex<HashMap<String, Arc<dyn RemoteObject>>>,
     /// Verified proofs keyed by subject principal.
     cache: Mutex<HashMap<Principal, Vec<CachedProof>>>,
+    /// Bumped by `invalidate_cert` while holding the cache lock;
+    /// `receive_proof` re-reads it under the same lock before caching, so
+    /// a revocation push landing mid-verification cannot be resurrected
+    /// by the subsequent insert.
+    cache_epoch: std::sync::atomic::AtomicU64,
     stats: Mutex<ProofCacheStats>,
     /// Base context cloned per connection (carries revocation data).
     base_ctx: Mutex<VerifyCtx>,
@@ -100,6 +108,7 @@ impl RmiServer {
             objects: Mutex::new(HashMap::new()),
             open_objects: Mutex::new(HashMap::new()),
             cache: Mutex::new(HashMap::new()),
+            cache_epoch: std::sync::atomic::AtomicU64::new(0),
             stats: Mutex::new(ProofCacheStats::default()),
             base_ctx: Mutex::new(VerifyCtx::at(clock())),
             clock,
@@ -140,6 +149,36 @@ impl RmiServer {
     /// Drops all cached proofs (benchmarks use this to force re-submission).
     pub fn forget_proofs(&self) {
         self.cache.plock().clear();
+    }
+
+    /// Attaches a pluggable revocation source (e.g. a freshness agent)
+    /// consulted by every connection's verification context.
+    pub fn set_revocation_source(
+        &self,
+        source: std::sync::Arc<dyn snowflake_core::RevocationSource>,
+    ) {
+        self.base_ctx.plock().set_revocation_source(source);
+    }
+
+    /// Drops every cached proof that depended on the certificate with this
+    /// hash, returning how many were evicted.  After a revocation push the
+    /// `check_auth` fast path faults again, forcing clients to re-prove —
+    /// which the verifier then rejects against the fresh CRL.  Unrelated
+    /// cached proofs keep answering; no flush, no restart.
+    pub fn invalidate_cert(&self, cert_hash: &snowflake_core::HashVal) -> usize {
+        let mut cache = self.cache.plock();
+        // Bumped under the lock: an in-flight `receive_proof` that read
+        // the old epoch will re-check under this lock and skip caching.
+        self.cache_epoch
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let mut evicted = 0;
+        cache.retain(|_, entries| {
+            let before = entries.len();
+            entries.retain(|e| !e.certs.contains(cert_hash));
+            evicted += before - entries.len();
+            !entries.is_empty()
+        });
+        evicted
     }
 
     /// Serves one connection until the peer closes it.
@@ -261,6 +300,7 @@ impl RmiServer {
 
         // Build this connection's verification context: base (revocation
         // data) + the channel binding this endpoint itself witnessed.
+        let epoch = self.cache_epoch.load(std::sync::atomic::Ordering::SeqCst);
         let mut ctx = self.base_ctx.plock().clone();
         ctx.now = (self.clock)();
         if let Some(binding) = channel.peer_binding() {
@@ -271,11 +311,24 @@ impl RmiServer {
             return RmiReply::Fault(RmiFault::NotAuthorized(format!("proof rejected: {e}")));
         }
         let conclusion = proof.conclusion();
-        self.cache
-            .plock()
-            .entry(conclusion.subject.clone())
-            .or_default()
-            .push(CachedProof { conclusion, proof });
+        let certs = proof.cert_hashes();
+        {
+            // Skip caching when an invalidation landed during
+            // verification: the verdict used pre-revocation state.  The
+            // next `check_auth` then faults and the client must re-prove
+            // against the fresh CRL.
+            let mut cache = self.cache.plock();
+            if self.cache_epoch.load(std::sync::atomic::Ordering::SeqCst) == epoch {
+                cache
+                    .entry(conclusion.subject.clone())
+                    .or_default()
+                    .push(CachedProof {
+                        conclusion,
+                        certs,
+                        proof,
+                    });
+            }
+        }
         RmiReply::Return(Sexp::from("ok"))
     }
 }

@@ -1,0 +1,96 @@
+//! Revocation lifecycle walkthrough: issue a revocable delegation, honor
+//! it at a verifier kept fresh by a [`FreshnessAgent`], then revoke it at
+//! the [`ValidatorService`] and watch the push deny the very next check —
+//! including the warm prover shortcut that would otherwise keep answering.
+//!
+//! Run with `cargo run --example revocation_walkthrough`.
+
+use snowflake::core::{
+    Certificate, Delegation, Principal, Proof, RevocationPolicy, Tag, Time, Validity, VerifyCtx,
+};
+use snowflake::crypto::{rand_bytes, Group, KeyPair};
+use snowflake::prover::Prover;
+use snowflake::revocation::{AgentSink, FreshnessAgent, InProcessValidator, ValidatorService};
+use std::sync::Arc;
+
+fn main() {
+    // --- The cast: a resource owner, a user, and a third-party validator.
+    let owner = KeyPair::generate_os(Group::test512());
+    let bob = KeyPair::generate_os(Group::test512());
+    let validator = ValidatorService::new(KeyPair::generate_os(Group::test512()));
+    println!("validator = {}", validator.validator_hash().to_sexp().advanced());
+
+    // --- The owner grants Bob access, opting into CRL revocation: any
+    // verifier must hold a current CRL from the named validator.
+    let cert = Certificate::issue_with_revocation(
+        &owner,
+        Delegation {
+            subject: Principal::key(&bob.public),
+            issuer: Principal::key(&owner.public),
+            tag: Tag::named("web", vec![]),
+            validity: Validity::until(Time::now().plus(86_400)),
+            delegable: true,
+        },
+        Some(RevocationPolicy::Crl {
+            validator: validator.validator_hash(),
+        }),
+        &mut rand_bytes,
+    );
+    let cert_hash = cert.hash();
+    println!("\nissued revocable delegation, cert hash {}", cert_hash.to_sexp().advanced());
+
+    // --- The verifier side: a freshness agent caches the validator's
+    // CRLs, a prover digests the delegation, and a push subscription wires
+    // the agent (and the prover's warm cache) to the validator.
+    let agent = FreshnessAgent::new(Time::now);
+    agent.register_validator(
+        validator.validator_hash(),
+        Arc::new(InProcessValidator(Arc::clone(&validator))),
+    );
+    let prover = Arc::new(Prover::new());
+    prover.add_proof(Proof::signed_cert(cert.clone()));
+    agent.add_bus(Arc::clone(&prover) as _);
+    validator.subscribe(Box::new(AgentSink::new(&agent)));
+    println!("agent subscribed; CRL serial {}", validator.current_crl().serial);
+
+    // --- Verification consults the agent's cache — never the network.
+    let ctx = VerifyCtx::now().with_revocation_source(Arc::clone(&agent) as _);
+    let proof = Proof::signed_cert(cert);
+    println!("\nbefore revocation:");
+    println!("  proof verifies: {:?}", proof.verify(&ctx).is_ok());
+    let warm = prover.find_proof(
+        &Principal::key(&bob.public),
+        &Principal::key(&owner.public),
+        &Tag::named("web", vec![]),
+        Time::now(),
+    );
+    println!("  prover answers warm: {}", warm.is_some());
+
+    // --- The owner changes their mind: one call at the validator.
+    let delta = validator.revoke(cert_hash);
+    println!("\nrevoked; pushed delta with CRL serial {}", delta.crl.serial);
+
+    // --- The push already landed (synchronous subscription): the next
+    // verification rejects, and the prover's warm edge is gone — no
+    // restart, no cache flush.  (Real verifiers stamp a fresh `now` per
+    // request, as the servlets do; a context older than the pushed CRL's
+    // window still fails closed, just with a less specific error.)
+    let ctx = VerifyCtx::now().with_revocation_source(Arc::clone(&agent) as _);
+    println!("\nafter revocation:");
+    match proof.verify(&ctx) {
+        Ok(()) => println!("  proof verifies: true (BUG!)"),
+        Err(e) => println!("  proof rejected: {e}"),
+    }
+    let warm = prover.find_proof(
+        &Principal::key(&bob.public),
+        &Principal::key(&owner.public),
+        &Tag::named("web", vec![]),
+        Time::now(),
+    );
+    println!("  prover answers warm: {}", warm.is_some());
+    println!(
+        "  prover stats: {} edge(s) invalidated by {} push(es)",
+        prover.stats().invalidated_edges,
+        agent.stats().deltas_applied,
+    );
+}

@@ -14,8 +14,9 @@ cargo test -q --offline
 echo "==> cargo doc --no-deps"
 cargo doc --no-deps --offline
 
-echo "==> contention benches (smoke mode: one iteration each)"
+echo "==> contention + freshness benches (smoke mode: one iteration each)"
 SF_BENCH_SMOKE=1 cargo bench -q -p snowflake-bench --offline \
-    --bench prover_contention --bench mac_contention
+    --bench prover_contention --bench mac_contention \
+    --bench revocation_freshness
 
 echo "==> all green"

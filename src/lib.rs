@@ -4,9 +4,10 @@
 //! the architecture overview and each member crate for its subsystem:
 //! [`snowflake_core`] (the logic of authority), [`snowflake_prover`],
 //! [`snowflake_channel`], [`snowflake_rmi`], [`snowflake_http`],
-//! [`snowflake_apps`], and the substrates [`snowflake_sexpr`],
-//! [`snowflake_tags`], [`snowflake_crypto`], [`snowflake_bigint`],
-//! [`snowflake_reldb`].
+//! [`snowflake_revocation`] (live revocation: validator service,
+//! freshness agent, push invalidation), [`snowflake_apps`], and the
+//! substrates [`snowflake_sexpr`], [`snowflake_tags`],
+//! [`snowflake_crypto`], [`snowflake_bigint`], [`snowflake_reldb`].
 
 pub use snowflake_apps as apps;
 pub use snowflake_bigint as bigint;
@@ -16,6 +17,7 @@ pub use snowflake_crypto as crypto;
 pub use snowflake_http as http;
 pub use snowflake_prover as prover;
 pub use snowflake_reldb as reldb;
+pub use snowflake_revocation as revocation;
 pub use snowflake_rmi as rmi;
 pub use snowflake_sexpr as sexpr;
 pub use snowflake_tags as tags;
