@@ -93,13 +93,16 @@ impl QuotingGateway {
     }
 
     /// Attempts an RMI call quoting `quotee`; on a missing proof returns
-    /// the issuer/tag the database demanded.
+    /// the issuer/tag the database demanded.  Backend errors arrive as a
+    /// ready HTTP response: a shed (BUSY) call maps to `503` — the
+    /// database did not process it, so the client should retry — while
+    /// everything else is a `502`.
     fn try_invoke(
         &self,
         quotee: Principal,
         method: &str,
         args: Vec<Sexp>,
-    ) -> Result<Result<Sexp, (Principal, Tag)>, String> {
+    ) -> Result<Result<Sexp, (Principal, Tag)>, HttpResponse> {
         let mut rmi = self.rmi.plock();
         rmi.set_quoting(Some(quotee));
         let result = rmi.invoke(EMAIL_DB_OBJECT, method, args);
@@ -107,7 +110,17 @@ impl QuotingGateway {
         match result {
             Ok(value) => Ok(Ok(value)),
             Err(RmiError::NoProof { issuer, tag }) => Ok(Err((issuer, tag))),
-            Err(e) => Err(format!("database error: {e}")),
+            Err(e) if e.is_busy() => {
+                let mut resp =
+                    HttpResponse::status(503, "Service Unavailable", &format!("database busy: {e}"));
+                resp.set_header("Retry-After", "1");
+                Err(resp)
+            }
+            Err(e) => Err(HttpResponse::status(
+                502,
+                "Bad Gateway",
+                &format!("database error: {e}"),
+            )),
         }
     }
 
@@ -173,7 +186,7 @@ impl Handler for QuotingGateway {
                         auth::add_quoter(&mut resp, &rmi.speaker());
                         return resp;
                     }
-                    Err(e) => return HttpResponse::status(502, "Bad Gateway", &e),
+                    Err(resp) => return resp,
                 }
             }
             Some(_) => match self.verify_client(req) {
@@ -209,7 +222,7 @@ impl Handler for QuotingGateway {
                 auth::add_quoter(&mut resp, &rmi.speaker());
                 resp
             }
-            Err(e) => HttpResponse::status(502, "Bad Gateway", &e),
+            Err(resp) => resp,
         }
     }
 }

@@ -1,0 +1,53 @@
+//! Throughput and shed rate of the bounded server runtime under
+//! oversubscription (1×, 4×, 16× offered load vs. pool capacity).
+//!
+//! The interesting output is the *shape*: at 1× nothing is shed and
+//! throughput tracks the job cost; past saturation the admission path
+//! refuses the overflow instead of queueing it forever, so completed
+//! throughput stays flat while the shed rate absorbs the excess — the
+//! explicit-overload behavior every Snowflake server now inherits.
+//!
+//! Set `SF_BENCH_SMOKE=1` to run each configuration exactly once (CI
+//! smoke mode: proves the rig still builds and balances, measures
+//! nothing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snowflake_bench::saturation;
+
+const OVERSUBSCRIPTION: [usize; 3] = [1, 4, 16];
+
+fn runtime_saturation(c: &mut Criterion) {
+    if std::env::var_os("SF_BENCH_SMOKE").is_some() {
+        for factor in OVERSUBSCRIPTION {
+            let r = saturation::run_saturation(factor);
+            assert_eq!(r.completed + r.shed, r.offered, "accounting must balance");
+            println!(
+                "runtime_saturation/smoke/{factor}x ok ({} offered, {} completed, shed rate {:.2})",
+                r.offered,
+                r.completed,
+                r.shed_rate()
+            );
+        }
+        return;
+    }
+
+    let mut group = c.benchmark_group("runtime_saturation");
+    group.sample_size(10);
+    for factor in OVERSUBSCRIPTION {
+        group.bench_with_input(
+            BenchmarkId::new("offered_load", factor),
+            &factor,
+            |b, &factor| {
+                b.iter(|| {
+                    let r = saturation::run_saturation(factor);
+                    assert_eq!(r.completed + r.shed, r.offered);
+                    r.throughput()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, runtime_saturation);
+criterion_main!(benches);

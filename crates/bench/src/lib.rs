@@ -20,6 +20,7 @@
 //! | §7.4.1 | prover graph traversal costs | [`rigs::prover_rig`] |
 //! | (post-paper) | prover search / MAC verify under thread contention | [`contention`] |
 //! | (post-paper) | revocation push fan-out / staleness window / CRL refresh | [`revocation`] |
+//! | (post-paper) | bounded-runtime throughput and shed rate under oversubscription | [`saturation`] |
 
 pub mod breakdown;
 pub mod contention;
@@ -27,6 +28,7 @@ pub mod minihttp;
 pub mod report;
 pub mod revocation;
 pub mod rigs;
+pub mod saturation;
 
 pub use minihttp::MiniHttp;
 

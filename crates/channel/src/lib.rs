@@ -29,7 +29,7 @@ pub mod transport;
 
 pub use local::{LocalBroker, LocalChannel};
 pub use secure::{SecureChannel, SessionCache};
-pub use transport::{PipeTransport, TcpTransport, Transport};
+pub use transport::{PipeTransport, TcpTransport, Transport, DEFAULT_PIPE_CAPACITY};
 
 use snowflake_core::{ChannelId, Delegation, Principal};
 use snowflake_crypto::{HashVal, PublicKey};

@@ -5,9 +5,14 @@
 //! for colocated parties and tests, and length-prefixed TCP for loopback or
 //! real networks.
 
-use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel as unbounded, sync_channel, Receiver, Sender, SyncSender};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+
+/// Default frame capacity for [`PipeTransport::bounded_pair`]: deep enough
+/// to ride out bursts, shallow enough that a stalled consumer stalls its
+/// producer instead of growing an unbounded buffer.
+pub const DEFAULT_PIPE_CAPACITY: usize = 64;
 
 /// A reliable, ordered, framed byte transport.
 pub trait Transport: Send {
@@ -17,30 +22,74 @@ pub trait Transport: Send {
     fn recv(&mut self) -> io::Result<Vec<u8>>;
 }
 
+/// The sending half of a pipe: bounded (production) or unbounded (tests).
+enum PipeTx {
+    Unbounded(Sender<Vec<u8>>),
+    Bounded(SyncSender<Vec<u8>>),
+}
+
 /// An in-memory duplex pipe ("implemented without any operating system IPC
 /// services", §5.2).
+///
+/// Production code uses [`PipeTransport::bounded_pair`], whose `send`
+/// blocks once `capacity` frames are in flight — real backpressure, like
+/// a TCP socket with a full send window.  The unbounded
+/// [`PipeTransport::pair`] exists only for tests.
 pub struct PipeTransport {
-    tx: Sender<Vec<u8>>,
+    tx: PipeTx,
     rx: Receiver<Vec<u8>>,
 }
 
 impl PipeTransport {
-    /// Creates a connected pair of pipe endpoints.
+    /// Creates a connected pair of **unbounded** pipe endpoints.
+    ///
+    /// Tests only: nothing limits how far a producer can run ahead of a
+    /// stalled consumer.  Serving paths use
+    /// [`PipeTransport::bounded_pair`], which exerts backpressure.
     pub fn pair() -> (PipeTransport, PipeTransport) {
         let (atx, arx) = unbounded();
         let (btx, brx) = unbounded();
         (
-            PipeTransport { tx: atx, rx: brx },
-            PipeTransport { tx: btx, rx: arx },
+            PipeTransport {
+                tx: PipeTx::Unbounded(atx),
+                rx: brx,
+            },
+            PipeTransport {
+                tx: PipeTx::Unbounded(btx),
+                rx: arx,
+            },
+        )
+    }
+
+    /// Creates a connected pair of **bounded** pipe endpoints: at most
+    /// `capacity` frames may be in flight per direction, after which
+    /// `send` blocks until the peer drains (backpressure).
+    pub fn bounded_pair(capacity: usize) -> (PipeTransport, PipeTransport) {
+        let capacity = capacity.max(1);
+        let (atx, arx) = sync_channel(capacity);
+        let (btx, brx) = sync_channel(capacity);
+        (
+            PipeTransport {
+                tx: PipeTx::Bounded(atx),
+                rx: brx,
+            },
+            PipeTransport {
+                tx: PipeTx::Bounded(btx),
+                rx: arx,
+            },
         )
     }
 }
 
 impl Transport for PipeTransport {
     fn send(&mut self, frame: &[u8]) -> io::Result<()> {
-        self.tx
-            .send(frame.to_vec())
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
+        let result = match &self.tx {
+            PipeTx::Unbounded(tx) => tx.send(frame.to_vec()).map_err(|_| ()),
+            // Blocks while the pipe is at capacity: a slow peer slows the
+            // sender instead of growing an unbounded buffer.
+            PipeTx::Bounded(tx) => tx.send(frame.to_vec()).map_err(|_| ()),
+        };
+        result.map_err(|()| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
     }
 
     fn recv(&mut self) -> io::Result<Vec<u8>> {
@@ -65,6 +114,15 @@ impl TcpTransport {
         // Snowflake frames are small and latency-sensitive.
         let _ = stream.set_nodelay(true);
         TcpTransport { stream }
+    }
+
+    /// Bounds how long `recv` may sit in a read (`None` = forever).
+    ///
+    /// Servers that dedicate a pooled worker to a connection's lifetime
+    /// set this so an idle or parked peer times out and frees the worker
+    /// instead of occupying it indefinitely.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
     }
 }
 
@@ -155,5 +213,33 @@ mod tests {
         let (mut a, mut b) = PipeTransport::pair();
         a.send(b"").unwrap();
         assert_eq!(b.recv().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn bounded_pipe_roundtrip_and_close() {
+        let (mut a, mut b) = PipeTransport::bounded_pair(4);
+        a.send(b"hello").unwrap();
+        assert_eq!(b.recv().unwrap(), b"hello");
+        b.send(b"reply").unwrap();
+        assert_eq!(a.recv().unwrap(), b"reply");
+        drop(b);
+        assert!(a.send(b"x").is_err());
+        assert!(a.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_pipe_send_blocks_at_capacity() {
+        let (mut a, mut b) = PipeTransport::bounded_pair(1);
+        a.send(b"one").unwrap();
+        let producer = std::thread::spawn(move || {
+            a.send(b"two").unwrap();
+            a
+        });
+        // The second send cannot complete until the consumer drains.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!producer.is_finished(), "send must block while the pipe is full");
+        assert_eq!(b.recv().unwrap(), b"one");
+        producer.join().unwrap();
+        assert_eq!(b.recv().unwrap(), b"two");
     }
 }

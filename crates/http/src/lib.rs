@@ -39,4 +39,4 @@ pub use client::{HttpClient, SnowflakeProxy};
 pub use mac::{MacSessionStore, DEFAULT_MAC_SHARDS, MAC_SESSION_PATH};
 pub use message::{HttpRequest, HttpResponse};
 pub use server::{Handler, HttpServer, ProtectedServlet, SnowflakeService};
-pub use stream::{duplex, ChannelStream, MemStream};
+pub use stream::{bounded_duplex, duplex, ChannelStream, MemStream, DEFAULT_STREAM_CAPACITY};

@@ -104,14 +104,62 @@ impl HttpServer {
         }
     }
 
-    /// Accepts TCP connections forever, one thread per connection.
-    pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+    /// Idle disconnect for pooled TCP connections: with one pooled job
+    /// per connection lifetime, a client that opens a connection and
+    /// sends nothing (or parks a keep-alive session) would otherwise
+    /// occupy a worker forever — `workers` idle sockets would turn the
+    /// whole server into a 503 brick.
+    pub const TCP_IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+    /// The 503 a shed connection hears before the server hangs up.
+    fn overloaded_response(detail: &str) -> HttpResponse {
+        let mut resp = HttpResponse::status(503, "Service Unavailable", detail);
+        resp.set_header("Retry-After", "1");
+        resp.set_header("Connection", "close");
+        resp
+    }
+
+    /// Accepts TCP connections, dispatching each onto the runtime's
+    /// bounded worker pool — the production accept path.
+    ///
+    /// Admission is explicit, never unbounded:
+    ///
+    /// * pool saturated → the connection is **shed** with a single `503`
+    ///   (counted in the pool's [`snowflake_runtime::RuntimeStats`]) and
+    ///   closed, instead of queueing forever;
+    /// * runtime shutting down → the connection gets a `503` and the
+    ///   accept loop returns.  Connections admitted before the shutdown
+    ///   drain to completion on the pool
+    ///   ([`snowflake_runtime::ServerRuntime::shutdown`] joins them);
+    /// * a connection idle past [`HttpServer::TCP_IDLE_TIMEOUT`] is
+    ///   disconnected (the read times out and its job ends), so parked
+    ///   sockets cannot occupy the worker budget indefinitely.
+    pub fn serve_tcp(
+        self: &Arc<Self>,
+        listener: TcpListener,
+        runtime: &Arc<snowflake_runtime::ServerRuntime>,
+    ) -> std::io::Result<()> {
         for stream in listener.incoming() {
             let mut stream = stream?;
-            let server = Arc::clone(self);
-            std::thread::spawn(move || {
-                let _ = server.serve_stream(&mut stream);
-            });
+            let _ = stream.set_read_timeout(Some(Self::TCP_IDLE_TIMEOUT));
+            match runtime.pool().try_permit() {
+                Ok(permit) => {
+                    let server = Arc::clone(self);
+                    permit.submit(move || {
+                        let _ = server.serve_stream(&mut stream);
+                    });
+                }
+                Err(snowflake_runtime::SubmitError::Busy) => {
+                    // Shed: we still hold the socket, so the client hears
+                    // 503 instead of a silent hangup.
+                    let _ = Self::overloaded_response("server busy").write_to(&mut stream);
+                }
+                Err(snowflake_runtime::SubmitError::ShuttingDown) => {
+                    let _ =
+                        Self::overloaded_response("server shutting down").write_to(&mut stream);
+                    return Ok(());
+                }
+            }
         }
         Ok(())
     }

@@ -6,35 +6,66 @@
 //! can run over the secure channel (the SSL-like configurations of
 //! Figure 8).
 
-use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel as unbounded, sync_channel, Receiver, Sender, SyncSender};
 use snowflake_channel::AuthChannel;
 use std::io::{self, Read, Write};
 
+/// Default chunk capacity for [`bounded_duplex`]: deep enough for HTTP
+/// message bursts, shallow enough that a stalled reader stalls its writer
+/// instead of growing an unbounded buffer.
+pub const DEFAULT_STREAM_CAPACITY: usize = 64;
+
+/// The writing half of a memory stream: bounded (production) or
+/// unbounded (tests).
+enum StreamTx {
+    Unbounded(Sender<Vec<u8>>),
+    Bounded(SyncSender<Vec<u8>>),
+}
+
 /// One end of an in-memory duplex byte stream.
+///
+/// Production code uses [`bounded_duplex`], whose writes block once
+/// `capacity` chunks are in flight (backpressure, like a full TCP send
+/// window).  The unbounded [`duplex`] exists only for tests.
 pub struct MemStream {
-    tx: Sender<Vec<u8>>,
+    tx: StreamTx,
     rx: Receiver<Vec<u8>>,
     pending: Vec<u8>,
     offset: usize,
 }
 
-/// Creates a connected pair of in-memory byte streams.
+fn mem_stream(tx: StreamTx, rx: Receiver<Vec<u8>>) -> MemStream {
+    MemStream {
+        tx,
+        rx,
+        pending: Vec::new(),
+        offset: 0,
+    }
+}
+
+/// Creates a connected pair of **unbounded** in-memory byte streams.
+///
+/// Tests only: nothing limits how far a writer can run ahead of a stalled
+/// reader.  Serving paths use [`bounded_duplex`].
 pub fn duplex() -> (MemStream, MemStream) {
     let (atx, arx) = unbounded();
     let (btx, brx) = unbounded();
     (
-        MemStream {
-            tx: atx,
-            rx: brx,
-            pending: Vec::new(),
-            offset: 0,
-        },
-        MemStream {
-            tx: btx,
-            rx: arx,
-            pending: Vec::new(),
-            offset: 0,
-        },
+        mem_stream(StreamTx::Unbounded(atx), brx),
+        mem_stream(StreamTx::Unbounded(btx), arx),
+    )
+}
+
+/// Creates a connected pair of **bounded** in-memory byte streams: at
+/// most `capacity` written chunks may be in flight per direction, after
+/// which `write` blocks until the reader drains (backpressure).
+pub fn bounded_duplex(capacity: usize) -> (MemStream, MemStream) {
+    let capacity = capacity.max(1);
+    let (atx, arx) = sync_channel(capacity);
+    let (btx, brx) = sync_channel(capacity);
+    (
+        mem_stream(StreamTx::Bounded(atx), brx),
+        mem_stream(StreamTx::Bounded(btx), arx),
     )
 }
 
@@ -60,9 +91,13 @@ impl Read for MemStream {
 
 impl Write for MemStream {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.tx
-            .send(buf.to_vec())
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))?;
+        let result = match &self.tx {
+            StreamTx::Unbounded(tx) => tx.send(buf.to_vec()).map_err(|_| ()),
+            // Blocks while the stream is at capacity: a slow reader slows
+            // its writer instead of growing an unbounded buffer.
+            StreamTx::Bounded(tx) => tx.send(buf.to_vec()).map_err(|_| ()),
+        };
+        result.map_err(|()| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))?;
         Ok(buf.len())
     }
 
@@ -200,5 +235,43 @@ mod tests {
         drop(s);
         let mut buf = [0u8; 8];
         assert_eq!(c.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn bounded_stream_carries_http() {
+        let (mut c, mut s) = bounded_duplex(4);
+        let t = std::thread::spawn(move || {
+            let mut req_buf = BufReader::new(&mut s);
+            let req = HttpRequest::read_from(&mut req_buf).unwrap().unwrap();
+            assert_eq!(req.path, "/bounded");
+            HttpResponse::ok("text/plain", b"ok".to_vec())
+                .write_to(&mut s)
+                .unwrap();
+        });
+        HttpRequest::get("/bounded").write_to(&mut c).unwrap();
+        let resp = HttpResponse::read_from(&mut BufReader::new(&mut c))
+            .unwrap()
+            .unwrap();
+        assert_eq!(resp.body, b"ok");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_stream_write_blocks_at_capacity() {
+        let (mut c, mut s) = bounded_duplex(1);
+        c.write_all(b"one").unwrap();
+        let writer = std::thread::spawn(move || {
+            c.write_all(b"two").unwrap();
+            c
+        });
+        // The second chunk cannot land until the reader drains the first.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!writer.is_finished(), "write must block while the stream is full");
+        let mut buf = [0u8; 3];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"one");
+        writer.join().unwrap();
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"two");
     }
 }

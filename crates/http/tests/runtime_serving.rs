@@ -1,0 +1,163 @@
+//! The HTTP server on the bounded runtime, over real TCP: overload
+//! shedding (a saturated pool answers `503` and counts the drop) and
+//! graceful shutdown (in-flight requests drain, new connections are
+//! refused and the accept loop ends).
+
+use snowflake_http::{HttpRequest, HttpResponse, HttpServer};
+use snowflake_runtime::{PoolConfig, ServerRuntime};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// An open/closed gate plus a count of handlers currently parked on it.
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+    entered: AtomicUsize,
+}
+
+impl Gate {
+    fn closed() -> Arc<Gate> {
+        Arc::new(Gate {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+            entered: AtomicUsize::new(0),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+
+    fn wait_entered(&self, n: usize) {
+        wait_for(|| self.entered.load(Ordering::SeqCst) >= n);
+    }
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool) {
+    let start = std::time::Instant::now();
+    while !cond() {
+        assert!(start.elapsed().as_secs() < 10, "condition not reached in time");
+        std::thread::yield_now();
+    }
+}
+
+/// Routes `/slow` through the gate and serves `/fast` immediately.
+fn gated_server(gate: &Arc<Gate>) -> Arc<HttpServer> {
+    let server = HttpServer::new();
+    let g = Arc::clone(gate);
+    server.route(
+        "/slow",
+        Arc::new(move |_req: &HttpRequest| {
+            g.wait();
+            HttpResponse::ok("text/plain", b"slow done".to_vec())
+        }),
+    );
+    server.route(
+        "/fast",
+        Arc::new(|_req: &HttpRequest| HttpResponse::ok("text/plain", b"fast".to_vec())),
+    );
+    server
+}
+
+/// Connects and sends one close-delimited GET without reading the reply.
+fn send_get(addr: std::net::SocketAddr, path: &str) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut req = HttpRequest::get(path);
+    req.set_header("Connection", "close");
+    req.write_to(&mut stream).unwrap();
+    stream
+}
+
+/// Reads the full response off a connection.
+fn read_response(stream: TcpStream) -> HttpResponse {
+    HttpResponse::read_from(&mut BufReader::new(stream))
+        .unwrap()
+        .expect("server must reply before closing")
+}
+
+/// A saturated pool sheds the extra connection with a real `503` on the
+/// wire (and counts it), while admitted connections are served once a
+/// worker frees up.
+#[test]
+fn saturated_server_sheds_with_503() {
+    let gate = Gate::closed();
+    let server = gated_server(&gate);
+    let runtime = ServerRuntime::new(PoolConfig::new("http-shed", 1, 1));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (srv, rt) = (Arc::clone(&server), Arc::clone(&runtime));
+    let acceptor = std::thread::spawn(move || srv.serve_tcp(listener, &rt));
+
+    // Connection 1 occupies the only worker (its handler parks on the
+    // gate); connection 2 fills the one queue slot.
+    let c1 = send_get(addr, "/slow");
+    gate.wait_entered(1);
+    let c2 = send_get(addr, "/fast");
+    wait_for(|| runtime.stats().submitted == 2);
+
+    // Connection 3 is shed: a 503 on its own wire, a counted drop.
+    let c3 = send_get(addr, "/fast");
+    let resp = read_response(c3);
+    assert_eq!(resp.status, 503, "{}", String::from_utf8_lossy(&resp.body));
+    assert_eq!(resp.header("Retry-After"), Some("1"));
+    assert_eq!(runtime.stats().shed, 1);
+
+    // Releasing the gate serves both admitted connections.
+    gate.open();
+    assert_eq!(read_response(c1).body, b"slow done");
+    assert_eq!(read_response(c2).body, b"fast");
+
+    // The acceptor is still alive; end it via shutdown + a nudge
+    // connection (which hears the shutting-down 503).
+    runtime.shutdown();
+    let nudge = send_get(addr, "/fast");
+    assert_eq!(read_response(nudge).status, 503);
+    acceptor.join().unwrap().unwrap();
+}
+
+/// Graceful shutdown: the in-flight request completes (drain), a
+/// connection arriving during shutdown hears 503, and the accept loop
+/// returns.
+#[test]
+fn shutdown_drains_in_flight_and_refuses_new() {
+    let gate = Gate::closed();
+    let server = gated_server(&gate);
+    let runtime = ServerRuntime::new(PoolConfig::new("http-drain", 1, 4));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (srv, rt) = (Arc::clone(&server), Arc::clone(&runtime));
+    let acceptor = std::thread::spawn(move || srv.serve_tcp(listener, &rt));
+
+    // One request is mid-handler when shutdown begins.
+    let c1 = send_get(addr, "/slow");
+    gate.wait_entered(1);
+    let rt = Arc::clone(&runtime);
+    let closer = std::thread::spawn(move || rt.shutdown());
+    wait_for(|| runtime.is_shutting_down());
+    assert!(!closer.is_finished(), "shutdown must block on the drain");
+
+    // A connection arriving now is refused, and the accept loop ends.
+    let late = send_get(addr, "/fast");
+    let resp = read_response(late);
+    assert_eq!(resp.status, 503);
+    assert!(String::from_utf8_lossy(&resp.body).contains("shutting down"));
+    acceptor.join().unwrap().unwrap();
+
+    // The in-flight request still completes: that is the drain.
+    gate.open();
+    assert_eq!(read_response(c1).body, b"slow done");
+    closer.join().unwrap();
+    assert_eq!(runtime.stats().in_flight, 0);
+    assert_eq!(runtime.stats().completed, 1);
+}

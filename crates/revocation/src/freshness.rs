@@ -358,6 +358,76 @@ impl FreshnessAgent {
         Ok(invalidated)
     }
 
+    /// Drives this agent's refreshes from a
+    /// [`ServerRuntime`](snowflake_runtime::ServerRuntime), so
+    /// deployments no longer poll `refresh_due`/`next_refresh` by hand —
+    /// the background refresh driver.
+    ///
+    /// Each scheduler tick is non-blocking: it hands the actual
+    /// [`FreshnessAgent::refresh_due`] pass (which performs validator
+    /// I/O) to the runtime's worker pool, so a hung validator can stall
+    /// at most one pool worker — never the timer thread every scheduled
+    /// job shares, and never a shutdown joining it.  At most one refresh
+    /// pass is in flight at a time; while one runs (or the pool refuses
+    /// one), the driver re-checks at `min_interval`.
+    ///
+    /// The driver is *self-pacing*: each tick sleeps until
+    /// [`FreshnessAgent::next_refresh`] (interpreted as seconds on the
+    /// agent's clock), clamped to `[min_interval, max_interval]`.  The
+    /// clamp floor keeps a validator outage (refresh perpetually due)
+    /// from busy-looping; the ceiling bounds how stale the schedule can
+    /// get when a new validator is registered between ticks.
+    ///
+    /// The driver holds only a [`Weak`] reference: dropping the agent
+    /// retires the task on its next tick.  Cancel explicitly via the
+    /// returned [`snowflake_runtime::TaskHandle`] to stop it sooner.
+    pub fn start_refresh_driver(
+        self: &Arc<Self>,
+        runtime: &snowflake_runtime::ServerRuntime,
+        min_interval: std::time::Duration,
+        max_interval: std::time::Duration,
+    ) -> snowflake_runtime::TaskHandle {
+        let weak = Arc::downgrade(self);
+        let pool = Arc::clone(runtime.pool());
+        let in_flight = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let min = min_interval.max(std::time::Duration::from_millis(1));
+        let max = max_interval.max(min);
+        runtime
+            .scheduler()
+            .schedule_repeating(std::time::Duration::ZERO, move || {
+                use std::sync::atomic::Ordering;
+                let agent = weak.upgrade()?;
+                if !in_flight.swap(true, Ordering::SeqCst) {
+                    let job_agent = Arc::clone(&agent);
+                    let job_flag = Arc::clone(&in_flight);
+                    let submitted = pool.submit(move || {
+                        // Clear the flag even if the refresh panics, or
+                        // the driver would never refresh again.
+                        struct Reset(Arc<std::sync::atomic::AtomicBool>);
+                        impl Drop for Reset {
+                            fn drop(&mut self) {
+                                self.0.store(false, std::sync::atomic::Ordering::SeqCst);
+                            }
+                        }
+                        let _reset = Reset(job_flag);
+                        job_agent.refresh_due();
+                    });
+                    if submitted.is_err() {
+                        // Saturated or shutting down: retry at the floor.
+                        in_flight.store(false, Ordering::SeqCst);
+                        return Some(min);
+                    }
+                }
+                let now = (agent.clock)();
+                let delay = match agent.next_refresh() {
+                    Some(t) => std::time::Duration::from_secs(t.0.saturating_sub(now.0)),
+                    // Nothing registered yet: idle at the ceiling.
+                    None => max,
+                };
+                Some(delay.clamp(min, max))
+            })
+    }
+
     /// Copies every cached current artifact into `ctx` (the hand-loading
     /// path; attaching the agent as a [`RevocationSource`] is equivalent
     /// and stays live).
@@ -420,10 +490,14 @@ impl PushSink for AgentSink {
     }
 }
 
-/// Spawns a listener thread applying pushed delta frames from `transport`
-/// to `agent` until the transport closes; returns the number of deltas
+/// Spawns a listener applying pushed delta frames from `transport` to
+/// `agent` until the transport closes; returns the number of deltas
 /// applied.  The remote-verifier side of
 /// [`ValidatorService::subscribe_transport`].
+///
+/// The listener spends its life parked in `recv()`, so it runs on a
+/// dedicated [`snowflake_runtime::spawn_thread`] rather than pinning a
+/// pool worker forever.
 ///
 /// A malformed frame is skipped, not treated as end-of-stream: one bad
 /// frame must not silently kill the push subscription while the
@@ -432,7 +506,7 @@ pub fn spawn_push_listener(
     agent: Arc<FreshnessAgent>,
     mut transport: Box<dyn Transport>,
 ) -> std::thread::JoinHandle<usize> {
-    std::thread::spawn(move || {
+    snowflake_runtime::spawn_thread("sf-push-listener", move || {
         let mut applied = 0;
         loop {
             match crate::service::read_delta(&mut *transport) {

@@ -45,5 +45,6 @@ pub use freshness::{
 };
 pub use service::{
     read_delta, ChannelSink, PushSink, TransportSink, ValidatorObject, ValidatorService,
-    ValidatorStats, DEFAULT_CRL_WINDOW, DEFAULT_REVALIDATION_WINDOW, VALIDATOR_OBJECT,
+    ValidatorStats, DEFAULT_CRL_WINDOW, DEFAULT_REVALIDATION_WINDOW, TRANSPORT_SINK_QUEUE,
+    VALIDATOR_OBJECT,
 };

@@ -20,8 +20,10 @@ use snowflake_core::sync::LockExt;
 use snowflake_core::{Crl, Principal, Revalidation, Time, Validity};
 use snowflake_crypto::{HashVal, KeyPair, PublicKey};
 use snowflake_rmi::{CallerInfo, Invocation, RemoteObject, RmiFault};
+use snowflake_runtime::BoundedQueue;
 use snowflake_sexpr::Sexp;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 
@@ -60,42 +62,80 @@ impl PushSink for ChannelSink {
 }
 
 /// Bounded queue depth between the validator and each transport
-/// forwarder thread: a subscriber this far behind is treated as stalled
-/// and dropped rather than allowed to buffer without bound.
+/// subscriber's forwarder: a subscriber this far behind is treated as
+/// stalled and dropped rather than allowed to buffer without bound.
 pub const TRANSPORT_SINK_QUEUE: usize = 64;
+
+/// Per-subscriber state shared between the validator's broadcast path
+/// and the forwarder thread.
+struct SinkShared {
+    queue: BoundedQueue<RevocationDelta>,
+    /// The transport died or the subscriber stalled; the next broadcast
+    /// drops the subscription.
+    dead: AtomicBool,
+}
 
 /// A sink writing each delta as one canonical S-expression frame on a
 /// [`Transport`] — how a validator pushes to verifiers on other hosts.
 ///
-/// The socket write happens on a per-subscriber forwarder thread behind a
-/// bounded queue; `push` only enqueues, so a stalled or slow remote never
-/// blocks the validator's broadcast (it gets dropped once its queue
-/// fills).
+/// `push` only enqueues onto a bounded per-subscriber queue; the socket
+/// writes happen on a **dedicated forwarder**
+/// ([`snowflake_runtime::spawn_thread`] — a transport `send` can block
+/// indefinitely on a dead-but-open peer, so it must own its thread
+/// rather than pin a shared pool worker).  A stalled or slow remote
+/// therefore blocks only its own forwarder, never the validator's
+/// broadcast or other subscribers: its queue fills (each refusal counted
+/// by the queue's drop counter) and the subscription is dropped.
 pub struct TransportSink {
-    queue: std::sync::mpsc::SyncSender<RevocationDelta>,
+    shared: Arc<SinkShared>,
 }
 
 impl TransportSink {
-    /// Wraps a connected transport, spawning its forwarder thread (which
-    /// exits when the sink is dropped or the transport dies).
+    /// Wraps a connected transport, starting its forwarder (which exits
+    /// when the sink is dropped or the transport dies).
     pub fn new(mut transport: Box<dyn Transport>) -> TransportSink {
-        let (queue, rx) = std::sync::mpsc::sync_channel::<RevocationDelta>(TRANSPORT_SINK_QUEUE);
-        std::thread::spawn(move || {
-            while let Ok(delta) = rx.recv() {
+        let shared = Arc::new(SinkShared {
+            queue: BoundedQueue::new(TRANSPORT_SINK_QUEUE),
+            dead: AtomicBool::new(false),
+        });
+        let forwarder = Arc::clone(&shared);
+        snowflake_runtime::spawn_thread("sf-push-forwarder", move || {
+            // pop() parks until a delta arrives or the queue closes
+            // (sink dropped) and drains what was accepted before then.
+            while let Some(delta) = forwarder.queue.pop() {
                 if transport.send(&delta.to_sexp().canonical()).is_err() {
+                    forwarder.dead.store(true, Ordering::SeqCst);
                     return;
                 }
             }
         });
-        TransportSink { queue }
+        TransportSink { shared }
     }
 }
 
 impl PushSink for TransportSink {
     fn push(&mut self, delta: &RevocationDelta) -> bool {
-        // Full queue = stalled subscriber; disconnected = dead transport.
-        // Either way the subscription is dropped.
-        self.queue.try_send(delta.clone()).is_ok()
+        if self.shared.dead.load(Ordering::SeqCst) {
+            return false;
+        }
+        // Full queue = stalled subscriber.  The subscription is dropped
+        // (visibly: the refusal is counted by the queue's drop counter,
+        // and the verifier's pull refresh takes over) rather than letting
+        // a revocation sit undelivered for an unbounded time.
+        if self.shared.queue.try_push(delta.clone()).is_err() {
+            self.shared.dead.store(true, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+}
+
+impl Drop for TransportSink {
+    fn drop(&mut self) {
+        // Closing the queue ends the forwarder once it has written
+        // everything already accepted (or immediately, if it is stuck in
+        // a send the OS will eventually fail).
+        self.shared.queue.close();
     }
 }
 
@@ -307,7 +347,8 @@ impl ValidatorService {
     }
 
     /// Subscribes a remote verifier over a framed transport: every delta
-    /// is sent as one canonical S-expression frame.
+    /// is sent as one canonical S-expression frame, written by the
+    /// subscriber's dedicated forwarder behind a bounded queue.
     pub fn subscribe_transport(&self, transport: Box<dyn Transport>) {
         self.subscribe(Box::new(TransportSink::new(transport)));
     }

@@ -1,0 +1,103 @@
+//! The background refresh driver: `FreshnessAgent` refreshes run from
+//! the runtime scheduler, with no deployment code polling
+//! `refresh_due`/`next_refresh` by hand.
+
+use snowflake_core::{RevocationSource, Time};
+use snowflake_crypto::{DetRng, Group, KeyPair};
+use snowflake_revocation::{FreshnessAgent, InProcessValidator, ValidatorService};
+use snowflake_runtime::{PoolConfig, ServerRuntime};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn kp(seed: &str) -> KeyPair {
+    let mut rng = DetRng::new(seed.as_bytes());
+    KeyPair::generate(Group::test512(), &mut |b| rng.fill(b))
+}
+
+fn det(seed: &str) -> Box<dyn FnMut(&mut [u8]) + Send> {
+    let mut r = DetRng::new(seed.as_bytes());
+    Box::new(move |b: &mut [u8]| r.fill(b))
+}
+
+fn fixed_clock() -> Time {
+    Time(1_000)
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool) {
+    let start = std::time::Instant::now();
+    while !cond() {
+        assert!(start.elapsed().as_secs() < 10, "condition not reached in time");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// With the refresh lead covering the whole CRL window, a refresh is
+/// always due — so a driven agent refreshes repeatedly with nobody
+/// calling `refresh_due`, and cancelling the driver stops it.
+#[test]
+fn driver_refreshes_without_polling() {
+    let validator = ValidatorService::with_clock(kp("driver-v"), fixed_clock, det("driver-rng"));
+    // lead = the full default window: every tick finds the CRL due.
+    let agent = FreshnessAgent::with_pacing(
+        fixed_clock,
+        snowflake_revocation::DEFAULT_CRL_WINDOW,
+        0,
+        0,
+    );
+    agent.register_validator(
+        validator.validator_hash(),
+        Arc::new(InProcessValidator(Arc::clone(&validator))),
+    );
+
+    let runtime = ServerRuntime::new(PoolConfig::new("refresh-driver", 1, 2));
+    let handle = agent.start_refresh_driver(
+        &runtime,
+        Duration::from_millis(1),
+        Duration::from_millis(50),
+    );
+
+    // The driver alone pulls CRLs — this test never calls refresh_due.
+    wait_for(|| agent.stats().refreshes >= 3);
+    assert!(
+        agent.crl(&validator.validator_hash(), fixed_clock()).is_some(),
+        "driven refreshes populate the cache the verify path reads"
+    );
+
+    // Cancelling the driver stops the cadence.
+    handle.cancel();
+    std::thread::sleep(Duration::from_millis(20));
+    let settled = agent.stats().refreshes + 1; // one tick may be mid-flight
+    std::thread::sleep(Duration::from_millis(60));
+    assert!(
+        agent.stats().refreshes <= settled,
+        "a cancelled driver must not keep refreshing"
+    );
+    runtime.shutdown();
+}
+
+/// The driver holds only a weak reference: dropping the agent retires
+/// the scheduled task instead of keeping the agent alive forever.
+#[test]
+fn driver_retires_when_agent_drops() {
+    let validator = ValidatorService::with_clock(kp("retire-v"), fixed_clock, det("retire-rng"));
+    let agent = FreshnessAgent::with_pacing(fixed_clock, 30, 0, 0);
+    agent.register_validator(
+        validator.validator_hash(),
+        Arc::new(InProcessValidator(Arc::clone(&validator))),
+    );
+    let runtime = ServerRuntime::new(PoolConfig::new("refresh-retire", 1, 2));
+    let _handle = agent.start_refresh_driver(
+        &runtime,
+        Duration::from_millis(1),
+        Duration::from_millis(5),
+    );
+    wait_for(|| agent.stats().refreshes >= 1);
+
+    let weak = Arc::downgrade(&agent);
+    drop(agent);
+    // The next tick fails to upgrade and retires; nothing holds the
+    // agent alive and the scheduler goes idle.
+    wait_for(|| weak.upgrade().is_none());
+    wait_for(|| runtime.scheduler().pending() == 0);
+    runtime.shutdown();
+}

@@ -131,7 +131,19 @@ impl RmiClient {
 
     /// One raw request/reply exchange.
     fn round_trip(&mut self, invocation: &Invocation) -> Result<RmiReply, RmiError> {
-        self.channel.send(&invocation.to_sexp().canonical())?;
+        if let Err(e) = self.channel.send(&invocation.to_sexp().canonical()) {
+            // A server that sheds a connection says BUSY and hangs up; the
+            // parting fault may already be buffered on our end.  Prefer it
+            // to the raw I/O error so callers see *why* the peer is gone.
+            if let Ok(frame) = self.channel.recv() {
+                if let Ok(reply) = Sexp::parse(&frame).map_err(|_| ()).and_then(|s| {
+                    RmiReply::from_sexp(&s).map_err(|_| ())
+                }) {
+                    return Ok(reply);
+                }
+            }
+            return Err(e.into());
+        }
         let frame = self.channel.recv()?;
         let sexp = Sexp::parse(&frame).map_err(|e| RmiError::Protocol(e.to_string()))?;
         RmiReply::from_sexp(&sexp).map_err(|e| RmiError::Protocol(e.to_string()))

@@ -69,6 +69,15 @@ impl std::fmt::Display for RmiError {
     }
 }
 
+impl RmiError {
+    /// Did the server shed this call ([`RmiFault::Busy`])?  Busy faults
+    /// mean the request was not processed: safe to retry later or route
+    /// elsewhere, and gateways translate them to HTTP 503.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, RmiError::Fault(RmiFault::Busy(_)))
+    }
+}
+
 impl std::error::Error for RmiError {}
 
 impl From<std::io::Error> for RmiError {

@@ -87,6 +87,11 @@ pub enum RmiFault {
     NoSuchMethod(String),
     /// Application-level error from the method implementation.
     Application(String),
+    /// The server's runtime shed the connection or call (worker pool
+    /// saturated or shutting down) — the RMI analogue of HTTP 503.  The
+    /// request was *not* processed; the client may retry elsewhere or
+    /// later.
+    Busy(String),
 }
 
 impl RmiFault {
@@ -117,6 +122,9 @@ impl RmiFault {
                 "fault",
                 vec![Sexp::from("application"), Sexp::from(m.as_str())],
             ),
+            RmiFault::Busy(m) => {
+                Sexp::tagged("fault", vec![Sexp::from("busy"), Sexp::from(m.as_str())])
+            }
         }
     }
 
@@ -144,6 +152,7 @@ impl RmiFault {
             "no-such-object" => Ok(RmiFault::NoSuchObject(text())),
             "no-such-method" => Ok(RmiFault::NoSuchMethod(text())),
             "application" => Ok(RmiFault::Application(text())),
+            "busy" => Ok(RmiFault::Busy(text())),
             _ => Err(bad("unknown fault kind")),
         }
     }
@@ -241,6 +250,7 @@ mod tests {
             RmiFault::NoSuchObject("ghost".into()),
             RmiFault::NoSuchMethod("frobnicate".into()),
             RmiFault::Application("row not found".into()),
+            RmiFault::Busy("worker pool saturated".into()),
         ];
         for f in faults {
             let e = f.to_sexp();

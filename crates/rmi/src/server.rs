@@ -181,6 +181,44 @@ impl RmiServer {
         evicted
     }
 
+    /// Hands a connection to the runtime's worker pool, the production
+    /// accept path: each admitted connection runs
+    /// [`RmiServer::serve_connection`] on a pooled worker.
+    ///
+    /// Admission is bounded.  When the pool is saturated (or shutting
+    /// down) the connection is **shed**: the peer receives one
+    /// [`RmiFault::Busy`] reply — the RMI analogue of HTTP 503 — and the
+    /// channel is dropped, instead of queueing forever.  The shed is
+    /// counted in the pool's [`snowflake_runtime::RuntimeStats`].
+    ///
+    /// One pooled job owns the connection for its lifetime, so an idle
+    /// peer occupies a worker until it hangs up or its channel's `recv`
+    /// fails.  Channels over TCP should therefore bound reads (e.g.
+    /// `TcpTransport::set_read_timeout`) before being wrapped, or
+    /// `workers` parked clients can exhaust the worker budget.
+    pub fn serve_pooled(
+        self: &Arc<Self>,
+        pool: &snowflake_runtime::WorkerPool,
+        mut channel: Box<dyn AuthChannel>,
+    ) -> Result<(), snowflake_runtime::SubmitError> {
+        match pool.try_permit() {
+            Ok(permit) => {
+                let server = Arc::clone(self);
+                permit.submit(move || {
+                    let _ = server.serve_connection(&mut *channel);
+                });
+                Ok(())
+            }
+            Err(e) => {
+                // The permit was refused while we still hold the channel:
+                // say BUSY on the wire before hanging up.
+                let reply = RmiReply::Fault(RmiFault::Busy(e.to_string()));
+                let _ = channel.send(&reply.to_sexp().canonical());
+                Err(e)
+            }
+        }
+    }
+
     /// Serves one connection until the peer closes it.
     ///
     /// Each received frame is one invocation; each reply is one frame.

@@ -1,0 +1,194 @@
+//! The RMI server on the bounded runtime: overload shedding (a saturated
+//! pool answers `RmiFault::Busy` instead of queueing forever) and
+//! graceful shutdown (admitted connections drain; new ones are refused).
+
+use snowflake_channel::{PipeTransport, PlainChannel};
+use snowflake_core::{Principal, Time};
+use snowflake_crypto::{DetRng, Group, KeyPair};
+use snowflake_prover::Prover;
+use snowflake_rmi::{
+    CallerInfo, Invocation, RemoteObject, RmiClient, RmiError, RmiFault, RmiServer,
+};
+use snowflake_runtime::{PoolConfig, SubmitError, WorkerPool};
+use snowflake_sexpr::Sexp;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+fn fixed_clock() -> Time {
+    Time(1_000)
+}
+
+/// An open/closed gate plus a count of callers currently parked on it.
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+    entered: AtomicUsize,
+}
+
+impl Gate {
+    fn closed() -> Arc<Gate> {
+        Arc::new(Gate {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+            entered: AtomicUsize::new(0),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+
+    fn wait_entered(&self, n: usize) {
+        let start = std::time::Instant::now();
+        while self.entered.load(Ordering::SeqCst) < n {
+            assert!(start.elapsed().as_secs() < 10, "gate never reached {n} entries");
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// `wait` parks on the gate until the test releases it; `ping` returns
+/// immediately.  Registered open (the unauthorized baseline) so the test
+/// exercises admission, not proof search.
+struct GatedObject(Arc<Gate>);
+
+impl RemoteObject for GatedObject {
+    fn issuer(&self) -> Principal {
+        Principal::message(b"pool-test")
+    }
+
+    fn invoke(&self, invocation: &Invocation, _caller: &CallerInfo) -> Result<Sexp, RmiFault> {
+        match invocation.method.as_str() {
+            "wait" => {
+                self.0.wait();
+                Ok(Sexp::from("waited"))
+            }
+            "ping" => Ok(Sexp::from("pong")),
+            other => Err(RmiFault::NoSuchMethod(other.into())),
+        }
+    }
+}
+
+fn session_key(seed: &str) -> KeyPair {
+    let mut rng = DetRng::new(seed.as_bytes());
+    KeyPair::generate(Group::test512(), &mut |b| rng.fill(b))
+}
+
+/// Admits one client connection through `serve_pooled`, returning the
+/// client and the submission verdict.
+fn connect(
+    server: &Arc<RmiServer>,
+    pool: &WorkerPool,
+    label: &str,
+) -> (RmiClient, Result<(), SubmitError>) {
+    let (ct, st) = PipeTransport::bounded_pair(8);
+    let verdict = server.serve_pooled(
+        pool,
+        Box::new(PlainChannel::new(st, &format!("{label}-server"))),
+    );
+    let client = RmiClient::with_clock(
+        Box::new(PlainChannel::new(ct, &format!("{label}-client"))),
+        session_key(label),
+        Arc::new(Prover::new()),
+        fixed_clock,
+    );
+    (client, verdict)
+}
+
+fn rig(gate: &Arc<Gate>) -> Arc<RmiServer> {
+    let server = RmiServer::with_clock(fixed_clock);
+    server.register_open("gated", Arc::new(GatedObject(Arc::clone(gate))));
+    server
+}
+
+/// A saturated pool sheds the extra connection with a `Busy` fault the
+/// client can observe, and the drop counters account for it; admitted
+/// connections are unaffected.
+#[test]
+fn saturated_pool_answers_busy() {
+    let gate = Gate::closed();
+    let server = rig(&gate);
+    let pool = WorkerPool::new(PoolConfig::new("rmi-shed", 1, 1));
+
+    // Connection A occupies the only worker (parked on the gate)…
+    let (mut a, verdict) = connect(&server, &pool, "conn-a");
+    verdict.expect("first connection admitted");
+    let a_thread = std::thread::spawn(move || {
+        // Dropping the client afterwards closes A's connection, freeing
+        // its worker for the queued connection B.
+        a.invoke("gated", "wait", vec![]).expect("gated call completes")
+    });
+    gate.wait_entered(1);
+
+    // …connection B fills the queue…
+    let (mut b, verdict) = connect(&server, &pool, "conn-b");
+    verdict.expect("second connection queued");
+
+    // …and connection C is shed with a Busy fault on its own wire.
+    let (mut c, verdict) = connect(&server, &pool, "conn-c");
+    assert_eq!(verdict, Err(SubmitError::Busy));
+    match c.invoke("gated", "ping", vec![]) {
+        Err(e) if e.is_busy() => {}
+        other => panic!("expected a Busy fault, got {other:?}"),
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.shed, 1, "the shed is counted");
+    assert_eq!(stats.submitted, 2);
+
+    // Releasing the gate lets A finish; the worker then serves B.
+    gate.open();
+    assert_eq!(a_thread.join().unwrap(), Sexp::from("waited"));
+    assert_eq!(b.invoke("gated", "ping", vec![]).unwrap(), Sexp::from("pong"));
+}
+
+/// Shutdown drains: the in-flight call and the queued connection both
+/// complete, while connections arriving after shutdown begins hear Busy.
+#[test]
+fn shutdown_drains_admitted_connections() {
+    let gate = Gate::closed();
+    let server = rig(&gate);
+    let pool = WorkerPool::new(PoolConfig::new("rmi-drain", 1, 4));
+
+    // A: in flight (parked on the gate).  B: admitted, still queued.
+    let (mut a, verdict) = connect(&server, &pool, "drain-a");
+    verdict.unwrap();
+    let a_thread = std::thread::spawn(move || a.invoke("gated", "wait", vec![]).is_ok());
+    gate.wait_entered(1);
+    let (mut b, verdict) = connect(&server, &pool, "drain-b");
+    verdict.unwrap();
+    let b_thread = std::thread::spawn(move || b.invoke("gated", "ping", vec![]).is_ok());
+
+    // Begin shutdown on a side thread (it blocks until the drain ends).
+    let pool2 = Arc::clone(&pool);
+    let closer = std::thread::spawn(move || pool2.shutdown());
+    let start = std::time::Instant::now();
+    while !pool.is_shutting_down() {
+        assert!(start.elapsed().as_secs() < 10);
+        std::thread::yield_now();
+    }
+
+    // New connections are refused with a Busy fault on the wire.
+    let (mut late, verdict) = connect(&server, &pool, "drain-late");
+    assert_eq!(verdict, Err(SubmitError::ShuttingDown));
+    match late.invoke("gated", "ping", vec![]) {
+        Err(e) if e.is_busy() => {}
+        Err(RmiError::Io(_)) => {} // reply raced the channel teardown
+        other => panic!("expected Busy/closed for a late connection, got {other:?}"),
+    }
+
+    // Release the gate: A completes, B is then served, the drain ends.
+    gate.open();
+    assert!(a_thread.join().unwrap(), "in-flight call must complete");
+    assert!(b_thread.join().unwrap(), "queued connection must be served");
+    closer.join().unwrap();
+    assert_eq!(pool.stats().completed, 2);
+}

@@ -1,0 +1,332 @@
+//! The bounded MPMC work queue every serving path stands on.
+//!
+//! A [`BoundedQueue`] is a mutex-and-condvar ring with an explicit
+//! capacity.  Producers choose their overload policy at the call site:
+//! [`BoundedQueue::push`] blocks (backpressure — in-process pipes),
+//! [`BoundedQueue::try_push`] fails fast (shedding — request admission),
+//! and [`BoundedQueue::reserve`] splits admission from hand-off so a
+//! caller can learn *before* moving a resource into a job whether the
+//! queue will take it (and answer BUSY on its own wire when it will not).
+//!
+//! Every rejection is counted: a queue in the serving path is only
+//! trustworthy if its drops are measurable.
+
+use snowflake_core::sync::LockExt;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Why a non-blocking enqueue was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueError {
+    /// The queue is at capacity (counting outstanding reservations).
+    Full,
+    /// The queue was closed; no new work is admitted.
+    Closed,
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueError::Full => write!(f, "queue full"),
+            QueueError::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    /// Slots promised to outstanding [`Reservation`]s but not yet pushed.
+    reserved: usize,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    /// Items accepted (push or reservation redeemed).
+    pushed: AtomicU64,
+    /// Non-blocking enqueues refused because the queue was full.
+    dropped: AtomicU64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                reserved: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            pushed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The queue's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (excludes outstanding reservations).
+    pub fn len(&self) -> usize {
+        self.inner.plock().items.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Has [`BoundedQueue::close`] been called?
+    pub fn is_closed(&self) -> bool {
+        self.inner.plock().closed
+    }
+
+    /// Items accepted so far.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Non-blocking enqueues refused because the queue was full — the
+    /// measurable drop counter behind every shed decision.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues without blocking; a full queue is counted as a drop.
+    pub fn try_push(&self, item: T) -> Result<(), (QueueError, T)> {
+        let mut inner = self.inner.plock();
+        if inner.closed {
+            return Err((QueueError::Closed, item));
+        }
+        if inner.items.len() + inner.reserved >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return Err((QueueError::Full, item));
+        }
+        inner.items.push_back(item);
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues, blocking while the queue is full (backpressure).  Fails
+    /// only when the queue is closed.
+    pub fn push(&self, item: T) -> Result<(), (QueueError, T)> {
+        let mut inner = self.inner.plock();
+        loop {
+            if inner.closed {
+                return Err((QueueError::Closed, item));
+            }
+            if inner.items.len() + inner.reserved < self.capacity {
+                inner.items.push_back(item);
+                self.pushed.fetch_add(1, Ordering::Relaxed);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Reserves one slot, so admission can be decided before the item (a
+    /// connection, a socket) is committed to a job.  The slot is held
+    /// until the reservation is [redeemed](Reservation::push) or dropped.
+    pub fn reserve(&self) -> Result<Reservation<'_, T>, QueueError> {
+        let mut inner = self.inner.plock();
+        if inner.closed {
+            return Err(QueueError::Closed);
+        }
+        if inner.items.len() + inner.reserved >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return Err(QueueError::Full);
+        }
+        inner.reserved += 1;
+        Ok(Reservation {
+            queue: self,
+            redeemed: false,
+        })
+    }
+
+    /// Dequeues, blocking until an item arrives or the queue is closed
+    /// *and drained* — consumers see every item accepted before the
+    /// close (including items still owed to outstanding reservations),
+    /// which is what makes shutdown graceful.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.plock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            // An outstanding reservation may still be redeemed into a
+            // closed queue (admission raced the close); end-of-queue is
+            // only reached once those resolve, or a redeemed item would
+            // sit in a queue no consumer will ever visit again.
+            if inner.closed && inner.reserved == 0 {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Dequeues without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        let item = self.inner.plock().items.pop_front();
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Closes the queue: new work is refused, queued work stays poppable.
+    pub fn close(&self) {
+        self.inner.plock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// One reserved slot in a [`BoundedQueue`]; dropped unredeemed, the slot
+/// is released.
+pub struct Reservation<'a, T> {
+    queue: &'a BoundedQueue<T>,
+    redeemed: bool,
+}
+
+impl<T> Reservation<'_, T> {
+    /// Redeems the reservation, enqueueing `item` in the promised slot.
+    pub fn push(mut self, item: T) {
+        let mut inner = self.queue.inner.plock();
+        inner.reserved -= 1;
+        inner.items.push_back(item);
+        self.redeemed = true;
+        self.queue.pushed.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+        self.queue.not_empty.notify_one();
+    }
+}
+
+impl<T> Drop for Reservation<'_, T> {
+    fn drop(&mut self) {
+        if !self.redeemed {
+            self.queue.inner.plock().reserved -= 1;
+            self.queue.not_full.notify_one();
+            // Consumers parked on a closed queue wait for outstanding
+            // reservations; a released one may be what ends the drain.
+            self.queue.not_empty.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let (e, rejected) = q.try_push(3).unwrap_err();
+        assert_eq!((e, rejected), (QueueError::Full, 3));
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.try_pop(), None);
+        assert_eq!(q.pushed(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.close();
+        assert!(matches!(q.try_push("b"), Err((QueueError::Closed, "b"))));
+        assert_eq!(q.pop(), Some("a"), "accepted work survives the close");
+        assert_eq!(q.pop(), None, "then consumers see end-of-queue");
+    }
+
+    #[test]
+    fn reservation_holds_and_releases_slot() {
+        let q = BoundedQueue::new(1);
+        let r = q.reserve().unwrap();
+        assert!(matches!(q.reserve(), Err(QueueError::Full)));
+        assert!(matches!(q.try_push(9), Err((QueueError::Full, 9))));
+        r.push(7);
+        assert_eq!(q.pop(), Some(7));
+        // An unredeemed reservation gives its slot back.
+        drop(q.reserve().unwrap());
+        q.try_push(8).unwrap();
+    }
+
+    #[test]
+    fn reservation_redeemed_after_close_still_drains() {
+        let q = Arc::new(BoundedQueue::<u32>::new(2));
+        let r = q.reserve().unwrap();
+        q.close();
+        // A consumer parked now must wait for the reservation to
+        // resolve, then see the redeemed item before end-of-queue.
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || (q2.pop(), q2.pop()));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!consumer.is_finished(), "drain must wait on the reservation");
+        r.push(5);
+        assert_eq!(consumer.join().unwrap(), (Some(5), None));
+    }
+
+    #[test]
+    fn reservation_released_after_close_ends_drain() {
+        let q = Arc::new(BoundedQueue::<u32>::new(2));
+        let r = q.reserve().unwrap();
+        q.close();
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!consumer.is_finished());
+        drop(r);
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn blocking_push_exerts_backpressure() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(2).is_ok());
+        // The producer cannot finish until the consumer makes room.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!producer.is_finished(), "push must block while full");
+        assert_eq!(q.pop(), Some(1));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.try_push(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+}

@@ -10,11 +10,14 @@
 
 use snowflake_apps::emaildb::{EmailDb, EMAIL_DB_OBJECT};
 use snowflake_apps::QuotingGateway;
-use snowflake_channel::{PipeTransport, SecureChannel};
+use snowflake_channel::{PipeTransport, SecureChannel, DEFAULT_PIPE_CAPACITY};
 use snowflake_core::{Certificate, Delegation, Principal, Proof, Time, Validity};
 use snowflake_crypto::{rand_bytes, Group, KeyPair};
-use snowflake_http::{duplex, HttpClient, HttpRequest, HttpServer, SnowflakeProxy};
+use snowflake_http::{
+    bounded_duplex, HttpClient, HttpRequest, HttpServer, SnowflakeProxy, DEFAULT_STREAM_CAPACITY,
+};
 use snowflake_prover::Prover;
+use snowflake_runtime::{PoolConfig, ServerRuntime};
 use snowflake_rmi::{CallerInfo, Invocation, RemoteObject, RmiClient, RmiServer};
 use snowflake_sexpr::Sexp;
 use std::sync::Arc;
@@ -59,16 +62,24 @@ fn main() {
     }
     db_server.register(EMAIL_DB_OBJECT, Arc::new(email));
 
+    // Every connection in this example — the database's RMI end and the
+    // HTTP front end — is served from one bounded runtime pool, the same
+    // serving discipline a production deployment uses.
+    let runtime = ServerRuntime::new(PoolConfig::new("email-gateway", 2, 4));
+
     // --- Gateway ⇄ database over the secure channel. -------------------
     let gateway_key = KeyPair::generate_os(Group::test512());
-    let (ct, st) = PipeTransport::pair();
+    let (ct, st) = PipeTransport::bounded_pair(DEFAULT_PIPE_CAPACITY);
     let db_server2 = Arc::clone(&db_server);
     let db_key2 = db_key.clone();
-    std::thread::spawn(move || {
-        let mut channel =
-            SecureChannel::server(Box::new(st), &db_key2, None, &mut rand_bytes).unwrap();
-        let _ = db_server2.serve_connection(&mut channel);
-    });
+    runtime
+        .pool()
+        .submit(move || {
+            let mut channel =
+                SecureChannel::server(Box::new(st), &db_key2, None, &mut rand_bytes).unwrap();
+            let _ = db_server2.serve_connection(&mut channel);
+        })
+        .expect("fresh pool admits the database connection");
     let channel =
         SecureChannel::client(Box::new(ct), Some(&gateway_key), None, &mut rand_bytes).unwrap();
     let gateway_prover = Arc::new(Prover::new());
@@ -102,11 +113,14 @@ fn main() {
     let proxy = SnowflakeProxy::new(alice_prover);
     proxy.set_identity(Principal::key(&alice.public));
 
-    let (client_stream, mut server_stream) = duplex();
+    let (client_stream, mut server_stream) = bounded_duplex(DEFAULT_STREAM_CAPACITY);
     let http2 = Arc::clone(&http);
-    let t = std::thread::spawn(move || {
-        let _ = http2.serve_stream(&mut server_stream);
-    });
+    runtime
+        .pool()
+        .submit(move || {
+            let _ = http2.serve_stream(&mut server_stream);
+        })
+        .expect("fresh pool admits the browser connection");
     let mut client = HttpClient::new(Box::new(client_stream));
 
     // Show the gateway's G|? challenge first.
@@ -148,6 +162,10 @@ fn main() {
         db_server.cache_stats()
     );
 
+    // Hang up the browser, drop the gateway (closing its RMI channel so
+    // the database connection job sees EOF), then drain the runtime.
     drop(client);
-    t.join().unwrap();
+    drop(http);
+    runtime.shutdown();
+    println!("runtime after drain: {:?}", runtime.stats());
 }

@@ -7,9 +7,11 @@ use snowflake_apps::{ProtectedWebService, Vfs};
 use snowflake_core::{Certificate, Delegation, Principal, Proof, Time, Validity};
 use snowflake_crypto::{rand_bytes, Group, KeyPair};
 use snowflake_http::{
-    duplex, HttpClient, HttpRequest, HttpServer, ProtectedServlet, SnowflakeProxy,
+    bounded_duplex, HttpClient, HttpRequest, HttpServer, ProtectedServlet, SnowflakeProxy,
+    DEFAULT_STREAM_CAPACITY,
 };
 use snowflake_prover::Prover;
+use snowflake_runtime::{PoolConfig, ServerRuntime};
 use std::sync::Arc;
 
 fn main() {
@@ -51,12 +53,18 @@ fn main() {
     prover.add_key(alice.clone());
     let proxy = SnowflakeProxy::new(prover);
 
-    // Connect and watch the challenge protocol run.
-    let (client_stream, mut server_stream) = duplex();
+    // Connect and watch the challenge protocol run.  The connection is
+    // served from a bounded runtime pool over a backpressured stream —
+    // the same serving discipline a production deployment uses.
+    let runtime = ServerRuntime::new(PoolConfig::new("protected-web", 2, 8));
+    let (client_stream, mut server_stream) = bounded_duplex(DEFAULT_STREAM_CAPACITY);
     let server2 = Arc::clone(&server);
-    let t = std::thread::spawn(move || {
-        let _ = server2.serve_stream(&mut server_stream);
-    });
+    runtime
+        .pool()
+        .submit(move || {
+            let _ = server2.serve_stream(&mut server_stream);
+        })
+        .expect("fresh pool admits the connection");
     let mut client = HttpClient::new(Box::new(client_stream));
 
     // Show the raw 401 challenge first (what Figure 5 prints).
@@ -117,6 +125,8 @@ fn main() {
         String::from_utf8_lossy(&resp.body)
     );
 
+    // Hanging up lets the pooled connection job finish; shutdown drains it.
     drop(client);
-    t.join().unwrap();
+    runtime.shutdown();
+    println!("\nruntime after drain: {:?}", runtime.stats());
 }

@@ -14,9 +14,34 @@ cargo test -q --offline
 echo "==> cargo doc --no-deps"
 cargo doc --no-deps --offline
 
-echo "==> contention + freshness benches (smoke mode: one iteration each)"
+echo "==> contention + freshness + saturation benches (smoke mode: one iteration each)"
 SF_BENCH_SMOKE=1 cargo bench -q -p snowflake-bench --offline \
     --bench prover_contention --bench mac_contention \
-    --bench revocation_freshness
+    --bench revocation_freshness --bench runtime_saturation
+
+echo "==> runtime gate: no raw thread::spawn in server accept paths"
+# Every server serves from crates/runtime (bounded pools, counted sheds).
+# This gate fails if a serving-path source file regrows a raw
+# thread::spawn outside its #[cfg(test)] module; the only sanctioned
+# spawns live inside crates/runtime itself.
+gate_failed=0
+for f in \
+    crates/http/src/server.rs crates/http/src/stream.rs \
+    crates/http/src/mac.rs crates/http/src/client.rs \
+    crates/rmi/src/server.rs crates/rmi/src/client.rs \
+    crates/revocation/src/service.rs crates/revocation/src/freshness.rs \
+    crates/channel/src/transport.rs crates/channel/src/secure.rs \
+    crates/apps/src/gateway.rs crates/apps/src/webserver.rs \
+    crates/apps/src/emaildb.rs; do
+    if awk '/#\[cfg\(test\)\]/{exit} /thread::spawn/{print FILENAME": "NR": "$0; found=1} END{exit found}' "$f"; then
+        :
+    else
+        gate_failed=1
+    fi
+done
+if [ "$gate_failed" -ne 0 ]; then
+    echo "FAIL: raw thread::spawn in a server accept path (use snowflake-runtime)"
+    exit 1
+fi
 
 echo "==> all green"

@@ -5,9 +5,11 @@
 //! [`snowflake_core`] (the logic of authority), [`snowflake_prover`],
 //! [`snowflake_channel`], [`snowflake_rmi`], [`snowflake_http`],
 //! [`snowflake_revocation`] (live revocation: validator service,
-//! freshness agent, push invalidation), [`snowflake_apps`], and the
-//! substrates [`snowflake_sexpr`], [`snowflake_tags`],
-//! [`snowflake_crypto`], [`snowflake_bigint`], [`snowflake_reldb`].
+//! freshness agent, push invalidation), [`snowflake_runtime`] (the
+//! bounded worker-pool/scheduler runtime every server serves from),
+//! [`snowflake_apps`], and the substrates [`snowflake_sexpr`],
+//! [`snowflake_tags`], [`snowflake_crypto`], [`snowflake_bigint`],
+//! [`snowflake_reldb`].
 
 pub use snowflake_apps as apps;
 pub use snowflake_bigint as bigint;
@@ -19,5 +21,6 @@ pub use snowflake_prover as prover;
 pub use snowflake_reldb as reldb;
 pub use snowflake_revocation as revocation;
 pub use snowflake_rmi as rmi;
+pub use snowflake_runtime as runtime;
 pub use snowflake_sexpr as sexpr;
 pub use snowflake_tags as tags;
