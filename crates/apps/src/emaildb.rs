@@ -8,8 +8,9 @@
 //! `(db (op select) (owner alice))` lets its holder read only Alice's mail.
 
 use snowflake_core::sync::LockExt;
-use std::sync::Mutex;
-use snowflake_core::{Principal, Tag};
+use std::sync::{Arc, Mutex};
+use snowflake_core::audit::{AuditEmitter, Decision, DecisionEvent, EmitterSlot};
+use snowflake_core::{Principal, Tag, Time};
 use snowflake_reldb::{email_schema, rows_to_sexp, Database, Predicate, Value};
 use snowflake_rmi::{CallerInfo, Invocation, RemoteObject, RmiFault};
 use snowflake_sexpr::Sexp;
@@ -22,18 +23,41 @@ pub struct EmailDb {
     issuer: Principal,
     db: Mutex<Database>,
     next_id: Mutex<i64>,
+    clock: fn() -> Time,
+    /// Audit emitter; the application-level outcome of every invocation
+    /// (including owner-scoped no-ops) is recorded through it (surface
+    /// `emaildb`).  The framework's `check_auth` verdict is recorded
+    /// separately at the `rmi` surface.
+    audit: EmitterSlot,
 }
 
 impl EmailDb {
     /// Creates an empty email database controlled by `issuer`.
     pub fn new(issuer: Principal) -> EmailDb {
+        Self::with_clock(issuer, Time::now)
+    }
+
+    /// Creates an empty database with an injected clock (tests, benches).
+    pub fn with_clock(issuer: Principal, clock: fn() -> Time) -> EmailDb {
         let mut db = Database::new();
         email_schema(&mut db);
         EmailDb {
             issuer,
             db: Mutex::new(db),
             next_id: Mutex::new(1),
+            clock,
+            audit: EmitterSlot::new(),
         }
+    }
+
+    /// Attaches an audit emitter recording application-level outcomes.
+    pub fn set_audit_emitter(&self, emitter: Arc<dyn AuditEmitter>) {
+        self.audit.set(emitter);
+    }
+
+    /// Emits an audit event, building it only when an emitter is attached.
+    fn audit(&self, build: impl FnOnce() -> DecisionEvent) {
+        self.audit.emit_with(build);
     }
 
     /// The restriction tag for an operation on an owner's mail — what the
@@ -164,18 +188,42 @@ impl RemoteObject for EmailDb {
         Self::op_tag(&invocation.method, owner)
     }
 
-    fn invoke(&self, invocation: &Invocation, _caller: &CallerInfo) -> Result<Sexp, RmiFault> {
-        let owner = Self::owner_arg(invocation)?;
-        match invocation.method.as_str() {
-            "select" => {
+    fn invoke(&self, invocation: &Invocation, caller: &CallerInfo) -> Result<Sexp, RmiFault> {
+        // Even a malformed invocation (no owner argument) is an
+        // application-level outcome and must reach the trail, so the
+        // owner parse failure flows into the audited result below.
+        let owner = Self::owner_arg(invocation);
+        let result = match (&owner, invocation.method.as_str()) {
+            (Err(f), _) => Err(f.clone()),
+            (Ok(owner), "select") => {
                 let folder = invocation.args.get(1).and_then(Sexp::as_str);
-                self.select(&owner, folder)
+                self.select(owner, folder)
             }
-            "insert" => self.insert(&owner, &invocation.args),
-            "mark_read" => self.mark_read(&owner, &invocation.args),
-            "delete" => self.delete(&owner, &invocation.args),
-            other => Err(RmiFault::NoSuchMethod(other.into())),
-        }
+            (Ok(owner), "insert") => self.insert(owner, &invocation.args),
+            (Ok(owner), "mark_read") => self.mark_read(owner, &invocation.args),
+            (Ok(owner), "delete") => self.delete(owner, &invocation.args),
+            (Ok(_), other) => Err(RmiFault::NoSuchMethod(other.into())),
+        };
+        self.audit(|| {
+            let (decision, detail) = match &result {
+                Ok(_) => (Decision::Grant, "row-scoped operation applied".to_string()),
+                Err(f) => (Decision::Deny, format!("{f:?}")),
+            };
+            let object = match &owner {
+                Ok(owner) => format!("{EMAIL_DB_OBJECT}/{owner}"),
+                Err(_) => EMAIL_DB_OBJECT.to_string(),
+            };
+            DecisionEvent::new(
+                (self.clock)(),
+                "emaildb",
+                decision,
+                &object,
+                &invocation.method,
+                &detail,
+            )
+            .with_subject(caller.speaker.clone())
+        });
+        result
     }
 }
 

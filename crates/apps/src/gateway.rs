@@ -24,7 +24,8 @@
 //! 6. `G` renders HTML from the rows. Subsequent requests skip the fanfare.
 
 use snowflake_core::sync::LockExt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use snowflake_core::audit::{AuditEmitter, Decision, DecisionEvent, EmitterSlot};
 use snowflake_core::{Principal, Tag, Time, VerifyCtx};
 use snowflake_http::{auth, Handler, HttpRequest, HttpResponse};
 use snowflake_reldb::{rows_from_sexp, Value};
@@ -39,6 +40,10 @@ pub struct QuotingGateway {
     /// the gateway "operates identically" over either).
     rmi: Mutex<RmiClient>,
     clock: fn() -> Time,
+    /// Audit emitter; gateway-level decisions — client verification,
+    /// forwarded grants, re-challenges, backend sheds — are recorded
+    /// through it (surface `gateway`).
+    audit: EmitterSlot,
 }
 
 impl QuotingGateway {
@@ -47,7 +52,18 @@ impl QuotingGateway {
         QuotingGateway {
             rmi: Mutex::new(rmi),
             clock,
+            audit: EmitterSlot::new(),
         }
+    }
+
+    /// Attaches an audit emitter recording this gateway's decisions.
+    pub fn set_audit_emitter(&self, emitter: Arc<dyn AuditEmitter>) {
+        self.audit.set(emitter);
+    }
+
+    /// Emits an audit event, building it only when an emitter is attached.
+    fn audit(&self, build: impl FnOnce() -> DecisionEvent) {
+        self.audit.emit_with(build);
     }
 
     /// Parses `/mail/<owner>/<folder>` paths.
@@ -111,6 +127,18 @@ impl QuotingGateway {
             Ok(value) => Ok(Ok(value)),
             Err(RmiError::NoProof { issuer, tag }) => Ok(Err((issuer, tag))),
             Err(e) if e.is_busy() => {
+                // The backend shed the call: record the gateway's own
+                // shed decision (the 503 it maps the BUSY fault to).
+                self.audit(|| {
+                    DecisionEvent::new(
+                        (self.clock)(),
+                        "gateway",
+                        Decision::Shed,
+                        EMAIL_DB_OBJECT,
+                        method,
+                        &format!("database busy: {e}"),
+                    )
+                });
                 let mut resp =
                     HttpResponse::status(503, "Service Unavailable", &format!("database busy: {e}"));
                 resp.set_header("Retry-After", "1");
@@ -179,6 +207,16 @@ impl Handler for QuotingGateway {
                 match self.try_invoke(placeholder, &method, args.clone()) {
                     Ok(Ok(_)) => unreachable!("placeholder cannot hold authority"),
                     Ok(Err((issuer, tag))) => {
+                        self.audit(|| {
+                            DecisionEvent::new(
+                                (self.clock)(),
+                                "gateway",
+                                Decision::Deny,
+                                &req.path,
+                                &req.method,
+                                "challenge: client must prove gateway-quoting-client chain",
+                            )
+                        });
                         let mut resp = auth::challenge(&issuer, &tag);
                         // `G` is the gateway's channel-facing key: that is
                         // the quoter the database will see.
@@ -191,7 +229,19 @@ impl Handler for QuotingGateway {
             }
             Some(_) => match self.verify_client(req) {
                 Ok(c) => c,
-                Err(e) => return HttpResponse::forbidden(&e),
+                Err(e) => {
+                    self.audit(|| {
+                        DecisionEvent::new(
+                            (self.clock)(),
+                            "gateway",
+                            Decision::Deny,
+                            &req.path,
+                            &req.method,
+                            &e,
+                        )
+                    });
+                    return HttpResponse::forbidden(&e);
+                }
             },
         };
 
@@ -201,8 +251,25 @@ impl Handler for QuotingGateway {
         }
 
         // Forward the request, quoting the client.
-        match self.try_invoke(client, &method, args) {
+        match self.try_invoke(client.clone(), &method, args) {
             Ok(Ok(value)) => {
+                // The database (seeing G|C end to end) said yes; record the
+                // gateway's side of the granted transaction.
+                self.audit(|| {
+                    let certs = auth::extract_proof(req)
+                        .map(|p| p.cert_hashes())
+                        .unwrap_or_default();
+                    DecisionEvent::new(
+                        (self.clock)(),
+                        "gateway",
+                        Decision::Grant,
+                        &req.path,
+                        &req.method,
+                        "forwarded quoting client; database granted",
+                    )
+                    .with_subject(client.clone())
+                    .with_certs(certs)
+                });
                 if method == "select" {
                     match rows_from_sexp(&value) {
                         Ok(rows) => HttpResponse::ok(
@@ -217,6 +284,17 @@ impl Handler for QuotingGateway {
             }
             Ok(Err((issuer, tag))) => {
                 // Still unauthorized: re-challenge (e.g. wrong owner).
+                self.audit(|| {
+                    DecisionEvent::new(
+                        (self.clock)(),
+                        "gateway",
+                        Decision::Deny,
+                        &req.path,
+                        &req.method,
+                        "database still demands proof (re-challenge)",
+                    )
+                    .with_subject(client.clone())
+                });
                 let mut resp = auth::challenge(&issuer, &tag);
                 let rmi = self.rmi.plock();
                 auth::add_quoter(&mut resp, &rmi.speaker());

@@ -1,0 +1,436 @@
+//! Storage backends for the audit log.
+//!
+//! The log core is backend-agnostic: a backend persists the entry stream
+//! and answers queries.  Three are provided:
+//!
+//! * [`MemoryBackend`] — a bounded in-memory ring for live operations
+//!   (tail queries, tests, benches).  Once the ring evicts, the retained
+//!   stream is a *suffix* and can no longer be chain-verified from
+//!   genesis; eviction is counted so that is visible.
+//! * [`FileBackend`] — an append-only file of transport-encoded
+//!   S-expressions, one entry per line: the durable form an auditor
+//!   copies off the box and verifies offline with
+//!   [`crate::verify_chain`].
+//! * [`DbBackend`] — an indexed relational table over the same
+//!   `snowflake-reldb` substrate the email application uses, where the
+//!   query API becomes an indexed `select … ORDER BY seq DESC LIMIT n`.
+
+use crate::query::AuditQuery;
+use crate::record::{ChainedRecord, LogEntry};
+use snowflake_reldb::{
+    ColumnType, Database, Predicate, Schema, SelectQuery, SortOrder, Value,
+};
+use snowflake_sexpr::Sexp;
+use std::collections::VecDeque;
+use std::io::Write;
+
+/// Where an [`crate::AuditLog`] keeps its entries.
+pub trait AuditBackend: Send {
+    /// Persists one entry at the end of the stream.
+    fn append(&mut self, entry: &LogEntry) -> Result<(), String>;
+
+    /// The retained entry stream, oldest first (for verification, export,
+    /// and log resumption).
+    fn entries(&self) -> Result<Vec<LogEntry>, String>;
+
+    /// Answers a query over the retained records.  The default filters
+    /// [`AuditBackend::entries`]; indexed backends override it.
+    fn query(&self, q: &AuditQuery) -> Result<Vec<ChainedRecord>, String> {
+        let records: Vec<ChainedRecord> = self
+            .entries()?
+            .into_iter()
+            .filter_map(|e| match e {
+                LogEntry::Record(r) => Some(r),
+                LogEntry::Checkpoint(_) => None,
+            })
+            .collect();
+        Ok(q.apply(&records))
+    }
+
+    /// Entries evicted to honor a retention bound (0 for unbounded
+    /// backends).  A non-zero count means [`AuditBackend::entries`] is a
+    /// suffix of the true stream.
+    fn evicted(&self) -> u64 {
+        0
+    }
+}
+
+/// A bounded in-memory ring of the newest entries.
+pub struct MemoryBackend {
+    entries: VecDeque<LogEntry>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl MemoryBackend {
+    /// A ring retaining at most `capacity` entries (`0` = unbounded).
+    pub fn new(capacity: usize) -> MemoryBackend {
+        MemoryBackend {
+            entries: VecDeque::new(),
+            capacity,
+            evicted: 0,
+        }
+    }
+}
+
+impl AuditBackend for MemoryBackend {
+    fn append(&mut self, entry: &LogEntry) -> Result<(), String> {
+        self.entries.push_back(entry.clone());
+        while self.capacity > 0 && self.entries.len() > self.capacity {
+            self.entries.pop_front();
+            self.evicted += 1;
+        }
+        Ok(())
+    }
+
+    fn entries(&self) -> Result<Vec<LogEntry>, String> {
+        Ok(self.entries.iter().cloned().collect())
+    }
+
+    fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+/// An append-only file of transport-encoded entries, one per line.
+pub struct FileBackend {
+    path: std::path::PathBuf,
+    file: std::fs::File,
+}
+
+impl FileBackend {
+    /// Opens (creating if absent) an append-only log file.  Existing
+    /// entries are preserved; the owning log resumes from them.
+    pub fn open(path: impl Into<std::path::PathBuf>) -> Result<FileBackend, String> {
+        let path = path.into();
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("open {}: {e}", path.display()))?;
+        Ok(FileBackend { path, file })
+    }
+
+    /// The file this backend appends to.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl AuditBackend for FileBackend {
+    fn append(&mut self, entry: &LogEntry) -> Result<(), String> {
+        let mut line = entry.to_sexp().transport().into_bytes();
+        line.push(b'\n');
+        self.file
+            .write_all(&line)
+            .and_then(|()| self.file.flush())
+            .map_err(|e| format!("append {}: {e}", self.path.display()))
+    }
+
+    fn entries(&self) -> Result<Vec<LogEntry>, String> {
+        let data = std::fs::read_to_string(&self.path)
+            .map_err(|e| format!("read {}: {e}", self.path.display()))?;
+        data.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|line| {
+                Sexp::parse(line.as_bytes())
+                    .map_err(|e| format!("bad entry line: {e}"))
+                    .and_then(|s| {
+                        LogEntry::from_sexp(&s).map_err(|e| format!("bad entry: {e}"))
+                    })
+            })
+            .collect()
+    }
+}
+
+/// The audit table schema shared by [`DbBackend`] and external importers.
+pub fn audit_schema(db: &mut Database) {
+    db.create_table(
+        "audit_records",
+        Schema::new(&[
+            ("seq", ColumnType::Int),
+            ("time", ColumnType::Int),
+            ("surface", ColumnType::Text),
+            ("subject", ColumnType::Text),
+            ("object", ColumnType::Text),
+            ("action", ColumnType::Text),
+            ("verdict", ColumnType::Text),
+            ("epoch", ColumnType::Int),
+            ("entry", ColumnType::Bytes),
+        ]),
+    );
+    db.table_mut("audit_records")
+        .expect("just created")
+        .create_index("subject")
+        .expect("column exists");
+    db.create_table(
+        "audit_checkpoints",
+        Schema::new(&[("upto", ColumnType::Int), ("entry", ColumnType::Bytes)]),
+    );
+}
+
+/// Records in a relational table (the email-database substrate), with a
+/// subject index and `ORDER BY seq` / `LIMIT` queries.
+pub struct DbBackend {
+    db: Database,
+}
+
+impl DbBackend {
+    /// An empty relational backend.
+    pub fn new() -> DbBackend {
+        let mut db = Database::new();
+        audit_schema(&mut db);
+        DbBackend { db }
+    }
+
+    /// The underlying database (read access for reporting tools).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    fn decode_entry_rows(rows: Vec<Vec<Value>>) -> Result<Vec<LogEntry>, String> {
+        rows.into_iter()
+            .map(|row| match row.last() {
+                Some(Value::Bytes(bytes)) => Sexp::parse(bytes)
+                    .map_err(|e| format!("bad stored entry: {e}"))
+                    .and_then(|s| {
+                        LogEntry::from_sexp(&s).map_err(|e| format!("bad stored entry: {e}"))
+                    }),
+                _ => Err("entry column missing".into()),
+            })
+            .collect()
+    }
+}
+
+impl Default for DbBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AuditBackend for DbBackend {
+    fn append(&mut self, entry: &LogEntry) -> Result<(), String> {
+        let encoded = Value::bytes(entry.to_sexp().canonical());
+        match entry {
+            LogEntry::Record(r) => {
+                let ev = &r.event;
+                self.db
+                    .table_mut("audit_records")
+                    .and_then(|t| {
+                        t.insert(vec![
+                            Value::Int(r.seq as i64),
+                            Value::Int(ev.time.0 as i64),
+                            Value::text(ev.surface.as_str()),
+                            // Subject-less events store NULL, not "": an
+                            // equality predicate must never match them,
+                            // exactly as `AuditQuery::matches` never does.
+                            match &ev.subject {
+                                Some(p) => Value::text(p.describe()),
+                                None => Value::Null,
+                            },
+                            Value::text(ev.object.as_str()),
+                            Value::text(ev.action.as_str()),
+                            Value::text(ev.decision.name()),
+                            Value::Int(ev.revocation_epoch as i64),
+                            encoded,
+                        ])
+                    })
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            }
+            LogEntry::Checkpoint(c) => self
+                .db
+                .table_mut("audit_checkpoints")
+                .and_then(|t| t.insert(vec![Value::Int(c.upto_seq as i64), encoded]))
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+        }
+    }
+
+    fn entries(&self) -> Result<Vec<LogEntry>, String> {
+        let record_q = SelectQuery::all("audit_records", Predicate::True)
+            .order_by("seq", SortOrder::Asc);
+        let records =
+            Self::decode_entry_rows(self.db.run_select(&record_q).map_err(|e| e.to_string())?)?;
+        let ckpt_q = SelectQuery::all("audit_checkpoints", Predicate::True)
+            .order_by("upto", SortOrder::Asc);
+        let mut checkpoints =
+            Self::decode_entry_rows(self.db.run_select(&ckpt_q).map_err(|e| e.to_string())?)?
+                .into_iter()
+                .peekable();
+        // Re-interleave: a checkpoint sits immediately after the record it
+        // seals.
+        let mut out = Vec::new();
+        for entry in records {
+            let seq = match &entry {
+                LogEntry::Record(r) => r.seq,
+                LogEntry::Checkpoint(_) => unreachable!("records table holds records"),
+            };
+            out.push(entry);
+            while matches!(
+                checkpoints.peek(),
+                Some(LogEntry::Checkpoint(c)) if c.upto_seq == seq
+            ) {
+                out.push(checkpoints.next().expect("peeked"));
+            }
+        }
+        out.extend(checkpoints);
+        Ok(out)
+    }
+
+    fn query(&self, q: &AuditQuery) -> Result<Vec<ChainedRecord>, String> {
+        // Compile the filter to a relational predicate so the subject
+        // index and the ordered, limited select do the work.
+        let mut pred = Predicate::True;
+        let and = |p: Predicate, q: Predicate| {
+            if matches!(p, Predicate::True) {
+                q
+            } else {
+                Predicate::and(p, q)
+            }
+        };
+        if let Some(s) = &q.subject {
+            pred = and(pred, Predicate::eq("subject", Value::text(s.as_str())));
+        }
+        if let Some(o) = &q.object_prefix {
+            pred = and(pred, Predicate::prefix("object", o));
+        }
+        if let Some(s) = &q.surface {
+            pred = and(pred, Predicate::eq("surface", Value::text(s.as_str())));
+        }
+        if let Some(t) = q.from {
+            pred = and(
+                pred,
+                Predicate::not(Predicate::lt("time", Value::Int(t.0 as i64))),
+            );
+        }
+        if let Some(t) = q.until {
+            pred = and(
+                pred,
+                Predicate::not(Predicate::gt("time", Value::Int(t.0 as i64))),
+            );
+        }
+        // Newest-first with the limit applied by the database, then flip
+        // back to chain order for the caller.
+        let mut select = SelectQuery::all("audit_records", pred)
+            .order_by("seq", SortOrder::Desc);
+        select.columns = vec!["entry".to_string()];
+        if let Some(n) = q.limit {
+            select = select.limit(n);
+        }
+        let rows = self.db.run_select(&select).map_err(|e| e.to_string())?;
+        let mut records: Vec<ChainedRecord> = Self::decode_entry_rows(rows)?
+            .into_iter()
+            .filter_map(|e| match e {
+                LogEntry::Record(r) => Some(r),
+                LogEntry::Checkpoint(_) => None,
+            })
+            .collect();
+        records.reverse();
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::genesis_hash;
+    use snowflake_core::{Decision, DecisionEvent, Principal, Time};
+
+    fn chain(n: u64) -> Vec<LogEntry> {
+        let mut prev = genesis_hash();
+        (0..n)
+            .map(|i| {
+                let ev = DecisionEvent::new(
+                    Time(i),
+                    "rmi",
+                    Decision::Grant,
+                    &format!("/obj/{i}"),
+                    "read",
+                    "",
+                )
+                .with_subject(Principal::message(b"alice"));
+                let r = ChainedRecord::chain(i, prev.clone(), ev);
+                prev = r.hash.clone();
+                LogEntry::Record(r)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn memory_ring_bounds_and_counts() {
+        let mut b = MemoryBackend::new(4);
+        for e in chain(10) {
+            b.append(&e).unwrap();
+        }
+        assert_eq!(b.entries().unwrap().len(), 4);
+        assert_eq!(b.evicted(), 6);
+        let unbounded = MemoryBackend::new(0);
+        assert_eq!(unbounded.evicted(), 0);
+    }
+
+    #[test]
+    fn db_backend_round_trips_and_queries() {
+        let mut b = DbBackend::new();
+        for e in chain(20) {
+            b.append(&e).unwrap();
+        }
+        assert_eq!(b.entries().unwrap().len(), 20);
+        // Subject + limit goes through the indexed ordered select.
+        let q = AuditQuery::all()
+            .subject(&Principal::message(b"alice").describe())
+            .newest(5);
+        let out = b.query(&q).unwrap();
+        assert_eq!(out.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![15, 16, 17, 18, 19]);
+        // Time window composes.
+        let q = AuditQuery::all().window(Time(3), Time(5));
+        assert_eq!(b.query(&q).unwrap().len(), 3);
+        // No match → empty.
+        let q = AuditQuery::all().subject("nobody");
+        assert!(b.query(&q).unwrap().is_empty());
+    }
+
+    /// Subject-less events (sheds, challenge denials) must behave the
+    /// same on the indexed backend as on the scan path: no subject
+    /// equality ever matches them.
+    #[test]
+    fn db_backend_subjectless_events_never_match_subject_queries() {
+        let mut db = DbBackend::new();
+        let mut mem = MemoryBackend::new(0);
+        let mut prev = genesis_hash();
+        for i in 0..4u64 {
+            let mut ev = DecisionEvent::new(Time(i), "http", Decision::Shed, "tcp", "connect", "");
+            if i % 2 == 0 {
+                ev = ev.with_subject(Principal::message(b"alice"));
+            }
+            let r = ChainedRecord::chain(i, prev.clone(), ev);
+            prev = r.hash.clone();
+            db.append(&LogEntry::Record(r.clone())).unwrap();
+            mem.append(&LogEntry::Record(r)).unwrap();
+        }
+        for q in [
+            AuditQuery::all().subject(&Principal::message(b"alice").describe()),
+            AuditQuery::all().subject(""),
+        ] {
+            assert_eq!(db.query(&q).unwrap(), mem.query(&q).unwrap(), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn file_backend_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("sf-audit-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("file-backend.log");
+        let _ = std::fs::remove_file(&path);
+        let entries = chain(6);
+        {
+            let mut b = FileBackend::open(&path).unwrap();
+            for e in &entries {
+                b.append(e).unwrap();
+            }
+        }
+        let b = FileBackend::open(&path).unwrap();
+        assert_eq!(b.entries().unwrap(), entries);
+        let _ = std::fs::remove_file(&path);
+    }
+}

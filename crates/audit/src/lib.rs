@@ -1,0 +1,56 @@
+//! Tamper-evident auditing of authorization decisions.
+//!
+//! The paper's end-to-end argument — the resource server sees and verifies
+//! the *entire* delegation chain behind every request — is what makes
+//! decisions reviewable after the fact: not just *that* a request was
+//! granted, but exactly *which* certificates justified it.  This crate
+//! records that review trail and makes it trustworthy:
+//!
+//! * Every grant, deny, shed, and revocation becomes a
+//!   [`snowflake_core::DecisionEvent`] carrying subject, object, action,
+//!   verdict, the proof's certificate provenance
+//!   ([`snowflake_core::Proof::cert_hashes`]), and the decider's
+//!   revocation epoch.
+//! * The [`AuditLog`] hash-chains events into [`ChainedRecord`]s and signs
+//!   the chain head every [`AuditLog::checkpoint_interval`] records
+//!   ([`Checkpoint`]) — in-place edits, reordering, and (against a trusted
+//!   head) truncation are all detectable by the offline [`verify_chain`].
+//! * The [`AuditSink`] is the emission path: a bounded queue with counted
+//!   drops in front of one drain worker, so the request hot path never
+//!   blocks on auditing (the same discipline as every other queue in the
+//!   serving runtime).
+//! * Backends: an in-memory ring ([`MemoryBackend`]), an append-only
+//!   S-expression file ([`FileBackend`]), and a relational table over the
+//!   email-database substrate ([`DbBackend`]) whose query API is an
+//!   indexed `select … ORDER BY seq DESC LIMIT n`.
+//! * The [`AuditService`] serves queries over RMI — itself a protected
+//!   object, so reads of the trail appear in the trail.
+//!
+//! The decision points themselves live in the server crates (HTTP servlet
+//! and accept loop, RMI dispatch, the gateway and applications, the
+//! revocation bus); they emit through the narrow
+//! [`snowflake_core::AuditEmitter`] trait and never see this crate.
+
+#![deny(missing_docs)]
+
+mod backend;
+mod chain;
+mod log;
+mod query;
+mod record;
+mod sink;
+mod service;
+
+pub use backend::{audit_schema, AuditBackend, DbBackend, FileBackend, MemoryBackend};
+pub use chain::{verify_chain, verify_suffix, ChainError, ChainSummary};
+pub use log::{AuditLog, DEFAULT_CHECKPOINT_INTERVAL};
+pub use query::AuditQuery;
+pub use record::{genesis_hash, ChainedRecord, Checkpoint, LogEntry};
+pub use service::{
+    entries_from_reply, head_from_reply, records_from_reply, AuditService, AUDIT_OBJECT,
+};
+pub use sink::{strip_checkpoints, AuditSink, SinkStats, DEFAULT_SINK_CAPACITY};
+
+// Re-exported so audit consumers need not name snowflake-core for the
+// event types they construct.
+pub use snowflake_core::{AuditEmitter, Decision, DecisionEvent};

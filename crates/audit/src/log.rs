@@ -1,0 +1,338 @@
+//! The chained, periodically signed audit log.
+
+use crate::backend::AuditBackend;
+use crate::chain::{verify_chain, ChainError, ChainSummary};
+use crate::query::AuditQuery;
+use crate::record::{genesis_hash, ChainedRecord, Checkpoint, LogEntry};
+use snowflake_core::sync::LockExt;
+use snowflake_core::DecisionEvent;
+use snowflake_crypto::{HashVal, KeyPair, PublicKey};
+use std::sync::{Arc, Mutex};
+
+/// How often the chain head is signed when unspecified.
+pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 64;
+
+struct LogInner {
+    next_seq: u64,
+    prev: HashVal,
+    backend: Box<dyn AuditBackend>,
+}
+
+/// An append-only log of [`ChainedRecord`]s with signed checkpoints.
+///
+/// Appends are serialized (the chain is inherently sequential); decision
+/// points therefore never call the log directly — they hand events to the
+/// bounded [`crate::AuditSink`], whose single drain worker owns the
+/// append path.
+pub struct AuditLog {
+    inner: Mutex<LogInner>,
+    signer: KeyPair,
+    interval: u64,
+    rng: Mutex<Box<dyn FnMut(&mut [u8]) + Send>>,
+}
+
+impl AuditLog {
+    /// Opens a log over `backend`, signing every
+    /// [`DEFAULT_CHECKPOINT_INTERVAL`] records with `signer` and OS
+    /// entropy.  If the backend already holds entries (a reopened file),
+    /// the log resumes from its head.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the backend's existing stream cannot be read (an
+    /// unreadable or corrupted file).  The failure must surface: silently
+    /// rebasing to genesis would append a second seq-0 chain into the
+    /// same durable stream, leaving it permanently unverifiable and
+    /// indistinguishable from tampering.
+    pub fn new(signer: KeyPair, backend: Box<dyn AuditBackend>) -> Result<Arc<AuditLog>, String> {
+        Self::with_rng(
+            signer,
+            backend,
+            DEFAULT_CHECKPOINT_INTERVAL,
+            Box::new(snowflake_crypto::rand_bytes),
+        )
+    }
+
+    /// Opens a log with an explicit checkpoint interval and entropy source
+    /// (tests and benches inject deterministic ones).
+    ///
+    /// Resumption trusts the backend's tail; when the stored stream comes
+    /// from an untrusted medium, run [`AuditLog::verify`] (or
+    /// [`verify_chain`] offline) before serving queries from it.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the backend's existing stream cannot be read (see
+    /// [`AuditLog::new`]).
+    pub fn with_rng(
+        signer: KeyPair,
+        mut backend: Box<dyn AuditBackend>,
+        interval: u64,
+        mut rng: Box<dyn FnMut(&mut [u8]) + Send>,
+    ) -> Result<Arc<AuditLog>, String> {
+        let interval = interval.max(1);
+        let entries = backend
+            .entries()
+            .map_err(|e| format!("cannot resume audit log: {e}"))?;
+        let (next_seq, prev) = entries
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                LogEntry::Record(r) => Some((r.seq + 1, r.hash.clone())),
+                LogEntry::Checkpoint(_) => None,
+            })
+            .unwrap_or((0, genesis_hash()));
+        // A crash (or write failure) between a boundary record and its
+        // checkpoint leaves the stream unsealed; re-issue the missing
+        // seal now, or the resumed log would fail verification forever —
+        // a clean crash must stay distinguishable from checkpoint
+        // stripping.
+        if next_seq > 0 && next_seq % interval == 0 {
+            let sealed = entries
+                .iter()
+                .rev()
+                .any(|e| matches!(e, LogEntry::Checkpoint(c) if c.upto_seq == next_seq - 1));
+            if !sealed {
+                let checkpoint =
+                    Checkpoint::issue(&signer, next_seq - 1, prev.clone(), &mut *rng);
+                backend
+                    .append(&LogEntry::Checkpoint(checkpoint))
+                    .map_err(|e| format!("cannot re-seal resumed audit log: {e}"))?;
+            }
+        }
+        Ok(Arc::new(AuditLog {
+            inner: Mutex::new(LogInner {
+                next_seq,
+                prev,
+                backend,
+            }),
+            signer,
+            interval,
+            rng: Mutex::new(rng),
+        }))
+    }
+
+    /// The key whose signatures seal this log.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.signer.public
+    }
+
+    /// Records per signed checkpoint.
+    pub fn checkpoint_interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Appends one decision, returning the chained record.
+    ///
+    /// Backend failures are reported but do not panic the caller: the
+    /// record is still chained (so the in-memory head stays consistent)
+    /// and the error is returned alongside it.
+    pub fn append(&self, event: DecisionEvent) -> (ChainedRecord, Result<(), String>) {
+        let mut inner = self.inner.plock();
+        let record = ChainedRecord::chain(inner.next_seq, inner.prev.clone(), event);
+        inner.next_seq += 1;
+        inner.prev = record.hash.clone();
+        let mut result = inner.backend.append(&LogEntry::Record(record.clone()));
+        if inner.next_seq % self.interval == 0 {
+            let checkpoint = {
+                let mut rng = self.rng.plock();
+                Checkpoint::issue(&self.signer, record.seq, record.hash.clone(), &mut **rng)
+            };
+            result = result.and(inner.backend.append(&LogEntry::Checkpoint(checkpoint)));
+        }
+        (record, result)
+    }
+
+    /// The live chain head: the last record's `(seq, hash)`.
+    ///
+    /// Comparing a captured stream against this (or against the latest
+    /// [`Checkpoint`] held off-box) is what makes truncation detectable.
+    pub fn head(&self) -> Option<(u64, HashVal)> {
+        let inner = self.inner.plock();
+        inner
+            .next_seq
+            .checked_sub(1)
+            .map(|seq| (seq, inner.prev.clone()))
+    }
+
+    /// Records appended over this log's lifetime.
+    pub fn records_appended(&self) -> u64 {
+        self.inner.plock().next_seq
+    }
+
+    /// Exports the retained entry stream (for offline verification).
+    pub fn entries(&self) -> Result<Vec<LogEntry>, String> {
+        self.inner.plock().backend.entries()
+    }
+
+    /// Answers a query from the backend.
+    pub fn query(&self, q: &AuditQuery) -> Result<Vec<ChainedRecord>, String> {
+        self.inner.plock().backend.query(q)
+    }
+
+    /// Entries the backend evicted to honor its retention bound.
+    pub fn evicted(&self) -> u64 {
+        self.inner.plock().backend.evicted()
+    }
+
+    /// Self-check: verifies the retained stream against this log's own
+    /// key and live head.
+    ///
+    /// A backend that has evicted (a bounded memory ring) retains only a
+    /// suffix, so the check switches to [`crate::verify_suffix`]: the
+    /// window is proven internally consistent and current; provenance to
+    /// genesis needs an unevicted backend.
+    pub fn verify(&self) -> Result<ChainSummary, ChainError> {
+        let (entries, head, evicted) = {
+            let inner = self.inner.plock();
+            let entries = inner.backend.entries().map_err(ChainError::Backend)?;
+            let head = inner.next_seq.checked_sub(1).map(|s| (s, inner.prev.clone()));
+            (entries, head, inner.backend.evicted())
+        };
+        if evicted > 0 {
+            crate::verify_suffix(&entries, &self.signer.public, self.interval, head.as_ref())
+        } else {
+            verify_chain(&entries, &self.signer.public, self.interval, head.as_ref())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{FileBackend, MemoryBackend};
+    use snowflake_core::{Decision, Time};
+    use snowflake_crypto::{DetRng, Group};
+
+    fn key(seed: &[u8]) -> KeyPair {
+        let mut r = DetRng::new(seed);
+        KeyPair::generate(Group::test512(), &mut |b| r.fill(b))
+    }
+
+    fn log_with(backend: Box<dyn AuditBackend>, interval: u64) -> Arc<AuditLog> {
+        let mut r = DetRng::new(b"log-sign");
+        AuditLog::with_rng(key(b"log-key"), backend, interval, Box::new(move |b| r.fill(b)))
+            .expect("backend readable")
+    }
+
+    fn event(n: u64) -> DecisionEvent {
+        DecisionEvent::new(Time(n), "rmi", Decision::Grant, "o", "m", "")
+    }
+
+    #[test]
+    fn appends_chain_checkpoint_and_self_verify() {
+        let log = log_with(Box::new(MemoryBackend::new(0)), 4);
+        for i in 0..10 {
+            let (r, io) = log.append(event(i));
+            assert_eq!(r.seq, i);
+            io.unwrap();
+        }
+        let entries = log.entries().unwrap();
+        // 10 records + checkpoints after records 3 and 7.
+        assert_eq!(entries.len(), 12);
+        let summary = log.verify().unwrap();
+        assert_eq!(summary.records, 10);
+        assert_eq!(summary.checkpoints, 2);
+        assert_eq!(log.head().unwrap().0, 9);
+    }
+
+    #[test]
+    fn file_log_resumes_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("sf-audit-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = log_with(Box::new(FileBackend::open(&path).unwrap()), 4);
+            for i in 0..6 {
+                log.append(event(i)).1.unwrap();
+            }
+        }
+        // Reopen: the log resumes at seq 6 and the combined stream still
+        // verifies (including a checkpoint straddling the reopen).
+        let log = log_with(Box::new(FileBackend::open(&path).unwrap()), 4);
+        for i in 6..10 {
+            let (r, io) = log.append(event(i));
+            assert_eq!(r.seq, i);
+            io.unwrap();
+        }
+        let summary = log.verify().unwrap();
+        assert_eq!(summary.records, 10);
+        assert_eq!(summary.checkpoints, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Regression: a crash between a boundary record and its checkpoint
+    /// must not leave the resumed log permanently "tampered" — resumption
+    /// re-issues the missing seal.
+    #[test]
+    fn resume_reseals_unsealed_boundary() {
+        let dir = std::env::temp_dir().join(format!("sf-audit-reseal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reseal.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = log_with(Box::new(FileBackend::open(&path).unwrap()), 4);
+            for i in 0..4 {
+                log.append(event(i)).1.unwrap();
+            }
+        }
+        // Simulate the crash: drop the trailing checkpoint line.
+        let data = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = data.lines().collect();
+        assert_eq!(lines.len(), 5, "4 records + 1 checkpoint");
+        lines.pop();
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+
+        let log = log_with(Box::new(FileBackend::open(&path).unwrap()), 4);
+        for i in 4..6 {
+            log.append(event(i)).1.unwrap();
+        }
+        let summary = log.verify().unwrap();
+        assert_eq!(summary.records, 6);
+        assert_eq!(summary.checkpoints, 1, "the stripped seal was re-issued");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Regression: a bounded ring that has evicted still self-verifies —
+    /// the retained suffix is checked with a first-record anchor instead
+    /// of being misreported as tampered-from-genesis.
+    #[test]
+    fn ring_backend_self_verifies_after_eviction() {
+        let log = log_with(Box::new(MemoryBackend::new(6)), 4);
+        for i in 0..20 {
+            log.append(event(i)).1.unwrap();
+        }
+        assert!(log.evicted() > 0);
+        let summary = log.verify().unwrap();
+        assert!(summary.records <= 6);
+        assert_eq!(summary.head, log.head());
+        // And the suffix rules still bite: a tampered retained record
+        // fails even in suffix mode.
+        let entries = log.entries().unwrap();
+        let mut tampered = entries.clone();
+        let last_record = tampered
+            .iter()
+            .rposition(|e| matches!(e, crate::record::LogEntry::Record(_)))
+            .unwrap();
+        if let crate::record::LogEntry::Record(r) = &mut tampered[last_record] {
+            r.event.detail = "edited".into();
+        }
+        assert!(crate::verify_suffix(
+            &tampered,
+            log.public_key(),
+            log.checkpoint_interval(),
+            None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_log_verifies_with_no_head() {
+        let log = log_with(Box::new(MemoryBackend::new(0)), 4);
+        assert!(log.head().is_none());
+        let summary = log.verify().unwrap();
+        assert_eq!(summary.records, 0);
+        assert!(summary.head.is_none());
+    }
+}

@@ -1,0 +1,263 @@
+//! The audit query: by subject, object, surface, and time window.
+
+use crate::record::ChainedRecord;
+use snowflake_core::Time;
+use snowflake_sexpr::{ParseError, Sexp};
+
+/// A filter over decision records.
+///
+/// All set fields must match; an empty query matches everything.  Results
+/// come back in sequence order; `limit` keeps the **newest** `n` matches
+/// (an auditor's "last 50 denials for alice"), still presented oldest
+/// first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditQuery {
+    /// Match records whose subject's [`snowflake_core::Principal::describe`]
+    /// equals this string exactly.
+    pub subject: Option<String>,
+    /// Match records whose object starts with this prefix.
+    pub object_prefix: Option<String>,
+    /// Match records from this surface.
+    pub surface: Option<String>,
+    /// Match records at or after this time.
+    pub from: Option<Time>,
+    /// Match records at or before this time.
+    pub until: Option<Time>,
+    /// Keep only the newest `n` matches.
+    pub limit: Option<usize>,
+}
+
+impl AuditQuery {
+    /// The match-everything query.
+    pub fn all() -> AuditQuery {
+        AuditQuery::default()
+    }
+
+    /// Builder: filters by subject description.
+    pub fn subject(mut self, described: &str) -> AuditQuery {
+        self.subject = Some(described.to_string());
+        self
+    }
+
+    /// Builder: filters by object prefix.
+    pub fn object_prefix(mut self, prefix: &str) -> AuditQuery {
+        self.object_prefix = Some(prefix.to_string());
+        self
+    }
+
+    /// Builder: filters by surface.
+    pub fn surface(mut self, surface: &str) -> AuditQuery {
+        self.surface = Some(surface.to_string());
+        self
+    }
+
+    /// Builder: sets the inclusive time window.
+    pub fn window(mut self, from: Time, until: Time) -> AuditQuery {
+        self.from = Some(from);
+        self.until = Some(until);
+        self
+    }
+
+    /// Builder: keeps the newest `n` matches.
+    pub fn newest(mut self, n: usize) -> AuditQuery {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Does `record` satisfy every set filter (ignoring `limit`)?
+    pub fn matches(&self, record: &ChainedRecord) -> bool {
+        let ev = &record.event;
+        if let Some(subject) = &self.subject {
+            match &ev.subject {
+                Some(p) if &p.describe() == subject => {}
+                _ => return false,
+            }
+        }
+        if let Some(prefix) = &self.object_prefix {
+            if !ev.object.starts_with(prefix.as_str()) {
+                return false;
+            }
+        }
+        if let Some(surface) = &self.surface {
+            if &ev.surface != surface {
+                return false;
+            }
+        }
+        if let Some(from) = self.from {
+            if ev.time < from {
+                return false;
+            }
+        }
+        if let Some(until) = self.until {
+            if ev.time > until {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Applies the query to a record stream: filter, then keep the newest
+    /// `limit` (result stays oldest-first).
+    pub fn apply<'a, I: IntoIterator<Item = &'a ChainedRecord>>(
+        &self,
+        records: I,
+    ) -> Vec<ChainedRecord> {
+        let mut out: Vec<ChainedRecord> = records
+            .into_iter()
+            .filter(|r| self.matches(r))
+            .cloned()
+            .collect();
+        if let Some(n) = self.limit {
+            if out.len() > n {
+                out.drain(..out.len() - n);
+            }
+        }
+        out
+    }
+
+    /// Serializes to `(audit-query (subject s)? (object o)? (surface s)?
+    /// (from n)? (until n)? (newest n)?)` — every clause optional.
+    pub fn to_sexp(&self) -> Sexp {
+        let mut body = Vec::new();
+        if let Some(s) = &self.subject {
+            body.push(Sexp::tagged("subject", vec![Sexp::from(s.as_str())]));
+        }
+        if let Some(o) = &self.object_prefix {
+            body.push(Sexp::tagged("object", vec![Sexp::from(o.as_str())]));
+        }
+        if let Some(s) = &self.surface {
+            body.push(Sexp::tagged("surface", vec![Sexp::from(s.as_str())]));
+        }
+        if let Some(t) = self.from {
+            body.push(Sexp::tagged("from", vec![Sexp::int(t.0)]));
+        }
+        if let Some(t) = self.until {
+            body.push(Sexp::tagged("until", vec![Sexp::int(t.0)]));
+        }
+        if let Some(n) = self.limit {
+            body.push(Sexp::tagged("newest", vec![Sexp::int(n as u64)]));
+        }
+        Sexp::tagged("audit-query", body)
+    }
+
+    /// Parses the form produced by [`AuditQuery::to_sexp`].
+    ///
+    /// A *present but malformed* clause is rejected, never ignored: a
+    /// typo in a filter must not silently widen the answer to the whole
+    /// log.
+    pub fn from_sexp(e: &Sexp) -> Result<AuditQuery, ParseError> {
+        let bad = |m: String| ParseError {
+            offset: 0,
+            message: m,
+        };
+        if e.tag_name() != Some("audit-query") {
+            return Err(bad("expected (audit-query …)".into()));
+        }
+        let text = |name: &str| -> Result<Option<String>, ParseError> {
+            match e.find(name) {
+                None => Ok(None),
+                Some(_) => e
+                    .find_value(name)
+                    .and_then(Sexp::as_str)
+                    .map(|s| Some(s.to_string()))
+                    .ok_or_else(|| bad(format!("bad ({name} <text>) clause"))),
+            }
+        };
+        let int = |name: &str| -> Result<Option<u64>, ParseError> {
+            match e.find(name) {
+                None => Ok(None),
+                Some(_) => e
+                    .find_value(name)
+                    .and_then(Sexp::as_u64)
+                    .map(Some)
+                    .ok_or_else(|| bad(format!("bad ({name} <int>) clause"))),
+            }
+        };
+        Ok(AuditQuery {
+            subject: text("subject")?,
+            object_prefix: text("object")?,
+            surface: text("surface")?,
+            from: int("from")?.map(Time),
+            until: int("until")?.map(Time),
+            limit: int("newest")?.map(|n| n as usize),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{genesis_hash, ChainedRecord};
+    use snowflake_core::{Decision, DecisionEvent, Principal};
+
+    fn records() -> Vec<ChainedRecord> {
+        let mut prev = genesis_hash();
+        let mut out = Vec::new();
+        for i in 0..10u64 {
+            let ev = DecisionEvent::new(
+                Time(i),
+                if i % 2 == 0 { "rmi" } else { "http" },
+                Decision::Grant,
+                &format!("/mail/{}", if i < 5 { "alice" } else { "bob" }),
+                "GET",
+                "",
+            )
+            .with_subject(Principal::message(if i % 3 == 0 { b"a" } else { b"b" }));
+            let r = ChainedRecord::chain(i, prev.clone(), ev);
+            prev = r.hash.clone();
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn filters_compose() {
+        let rs = records();
+        assert_eq!(AuditQuery::all().apply(&rs).len(), 10);
+        assert_eq!(AuditQuery::all().surface("rmi").apply(&rs).len(), 5);
+        assert_eq!(AuditQuery::all().object_prefix("/mail/alice").apply(&rs).len(), 5);
+        assert_eq!(AuditQuery::all().window(Time(3), Time(6)).apply(&rs).len(), 4);
+        let subject = Principal::message(b"a").describe();
+        assert_eq!(AuditQuery::all().subject(&subject).apply(&rs).len(), 4);
+        let combined = AuditQuery::all()
+            .surface("rmi")
+            .window(Time(0), Time(4))
+            .apply(&rs);
+        assert_eq!(combined.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn newest_keeps_tail_oldest_first() {
+        let rs = records();
+        let out = AuditQuery::all().newest(3).apply(&rs);
+        assert_eq!(out.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn malformed_clauses_rejected_not_ignored() {
+        // A typo in a filter must error, never silently widen the answer
+        // to the whole log.
+        for src in [
+            "(audit-query (newest fifty))",
+            "(audit-query (from tomorrow))",
+            "(audit-query (subject (a b)))",
+            "(not-a-query)",
+        ] {
+            let e = snowflake_sexpr::Sexp::parse(src.as_bytes()).unwrap();
+            assert!(AuditQuery::from_sexp(&e).is_err(), "{src}");
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let q = AuditQuery::all()
+            .subject("msg:a")
+            .object_prefix("/mail/")
+            .surface("gateway")
+            .window(Time(5), Time(99))
+            .newest(20);
+        assert_eq!(AuditQuery::from_sexp(&q.to_sexp()).unwrap(), q);
+        let empty = AuditQuery::all();
+        assert_eq!(AuditQuery::from_sexp(&empty.to_sexp()).unwrap(), empty);
+    }
+}

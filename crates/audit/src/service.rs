@@ -1,0 +1,153 @@
+//! The audit log served over RMI.
+//!
+//! Audit data is itself a protected resource: the service registers as a
+//! normal (authorized) remote object, so reading the trail requires a
+//! speaks-for proof for the auditor principal — and those reads are
+//! authorization decisions like any other, logged by the RMI layer into
+//! the very trail being read.
+
+use crate::chain::ChainSummary;
+use crate::log::AuditLog;
+use crate::query::AuditQuery;
+use crate::record::{ChainedRecord, LogEntry};
+use snowflake_core::Principal;
+use snowflake_crypto::HashVal;
+use snowflake_rmi::{CallerInfo, Invocation, RemoteObject, RmiFault};
+use snowflake_sexpr::{ParseError, Sexp};
+use std::sync::Arc;
+
+/// The registry name the audit service is bound to.
+pub const AUDIT_OBJECT: &str = "audit-log";
+
+/// [`AuditLog`] as a remote object.
+///
+/// Methods:
+///
+/// * `query <audit-query>` → `(records <audit-record>…)`
+/// * `head` → `(head (seq n) (hash …))`, or `(head)` for an empty log
+/// * `entries` → `(entries <entry>…)` — the full retained stream, for
+///   off-box verification
+/// * `verify` → `(verified (records n) (checkpoints n))` — on-box
+///   self-check against the live head
+pub struct AuditService {
+    log: Arc<AuditLog>,
+    issuer: Principal,
+}
+
+impl AuditService {
+    /// Serves `log`, controlled by `issuer` (the auditor's principal).
+    pub fn new(log: Arc<AuditLog>, issuer: Principal) -> Arc<AuditService> {
+        Arc::new(AuditService { log, issuer })
+    }
+}
+
+impl RemoteObject for AuditService {
+    fn issuer(&self) -> Principal {
+        self.issuer.clone()
+    }
+
+    fn invoke(&self, invocation: &Invocation, _caller: &CallerInfo) -> Result<Sexp, RmiFault> {
+        match invocation.method.as_str() {
+            "query" => {
+                let q = match invocation.args.first() {
+                    Some(arg) => AuditQuery::from_sexp(arg)
+                        .map_err(|e| RmiFault::Application(format!("bad query: {e}")))?,
+                    None => AuditQuery::all(),
+                };
+                let records = self
+                    .log
+                    .query(&q)
+                    .map_err(|e| RmiFault::Application(format!("query failed: {e}")))?;
+                Ok(Sexp::tagged(
+                    "records",
+                    records.iter().map(ChainedRecord::to_sexp).collect(),
+                ))
+            }
+            "head" => Ok(match self.log.head() {
+                Some((seq, hash)) => Sexp::tagged(
+                    "head",
+                    vec![
+                        Sexp::tagged("seq", vec![Sexp::int(seq)]),
+                        Sexp::tagged("hash", vec![hash.to_sexp()]),
+                    ],
+                ),
+                None => Sexp::tagged("head", vec![]),
+            }),
+            "entries" => {
+                let entries = self
+                    .log
+                    .entries()
+                    .map_err(|e| RmiFault::Application(format!("export failed: {e}")))?;
+                Ok(Sexp::tagged(
+                    "entries",
+                    entries.iter().map(LogEntry::to_sexp).collect(),
+                ))
+            }
+            "verify" => {
+                let ChainSummary {
+                    records,
+                    checkpoints,
+                    ..
+                } = self
+                    .log
+                    .verify()
+                    .map_err(|e| RmiFault::Application(format!("verification failed: {e}")))?;
+                Ok(Sexp::tagged(
+                    "verified",
+                    vec![
+                        Sexp::tagged("records", vec![Sexp::int(records)]),
+                        Sexp::tagged("checkpoints", vec![Sexp::int(checkpoints)]),
+                    ],
+                ))
+            }
+            other => Err(RmiFault::NoSuchMethod(other.into())),
+        }
+    }
+}
+
+/// Decodes a `query` reply.
+pub fn records_from_reply(e: &Sexp) -> Result<Vec<ChainedRecord>, ParseError> {
+    if e.tag_name() != Some("records") {
+        return Err(ParseError {
+            offset: 0,
+            message: "expected (records …)".into(),
+        });
+    }
+    e.tag_body()
+        .unwrap_or(&[])
+        .iter()
+        .map(ChainedRecord::from_sexp)
+        .collect()
+}
+
+/// Decodes an `entries` reply.
+pub fn entries_from_reply(e: &Sexp) -> Result<Vec<LogEntry>, ParseError> {
+    if e.tag_name() != Some("entries") {
+        return Err(ParseError {
+            offset: 0,
+            message: "expected (entries …)".into(),
+        });
+    }
+    e.tag_body()
+        .unwrap_or(&[])
+        .iter()
+        .map(LogEntry::from_sexp)
+        .collect()
+}
+
+/// Decodes a `head` reply (`None` for an empty log).
+pub fn head_from_reply(e: &Sexp) -> Result<Option<(u64, HashVal)>, ParseError> {
+    let bad = |m: &str| ParseError {
+        offset: 0,
+        message: m.into(),
+    };
+    if e.tag_name() != Some("head") {
+        return Err(bad("expected (head …)"));
+    }
+    if e.tag_body().is_some_and(<[Sexp]>::is_empty) {
+        return Ok(None);
+    }
+    let seq = e.find_value("seq").and_then(Sexp::as_u64).ok_or_else(|| bad("seq"))?;
+    let hash = HashVal::from_sexp(e.find_value("hash").ok_or_else(|| bad("hash"))?)?;
+    Ok(Some((seq, hash)))
+}

@@ -58,6 +58,7 @@
 
 #![deny(missing_docs)]
 
+pub mod audit;
 mod cert;
 mod principal;
 mod proof;
@@ -67,6 +68,7 @@ pub mod sync;
 mod statement;
 mod verify;
 
+pub use audit::{AuditEmitter, Decision, DecisionEvent, EmitterSlot, NullEmitter};
 pub use cert::Certificate;
 pub use principal::{ChannelId, Principal};
 pub use proof::{Proof, ProofError};

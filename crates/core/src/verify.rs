@@ -211,4 +211,14 @@ impl VerifyCtx {
     pub fn assumption_count(&self) -> usize {
         self.assumptions.len()
     }
+
+    /// The revocation epoch this verifier holds: the highest serial among
+    /// its directly installed CRLs (0 when none are installed).  Audit
+    /// records carry this so a historical decision can be matched to the
+    /// revocation state it was made against.  CRLs held only by a
+    /// pluggable [`RevocationSource`] are not enumerable here; deciders
+    /// that rely on a source exclusively record epoch 0.
+    pub fn revocation_epoch(&self) -> u64 {
+        self.crls.values().map(|c| c.serial).max().unwrap_or(0)
+    }
 }

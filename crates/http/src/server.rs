@@ -15,6 +15,7 @@ use crate::auth;
 use crate::mac::{MacSessionStore, MAC_SESSION_PATH};
 use crate::message::{HttpRequest, HttpResponse};
 use std::sync::Mutex;
+use snowflake_core::audit::{AuditEmitter, Decision, DecisionEvent, EmitterSlot};
 use snowflake_core::{
     Certificate, Delegation, HashAlg, HashVal, Principal, Proof, Tag, Time, Validity, VerifyCtx,
 };
@@ -41,15 +42,58 @@ where
 
 /// A small routing HTTP server (the "framework" tier of the Figure 7
 /// baselines; the minimal tier is in `snowflake-bench`).
-#[derive(Default)]
 pub struct HttpServer {
     routes: Mutex<Vec<(String, Arc<dyn Handler>)>>,
+    /// Audit emitter for accept-path decisions (sheds); servlet-level
+    /// grant/deny decisions are emitted by the servlets themselves.
+    audit: EmitterSlot,
+    /// Timestamps shed audit events (injected in tests, like every other
+    /// decision point's clock).
+    clock: fn() -> Time,
+}
+
+impl Default for HttpServer {
+    fn default() -> HttpServer {
+        HttpServer {
+            routes: Mutex::new(Vec::new()),
+            audit: EmitterSlot::new(),
+            clock: Time::now,
+        }
+    }
 }
 
 impl HttpServer {
     /// Creates an empty server.
     pub fn new() -> Arc<HttpServer> {
         Arc::new(HttpServer::default())
+    }
+
+    /// Creates an empty server with an injected clock for its audit
+    /// events (tests and benches).
+    pub fn with_clock(clock: fn() -> Time) -> Arc<HttpServer> {
+        Arc::new(HttpServer {
+            clock,
+            ..HttpServer::default()
+        })
+    }
+
+    /// Attaches an audit emitter; accept-loop sheds are recorded through
+    /// it (`surface: http`, `decision: shed`).
+    pub fn set_audit_emitter(&self, emitter: Arc<dyn AuditEmitter>) {
+        self.audit.set(emitter);
+    }
+
+    fn audit_shed(&self, detail: &str) {
+        self.audit.emit_with(|| {
+            DecisionEvent::new(
+                (self.clock)(),
+                "http",
+                Decision::Shed,
+                "tcp-accept",
+                "connect",
+                detail,
+            )
+        });
     }
 
     /// Mounts a handler at a path prefix (longest prefix wins).
@@ -152,9 +196,11 @@ impl HttpServer {
                 Err(snowflake_runtime::SubmitError::Busy) => {
                     // Shed: we still hold the socket, so the client hears
                     // 503 instead of a silent hangup.
+                    self.audit_shed("worker pool saturated");
                     let _ = Self::overloaded_response("server busy").write_to(&mut stream);
                 }
                 Err(snowflake_runtime::SubmitError::ShuttingDown) => {
+                    self.audit_shed("server shutting down");
                     let _ =
                         Self::overloaded_response("server shutting down").write_to(&mut stream);
                     return Ok(());
@@ -245,6 +291,9 @@ pub struct ProtectedServlet<S: SnowflakeService> {
     base_ctx: Mutex<VerifyCtx>,
     clock: fn() -> Time,
     rng: Mutex<Box<dyn FnMut(&mut [u8]) + Send>>,
+    /// Audit emitter; every grant and deny this servlet decides goes
+    /// through it (surfaces `http` and `http-mac`).
+    audit: EmitterSlot,
 }
 
 impl<S: SnowflakeService> ProtectedServlet<S> {
@@ -280,7 +329,24 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
             base_ctx: Mutex::new(VerifyCtx::at(clock())),
             clock,
             rng: Mutex::new(rng),
+            audit: EmitterSlot::new(),
         })
+    }
+
+    /// Attaches an audit emitter recording this servlet's decisions.
+    pub fn set_audit_emitter(&self, emitter: Arc<dyn AuditEmitter>) {
+        self.audit.set(emitter);
+    }
+
+    /// Emits an audit event, building it only when an emitter is attached
+    /// (the build closure may clone principals and provenance).
+    fn audit(&self, build: impl FnOnce() -> DecisionEvent) {
+        self.audit.emit_with(build);
+    }
+
+    /// The revocation epoch this servlet currently decides against.
+    fn revocation_epoch(&self) -> u64 {
+        self.base_ctx.plock().revocation_epoch()
     }
 
     /// The servlet's MAC session store (shared with other servlets when
@@ -354,15 +420,43 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
         // non-idempotent services should fold a client nonce or channel
         // binding into the request so distinct transactions hash apart.
         let default_hash = auth::request_hash(req, self.hash_alg);
-        if let Some(entry) = self.verified.plock().entries.get(&default_hash) {
-            if entry.expiry >= now {
-                self.stats.plock().ident_hits += 1;
-                return Ok(entry.speaker.clone());
-            }
+        let ident_hit = {
+            let verified = self.verified.plock();
+            verified.entries.get(&default_hash).and_then(|entry| {
+                (entry.expiry >= now).then(|| (entry.speaker.clone(), Arc::clone(&entry.certs)))
+            })
+        };
+        if let Some((speaker, certs)) = ident_hit {
+            self.stats.plock().ident_hits += 1;
+            self.audit(|| {
+                DecisionEvent::new(
+                    now,
+                    "http",
+                    Decision::Grant,
+                    &req.path,
+                    &req.method,
+                    "identical-request-cache",
+                )
+                .with_subject(speaker.clone())
+                .with_certs(certs.to_vec())
+                .with_epoch(self.revocation_epoch())
+            });
+            return Ok(speaker);
         }
 
         let Some(proof) = auth::extract_proof(req) else {
             self.stats.plock().challenges += 1;
+            self.audit(|| {
+                DecisionEvent::new(
+                    now,
+                    "http",
+                    Decision::Deny,
+                    &req.path,
+                    &req.method,
+                    "challenge: no proof presented",
+                )
+                .with_epoch(self.revocation_epoch())
+            });
             return Err(auth::challenge(&issuer, &request_tag));
         };
 
@@ -379,11 +473,29 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
             default_hash
         } else {
             let h = auth::request_hash(req, alg);
-            if let Some(entry) = self.verified.plock().entries.get(&h) {
-                if entry.expiry >= now {
-                    self.stats.plock().ident_hits += 1;
-                    return Ok(entry.speaker.clone());
-                }
+            let hit = {
+                let verified = self.verified.plock();
+                verified.entries.get(&h).and_then(|entry| {
+                    (entry.expiry >= now)
+                        .then(|| (entry.speaker.clone(), Arc::clone(&entry.certs)))
+                })
+            };
+            if let Some((speaker, certs)) = hit {
+                self.stats.plock().ident_hits += 1;
+                self.audit(|| {
+                    DecisionEvent::new(
+                        now,
+                        "http",
+                        Decision::Grant,
+                        &req.path,
+                        &req.method,
+                        "identical-request-cache",
+                    )
+                    .with_subject(speaker.clone())
+                    .with_certs(certs.to_vec())
+                    .with_epoch(self.revocation_epoch())
+                });
+                return Ok(speaker);
             }
             h
         };
@@ -418,11 +530,39 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
                         );
                     }
                 }
+                self.audit(|| {
+                    DecisionEvent::new(
+                        now,
+                        "http",
+                        Decision::Grant,
+                        &req.path,
+                        &req.method,
+                        "proof-verified",
+                    )
+                    .with_subject(speaker.clone())
+                    .with_certs(proof.cert_hashes())
+                    .with_epoch(ctx.revocation_epoch())
+                });
                 Ok(speaker)
             }
-            Err(e) => Err(HttpResponse::forbidden(&format!(
-                "authorization failed: {e}"
-            ))),
+            Err(e) => {
+                self.audit(|| {
+                    DecisionEvent::new(
+                        now,
+                        "http",
+                        Decision::Deny,
+                        &req.path,
+                        &req.method,
+                        &format!("authorization failed: {e}"),
+                    )
+                    .with_subject(speaker.clone())
+                    .with_certs(proof.cert_hashes())
+                    .with_epoch(ctx.revocation_epoch())
+                });
+                Err(HttpResponse::forbidden(&format!(
+                    "authorization failed: {e}"
+                )))
+            }
         }
     }
 
@@ -440,14 +580,51 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
                 // must match *this* service's issuer, or a session from one
                 // service would authorize requests another issuer controls.
                 if grant.issuer != self.service.issuer(req) {
+                    self.audit(|| {
+                        DecisionEvent::new(
+                            (self.clock)(),
+                            "http-mac",
+                            Decision::Deny,
+                            &req.path,
+                            &req.method,
+                            "session speaks for a different issuer",
+                        )
+                        .with_subject(speaker.clone())
+                        .with_epoch(self.revocation_epoch())
+                    });
                     return Some(Err(HttpResponse::forbidden(
                         "MAC rejected: session speaks for a different issuer",
                     )));
                 }
                 self.stats.plock().mac_hits += 1;
+                self.audit(|| {
+                    DecisionEvent::new(
+                        (self.clock)(),
+                        "http-mac",
+                        Decision::Grant,
+                        &req.path,
+                        &req.method,
+                        "mac-session",
+                    )
+                    .with_subject(speaker.clone())
+                    .with_epoch(self.revocation_epoch())
+                });
                 Some(Ok(speaker))
             }
-            Err(e) => Some(Err(HttpResponse::forbidden(&format!("MAC rejected: {e}")))),
+            Err(e) => {
+                self.audit(|| {
+                    DecisionEvent::new(
+                        (self.clock)(),
+                        "http-mac",
+                        Decision::Deny,
+                        &req.path,
+                        &req.method,
+                        &format!("MAC rejected: {e}"),
+                    )
+                    .with_epoch(self.revocation_epoch())
+                });
+                Some(Err(HttpResponse::forbidden(&format!("MAC rejected: {e}"))))
+            }
         }
     }
 
@@ -461,6 +638,17 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
     fn authorize_and_establish(&self, req: &HttpRequest) -> HttpResponse {
         let Some(proof) = auth::extract_proof(req) else {
             self.stats.plock().challenges += 1;
+            self.audit(|| {
+                DecisionEvent::new(
+                    (self.clock)(),
+                    "http-mac",
+                    Decision::Deny,
+                    &req.path,
+                    "ESTABLISH",
+                    "challenge: no establishment proof",
+                )
+                .with_epoch(self.revocation_epoch())
+            });
             // Challenge with this service's issuer as a hint; the proof may
             // target any issuer the client can build a chain to.
             let resp = auth::challenge(&self.service.issuer(req), &self.service.min_tag(req));
@@ -481,9 +669,21 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
         match conclusion.validity.not_after {
             Some(t) if t <= now.plus(MAX_MAC_SESSION_LIFE) => {}
             _ => {
+                self.audit(|| {
+                    DecisionEvent::new(
+                        now,
+                        "http-mac",
+                        Decision::Deny,
+                        &req.path,
+                        "ESTABLISH",
+                        "unbounded establishment validity",
+                    )
+                    .with_subject(speaker.clone())
+                    .with_epoch(self.revocation_epoch())
+                });
                 return HttpResponse::forbidden(&format!(
                     "MAC establishment requires a validity bounded to {MAX_MAC_SESSION_LIFE} s"
-                ))
+                ));
             }
         }
         // Read the store's invalidation epoch before verifying: a
@@ -495,20 +695,68 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
         match proof.authorizes(&speaker, &conclusion.issuer, &conclusion.tag, &ctx) {
             Ok(()) => {
                 self.stats.plock().proof_verifications += 1;
-                let mut rng = self.rng.plock();
-                match self.macs.establish_at_epoch(
-                    &req.body,
-                    conclusion,
-                    proof,
-                    now,
-                    &mut **rng,
-                    store_epoch,
-                ) {
-                    Ok(reply) => HttpResponse::ok("application/sexp", reply),
-                    Err(e) => HttpResponse::forbidden(&e),
+                let certs = proof.cert_hashes();
+                let established = {
+                    let mut rng = self.rng.plock();
+                    self.macs.establish_at_epoch(
+                        &req.body,
+                        conclusion,
+                        proof,
+                        now,
+                        &mut **rng,
+                        store_epoch,
+                    )
+                };
+                match established {
+                    Ok(reply) => {
+                        self.audit(|| {
+                            DecisionEvent::new(
+                                now,
+                                "http-mac",
+                                Decision::Grant,
+                                &req.path,
+                                "ESTABLISH",
+                                "session established",
+                            )
+                            .with_subject(speaker.clone())
+                            .with_certs(certs.clone())
+                            .with_epoch(ctx.revocation_epoch())
+                        });
+                        HttpResponse::ok("application/sexp", reply)
+                    }
+                    Err(e) => {
+                        self.audit(|| {
+                            DecisionEvent::new(
+                                now,
+                                "http-mac",
+                                Decision::Deny,
+                                &req.path,
+                                "ESTABLISH",
+                                &e,
+                            )
+                            .with_subject(speaker.clone())
+                            .with_certs(certs.clone())
+                            .with_epoch(ctx.revocation_epoch())
+                        });
+                        HttpResponse::forbidden(&e)
+                    }
                 }
             }
-            Err(e) => HttpResponse::forbidden(&format!("authorization failed: {e}")),
+            Err(e) => {
+                self.audit(|| {
+                    DecisionEvent::new(
+                        now,
+                        "http-mac",
+                        Decision::Deny,
+                        &req.path,
+                        "ESTABLISH",
+                        &format!("authorization failed: {e}"),
+                    )
+                    .with_subject(speaker.clone())
+                    .with_epoch(ctx.revocation_epoch())
+                });
+                HttpResponse::forbidden(&format!("authorization failed: {e}"))
+            }
         }
     }
 }

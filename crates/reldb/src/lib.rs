@@ -183,6 +183,24 @@ impl Table {
 
     /// Selects rows matching `pred`, projecting `columns` (empty = all).
     pub fn select(&self, pred: &Predicate, columns: &[String]) -> Result<Vec<Vec<Value>>, DbError> {
+        self.select_ordered(pred, columns, None, None)
+    }
+
+    /// [`Table::select`] with `ORDER BY` and `LIMIT`.
+    ///
+    /// `order` names a column of the *schema* (not of the projection, so a
+    /// query may sort by a column it does not return) and a direction; the
+    /// sort is stable, so equal keys keep insertion order.  `limit` caps
+    /// the result *after* ordering — "the newest 50" is
+    /// `Some(("seq", Desc)), Some(50)`.  Nulls sort first ascending (the
+    /// [`Value`] ordering).
+    pub fn select_ordered(
+        &self,
+        pred: &Predicate,
+        columns: &[String],
+        order: Option<(&str, SortOrder)>,
+        limit: Option<usize>,
+    ) -> Result<Vec<Vec<Value>>, DbError> {
         let proj: Vec<usize> = if columns.is_empty() {
             (0..self.schema.columns.len()).collect()
         } else {
@@ -195,17 +213,38 @@ impl Table {
                 })
                 .collect::<Result<_, _>>()?
         };
-        let mut out = Vec::new();
+        let order_idx = match order {
+            Some((col, dir)) => Some((
+                self.schema
+                    .index_of(col)
+                    .ok_or_else(|| DbError::NoSuchColumn(col.into()))?,
+                dir,
+            )),
+            None => None,
+        };
+        let mut matched: Vec<&Vec<Value>> = Vec::new();
         for rid in self.candidates(pred) {
             if !self.live[rid] {
                 continue;
             }
             let row = &self.rows[rid];
             if pred.eval(&self.schema, row)? {
-                out.push(proj.iter().map(|&i| row[i].clone()).collect());
+                matched.push(row);
             }
         }
-        Ok(out)
+        if let Some((key, dir)) = order_idx {
+            matched.sort_by(|a, b| match dir {
+                SortOrder::Asc => a[key].cmp(&b[key]),
+                SortOrder::Desc => b[key].cmp(&a[key]),
+            });
+        }
+        if let Some(n) = limit {
+            matched.truncate(n);
+        }
+        Ok(matched
+            .into_iter()
+            .map(|row| proj.iter().map(|&i| row[i].clone()).collect())
+            .collect())
     }
 
     /// Updates matching rows with `(column, value)` assignments; returns the
@@ -291,6 +330,163 @@ impl Table {
     }
 }
 
+/// Sort direction for [`Table::select_ordered`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Smallest key first.
+    Asc,
+    /// Largest key first.
+    Desc,
+}
+
+impl SortOrder {
+    /// The wire name (`asc` / `desc`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SortOrder::Asc => "asc",
+            SortOrder::Desc => "desc",
+        }
+    }
+
+    /// Parses the form produced by [`SortOrder::name`].
+    pub fn from_name(name: &str) -> Option<SortOrder> {
+        match name {
+            "asc" => Some(SortOrder::Asc),
+            "desc" => Some(SortOrder::Desc),
+            _ => None,
+        }
+    }
+}
+
+/// A select query in shippable form: predicate, projection, and the
+/// optional `ORDER BY` / `LIMIT` clauses.
+///
+/// The wire form is
+/// `(select (table t) (pred …) (cols c…) (order <col> <asc|desc>) (limit n))`
+/// where the `order` and `limit` clauses are **optional** — an encoder
+/// that never heard of them produces exactly the pre-clause form, and both
+/// decoders accept both shapes, so the addition is backward- and
+/// forward-compatible for clause-free queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    /// The table to select from.
+    pub table: String,
+    /// The row filter.
+    pub pred: Predicate,
+    /// Projected columns (empty = all).
+    pub columns: Vec<String>,
+    /// `ORDER BY column direction`, if any.
+    pub order: Option<(String, SortOrder)>,
+    /// `LIMIT n`, if any.
+    pub limit: Option<usize>,
+}
+
+impl SelectQuery {
+    /// A full-projection, unordered, unlimited query.
+    pub fn all(table: &str, pred: Predicate) -> SelectQuery {
+        SelectQuery {
+            table: table.to_string(),
+            pred,
+            columns: Vec::new(),
+            order: None,
+            limit: None,
+        }
+    }
+
+    /// Builder: sets `ORDER BY`.
+    pub fn order_by(mut self, column: &str, order: SortOrder) -> SelectQuery {
+        self.order = Some((column.to_string(), order));
+        self
+    }
+
+    /// Builder: sets `LIMIT`.
+    pub fn limit(mut self, n: usize) -> SelectQuery {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Serializes to the wire form.
+    pub fn to_sexp(&self) -> Sexp {
+        let mut body = vec![
+            Sexp::tagged("table", vec![Sexp::from(self.table.as_str())]),
+            Sexp::tagged("pred", vec![self.pred.to_sexp()]),
+            Sexp::tagged(
+                "cols",
+                self.columns.iter().map(|c| Sexp::from(c.as_str())).collect(),
+            ),
+        ];
+        if let Some((col, dir)) = &self.order {
+            body.push(Sexp::tagged(
+                "order",
+                vec![Sexp::from(col.as_str()), Sexp::from(dir.name())],
+            ));
+        }
+        if let Some(n) = self.limit {
+            body.push(Sexp::tagged("limit", vec![Sexp::int(n as u64)]));
+        }
+        Sexp::tagged("select", body)
+    }
+
+    /// Parses the wire form (with or without the optional clauses).
+    pub fn from_sexp(e: &Sexp) -> Result<SelectQuery, DbError> {
+        if e.tag_name() != Some("select") {
+            return Err(DbError::Decode("expected (select …)".into()));
+        }
+        let table = e
+            .find_value("table")
+            .and_then(Sexp::as_str)
+            .ok_or_else(|| DbError::Decode("select needs (table t)".into()))?
+            .to_string();
+        let pred = Predicate::from_sexp(
+            e.find_value("pred")
+                .ok_or_else(|| DbError::Decode("select needs (pred …)".into()))?,
+        )?;
+        let columns = e
+            .find("cols")
+            .and_then(Sexp::tag_body)
+            .unwrap_or(&[])
+            .iter()
+            .map(|c| {
+                c.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| DbError::Decode("bad column name".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let order = match e.find("order") {
+            None => None,
+            Some(clause) => {
+                let body = clause.tag_body().unwrap_or(&[]);
+                let (col, dir) = match body {
+                    [col, dir] => (col.as_str(), dir.as_str().and_then(SortOrder::from_name)),
+                    _ => (None, None),
+                };
+                match (col, dir) {
+                    (Some(c), Some(d)) => Some((c.to_string(), d)),
+                    _ => return Err(DbError::Decode("bad (order <col> <asc|desc>)".into())),
+                }
+            }
+        };
+        let limit = match e.find("limit") {
+            None => None,
+            Some(clause) => Some(
+                clause
+                    .tag_body()
+                    .and_then(<[Sexp]>::first)
+                    .and_then(Sexp::as_u64)
+                    .ok_or_else(|| DbError::Decode("bad (limit n)".into()))?
+                    as usize,
+            ),
+        };
+        Ok(SelectQuery {
+            table,
+            pred,
+            columns,
+            order,
+            limit,
+        })
+    }
+}
+
 /// A database: named tables.
 #[derive(Default)]
 pub struct Database {
@@ -327,6 +523,17 @@ impl Database {
         let mut names: Vec<String> = self.tables.keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Executes a decoded [`SelectQuery`] (predicate, projection, order,
+    /// limit) against its table.
+    pub fn run_select(&self, q: &SelectQuery) -> Result<Vec<Vec<Value>>, DbError> {
+        self.table(&q.table)?.select_ordered(
+            &q.pred,
+            &q.columns,
+            q.order.as_ref().map(|(c, d)| (c.as_str(), *d)),
+            q.limit,
+        )
     }
 }
 
@@ -570,5 +777,145 @@ mod tests {
     fn database_errors() {
         let db = Database::new();
         assert!(matches!(db.table("ghost"), Err(DbError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let t = people();
+        // Ascending by age.
+        let rows = t
+            .select_ordered(
+                &Predicate::True,
+                &["name".to_string()],
+                Some(("age", SortOrder::Asc)),
+                None,
+            )
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::text("bob")],
+                vec![Value::text("alice")],
+                vec![Value::text("carol")],
+            ]
+        );
+        // Descending with a limit: "the two oldest".
+        let rows = t
+            .select_ordered(
+                &Predicate::True,
+                &["name".to_string()],
+                Some(("age", SortOrder::Desc)),
+                Some(2),
+            )
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![Value::text("carol")], vec![Value::text("alice")]]
+        );
+        // Limit without order truncates in storage order.
+        let rows = t.select_ordered(&Predicate::True, &[], None, Some(1)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::text("alice"));
+        // Ordering by a column outside the projection works; an unknown
+        // order column errors.
+        assert!(t
+            .select_ordered(
+                &Predicate::True,
+                &["name".to_string()],
+                Some(("ghost", SortOrder::Asc)),
+                None
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn order_is_stable_on_ties() {
+        let mut t = Table::new(Schema::new(&[
+            ("k", ColumnType::Int),
+            ("n", ColumnType::Int),
+        ]));
+        for (k, n) in [(1, 0), (0, 1), (1, 2), (0, 3), (1, 4)] {
+            t.insert(vec![Value::Int(k), Value::Int(n)]).unwrap();
+        }
+        let rows = t
+            .select_ordered(
+                &Predicate::True,
+                &["n".to_string()],
+                Some(("k", SortOrder::Asc)),
+                None,
+            )
+            .unwrap();
+        // Equal keys keep insertion order (stable sort).
+        assert_eq!(
+            rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+            vec![
+                Value::Int(1),
+                Value::Int(3),
+                Value::Int(0),
+                Value::Int(2),
+                Value::Int(4)
+            ]
+        );
+    }
+
+    #[test]
+    fn select_query_wire_roundtrip() {
+        let q = SelectQuery::all("messages", Predicate::eq("owner", Value::text("alice")))
+            .order_by("id", SortOrder::Desc)
+            .limit(50);
+        let back = SelectQuery::from_sexp(&q.to_sexp()).unwrap();
+        assert_eq!(back, q);
+        // Clause-free queries produce the pre-clause wire form and parse
+        // back without them.
+        let plain = SelectQuery::all("messages", Predicate::True);
+        let encoded = plain.to_sexp().transport();
+        assert!(!encoded.contains("order") && !encoded.contains("limit"));
+        assert_eq!(SelectQuery::from_sexp(&plain.to_sexp()).unwrap(), plain);
+    }
+
+    #[test]
+    fn select_query_accepts_legacy_form() {
+        // A hand-written pre-ORDER-BY encoding (no order, no limit, and
+        // even no cols clause) still decodes.
+        let legacy = Sexp::parse(b"(select (table users) (pred (true)))").unwrap();
+        let q = SelectQuery::from_sexp(&legacy).unwrap();
+        assert_eq!(q.table, "users");
+        assert!(q.columns.is_empty() && q.order.is_none() && q.limit.is_none());
+        // Malformed clauses are rejected, not ignored.
+        for src in [
+            "(select (table t) (pred (true)) (order id sideways))",
+            "(select (table t) (pred (true)) (order id))",
+            "(select (table t) (pred (true)) (limit x))",
+        ] {
+            assert!(
+                SelectQuery::from_sexp(&Sexp::parse(src.as_bytes()).unwrap()).is_err(),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn database_runs_select_queries() {
+        let mut db = Database::new();
+        email_schema(&mut db);
+        let msgs = db.table_mut("messages").unwrap();
+        for (id, owner) in [(1, "alice"), (2, "bob"), (3, "alice")] {
+            msgs.insert(vec![
+                Value::Int(id),
+                Value::text(owner),
+                Value::text("s"),
+                Value::text("subj"),
+                Value::text("body"),
+                Value::text("inbox"),
+                Value::Bool(true),
+            ])
+            .unwrap();
+        }
+        let q = SelectQuery::all("messages", Predicate::eq("owner", Value::text("alice")))
+            .order_by("id", SortOrder::Desc)
+            .limit(1);
+        let rows = db.run_select(&q).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(3));
     }
 }

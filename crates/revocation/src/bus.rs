@@ -9,6 +9,8 @@
 //! exactly the entries a revoked certificate poisoned — no flush, no
 //! restart.
 
+use snowflake_core::audit::{AuditEmitter, Decision, DecisionEvent};
+use snowflake_core::Time;
 use snowflake_crypto::HashVal;
 use snowflake_http::{MacSessionStore, ProtectedServlet, SnowflakeService};
 use snowflake_prover::Prover;
@@ -56,5 +58,54 @@ impl RevocationBus for FanoutBus {
             .iter()
             .map(|b| b.certificate_revoked(cert_hash))
             .sum()
+    }
+}
+
+/// A bus that makes revocations first-class audit events: every push it
+/// forwards is recorded as a [`Decision::Revoke`] naming the dead
+/// certificate and how many warm-cache entries died with it, *after* the
+/// inner bus has evicted them (the audit record describes completed
+/// invalidation, not intent).
+pub struct AuditedBus {
+    inner: Arc<dyn RevocationBus>,
+    emitter: Arc<dyn AuditEmitter>,
+    clock: fn() -> Time,
+}
+
+impl AuditedBus {
+    /// Wraps `inner`, reporting through `emitter` with wall-clock time.
+    pub fn new(inner: Arc<dyn RevocationBus>, emitter: Arc<dyn AuditEmitter>) -> AuditedBus {
+        Self::with_clock(inner, emitter, Time::now)
+    }
+
+    /// Wraps with an injected clock (tests, benches).
+    pub fn with_clock(
+        inner: Arc<dyn RevocationBus>,
+        emitter: Arc<dyn AuditEmitter>,
+        clock: fn() -> Time,
+    ) -> AuditedBus {
+        AuditedBus {
+            inner,
+            emitter,
+            clock,
+        }
+    }
+}
+
+impl RevocationBus for AuditedBus {
+    fn certificate_revoked(&self, cert_hash: &HashVal) -> usize {
+        let evicted = self.inner.certificate_revoked(cert_hash);
+        self.emitter.emit(
+            DecisionEvent::new(
+                (self.clock)(),
+                "revocation",
+                Decision::Revoke,
+                &format!("cert:{}", cert_hash.short_hex()),
+                "invalidate",
+                &format!("evicted {evicted} warm-cache entries"),
+            )
+            .with_certs(vec![cert_hash.clone()]),
+        );
+        evicted
     }
 }

@@ -37,7 +37,7 @@ mod delta;
 mod freshness;
 mod service;
 
-pub use bus::{FanoutBus, RevocationBus};
+pub use bus::{AuditedBus, FanoutBus, RevocationBus};
 pub use delta::RevocationDelta;
 pub use freshness::{
     spawn_push_listener, AgentSink, FreshnessAgent, FreshnessStats, InProcessValidator,

@@ -4,6 +4,7 @@ use snowflake_core::sync::LockExt;
 use crate::proto::{Invocation, RmiFault, RmiReply, PROOF_RECIPIENT};
 use std::sync::Mutex;
 use snowflake_channel::AuthChannel;
+use snowflake_core::audit::{AuditEmitter, Decision, DecisionEvent, EmitterSlot};
 use snowflake_core::{ChannelId, Delegation, Principal, Proof, Tag, Time, Validity, VerifyCtx};
 use snowflake_crypto::PublicKey;
 use snowflake_sexpr::Sexp;
@@ -71,8 +72,10 @@ pub struct ProofCacheStats {
 struct CachedProof {
     conclusion: Delegation,
     /// Hashes of the certificates the proof depends on — its revocation
-    /// provenance, consulted by [`RmiServer::invalidate_cert`].
-    certs: Vec<snowflake_core::HashVal>,
+    /// provenance, consulted by [`RmiServer::invalidate_cert`] and
+    /// recorded in grant audit events.  Shared (`Arc`) so the hot path
+    /// hands it out without an allocation inside the cache lock.
+    certs: Arc<[snowflake_core::HashVal]>,
     #[expect(dead_code, reason = "retained for audit trails")]
     proof: Proof,
 }
@@ -94,6 +97,9 @@ pub struct RmiServer {
     /// Base context cloned per connection (carries revocation data).
     base_ctx: Mutex<VerifyCtx>,
     clock: fn() -> Time,
+    /// Audit emitter; every `check_auth` verdict, proof receipt, and
+    /// connection shed is recorded through it (surface `rmi`).
+    audit: EmitterSlot,
 }
 
 impl RmiServer {
@@ -112,7 +118,23 @@ impl RmiServer {
             stats: Mutex::new(ProofCacheStats::default()),
             base_ctx: Mutex::new(VerifyCtx::at(clock())),
             clock,
+            audit: EmitterSlot::new(),
         })
+    }
+
+    /// Attaches an audit emitter recording this server's decisions.
+    pub fn set_audit_emitter(&self, emitter: Arc<dyn AuditEmitter>) {
+        self.audit.set(emitter);
+    }
+
+    /// Emits an audit event, building it only when an emitter is attached.
+    fn audit(&self, build: impl FnOnce() -> DecisionEvent) {
+        self.audit.emit_with(build);
+    }
+
+    /// The revocation epoch this server currently decides against.
+    fn revocation_epoch(&self) -> u64 {
+        self.base_ctx.plock().revocation_epoch()
     }
 
     /// Registers an object served *without* authorization.
@@ -212,6 +234,16 @@ impl RmiServer {
             Err(e) => {
                 // The permit was refused while we still hold the channel:
                 // say BUSY on the wire before hanging up.
+                self.audit(|| {
+                    DecisionEvent::new(
+                        (self.clock)(),
+                        "rmi",
+                        Decision::Shed,
+                        "connection",
+                        "serve",
+                        &e.to_string(),
+                    )
+                });
                 let reply = RmiReply::Fault(RmiFault::Busy(e.to_string()));
                 let _ = channel.send(&reply.to_sexp().canonical());
                 Err(e)
@@ -275,6 +307,17 @@ impl RmiServer {
         // The speaker: K₂ from the channel, wrapped in a Quoting principal
         // when the caller claims to quote someone (paper §4.2).
         let Some(peer) = channel.peer_key() else {
+            self.audit(|| {
+                DecisionEvent::new(
+                    (self.clock)(),
+                    "rmi",
+                    Decision::Deny,
+                    &invocation.object,
+                    &invocation.method,
+                    "need-authorization: unauthenticated channel",
+                )
+                .with_epoch(self.revocation_epoch())
+            });
             return RmiReply::Fault(RmiFault::NeedAuthorization {
                 issuer: object.issuer(),
                 tag: object.restriction(invocation),
@@ -290,14 +333,39 @@ impl RmiServer {
         // measured in Figure 6.
         let tag = object.restriction(invocation);
         let now = (self.clock)();
-        if !self.check_auth(&speaker, &object.issuer(), &tag, now) {
+        let Some(certs) = self.check_auth(&speaker, &object.issuer(), &tag, now) else {
             self.stats.plock().misses += 1;
+            self.audit(|| {
+                DecisionEvent::new(
+                    now,
+                    "rmi",
+                    Decision::Deny,
+                    &invocation.object,
+                    &invocation.method,
+                    "need-authorization: no covering proof",
+                )
+                .with_subject(speaker.clone())
+                .with_epoch(self.revocation_epoch())
+            });
             return RmiReply::Fault(RmiFault::NeedAuthorization {
                 issuer: object.issuer(),
                 tag,
             });
-        }
+        };
         self.stats.plock().hits += 1;
+        self.audit(|| {
+            DecisionEvent::new(
+                now,
+                "rmi",
+                Decision::Grant,
+                &invocation.object,
+                &invocation.method,
+                "proof-cache",
+            )
+            .with_subject(speaker.clone())
+            .with_certs(certs.to_vec())
+            .with_epoch(self.revocation_epoch())
+        });
 
         let caller = CallerInfo {
             speaker,
@@ -309,16 +377,27 @@ impl RmiServer {
         }
     }
 
-    fn check_auth(&self, speaker: &Principal, issuer: &Principal, tag: &Tag, now: Time) -> bool {
+    /// Finds a cached, verified proof covering the request; the returned
+    /// certificate hashes are the matched proof's provenance, recorded in
+    /// the grant's audit event (an `Arc` clone, so the Figure 6 hot path
+    /// allocates nothing under the cache lock).
+    fn check_auth(
+        &self,
+        speaker: &Principal,
+        issuer: &Principal,
+        tag: &Tag,
+        now: Time,
+    ) -> Option<Arc<[snowflake_core::HashVal]>> {
         let cache = self.cache.plock();
-        let Some(entries) = cache.get(speaker) else {
-            return false;
-        };
-        entries.iter().any(|e| {
-            e.conclusion.issuer == *issuer
-                && e.conclusion.tag.permits(tag)
-                && e.conclusion.validity.contains(now)
-        })
+        let entries = cache.get(speaker)?;
+        entries
+            .iter()
+            .find(|e| {
+                e.conclusion.issuer == *issuer
+                    && e.conclusion.tag.permits(tag)
+                    && e.conclusion.validity.contains(now)
+            })
+            .map(|e| Arc::clone(&e.certs))
     }
 
     /// The proof-recipient object: verifies a submitted proof against this
@@ -346,10 +425,36 @@ impl RmiServer {
         }
 
         if let Err(e) = proof.verify(&ctx) {
+            self.audit(|| {
+                DecisionEvent::new(
+                    ctx.now,
+                    "rmi",
+                    Decision::Deny,
+                    PROOF_RECIPIENT,
+                    "receive-proof",
+                    &format!("proof rejected: {e}"),
+                )
+                .with_subject(proof.conclusion().subject)
+                .with_certs(proof.cert_hashes())
+                .with_epoch(ctx.revocation_epoch())
+            });
             return RmiReply::Fault(RmiFault::NotAuthorized(format!("proof rejected: {e}")));
         }
         let conclusion = proof.conclusion();
         let certs = proof.cert_hashes();
+        self.audit(|| {
+            DecisionEvent::new(
+                ctx.now,
+                "rmi",
+                Decision::Grant,
+                PROOF_RECIPIENT,
+                "receive-proof",
+                "proof verified and digested",
+            )
+            .with_subject(conclusion.subject.clone())
+            .with_certs(certs.clone())
+            .with_epoch(ctx.revocation_epoch())
+        });
         {
             // Skip caching when an invalidation landed during
             // verification: the verdict used pre-revocation state.  The
@@ -362,7 +467,7 @@ impl RmiServer {
                     .or_default()
                     .push(CachedProof {
                         conclusion,
-                        certs,
+                        certs: certs.into(),
                         proof,
                     });
             }

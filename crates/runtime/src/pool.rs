@@ -319,6 +319,64 @@ mod tests {
         assert_eq!(pool.stats().completed, 3);
     }
 
+    /// Regression: draining a shutdown must settle every counter exactly
+    /// once.  Queued-but-unstarted jobs are *flushed to completion* (they
+    /// increment `completed`, not `shed`), pre-shutdown sheds stay at
+    /// their pre-shutdown value, and a second shutdown (including the one
+    /// `Drop` issues) must not re-count anything.
+    #[test]
+    fn drain_flushes_queued_job_counters_exactly_once() {
+        let pool = WorkerPool::new(PoolConfig::new("drain-count", 1, 2));
+        let gate = Gate::closed();
+
+        // Occupy the worker, then fill the queue with 2 more jobs (only
+        // after the worker has started the first, or the fill could race
+        // it for queue slots).
+        let g = Arc::clone(&gate);
+        pool.submit(move || g.wait()).unwrap();
+        wait_until(5_000, || pool.stats().in_flight == 1);
+        for _ in 0..2 {
+            let g = Arc::clone(&gate);
+            pool.submit(move || g.wait()).unwrap();
+        }
+        // Two refused submissions: the only sheds this test ever makes.
+        assert_eq!(pool.submit(|| {}), Err(SubmitError::Busy));
+        assert_eq!(pool.submit(|| {}), Err(SubmitError::Busy));
+        let before = pool.stats();
+        assert_eq!((before.submitted, before.shed), (3, 2));
+        assert_eq!(before.queue_depth, 2, "two jobs queued but unstarted");
+
+        // Shutdown on another thread; open the gate so the drain proceeds.
+        let pool2 = Arc::clone(&pool);
+        let closer = std::thread::spawn(move || pool2.shutdown());
+        wait_until(5_000, || pool.is_shutting_down());
+        gate.open();
+        closer.join().unwrap();
+
+        let after = pool.stats();
+        // The queued-but-unstarted jobs were flushed: completed counts all
+        // three accepted jobs exactly once…
+        assert_eq!(after.completed, 3, "every accepted job ran exactly once");
+        assert_eq!(after.queue_depth, 0);
+        assert_eq!(after.in_flight, 0);
+        // …and the drain did not re-count them as sheds (nor re-count the
+        // pre-shutdown sheds).
+        assert_eq!(after.shed, 2, "drain must not touch the shed counter");
+        assert_eq!(after.submitted, 3);
+
+        // Idempotence: further shutdowns (and refused submissions after
+        // the close) leave the flushed counters alone except for the
+        // explicit new refusal.
+        pool.shutdown();
+        assert_eq!(pool.submit(|| {}), Err(SubmitError::ShuttingDown));
+        let settled = pool.stats();
+        assert_eq!(settled.completed, 3);
+        assert_eq!(
+            settled.shed, 2,
+            "a shutdown refusal is ShuttingDown, not a counted drop"
+        );
+    }
+
     #[test]
     fn panicking_job_does_not_kill_the_worker() {
         let pool = WorkerPool::new(PoolConfig::new("panic", 1, 4));

@@ -14,10 +14,11 @@ cargo test -q --offline
 echo "==> cargo doc --no-deps"
 cargo doc --no-deps --offline
 
-echo "==> contention + freshness + saturation benches (smoke mode: one iteration each)"
+echo "==> contention + freshness + saturation + audit benches (smoke mode: one iteration each)"
 SF_BENCH_SMOKE=1 cargo bench -q -p snowflake-bench --offline \
     --bench prover_contention --bench mac_contention \
-    --bench revocation_freshness --bench runtime_saturation
+    --bench revocation_freshness --bench runtime_saturation \
+    --bench audit_throughput
 
 echo "==> runtime gate: no raw thread::spawn in server accept paths"
 # Every server serves from crates/runtime (bounded pools, counted sheds).
@@ -41,6 +42,30 @@ for f in \
 done
 if [ "$gate_failed" -ne 0 ]; then
     echo "FAIL: raw thread::spawn in a server accept path (use snowflake-runtime)"
+    exit 1
+fi
+
+echo "==> audit gate: every server decision path emits audit events"
+# Each file that decides grants/denies/sheds/revocations must call its
+# audit emitter (self.audit(...), audit_shed(...), or emitter.emit(...))
+# outside its #[cfg(test)] module.  A decision path that stops emitting
+# silently breaks the tamper-evident trail; this gate makes that loud.
+audit_gate_failed=0
+for f in \
+    crates/http/src/server.rs \
+    crates/rmi/src/server.rs \
+    crates/apps/src/gateway.rs \
+    crates/apps/src/emaildb.rs \
+    crates/revocation/src/bus.rs; do
+    if awk '/#\[cfg\(test\)\]/{exit} /self\.audit\(|audit_shed\(|\.emit\(/{found=1} END{exit !found}' "$f"; then
+        :
+    else
+        echo "$f: no audit emit call in a decision path"
+        audit_gate_failed=1
+    fi
+done
+if [ "$audit_gate_failed" -ne 0 ]; then
+    echo "FAIL: a server decision path lacks an audit emit call (see snowflake-audit)"
     exit 1
 fi
 

@@ -7,11 +7,14 @@
 //! [`snowflake_revocation`] (live revocation: validator service,
 //! freshness agent, push invalidation), [`snowflake_runtime`] (the
 //! bounded worker-pool/scheduler runtime every server serves from),
+//! [`snowflake_audit`] (the tamper-evident decision log: hash-chained,
+//! periodically signed records of every grant/deny/shed/revocation),
 //! [`snowflake_apps`], and the substrates [`snowflake_sexpr`],
 //! [`snowflake_tags`], [`snowflake_crypto`], [`snowflake_bigint`],
 //! [`snowflake_reldb`].
 
 pub use snowflake_apps as apps;
+pub use snowflake_audit as audit;
 pub use snowflake_bigint as bigint;
 pub use snowflake_channel as channel;
 pub use snowflake_core as core;

@@ -28,6 +28,11 @@ fn every_reexport_resolves() {
     };
     // Boundary apps.
     let _ = snowflake::apps::Vfs::new();
+    // Runtime and audit subsystems.
+    let _ = snowflake::runtime::PoolConfig::new("facade", 1, 1);
+    let _ = snowflake::audit::AuditQuery::all();
+    let _ = snowflake::audit::MemoryBackend::new(0);
+    let _ = snowflake::core::audit::Decision::Grant;
 }
 
 /// The README quickstart flow, spelled through the facade: Alice delegates
