@@ -11,7 +11,9 @@ use snowflake_core::sync::LockExt;
 use std::sync::{Arc, Mutex};
 use snowflake_core::audit::{AuditEmitter, Decision, DecisionEvent, EmitterSlot};
 use snowflake_core::{Principal, Tag, Time};
-use snowflake_reldb::{email_schema, rows_to_sexp, Database, Predicate, Value};
+use snowflake_reldb::{
+    email_schema, rows_to_sexp, DbError, DurableDatabase, Predicate, Value,
+};
 use snowflake_rmi::{CallerInfo, Invocation, RemoteObject, RmiFault};
 use snowflake_sexpr::Sexp;
 
@@ -21,7 +23,7 @@ pub const EMAIL_DB_OBJECT: &str = "email-db";
 /// The email database as a Snowflake-protected remote object.
 pub struct EmailDb {
     issuer: Principal,
-    db: Mutex<Database>,
+    db: Mutex<DurableDatabase>,
     next_id: Mutex<i64>,
     clock: fn() -> Time,
     /// Audit emitter; the application-level outcome of every invocation
@@ -32,22 +34,63 @@ pub struct EmailDb {
 }
 
 impl EmailDb {
-    /// Creates an empty email database controlled by `issuer`.
+    /// Creates an empty in-memory email database controlled by `issuer`.
     pub fn new(issuer: Principal) -> EmailDb {
         Self::with_clock(issuer, Time::now)
     }
 
-    /// Creates an empty database with an injected clock (tests, benches).
+    /// Creates an empty in-memory database with an injected clock
+    /// (tests, benches).
     pub fn with_clock(issuer: Principal, clock: fn() -> Time) -> EmailDb {
-        let mut db = Database::new();
-        email_schema(&mut db);
+        Self::mount(issuer, clock, DurableDatabase::ephemeral(email_schema))
+    }
+
+    /// Opens (creating or crash-recovering) a durable email database
+    /// rooted at `base` (WAL at `<base>.wal`, snapshots at `<base>.snap`):
+    /// the mailstore itself survives a process death.
+    pub fn open_durable(
+        issuer: Principal,
+        clock: fn() -> Time,
+        base: impl Into<std::path::PathBuf>,
+    ) -> Result<EmailDb, DbError> {
+        Ok(Self::mount(
+            issuer,
+            clock,
+            DurableDatabase::open(base, email_schema)?,
+        ))
+    }
+
+    fn mount(issuer: Principal, clock: fn() -> Time, db: DurableDatabase) -> EmailDb {
+        // Message ids must keep ascending across restarts: resume above
+        // the largest recovered id.
+        let next_id = db
+            .database()
+            .table("messages")
+            .ok()
+            .and_then(|t| {
+                t.select(&Predicate::True, &["id".to_string()])
+                    .ok()?
+                    .into_iter()
+                    .filter_map(|row| match row.first() {
+                        Some(Value::Int(i)) => Some(*i),
+                        _ => None,
+                    })
+                    .max()
+            })
+            .map_or(1, |max| max + 1);
         EmailDb {
             issuer,
             db: Mutex::new(db),
-            next_id: Mutex::new(1),
+            next_id: Mutex::new(next_id),
             clock,
             audit: EmitterSlot::new(),
         }
+    }
+
+    /// Snapshots the live tables and truncates the WAL (bounding replay
+    /// time after the next restart).  A no-op for in-memory databases.
+    pub fn compact(&self) -> Result<(), DbError> {
+        self.db.plock().compact()
     }
 
     /// Attaches an audit emitter recording application-level outcomes.
@@ -97,6 +140,7 @@ impl EmailDb {
         }
         let db = self.db.plock();
         let rows = db
+            .database()
             .table("messages")
             .and_then(|t| t.select(&pred, &[]))
             .map_err(|e| RmiFault::Application(e.to_string()))?;
@@ -121,19 +165,19 @@ impl EmailDb {
             id
         };
         let mut db = self.db.plock();
-        db.table_mut("messages")
-            .and_then(|t| {
-                t.insert(vec![
-                    Value::Int(id),
-                    Value::text(owner),
-                    Value::text(sender),
-                    Value::text(subject),
-                    Value::text(body),
-                    Value::text(folder),
-                    Value::Bool(true),
-                ])
-            })
-            .map_err(|e| RmiFault::Application(e.to_string()))?;
+        db.insert(
+            "messages",
+            vec![
+                Value::Int(id),
+                Value::text(owner),
+                Value::text(sender),
+                Value::text(subject),
+                Value::text(body),
+                Value::text(folder),
+                Value::Bool(true),
+            ],
+        )
+        .map_err(|e| RmiFault::Application(e.to_string()))?;
         Ok(Sexp::int(id as u64))
     }
 
@@ -148,8 +192,11 @@ impl EmailDb {
         );
         let mut db = self.db.plock();
         let n = db
-            .table_mut("messages")
-            .and_then(|t| t.update(&pred, &[("unread".to_string(), Value::Bool(false))]))
+            .update(
+                "messages",
+                &pred,
+                &[("unread".to_string(), Value::Bool(false))],
+            )
             .map_err(|e| RmiFault::Application(e.to_string()))?;
         Ok(Sexp::int(n as u64))
     }
@@ -165,8 +212,7 @@ impl EmailDb {
         );
         let mut db = self.db.plock();
         let n = db
-            .table_mut("messages")
-            .and_then(|t| t.delete(&pred))
+            .delete("messages", &pred)
             .map_err(|e| RmiFault::Application(e.to_string()))?;
         Ok(Sexp::int(n as u64))
     }
@@ -349,6 +395,51 @@ mod tests {
         assert!(EmailDb::owner_tag("alice").permits(&EmailDb::op_tag("select", "alice")));
         assert!(EmailDb::owner_tag("alice").permits(&EmailDb::op_tag("insert", "alice")));
         assert!(!EmailDb::owner_tag("alice").permits(&EmailDb::op_tag("select", "bob")));
+    }
+
+    /// A durable mailstore survives a "restart" (drop + reopen from
+    /// disk): messages persist, and ids keep ascending rather than
+    /// restarting from 1 and colliding.
+    #[test]
+    fn durable_mailstore_survives_reopen_with_ascending_ids() {
+        let dir = std::env::temp_dir().join(format!("sf-emaildb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("mail");
+        for ext in ["wal", "snap", "snap.tmp"] {
+            let _ = std::fs::remove_file(base.with_extension(ext));
+        }
+        let c = caller();
+        let msg = |sub: &str| {
+            inv(
+                "insert",
+                vec![
+                    Sexp::from("alice"),
+                    Sexp::from("bob"),
+                    Sexp::from(sub),
+                    Sexp::from("body"),
+                    Sexp::from("inbox"),
+                ],
+            )
+        };
+        let first_id = {
+            let db =
+                EmailDb::open_durable(Principal::message(b"dbkey"), Time::now, &base).unwrap();
+            db.invoke(&msg("one"), &c).unwrap().as_u64().unwrap()
+        };
+        let db = EmailDb::open_durable(Principal::message(b"dbkey"), Time::now, &base).unwrap();
+        let second_id = db.invoke(&msg("two"), &c).unwrap().as_u64().unwrap();
+        assert!(second_id > first_id, "ids ascend across restarts");
+        let out = db
+            .invoke(&inv("select", vec![Sexp::from("alice")]), &c)
+            .unwrap();
+        assert_eq!(rows_from_sexp(&out).unwrap().len(), 2, "both survived");
+        db.compact().unwrap();
+        // Post-compaction restart recovers from the snapshot.
+        let db = EmailDb::open_durable(Principal::message(b"dbkey"), Time::now, &base).unwrap();
+        let out = db
+            .invoke(&inv("select", vec![Sexp::from("alice")]), &c)
+            .unwrap();
+        assert_eq!(rows_from_sexp(&out).unwrap().len(), 2);
     }
 
     #[test]

@@ -41,7 +41,9 @@ mod record;
 mod sink;
 mod service;
 
-pub use backend::{audit_schema, AuditBackend, DbBackend, FileBackend, MemoryBackend};
+pub use backend::{
+    audit_schema, AuditBackend, DbBackend, EntrySnapshot, FileBackend, MemoryBackend,
+};
 pub use chain::{verify_chain, verify_suffix, ChainError, ChainSummary};
 pub use log::{AuditLog, DEFAULT_CHECKPOINT_INTERVAL};
 pub use query::AuditQuery;

@@ -161,8 +161,13 @@ impl AuditLog {
     }
 
     /// Exports the retained entry stream (for offline verification).
+    ///
+    /// The lock is held only to *capture* a stream snapshot (O(1) for
+    /// file backends); reading and decoding happen outside it, so a large
+    /// export can never stall the sink's drain worker into drops.
     pub fn entries(&self) -> Result<Vec<LogEntry>, String> {
-        self.inner.plock().backend.entries()
+        let snapshot = self.inner.plock().backend.snapshot()?;
+        snapshot.load()
     }
 
     /// Answers a query from the backend.
@@ -183,12 +188,16 @@ impl AuditLog {
     /// window is proven internally consistent and current; provenance to
     /// genesis needs an unevicted backend.
     pub fn verify(&self) -> Result<ChainSummary, ChainError> {
-        let (entries, head, evicted) = {
+        // Capture (snapshot + head + eviction count) under one lock hold
+        // so they describe a single consistent instant; the full-stream
+        // read and decode run with no lock held.
+        let (snapshot, head, evicted) = {
             let inner = self.inner.plock();
-            let entries = inner.backend.entries().map_err(ChainError::Backend)?;
+            let snapshot = inner.backend.snapshot().map_err(ChainError::Backend)?;
             let head = inner.next_seq.checked_sub(1).map(|s| (s, inner.prev.clone()));
-            (entries, head, inner.backend.evicted())
+            (snapshot, head, inner.backend.evicted())
         };
+        let entries = snapshot.load().map_err(ChainError::Backend)?;
         if evicted > 0 {
             crate::verify_suffix(&entries, &self.signer.public, self.interval, head.as_ref())
         } else {

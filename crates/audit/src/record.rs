@@ -62,8 +62,8 @@ impl ChainedRecord {
         HashVal::of_sexp(&Self::hashed_form(self.seq, &self.prev, &self.event))
     }
 
-    /// Serializes to the [`ChainedRecord::hashed_form`] plus the stored
-    /// hash (so readers can follow the chain without recomputing).
+    /// Serializes to the hashed form plus the stored hash (so readers
+    /// can follow the chain without recomputing).
     pub fn to_sexp(&self) -> Sexp {
         let Sexp::List(mut items) = Self::hashed_form(self.seq, &self.prev, &self.event) else {
             unreachable!("hashed form is a list");

@@ -60,6 +60,7 @@
 
 pub mod audit;
 mod cert;
+pub mod durable;
 mod principal;
 mod proof;
 mod revocation;
@@ -70,6 +71,7 @@ mod verify;
 
 pub use audit::{AuditEmitter, Decision, DecisionEvent, EmitterSlot, NullEmitter};
 pub use cert::Certificate;
+pub use durable::{CrashPoint, Durable, RecoveryReport};
 pub use principal::{ChannelId, Principal};
 pub use proof::{Proof, ProofError};
 pub use revocation::{Crl, Revalidation, RevocationPolicy};

@@ -10,9 +10,11 @@
 
 mod predicate;
 mod value;
+pub mod wal;
 
 pub use predicate::Predicate;
 pub use value::Value;
+pub use wal::{DurableDatabase, WalOp};
 
 use snowflake_sexpr::{ParseError, Sexp};
 use std::collections::HashMap;
@@ -106,6 +108,8 @@ pub enum DbError {
     Schema(String),
     /// Malformed query encoding.
     Decode(String),
+    /// Durable-storage failure (WAL append, fsync, snapshot I/O).
+    Io(String),
 }
 
 impl fmt::Display for DbError {
@@ -115,6 +119,7 @@ impl fmt::Display for DbError {
             DbError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
             DbError::Schema(m) => write!(f, "schema violation: {m}"),
             DbError::Decode(m) => write!(f, "decode error: {m}"),
+            DbError::Io(m) => write!(f, "storage error: {m}"),
         }
     }
 }

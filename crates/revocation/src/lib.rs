@@ -35,10 +35,12 @@
 mod bus;
 mod delta;
 mod freshness;
+mod persist;
 mod service;
 
 pub use bus::{AuditedBus, FanoutBus, RevocationBus};
 pub use delta::RevocationDelta;
+pub use persist::ValidatorStore;
 pub use freshness::{
     spawn_push_listener, AgentSink, FreshnessAgent, FreshnessStats, InProcessValidator,
     RmiValidatorClient, ValidatorClient, DEFAULT_MAX_JITTER, DEFAULT_REFRESH_LEAD,

@@ -1,0 +1,288 @@
+//! Durable validator state: the CRL serial high-water mark and the
+//! revoked set.
+//!
+//! The serial is a **monotonicity promise**: verifiers treat a CRL with a
+//! higher serial as strictly newer, so a validator that restarted with an
+//! amnesiac serial counter could sign a "fresh" list that omits a
+//! revocation an older, higher-serialed list carried — and every cache
+//! would prefer the stale one.  [`ValidatorStore`] therefore persists the
+//! serial **before** it is used in a signature (write-ahead), and
+//! [`ValidatorStore::advance`] refuses any serial at or below the
+//! persisted high-water mark: a restarted validator can never re-sign the
+//! past.
+//!
+//! The store is a line-per-record append-only file of transport-encoded
+//! S-expressions — `(crl-serial n)` and `(cert-revoked (hash …))` — with
+//! the same recovery contract as the reldb WAL: a torn final line (the
+//! write the crash interrupted) is truncated on open; a hole anywhere
+//! else is corruption and fails the open.
+
+use snowflake_core::durable::{CrashPoint, Durable, RecoveryReport};
+use snowflake_crypto::HashVal;
+use snowflake_sexpr::Sexp;
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::io::{Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Append-only persistence for one validator's revocation authority.
+pub struct ValidatorStore {
+    path: PathBuf,
+    file: File,
+    serial: u64,
+    revoked: BTreeSet<HashVal>,
+    recovery: RecoveryReport,
+    crash: CrashPoint,
+}
+
+impl ValidatorStore {
+    /// Opens (creating or recovering) the store at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> Result<ValidatorStore, String> {
+        Self::with_crash_point(path, CrashPoint::inert())
+    }
+
+    /// [`ValidatorStore::open`] with a fault-injection hook threaded
+    /// through every durable write (the crash harness).
+    pub fn with_crash_point(
+        path: impl Into<PathBuf>,
+        crash: CrashPoint,
+    ) -> Result<ValidatorStore, String> {
+        let path: PathBuf = path.into();
+        let data = match std::fs::read(&path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(format!("read {}: {e}", path.display())),
+        };
+
+        let mut serial = 0u64;
+        let mut revoked = BTreeSet::new();
+        let mut recovery = RecoveryReport::default();
+        let mut clean = 0u64;
+        let mut pos = 0usize;
+        while let Some(nl) = data[pos..].iter().position(|&b| b == b'\n') {
+            let line = &data[pos..pos + nl];
+            pos += nl + 1;
+            if line.iter().all(u8::is_ascii_whitespace) {
+                clean = pos as u64;
+                continue;
+            }
+            // A bad line starts the torn tail; it and everything after it
+            // is the interrupted final write and gets truncated.  (Any
+            // *good* line after it never existed: appends are sequential
+            // and fsynced, so the stream is damaged only at its end.)
+            let Ok(record) = Sexp::parse(line) else { break };
+            match record.tag_name() {
+                Some("crl-serial") => {
+                    let Some(n) = record
+                        .tag_body()
+                        .and_then(|b| b.first())
+                        .and_then(Sexp::as_u64)
+                    else {
+                        break;
+                    };
+                    if n <= serial && serial != 0 {
+                        return Err(format!(
+                            "{}: serial went backwards ({serial} then {n})",
+                            path.display()
+                        ));
+                    }
+                    serial = n;
+                }
+                Some("cert-revoked") => {
+                    let Some(Ok(h)) = record
+                        .tag_body()
+                        .and_then(|b| b.first())
+                        .map(HashVal::from_sexp)
+                    else {
+                        break;
+                    };
+                    revoked.insert(h);
+                }
+                _ => break,
+            }
+            recovery.replayed += 1;
+            clean = pos as u64;
+        }
+        recovery.truncated_bytes = data.len() as u64 - clean;
+
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| format!("open {}: {e}", path.display()))?;
+        if recovery.truncated_bytes > 0 {
+            file.set_len(clean)
+                .and_then(|()| file.sync_data())
+                .map_err(|e| format!("truncate {}: {e}", path.display()))?;
+        }
+        file.seek(SeekFrom::Start(clean))
+            .map_err(|e| format!("seek {}: {e}", path.display()))?;
+
+        Ok(ValidatorStore {
+            path,
+            file,
+            serial,
+            revoked,
+            recovery,
+            crash,
+        })
+    }
+
+    /// The highest CRL serial ever persisted (0 before the first).
+    pub fn serial_high_water(&self) -> u64 {
+        self.serial
+    }
+
+    /// The persisted revoked set.
+    pub fn revoked(&self) -> &BTreeSet<HashVal> {
+        &self.revoked
+    }
+
+    /// Crash-guarded durable line write: bytes, then fsync.
+    fn write_line(&mut self, record: Sexp) -> Result<(), String> {
+        let mut line = record.transport().into_bytes();
+        line.push(b'\n');
+        self.crash
+            .write_all(&mut self.file, &line)
+            .and_then(|()| self.crash.check())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| format!("append {}: {e}", self.path.display()))
+    }
+
+    /// Persists `serial` as the new high-water mark — **before** anything
+    /// is signed with it.  Refuses a serial at or below the mark: that is
+    /// the monotonicity the verifiers' "higher serial wins" rule depends
+    /// on.
+    pub fn advance(&mut self, serial: u64) -> Result<(), String> {
+        if serial <= self.serial {
+            return Err(format!(
+                "serial {serial} not above persisted high-water mark {}",
+                self.serial
+            ));
+        }
+        self.write_line(Sexp::tagged("crl-serial", vec![Sexp::int(serial)]))?;
+        self.serial = serial;
+        Ok(())
+    }
+
+    /// Persists one revoked certificate hash (idempotent).
+    pub fn record_revoked(&mut self, cert_hash: &HashVal) -> Result<(), String> {
+        if self.revoked.contains(cert_hash) {
+            return Ok(());
+        }
+        self.write_line(Sexp::tagged("cert-revoked", vec![cert_hash.to_sexp()]))?;
+        self.revoked.insert(cert_hash.clone());
+        Ok(())
+    }
+}
+
+impl Durable for ValidatorStore {
+    fn storage(&self) -> &Path {
+        &self.path
+    }
+
+    fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    fn sync(&mut self) -> Result<(), String> {
+        self.file.sync_data().map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sf-valstore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn state_survives_reopen() {
+        let path = store_path("reopen");
+        {
+            let mut s = ValidatorStore::open(&path).unwrap();
+            s.advance(1).unwrap();
+            s.record_revoked(&HashVal::of(b"dead")).unwrap();
+            s.advance(2).unwrap();
+        }
+        let s = ValidatorStore::open(&path).unwrap();
+        assert_eq!(s.serial_high_water(), 2);
+        assert!(s.revoked().contains(&HashVal::of(b"dead")));
+        assert_eq!(s.recovery().replayed, 3);
+    }
+
+    #[test]
+    fn advance_refuses_non_monotonic_serials() {
+        let path = store_path("monotonic");
+        let mut s = ValidatorStore::open(&path).unwrap();
+        s.advance(5).unwrap();
+        assert!(s.advance(5).is_err());
+        assert!(s.advance(4).is_err());
+        s.advance(6).unwrap();
+        // …and the refusal survives a restart.
+        drop(s);
+        let mut s = ValidatorStore::open(&path).unwrap();
+        assert!(s.advance(6).is_err());
+        s.advance(7).unwrap();
+    }
+
+    #[test]
+    fn crash_at_every_byte_of_an_advance_is_pre_or_post() {
+        // The exact line a (crl-serial 3) append writes.
+        let line_len = {
+            let mut l = Sexp::tagged("crl-serial", vec![Sexp::int(3)])
+                .transport()
+                .into_bytes();
+            l.push(b'\n');
+            l.len()
+        };
+        for cut in 0..=line_len {
+            let path = store_path(&format!("crash-{cut}"));
+            {
+                let mut s = ValidatorStore::open(&path).unwrap();
+                s.advance(1).unwrap();
+                s.advance(2).unwrap();
+            }
+            {
+                let mut s = ValidatorStore::with_crash_point(
+                    &path,
+                    CrashPoint::after_bytes(cut as u64),
+                )
+                .unwrap();
+                let r = s.advance(3);
+                assert_eq!(r.is_err(), cut < line_len, "cut {cut}");
+            }
+            let s = ValidatorStore::open(&path).unwrap();
+            let expected = if cut < line_len { 2 } else { 3 };
+            assert_eq!(s.serial_high_water(), expected, "cut {cut}");
+            // Either way the next signable serial is above everything
+            // that could have been signed before the crash.
+            assert!(s.serial_high_water() >= 2);
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_durable() {
+        let path = store_path("torn");
+        {
+            let mut s = ValidatorStore::open(&path).unwrap();
+            s.advance(1).unwrap();
+            s.record_revoked(&HashVal::of(b"x")).unwrap();
+        }
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 4]).unwrap();
+        let s = ValidatorStore::open(&path).unwrap();
+        assert_eq!(s.serial_high_water(), 1);
+        assert!(s.revoked().is_empty(), "torn revocation line dropped");
+        assert!(s.recovery().truncated_bytes > 0);
+        let s = ValidatorStore::open(&path).unwrap();
+        assert_eq!(s.recovery().truncated_bytes, 0);
+    }
+}

@@ -158,6 +158,8 @@ struct State {
     revoked: BTreeSet<HashVal>,
     serial: u64,
     cached: Option<Crl>,
+    /// Durable authority state; `None` for an ephemeral validator.
+    store: Option<crate::persist::ValidatorStore>,
 }
 
 /// Owns revocation state for one validator key and distributes it.
@@ -196,15 +198,46 @@ impl ValidatorService {
         crl_window: u64,
         reval_window: u64,
     ) -> Arc<ValidatorService> {
+        Self::build(key, clock, rng, crl_window, reval_window, None)
+    }
+
+    /// A validator whose authority state (revoked set + CRL serial
+    /// high-water mark) lives in a [`crate::ValidatorStore`]: a restart
+    /// resumes the revoked set and can never sign a serial at or below
+    /// one it signed before the crash.
+    pub fn with_store(
+        key: KeyPair,
+        clock: fn() -> Time,
+        rng: Box<dyn FnMut(&mut [u8]) + Send>,
+        crl_window: u64,
+        reval_window: u64,
+        store: crate::persist::ValidatorStore,
+    ) -> Arc<ValidatorService> {
+        Self::build(key, clock, rng, crl_window, reval_window, Some(store))
+    }
+
+    fn build(
+        key: KeyPair,
+        clock: fn() -> Time,
+        rng: Box<dyn FnMut(&mut [u8]) + Send>,
+        crl_window: u64,
+        reval_window: u64,
+        store: Option<crate::persist::ValidatorStore>,
+    ) -> Arc<ValidatorService> {
+        let (revoked, serial) = store.as_ref().map_or_else(
+            || (BTreeSet::new(), 0),
+            |s| (s.revoked().clone(), s.serial_high_water()),
+        );
         Arc::new(ValidatorService {
             key,
             clock,
             crl_window,
             reval_window,
             state: Mutex::new(State {
-                revoked: BTreeSet::new(),
-                serial: 0,
+                revoked,
+                serial,
                 cached: None,
+                store,
             }),
             subscribers: Mutex::new(Vec::new()),
             stats: Mutex::new(ValidatorStats::default()),
@@ -234,7 +267,19 @@ impl ValidatorService {
     }
 
     /// Issues (and caches) a CRL for the current state, bumping the serial.
+    ///
+    /// With a durable store the new serial is persisted **before** the
+    /// signature is made: a crash between the two burns a serial number,
+    /// never reuses one.  A store write failure panics — this validator
+    /// *is* the revocation authority, and signing a CRL whose serial
+    /// might repeat after a restart would let a stale list outrank a
+    /// newer one; refusing to sign is the fail-closed outcome.
     fn issue_locked(&self, state: &mut State, now: Time) -> Crl {
+        if let Some(store) = &mut state.store {
+            store
+                .advance(state.serial + 1)
+                .expect("validator store unwritable: refusing to sign a CRL");
+        }
         state.serial += 1;
         let revoked: Vec<HashVal> = state.revoked.iter().cloned().collect();
         let crl = {
@@ -275,6 +320,15 @@ impl ValidatorService {
         let now = (self.clock)();
         let delta = {
             let mut state = self.state.plock();
+            // Persist the revocation before anything observes it; a
+            // write failure panics for the same fail-closed reason as
+            // `issue_locked` — a revocation that could silently vanish
+            // on restart is worse than a dead validator.
+            if let Some(store) = &mut state.store {
+                store
+                    .record_revoked(&cert_hash)
+                    .expect("validator store unwritable: refusing to revoke volatilely");
+            }
             state.revoked.insert(cert_hash.clone());
             let crl = self.issue_locked(&mut state, now);
             RevocationDelta {
@@ -487,6 +541,48 @@ mod tests {
         let event = read_delta(&mut client_end).unwrap();
         assert_eq!(event.newly_revoked, vec![HashVal::of(b"gone")]);
         assert!(event.check(&v.validator_hash(), fixed_clock()).is_ok());
+    }
+
+    /// A restarted validator resumes its revoked set and its serial
+    /// high-water mark from the store: the first CRL signed after the
+    /// restart outranks everything signed before the crash.
+    #[test]
+    fn stored_validator_restart_keeps_revocations_and_serial_monotonic() {
+        use crate::persist::ValidatorStore;
+        let dir = std::env::temp_dir().join(format!("sf-valsvc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("authority.log");
+        let _ = std::fs::remove_file(&path);
+        let svc = |store: ValidatorStore| {
+            let mut kr = DetRng::new(b"stored");
+            let key = KeyPair::generate(Group::test512(), &mut |b| kr.fill(b));
+            let mut sr = DetRng::new(b"stored-rng");
+            ValidatorService::with_store(
+                key,
+                fixed_clock,
+                Box::new(move |b| sr.fill(b)),
+                DEFAULT_CRL_WINDOW,
+                DEFAULT_REVALIDATION_WINDOW,
+                store,
+            )
+        };
+        let pre_crash_serial = {
+            let v = svc(ValidatorStore::open(&path).unwrap());
+            v.revoke(HashVal::of(b"dead"));
+            v.current_crl().serial
+        };
+        // "Restart": a fresh service over the recovered store.
+        let v = svc(ValidatorStore::open(&path).unwrap());
+        assert!(v.is_revoked(&HashVal::of(b"dead")), "revocation survived");
+        assert!(v.revalidate(&HashVal::of(b"dead")).is_err());
+        let crl = v.current_crl();
+        assert!(
+            crl.serial > pre_crash_serial,
+            "post-restart serial {} must outrank pre-crash {}",
+            crl.serial,
+            pre_crash_serial
+        );
+        assert!(crl.revokes(&HashVal::of(b"dead")));
     }
 
     #[test]

@@ -14,11 +14,19 @@ cargo test -q --offline
 echo "==> cargo doc --no-deps"
 cargo doc --no-deps --offline
 
-echo "==> contention + freshness + saturation + audit benches (smoke mode: one iteration each)"
+echo "==> contention + freshness + saturation + audit + wal benches (smoke mode: one iteration each)"
 SF_BENCH_SMOKE=1 cargo bench -q -p snowflake-bench --offline \
     --bench prover_contention --bench mac_contention \
     --bench revocation_freshness --bench runtime_saturation \
-    --bench audit_throughput
+    --bench audit_throughput --bench wal_throughput
+
+echo "==> crash-recovery suites (byte-boundary fault injection)"
+# The durability claim is only as good as the harness that attacks it:
+# run the reldb WAL sweep and the full-stack restart suite explicitly,
+# even though `cargo test` above already covered them — a future change
+# that deletes or renames the suites must fail loudly here.
+cargo test -q --offline -p snowflake-reldb --test recovery
+cargo test -q --offline -p snowflake --test recovery
 
 echo "==> runtime gate: no raw thread::spawn in server accept paths"
 # Every server serves from crates/runtime (bounded pools, counted sheds).
@@ -66,6 +74,28 @@ for f in \
 done
 if [ "$audit_gate_failed" -ne 0 ]; then
     echo "FAIL: a server decision path lacks an audit emit call (see snowflake-audit)"
+    exit 1
+fi
+
+echo "==> durability gate: every durable write path keeps its crash hook"
+# The fault-injection harness can only kill writes that flow through
+# CrashPoint; a durable write path that bypasses it silently escapes the
+# byte-boundary sweeps.  This gate fails if any durable store loses its
+# CrashPoint reference outside its #[cfg(test)] module.
+durable_gate_failed=0
+for f in \
+    crates/reldb/src/wal.rs \
+    crates/audit/src/backend.rs \
+    crates/revocation/src/persist.rs; do
+    if awk '/#\[cfg\(test\)\]/{exit} /CrashPoint|crash\./{found=1} END{exit !found}' "$f"; then
+        :
+    else
+        echo "$f: durable writes no longer flow through CrashPoint"
+        durable_gate_failed=1
+    fi
+done
+if [ "$durable_gate_failed" -ne 0 ]; then
+    echo "FAIL: a durable write path lost its fault-injection hook (see snowflake-core durable)"
     exit 1
 fi
 
