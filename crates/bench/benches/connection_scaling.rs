@@ -1,0 +1,103 @@
+//! Connection scaling through the reactor: 10k+ mostly-idle MAC
+//! keep-alive sessions on a 4-worker pool.
+//!
+//! The gate for the event-driven connection layer.  Before it, a parked
+//! connection cost a pooled worker (so the pool size bounded *open
+//! sessions*); now it costs an epoll registration and a few buffers, and
+//! the pool bounds *concurrent invocations*.  Reported: p50/p99 latency
+//! for requests on the active 1% while the other 99% sit parked, and
+//! resident memory per parked connection.
+//!
+//! Set `SF_BENCH_SMOKE=1` to run a 200-connection fleet once (CI smoke
+//! mode).  Set `SF_BENCH_JSON=<path>` (full mode) to append the numbers
+//! to the JSON-lines report.
+
+use criterion::{criterion_group, Criterion};
+use snowflake_bench::scaling::{run_connection_scaling, ScalingConfig};
+use snowflake_bench::report_json;
+
+fn connection_scaling(c: &mut Criterion) {
+    if std::env::var_os("SF_BENCH_SMOKE").is_some() {
+        let r = run_connection_scaling(&ScalingConfig {
+            parked: 200,
+            active: 8,
+            requests_per_active: 5,
+            sessions: 16,
+            workers: 4,
+        });
+        assert_eq!(r.parked, 200);
+        println!(
+            "connection_scaling/smoke ok ({} parked, p50 {:?}, p99 {:?}, {} B/conn)",
+            r.parked, r.p50, r.p99, r.rss_per_conn_bytes
+        );
+        return;
+    }
+
+    // The headline run: one fleet, measured once (opening 10k real
+    // sockets is itself seconds of work; Criterion iteration would
+    // re-pay it without adding information).
+    let r = run_connection_scaling(&ScalingConfig {
+        parked: 10_500,
+        active: 105,
+        requests_per_active: 20,
+        sessions: 256,
+        workers: 4,
+    });
+    assert!(
+        r.parked >= 10_000,
+        "the reactor must sustain 10k parked sessions, got {}",
+        r.parked
+    );
+    println!(
+        "connection_scaling: {} parked keep-alive MAC sessions on 4 workers",
+        r.parked
+    );
+    println!(
+        "connection_scaling: active-1% latency p50 {:?} p99 {:?} ({} samples)",
+        r.p50, r.p99, r.samples
+    );
+    println!(
+        "connection_scaling: {} bytes resident per parked connection (server process)",
+        r.rss_per_conn_bytes
+    );
+    report_json(
+        "connection_scaling",
+        &[
+            ("parked_sessions", r.parked.to_string()),
+            ("workers", "4".into()),
+            ("active_connections", "105".into()),
+            ("active_p50_us", r.p50.as_micros().to_string()),
+            ("active_p99_us", r.p99.as_micros().to_string()),
+            ("rss_per_conn_bytes", r.rss_per_conn_bytes.to_string()),
+        ],
+    );
+
+    // Keep Criterion's harness shape (and timing of the small case) so
+    // `cargo bench connection_scaling` composes with the suite.
+    let mut group = c.benchmark_group("connection_scaling");
+    group.sample_size(10);
+    group.bench_function("park_and_probe/256", |b| {
+        b.iter(|| {
+            let r = run_connection_scaling(&ScalingConfig {
+                parked: 256,
+                active: 8,
+                requests_per_active: 4,
+                sessions: 32,
+                workers: 4,
+            });
+            assert_eq!(r.parked, 256);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, connection_scaling);
+
+// Expanded `criterion_main!`, with a detour: when re-exec'd with the
+// child marker set, this executable is a client fleet, not a bench.
+fn main() {
+    if std::env::var_os(snowflake_bench::scaling::CHILD_ENV).is_some() {
+        snowflake_bench::scaling::client_child_main();
+    }
+    benches();
+}

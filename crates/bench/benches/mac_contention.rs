@@ -39,6 +39,22 @@ fn mac_contention(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // One measured pass per thread count for the JSON-lines report.
+    let fields: Vec<(&str, String)> = THREADS
+        .iter()
+        .map(|&threads| {
+            let d = contention::run_mac_contention(&rig, threads, TOTAL_VERIFIES);
+            let ns = (d.as_nanos() / TOTAL_VERIFIES.max(1) as u128) as u64;
+            let key: &str = match threads {
+                1 => "threads_1_ns_per_verify",
+                4 => "threads_4_ns_per_verify",
+                _ => "threads_8_ns_per_verify",
+            };
+            (key, ns.to_string())
+        })
+        .collect();
+    snowflake_bench::report_json("mac_contention", &fields);
 }
 
 criterion_group!(benches, mac_contention);

@@ -47,6 +47,21 @@ fn runtime_saturation(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // One measured pass per factor for the JSON-lines report.
+    let mut fields: Vec<(&str, String)> = Vec::new();
+    for factor in OVERSUBSCRIPTION {
+        let r = saturation::run_saturation(factor);
+        assert_eq!(r.completed + r.shed, r.offered);
+        let (tp_key, shed_key): (&str, &str) = match factor {
+            1 => ("factor_1x_jobs_per_sec", "factor_1x_shed_rate"),
+            4 => ("factor_4x_jobs_per_sec", "factor_4x_shed_rate"),
+            _ => ("factor_16x_jobs_per_sec", "factor_16x_shed_rate"),
+        };
+        fields.push((tp_key, format!("{:.0}", r.throughput())));
+        fields.push((shed_key, format!("{:.3}", r.shed_rate())));
+    }
+    snowflake_bench::report_json("runtime_saturation", &fields);
 }
 
 criterion_group!(benches, runtime_saturation);

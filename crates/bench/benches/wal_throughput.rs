@@ -175,19 +175,22 @@ fn wal_throughput(c: &mut Criterion) {
     println!("wal_throughput/audit_append: {} ns/decision (fsync on)", ns_per_op(audit, 1_000));
     println!("wal_throughput/replay_100k: {replay:?} ({} ns/record)", ns_per_op(replay, 100_000));
 
-    if let Some(path) = std::env::var_os("SF_BENCH_JSON") {
-        let json = format!(
-            "{{\n  \"bench\": \"wal_throughput\",\n  \"reldb_append_ns_per_op\": {},\n  \
-             \"audit_append_ns_per_decision\": {},\n  \"replay_records\": 100000,\n  \
-             \"replay_ms\": {},\n  \"replay_ns_per_record\": {}\n}}\n",
-            ns_per_op(append, 1_000),
-            ns_per_op(audit, 1_000),
-            replay.as_millis(),
-            ns_per_op(replay, 100_000),
-        );
-        std::fs::write(&path, json).expect("write SF_BENCH_JSON report");
-        println!("wal_throughput: wrote {}", PathBuf::from(path).display());
-    }
+    snowflake_bench::report_json(
+        "wal_throughput",
+        &[
+            ("reldb_append_ns_per_op", ns_per_op(append, 1_000).to_string()),
+            (
+                "audit_append_ns_per_decision",
+                ns_per_op(audit, 1_000).to_string(),
+            ),
+            ("replay_records", "100000".into()),
+            ("replay_ms", replay.as_millis().to_string()),
+            (
+                "replay_ns_per_record",
+                ns_per_op(replay, 100_000).to_string(),
+            ),
+        ],
+    );
 }
 
 criterion_group!(benches, wal_throughput);

@@ -29,10 +29,45 @@ pub mod report;
 pub mod revocation;
 pub mod rigs;
 pub mod saturation;
+pub mod scaling;
 
 pub use minihttp::MiniHttp;
 
 use std::time::{Duration, Instant};
+
+/// Appends one benchmark's numbers to the JSON-lines report named by the
+/// `SF_BENCH_JSON` env var (the `BENCH_<date>.json` file at the repo
+/// root).  One line per bench, keyed by name: re-running a bench replaces
+/// its own line and leaves the rest, so the file accumulates the whole
+/// suite across separate `cargo bench` invocations.  Field values are
+/// written verbatim — callers pass already-JSON-encoded numbers or
+/// quoted strings.  No-op when the variable is unset.
+pub fn report_json(bench: &str, fields: &[(&str, String)]) {
+    let Some(path) = std::env::var_os("SF_BENCH_JSON") else {
+        return;
+    };
+    let marker = format!("\"bench\": \"{bench}\"");
+    let mut out = String::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            if !line.contains(&marker) && !line.trim().is_empty() {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    out.push('{');
+    out.push_str(&marker);
+    for (k, v) in fields {
+        out.push_str(&format!(", \"{k}\": {v}"));
+    }
+    out.push_str("}\n");
+    std::fs::write(&path, out).expect("write SF_BENCH_JSON report");
+    println!(
+        "{bench}: updated {}",
+        std::path::PathBuf::from(path).display()
+    );
+}
 
 /// Times `iters` runs of `f` after `warmup` runs, returning the mean.
 pub fn time_it(warmup: usize, iters: usize, mut f: impl FnMut()) -> Duration {

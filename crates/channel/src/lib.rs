@@ -28,7 +28,7 @@ pub mod secure;
 pub mod transport;
 
 pub use local::{LocalBroker, LocalChannel};
-pub use secure::{SecureChannel, SessionCache};
+pub use secure::{ChannelParts, RecordCrypto, SecureChannel, SessionCache};
 pub use transport::{PipeTransport, TcpTransport, Transport, DEFAULT_PIPE_CAPACITY};
 
 use snowflake_core::{ChannelId, Delegation, Principal};

@@ -82,12 +82,75 @@ pub struct SecureChannel {
     session_id: HashVal,
     peer_key: Option<PublicKey>,
     resumed: bool,
+    crypto: RecordCrypto,
+}
+
+/// The record layer of an established session, separated from the
+/// transport: per-direction stream ciphers, MAC keys, and sequence
+/// numbers.
+///
+/// Owning this (plus the handshake-derived identity facts) is enough to
+/// continue a session over *any* byte path — the connection reactor uses
+/// exactly that to take over a handshaken socket without keeping the
+/// blocking [`Transport`] around.  Records sealed here are byte-identical
+/// to what [`SecureChannel::send`] puts on the wire.
+pub struct RecordCrypto {
     send_cipher: ChaCha20,
     send_mac: [u8; 32],
     send_seq: u64,
     recv_cipher: ChaCha20,
     recv_mac: [u8; 32],
     recv_seq: u64,
+}
+
+impl RecordCrypto {
+    /// Encrypts and MACs one record, advancing the send sequence.
+    pub fn seal(&mut self, msg: &[u8]) -> Vec<u8> {
+        let mut ct = msg.to_vec();
+        self.send_cipher.apply(&mut ct);
+        let mut mac_input = self.send_seq.to_be_bytes().to_vec();
+        mac_input.extend_from_slice(&ct);
+        let mac = hmac_sha256(&self.send_mac, &mac_input);
+        self.send_seq += 1;
+        ct.extend_from_slice(&mac);
+        ct
+    }
+
+    /// Authenticates and decrypts one record, advancing the receive
+    /// sequence.  The MAC covers the sequence number, so replayed or
+    /// reordered records fail here.
+    pub fn open(&mut self, frame: &[u8]) -> io::Result<Vec<u8>> {
+        if frame.len() < MAC_LEN {
+            return Err(io_err("record shorter than its MAC"));
+        }
+        let (ct, mac) = frame.split_at(frame.len() - MAC_LEN);
+        let mut mac_input = self.recv_seq.to_be_bytes().to_vec();
+        mac_input.extend_from_slice(ct);
+        let expect = hmac_sha256(&self.recv_mac, &mac_input);
+        if !ct_eq(&expect, mac) {
+            return Err(io_err("record MAC verification failed"));
+        }
+        self.recv_seq += 1;
+        let mut pt = ct.to_vec();
+        self.recv_cipher.apply(&mut pt);
+        Ok(pt)
+    }
+}
+
+/// A [`SecureChannel`] taken apart after the handshake: the blocking
+/// transport, the record crypto, and the identity facts the
+/// authorization layer consumes.  See [`SecureChannel::into_parts`].
+pub struct ChannelParts {
+    /// The framed transport the handshake ran over.
+    pub transport: Box<dyn Transport>,
+    /// The established record layer (ciphers, MACs, sequence numbers).
+    pub crypto: RecordCrypto,
+    /// The channel's identity (hash of the handshake transcript).
+    pub channel_id: ChannelId,
+    /// The peer's authenticated public key, when it presented one.
+    pub peer_key: Option<PublicKey>,
+    /// The assumption `K_CH ⇒ K_peer`, when the peer authenticated.
+    pub peer_binding: Option<Delegation>,
 }
 
 fn io_err(msg: &str) -> io::Error {
@@ -444,12 +507,14 @@ impl SecureChannel {
             session_id,
             peer_key,
             resumed,
-            send_cipher: send.cipher,
-            send_mac: send.mac,
-            send_seq: 0,
-            recv_cipher: recv.cipher,
-            recv_mac: recv.mac,
-            recv_seq: 0,
+            crypto: RecordCrypto {
+                send_cipher: send.cipher,
+                send_mac: send.mac,
+                send_seq: 0,
+                recv_cipher: recv.cipher,
+                recv_mac: recv.mac,
+                recv_seq: 0,
+            },
         }
     }
 
@@ -491,33 +556,30 @@ impl SecureChannel {
 
     /// Sends one encrypted, authenticated record.
     pub fn send(&mut self, msg: &[u8]) -> io::Result<()> {
-        let mut ct = msg.to_vec();
-        self.send_cipher.apply(&mut ct);
-        let mut mac_input = self.send_seq.to_be_bytes().to_vec();
-        mac_input.extend_from_slice(&ct);
-        let mac = hmac_sha256(&self.send_mac, &mac_input);
-        self.send_seq += 1;
-        ct.extend_from_slice(&mac);
-        self.transport.send(&ct)
+        let record = self.crypto.seal(msg);
+        self.transport.send(&record)
     }
 
     /// Receives and authenticates one record.
     pub fn recv(&mut self) -> io::Result<Vec<u8>> {
         let frame = self.transport.recv()?;
-        if frame.len() < MAC_LEN {
-            return Err(io_err("record shorter than its MAC"));
+        self.crypto.open(&frame)
+    }
+
+    /// Takes the channel apart so the record layer can continue over a
+    /// different byte path (e.g. a nonblocking socket owned by the
+    /// connection reactor) while the identity facts keep feeding the
+    /// authorization layer.
+    pub fn into_parts(self) -> ChannelParts {
+        let channel_id = self.channel_id();
+        let peer_binding = self.peer_binding();
+        ChannelParts {
+            transport: self.transport,
+            crypto: self.crypto,
+            channel_id,
+            peer_key: self.peer_key,
+            peer_binding,
         }
-        let (ct, mac) = frame.split_at(frame.len() - MAC_LEN);
-        let mut mac_input = self.recv_seq.to_be_bytes().to_vec();
-        mac_input.extend_from_slice(ct);
-        let expect = hmac_sha256(&self.recv_mac, &mac_input);
-        if !ct_eq(&expect, mac) {
-            return Err(io_err("record MAC verification failed"));
-        }
-        self.recv_seq += 1;
-        let mut pt = ct.to_vec();
-        self.recv_cipher.apply(&mut pt);
-        Ok(pt)
     }
 }
 
@@ -668,7 +730,7 @@ mod tests {
         // transport layer. Here we simulate: send, then corrupt recv_seq so
         // the MAC check fails (equivalent to a replayed/reordered record).
         c.send(b"sensitive").unwrap();
-        s.recv_seq = 7; // desynchronize: MAC covers the sequence number
+        s.crypto.recv_seq = 7; // desynchronize: MAC covers the sequence number
         assert!(s.recv().is_err());
     }
 
@@ -701,7 +763,7 @@ mod tests {
         let second = s.recv().unwrap();
         assert_eq!(second, b"pay $9");
         // Direct replay simulation: feeding an old sequence fails.
-        s.recv_seq = 0;
+        s.crypto.recv_seq = 0;
         c.send(b"pay $1").unwrap();
         assert!(s.recv().is_err(), "stale sequence number must not verify");
     }

@@ -7,10 +7,11 @@
 
 use std::io::{self, BufRead, Write};
 
-/// Maximum accepted header section size.
-const MAX_HEADER_BYTES: usize = 64 * 1024;
-/// Maximum accepted body size.
-const MAX_BODY_BYTES: usize = 64 << 20;
+/// Maximum accepted header section size (shared with the reactor frame
+/// scanner, which must reject oversize frames before buffering them).
+pub const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Maximum accepted body size (shared with the reactor frame scanner).
+pub const MAX_BODY_BYTES: usize = 64 << 20;
 
 /// An HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -148,11 +148,10 @@ impl HttpServer {
         }
     }
 
-    /// Idle disconnect for pooled TCP connections: with one pooled job
-    /// per connection lifetime, a client that opens a connection and
-    /// sends nothing (or parks a keep-alive session) would otherwise
-    /// occupy a worker forever — `workers` idle sockets would turn the
-    /// whole server into a 503 brick.
+    /// Idle disconnect for reactor-parked TCP connections: a client that
+    /// opens a connection and sends nothing (or parks a keep-alive
+    /// session forever) is reaped by the reactor's timer wheel after
+    /// this long without completing a request.
     pub const TCP_IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
 
     /// The 503 a shed connection hears before the server hangs up.
@@ -163,51 +162,149 @@ impl HttpServer {
         resp
     }
 
-    /// Accepts TCP connections, dispatching each onto the runtime's
-    /// bounded worker pool — the production accept path.
+    fn response_bytes(resp: &HttpResponse) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        resp.write_to(&mut bytes).expect("serialize to Vec");
+        bytes
+    }
+
+    /// Registers the listener on the runtime's connection reactor and
+    /// returns without blocking.  The reactor owns the listener and
+    /// every connection from here on:
     ///
-    /// Admission is explicit, never unbounded:
-    ///
-    /// * pool saturated → the connection is **shed** with a single `503`
-    ///   (counted in the pool's [`snowflake_runtime::RuntimeStats`]) and
-    ///   closed, instead of queueing forever;
-    /// * runtime shutting down → the connection gets a `503` and the
-    ///   accept loop returns.  Connections admitted before the shutdown
-    ///   drain to completion on the pool
-    ///   ([`snowflake_runtime::ServerRuntime::shutdown`] joins them);
-    /// * a connection idle past [`HttpServer::TCP_IDLE_TIMEOUT`] is
-    ///   disconnected (the read times out and its job ends), so parked
-    ///   sockets cannot occupy the worker budget indefinitely.
+    /// * keep-alive connections **park in the reactor** between
+    ///   requests — they hold no worker, just their buffers;
+    /// * a complete request frame is handed to the bounded pool via
+    ///   `try_permit`; saturation sheds that one request with a `503`
+    ///   (counted in the pool's drop counter and audited), the
+    ///   connection closes after the reply;
+    /// * reactor-level refusals (parked-connection cap, accepts during
+    ///   drain) are answered with a `503`, audited, and counted in the
+    ///   runtime's [shed ledger](snowflake_runtime::ShedLedger);
+    /// * connections idle past the reactor's configured timeout are
+    ///   reaped by its timer wheel;
+    /// * shutdown drains: parked connections close, in-flight requests
+    ///   complete and flush, then the listener closes.
+    pub fn attach_to_reactor(
+        self: &Arc<Self>,
+        listener: TcpListener,
+        runtime: &Arc<snowflake_runtime::ServerRuntime>,
+    ) -> std::io::Result<snowflake_runtime::ListenerHandle> {
+        let audit = Arc::clone(self);
+        let surface = snowflake_runtime::Surface::new("http")
+            .with_on_shed(move |detail| audit.audit_shed(detail))
+            .with_shed_reply(|detail| {
+                let detail = if detail == "worker pool saturated" {
+                    "server busy"
+                } else {
+                    detail
+                };
+                Self::response_bytes(&Self::overloaded_response(detail))
+            });
+        let server = Arc::clone(self);
+        runtime.reactor().register_listener(
+            listener,
+            surface,
+            Box::new(move || {
+                snowflake_runtime::Accepted::Park(Box::new(HttpConnDriver {
+                    server: Arc::clone(&server),
+                }))
+            }),
+        )
+    }
+
+    /// Serves HTTP on `listener` via the runtime's connection reactor,
+    /// blocking until the runtime shuts down and the reactor closes the
+    /// listener — the production accept path.  See
+    /// [`attach_to_reactor`](Self::attach_to_reactor) for the admission
+    /// and drain semantics.
     pub fn serve_tcp(
         self: &Arc<Self>,
         listener: TcpListener,
         runtime: &Arc<snowflake_runtime::ServerRuntime>,
     ) -> std::io::Result<()> {
-        for stream in listener.incoming() {
-            let mut stream = stream?;
-            let _ = stream.set_read_timeout(Some(Self::TCP_IDLE_TIMEOUT));
-            match runtime.pool().try_permit() {
-                Ok(permit) => {
-                    let server = Arc::clone(self);
-                    permit.submit(move || {
-                        let _ = server.serve_stream(&mut stream);
-                    });
-                }
-                Err(snowflake_runtime::SubmitError::Busy) => {
-                    // Shed: we still hold the socket, so the client hears
-                    // 503 instead of a silent hangup.
-                    self.audit_shed("worker pool saturated");
-                    let _ = Self::overloaded_response("server busy").write_to(&mut stream);
-                }
-                Err(snowflake_runtime::SubmitError::ShuttingDown) => {
-                    self.audit_shed("server shutting down");
-                    let _ =
-                        Self::overloaded_response("server shutting down").write_to(&mut stream);
-                    return Ok(());
-                }
+        let handle = self.attach_to_reactor(listener, runtime)?;
+        handle.wait();
+        Ok(())
+    }
+}
+
+/// Scans buffered bytes for one complete HTTP/1.0 request frame:
+/// header section terminated by `\r\n\r\n`, plus `Content-Length` body
+/// bytes.  Enforces the same size caps as the blocking parser so a
+/// hostile client cannot balloon the reactor's buffers.
+fn scan_http_frame(buf: &[u8]) -> snowflake_runtime::FrameScan {
+    use snowflake_runtime::FrameScan;
+    let header_end = buf.windows(4).position(|w| w == b"\r\n\r\n");
+    let Some(pos) = header_end else {
+        return if buf.len() > crate::message::MAX_HEADER_BYTES {
+            FrameScan::Invalid("header section too large")
+        } else {
+            FrameScan::Partial
+        };
+    };
+    if pos > crate::message::MAX_HEADER_BYTES {
+        return FrameScan::Invalid("header section too large");
+    }
+    let mut content_length: usize = 0;
+    for line in buf[..pos].split(|&b| b == b'\n') {
+        let Some(colon) = line.iter().position(|&b| b == b':') else {
+            continue;
+        };
+        let name = &line[..colon];
+        if name.eq_ignore_ascii_case(b"content-length") {
+            let value = String::from_utf8_lossy(&line[colon + 1..]);
+            match value.trim().parse() {
+                Ok(n) => content_length = n,
+                Err(_) => return FrameScan::Invalid("malformed Content-Length"),
             }
         }
-        Ok(())
+    }
+    if content_length > crate::message::MAX_BODY_BYTES {
+        return FrameScan::Invalid("body too large");
+    }
+    let total = pos + 4 + content_length;
+    if buf.len() >= total {
+        FrameScan::Complete(total)
+    } else {
+        FrameScan::Partial
+    }
+}
+
+/// The per-connection HTTP state machine the reactor parks: frames are
+/// scanned on the reactor thread, parsed and answered on a pool worker.
+struct HttpConnDriver {
+    server: Arc<HttpServer>,
+}
+
+impl snowflake_runtime::ConnDriver for HttpConnDriver {
+    fn scan(&mut self, buf: &[u8]) -> snowflake_runtime::FrameScan {
+        scan_http_frame(buf)
+    }
+
+    fn handle(&mut self, frame: Vec<u8>) -> snowflake_runtime::ReadyOutcome {
+        use snowflake_runtime::ReadyOutcome;
+        let mut reader = &frame[..];
+        let req = match HttpRequest::read_from(&mut reader) {
+            Ok(Some(req)) => req,
+            // The scanner only hands over complete frames, so a parse
+            // failure is a malformed request, not a short read.
+            Ok(None) | Err(_) => return ReadyOutcome::Close,
+        };
+        let keep = req.keep_alive();
+        let mut resp = self.server.respond(&req);
+        if keep {
+            resp.set_header("Connection", "keep-alive");
+            ReadyOutcome::Reply(HttpServer::response_bytes(&resp))
+        } else {
+            ReadyOutcome::ReplyClose(HttpServer::response_bytes(&resp))
+        }
+    }
+
+    fn busy_reply(&mut self) -> Option<Vec<u8>> {
+        Some(HttpServer::response_bytes(&HttpServer::overloaded_response(
+            "server busy",
+        )))
     }
 }
 

@@ -1,0 +1,142 @@
+//! Adversarial connection behavior against the reactor-backed HTTP
+//! server: a slow-loris client dribbling one header byte at a time never
+//! consumes a worker and is reaped by the timer wheel, and shutdown with
+//! parked keep-alive connections closes them instead of waiting out
+//! their idle timers.
+
+use snowflake_http::{HttpRequest, HttpResponse, HttpServer};
+use snowflake_runtime::{PoolConfig, ReactorConfig, ServerRuntime};
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fast_server() -> Arc<HttpServer> {
+    let server = HttpServer::new();
+    server.route(
+        "/fast",
+        Arc::new(|_req: &HttpRequest| HttpResponse::ok("text/plain", b"fast".to_vec())),
+    );
+    server
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool) {
+    let start = std::time::Instant::now();
+    while !cond() {
+        assert!(start.elapsed().as_secs() < 10, "condition not reached in time");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A client dribbling an incomplete request one byte at a time holds no
+/// worker — the partial frame buffers in the reactor — and because it
+/// never completes a request, the idle deadline armed at accept is never
+/// refreshed: the timer wheel reaps it.
+#[test]
+fn slow_loris_parks_then_is_reaped() {
+    let server = fast_server();
+    let runtime = ServerRuntime::with_reactor_config(
+        PoolConfig::new("http-loris", 1, 2),
+        ReactorConfig {
+            idle_timeout: Duration::from_millis(400),
+            ..ReactorConfig::default()
+        },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (srv, rt) = (Arc::clone(&server), Arc::clone(&runtime));
+    let acceptor = std::thread::spawn(move || srv.serve_tcp(listener, &rt));
+
+    // Dribble half a request, one byte at a time, pausing between bytes
+    // (but well inside the idle window, so only non-progress reaps it).
+    let mut loris = TcpStream::connect(addr).unwrap();
+    for byte in b"GET /fast HT" {
+        loris.write_all(&[*byte]).unwrap();
+        loris.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The partial frame is buffered in the reactor: connection open, no
+    // pool job ever submitted for it.
+    wait_for(|| runtime.reactor_stats().open_connections == 1);
+    assert_eq!(runtime.stats().submitted, 0, "no worker for a partial frame");
+    assert_eq!(runtime.reactor_stats().frames_dispatched, 0);
+
+    // Meanwhile a well-behaved client on the same 1-worker pool is
+    // served: the loris is starving nothing.
+    let mut ok = TcpStream::connect(addr).unwrap();
+    let mut req = HttpRequest::get("/fast");
+    req.set_header("Connection", "close");
+    req.write_to(&mut ok).unwrap();
+    let resp = HttpResponse::read_from(&mut BufReader::new(ok)).unwrap().unwrap();
+    assert_eq!(resp.body, b"fast");
+
+    // The idle deadline (armed at accept, never re-armed: no request
+    // ever completed) fires and the wheel reaps the loris: EOF.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(8)))
+        .unwrap();
+    let mut buf = [0u8; 16];
+    let n = loris.read(&mut buf).unwrap();
+    assert_eq!(n, 0, "reaped connection must read EOF");
+    wait_for(|| runtime.reactor_stats().reaped_idle >= 1);
+
+    runtime.shutdown();
+    acceptor.join().unwrap().unwrap();
+}
+
+/// Shutdown with connections parked mid-keep-alive: the drain closes
+/// them immediately (they hold no in-flight work) rather than waiting
+/// out their idle timers, and `serve_tcp` returns.
+#[test]
+fn drain_closes_parked_keep_alive_connections() {
+    let server = fast_server();
+    // A long idle timeout: if the drain waited for idle reaping, this
+    // test would time out.
+    let runtime = ServerRuntime::with_reactor_config(
+        PoolConfig::new("http-drain-parked", 2, 4),
+        ReactorConfig {
+            idle_timeout: Duration::from_secs(600),
+            ..ReactorConfig::default()
+        },
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (srv, rt) = (Arc::clone(&server), Arc::clone(&runtime));
+    let acceptor = std::thread::spawn(move || srv.serve_tcp(listener, &rt));
+
+    // Three clients complete a keep-alive request each and stay parked.
+    let mut parked = Vec::new();
+    for _ in 0..3 {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut req = HttpRequest::get("/fast");
+        req.set_header("Connection", "keep-alive");
+        req.write_to(&mut stream).unwrap();
+        let resp = HttpResponse::read_from(&mut BufReader::new(&mut stream))
+            .unwrap()
+            .unwrap();
+        assert_eq!(resp.body, b"fast");
+        parked.push(stream);
+    }
+    wait_for(|| runtime.reactor_stats().parked == 3);
+
+    // Shutdown returns promptly: parked connections are closed, not
+    // drained like in-flight work.
+    let begun = std::time::Instant::now();
+    runtime.shutdown();
+    assert!(
+        begun.elapsed() < Duration::from_secs(60),
+        "drain must not wait for parked idle timers"
+    );
+    acceptor.join().unwrap().unwrap();
+
+    // Every parked client sees EOF.
+    for mut stream in parked {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(stream.read(&mut buf).unwrap(), 0, "closed at drain");
+    }
+    assert_eq!(runtime.reactor_stats().open_connections, 0);
+}

@@ -1,7 +1,8 @@
-//! The HTTP server on the bounded runtime, over real TCP: overload
-//! shedding (a saturated pool answers `503` and counts the drop) and
-//! graceful shutdown (in-flight requests drain, new connections are
-//! refused and the accept loop ends).
+//! The HTTP server on the bounded runtime, over real TCP through the
+//! connection reactor: overload shedding (a saturated pool answers
+//! `503` and counts the drop), and graceful shutdown (in-flight
+//! requests drain, late connections hear a shutting-down `503`, then
+//! the reactor closes the listener and `serve_tcp` returns).
 
 use snowflake_http::{HttpRequest, HttpResponse, HttpServer};
 use snowflake_runtime::{PoolConfig, ServerRuntime};
@@ -86,9 +87,11 @@ fn read_response(stream: TcpStream) -> HttpResponse {
         .expect("server must reply before closing")
 }
 
-/// A saturated pool sheds the extra connection with a real `503` on the
-/// wire (and counts it), while admitted connections are served once a
-/// worker frees up.
+/// A saturated pool sheds the extra request with a real `503` on the
+/// wire (and counts it), while admitted requests are served once a
+/// worker frees up.  The shed happens at *frame* dispatch now — the
+/// reactor buffers the request and only pays a pool slot for a complete
+/// ready frame.
 #[test]
 fn saturated_server_sheds_with_503() {
     let gate = Gate::closed();
@@ -99,36 +102,38 @@ fn saturated_server_sheds_with_503() {
     let (srv, rt) = (Arc::clone(&server), Arc::clone(&runtime));
     let acceptor = std::thread::spawn(move || srv.serve_tcp(listener, &rt));
 
-    // Connection 1 occupies the only worker (its handler parks on the
-    // gate); connection 2 fills the one queue slot.
+    // Request 1 occupies the only worker (its handler parks on the
+    // gate); request 2 fills the one queue slot.
     let c1 = send_get(addr, "/slow");
     gate.wait_entered(1);
     let c2 = send_get(addr, "/fast");
     wait_for(|| runtime.stats().submitted == 2);
 
-    // Connection 3 is shed: a 503 on its own wire, a counted drop.
+    // Request 3 is shed: a 503 on its own wire, a counted drop.
     let c3 = send_get(addr, "/fast");
     let resp = read_response(c3);
     assert_eq!(resp.status, 503, "{}", String::from_utf8_lossy(&resp.body));
     assert_eq!(resp.header("Retry-After"), Some("1"));
     assert_eq!(runtime.stats().shed, 1);
 
-    // Releasing the gate serves both admitted connections.
+    // Releasing the gate serves both admitted requests.
     gate.open();
     assert_eq!(read_response(c1).body, b"slow done");
     assert_eq!(read_response(c2).body, b"fast");
 
-    // The acceptor is still alive; end it via shutdown + a nudge
-    // connection (which hears the shutting-down 503).
+    // Shutdown drains the (now idle) reactor, closes the listener, and
+    // serve_tcp returns; the port no longer accepts.
     runtime.shutdown();
-    let nudge = send_get(addr, "/fast");
-    assert_eq!(read_response(nudge).status, 503);
     acceptor.join().unwrap().unwrap();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener must be closed after drain"
+    );
 }
 
 /// Graceful shutdown: the in-flight request completes (drain), a
-/// connection arriving during shutdown hears 503, and the accept loop
-/// returns.
+/// connection arriving during the drain hears a shutting-down 503, and
+/// the blocked serve_tcp returns once the reactor closes the listener.
 #[test]
 fn shutdown_drains_in_flight_and_refuses_new() {
     let gate = Gate::closed();
@@ -147,17 +152,57 @@ fn shutdown_drains_in_flight_and_refuses_new() {
     wait_for(|| runtime.is_shutting_down());
     assert!(!closer.is_finished(), "shutdown must block on the drain");
 
-    // A connection arriving now is refused, and the accept loop ends.
+    // A connection arriving during the drain is refused with a 503 —
+    // audited and counted in the runtime's shed ledger.
     let late = send_get(addr, "/fast");
     let resp = read_response(late);
     assert_eq!(resp.status, 503);
     assert!(String::from_utf8_lossy(&resp.body).contains("shutting down"));
-    acceptor.join().unwrap().unwrap();
+    assert_eq!(runtime.stats().shed, 1, "drain-time shed is counted");
+    assert!(runtime
+        .sheds_by_surface()
+        .contains(&("http".to_owned(), 1)));
 
-    // The in-flight request still completes: that is the drain.
+    // The in-flight request still completes: that is the drain.  Only
+    // then does the reactor close the listener and release serve_tcp.
     gate.open();
     assert_eq!(read_response(c1).body, b"slow done");
     closer.join().unwrap();
+    acceptor.join().unwrap().unwrap();
     assert_eq!(runtime.stats().in_flight, 0);
     assert_eq!(runtime.stats().completed, 1);
+}
+
+/// Keep-alive parking: a connection that completes a request stays open
+/// parked in the reactor — holding no worker — and serves a second
+/// request on the same socket.
+#[test]
+fn keep_alive_connection_parks_between_requests() {
+    let gate = Gate::closed();
+    let server = gated_server(&gate);
+    let runtime = ServerRuntime::new(PoolConfig::new("http-park", 1, 4));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (srv, rt) = (Arc::clone(&server), Arc::clone(&runtime));
+    let acceptor = std::thread::spawn(move || srv.serve_tcp(listener, &rt));
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    for i in 0..2 {
+        let mut req = HttpRequest::get("/fast");
+        req.set_header("Connection", "keep-alive");
+        req.write_to(&mut stream).unwrap();
+        let resp = HttpResponse::read_from(&mut BufReader::new(&mut stream))
+            .unwrap()
+            .expect("reply on a kept-alive socket");
+        assert_eq!(resp.body, b"fast", "request {i}");
+        assert_eq!(resp.header("Connection"), Some("keep-alive"));
+    }
+
+    // Between requests: parked in the reactor, zero workers in flight.
+    wait_for(|| runtime.reactor_stats().parked == 1);
+    assert_eq!(runtime.stats().in_flight, 0);
+    assert_eq!(runtime.reactor_stats().frames_dispatched, 2);
+
+    runtime.shutdown();
+    acceptor.join().unwrap().unwrap();
 }

@@ -46,7 +46,7 @@ pub use freshness::{
     RmiValidatorClient, ValidatorClient, DEFAULT_MAX_JITTER, DEFAULT_REFRESH_LEAD,
 };
 pub use service::{
-    read_delta, ChannelSink, PushSink, TransportSink, ValidatorObject, ValidatorService,
+    read_delta, ChannelSink, PushSink, ReactorSink, TransportSink, ValidatorObject, ValidatorService,
     ValidatorStats, DEFAULT_CRL_WINDOW, DEFAULT_REVALIDATION_WINDOW, TRANSPORT_SINK_QUEUE,
     VALIDATOR_OBJECT,
 };

@@ -139,6 +139,45 @@ impl Drop for TransportSink {
     }
 }
 
+/// A sink delivering deltas through the connection reactor: the socket
+/// parks in the reactor's epoll set and is written nonblocking, so a
+/// remote subscriber costs no thread at all (compare [`TransportSink`],
+/// which dedicates a forwarder thread per subscriber).
+///
+/// Frames are byte-identical to [`TransportSink`] over TCP — a 4-byte
+/// big-endian length prefix around the delta's canonical S-expression —
+/// so [`read_delta`] on the verifier side cannot tell which one the
+/// validator used.  A remote that stalls past the reactor's per-sink
+/// buffer cap is shed (counted per-surface in the runtime's shed ledger
+/// under `revocation-push`) and its socket closed; the next broadcast
+/// then sees `push` fail and drops the subscription, exactly like a
+/// stalled [`TransportSink`].
+pub struct ReactorSink {
+    handle: snowflake_runtime::SinkHandle,
+}
+
+impl ReactorSink {
+    /// Parks `stream` in `runtime`'s reactor as a write-only push sink.
+    pub fn new(
+        stream: std::net::TcpStream,
+        runtime: &Arc<snowflake_runtime::ServerRuntime>,
+    ) -> std::io::Result<ReactorSink> {
+        let surface = snowflake_runtime::Surface::new("revocation-push");
+        let handle = runtime.reactor().adopt_sink(stream, surface)?;
+        Ok(ReactorSink { handle })
+    }
+}
+
+impl PushSink for ReactorSink {
+    fn push(&mut self, delta: &RevocationDelta) -> bool {
+        let frame = delta.to_sexp().canonical();
+        let mut buf = Vec::with_capacity(4 + frame.len());
+        buf.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&frame);
+        self.handle.send(&buf)
+    }
+}
+
 /// Counters exposed for the freshness benchmarks and tests.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ValidatorStats {
@@ -405,6 +444,21 @@ impl ValidatorService {
     /// subscriber's dedicated forwarder behind a bounded queue.
     pub fn subscribe_transport(&self, transport: Box<dyn Transport>) {
         self.subscribe(Box::new(TransportSink::new(transport)));
+    }
+
+    /// Subscribes a remote verifier's TCP connection through the
+    /// connection reactor: the socket parks there and every delta is
+    /// written nonblocking, so the subscription holds no thread and no
+    /// pool worker.  Wire-compatible with
+    /// [`ValidatorService::subscribe_transport`] over TCP.
+    pub fn subscribe_reactor(
+        &self,
+        stream: std::net::TcpStream,
+        runtime: &Arc<snowflake_runtime::ServerRuntime>,
+    ) -> std::io::Result<()> {
+        let sink = ReactorSink::new(stream, runtime)?;
+        self.subscribe(Box::new(sink));
+        Ok(())
     }
 
     /// Number of live subscribers.

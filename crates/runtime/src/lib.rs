@@ -30,13 +30,21 @@
 
 pub mod pool;
 pub mod queue;
+pub mod reactor;
 pub mod scheduler;
+pub mod shed;
 
 pub use pool::{Job, JobPermit, PoolConfig, RuntimeStats, SubmitError, WorkerPool};
 pub use queue::{BoundedQueue, QueueError};
+pub use reactor::sys::{nofile_limit, raise_nofile_limit};
+pub use reactor::{
+    Accepted, AcceptFn, ConnDriver, FrameScan, ListenerHandle, OffloadJob, Reactor,
+    ReactorConfig, ReactorStats, ReadyOutcome, SinkHandle, Surface, SINK_BUFFER_CAP,
+};
 pub use scheduler::{Scheduler, TaskHandle};
+pub use shed::ShedLedger;
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Spawns a named dedicated thread for a long-lived *blocking* loop (a
 /// transport reader parked in `recv()`) that would otherwise pin a pool
@@ -54,19 +62,35 @@ pub fn spawn_thread<T: Send + 'static>(
 }
 
 /// The bundle a server takes: one worker pool for connection/request
-/// handling and one scheduler for background jobs, with a single
-/// graceful shutdown.
+/// handling, one scheduler for background jobs, one connection reactor
+/// (started lazily on first use), and a single graceful shutdown.
 pub struct ServerRuntime {
     pool: Arc<WorkerPool>,
     scheduler: Scheduler,
+    ledger: Arc<ShedLedger>,
+    reactor_config: ReactorConfig,
+    reactor: OnceLock<Arc<Reactor>>,
 }
 
 impl ServerRuntime {
-    /// Builds a runtime from a pool configuration.
+    /// Builds a runtime from a pool configuration, with default reactor
+    /// tuning.
     pub fn new(config: PoolConfig) -> Arc<ServerRuntime> {
+        Self::with_reactor_config(config, ReactorConfig::default())
+    }
+
+    /// Builds a runtime with explicit reactor tuning (connection cap,
+    /// idle timeout).
+    pub fn with_reactor_config(
+        config: PoolConfig,
+        reactor_config: ReactorConfig,
+    ) -> Arc<ServerRuntime> {
         Arc::new(ServerRuntime {
             pool: WorkerPool::new(config),
             scheduler: Scheduler::new(),
+            ledger: Arc::new(ShedLedger::new()),
+            reactor_config,
+            reactor: OnceLock::new(),
         })
     }
 
@@ -80,21 +104,78 @@ impl ServerRuntime {
         &self.scheduler
     }
 
-    /// Pool counters (submitted, completed, shed, depth, in-flight).
+    /// The connection reactor, started on first use.  Every server
+    /// surface registers its listeners (and adopts its handshaken or
+    /// sink connections) here; no surface touches a socket itself.
+    pub fn reactor(&self) -> &Arc<Reactor> {
+        self.reactor.get_or_init(|| {
+            Reactor::start(
+                Arc::clone(&self.pool),
+                Arc::clone(&self.ledger),
+                self.reactor_config.clone(),
+            )
+            .expect("start connection reactor")
+        })
+    }
+
+    /// The shared shed ledger counting reactor-level refusals (the pool
+    /// counts its own queue drops separately; [`stats`](Self::stats)
+    /// folds both into one number).
+    pub fn shed_ledger(&self) -> &Arc<ShedLedger> {
+        &self.ledger
+    }
+
+    /// Reactor counters (parked connections, reaps, dispatches); zeros
+    /// if no surface has used the reactor yet.
+    pub fn reactor_stats(&self) -> ReactorStats {
+        self.reactor
+            .get()
+            .map(|r| r.stats())
+            .unwrap_or_default()
+    }
+
+    /// Runtime counters.  `shed` is the single ledger the operator
+    /// watches: pool queue drops *plus* reactor-level refusals
+    /// (parked-connection cap, drain-time accepts, stalled sinks).
     pub fn stats(&self) -> RuntimeStats {
-        self.pool.stats()
+        let mut stats = self.pool.stats();
+        stats.shed += self.ledger.total();
+        stats
+    }
+
+    /// Shed counts broken down by where they happened: `"pool"` for
+    /// queue-full drops, plus one row per surface for reactor-level
+    /// refusals.
+    pub fn sheds_by_surface(&self) -> Vec<(String, u64)> {
+        let mut rows = vec![("pool".to_owned(), self.pool.stats().shed)];
+        rows.extend(self.ledger.by_surface());
+        rows
     }
 
     /// Has shutdown begun?
     pub fn is_shutting_down(&self) -> bool {
         self.pool.is_shutting_down()
+            || self.reactor.get().is_some_and(|r| r.is_shutting_down())
     }
 
-    /// Graceful shutdown: stop admitting connections, drain in-flight and
-    /// queued work, stop the scheduler, join every thread.
+    /// Graceful shutdown: drain the reactor first (parked connections
+    /// close, dispatched frames complete and flush while the pool still
+    /// runs), then drain and join the pool, then stop the scheduler.
     pub fn shutdown(&self) {
+        if let Some(reactor) = self.reactor.get() {
+            reactor.shutdown();
+        }
         self.pool.shutdown();
         self.scheduler.shutdown();
+    }
+}
+
+impl Drop for ServerRuntime {
+    fn drop(&mut self) {
+        // The reactor thread holds an Arc of itself; without an explicit
+        // drain it would outlive the runtime.  Idempotent if the owner
+        // already called shutdown().
+        self.shutdown();
     }
 }
 

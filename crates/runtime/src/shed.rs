@@ -1,0 +1,68 @@
+//! One shed ledger for the whole runtime.
+//!
+//! PR 4 established the invariant that every refused unit of work is
+//! *counted*, not silently dropped.  The worker pool already counts its
+//! own refusals (`RuntimeStats::shed`, backed by the bounded queue's drop
+//! counter).  The reactor introduces refusals the pool never sees — a
+//! parked-connection cap hit at accept time, a push sink stalled past its
+//! buffer, an accept during drain — and those land here, keyed by the
+//! surface that shed them.  `ServerRuntime::stats()` folds the ledger
+//! into the same `shed` total the pool reports, so "one ledger" holds
+//! from the operator's point of view.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counts work refused outside the worker pool, per surface.
+#[derive(Default)]
+pub struct ShedLedger {
+    total: AtomicU64,
+    by_surface: Mutex<BTreeMap<String, u64>>,
+}
+
+impl ShedLedger {
+    /// A fresh, all-zero ledger.
+    pub fn new() -> ShedLedger {
+        ShedLedger::default()
+    }
+
+    /// Records one shed against `surface`.
+    pub fn record(&self, surface: &str) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.by_surface.lock().expect("shed ledger poisoned");
+        *map.entry(surface.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Total sheds recorded across all surfaces.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Per-surface shed counts, sorted by surface name.
+    pub fn by_surface(&self) -> Vec<(String, u64)> {
+        let map = self.by_surface.lock().expect("shed ledger poisoned");
+        map.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_surface_and_in_total() {
+        let ledger = ShedLedger::new();
+        ledger.record("http");
+        ledger.record("http");
+        ledger.record("revocation-push");
+        assert_eq!(ledger.total(), 3);
+        assert_eq!(
+            ledger.by_surface(),
+            vec![
+                ("http".to_owned(), 2),
+                ("revocation-push".to_owned(), 1)
+            ]
+        );
+    }
+}

@@ -14,11 +14,12 @@ cargo test -q --offline
 echo "==> cargo doc --no-deps"
 cargo doc --no-deps --offline
 
-echo "==> contention + freshness + saturation + audit + wal benches (smoke mode: one iteration each)"
+echo "==> contention + freshness + saturation + audit + wal + scaling benches (smoke mode: one iteration each)"
 SF_BENCH_SMOKE=1 cargo bench -q -p snowflake-bench --offline \
     --bench prover_contention --bench mac_contention \
     --bench revocation_freshness --bench runtime_saturation \
-    --bench audit_throughput --bench wal_throughput
+    --bench audit_throughput --bench wal_throughput \
+    --bench connection_scaling
 
 echo "==> crash-recovery suites (byte-boundary fault injection)"
 # The durability claim is only as good as the harness that attacks it:
@@ -27,6 +28,16 @@ echo "==> crash-recovery suites (byte-boundary fault injection)"
 # that deletes or renames the suites must fail loudly here.
 cargo test -q --offline -p snowflake-reldb --test recovery
 cargo test -q --offline -p snowflake --test recovery
+
+echo "==> connection-layer suites (slow-loris, drain-with-parked, reactor serving/push)"
+# Same reasoning: the reactor's load-bearing behaviors — a slow-loris
+# client parks without consuming a worker until the timer wheel reaps
+# it, shutdown drains in-flight frames then closes parked connections,
+# RMI sessions park between invocations, stalled push subscribers are
+# shed — each have a named suite that must keep existing and passing.
+cargo test -q --offline -p snowflake-http --test connection_reactor
+cargo test -q --offline -p snowflake-rmi --test reactor_serving
+cargo test -q --offline -p snowflake-revocation --test reactor_push
 
 echo "==> runtime gate: no raw thread::spawn in server accept paths"
 # Every server serves from crates/runtime (bounded pools, counted sheds).
@@ -50,6 +61,35 @@ for f in \
 done
 if [ "$gate_failed" -ne 0 ]; then
     echo "FAIL: raw thread::spawn in a server accept path (use snowflake-runtime)"
+    exit 1
+fi
+
+echo "==> reactor gate: no server surface does its own socket accept/read"
+# The connection layer owns every listening and parked socket: a server
+# surface registers an accept callback / ConnDriver with the reactor and
+# never calls accept() or drives a TcpStream read loop itself.  This
+# gate fails if a surface file regrows a direct accept loop or a
+# blocking per-connection stream read outside its #[cfg(test)] module
+# (the only sanctioned socket loops live in crates/runtime/src/reactor).
+reactor_gate_failed=0
+for f in \
+    crates/http/src/server.rs \
+    crates/rmi/src/server.rs \
+    crates/revocation/src/service.rs \
+    crates/apps/src/gateway.rs crates/apps/src/webserver.rs \
+    crates/apps/src/emaildb.rs crates/apps/src/vfs.rs; do
+    [ -f "$f" ] || continue
+    if awk '/#\[cfg\(test\)\]/{exit}
+            /\.accept\(|\.incoming\(|read_to_end\(|read_exact\(|BufReader::new\(.*TcpStream/{
+                print FILENAME": "NR": "$0; found=1
+            } END{exit found}' "$f"; then
+        :
+    else
+        reactor_gate_failed=1
+    fi
+done
+if [ "$reactor_gate_failed" -ne 0 ]; then
+    echo "FAIL: a server surface accepts or reads sockets outside the reactor (see snowflake-runtime reactor)"
     exit 1
 fi
 
