@@ -1,0 +1,316 @@
+//! Topic-broker scaling: subscribe-time authorization, publish fan-out,
+//! and the cost of a revocation cut at presence scale.
+//!
+//! The broker checks the delegation chain once, at subscribe time, then
+//! parks subscribers; the numbers that matter are therefore (1) how fast
+//! authorized subscriptions register, (2) how long one publish takes to
+//! reach every parked subscriber through the worker pool, and (3) how
+//! long one certificate revocation takes to find and sever exactly the
+//! streams built on the dead certificate.  The fleet is presence-shaped:
+//! two teams, each a delegable team certificate fanned out to member
+//! certificates, each member holding several device streams — so one
+//! team-cert revocation must cut half the fleet and leave the other
+//! half untouched.
+//!
+//! Set `SF_BENCH_SMOKE=1` to run a 200-stream fleet once with full
+//! correctness assertions (CI smoke mode).  Set `SF_BENCH_JSON=<path>`
+//! (full mode, 5 000 streams) to append the numbers to the JSON-lines
+//! report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowflake_bench::report_json;
+use snowflake_broker::{SubscriberSink, TopicBroker};
+use snowflake_core::{HashVal, Principal, Proof, Time, Validity};
+use snowflake_crypto::{DetRng, Group, KeyPair};
+use snowflake_prover::Prover;
+use snowflake_revocation::RevocationBus;
+use snowflake_runtime::{PoolConfig, ServerRuntime};
+use snowflake_sexpr::Sexp;
+use snowflake_tags::path_vector::{grant_tag, ActionTable, PathPattern};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NAMESPACE: &str = "conference.example.org";
+const TOPIC: [&str; 3] = ["rooms", "all-hands", "events"];
+
+fn fixed_clock() -> Time {
+    Time(1_000_000)
+}
+
+fn kp(seed: &str) -> KeyPair {
+    let mut rng = DetRng::new(seed.as_bytes());
+    KeyPair::generate(Group::test512(), &mut |b| rng.fill(b))
+}
+
+fn det(seed: &str) -> Box<dyn FnMut(&mut [u8]) + Send> {
+    let mut r = DetRng::new(seed.as_bytes());
+    Box::new(move |b: &mut [u8]| r.fill(b))
+}
+
+fn member(team: &str, i: usize) -> Principal {
+    Principal::message(
+        &Sexp::tagged(
+            "subject",
+            vec![Sexp::atom(format!("{team}-member-{i}").into_bytes())],
+        )
+        .canonical(),
+    )
+}
+
+/// An in-memory parked subscriber: counts deliveries, observes the cut.
+struct MemSink {
+    open: AtomicBool,
+    delivered: AtomicU64,
+}
+
+impl MemSink {
+    fn new() -> Arc<MemSink> {
+        Arc::new(MemSink {
+            open: AtomicBool::new(true),
+            delivered: AtomicU64::new(0),
+        })
+    }
+}
+
+impl SubscriberSink for MemSink {
+    fn deliver(&self, _frame: &[u8]) -> bool {
+        if !self.open.load(Ordering::SeqCst) {
+            return false;
+        }
+        self.delivered.fetch_add(1, Ordering::SeqCst);
+        true
+    }
+    fn is_open(&self) -> bool {
+        self.open.load(Ordering::SeqCst)
+    }
+    fn close(&self) {
+        self.open.store(false, Ordering::SeqCst);
+    }
+}
+
+struct Fleet {
+    runtime: Arc<ServerRuntime>,
+    broker: Arc<TopicBroker>,
+    prover: Arc<Prover>,
+    team_a_cert: HashVal,
+    sinks_a: Vec<Arc<MemSink>>,
+    sinks_b: Vec<Arc<MemSink>>,
+    subscribe_time: Duration,
+}
+
+/// Two teams of `members` members with `devices` streams each: one
+/// delegable team certificate per team, one member certificate per
+/// member under it, every stream subscribed through the full
+/// authorize-at-subscribe path.
+fn build_fleet(members: usize, devices: usize) -> Fleet {
+    let issuer_kp = kp("broker-bench-issuer");
+    let issuer = Principal::key(&issuer_kp.public);
+    let prover = Arc::new(Prover::with_rng(det("broker-bench-prover")));
+    prover.add_key(issuer_kp);
+
+    let grant = grant_tag(
+        NAMESPACE,
+        &PathPattern::parse(&["rooms", "*", "events"]),
+        &["subscribe"],
+    );
+    let mut table = ActionTable::new();
+    table.allow(&["rooms", "*", "events"], &["subscribe"]);
+
+    let runtime = ServerRuntime::new(PoolConfig::new("broker-bench", 4, 64));
+    let broker = TopicBroker::with_clock(
+        Arc::clone(&runtime),
+        Arc::clone(&prover),
+        NAMESPACE,
+        issuer.clone(),
+        table,
+        fixed_clock,
+    );
+
+    let mut team_certs = Vec::new();
+    let mut proofs: Vec<(Vec<(Principal, Proof)>, HashVal)> = Vec::new();
+    for team in ["a", "b"] {
+        let team_kp = kp(&format!("broker-bench-team-{team}"));
+        let team_key = Principal::key(&team_kp.public);
+        let team_proof = prover
+            .delegate(&team_key, &issuer, grant.clone(), Validity::always(), true)
+            .expect("team delegation");
+        let team_cert = team_proof.cert_hashes()[0].clone();
+        prover.add_key(team_kp);
+        let mut team_members = Vec::new();
+        for i in 0..members {
+            let m = member(team, i);
+            prover
+                .delegate(&m, &team_key, grant.clone(), Validity::always(), false)
+                .expect("member delegation");
+            let proof = prover
+                .find_proof(&m, &issuer, &grant, fixed_clock())
+                .expect("member chain");
+            team_members.push((m, proof));
+        }
+        proofs.push((team_members, team_cert.clone()));
+        team_certs.push(team_cert);
+    }
+
+    let mut sinks = Vec::new();
+    let start = Instant::now();
+    for (team_members, _) in &proofs {
+        let mut team_sinks = Vec::new();
+        for (m, proof) in team_members {
+            for _ in 0..devices {
+                let sink = MemSink::new();
+                broker
+                    .subscribe_with_proof(
+                        m.clone(),
+                        &TOPIC,
+                        proof,
+                        Arc::clone(&sink) as Arc<dyn SubscriberSink>,
+                    )
+                    .expect("authorized subscribe");
+                team_sinks.push(sink);
+            }
+        }
+        sinks.push(team_sinks);
+    }
+    let subscribe_time = start.elapsed();
+
+    let sinks_b = sinks.pop().unwrap();
+    let sinks_a = sinks.pop().unwrap();
+    Fleet {
+        runtime,
+        broker,
+        prover,
+        team_a_cert: team_certs.remove(0),
+        sinks_a,
+        sinks_b,
+        subscribe_time,
+    }
+}
+
+fn total_delivered(sinks: &[Arc<MemSink>]) -> u64 {
+    sinks
+        .iter()
+        .map(|s| s.delivered.load(Ordering::SeqCst))
+        .sum()
+}
+
+fn wait_until(deadline: Duration, cond: impl Fn() -> bool) {
+    let end = Instant::now() + deadline;
+    while !cond() {
+        assert!(Instant::now() < end, "fan-out never completed");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+struct RunResult {
+    streams: usize,
+    subscribe_time: Duration,
+    fanout: Duration,
+    cut: Duration,
+    cut_count: usize,
+}
+
+/// Builds a fleet, measures one full publish fan-out, then revokes team
+/// A's certificate and verifies the cut severed exactly team A.
+fn run_fleet(members: usize, devices: usize) -> RunResult {
+    let fleet = build_fleet(members, devices);
+    let streams = fleet.sinks_a.len() + fleet.sinks_b.len();
+    assert_eq!(fleet.broker.stats().subscribers as usize, streams);
+
+    let before = total_delivered(&fleet.sinks_a) + total_delivered(&fleet.sinks_b);
+    let start = Instant::now();
+    fleet.broker.publish(&TOPIC, b"presence ping").unwrap();
+    wait_until(Duration::from_secs(30), || {
+        total_delivered(&fleet.sinks_a) + total_delivered(&fleet.sinks_b)
+            == before + streams as u64
+    });
+    let fanout = start.elapsed();
+
+    let invalidations_before = fleet.prover.stats().cert_invalidations;
+    let start = Instant::now();
+    let cut_count = fleet.broker.certificate_revoked(&fleet.team_a_cert);
+    let cut = start.elapsed();
+
+    // Exactly team A died; the prover never saw this bus (broker only).
+    assert_eq!(cut_count, fleet.sinks_a.len());
+    assert!(fleet.sinks_a.iter().all(|s| !s.is_open()));
+    assert!(fleet.sinks_b.iter().all(|s| s.is_open()));
+    assert_eq!(fleet.broker.stats().subscribers as usize, fleet.sinks_b.len());
+    assert_eq!(fleet.broker.stats().cut_streams as usize, cut_count);
+    assert_eq!(fleet.prover.stats().cert_invalidations, invalidations_before);
+
+    // Team B still receives after the cut.
+    let before_b = total_delivered(&fleet.sinks_b);
+    fleet.broker.publish(&TOPIC, b"survivors").unwrap();
+    wait_until(Duration::from_secs(30), || {
+        total_delivered(&fleet.sinks_b) == before_b + fleet.sinks_b.len() as u64
+    });
+
+    fleet.runtime.shutdown();
+    RunResult {
+        streams,
+        subscribe_time: fleet.subscribe_time,
+        fanout,
+        cut,
+        cut_count,
+    }
+}
+
+fn broker_fanout(c: &mut Criterion) {
+    if std::env::var_os("SF_BENCH_SMOKE").is_some() {
+        // 2 teams × 10 members × 10 devices = 200 streams.
+        let r = run_fleet(10, 10);
+        assert_eq!(r.streams, 200);
+        assert_eq!(r.cut_count, 100);
+        println!(
+            "broker_fanout/smoke ok ({} streams, fan-out {:?}, cut {} in {:?})",
+            r.streams, r.fanout, r.cut_count, r.cut
+        );
+        return;
+    }
+
+    // The headline run: 2 teams × 50 members × 50 devices = 5 000
+    // parked streams, measured once (the fleet build dominates; Criterion
+    // iteration would re-pay it without adding information).
+    let r = run_fleet(50, 50);
+    assert_eq!(r.streams, 5_000);
+    assert_eq!(r.cut_count, 2_500);
+    let sub_rate = r.streams as f64 / r.subscribe_time.as_secs_f64();
+    println!(
+        "broker_fanout: {} authorized subscribes in {:?} ({:.0}/s)",
+        r.streams, r.subscribe_time, sub_rate
+    );
+    println!(
+        "broker_fanout: one publish reached {} subscribers in {:?}",
+        r.streams, r.fanout
+    );
+    println!(
+        "broker_fanout: one revocation cut {} of {} streams in {:?}",
+        r.cut_count, r.streams, r.cut
+    );
+    report_json(
+        "broker_fanout",
+        &[
+            ("streams", r.streams.to_string()),
+            ("subscribe_per_sec", format!("{sub_rate:.0}")),
+            ("fanout_us", r.fanout.as_micros().to_string()),
+            ("revocation_cut_streams", r.cut_count.to_string()),
+            ("revocation_cut_us", r.cut.as_micros().to_string()),
+        ],
+    );
+
+    // Keep Criterion's harness shape (and timing of a small fleet) so
+    // `cargo bench broker_fanout` composes with the suite.
+    let mut group = c.benchmark_group("broker_fanout");
+    group.sample_size(10);
+    group.bench_function("publish_and_cut/200", |b| {
+        b.iter(|| {
+            let r = run_fleet(10, 10);
+            assert_eq!(r.cut_count, 100);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, broker_fanout);
+criterion_main!(benches);

@@ -1,0 +1,483 @@
+//! A minimal JSON reader for the authz wire format.
+//!
+//! The workspace is offline and dependency-free, and nothing else in it
+//! speaks JSON — but the de-facto authz-endpoint interface does, so the
+//! broker carries its own parser.  It is deliberately small: the full
+//! value grammar (objects, arrays, strings with escapes, numbers,
+//! literals) with a recursion-depth cap, strict UTF-8 and
+//! whole-input consumption, and **no** extensions — anything outside
+//! RFC 8259 is an error, and on this endpoint every parse error is an
+//! authorization denial (fail closed).
+
+use std::fmt;
+
+/// Deepest permitted nesting of arrays/objects.  Authz requests are two
+/// levels deep; 64 leaves generous headroom while keeping a hostile
+/// body from exhausting the stack.
+const MAX_DEPTH: usize = 64;
+
+/// One parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON does not distinguish integers).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (later duplicates shadow earlier ones
+    /// on [`Json::get`]; the authz parser rejects none because the shape
+    /// check only reads the fields it names).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (last occurrence wins, like most consumers).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    /// Serializes back to compact JSON (responses, tests).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => write!(f, "{n}"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// A parse failure: where, and what was wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+/// Parses one complete JSON document; trailing bytes (other than
+/// whitespace) are an error.
+pub fn parse(input: &[u8]) -> Result<Json, JsonError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing bytes after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal(b"true", Json::Bool(true)),
+            Some(b'f') => self.literal(b"false", Json::Bool(false)),
+            Some(b'n') => self.literal(b"null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected byte")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &'static [u8], value: Json) -> Result<Json, JsonError> {
+        if self.input[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("bad literal"))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            match c {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                0x00..=0x1f => return Err(self.err("raw control byte in string")),
+                _ => {
+                    // Consume one UTF-8 scalar; reject malformed input.
+                    let rest = &self.input[self.pos..];
+                    let upto = rest.len().min(4);
+                    match std::str::from_utf8(&rest[..upto]) {
+                        Ok(s) => {
+                            let ch = s.chars().next().expect("nonempty");
+                            out.push(ch);
+                            self.pos += ch.len_utf8();
+                        }
+                        Err(e) if e.valid_up_to() > 0 => {
+                            let s = std::str::from_utf8(&rest[..e.valid_up_to()])
+                                .expect("validated prefix");
+                            let ch = s.chars().next().expect("nonempty");
+                            out.push(ch);
+                            self.pos += ch.len_utf8();
+                        }
+                        Err(_) => return Err(self.err("invalid UTF-8 in string")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let Some(c) = self.peek() else {
+            return Err(self.err("unterminated escape"));
+        };
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{0008}',
+            b'f' => '\u{000c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: a low surrogate escape must follow.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u', "expected low surrogate")?;
+                        let lo = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return Err(self.err("invalid low surrogate"));
+                        }
+                        let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                        char::from_u32(code).ok_or_else(|| self.err("bad surrogate pair"))?
+                    } else {
+                        return Err(self.err("lone high surrogate"));
+                    }
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(self.err("lone low surrogate"));
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.err("bad \\u escape"))?
+                }
+            }
+            _ => return Err(self.err("unknown escape")),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(c) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex in \\u escape"))?;
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one zero, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("malformed number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("digits must follow decimal point"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("digits must follow exponent"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("number out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: &str) -> Json {
+        parse(src.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn parses_the_authz_request_shape() {
+        let doc = p(r#"{
+            "subject": {"namespace": "iam.example.org",
+                        "value": ["accounts", "123e4567"]},
+            "object": {"namespace": "conference.example.org",
+                       "value": ["rooms", "123e4567", "rtcs", "321e7654"]},
+            "action": "read"
+        }"#);
+        assert_eq!(
+            doc.get("subject").unwrap().get("namespace").unwrap().as_str(),
+            Some("iam.example.org")
+        );
+        let path = doc.get("object").unwrap().get("value").unwrap().as_array().unwrap();
+        assert_eq!(path.len(), 4);
+        assert_eq!(path[0].as_str(), Some("rooms"));
+        assert_eq!(doc.get("action").unwrap().as_str(), Some("read"));
+    }
+
+    #[test]
+    fn scalars_and_structure() {
+        assert_eq!(p("null"), Json::Null);
+        assert_eq!(p("true"), Json::Bool(true));
+        assert_eq!(p("false"), Json::Bool(false));
+        assert_eq!(p("42"), Json::Num(42.0));
+        assert_eq!(p("-0.5e2"), Json::Num(-50.0));
+        assert_eq!(p("\"hi\""), Json::Str("hi".into()));
+        assert_eq!(p("[]"), Json::Arr(vec![]));
+        assert_eq!(p("{}"), Json::Obj(vec![]));
+        assert_eq!(p("[1, [2, 3]]"), Json::Arr(vec![
+            Json::Num(1.0),
+            Json::Arr(vec![Json::Num(2.0), Json::Num(3.0)]),
+        ]));
+    }
+
+    #[test]
+    fn escapes_decode() {
+        assert_eq!(p(r#""a\"b\\c\/d\n""#), Json::Str("a\"b\\c/d\n".into()));
+        assert_eq!(p(r#""\u0041\u00e9""#), Json::Str("Aé".into()));
+        // Surrogate pair: U+1F600.
+        assert_eq!(p(r#""\ud83d\ude00""#), Json::Str("\u{1F600}".into()));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for src in [
+            "", "{", "}", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "01", "1.",
+            "1e", "\"unterminated", "\"\\q\"", "\"\\ud800\"", "\"\\udc00x\"",
+            "{\"a\":1} trailing", "nan", "+1", "'single'", "[1 2]",
+            "\"\u{0009}raw-tab-ok-wait-no\"",
+        ] {
+            assert!(parse(src.as_bytes()).is_err(), "{src:?} must fail");
+        }
+        // Raw control byte inside a string.
+        assert!(parse(b"\"a\x01b\"").is_err());
+        // Invalid UTF-8 inside a string.
+        assert!(parse(b"\"a\xffb\"").is_err());
+    }
+
+    #[test]
+    fn depth_cap_holds() {
+        let deep = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(parse(deep.as_bytes()).is_err());
+        let fine = format!("{}1{}", "[".repeat(20), "]".repeat(20));
+        assert!(parse(fine.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for src in [
+            r#"{"a":[1,"x",null,true],"b":{"c":false}}"#,
+            r#""quote\" and \\ and \n""#,
+            "[0.25,-3,100000]",
+        ] {
+            let v = p(src);
+            assert_eq!(parse(v.to_string().as_bytes()).unwrap(), v, "{src}");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        assert_eq!(
+            p(r#"{"a":1,"a":2}"#).get("a"),
+            Some(&Json::Num(2.0))
+        );
+    }
+}

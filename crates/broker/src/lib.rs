@@ -1,0 +1,37 @@
+//! Authz-endpoint facade and protected topic broker.
+//!
+//! The paper's client-side machinery (provers, delegations, tags)
+//! usually hides behind one small operational question: *may subject S
+//! perform action A on object O?*  This crate is that facade, in two
+//! surfaces riding the shared server runtime:
+//!
+//! * **The authz endpoint** ([`AuthzEndpoint`]): an HTTP handler
+//!   accepting the de-facto JSON question shape — subject, object
+//!   path vector, action — translating it into a snowflake request tag
+//!   ([`snowflake_tags::path_vector`]) and answering allow/deny from
+//!   the prover's delegation graph.  Malformed bodies are denied, fail
+//!   closed.
+//! * **The topic broker** ([`TopicBroker`]): publish/subscribe where
+//!   `subscribe` is a first-class authorized action.  The delegation
+//!   chain is checked once, at subscribe time; subscribers then park
+//!   write-only on the reactor.  The grant stays honest through
+//!   *revocation push*: the broker records each grant's certificate
+//!   provenance and cuts exactly the streams built on a revoked
+//!   certificate, mid-stream.
+//!
+//! Every verdict either surface reaches — grant, deny, shed, cut —
+//! emits a [`snowflake_core::audit::DecisionEvent`], so the streaming
+//! plane is as reviewable as the request/response planes.
+
+#![deny(missing_docs)]
+
+pub mod authz;
+pub mod json;
+pub mod topic;
+
+pub use authz::{subject_principal, AuthzEndpoint, AuthzRequest, AuthzVerdict, NamespaceAuthority};
+pub use json::Json;
+pub use topic::{
+    publish_frame, read_publish, subscribe_frame, subscribe_stream, BrokerStats, SubscribeError,
+    SubscriberSink, TopicBroker,
+};

@@ -48,6 +48,15 @@ impl<S: SnowflakeService> RevocationBus for ProtectedServlet<S> {
     }
 }
 
+// A shared handle to a bus is a bus, so subsystems that live behind an
+// `Arc` (the prover, a topic broker) drop straight into a `FanoutBus`
+// without a wrapper type.
+impl<T: RevocationBus + ?Sized> RevocationBus for Arc<T> {
+    fn certificate_revoked(&self, cert_hash: &HashVal) -> usize {
+        (**self).certificate_revoked(cert_hash)
+    }
+}
+
 /// A bus broadcasting to several others (useful when one subscription
 /// must reach caches owned by different subsystems).
 pub struct FanoutBus(pub Vec<Arc<dyn RevocationBus>>);

@@ -221,6 +221,14 @@ impl SinkHandle {
     pub fn is_open(&self) -> bool {
         self.reactor.sink_is_open(self.token)
     }
+
+    /// Closes the sink connection now, dropping any queued bytes.  The
+    /// remote observes EOF without having to poll or reconnect — this is
+    /// how a broker cuts a revoked subscriber's stream mid-flight.
+    /// Idempotent; subsequent [`SinkHandle::send`]s return `false`.
+    pub fn close(&self) {
+        self.reactor.sink_close(self.token);
+    }
 }
 
 /// Most bytes a sink connection may have queued before the remote is
@@ -582,6 +590,15 @@ impl Reactor {
                 true
             }
         }
+    }
+
+    fn sink_close(&self, token: u64) {
+        let mut st = self.state.lock().expect("reactor state poisoned");
+        Self::close_token(&self.epoll, &mut st, token);
+        drop(st);
+        // The reactor may be parked in epoll_wait with no timeout; wake
+        // it so drain bookkeeping observes the closed connection.
+        self.wake.wake();
     }
 
     fn sink_is_open(&self, token: u64) -> bool {

@@ -42,8 +42,10 @@
 
 mod intersect;
 mod order;
+pub mod path_vector;
 
 pub use order::Ordering as RangeOrdering;
+pub use path_vector::{ActionTable, PathPattern, PathVector};
 
 use snowflake_sexpr::{ParseError, Sexp};
 use std::fmt;

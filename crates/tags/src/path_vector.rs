@@ -1,0 +1,419 @@
+//! Path-vector objects ⇄ snowflake tags.
+//!
+//! External authorization consumers name objects with a **namespace**
+//! plus a **path vector** — `["rooms", ROOM_ID, "rtcs", RTC_ID]` — and
+//! name what they want done with an **action** (`create`, `read`,
+//! `subscribe`, …).  This module maps that vocabulary onto the tag
+//! algebra so path-vector requests can be answered by the same
+//! speaks-for machinery as every native surface:
+//!
+//! * [`request_tag`] builds the fully ground tag for one request:
+//!   `(authz (ns NS) (path seg…) (action A))`.
+//! * [`grant_tag`] builds the tag an issuer delegates: pattern segments
+//!   may be wildcards (`*` → any one segment), the pattern may be open
+//!   (`**` tail → any suffix), and the action position may name one
+//!   action, a set, or every action.
+//! * [`parse_request`] inverts [`request_tag`] (the round-trip property
+//!   is tested below), so audit tooling can recover the namespace, path,
+//!   and action from a recorded tag.
+//! * [`ActionTable`] is the per-object/action matrix: which path
+//!   *shapes* admit which actions at all.  A request outside the table
+//!   is denied before any proof search runs — the table bounds the
+//!   vocabulary, the delegation chain decides the answer.
+//!
+//! One honest asymmetry, inherited from SPKI list semantics: in the tag
+//! algebra "longer lists are more specific", so a grant for path
+//! `(rooms 123)` also permits requests deeper in that subtree.  The
+//! [`ActionTable`] is where exact arity is enforced (a closed pattern
+//! matches only paths of its own length); tags stay prefix-permissive
+//! by design.
+
+use crate::Tag;
+
+/// One parsed path-vector request: the inverse image of [`request_tag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathVector {
+    /// The object namespace (`conference.example.org`).
+    pub namespace: String,
+    /// The object path (`["rooms", "123", "events"]`).
+    pub path: Vec<String>,
+    /// The requested action (`subscribe`).
+    pub action: String,
+}
+
+/// One segment of a [`PathPattern`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatSeg {
+    /// Matches exactly this segment.
+    Lit(String),
+    /// Matches any single segment (an ID placeholder).
+    Any,
+}
+
+/// A path shape: literal and wildcard segments, optionally open-ended.
+///
+/// Written with the table vocabulary: `"*"` is a single-segment
+/// wildcard, a trailing `"**"` makes the pattern a **wildcard prefix**
+/// matching any (possibly empty) suffix — `["rooms", "*", "**"]` is the
+/// `["rooms", ROOM_ID, *]` row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathPattern {
+    segs: Vec<PatSeg>,
+    open: bool,
+}
+
+impl PathPattern {
+    /// Parses a pattern spec: each `"*"` matches one arbitrary segment,
+    /// a final `"**"` opens the tail.  (`"**"` anywhere else is treated
+    /// as a literal — suffix wildcards only bind at the end.)
+    pub fn parse(spec: &[&str]) -> PathPattern {
+        let open = spec.last() == Some(&"**");
+        let body = if open { &spec[..spec.len() - 1] } else { spec };
+        PathPattern {
+            segs: body
+                .iter()
+                .map(|s| {
+                    if *s == "*" {
+                        PatSeg::Any
+                    } else {
+                        PatSeg::Lit((*s).to_string())
+                    }
+                })
+                .collect(),
+            open,
+        }
+    }
+
+    /// Does this pattern match the concrete path?  Closed patterns
+    /// require exact arity; open patterns match any suffix beyond their
+    /// fixed segments.
+    pub fn matches(&self, path: &[&str]) -> bool {
+        if self.open {
+            if path.len() < self.segs.len() {
+                return false;
+            }
+        } else if path.len() != self.segs.len() {
+            return false;
+        }
+        self.segs.iter().zip(path).all(|(seg, got)| match seg {
+            PatSeg::Any => true,
+            PatSeg::Lit(want) => want == got,
+        })
+    }
+
+    /// The fixed (pre-wildcard-tail) segments.
+    pub fn segments(&self) -> &[PatSeg] {
+        &self.segs
+    }
+
+    /// Does the pattern accept suffixes beyond its fixed segments?
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+}
+
+/// Builds the `(path …)` element for a concrete path.
+fn path_element(path: &[&str]) -> Tag {
+    let mut items = vec![Tag::atom("path")];
+    items.extend(path.iter().map(|s| Tag::atom(*s)));
+    Tag::List(items)
+}
+
+/// The fully ground tag for one path-vector request:
+/// `(authz (ns NS) (path seg…) (action A))`.
+pub fn request_tag(namespace: &str, path: &[&str], action: &str) -> Tag {
+    Tag::named(
+        "authz",
+        vec![
+            Tag::named("ns", vec![Tag::atom(namespace)]),
+            path_element(path),
+            Tag::named("action", vec![Tag::atom(action)]),
+        ],
+    )
+}
+
+/// The tag an issuer delegates for a path pattern.
+///
+/// Wildcard segments become `(*)`; an open pattern simply truncates the
+/// path list (shorter lists are more general, so the tail is
+/// unconstrained).  `actions` empty grants **every** action (the
+/// `(action …)` element is omitted); one action is an atom; several are
+/// a `(* set …)`.
+pub fn grant_tag(namespace: &str, pattern: &PathPattern, actions: &[&str]) -> Tag {
+    let mut path_items = vec![Tag::atom("path")];
+    for seg in &pattern.segs {
+        path_items.push(match seg {
+            PatSeg::Lit(s) => Tag::atom(s.as_str()),
+            PatSeg::Any => Tag::Star,
+        });
+    }
+    let mut items = vec![
+        Tag::named("ns", vec![Tag::atom(namespace)]),
+        Tag::List(path_items),
+    ];
+    match actions {
+        [] => {}
+        [one] => items.push(Tag::named("action", vec![Tag::atom(*one)])),
+        several => items.push(Tag::named(
+            "action",
+            vec![Tag::Set(several.iter().map(|a| Tag::atom(*a)).collect())],
+        )),
+    }
+    Tag::named("authz", items)
+}
+
+/// Recovers `(namespace, path, action)` from a tag produced by
+/// [`request_tag`].  Returns `None` for anything that is not a fully
+/// ground request tag (wildcards, sets, missing elements, non-UTF-8
+/// atoms) — callers treating tags as requests must fail closed.
+pub fn parse_request(tag: &Tag) -> Option<PathVector> {
+    let Tag::List(items) = tag else { return None };
+    let [head, ns_el, path_el, action_el] = items.as_slice() else {
+        return None;
+    };
+    if atom_str(head)? != "authz" {
+        return None;
+    }
+    let namespace = match named_body(ns_el, "ns")? {
+        [ns] => atom_str(ns)?.to_string(),
+        _ => return None,
+    };
+    let path = named_body(path_el, "path")?
+        .iter()
+        .map(|seg| atom_str(seg).map(str::to_string))
+        .collect::<Option<Vec<String>>>()?;
+    if path.is_empty() {
+        return None;
+    }
+    let action = match named_body(action_el, "action")? {
+        [a] => atom_str(a)?.to_string(),
+        _ => return None,
+    };
+    Some(PathVector {
+        namespace,
+        path,
+        action,
+    })
+}
+
+fn atom_str(tag: &Tag) -> Option<&str> {
+    match tag {
+        Tag::Atom(bytes) => std::str::from_utf8(bytes).ok(),
+        _ => None,
+    }
+}
+
+/// The body of a `(name …)` list element (everything after the name).
+fn named_body<'a>(tag: &'a Tag, name: &str) -> Option<&'a [Tag]> {
+    let Tag::List(items) = tag else { return None };
+    let (head, body) = items.split_first()?;
+    if atom_str(head)? != name {
+        return None;
+    }
+    Some(body)
+}
+
+/// The per-object/action matrix: which path shapes admit which actions.
+///
+/// Mirrors the exemplar's documentation tables — one row per object
+/// shape, one column per action:
+///
+/// ```text
+/// object / action                    | create | read | list | subscribe
+/// ["rooms"]                          |      + |      |    + |
+/// ["rooms", ROOM_ID]                 |        |    + |      |
+/// ["rooms", ROOM_ID, "events"]       |        |      |      |         +
+/// ```
+///
+/// The table answers *whether the combination is meaningful at all*;
+/// whether this subject holds it is the prover's question.
+#[derive(Debug, Clone, Default)]
+pub struct ActionTable {
+    rows: Vec<(PathPattern, Vec<String>)>,
+}
+
+impl ActionTable {
+    /// An empty table (denies everything).
+    pub fn new() -> ActionTable {
+        ActionTable::default()
+    }
+
+    /// Adds a row: `spec` in [`PathPattern::parse`] vocabulary, plus the
+    /// actions that shape admits.
+    pub fn allow(&mut self, spec: &[&str], actions: &[&str]) -> &mut ActionTable {
+        self.rows.push((
+            PathPattern::parse(spec),
+            actions.iter().map(|a| (*a).to_string()).collect(),
+        ));
+        self
+    }
+
+    /// Is `action` admitted on an object with this path shape?
+    pub fn permits(&self, path: &[&str], action: &str) -> bool {
+        self.rows
+            .iter()
+            .any(|(pat, actions)| actions.iter().any(|a| a == action) && pat.matches(path))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty (denying everything)?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn exemplar_table() -> ActionTable {
+        let mut t = ActionTable::new();
+        t.allow(&["rooms"], &["create", "list"])
+            .allow(&["rooms", "*"], &["read", "update", "delete"])
+            .allow(&["rooms", "*", "rtcs"], &["create", "list"])
+            .allow(&["rooms", "*", "rtcs", "*"], &["read", "update", "delete"])
+            .allow(&["rooms", "*", "events"], &["subscribe"])
+            .allow(&["audiences", "*", "events"], &["subscribe"]);
+        t
+    }
+
+    #[test]
+    fn table_matches_the_exemplar_matrix() {
+        let t = exemplar_table();
+        assert!(t.permits(&["rooms"], "create"));
+        assert!(t.permits(&["rooms"], "list"));
+        assert!(!t.permits(&["rooms"], "read"));
+        assert!(t.permits(&["rooms", "r1"], "read"));
+        assert!(!t.permits(&["rooms", "r1"], "subscribe"));
+        assert!(t.permits(&["rooms", "r1", "rtcs", "x9"], "delete"));
+        assert!(!t.permits(&["rooms", "r1", "rtcs", "x9"], "create"));
+        assert!(t.permits(&["rooms", "r1", "events"], "subscribe"));
+        assert!(t.permits(&["audiences", "aud", "events"], "subscribe"));
+        // Wrong arity fails closed: closed rows match exact length only.
+        assert!(!t.permits(&["rooms", "r1", "events", "extra"], "subscribe"));
+        assert!(!t.permits(&[], "create"));
+    }
+
+    #[test]
+    fn wildcard_prefix_rows_match_any_suffix() {
+        let mut t = ActionTable::new();
+        t.allow(&["rooms", "*", "**"], &["read"]);
+        assert!(t.permits(&["rooms", "r1"], "read"));
+        assert!(t.permits(&["rooms", "r1", "deep", "deeper"], "read"));
+        assert!(!t.permits(&["rooms"], "read"), "prefix needs its fixed segments");
+        assert!(!t.permits(&["halls", "h1"], "read"));
+    }
+
+    #[test]
+    fn grant_tag_permits_matching_requests() {
+        let grant = grant_tag(
+            "conference.example.org",
+            &PathPattern::parse(&["rooms", "*", "events"]),
+            &["subscribe"],
+        );
+        let yes = request_tag("conference.example.org", &["rooms", "r1", "events"], "subscribe");
+        let wrong_action = request_tag("conference.example.org", &["rooms", "r1", "events"], "read");
+        let wrong_ns = request_tag("other.example.org", &["rooms", "r1", "events"], "subscribe");
+        let wrong_path = request_tag("conference.example.org", &["rooms", "r1", "agents"], "subscribe");
+        assert!(grant.permits(&yes));
+        assert!(!grant.permits(&wrong_action));
+        assert!(!grant.permits(&wrong_ns));
+        assert!(!grant.permits(&wrong_path));
+    }
+
+    #[test]
+    fn open_grant_covers_the_subtree() {
+        let grant = grant_tag(
+            "conference.example.org",
+            &PathPattern::parse(&["rooms", "*", "**"]),
+            &[],
+        );
+        for (path, action) in [
+            (vec!["rooms", "r1"], "read"),
+            (vec!["rooms", "r1", "rtcs", "x"], "delete"),
+            (vec!["rooms", "r2", "events"], "subscribe"),
+        ] {
+            assert!(
+                grant.permits(&request_tag("conference.example.org", &path, action)),
+                "{path:?} {action}"
+            );
+        }
+        assert!(!grant.permits(&request_tag(
+            "conference.example.org",
+            &["audiences", "a", "events"],
+            "subscribe"
+        )));
+    }
+
+    #[test]
+    fn action_sets_grant_each_member() {
+        let grant = grant_tag(
+            "ns",
+            &PathPattern::parse(&["rooms", "*"]),
+            &["read", "update"],
+        );
+        assert!(grant.permits(&request_tag("ns", &["rooms", "r"], "read")));
+        assert!(grant.permits(&request_tag("ns", &["rooms", "r"], "update")));
+        assert!(!grant.permits(&request_tag("ns", &["rooms", "r"], "delete")));
+    }
+
+    #[test]
+    fn parse_request_rejects_non_ground_tags() {
+        let open = grant_tag("ns", &PathPattern::parse(&["rooms", "*"]), &["read"]);
+        assert_eq!(parse_request(&open), None, "wildcards are not requests");
+        assert_eq!(parse_request(&Tag::Star), None);
+        assert_eq!(parse_request(&Tag::atom("authz")), None);
+        let missing_action = Tag::named(
+            "authz",
+            vec![
+                Tag::named("ns", vec![Tag::atom("n")]),
+                Tag::named("path", vec![Tag::atom("p")]),
+            ],
+        );
+        assert_eq!(parse_request(&missing_action), None);
+        let empty_path = Tag::named(
+            "authz",
+            vec![
+                Tag::named("ns", vec![Tag::atom("n")]),
+                Tag::named("path", vec![]),
+                Tag::named("action", vec![Tag::atom("read")]),
+            ],
+        );
+        assert_eq!(parse_request(&empty_path), None);
+    }
+
+    #[test]
+    fn request_tag_survives_the_sexp_wire() {
+        let tag = request_tag("conference.example.org", &["rooms", "r1", "events"], "subscribe");
+        let back = Tag::parse(&tag.to_sexp()).unwrap();
+        assert_eq!(back, tag);
+        assert_eq!(parse_request(&back), parse_request(&tag));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// path → tag → path is the identity on well-formed requests.
+        #[test]
+        fn request_roundtrip(
+            ns in "[a-z][a-z0-9.-]{0,16}",
+            path in proptest::collection::vec("[a-zA-Z0-9_-]{1,12}", 1..6),
+            action in "[a-z]{1,10}",
+        ) {
+            let refs: Vec<&str> = path.iter().map(String::as_str).collect();
+            let tag = request_tag(&ns, &refs, &action);
+            let back = parse_request(&tag).expect("ground request parses");
+            prop_assert_eq!(&back.namespace, &ns);
+            prop_assert_eq!(&back.path, &path);
+            prop_assert_eq!(&back.action, &action);
+            // And across the wire form.
+            let rewired = Tag::parse(&tag.to_sexp()).unwrap();
+            prop_assert_eq!(parse_request(&rewired).expect("wire form parses"), back);
+        }
+    }
+}

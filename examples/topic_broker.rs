@@ -1,0 +1,150 @@
+//! Protected topic broker walkthrough: ask the authz endpoint the
+//! operational question over HTTP, open authorized subscribe streams,
+//! publish to everyone, then revoke one certificate and watch exactly
+//! the streams built on it die mid-stream — no polling, no reconnect.
+//!
+//! Run with `cargo run --example topic_broker`.
+
+use snowflake::broker::topic::{read_publish, subscribe_stream};
+use snowflake::broker::{subject_principal, AuthzEndpoint, NamespaceAuthority, TopicBroker};
+use snowflake::core::audit::{AuditEmitter, DecisionEvent};
+use snowflake::core::{Principal, Validity};
+use snowflake::crypto::{Group, KeyPair};
+use snowflake::http::{HttpClient, HttpRequest, HttpServer};
+use snowflake::prover::Prover;
+use snowflake::revocation::{FanoutBus, RevocationBus};
+use snowflake::runtime::{PoolConfig, ServerRuntime};
+use snowflake::tags::path_vector::{grant_tag, ActionTable, PathPattern};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+const NS: &str = "conference.example.org";
+
+/// Prints every authorization decision as it is made.
+struct Narrator(Mutex<u64>);
+
+impl AuditEmitter for Narrator {
+    fn emit(&self, event: DecisionEvent) {
+        let mut n = self.0.lock().unwrap();
+        *n += 1;
+        println!(
+            "  audit #{:02} [{}] {:?} {} {}",
+            *n, event.surface, event.decision, event.object, event.detail
+        );
+    }
+}
+
+fn main() {
+    // --- The cast: a conference service controlling its namespace, and
+    // two accounts holding distinct `subscribe` certificates.
+    let issuer_kp = KeyPair::generate_os(Group::test512());
+    let issuer = Principal::key(&issuer_kp.public);
+    let prover = Arc::new(Prover::new());
+    prover.add_key(issuer_kp);
+
+    let alice = subject_principal("iam.example.org", &["accounts".into(), "alice".into()]);
+    let bob = subject_principal("iam.example.org", &["accounts".into(), "bob".into()]);
+    let grant = grant_tag(
+        NS,
+        &PathPattern::parse(&["rooms", "*", "events"]),
+        &["subscribe"],
+    );
+    let proof_a = prover
+        .delegate(&alice, &issuer, grant.clone(), Validity::always(), false)
+        .unwrap();
+    let proof_b = prover
+        .delegate(&bob, &issuer, grant, Validity::always(), false)
+        .unwrap();
+    let cert_a = proof_a.cert_hashes()[0].clone();
+
+    let mut table = ActionTable::new();
+    table.allow(&["rooms", "*", "events"], &["subscribe"]);
+
+    // --- Both broker surfaces ride one bounded runtime.
+    let narrator = Arc::new(Narrator(Mutex::new(0)));
+    let runtime = ServerRuntime::new(PoolConfig::new("example", 2, 16));
+
+    let endpoint = AuthzEndpoint::new(Arc::clone(&prover));
+    endpoint.add_namespace(
+        NS,
+        NamespaceAuthority {
+            issuer: issuer.clone(),
+            table: table.clone(),
+        },
+    );
+    endpoint.set_audit_emitter(Arc::clone(&narrator) as _);
+    let http = HttpServer::new();
+    http.route("/authz", endpoint);
+    let http_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let http_addr = http_listener.local_addr().unwrap();
+    http.attach_to_reactor(http_listener, &runtime).unwrap();
+
+    let broker = TopicBroker::new(
+        Arc::clone(&runtime),
+        Arc::clone(&prover),
+        NS,
+        issuer,
+        table,
+    );
+    broker.set_audit_emitter(Arc::clone(&narrator) as _);
+    let sub_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let sub_addr = sub_listener.local_addr().unwrap();
+    broker.attach_subscribe_listener(sub_listener).unwrap();
+
+    // --- The operational front door: "may alice subscribe to this room?"
+    println!("POST /authz:");
+    let mut client = HttpClient::new(Box::new(TcpStream::connect(http_addr).unwrap()));
+    let body = format!(
+        "{{\"subject\":{{\"namespace\":\"iam.example.org\",\"value\":[\"accounts\",\"alice\"]}},\
+          \"object\":{{\"namespace\":\"{NS}\",\"value\":[\"rooms\",\"standup\",\"events\"]}},\
+          \"action\":\"subscribe\"}}"
+    );
+    let resp = client
+        .send(&HttpRequest::post("/authz", body.into_bytes()))
+        .unwrap();
+    println!("  -> {}", String::from_utf8_lossy(&resp.body));
+
+    // --- Subscribe is a first-class action: the chain is checked once,
+    // here, and each stream's certificate provenance is recorded.
+    println!("\nsubscribing alice and bob:");
+    let topic = ["rooms", "standup", "events"];
+    let mut alice_stream = subscribe_stream(sub_addr, &topic, &alice, &proof_a)
+        .unwrap()
+        .expect("alice authorized");
+    let mut bob_stream = subscribe_stream(sub_addr, &topic, &bob, &proof_b)
+        .unwrap()
+        .expect("bob authorized");
+    while broker.stats().subscribers < 2 {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    println!("\npublishing \"standup starting\":");
+    broker.publish(&topic, b"standup starting").unwrap();
+    for (name, stream) in [("alice", &mut alice_stream), ("bob", &mut bob_stream)] {
+        let (_, data) = read_publish(stream).unwrap();
+        println!("  {name} received: {}", String::from_utf8_lossy(&data));
+    }
+
+    // --- One revocation, pushed through the same bus the prover rides:
+    // exactly the streams whose grant used cert_a are cut, mid-stream.
+    println!("\nrevoking alice's certificate:");
+    let bus = FanoutBus(vec![
+        Arc::new(Arc::clone(&prover)) as Arc<dyn RevocationBus>,
+        Arc::new(Arc::clone(&broker)) as Arc<dyn RevocationBus>,
+    ]);
+    let evicted = bus.certificate_revoked(&cert_a);
+    println!("  {evicted} edges/streams evicted");
+
+    println!("\nalice observes EOF; bob keeps streaming:");
+    println!("  alice read: {:?}", read_publish(&mut alice_stream).err().map(|e| e.kind()));
+    broker.publish(&topic, b"next item").unwrap();
+    let (_, data) = read_publish(&mut bob_stream).unwrap();
+    println!("  bob received: {}", String::from_utf8_lossy(&data));
+
+    let stats = broker.stats();
+    println!(
+        "\nbroker stats: {} live, {} subscribed, {} denied, {} delivered, {} cut",
+        stats.subscribers, stats.subscribes, stats.denied_subscribes, stats.deliveries, stats.cut_streams
+    );
+    runtime.shutdown();
+}

@@ -14,12 +14,12 @@ cargo test -q --offline
 echo "==> cargo doc --no-deps"
 cargo doc --no-deps --offline
 
-echo "==> contention + freshness + saturation + audit + wal + scaling benches (smoke mode: one iteration each)"
+echo "==> contention + freshness + saturation + audit + wal + scaling + fanout benches (smoke mode: one iteration each)"
 SF_BENCH_SMOKE=1 cargo bench -q -p snowflake-bench --offline \
     --bench prover_contention --bench mac_contention \
     --bench revocation_freshness --bench runtime_saturation \
     --bench audit_throughput --bench wal_throughput \
-    --bench connection_scaling
+    --bench connection_scaling --bench broker_fanout
 
 echo "==> crash-recovery suites (byte-boundary fault injection)"
 # The durability claim is only as good as the harness that attacks it:
@@ -39,6 +39,15 @@ cargo test -q --offline -p snowflake-http --test connection_reactor
 cargo test -q --offline -p snowflake-rmi --test reactor_serving
 cargo test -q --offline -p snowflake-revocation --test reactor_push
 
+echo "==> broker suites (authz facade, subscribe-as-action, revocation-push cuts)"
+# The broker's claims — authz answers fail closed on malformed bodies,
+# subscribe is authorized exactly once and revalidated by push, a
+# stalled subscriber is shed without harming healthy ones, one
+# revocation cuts exactly the poisoned streams with a verifiable audit
+# trail — each have a named suite that must keep existing and passing.
+cargo test -q --offline -p snowflake-broker --test broker
+cargo test -q --offline -p snowflake --test broker_e2e
+
 echo "==> runtime gate: no raw thread::spawn in server accept paths"
 # Every server serves from crates/runtime (bounded pools, counted sheds).
 # This gate fails if a serving-path source file regrows a raw
@@ -52,7 +61,8 @@ for f in \
     crates/revocation/src/service.rs crates/revocation/src/freshness.rs \
     crates/channel/src/transport.rs crates/channel/src/secure.rs \
     crates/apps/src/gateway.rs crates/apps/src/webserver.rs \
-    crates/apps/src/emaildb.rs; do
+    crates/apps/src/emaildb.rs \
+    crates/broker/src/authz.rs crates/broker/src/topic.rs; do
     if awk '/#\[cfg\(test\)\]/{exit} /thread::spawn/{print FILENAME": "NR": "$0; found=1} END{exit found}' "$f"; then
         :
     else
@@ -77,7 +87,8 @@ for f in \
     crates/rmi/src/server.rs \
     crates/revocation/src/service.rs \
     crates/apps/src/gateway.rs crates/apps/src/webserver.rs \
-    crates/apps/src/emaildb.rs crates/apps/src/vfs.rs; do
+    crates/apps/src/emaildb.rs crates/apps/src/vfs.rs \
+    crates/broker/src/authz.rs crates/broker/src/topic.rs; do
     [ -f "$f" ] || continue
     if awk '/#\[cfg\(test\)\]/{exit}
             /\.accept\(|\.incoming\(|read_to_end\(|read_exact\(|BufReader::new\(.*TcpStream/{
@@ -104,7 +115,8 @@ for f in \
     crates/rmi/src/server.rs \
     crates/apps/src/gateway.rs \
     crates/apps/src/emaildb.rs \
-    crates/revocation/src/bus.rs; do
+    crates/revocation/src/bus.rs \
+    crates/broker/src/authz.rs crates/broker/src/topic.rs; do
     if awk '/#\[cfg\(test\)\]/{exit} /self\.audit\(|audit_shed\(|\.emit\(/{found=1} END{exit !found}' "$f"; then
         :
     else

@@ -9,6 +9,10 @@
 //! bounded worker-pool/scheduler runtime every server serves from),
 //! [`snowflake_audit`] (the tamper-evident decision log: hash-chained,
 //! periodically signed records of every grant/deny/shed/revocation),
+//! [`snowflake_broker`] (the authz-endpoint facade answering
+//! path-vector allow/deny questions over HTTP, and the protected topic
+//! broker where `subscribe` is a first-class authorized action
+//! revalidated by revocation push),
 //! [`snowflake_apps`], and the substrates [`snowflake_sexpr`],
 //! [`snowflake_tags`], [`snowflake_crypto`], [`snowflake_bigint`],
 //! [`snowflake_reldb`].
@@ -16,6 +20,7 @@
 pub use snowflake_apps as apps;
 pub use snowflake_audit as audit;
 pub use snowflake_bigint as bigint;
+pub use snowflake_broker as broker;
 pub use snowflake_channel as channel;
 pub use snowflake_core as core;
 pub use snowflake_crypto as crypto;

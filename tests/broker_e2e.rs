@@ -1,0 +1,250 @@
+//! Whole-stack broker scenario: a subject whose delegation chain grants
+//! `subscribe` opens a stream, receives publishes mid-stream, and has the
+//! stream terminated by a revocation push — no reconnect, no polling —
+//! while streams not sharing the dead certificate keep flowing.  Every
+//! decision along the way (HTTP authz answers, subscribe grants, the
+//! revocation, the stream cuts) lands in one tamper-evident audit log
+//! whose chain verifies end-to-end.
+
+use snowflake_audit::{verify_chain, AuditLog, AuditSink, LogEntry, MemoryBackend};
+use snowflake_broker::topic::{read_publish, subscribe_stream};
+use snowflake_broker::{AuthzEndpoint, NamespaceAuthority, TopicBroker};
+use snowflake_core::audit::{AuditEmitter, Decision};
+use snowflake_core::{Principal, Time, Validity};
+use snowflake_crypto::{DetRng, Group, KeyPair};
+use snowflake_http::{HttpClient, HttpRequest, HttpServer};
+use snowflake_prover::Prover;
+use snowflake_revocation::{AuditedBus, FanoutBus, RevocationBus};
+use snowflake_runtime::{PoolConfig, ServerRuntime};
+use snowflake_tags::path_vector::{grant_tag, ActionTable, PathPattern};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const OBJECT_NS: &str = "conference.example.org";
+const SUBJECT_NS: &str = "iam.example.org";
+
+fn fixed_clock() -> Time {
+    Time(1_000_000)
+}
+
+fn kp(seed: &str) -> KeyPair {
+    let mut rng = DetRng::new(seed.as_bytes());
+    KeyPair::generate(Group::test512(), &mut |b| rng.fill(b))
+}
+
+fn det(seed: &str) -> Box<dyn FnMut(&mut [u8]) + Send> {
+    let mut r = DetRng::new(seed.as_bytes());
+    Box::new(move |b: &mut [u8]| r.fill(b))
+}
+
+fn account(name: &str) -> Principal {
+    snowflake_broker::subject_principal(
+        SUBJECT_NS,
+        &["accounts".to_string(), name.to_string()],
+    )
+}
+
+#[test]
+fn subscribe_streams_are_cut_by_revocation_and_fully_audited() {
+    // One audit pipeline for every surface in the scenario.
+    let log_key = kp("broker-e2e-log");
+    let log = AuditLog::with_rng(
+        log_key.clone(),
+        Box::new(MemoryBackend::new(0)),
+        4,
+        det("broker-e2e-log-rng"),
+    )
+    .unwrap();
+    let sink = AuditSink::with_capacity(Arc::clone(&log), 1024);
+
+    // The issuer controls the conference namespace; alice and bob hold
+    // distinct subscribe certificates.
+    let issuer_kp = kp("broker-e2e-issuer");
+    let issuer = Principal::key(&issuer_kp.public);
+    let prover = Arc::new(Prover::with_rng(det("broker-e2e-prover")));
+    prover.add_key(issuer_kp);
+    let events_grant = grant_tag(
+        OBJECT_NS,
+        &PathPattern::parse(&["rooms", "*", "events"]),
+        &["subscribe"],
+    );
+    let alice = account("alice");
+    let bob = account("bob");
+    let proof_a = prover
+        .delegate(&alice, &issuer, events_grant.clone(), Validity::always(), false)
+        .unwrap();
+    let proof_b = prover
+        .delegate(&bob, &issuer, events_grant, Validity::always(), false)
+        .unwrap();
+    let cert_a = proof_a.cert_hashes()[0].clone();
+    let cert_b = proof_b.cert_hashes()[0].clone();
+    assert_ne!(cert_a, cert_b);
+
+    let mut table = ActionTable::new();
+    table.allow(&["rooms", "*", "events"], &["subscribe"]);
+
+    // Both surfaces ride one runtime: the authz endpoint on the HTTP
+    // reactor path, the broker's subscribe listener beside it.
+    let runtime = ServerRuntime::new(PoolConfig::new("broker-e2e", 2, 16));
+    let endpoint = AuthzEndpoint::with_clock(Arc::clone(&prover), fixed_clock);
+    endpoint.add_namespace(
+        OBJECT_NS,
+        NamespaceAuthority {
+            issuer: issuer.clone(),
+            table: {
+                let mut t = ActionTable::new();
+                t.allow(&["rooms", "*", "events"], &["subscribe"]);
+                t
+            },
+        },
+    );
+    endpoint.set_audit_emitter(Arc::clone(&sink) as Arc<dyn AuditEmitter>);
+    let http = HttpServer::with_clock(fixed_clock);
+    http.route("/authz", endpoint);
+    let http_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let http_addr = http_listener.local_addr().unwrap();
+    http.attach_to_reactor(http_listener, &runtime).unwrap();
+
+    let broker = TopicBroker::with_clock(
+        Arc::clone(&runtime),
+        Arc::clone(&prover),
+        OBJECT_NS,
+        issuer,
+        table,
+        fixed_clock,
+    );
+    broker.set_audit_emitter(Arc::clone(&sink) as Arc<dyn AuditEmitter>);
+    let sub_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let sub_addr = sub_listener.local_addr().unwrap();
+    broker.attach_subscribe_listener(sub_listener).unwrap();
+
+    // The operational front door agrees alice may subscribe.
+    let mut client = HttpClient::new(Box::new(TcpStream::connect(http_addr).unwrap()));
+    let body = format!(
+        "{{\"subject\":{{\"namespace\":\"{SUBJECT_NS}\",\"value\":[\"accounts\",\"alice\"]}},\
+          \"object\":{{\"namespace\":\"{OBJECT_NS}\",\"value\":[\"rooms\",\"r1\",\"events\"]}},\
+          \"action\":\"subscribe\"}}"
+    );
+    let resp = client
+        .send(&HttpRequest::post("/authz", body.into_bytes()))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, b"{\"result\":\"allow\"}");
+
+    // Three live streams: two sharing alice's certificate, one on bob's.
+    let topic = ["rooms", "r1", "events"];
+    let mut alice_phone = subscribe_stream(sub_addr, &topic, &alice, &proof_a)
+        .unwrap()
+        .expect("alice authorized");
+    let mut alice_laptop = subscribe_stream(sub_addr, &topic, &alice, &proof_a)
+        .unwrap()
+        .expect("alice authorized twice");
+    let mut bob_stream = subscribe_stream(sub_addr, &topic, &bob, &proof_b)
+        .unwrap()
+        .expect("bob authorized");
+    wait_for(|| broker.stats().subscribers == 3);
+
+    // Mid-stream traffic reaches all three.
+    broker.publish(&topic, b"room opened").unwrap();
+    for stream in [&mut alice_phone, &mut alice_laptop, &mut bob_stream] {
+        assert_eq!(read_publish(stream).unwrap().1, b"room opened");
+    }
+
+    // One revocation push: the prover's warm edges and exactly the
+    // streams whose grant provenance includes alice's certificate die
+    // together, under one audited bus.
+    let bus = AuditedBus::with_clock(
+        Arc::new(FanoutBus(vec![
+            Arc::new(Arc::clone(&prover)) as Arc<dyn RevocationBus>,
+            Arc::new(Arc::clone(&broker)) as Arc<dyn RevocationBus>,
+        ])),
+        Arc::clone(&sink) as Arc<dyn AuditEmitter>,
+        fixed_clock,
+    );
+    let evicted = bus.certificate_revoked(&cert_a);
+    assert!(evicted >= 2, "prover edges + two streams: {evicted}");
+
+    // Both of alice's streams observe EOF without polling or reconnect.
+    assert!(read_publish(&mut alice_phone).is_err(), "phone stream cut");
+    assert!(read_publish(&mut alice_laptop).is_err(), "laptop stream cut");
+
+    // Bob's stream — different certificate — keeps flowing.
+    wait_for(|| broker.stats().subscribers == 1);
+    broker.publish(&topic, b"still here").unwrap();
+    assert_eq!(read_publish(&mut bob_stream).unwrap().1, b"still here");
+
+    // Alice cannot re-subscribe through the prover once its edge is gone:
+    // the front door now denies her.
+    let mut client = HttpClient::new(Box::new(TcpStream::connect(http_addr).unwrap()));
+    let body = format!(
+        "{{\"subject\":{{\"namespace\":\"{SUBJECT_NS}\",\"value\":[\"accounts\",\"alice\"]}},\
+          \"object\":{{\"namespace\":\"{OBJECT_NS}\",\"value\":[\"rooms\",\"r1\",\"events\"]}},\
+          \"action\":\"subscribe\"}}"
+    );
+    let resp = client
+        .send(&HttpRequest::post("/authz", body.into_bytes()))
+        .unwrap();
+    assert!(resp.body.starts_with(b"{\"result\":\"deny\""));
+
+    // The whole story is one verifiable chain: authz answers, subscribe
+    // grants, the revocation, and the stream cuts.
+    sink.flush();
+    let entries = log.entries().unwrap();
+    verify_chain(&entries, &log_key.public, 4, log.head().as_ref()).unwrap();
+    log.verify().unwrap();
+    let events: Vec<_> = entries
+        .iter()
+        .filter_map(|e| match e {
+            LogEntry::Record(r) => Some(&r.event),
+            LogEntry::Checkpoint(_) => None,
+        })
+        .collect();
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.surface == "authz" && e.decision == Decision::Grant)
+            .count(),
+        1
+    );
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.surface == "authz" && e.decision == Decision::Deny)
+            .count(),
+        1
+    );
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.surface == "broker-sub" && e.decision == Decision::Grant)
+            .count(),
+        3
+    );
+    let cuts: Vec<_> = events
+        .iter()
+        .filter(|e| e.surface == "broker-push" && e.decision == Decision::Revoke)
+        .collect();
+    assert_eq!(cuts.len(), 2, "exactly the two poisoned streams were cut");
+    assert!(cuts.iter().all(|e| {
+        e.subject == Some(alice.clone()) && e.cert_hashes.contains(&cert_a)
+    }));
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.surface == "revocation" && e.decision == Decision::Revoke)
+            .count(),
+        1,
+        "the bus records the revocation itself"
+    );
+
+    runtime.shutdown();
+}
+
+fn wait_for(cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "condition never held");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
