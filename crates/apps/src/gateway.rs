@@ -26,7 +26,7 @@
 use snowflake_core::sync::LockExt;
 use std::sync::{Arc, Mutex};
 use snowflake_core::audit::{AuditEmitter, Decision, DecisionEvent, EmitterSlot};
-use snowflake_core::{Principal, Tag, Time, VerifyCtx};
+use snowflake_core::{ChainMemo, Principal, Tag, Time, VerifyCtx};
 use snowflake_http::{auth, Handler, HttpRequest, HttpResponse};
 use snowflake_reldb::{rows_from_sexp, Value};
 use snowflake_rmi::{RmiClient, RmiError};
@@ -44,6 +44,10 @@ pub struct QuotingGateway {
     /// forwarded grants, re-challenges, backend sheds — are recorded
     /// through it (surface `gateway`).
     audit: EmitterSlot,
+    /// Verified-chain memo: "subsequent requests skip the fanfare" — the
+    /// client re-presents the same `R ⇒ C` proof, so repeat verification
+    /// skips the exponentiations.
+    memo: Arc<ChainMemo>,
 }
 
 impl QuotingGateway {
@@ -53,7 +57,14 @@ impl QuotingGateway {
             rmi: Mutex::new(rmi),
             clock,
             audit: EmitterSlot::new(),
+            memo: Arc::new(ChainMemo::new(256)),
         }
+    }
+
+    /// The gateway's verified-chain memo (exposed for counters and for
+    /// registering it with a revocation bus).
+    pub fn chain_memo(&self) -> Arc<ChainMemo> {
+        Arc::clone(&self.memo)
     }
 
     /// Attaches an audit emitter recording this gateway's decisions.
@@ -83,9 +94,8 @@ impl QuotingGateway {
         let r_principal = auth::request_principal(req, snowflake_core::HashAlg::Sha256);
         let conclusion = proof.conclusion();
         let client = conclusion.issuer.clone();
-        let ctx = VerifyCtx::at((self.clock)());
-        proof
-            .authorizes(&r_principal, &client, &Tag::Star, &ctx)
+        let ctx = VerifyCtx::at((self.clock)()).with_chain_memo(Arc::clone(&self.memo));
+        ctx.authorize(&proof, &r_principal, &client, &Tag::Star)
             .map_err(|e| format!("client request proof rejected: {e}"))?;
         Ok(client)
     }

@@ -143,14 +143,27 @@ impl Checkpoint {
 
     /// Checks the signature and that it was made by `expected_signer`.
     pub fn check(&self, expected_signer: &PublicKey) -> Result<(), String> {
-        if &self.signer != expected_signer {
-            return Err("checkpoint signed by the wrong key".into());
-        }
-        let tbs = Self::tbs(self.upto_seq, &self.head).canonical();
-        if !self.signer.verify(&tbs, &self.signature) {
+        self.check_signer(expected_signer)?;
+        if !self.signer.verify(&self.signed_bytes(), &self.signature) {
             return Err("checkpoint signature verification failed".into());
         }
         Ok(())
+    }
+
+    /// The identity half of [`Checkpoint::check`]: the signer must be the
+    /// expected log key.  Kept separate so chain verification can run all
+    /// identity checks in stream order and then verify every checkpoint
+    /// signature as one batch.
+    pub fn check_signer(&self, expected_signer: &PublicKey) -> Result<(), String> {
+        if &self.signer != expected_signer {
+            return Err("checkpoint signed by the wrong key".into());
+        }
+        Ok(())
+    }
+
+    /// The canonical to-be-signed bytes [`Checkpoint::signature`] covers.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        Self::tbs(self.upto_seq, &self.head).canonical()
     }
 
     /// Serializes to `(audit-checkpoint (upto n) (head …) <key> <sig>)`.

@@ -3,15 +3,54 @@
 //! Paper columns (ms): SSL request = 5 + 20 + 22 = 47; Snowflake MAC
 //! request = 5 + 20 + ~20 + ~20 + 17 + 28 = 110.  Each phase below is one
 //! paper row; the criterion IDs match the row labels.
+//!
+//! Row 6 comes in two speeds: the cold verify (every request re-proves the
+//! chain) and the memoized verify (the verified-chain memo answers a
+//! re-presented proof without redoing the exponentiations) — the servlet
+//! steady state once a client's chain has been seen.
+//!
+//! Set `SF_BENCH_SMOKE=1` to run each phase once (CI smoke mode: proves
+//! the rigs still build and verify, measures nothing).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use snowflake_bench::rigs::{self, HttpKind, Tier};
-use snowflake_core::{Proof, Time, VerifyCtx};
+use snowflake_bench::{report_json, time_it};
+use snowflake_core::{ChainMemo, Proof, Time, VerifyCtx};
 use snowflake_crypto::hmac::hmac_sha256;
 use snowflake_http::HttpRequest;
 use snowflake_sexpr::Sexp;
+use std::sync::Arc;
 
 fn phases(c: &mut Criterion) {
+    let smoke = std::env::var_os("SF_BENCH_SMOKE").is_some();
+
+    // The proof-processing rows time a representative two-certificate
+    // chain — the same shape a servlet parses and verifies per request.
+    let proof_wire = representative_wire();
+    let tree = Sexp::parse(&proof_wire).expect("parse");
+    let proof = Proof::from_sexp(&tree).expect("decode");
+    let ctx = VerifyCtx::at(Time(1_000_000));
+    // The memo row: the same proof re-presented to a context holding a
+    // verified-chain memo.  The first call verifies and records; every
+    // timed call is a hit that skips the exponentiations.
+    let memo = Arc::new(ChainMemo::new(64));
+    let memo_ctx = VerifyCtx::at(Time(1_000_000)).with_chain_memo(Arc::clone(&memo));
+    memo_ctx.verify_cached(&proof).expect("warm the memo");
+
+    if smoke {
+        let mut mini = rigs::http_rig(HttpKind::Mini);
+        mini.get();
+        let mut framework = rigs::http_rig(HttpKind::Framework);
+        framework.get();
+        let mut ssl = rigs::ssl_rig(Tier::Framework, false);
+        ssl.get();
+        proof.verify(&ctx).expect("cold verify");
+        memo_ctx.verify_cached(&proof).expect("memo hit");
+        assert!(memo.stats().hits >= 1, "memo hit counter must move");
+        println!("table1/smoke ok (rigs, cold verify, and memo hit all pass)");
+        return;
+    }
+
     let mut group = c.benchmark_group("table1");
 
     let mut mini = rigs::http_rig(HttpKind::Mini);
@@ -29,26 +68,23 @@ fn phases(c: &mut Criterion) {
         b.iter(|| ssl.get());
     });
 
-    // The proof-processing rows time a representative two-certificate
-    // chain — the same shape a servlet parses and verifies per request.
-    let proof_wire = representative_wire();
-
     group.bench_function("row4_sexp_parsing", |b| {
         b.iter(|| Sexp::parse(&proof_wire).expect("parse"));
     });
 
-    let tree = Sexp::parse(&proof_wire).expect("parse");
     group.bench_function("row5_spki_unmarshalling", |b| {
         b.iter(|| Proof::from_sexp(&tree).expect("decode"));
     });
 
-    let proof = Proof::from_sexp(&tree).expect("decode");
-    let ctx = VerifyCtx::at(Time(1_000_000));
     group.bench_function("row6_other_snowflake_verify_marshal", |b| {
         b.iter(|| {
             proof.verify(&ctx).expect("verify");
             proof.to_sexp()
         });
+    });
+
+    group.bench_function("row6b_memoized_verify", |b| {
+        b.iter(|| memo_ctx.verify_cached(&proof).expect("memo hit"));
     });
 
     let mut req = HttpRequest::get("/doc");
@@ -62,6 +98,30 @@ fn phases(c: &mut Criterion) {
     });
 
     group.finish();
+
+    // One measured pass per proof-path row for the JSON-lines report,
+    // with the memo counters proving the hit path is what was timed.
+    let ns = |d: std::time::Duration| d.as_nanos().to_string();
+    let parse = time_it(10, 500, || {
+        Sexp::parse(&proof_wire).expect("parse");
+    });
+    let unmarshal = time_it(10, 500, || {
+        Proof::from_sexp(&tree).expect("decode");
+    });
+    let cold = time_it(3, 100, || proof.verify(&ctx).expect("verify"));
+    let hit = time_it(10, 2000, || memo_ctx.verify_cached(&proof).expect("memo hit"));
+    let stats = memo.stats();
+    report_json(
+        "table1_breakdown",
+        &[
+            ("sexp_parse_ns", ns(parse)),
+            ("unmarshal_ns", ns(unmarshal)),
+            ("cold_verify_ns", ns(cold)),
+            ("memo_hit_verify_ns", ns(hit)),
+            ("memo_hits", stats.hits.to_string()),
+            ("memo_misses", stats.misses.to_string()),
+        ],
+    );
 }
 
 /// A two-certificate chain like the one a server verifies per request.

@@ -23,9 +23,11 @@
 //! ```
 
 mod div;
+mod fixed_base;
 mod modular;
 mod prime;
 
+pub use fixed_base::FixedBaseTable;
 pub use prime::{gen_prime, is_probable_prime};
 
 use std::cmp::Ordering;
@@ -346,9 +348,18 @@ impl Ubig {
         self.mul(b).rem(m)
     }
 
-    /// Modular exponentiation `self^exp mod m` (square-and-multiply).
+    /// Modular exponentiation `self^exp mod m` (sliding window).
     pub fn modpow(&self, exp: &Ubig, m: &Ubig) -> Ubig {
         modular::modpow(self, exp, m)
+    }
+
+    /// Modular exponentiation by plain left-to-right square-and-multiply.
+    ///
+    /// The reference implementation [`Ubig::modpow`] is cross-checked
+    /// against; also the table-free baseline the crypto benches compare
+    /// their fast paths to.
+    pub fn modpow_basic(&self, exp: &Ubig, m: &Ubig) -> Ubig {
+        modular::modpow_basic(self, exp, m)
     }
 
     /// Modular inverse, or `None` when `gcd(self, m) != 1`.

@@ -4,10 +4,15 @@ use crate::Ubig;
 
 /// Computes `base^exp mod m` by left-to-right square-and-multiply.
 ///
+/// Kept as the reference implementation: the sliding-window [`modpow`]
+/// below is cross-checked against it by proptests, and callers that want
+/// a table-free, precomputation-free path (e.g. constant-shape reference
+/// verification) can reach it through `Ubig::modpow_basic`.
+///
 /// # Panics
 ///
 /// Panics if `m` is zero.
-pub(crate) fn modpow(base: &Ubig, exp: &Ubig, m: &Ubig) -> Ubig {
+pub(crate) fn modpow_basic(base: &Ubig, exp: &Ubig, m: &Ubig) -> Ubig {
     assert!(!m.is_zero(), "modpow with zero modulus");
     if m.is_one() {
         return Ubig::zero();
@@ -20,6 +25,77 @@ pub(crate) fn modpow(base: &Ubig, exp: &Ubig, m: &Ubig) -> Ubig {
         if exp.bit(i) {
             result = result.mulm(&base, m);
         }
+    }
+    result
+}
+
+/// Window width for a sliding-window exponentiation of `nbits` bits.
+///
+/// Chosen so the 2^(w-1) odd-power precomputation amortizes: roughly
+/// w ≈ lg(nbits) − 1, which for the 256-bit exponents on the Schnorr hot
+/// path yields w = 5 (16 precomputed odd powers, ~43 window multiplies
+/// instead of ~128 square-and-multiply multiplies).
+fn window_for(nbits: usize) -> usize {
+    match nbits {
+        0..=23 => 1,
+        24..=79 => 3,
+        80..=239 => 4,
+        240..=767 => 5,
+        _ => 6,
+    }
+}
+
+/// Computes `base^exp mod m` by left-to-right sliding-window
+/// exponentiation over precomputed odd powers of the base.
+///
+/// Same contract as [`modpow_basic`] (and proptest-checked equal to it);
+/// this is the default `Ubig::modpow`.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub(crate) fn modpow(base: &Ubig, exp: &Ubig, m: &Ubig) -> Ubig {
+    assert!(!m.is_zero(), "modpow with zero modulus");
+    if m.is_one() {
+        return Ubig::zero();
+    }
+    let nbits = exp.bits();
+    if nbits <= 4 {
+        return modpow_basic(base, exp, m);
+    }
+    let base = base.rem(m);
+    let w = window_for(nbits);
+    // odd[i] = base^(2i+1) mod m.
+    let sq = base.mulm(&base, m);
+    let mut odd = Vec::with_capacity(1usize << (w - 1));
+    odd.push(base);
+    for i in 1..(1usize << (w - 1)) {
+        let next = odd[i - 1].mulm(&sq, m);
+        odd.push(next);
+    }
+    let mut result = Ubig::one();
+    let mut i = nbits as isize - 1;
+    while i >= 0 {
+        if !exp.bit(i as usize) {
+            result = result.mulm(&result, m);
+            i -= 1;
+            continue;
+        }
+        // Take the widest window [j..=i] (≤ w bits) ending on a set bit,
+        // so the multiplied-in value is an odd power.
+        let mut j = (i - w as isize + 1).max(0);
+        while !exp.bit(j as usize) {
+            j += 1;
+        }
+        let mut digit = 0usize;
+        for k in (j..=i).rev() {
+            digit = (digit << 1) | exp.bit(k as usize) as usize;
+        }
+        for _ in 0..(i - j + 1) {
+            result = result.mulm(&result, m);
+        }
+        result = result.mulm(&odd[digit >> 1], m);
+        i = j - 1;
     }
     result
 }
@@ -115,6 +191,39 @@ mod tests {
             modpow(&Ubig::from(5u64), &Ubig::from(5u64), &Ubig::one()),
             Ubig::zero()
         );
+        assert_eq!(
+            modpow_basic(&Ubig::from(5u64), &Ubig::from(5u64), &Ubig::one()),
+            Ubig::zero()
+        );
+    }
+
+    #[test]
+    fn sliding_window_matches_basic_known_answers() {
+        // Exponents long enough to exercise every window width.
+        let m = Ubig::from_hex("89c591c94db4d9b86ac43d68a1fe3f49b10406476d285bf673f4256432bbd1ed")
+            .unwrap();
+        let base = Ubig::from_hex("1234567890abcdef1234567890abcdef").unwrap();
+        for hex in [
+            "1",
+            "2",
+            "ff",
+            "deadbeef",
+            "ffffffffffffffff",
+            "80000000000000000000000000000001",
+            "89c591c94db4d9b86ac43d68a1fe3f49b10406476d285bf673f4256432bbd1ec",
+        ] {
+            let e = Ubig::from_hex(hex).unwrap();
+            assert_eq!(modpow(&base, &e, &m), modpow_basic(&base, &e, &m), "e={hex}");
+        }
+    }
+
+    #[test]
+    fn sliding_window_fermat() {
+        // 2^(p-1) = 1 mod p for a 256-bit prime p.
+        let p = Ubig::from_hex("89c591c94db4d9b86ac43d68a1fe3f49b10406476d285bf673f4256432bbd1ed")
+            .unwrap();
+        let e = p.sub(&Ubig::one());
+        assert_eq!(modpow(&Ubig::from(2u64), &e, &p), Ubig::one());
     }
 
     #[test]

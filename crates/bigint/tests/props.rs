@@ -112,4 +112,34 @@ proptest! {
         let (ab, bb) = (Ubig::from(a), Ubig::from(b));
         prop_assert_eq!(ab.cmp(&bb), a.cmp(&b));
     }
+
+    #[test]
+    fn sliding_window_modpow_matches_square_and_multiply(
+        base in proptest::collection::vec(any::<u8>(), 1..96),
+        exp in proptest::collection::vec(any::<u8>(), 1..48),
+        m in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let base = big(&base);
+        let exp = big(&exp);
+        let m = big(&m);
+        prop_assume!(!m.is_zero());
+        prop_assert_eq!(base.modpow(&exp, &m), base.modpow_basic(&exp, &m));
+    }
+
+    #[test]
+    fn fixed_base_table_matches_square_and_multiply(
+        base in proptest::collection::vec(any::<u8>(), 1..64),
+        exp in proptest::collection::vec(any::<u8>(), 1..40),
+        m in proptest::collection::vec(any::<u8>(), 1..48),
+        w in 1usize..=6,
+    ) {
+        let base = big(&base);
+        let exp = big(&exp);
+        let m = big(&m);
+        prop_assume!(!m.is_zero());
+        // Size the table for 256-bit exponents; 1..40-byte exponents fit,
+        // so the squaring-free path (not the fallback) is what's tested.
+        let table = snowflake_bigint::FixedBaseTable::with_window(&base, &m, 320, w);
+        prop_assert_eq!(table.power(&exp), base.modpow_basic(&exp, &m));
+    }
 }

@@ -177,6 +177,10 @@ pub struct AuthzEndpoint {
     namespaces: Mutex<HashMap<String, NamespaceAuthority>>,
     emitter: EmitterSlot,
     clock: fn() -> Time,
+    /// Verified-chain memo: the same (subject, issuer, tag) question
+    /// typically resolves to the same proof, so re-verification skips the
+    /// exponentiations.  Evicted by certificate hash on revocation push.
+    memo: Arc<snowflake_core::ChainMemo>,
 }
 
 impl AuthzEndpoint {
@@ -193,7 +197,14 @@ impl AuthzEndpoint {
             namespaces: Mutex::new(HashMap::new()),
             emitter: EmitterSlot::new(),
             clock,
+            memo: Arc::new(snowflake_core::ChainMemo::new(1024)),
         })
+    }
+
+    /// The endpoint's verified-chain memo (exposed for counters and for
+    /// registering it with a revocation bus).
+    pub fn chain_memo(&self) -> Arc<snowflake_core::ChainMemo> {
+        Arc::clone(&self.memo)
     }
 
     /// Registers (or replaces) the authority for an object namespace.
@@ -242,7 +253,8 @@ impl AuthzEndpoint {
         };
         // The prover's graph may hold edges that have gone stale since
         // insertion; the proof must still verify end-to-end.
-        if let Err(e) = proof.authorizes(&subject, &issuer, &tag, &VerifyCtx::at(now)) {
+        let ctx = VerifyCtx::at(now).with_chain_memo(Arc::clone(&self.memo));
+        if let Err(e) = ctx.authorize(&proof, &subject, &issuer, &tag) {
             return deny(&format!("proof failed verification: {e}"));
         }
         AuthzVerdict {

@@ -23,7 +23,7 @@
 
 use snowflake_channel::{TcpTransport, Transport};
 use snowflake_core::audit::{AuditEmitter, Decision, DecisionEvent, EmitterSlot};
-use snowflake_core::{Principal, Proof, Time, VerifyCtx};
+use snowflake_core::{ChainMemo, Principal, Proof, Time, VerifyCtx};
 use snowflake_crypto::HashVal;
 use snowflake_prover::Prover;
 use snowflake_revocation::RevocationBus;
@@ -144,6 +144,11 @@ pub struct TopicBroker {
     counters: Counters,
     emitter: EmitterSlot,
     clock: fn() -> Time,
+    /// Verified-chain memo: re-subscribes and reconnects present the same
+    /// proof chain, so repeat verification skips the exponentiations.
+    /// Evicted by certificate hash on revocation push, alongside the
+    /// stream cuts.
+    memo: Arc<ChainMemo>,
 }
 
 impl TopicBroker {
@@ -187,7 +192,13 @@ impl TopicBroker {
             },
             emitter: EmitterSlot::new(),
             clock,
+            memo: Arc::new(ChainMemo::new(1024)),
         })
+    }
+
+    /// The broker's verified-chain memo (exposed for counters).
+    pub fn chain_memo(&self) -> Arc<ChainMemo> {
+        Arc::clone(&self.memo)
     }
 
     /// Attaches an audit emitter; grants, denials, sheds, prunes, and
@@ -240,8 +251,8 @@ impl TopicBroker {
             }
             let tag = path_vector::request_tag(&self.namespace, path, "subscribe");
             let now = (self.clock)();
-            proof
-                .authorizes(&subject, &self.issuer, &tag, &VerifyCtx::at(now))
+            let ctx = VerifyCtx::at(now).with_chain_memo(Arc::clone(&self.memo));
+            ctx.authorize(proof, &subject, &self.issuer, &tag)
                 .map_err(|e| SubscribeError::Unauthorized(e.to_string()))
         })();
         let owned: Vec<String> = path.iter().map(|s| s.to_string()).collect();
@@ -485,10 +496,9 @@ impl TopicBroker {
         // unauthorized peer never occupies a parked-sink slot.
         let tag = path_vector::request_tag(&self.namespace, &refs, "subscribe");
         let now = (self.clock)();
+        let ctx = VerifyCtx::at(now).with_chain_memo(Arc::clone(&self.memo));
         let allowed = self.table.permits(&refs, "subscribe")
-            && proof
-                .authorizes(&subject, &self.issuer, &tag, &VerifyCtx::at(now))
-                .is_ok();
+            && ctx.authorize(&proof, &subject, &self.issuer, &tag).is_ok();
         if !allowed {
             // Re-run through the audited front door for the exact reason.
             let err = if !self.table.permits(&refs, "subscribe") {
@@ -565,6 +575,9 @@ impl TopicBroker {
 /// the streams whose subscribe-grant provenance includes it.
 impl RevocationBus for TopicBroker {
     fn certificate_revoked(&self, cert_hash: &HashVal) -> usize {
+        // Drop memoized chains first so no re-subscribe can ride a stale
+        // verification while the stream cuts below are in flight.
+        self.memo.evict_cert(cert_hash);
         let cut: Vec<(u64, Subscription)> = {
             let mut subs = self.subs.lock().expect("broker subs poisoned");
             let ids: Vec<u64> = subs

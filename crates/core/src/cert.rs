@@ -69,6 +69,18 @@ impl Certificate {
 
     /// Checks the signature and the signer's control of the issuer.
     pub fn check(&self) -> Result<(), String> {
+        self.check_structure()?;
+        if !self.signer.verify(&self.signed_bytes(), &self.signature) {
+            return Err("signature verification failed".into());
+        }
+        Ok(())
+    }
+
+    /// The structural half of [`Certificate::check`]: the signer must
+    /// control the issuer.  Kept separate so a multi-certificate proof
+    /// can run every structural check first and then verify all the
+    /// signatures as one batch (`schnorr::verify_batch`).
+    pub fn check_structure(&self) -> Result<(), String> {
         if !key_controls(&self.signer, &self.delegation.issuer) {
             return Err(format!(
                 "signer {:?} does not control issuer {}",
@@ -76,11 +88,12 @@ impl Certificate {
                 self.delegation.issuer.describe()
             ));
         }
-        let tbs = to_be_signed(&self.delegation, &self.revocation);
-        if !self.signer.verify(&tbs.canonical(), &self.signature) {
-            return Err("signature verification failed".into());
-        }
         Ok(())
+    }
+
+    /// The canonical to-be-signed bytes [`Certificate::signature`] covers.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        to_be_signed(&self.delegation, &self.revocation).canonical()
     }
 
     /// Hash identifying this certificate (used by revocation lists).

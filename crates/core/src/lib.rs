@@ -61,6 +61,7 @@
 pub mod audit;
 mod cert;
 pub mod durable;
+mod memo;
 mod principal;
 mod proof;
 mod revocation;
@@ -72,6 +73,7 @@ mod verify;
 pub use audit::{AuditEmitter, Decision, DecisionEvent, EmitterSlot, NullEmitter};
 pub use cert::Certificate;
 pub use durable::{CrashPoint, Durable, RecoveryReport};
+pub use memo::{ChainMemo, MemoStats};
 pub use principal::{ChannelId, Principal};
 pub use proof::{Proof, ProofError};
 pub use revocation::{Crl, Revalidation, RevocationPolicy};

@@ -1,0 +1,310 @@
+//! The verified-chain memo: re-presented proofs skip big-int work.
+//!
+//! The same proof chains arrive over and over — every request on a MAC
+//! session, every RMI call from a cached client, every broker publish —
+//! and between revocation events nothing about their verification
+//! changes.  [`ChainMemo`] is a bounded, sharded map from
+//! `(proof hash, context fingerprint)` to a successful verification,
+//! consulted by `VerifyCtx::verify_cached` before any exponentiation
+//! happens.
+//!
+//! **Soundness.**  Only *successful* verifications are memoized, and a
+//! hit requires three things to line up:
+//!
+//! 1. the **proof hash** — the exact certificate chain and inference
+//!    structure (the canonical encoding, so any re-signed or restructured
+//!    proof is a different key);
+//! 2. the **context fingerprint** — computed fresh by the caller at
+//!    lookup time, folding together which assumption leaves the context
+//!    vouches for (the trust-anchor set), the identity (validator +
+//!    serial + window) of every revocation artifact governing a
+//!    certificate in the chain, and the context's revocation epoch.  Any
+//!    newly installed CRL, expired revalidation, or changed assumption
+//!    set changes the fingerprint and misses;
+//! 3. the **entry's validity interval** — `verified_at ≤ now ≤
+//!    valid_until`, where `valid_until` is the conservative minimum of
+//!    every consulted artifact's validity end.  Verification outcomes are
+//!    interval-stable between revocation-state changes (the only
+//!    time-dependent checks are artifact-currency windows), so a hit
+//!    inside the interval answers exactly what a cold verify would.
+//!
+//! Revocation *push* is the asynchronous hazard: [`ChainMemo::evict_cert`]
+//! drops every entry whose provenance contains the dead certificate (the
+//! memo rides the same `RevocationBus` as every other warm cache), and a
+//! monotone push epoch ([`ChainMemo::push_epoch`]) lets `verify_cached`
+//! discard an insert that raced a push — the same guard discipline the
+//! servlet and RMI proof caches use.
+
+use crate::statement::Time;
+use snowflake_crypto::HashVal;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const SHARDS: usize = 16;
+
+/// Memo key: the proof's canonical hash plus the context fingerprint it
+/// was verified under.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    proof: HashVal,
+    fingerprint: HashVal,
+}
+
+struct MemoEntry {
+    verified_at: Time,
+    /// Conservative minimum of consulted artifact validity ends; `None`
+    /// when every consulted artifact (and the chain) is open-ended.
+    valid_until: Option<Time>,
+    /// Revocation provenance (`Proof::cert_hashes`) for push eviction.
+    certs: Vec<HashVal>,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<MemoKey, MemoEntry>,
+    /// Insertion order for FIFO eviction; may contain keys already
+    /// removed by push eviction (skipped when popped).
+    order: VecDeque<MemoKey>,
+}
+
+/// Counter snapshot — the memo's answer quality is provable from these
+/// (a warm re-presented chain shows up as `hits` with no exponentiation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Lookups answered from the memo (big-int work skipped).
+    pub hits: u64,
+    /// Lookups that fell through to a cold verification.
+    pub misses: u64,
+    /// Successful verifications recorded.
+    pub inserts: u64,
+    /// Entries dropped by capacity (FIFO) or expiry.
+    pub evictions: u64,
+    /// Entries dropped because a certificate in their provenance was
+    /// revoked (push eviction).
+    pub revocation_evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+/// A bounded, sharded memo of successfully verified proof chains.
+pub struct ChainMemo {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_cap: usize,
+    push_epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    revocation_evictions: AtomicU64,
+}
+
+impl ChainMemo {
+    /// A memo bounded to roughly `capacity` entries across 16 shards.
+    pub fn new(capacity: usize) -> ChainMemo {
+        ChainMemo {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_cap: capacity.div_ceil(SHARDS).max(1),
+            push_epoch: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            revocation_evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &MemoKey) -> &Mutex<Shard> {
+        let b = key.proof.bytes.first().copied().unwrap_or(0) as usize;
+        &self.shards[b % self.shards.len()]
+    }
+
+    /// Is a successful verification of `proof` under `fingerprint`
+    /// recorded and valid at `now`?  An entry outside its validity
+    /// interval is dropped (counted as an eviction) and misses.
+    pub fn lookup(&self, proof: &HashVal, fingerprint: &HashVal, now: Time) -> bool {
+        let key = MemoKey {
+            proof: proof.clone(),
+            fingerprint: fingerprint.clone(),
+        };
+        let mut shard = self.shard(&key).lock().unwrap();
+        let live = match shard.entries.get(&key) {
+            Some(en) => {
+                now >= en.verified_at && en.valid_until.map_or(true, |until| now <= until)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        };
+        if live {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shard.entries.remove(&key);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        live
+    }
+
+    /// Records a successful verification.
+    ///
+    /// `push_epoch_at_verify` must be the [`ChainMemo::push_epoch`] value
+    /// read *before* the verification ran; if a revocation push landed in
+    /// between, the record is discarded — the push could not have evicted
+    /// an entry that was not yet inserted.
+    pub fn record(
+        &self,
+        proof: &HashVal,
+        fingerprint: &HashVal,
+        verified_at: Time,
+        valid_until: Option<Time>,
+        certs: Vec<HashVal>,
+        push_epoch_at_verify: u64,
+    ) {
+        if self.push_epoch.load(Ordering::SeqCst) != push_epoch_at_verify {
+            return;
+        }
+        let key = MemoKey {
+            proof: proof.clone(),
+            fingerprint: fingerprint.clone(),
+        };
+        let mut shard = self.shard(&key).lock().unwrap();
+        while shard.entries.len() >= self.per_shard_cap {
+            match shard.order.pop_front() {
+                Some(old) => {
+                    if shard.entries.remove(&old).is_some() {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => break,
+            }
+        }
+        if shard
+            .entries
+            .insert(
+                key.clone(),
+                MemoEntry {
+                    verified_at,
+                    valid_until,
+                    certs,
+                },
+            )
+            .is_none()
+        {
+            shard.order.push_back(key);
+        }
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops every entry whose provenance contains `cert_hash`; returns
+    /// how many died.  Bumps the push epoch first so a verification
+    /// concurrently in flight cannot re-insert a pre-revocation answer.
+    pub fn evict_cert(&self, cert_hash: &HashVal) -> usize {
+        self.push_epoch.fetch_add(1, Ordering::SeqCst);
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            let before = shard.entries.len();
+            shard.entries.retain(|_, en| !en.certs.contains(cert_hash));
+            dropped += before - shard.entries.len();
+        }
+        self.revocation_evictions
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// The monotone revocation-push epoch (see [`ChainMemo::record`]).
+    pub fn push_epoch(&self) -> u64 {
+        self.push_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            revocation_evictions: self.revocation_evictions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().entries.len())
+            .sum()
+    }
+
+    /// `true` when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(s: &str) -> HashVal {
+        HashVal::of(s.as_bytes())
+    }
+
+    #[test]
+    fn hit_requires_same_key_and_interval() {
+        let memo = ChainMemo::new(64);
+        let epoch = memo.push_epoch();
+        memo.record(&h("p"), &h("fp"), Time(10), Some(Time(100)), vec![h("c")], epoch);
+        assert!(memo.lookup(&h("p"), &h("fp"), Time(50)));
+        assert!(!memo.lookup(&h("p"), &h("other-fp"), Time(50)));
+        assert!(!memo.lookup(&h("other-p"), &h("fp"), Time(50)));
+        // Before verified_at: miss (clock ran backwards across contexts).
+        memo.record(&h("p2"), &h("fp"), Time(10), Some(Time(100)), vec![], epoch);
+        assert!(!memo.lookup(&h("p2"), &h("fp"), Time(5)));
+    }
+
+    #[test]
+    fn expiry_drops_the_entry() {
+        let memo = ChainMemo::new(64);
+        let epoch = memo.push_epoch();
+        memo.record(&h("p"), &h("fp"), Time(10), Some(Time(100)), vec![], epoch);
+        assert!(!memo.lookup(&h("p"), &h("fp"), Time(200)));
+        assert_eq!(memo.len(), 0, "expired entry is evicted, not retained");
+        assert_eq!(memo.stats().evictions, 1);
+    }
+
+    #[test]
+    fn push_eviction_by_cert_hash() {
+        let memo = ChainMemo::new(64);
+        let epoch = memo.push_epoch();
+        memo.record(&h("p1"), &h("fp"), Time(1), None, vec![h("a"), h("b")], epoch);
+        memo.record(&h("p2"), &h("fp"), Time(1), None, vec![h("c")], epoch);
+        assert_eq!(memo.evict_cert(&h("b")), 1);
+        assert!(!memo.lookup(&h("p1"), &h("fp"), Time(2)));
+        assert!(memo.lookup(&h("p2"), &h("fp"), Time(2)));
+        assert_eq!(memo.stats().revocation_evictions, 1);
+    }
+
+    #[test]
+    fn racing_push_discards_insert() {
+        let memo = ChainMemo::new(64);
+        let epoch = memo.push_epoch();
+        memo.evict_cert(&h("unrelated")); // push lands mid-verification
+        memo.record(&h("p"), &h("fp"), Time(1), None, vec![h("a")], epoch);
+        assert!(!memo.lookup(&h("p"), &h("fp"), Time(2)), "stale insert discarded");
+    }
+
+    #[test]
+    fn capacity_is_bounded_fifo() {
+        let memo = ChainMemo::new(16); // 1 per shard
+        let epoch = memo.push_epoch();
+        for i in 0..64 {
+            memo.record(&h(&format!("p{i}")), &h("fp"), Time(1), None, vec![], epoch);
+        }
+        assert!(memo.len() <= 16, "len {} exceeds bound", memo.len());
+        assert!(memo.stats().evictions > 0);
+    }
+}

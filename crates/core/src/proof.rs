@@ -22,7 +22,7 @@ use crate::cert::Certificate;
 use crate::principal::Principal;
 use crate::statement::{Delegation, Time, Validity};
 use crate::verify::VerifyCtx;
-use snowflake_crypto::{HashAlg, HashVal, PublicKey};
+use snowflake_crypto::{verify_batch, BatchEntry, BatchOutcome, HashAlg, HashVal, PublicKey};
 use snowflake_sexpr::{ParseError, Sexp};
 use snowflake_tags::Tag;
 use std::fmt;
@@ -278,11 +278,34 @@ impl Proof {
 
     /// Verifies the proof: every leaf is justified and every inference step
     /// is correctly applied.
+    ///
+    /// Runs in two passes: a structural walk (inference side conditions,
+    /// assumption vouching, revocation, signer/issuer control — all cheap)
+    /// that collects the signed-certificate leaves, then one
+    /// `schnorr::verify_batch` over every distinct certificate signature.
+    /// A multi-certificate chain pays roughly one multi-exponentiation
+    /// instead of one full verification per certificate.
     pub fn verify(&self, ctx: &VerifyCtx) -> Result<(), ProofError> {
+        let mut certs: Vec<&Certificate> = Vec::new();
+        self.verify_structure(ctx, &mut certs)?;
+        Self::verify_cert_signatures(&certs)
+    }
+
+    /// The structural pass of [`Proof::verify`]: everything except
+    /// certificate signature verification.  Distinct certificate leaves
+    /// are appended to `certs` for the caller to signature-check (batched).
+    fn verify_structure<'a>(
+        &'a self,
+        ctx: &VerifyCtx,
+        certs: &mut Vec<&'a Certificate>,
+    ) -> Result<(), ProofError> {
         match self {
             Proof::SignedCert(cert) => {
-                cert.check().map_err(ProofError::BadCertificate)?;
+                cert.check_structure().map_err(ProofError::BadCertificate)?;
                 ctx.check_revocation(cert)?;
+                if !certs.iter().any(|c| *c == cert.as_ref()) {
+                    certs.push(cert);
+                }
                 Ok(())
             }
             Proof::Assumption { stmt, authority } => {
@@ -296,8 +319,8 @@ impl Proof {
             }
             Proof::Reflex(_) => Ok(()),
             Proof::Transitivity(left, right) => {
-                left.verify(ctx)?;
-                right.verify(ctx)?;
+                left.verify_structure(ctx, certs)?;
+                right.verify_structure(ctx, certs)?;
                 let l = left.conclusion();
                 let r = right.conclusion();
                 if l.issuer != r.subject {
@@ -321,7 +344,7 @@ impl Proof {
                 Ok(())
             }
             Proof::Weaken { inner, conclusion } => {
-                inner.verify(ctx)?;
+                inner.verify_structure(ctx, certs)?;
                 let strong = inner.conclusion();
                 if strong.subject != conclusion.subject || strong.issuer != conclusion.issuer {
                     return Err(ProofError::BadInference(
@@ -346,7 +369,7 @@ impl Proof {
                 Ok(())
             }
             Proof::QuoteQuotee { inner, .. } | Proof::QuoteQuoter { inner, .. } => {
-                inner.verify(ctx)
+                inner.verify_structure(ctx, certs)
             }
             Proof::ConjIntro(proofs) => {
                 if proofs.len() < 2 {
@@ -356,7 +379,7 @@ impl Proof {
                 }
                 let subject = proofs[0].conclusion().subject;
                 for p in proofs {
-                    p.verify(ctx)?;
+                    p.verify_structure(ctx, certs)?;
                     if p.conclusion().subject != subject {
                         return Err(ProofError::BadInference(
                             "conjunction introduction requires a common subject".into(),
@@ -383,7 +406,7 @@ impl Proof {
                     .map(|(_, p)| p.conclusion().subject)
                     .ok_or_else(|| ProofError::BadInference("no threshold proofs".into()))?;
                 for (i, p) in proofs {
-                    p.verify(ctx)?;
+                    p.verify_structure(ctx, certs)?;
                     let c = p.conclusion();
                     if c.subject != common_subject {
                         return Err(ProofError::BadInference(
@@ -410,7 +433,7 @@ impl Proof {
                 }
                 Ok(())
             }
-            Proof::NameMono { inner, .. } => inner.verify(ctx),
+            Proof::NameMono { inner, .. } => inner.verify_structure(ctx, certs),
             Proof::HashIdent { key, alg, .. } => {
                 // The hash is recomputed in `conclusion()`; nothing can be
                 // forged here, but check the digest length invariant anyway.
@@ -419,6 +442,51 @@ impl Proof {
                     return Err(ProofError::BadInference("hash length mismatch".into()));
                 }
                 Ok(())
+            }
+        }
+    }
+
+    /// The signature pass of [`Proof::verify`]: checks every collected
+    /// certificate's Schnorr signature, batched into one random-linear-
+    /// combination multi-exponentiation when the chain holds several.
+    /// On batch failure the individual fallback inside `verify_batch`
+    /// pinpoints the culprits, so the error names the first bad leaf.
+    fn verify_cert_signatures(certs: &[&Certificate]) -> Result<(), ProofError> {
+        match certs {
+            [] => Ok(()),
+            [cert] => {
+                if cert.signer.verify(&cert.signed_bytes(), &cert.signature) {
+                    Ok(())
+                } else {
+                    Err(ProofError::BadCertificate(
+                        "signature verification failed".into(),
+                    ))
+                }
+            }
+            certs => {
+                let messages: Vec<Vec<u8>> = certs.iter().map(|c| c.signed_bytes()).collect();
+                let entries: Vec<BatchEntry<'_>> = certs
+                    .iter()
+                    .zip(&messages)
+                    .map(|(c, m)| BatchEntry {
+                        key: &c.signer,
+                        message: m,
+                        sig: &c.signature,
+                    })
+                    .collect();
+                match verify_batch(&entries) {
+                    BatchOutcome::AllValid => Ok(()),
+                    BatchOutcome::Invalid(bad) => {
+                        let which = bad
+                            .iter()
+                            .map(|&i| format!("{:?}", certs[i].delegation))
+                            .collect::<Vec<_>>()
+                            .join("; ");
+                        Err(ProofError::BadCertificate(format!(
+                            "signature verification failed for: {which}"
+                        )))
+                    }
+                }
             }
         }
     }
@@ -436,6 +504,20 @@ impl Proof {
         ctx: &VerifyCtx,
     ) -> Result<(), ProofError> {
         self.verify(ctx)?;
+        self.check_conclusion(speaker, issuer, request, ctx.now)
+    }
+
+    /// The conclusion-matching half of [`Proof::authorizes`]: purely
+    /// structural (no signature work), so `VerifyCtx::authorize` re-runs
+    /// it on every request even when the chain verification itself was a
+    /// memo hit — expiry of the *conclusion* is never cached.
+    pub fn check_conclusion(
+        &self,
+        speaker: &Principal,
+        issuer: &Principal,
+        request: &Tag,
+        now: Time,
+    ) -> Result<(), ProofError> {
         let c = self.conclusion();
         if &c.subject != speaker {
             return Err(ProofError::NotAuthorizing(format!(
@@ -457,7 +539,7 @@ impl Proof {
                 c.tag, request
             )));
         }
-        if !c.validity.contains(ctx.now) {
+        if !c.validity.contains(now) {
             return Err(ProofError::NotAuthorizing("conclusion expired".into()));
         }
         Ok(())

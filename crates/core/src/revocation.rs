@@ -156,6 +156,20 @@ impl Crl {
 
     /// Checks signature, currency, and signer identity.
     pub fn check(&self, expected_validator: &HashVal, now: Time) -> Result<(), String> {
+        self.check_unsigned(expected_validator, now)?;
+        if !self.signer.verify(&self.signed_bytes(), &self.signature) {
+            return Err("CRL signature invalid".into());
+        }
+        Ok(())
+    }
+
+    /// Currency and signer-identity checks *without* the signature.
+    ///
+    /// A freshness agent ingesting a burst of CRL deltas runs these per
+    /// list and then verifies every list's signature in one batch
+    /// (`schnorr::verify_batch`); [`Crl::check`] stays the single-list
+    /// entry point and performs both halves.
+    pub fn check_unsigned(&self, expected_validator: &HashVal, now: Time) -> Result<(), String> {
         if snowflake_crypto::HashVal::digest(
             expected_validator.alg,
             &self.signer.to_sexp().canonical(),
@@ -166,11 +180,12 @@ impl Crl {
         if !self.validity.contains(now) {
             return Err("CRL not current".into());
         }
-        let tbs = Self::tbs(self.serial, &self.revoked, &self.validity);
-        if !self.signer.verify(&tbs.canonical(), &self.signature) {
-            return Err("CRL signature invalid".into());
-        }
         Ok(())
+    }
+
+    /// The canonical to-be-signed bytes [`Crl::signature`] covers.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        Self::tbs(self.serial, &self.revoked, &self.validity).canonical()
     }
 
     /// Is `cert_hash` on the list?  O(1) after the first call builds the

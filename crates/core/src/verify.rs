@@ -16,10 +16,13 @@
 //! checking never blocks on a network fetch.
 
 use crate::cert::Certificate;
-use crate::proof::ProofError;
+use crate::memo::ChainMemo;
+use crate::principal::Principal;
+use crate::proof::{Proof, ProofError};
 use crate::revocation::{Crl, Revalidation, RevocationPolicy};
-use crate::statement::{Delegation, Time};
+use crate::statement::{Delegation, Time, Validity};
 use snowflake_crypto::HashVal;
+use snowflake_tags::Tag;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
@@ -59,6 +62,44 @@ pub struct VerifyCtx {
     revalidations: HashMap<HashVal, Revalidation>,
     /// Pluggable supplier consulted when no (current) artifact is installed.
     source: Option<Arc<dyn RevocationSource>>,
+    /// Verified-chain memo consulted by [`VerifyCtx::verify_cached`];
+    /// absent, every verification runs cold.
+    memo: Option<Arc<ChainMemo>>,
+}
+
+/// A resolved CRL: either borrowed from the context's installed map or
+/// shared out of a [`RevocationSource`] cache.  One resolution routine
+/// feeds *both* [`VerifyCtx::check_revocation`] and the memo fingerprint,
+/// so the artifact the fingerprint names is exactly the artifact the cold
+/// path would consult — any divergence there would let a memo hit answer
+/// for a different revocation state than a cold verify.
+enum CrlRef<'a> {
+    Installed(&'a Crl),
+    Fetched(Arc<Crl>),
+}
+
+impl CrlRef<'_> {
+    fn get(&self) -> &Crl {
+        match self {
+            CrlRef::Installed(c) => c,
+            CrlRef::Fetched(c) => c,
+        }
+    }
+}
+
+/// A resolved revalidation (see [`CrlRef`]).
+enum RevalRef<'a> {
+    Installed(&'a Revalidation),
+    Fetched(Revalidation),
+}
+
+impl RevalRef<'_> {
+    fn get(&self) -> &Revalidation {
+        match self {
+            RevalRef::Installed(r) => r,
+            RevalRef::Fetched(r) => r,
+        }
+    }
 }
 
 impl fmt::Debug for VerifyCtx {
@@ -69,6 +110,7 @@ impl fmt::Debug for VerifyCtx {
             .field("crls", &self.crls.len())
             .field("revalidations", &self.revalidations.len())
             .field("source", &self.source.is_some())
+            .field("memo", &self.memo.is_some())
             .finish()
     }
 }
@@ -129,6 +171,56 @@ impl VerifyCtx {
         self
     }
 
+    /// Resolves which CRL from `validator` governs verification right now.
+    ///
+    /// Between a directly installed, still-current list and one the
+    /// pluggable source holds, the *newer* (higher-serial) list wins: a
+    /// pushed revocation must not be shadowed by a hand-installed list
+    /// that happens to still be inside its window.  A stale installed
+    /// list only surfaces when nothing current exists (its currency check
+    /// will then fail downstream with an error naming currency, not
+    /// absence).  Shared by [`VerifyCtx::check_revocation`] and the memo
+    /// fingerprint — see [`CrlRef`].
+    fn resolve_crl(&self, validator: &HashVal) -> Option<CrlRef<'_>> {
+        let installed = self.crls.get(validator);
+        let fetched = self
+            .source
+            .as_ref()
+            .and_then(|s| s.crl(validator, self.now));
+        let installed_current = installed.filter(|c| c.validity.contains(self.now));
+        let fetched_current = fetched
+            .clone()
+            .filter(|c| c.validity.contains(self.now));
+        match (installed_current, fetched_current) {
+            (Some(i), Some(f)) => Some(if f.serial > i.serial {
+                CrlRef::Fetched(f)
+            } else {
+                CrlRef::Installed(i)
+            }),
+            (Some(i), None) => Some(CrlRef::Installed(i)),
+            (None, Some(f)) => Some(CrlRef::Fetched(f)),
+            (None, None) => installed.map(CrlRef::Installed),
+        }
+    }
+
+    /// Resolves which revalidation of the certificate hashed `hash`
+    /// governs verification right now (installed-and-current first, then
+    /// the source, then a stale installed one for its currency error).
+    fn resolve_revalidation(&self, hash: &HashVal) -> Option<RevalRef<'_>> {
+        let installed = self.revalidations.get(hash);
+        if let Some(r) = installed.filter(|r| r.validity.contains(self.now)) {
+            return Some(RevalRef::Installed(r));
+        }
+        if let Some(f) = self
+            .source
+            .as_ref()
+            .and_then(|s| s.revalidation(hash, self.now))
+        {
+            return Some(RevalRef::Fetched(f));
+        }
+        installed.map(RevalRef::Installed)
+    }
+
     /// Enforces a certificate's revocation policy, if any.
     pub fn check_revocation(&self, cert: &Certificate) -> Result<(), ProofError> {
         let Some(policy) = &cert.revocation else {
@@ -136,41 +228,12 @@ impl VerifyCtx {
         };
         match policy {
             RevocationPolicy::Crl { validator } => {
-                // Between a directly installed, still-current list and one
-                // the pluggable source holds, the *newer* (higher-serial)
-                // list wins: a pushed revocation must not be shadowed by a
-                // hand-installed list that happens to still be inside its
-                // window.  A stale installed list only surfaces when
-                // nothing current exists, so the error names currency,
-                // not absence.
-                let installed = self.crls.get(validator);
-                let fetched = self
-                    .source
-                    .as_ref()
-                    .and_then(|s| s.crl(validator, self.now));
-                let installed_current = installed.filter(|c| c.validity.contains(self.now));
-                let fetched_current = fetched
-                    .as_deref()
-                    .filter(|c| c.validity.contains(self.now));
-                let crl = match (installed_current, fetched_current) {
-                    (Some(i), Some(f)) => {
-                        if f.serial > i.serial {
-                            f
-                        } else {
-                            i
-                        }
-                    }
-                    (Some(i), None) => i,
-                    (None, Some(f)) => f,
-                    (None, None) => match installed {
-                        Some(stale) => stale,
-                        None => {
-                            return Err(ProofError::Revoked(
-                                "no current CRL from required validator".into(),
-                            ))
-                        }
-                    },
+                let Some(resolved) = self.resolve_crl(validator) else {
+                    return Err(ProofError::Revoked(
+                        "no current CRL from required validator".into(),
+                    ));
                 };
+                let crl = resolved.get();
                 crl.check(validator, self.now)
                     .map_err(ProofError::Revoked)?;
                 if crl.revokes(&cert.hash()) {
@@ -180,31 +243,165 @@ impl VerifyCtx {
             }
             RevocationPolicy::Revalidate { validator } => {
                 let hash = cert.hash();
-                let fetched;
-                let installed = self.revalidations.get(&hash);
-                let reval = match installed.filter(|r| r.validity.contains(self.now)) {
-                    Some(r) => r,
-                    None => {
-                        fetched = self
-                            .source
-                            .as_ref()
-                            .and_then(|s| s.revalidation(&hash, self.now));
-                        match fetched.as_ref().or(installed) {
-                            Some(r) => r,
-                            None => {
-                                return Err(ProofError::Revoked(
-                                    "no current revalidation for certificate".into(),
-                                ))
-                            }
-                        }
-                    }
+                let Some(resolved) = self.resolve_revalidation(&hash) else {
+                    return Err(ProofError::Revoked(
+                        "no current revalidation for certificate".into(),
+                    ));
                 };
-                reval
+                resolved
+                    .get()
                     .check(validator, &hash, self.now)
                     .map_err(ProofError::Revoked)?;
                 Ok(())
             }
         }
+    }
+
+    /// Attaches a verified-chain memo (shared across contexts/threads).
+    pub fn set_chain_memo(&mut self, memo: Arc<ChainMemo>) {
+        self.memo = Some(memo);
+    }
+
+    /// Builder form of [`VerifyCtx::set_chain_memo`].
+    pub fn with_chain_memo(mut self, memo: Arc<ChainMemo>) -> VerifyCtx {
+        self.set_chain_memo(memo);
+        self
+    }
+
+    /// The attached verified-chain memo, if any.
+    pub fn chain_memo(&self) -> Option<&Arc<ChainMemo>> {
+        self.memo.as_ref()
+    }
+
+    /// Verifies `proof`, answering from the attached [`ChainMemo`] when a
+    /// prior successful verification of the same chain under the same
+    /// revocation/assumption state is still valid.  Semantically identical
+    /// to [`Proof::verify`] — only successes are memoized, and the memo
+    /// key pins everything the cold path would consult (see
+    /// [`VerifyCtx::memo_fingerprint`]).
+    pub fn verify_cached(&self, proof: &Proof) -> Result<(), ProofError> {
+        let Some(memo) = &self.memo else {
+            return proof.verify(self);
+        };
+        let (fingerprint, valid_until) = self.memo_fingerprint(proof);
+        let proof_hash = proof.hash();
+        if memo.lookup(&proof_hash, &fingerprint, self.now) {
+            return Ok(());
+        }
+        let epoch = memo.push_epoch();
+        proof.verify(self)?;
+        memo.record(
+            &proof_hash,
+            &fingerprint,
+            self.now,
+            valid_until,
+            proof.cert_hashes(),
+            epoch,
+        );
+        Ok(())
+    }
+
+    /// The memoized entry point server surfaces use: verifies `proof`
+    /// (via the memo when one is attached) and then always re-checks the
+    /// conclusion against the request — subject, issuer, tag, and expiry
+    /// are never answered from the cache.
+    pub fn authorize(
+        &self,
+        proof: &Proof,
+        speaker: &Principal,
+        issuer: &Principal,
+        request: &Tag,
+    ) -> Result<(), ProofError> {
+        self.verify_cached(proof)?;
+        proof.check_conclusion(speaker, issuer, request, self.now)
+    }
+
+    /// Fingerprints everything [`Proof::verify`] would consult from this
+    /// context for `proof`, plus a conservative `valid_until`.
+    ///
+    /// The fingerprint folds the revocation epoch, each assumption leaf's
+    /// vouched/unvouched bit, and for each signed-certificate leaf the
+    /// identity (signer, serial, validity window) of the revocation
+    /// artifact [`VerifyCtx::check_revocation`] would resolve — through
+    /// the *same* [`VerifyCtx::resolve_crl`] / [`VerifyCtx::resolve_revalidation`]
+    /// helpers, so fingerprint and cold path can never disagree about
+    /// which artifact governs.  `valid_until` is the minimum validity end
+    /// of every consulted artifact: past it, a then-current artifact may
+    /// have lapsed (and the cold path would fail or fall back to a stale
+    /// list), so a memo hit must not outlive it.  Certificate-conclusion
+    /// expiry needs no folding — `Proof::verify` is time-dependent only
+    /// through artifact currency, and conclusion expiry is re-checked on
+    /// every request by [`Proof::check_conclusion`].
+    pub fn memo_fingerprint(&self, proof: &Proof) -> (HashVal, Option<Time>) {
+        fn fold_validity(buf: &mut Vec<u8>, v: &Validity) {
+            for bound in [v.not_before, v.not_after] {
+                match bound {
+                    Some(Time(t)) => {
+                        buf.push(1);
+                        buf.extend_from_slice(&t.to_be_bytes());
+                    }
+                    None => buf.push(0),
+                }
+            }
+        }
+        fn min_end(valid_until: &mut Option<Time>, v: &Validity) {
+            if let Some(end) = v.not_after {
+                *valid_until = Some(match *valid_until {
+                    Some(cur) if cur <= end => cur,
+                    _ => end,
+                });
+            }
+        }
+        let mut buf = Vec::new();
+        let mut valid_until: Option<Time> = None;
+        buf.extend_from_slice(&self.revocation_epoch().to_be_bytes());
+        for lemma in proof.lemmas() {
+            match lemma {
+                Proof::Assumption { stmt, .. } => {
+                    buf.push(b'A');
+                    buf.extend_from_slice(&stmt.hash().bytes);
+                    buf.push(self.assumes(stmt) as u8);
+                }
+                Proof::SignedCert(cert) => match &cert.revocation {
+                    None => {
+                        buf.push(b'-');
+                        buf.extend_from_slice(&cert.hash().bytes);
+                    }
+                    Some(RevocationPolicy::Crl { validator }) => {
+                        buf.push(b'L');
+                        buf.extend_from_slice(&validator.bytes);
+                        buf.extend_from_slice(&cert.hash().bytes);
+                        match self.resolve_crl(validator) {
+                            Some(resolved) => {
+                                let crl = resolved.get();
+                                buf.extend_from_slice(&crl.signer.hash().bytes);
+                                buf.extend_from_slice(&crl.serial.to_be_bytes());
+                                fold_validity(&mut buf, &crl.validity);
+                                min_end(&mut valid_until, &crl.validity);
+                            }
+                            None => buf.push(b'?'),
+                        }
+                    }
+                    Some(RevocationPolicy::Revalidate { validator }) => {
+                        buf.push(b'R');
+                        buf.extend_from_slice(&validator.bytes);
+                        let hash = cert.hash();
+                        buf.extend_from_slice(&hash.bytes);
+                        match self.resolve_revalidation(&hash) {
+                            Some(resolved) => {
+                                let reval = resolved.get();
+                                buf.extend_from_slice(&reval.signer.hash().bytes);
+                                fold_validity(&mut buf, &reval.validity);
+                                min_end(&mut valid_until, &reval.validity);
+                            }
+                            None => buf.push(b'?'),
+                        }
+                    }
+                },
+                _ => {}
+            }
+        }
+        (HashVal::of(&buf), valid_until)
     }
 
     /// Number of assumption statements currently vouched.

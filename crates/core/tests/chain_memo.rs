@@ -1,0 +1,231 @@
+//! The verified-chain memo must be invisible except for speed.
+//!
+//! Claims under test: a context with a memo attached returns answers
+//! byte-identical to a cold context on the same inputs (honest and
+//! tampered, warm and cold); revoking a certificate — by push eviction,
+//! by a newly installed CRL, or by the governing artifact lapsing —
+//! makes the memo fail closed; and the exported counters prove that a
+//! warm re-presented chain was answered without re-verification.
+
+use proptest::prelude::*;
+use snowflake_core::{
+    Certificate, ChainMemo, Crl, Delegation, Principal, Proof, ProofError, RevocationPolicy, Tag,
+    Time, Validity, VerifyCtx,
+};
+use snowflake_crypto::{DetRng, Group, KeyPair};
+use std::sync::{Arc, OnceLock};
+
+fn rng(seed: &str) -> impl FnMut(&mut [u8]) {
+    let mut r = DetRng::new(seed.as_bytes());
+    move |b: &mut [u8]| r.fill(b)
+}
+
+/// Deterministic signer pool (key generation dominates test time).
+fn keys() -> &'static Vec<KeyPair> {
+    static K: OnceLock<Vec<KeyPair>> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut r = rng("chain-memo-keys");
+        (0..4).map(|_| KeyPair::generate(Group::test512(), &mut r)).collect()
+    })
+}
+
+fn deleg(subject: &KeyPair, issuer: &KeyPair, delegable: bool) -> Delegation {
+    Delegation {
+        subject: Principal::key(&subject.public),
+        issuer: Principal::key(&issuer.public),
+        tag: Tag::named("web", vec![]),
+        validity: Validity::until(Time(10_000)),
+        delegable,
+    }
+}
+
+/// carol ⇒ bob ⇒ alice as a two-certificate transitivity chain, with an
+/// optional tamper: 1 breaks the first signature, 2 breaks the second.
+fn two_cert_chain(seed: u64, tamper: usize) -> Proof {
+    let [alice, bob, carol, _] = &keys()[..] else { unreachable!() };
+    let mut r = rng(&format!("chain-{seed}"));
+    let mut c1 = Certificate::issue(bob, deleg(carol, bob, false), &mut r);
+    let mut c2 = Certificate::issue(alice, deleg(bob, alice, true), &mut r);
+    if tamper == 1 {
+        c1.delegation.tag = Tag::Star;
+    } else if tamper == 2 {
+        c2.delegation.tag = Tag::Star;
+    }
+    Proof::signed_cert(c1).then(Proof::signed_cert(c2))
+}
+
+fn authorize_result(ctx: &VerifyCtx, proof: &Proof) -> String {
+    let [alice, _, carol, _] = &keys()[..] else { unreachable!() };
+    let request = Tag::named("web", vec![]);
+    format!(
+        "{:?}",
+        ctx.authorize(
+            proof,
+            &Principal::key(&carol.public),
+            &Principal::key(&alice.public),
+            &request,
+        )
+    )
+}
+
+proptest! {
+    /// Memoized answers are byte-identical to cold ones — on the cold
+    /// (inserting) pass, on the warm (hit) pass, honest or tampered.
+    #[test]
+    fn memoized_answers_match_cold(seed in any::<u64>(), tamper in 0usize..3, at in 1u64..20_000) {
+        let proof = two_cert_chain(seed, tamper);
+        let cold_ctx = VerifyCtx::at(Time(at));
+        let memo = Arc::new(ChainMemo::new(64));
+        let warm_ctx = VerifyCtx::at(Time(at)).with_chain_memo(memo.clone());
+        let cold = authorize_result(&cold_ctx, &proof);
+        let first = authorize_result(&warm_ctx, &proof);
+        let second = authorize_result(&warm_ctx, &proof);
+        prop_assert_eq!(&first, &cold, "cold-insert pass diverged");
+        prop_assert_eq!(&second, &cold, "warm pass diverged");
+        if tamper == 0 {
+            // The chain itself is valid, so its verification memoizes even
+            // when the conclusion is expired — expiry is re-checked on
+            // every request by check_conclusion, never from the cache.
+            prop_assert_eq!(cold.starts_with("Ok"), at <= 10_000, "{}", cold);
+            let stats = memo.stats();
+            prop_assert_eq!(stats.hits, 1, "second authorize must be a memo hit");
+            prop_assert_eq!(stats.inserts, 1);
+        } else {
+            prop_assert!(cold.starts_with("Err"));
+            prop_assert_eq!(memo.stats().inserts, 0, "failed verifications are never memoized");
+        }
+    }
+}
+
+#[test]
+fn warm_hit_skips_verification_and_counters_prove_it() {
+    let proof = two_cert_chain(1, 0);
+    let memo = Arc::new(ChainMemo::new(64));
+    let ctx = VerifyCtx::at(Time(100)).with_chain_memo(memo.clone());
+    assert!(ctx.verify_cached(&proof).is_ok());
+    let after_cold = memo.stats();
+    assert_eq!((after_cold.hits, after_cold.misses, after_cold.inserts), (0, 1, 1));
+    for _ in 0..10 {
+        assert!(ctx.verify_cached(&proof).is_ok());
+    }
+    let s = memo.stats();
+    assert_eq!(s.hits, 10, "every re-presentation is a hit");
+    assert_eq!(s.inserts, 1, "nothing was re-verified or re-inserted");
+}
+
+#[test]
+fn push_eviction_fails_closed_mid_session() {
+    // A servlet-style session: proof verified warm, then the issuer's
+    // certificate is revoked and pushed. The memo entry dies with the
+    // push, and a context holding the new CRL denies — the memo cannot
+    // resurrect the pre-revocation answer.
+    let [alice, bob, carol, validator] = &keys()[..] else { unreachable!() };
+    let mut r = rng("push-evict");
+    let policy = RevocationPolicy::Crl { validator: validator.public.hash() };
+    let c1 = Certificate::issue(bob, deleg(carol, bob, false), &mut r);
+    let c2 = Certificate::issue_with_revocation(
+        alice,
+        deleg(bob, alice, true),
+        Some(policy),
+        &mut r,
+    );
+    let c2_hash = c2.hash();
+    let proof = Proof::signed_cert(c1).then(Proof::signed_cert(c2.clone()));
+
+    let memo = Arc::new(ChainMemo::new(64));
+    let empty_crl = Crl::issue(validator, vec![], Validity::until(Time(10_000)), &mut r);
+    let mut ctx = VerifyCtx::at(Time(100)).with_chain_memo(memo.clone());
+    ctx.install_crl(empty_crl);
+    assert!(ctx.verify_cached(&proof).is_ok());
+    assert!(ctx.verify_cached(&proof).is_ok());
+    assert_eq!(memo.stats().hits, 1);
+
+    // Revocation push: the bus evicts by cert hash...
+    assert_eq!(memo.evict_cert(&c2_hash), 1);
+    assert_eq!(memo.stats().revocation_evictions, 1);
+    // ...and the freshness machinery installs the revoking CRL.
+    let revoking =
+        Crl::issue_with_serial(validator, 1, vec![c2_hash], Validity::until(Time(10_000)), &mut r);
+    ctx.install_crl(revoking);
+    match ctx.verify_cached(&proof) {
+        Err(ProofError::Revoked(_)) => {}
+        other => panic!("revoked chain must be denied, got {other:?}"),
+    }
+    assert_eq!(memo.stats().hits, 1, "no hit after revocation");
+}
+
+#[test]
+fn new_crl_serial_misses_even_without_push() {
+    // Defense in depth: even if the push eviction were lost, installing a
+    // higher-serial CRL changes the fingerprint (and the revocation
+    // epoch), so the stale entry can never answer.
+    let [alice, bob, carol, validator] = &keys()[..] else { unreachable!() };
+    let mut r = rng("serial-miss");
+    let policy = RevocationPolicy::Crl { validator: validator.public.hash() };
+    let c1 = Certificate::issue(bob, deleg(carol, bob, false), &mut r);
+    let c2 = Certificate::issue_with_revocation(alice, deleg(bob, alice, true), Some(policy), &mut r);
+    let c2_hash = c2.hash();
+    let proof = Proof::signed_cert(c1).then(Proof::signed_cert(c2));
+
+    let memo = Arc::new(ChainMemo::new(64));
+    let mut ctx = VerifyCtx::at(Time(100)).with_chain_memo(memo.clone());
+    ctx.install_crl(Crl::issue(validator, vec![], Validity::until(Time(10_000)), &mut r));
+    assert!(ctx.verify_cached(&proof).is_ok());
+
+    // No evict_cert call — only the context learns of the revocation.
+    let revoking =
+        Crl::issue_with_serial(validator, 7, vec![c2_hash], Validity::until(Time(10_000)), &mut r);
+    ctx.install_crl(revoking);
+    assert!(ctx.verify_cached(&proof).is_err(), "stale memo entry must not answer");
+}
+
+#[test]
+fn memo_hit_cannot_outlive_consulted_artifact() {
+    // The stale-CRL hazard: a CRL valid on [0, 100] governs the chain and
+    // the chain verifies (and is memoized) at t=50. At t=150 a cold
+    // verify fails — the only CRL available is no longer current — so the
+    // memo hit must expire with the artifact, not with the entry.
+    let [alice, bob, carol, validator] = &keys()[..] else { unreachable!() };
+    let mut r = rng("artifact-window");
+    let policy = RevocationPolicy::Crl { validator: validator.public.hash() };
+    let c1 = Certificate::issue(bob, deleg(carol, bob, false), &mut r);
+    let c2 = Certificate::issue_with_revocation(alice, deleg(bob, alice, true), Some(policy), &mut r);
+    let proof = Proof::signed_cert(c1).then(Proof::signed_cert(c2));
+
+    let memo = Arc::new(ChainMemo::new(64));
+    let mut ctx = VerifyCtx::at(Time(50)).with_chain_memo(memo.clone());
+    ctx.install_crl(Crl::issue(
+        validator,
+        vec![],
+        Validity::between(Time(0), Time(100)),
+        &mut r,
+    ));
+    assert!(ctx.verify_cached(&proof).is_ok());
+    assert!(ctx.verify_cached(&proof).is_ok(), "warm inside the window");
+    assert_eq!(memo.stats().hits, 1);
+
+    ctx.now = Time(150);
+    let res = ctx.verify_cached(&proof);
+    assert!(res.is_err(), "past the CRL window the chain must be re-denied, got {res:?}");
+    assert_eq!(memo.stats().hits, 1, "no hit past the artifact's validity end");
+}
+
+#[test]
+fn assumption_vouching_is_part_of_the_key() {
+    // Same proof, two contexts sharing one memo: only the context that
+    // vouches the assumption may hit.
+    let [alice, _, carol, _] = &keys()[..] else { unreachable!() };
+    let stmt = deleg(carol, alice, false);
+    let proof = Proof::Assumption { stmt: stmt.clone(), authority: "mac-session".into() };
+
+    let memo = Arc::new(ChainMemo::new(64));
+    let mut vouching = VerifyCtx::at(Time(10)).with_chain_memo(memo.clone());
+    vouching.assume(&stmt);
+    let silent = VerifyCtx::at(Time(10)).with_chain_memo(memo.clone());
+
+    assert!(vouching.verify_cached(&proof).is_ok());
+    assert!(vouching.verify_cached(&proof).is_ok());
+    assert_eq!(memo.stats().hits, 1);
+    assert!(silent.verify_cached(&proof).is_err(), "unvouched context must not hit");
+    assert_eq!(memo.stats().hits, 1);
+}

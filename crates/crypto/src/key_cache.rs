@@ -1,0 +1,190 @@
+//! Per-issuer fixed-base table cache for Schnorr verification.
+//!
+//! Verification exponentiates two bases: the group generator `g` (whose
+//! table lives with the `&'static Group`) and the signer's public element
+//! `y`.  Issuer keys are few and long-lived — a handful of authorities
+//! sign almost every certificate a verifier sees — so a small process-wide
+//! cache of per-`y` tables pays for itself after a couple of verifies.
+//!
+//! Two design points keep the cache honest:
+//!
+//! * **Promotion threshold.** Building a table costs roughly two to three
+//!   generic exponentiations, and some keys are seen exactly once (e.g. a
+//!   client key during MAC establishment).  A table is therefore built on
+//!   the *second* sighting of a key, never the first, and only after the
+//!   key has passed its subgroup-membership check — so a flood of verifies
+//!   against bogus keys cannot fill the cache with garbage tables.
+//! * **Cached membership.** `is_element(y)` is itself a full `q`-sized
+//!   exponentiation.  `y` and the group parameters are immutable, so a
+//!   membership check done once per key is sound to reuse; the cache
+//!   records it alongside the table slot.
+//!
+//! Signing never consults this cache: the signer exponentiates only the
+//! generator (`r = g^k`), never its own `y`, so there is nothing for a
+//! per-key table to accelerate (see `docs/authz.md`).
+
+use crate::group::Group;
+use crate::schnorr::PublicKey;
+use snowflake_bigint::{FixedBaseTable, Ubig};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum number of distinct keys tracked; FIFO-evicted beyond this.
+const CACHE_CAP: usize = 128;
+/// Sightings before a key's table is built (never on the first).
+const PROMOTE_AT: u64 = 2;
+
+/// Cache keys pair the group's static identity with the public element.
+type Key = (usize, Ubig);
+
+struct Entry {
+    seen: u64,
+    element_valid: bool,
+    table: Option<Arc<FixedBaseTable>>,
+}
+
+#[derive(Default)]
+struct Cache {
+    map: HashMap<Key, Entry>,
+    order: VecDeque<Key>,
+}
+
+static CACHE: OnceLock<Mutex<Cache>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static BUILDS: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<Cache> {
+    CACHE.get_or_init(|| Mutex::new(Cache::default()))
+}
+
+fn cache_key(key: &PublicKey) -> Key {
+    (key.group as *const Group as usize, key.y.clone())
+}
+
+/// What the cache knows about a key at verify time.
+pub(crate) struct Sighting {
+    pub table: Option<Arc<FixedBaseTable>>,
+    pub element_valid: bool,
+}
+
+/// Records a sighting of `key` and returns its cached state.
+pub(crate) fn observe(key: &PublicKey) -> Sighting {
+    let k = cache_key(key);
+    let mut c = cache().lock().unwrap();
+    if !c.map.contains_key(&k) {
+        if c.map.len() >= CACHE_CAP {
+            while let Some(old) = c.order.pop_front() {
+                if c.map.remove(&old).is_some() {
+                    EVICTIONS.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        c.order.push_back(k.clone());
+        c.map.insert(
+            k.clone(),
+            Entry {
+                seen: 0,
+                element_valid: false,
+                table: None,
+            },
+        );
+    }
+    let entry = c.map.get_mut(&k).expect("just inserted");
+    entry.seen += 1;
+    if entry.table.is_some() {
+        HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    Sighting {
+        table: entry.table.clone(),
+        element_valid: entry.element_valid,
+    }
+}
+
+/// Marks `key` as having passed its subgroup-membership check, and builds
+/// its fixed-base table if the key has now been seen often enough.
+///
+/// The table is built *outside* the cache lock (construction costs ~1000
+/// modular multiplies); a concurrent builder losing the install race just
+/// wastes one build.  Returns the installed table when one exists.
+pub(crate) fn confirm_element(key: &PublicKey) -> Option<Arc<FixedBaseTable>> {
+    let k = cache_key(key);
+    let build = {
+        let mut c = cache().lock().unwrap();
+        let Some(entry) = c.map.get_mut(&k) else {
+            return None; // evicted between observe and confirm
+        };
+        entry.element_valid = true;
+        if let Some(t) = &entry.table {
+            return Some(t.clone());
+        }
+        entry.seen >= PROMOTE_AT
+    };
+    if !build {
+        return None;
+    }
+    let table = Arc::new(FixedBaseTable::new(
+        &key.y,
+        &key.group.p,
+        key.group.q.bits(),
+    ));
+    BUILDS.fetch_add(1, Ordering::Relaxed);
+    let mut c = cache().lock().unwrap();
+    match c.map.get_mut(&k) {
+        Some(entry) => Some(entry.table.get_or_insert_with(|| table).clone()),
+        None => Some(table), // evicted meanwhile; still useful to the caller
+    }
+}
+
+/// Snapshot of the per-key table cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyTableStats {
+    /// Verifies that found a prebuilt table for the signer's key.
+    pub hits: u64,
+    /// Tables built (each replaces ~2 generic exponentiations per verify).
+    pub builds: u64,
+    /// Keys FIFO-evicted to stay within the cache bound.
+    pub evictions: u64,
+    /// Distinct keys currently tracked.
+    pub keys: u64,
+}
+
+/// Reads the process-wide per-key table cache counters.
+pub fn key_table_stats() -> KeyTableStats {
+    KeyTableStats {
+        hits: HITS.load(Ordering::Relaxed),
+        builds: BUILDS.load(Ordering::Relaxed),
+        evictions: EVICTIONS.load(Ordering::Relaxed),
+        keys: cache().lock().unwrap().map.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schnorr::KeyPair;
+    use crate::DetRng;
+
+    #[test]
+    fn promotion_builds_on_second_confirmed_sighting() {
+        let mut rng = DetRng::new(b"key-cache-promote");
+        let mut r = move |buf: &mut [u8]| rng.fill(buf);
+        let kp = KeyPair::generate(Group::test512(), &mut r);
+        let key = &kp.public;
+
+        let s1 = observe(key);
+        assert!(s1.table.is_none() && !s1.element_valid);
+        assert!(confirm_element(key).is_none(), "no table on first sighting");
+
+        let s2 = observe(key);
+        assert!(s2.element_valid, "membership check is remembered");
+        assert!(s2.table.is_none());
+        let t = confirm_element(key).expect("second sighting promotes");
+        assert_eq!(t.power(&Ubig::from(7u64)), key.y.modpow_basic(&Ubig::from(7u64), &key.group.p));
+
+        let s3 = observe(key);
+        assert!(s3.table.is_some(), "table serves later sightings");
+    }
+}

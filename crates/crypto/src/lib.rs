@@ -26,6 +26,7 @@ pub mod dh;
 pub mod group;
 pub mod hash;
 pub mod hmac;
+mod key_cache;
 pub mod md5;
 pub mod schnorr;
 pub mod seal;
@@ -34,7 +35,10 @@ pub mod sha256;
 pub use dh::DhSecret;
 pub use group::Group;
 pub use hash::{HashAlg, HashVal};
-pub use schnorr::{KeyPair, PublicKey, Signature};
+pub use key_cache::{key_table_stats, KeyTableStats};
+pub use schnorr::{
+    verify_batch, verify_batch_with, BatchEntry, BatchOutcome, KeyPair, PublicKey, Signature,
+};
 pub use seal::{open, seal, SealedBox};
 
 pub use md5::md5;

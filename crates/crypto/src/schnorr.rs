@@ -1,10 +1,18 @@
 //! Schnorr signatures over a prime-order subgroup.
 //!
 //! Signing: pick `k ← [1,q)`, compute `r = g^k mod p`,
-//! `e = H(r ‖ m) mod q`, `s = k + x·e mod q`; the signature is `(e, s)`.
-//! Verification recomputes `r' = g^s · y^{−e} mod p` (using `y^{q−e}` so no
-//! modular inverse is needed — `y` has order `q`) and accepts iff
-//! `H(r' ‖ m) mod q == e`.
+//! `e = H(r ‖ m) mod q`, `s = k + x·e mod q`; the signature is
+//! `(e, s, r)`.  Verification checks `e == H(r ‖ m) mod q` and
+//! `g^s == r · y^e mod p`; a legacy signature carrying only `(e, s)` is
+//! verified by recomputing `r' = g^s · y^{q−e} mod p` (no modular inverse
+//! needed — `y` has order `q`) and comparing challenges.  The two forms
+//! accept exactly the same `(e, s)` pairs; carrying `r` is what makes the
+//! fast paths possible:
+//!
+//! * both verification exponentiations become **fixed-base** (`g` from the
+//!   group's static table, `y` from the per-key cache in `key_cache`), and
+//! * N signatures can be checked as **one batch** ([`verify_batch`]) via a
+//!   random linear combination — see `docs/authz.md` for the equation.
 //!
 //! Keys serialize as SPKI-style S-expressions:
 //! `(public-key (snowflake-schnorr (group <name>) (y |…|)))`, and a key's
@@ -14,9 +22,11 @@
 
 use crate::group::Group;
 use crate::hash::HashVal;
+use crate::key_cache;
 use crate::sha256::Sha256;
 use snowflake_bigint::Ubig;
 use snowflake_sexpr::{ParseError, Sexp};
+use std::collections::HashMap;
 use std::fmt;
 
 /// A Schnorr public key: group parameters plus `y = g^x`.
@@ -37,13 +47,21 @@ pub struct KeyPair {
     x: Ubig,
 }
 
-/// A Schnorr signature `(e, s)`.
+/// A Schnorr signature `(e, s)` with an optional commitment `r`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Signature {
     /// Challenge scalar `e = H(r ‖ m) mod q`.
     pub e: Ubig,
     /// Response scalar `s = k + x·e mod q`.
     pub s: Ubig,
+    /// The commitment `r = g^k mod p`.
+    ///
+    /// Redundant given `(e, s)` — verifiers recompute it when absent —
+    /// but carrying it turns verification into two fixed-base
+    /// exponentiations and makes signatures batchable.  A signature whose
+    /// carried `r` disagrees with the recomputed commitment is rejected,
+    /// so the field cannot widen what verifies.
+    pub r: Option<Ubig>,
 }
 
 impl KeyPair {
@@ -73,7 +91,7 @@ impl KeyPair {
                 continue; // astronomically unlikely; resample for cleanliness
             }
             let s = k.addm(&self.x.mulm(&e, &group.q), &group.q);
-            return Signature { e, s };
+            return Signature { e, s, r: Some(r) };
         }
     }
 
@@ -91,18 +109,79 @@ impl KeyPair {
 
 impl PublicKey {
     /// Verifies `sig` over `message`.
+    ///
+    /// The fast path: the generator exponentiation uses the group's
+    /// static fixed-base table, the `y` exponentiation uses the per-key
+    /// table cache (built on a key's second sighting), the subgroup
+    /// membership check on `y` is done once per key and remembered, and a
+    /// signature carrying its commitment `r` skips the full recompute
+    /// when the cheap hash binding check already fails.  Accepts exactly
+    /// the same signatures as [`PublicKey::verify_uncached`] (proptested).
     pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
         let group = self.group;
         if sig.e.is_zero() || sig.e >= group.q || sig.s >= group.q {
             return false;
         }
-        if !group.is_element(&self.y) {
+        let sighting = key_cache::observe(self);
+        let mut y_table = sighting.table;
+        if !sighting.element_valid {
+            if !group.is_element(&self.y) {
+                return false;
+            }
+            if let Some(t) = key_cache::confirm_element(self) {
+                y_table = Some(t);
+            }
+        }
+        let y_pow = |exp: &Ubig| match &y_table {
+            Some(t) => t.power(exp),
+            None => self.y.modpow(exp, &group.p),
+        };
+        match &sig.r {
+            Some(rc) => {
+                // Hash binding first — it is the cheap check, and a
+                // mismatched r can never verify (r is bound by e).
+                if rc.is_zero() || rc >= &group.p || challenge(group, rc, message) != sig.e {
+                    return false;
+                }
+                // g^s == r · y^e mod p  ⇔  r == g^s · y^(−e).
+                group.power(&sig.s) == rc.mulm(&y_pow(&sig.e), &group.p)
+            }
+            None => {
+                // r' = g^s * y^(q - e) mod p  (y has order q).
+                let r = group.power(&sig.s).mulm(&y_pow(&group.q.sub(&sig.e)), &group.p);
+                challenge(group, &r, message) == sig.e
+            }
+        }
+    }
+
+    /// Verifies `sig` over `message` with no precomputation, no caches,
+    /// and plain square-and-multiply exponentiation.
+    ///
+    /// The reference implementation: proptests assert [`PublicKey::verify`]
+    /// agrees with it on every input, and the crypto benches use it as the
+    /// "before" baseline the fast paths are measured against.
+    pub fn verify_uncached(&self, message: &[u8], sig: &Signature) -> bool {
+        let group = self.group;
+        if sig.e.is_zero() || sig.e >= group.q || sig.s >= group.q {
+            return false;
+        }
+        let y = &self.y;
+        if y.is_zero()
+            || y.is_one()
+            || y >= &group.p
+            || !y.modpow_basic(&group.q, &group.p).is_one()
+        {
             return false;
         }
         // r' = g^s * y^(q - e) mod p  (y has order q, so y^(q-e) = y^(-e)).
-        let gs = group.power(&sig.s);
-        let y_neg_e = self.y.modpow(&group.q.sub(&sig.e), &group.p);
+        let gs = group.g.modpow_basic(&sig.s, &group.p);
+        let y_neg_e = y.modpow_basic(&group.q.sub(&sig.e), &group.p);
         let r = gs.mulm(&y_neg_e, &group.p);
+        if let Some(rc) = &sig.r {
+            if *rc != r {
+                return false;
+            }
+        }
         challenge(group, &r, message) == sig.e
     }
 
@@ -159,18 +238,22 @@ impl PublicKey {
 }
 
 impl Signature {
-    /// Serializes to `(signature (e |…|) (s |…|))`.
+    /// Serializes to `(signature (e |…|) (s |…|) (r |…|))`; the `(r …)`
+    /// element is omitted for a signature not carrying its commitment.
     pub fn to_sexp(&self) -> Sexp {
-        Sexp::tagged(
-            "signature",
-            vec![
-                Sexp::tagged("e", vec![Sexp::atom(self.e.to_bytes_be())]),
-                Sexp::tagged("s", vec![Sexp::atom(self.s.to_bytes_be())]),
-            ],
-        )
+        let mut body = vec![
+            Sexp::tagged("e", vec![Sexp::atom(self.e.to_bytes_be())]),
+            Sexp::tagged("s", vec![Sexp::atom(self.s.to_bytes_be())]),
+        ];
+        if let Some(r) = &self.r {
+            body.push(Sexp::tagged("r", vec![Sexp::atom(r.to_bytes_be())]));
+        }
+        Sexp::tagged("signature", body)
     }
 
-    /// Parses the form produced by [`Signature::to_sexp`].
+    /// Parses the form produced by [`Signature::to_sexp`]; `(r …)` is
+    /// optional, so signatures from before commitments were carried still
+    /// parse.
     pub fn from_sexp(e: &Sexp) -> Result<Self, ParseError> {
         let bad = |m: &str| ParseError {
             offset: 0,
@@ -187,11 +270,230 @@ impl Signature {
             .find_value("s")
             .and_then(Sexp::as_atom)
             .ok_or_else(|| bad("missing s"))?;
+        let rv = e.find_value("r").and_then(Sexp::as_atom);
         Ok(Signature {
             e: Ubig::from_bytes_be(ev),
             s: Ubig::from_bytes_be(sv),
+            r: rv.map(Ubig::from_bytes_be),
         })
     }
+}
+
+/// One member of a batch verification: a signature to check against a
+/// key and message.
+#[derive(Clone, Copy)]
+pub struct BatchEntry<'a> {
+    /// The signer's public key.
+    pub key: &'a PublicKey,
+    /// The signed message bytes.
+    pub message: &'a [u8],
+    /// The signature to verify.
+    pub sig: &'a Signature,
+}
+
+/// Result of [`verify_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// Every member verifies.
+    AllValid,
+    /// At least one member is forged; the sorted indices (into the input
+    /// slice) identify exactly which — each listed member fails
+    /// individual verification, every unlisted member passes it.
+    Invalid(Vec<usize>),
+}
+
+impl BatchOutcome {
+    /// `true` when every member verified.
+    pub fn is_all_valid(&self) -> bool {
+        matches!(self, BatchOutcome::AllValid)
+    }
+}
+
+/// Verifies a burst of signatures, sharing the exponentiation work.
+///
+/// For members that carry their commitment `r` (every signature this
+/// library produces), a batch of N costs one multi-exponentiation instead
+/// of N independent verifies: with fresh random 128-bit coefficients
+/// `z_i`, checking
+///
+/// ```text
+/// g^(Σ z_i·s_i mod q)  ==  Π r_i^(z_i) · Π_y y^(Σ_{i signed by y} z_i·e_i mod q)   (mod p)
+/// ```
+///
+/// accepts a forged member with probability ≤ 2^-128 + ε: each `r_i` is
+/// bound by `e_i = H(r_i ‖ m_i)` (checked per member before batching), so
+/// an attacker cannot choose residuals that cancel across the random
+/// combination.  On batch failure every member is re-verified
+/// individually so the outcome pinpoints exactly the forged members —
+/// the batch never changes *what* verifies, only *how fast*.
+///
+/// Members without `r`, members in non-batchable singleton positions, and
+/// members whose structural/hash checks already fail are verified (or
+/// rejected) individually; mixed groups are batched per group.
+pub fn verify_batch(entries: &[BatchEntry<'_>]) -> BatchOutcome {
+    verify_batch_with(entries, &mut crate::rand_bytes)
+}
+
+/// [`verify_batch`] with an injected entropy source for the combination
+/// coefficients (deterministic tests; production callers want
+/// [`verify_batch`]).
+pub fn verify_batch_with(
+    entries: &[BatchEntry<'_>],
+    rand_bytes: &mut dyn FnMut(&mut [u8]),
+) -> BatchOutcome {
+    let mut invalid: Vec<usize> = Vec::new();
+    // Partition: r-carrying members batch per group; the rest verify
+    // individually (their commitment must be recomputed anyway, which is
+    // the whole cost a batch would share).
+    let mut buckets: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, en) in entries.iter().enumerate() {
+        if en.sig.r.is_some() && entries.len() >= 2 {
+            buckets
+                .entry(en.key.group as *const Group as usize)
+                .or_default()
+                .push(i);
+        } else if !en.key.verify(en.message, en.sig) {
+            invalid.push(i);
+        }
+    }
+    for members in buckets.values() {
+        batch_one_group(entries, members, rand_bytes, &mut invalid);
+    }
+    if invalid.is_empty() {
+        BatchOutcome::AllValid
+    } else {
+        invalid.sort_unstable();
+        BatchOutcome::Invalid(invalid)
+    }
+}
+
+/// Batch-verifies `members` (indices into `entries`), all r-carrying and
+/// in one group, appending the indices of forged members to `invalid`.
+fn batch_one_group(
+    entries: &[BatchEntry<'_>],
+    members: &[usize],
+    rand_bytes: &mut dyn FnMut(&mut [u8]),
+    invalid: &mut Vec<usize>,
+) {
+    let group = entries[members[0]].key.group;
+    // Per-member structural and hash-binding checks.  A failure here is
+    // definitive (e = H(r ‖ m) binds r), so the member is rejected without
+    // touching big-int exponentiation; survivors enter the combination.
+    let mut live: Vec<usize> = Vec::with_capacity(members.len());
+    for &i in members {
+        let en = &entries[i];
+        let sig = en.sig;
+        let r = sig.r.as_ref().expect("bucketed members carry r");
+        if sig.e.is_zero()
+            || sig.e >= group.q
+            || sig.s >= group.q
+            || r.is_zero()
+            || r >= &group.p
+            || challenge(group, r, en.message) != sig.e
+        {
+            invalid.push(i);
+            continue;
+        }
+        live.push(i);
+    }
+    // Subgroup membership per distinct key (cached across batches).
+    let mut key_ok: HashMap<&Ubig, bool> = HashMap::new();
+    live.retain(|&i| {
+        let key = entries[i].key;
+        let ok = *key_ok.entry(&key.y).or_insert_with(|| {
+            let sighting = key_cache::observe(key);
+            sighting.element_valid || {
+                let valid = group.is_element(&key.y);
+                if valid {
+                    key_cache::confirm_element(key);
+                }
+                valid
+            }
+        });
+        if !ok {
+            invalid.push(i);
+        }
+        ok
+    });
+    if live.len() < 2 {
+        for &i in &live {
+            if !entries[i].key.verify(entries[i].message, entries[i].sig) {
+                invalid.push(i);
+            }
+        }
+        return;
+    }
+    // Random linear combination: a = Σ z_i·s_i and per-key b_y = Σ z_i·e_i
+    // reduced mod q (g and y have order q); r_i keeps its raw 128-bit z_i.
+    let mut a = Ubig::zero();
+    let mut per_key: HashMap<&Ubig, Ubig> = HashMap::new();
+    let mut r_terms: Vec<(&Ubig, u128)> = Vec::with_capacity(live.len());
+    for &i in &live {
+        let en = &entries[i];
+        let z = loop {
+            let mut buf = [0u8; 16];
+            rand_bytes(&mut buf);
+            let z = u128::from_be_bytes(buf);
+            if z != 0 {
+                break z;
+            }
+        };
+        let zu = Ubig::from_bytes_be(&z.to_be_bytes());
+        a = a.addm(&zu.mulm(&en.sig.s, &group.q), &group.q);
+        let b = per_key.entry(&en.key.y).or_insert_with(Ubig::zero);
+        *b = b.addm(&zu.mulm(&en.sig.e, &group.q), &group.q);
+        r_terms.push((en.sig.r.as_ref().expect("live members carry r"), z));
+    }
+    let lhs = group.power(&a);
+    let mut rhs = multi_exp(&r_terms, &group.p);
+    for (y, b) in &per_key {
+        rhs = rhs.mulm(&y.modpow(b, &group.p), &group.p);
+    }
+    if lhs == rhs {
+        return;
+    }
+    // The combination failed: at least one member is forged.  Individual
+    // verification is ground truth and pinpoints exactly which.
+    for &i in &live {
+        if !entries[i].key.verify(entries[i].message, entries[i].sig) {
+            invalid.push(i);
+        }
+    }
+}
+
+/// Computes `Π base_i^(z_i) mod m` with shared squarings: radix-16 digits
+/// of the 128-bit exponents give 128 squarings total (independent of N)
+/// plus ~30 multiplies per member, versus ~190 multiplies each for
+/// separate 128-bit exponentiations.
+fn multi_exp(pairs: &[(&Ubig, u128)], m: &Ubig) -> Ubig {
+    // tables[i][d-1] = base_i^d for digits d ∈ 1..=15.
+    let tables: Vec<Vec<Ubig>> = pairs
+        .iter()
+        .map(|(base, _)| {
+            let mut t = Vec::with_capacity(15);
+            t.push((*base).clone());
+            for d in 2..16 {
+                let next = t[d - 2].mulm(base, m);
+                t.push(next);
+            }
+            t
+        })
+        .collect();
+    let mut acc = Ubig::one();
+    for digit in (0..32).rev() {
+        if !acc.is_one() {
+            for _ in 0..4 {
+                acc = acc.mulm(&acc, m);
+            }
+        }
+        for (i, (_, z)) in pairs.iter().enumerate() {
+            let d = ((z >> (4 * digit)) & 0xf) as usize;
+            if d != 0 {
+                acc = acc.mulm(&tables[i][d - 1], m);
+            }
+        }
+    }
+    acc
 }
 
 /// `H(r ‖ m) mod q` with `r` in fixed-width big-endian form.
@@ -262,16 +564,44 @@ mod tests {
         let mut r = det("alice");
         let kp = KeyPair::generate(Group::test512(), &mut r);
         let sig = kp.sign(b"msg", &mut r);
-        let bad_e = Signature {
-            e: sig.e.add(&Ubig::one()),
-            s: sig.s.clone(),
-        };
-        let bad_s = Signature {
+        for r in [sig.r.clone(), None] {
+            let bad_e = Signature {
+                e: sig.e.add(&Ubig::one()),
+                s: sig.s.clone(),
+                r: r.clone(),
+            };
+            let bad_s = Signature {
+                e: sig.e.clone(),
+                s: sig.s.add(&Ubig::one()),
+                r: r.clone(),
+            };
+            assert!(!kp.public.verify(b"msg", &bad_e));
+            assert!(!kp.public.verify(b"msg", &bad_s));
+            assert!(!kp.public.verify_uncached(b"msg", &bad_e));
+            assert!(!kp.public.verify_uncached(b"msg", &bad_s));
+        }
+        let bad_r = Signature {
             e: sig.e.clone(),
-            s: sig.s.add(&Ubig::one()),
+            s: sig.s.clone(),
+            r: Some(sig.r.clone().unwrap().add(&Ubig::one())),
         };
-        assert!(!kp.public.verify(b"msg", &bad_e));
-        assert!(!kp.public.verify(b"msg", &bad_s));
+        assert!(!kp.public.verify(b"msg", &bad_r));
+        assert!(!kp.public.verify_uncached(b"msg", &bad_r));
+    }
+
+    #[test]
+    fn commitment_stripped_signature_still_verifies() {
+        // The legacy (e, s)-only wire form accepts the same pairs.
+        let mut r = det("alice");
+        let kp = KeyPair::generate(Group::test512(), &mut r);
+        let sig = kp.sign(b"msg", &mut r);
+        let stripped = Signature {
+            e: sig.e.clone(),
+            s: sig.s.clone(),
+            r: None,
+        };
+        assert!(kp.public.verify(b"msg", &stripped));
+        assert!(kp.public.verify_uncached(b"msg", &stripped));
     }
 
     #[test]
@@ -282,11 +612,13 @@ mod tests {
         let sig = Signature {
             e: q.clone(),
             s: Ubig::one(),
+            r: None,
         };
         assert!(!kp.public.verify(b"msg", &sig));
         let sig = Signature {
             e: Ubig::zero(),
             s: Ubig::one(),
+            r: None,
         };
         assert!(!kp.public.verify(b"msg", &sig));
     }
@@ -339,6 +671,93 @@ mod tests {
         let a = KeyPair::generate(Group::test512(), &mut r);
         let b = KeyPair::generate(Group::test512(), &mut r);
         assert_ne!(a.public.hash(), b.public.hash());
+    }
+
+    #[test]
+    fn batch_accepts_valid_burst() {
+        let mut r = det("batch-ok");
+        let issuers: Vec<KeyPair> = (0..3)
+            .map(|_| KeyPair::generate(Group::test512(), &mut r))
+            .collect();
+        let msgs: Vec<Vec<u8>> = (0..16).map(|i| format!("cert {i}").into_bytes()).collect();
+        let sigs: Vec<Signature> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| issuers[i % 3].sign(m, &mut r))
+            .collect();
+        let entries: Vec<BatchEntry<'_>> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| BatchEntry {
+                key: &issuers[i % 3].public,
+                message: m,
+                sig: &sigs[i],
+            })
+            .collect();
+        assert_eq!(verify_batch_with(&entries, &mut r), BatchOutcome::AllValid);
+    }
+
+    #[test]
+    fn batch_pinpoints_forged_member() {
+        let mut r = det("batch-forge");
+        let kp = KeyPair::generate(Group::test512(), &mut r);
+        let msgs: Vec<Vec<u8>> = (0..8).map(|i| format!("m{i}").into_bytes()).collect();
+        let mut sigs: Vec<Signature> = msgs.iter().map(|m| kp.sign(m, &mut r)).collect();
+        sigs[5].s = sigs[5].s.add(&Ubig::one());
+        let entries: Vec<BatchEntry<'_>> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| BatchEntry {
+                key: &kp.public,
+                message: m,
+                sig: &sigs[i],
+            })
+            .collect();
+        assert_eq!(
+            verify_batch_with(&entries, &mut r),
+            BatchOutcome::Invalid(vec![5])
+        );
+    }
+
+    #[test]
+    fn batch_handles_commitment_free_members() {
+        let mut r = det("batch-legacy");
+        let kp = KeyPair::generate(Group::test512(), &mut r);
+        let msgs: Vec<Vec<u8>> = (0..4).map(|i| format!("m{i}").into_bytes()).collect();
+        let mut sigs: Vec<Signature> = msgs.iter().map(|m| kp.sign(m, &mut r)).collect();
+        sigs[1].r = None; // legacy wire form drops into the individual path
+        let entries: Vec<BatchEntry<'_>> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| BatchEntry {
+                key: &kp.public,
+                message: m,
+                sig: &sigs[i],
+            })
+            .collect();
+        assert_eq!(verify_batch_with(&entries, &mut r), BatchOutcome::AllValid);
+    }
+
+    #[test]
+    fn batch_mixed_groups() {
+        let mut r = det("batch-mixed");
+        let small = KeyPair::generate(Group::test512(), &mut r);
+        let big = KeyPair::generate(Group::group1024(), &mut r);
+        let msg = b"cross-group burst".to_vec();
+        let s1 = small.sign(&msg, &mut r);
+        let s2 = big.sign(&msg, &mut r);
+        let mut bad = small.sign(&msg, &mut r);
+        bad.e = bad.e.add(&Ubig::one()).rem(&Group::test512().q);
+        let entries = vec![
+            BatchEntry { key: &small.public, message: &msg, sig: &s1 },
+            BatchEntry { key: &big.public, message: &msg, sig: &s2 },
+            BatchEntry { key: &small.public, message: &msg, sig: &bad },
+            BatchEntry { key: &big.public, message: &msg, sig: &s2 },
+        ];
+        assert_eq!(
+            verify_batch_with(&entries, &mut r),
+            BatchOutcome::Invalid(vec![2])
+        );
     }
 
     #[test]

@@ -17,7 +17,8 @@ use crate::message::{HttpRequest, HttpResponse};
 use std::sync::Mutex;
 use snowflake_core::audit::{AuditEmitter, Decision, DecisionEvent, EmitterSlot};
 use snowflake_core::{
-    Certificate, Delegation, HashAlg, HashVal, Principal, Proof, Tag, Time, Validity, VerifyCtx,
+    Certificate, ChainMemo, Delegation, HashAlg, HashVal, Principal, Proof, Tag, Time, Validity,
+    VerifyCtx,
 };
 use snowflake_crypto::KeyPair;
 use std::collections::HashMap;
@@ -423,7 +424,12 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
             verified: Mutex::new(VerifiedCache::default()),
             cache_epoch: std::sync::atomic::AtomicU64::new(0),
             stats: Mutex::new(ServletStats::default()),
-            base_ctx: Mutex::new(VerifyCtx::at(clock())),
+            // Every servlet verifies through a verified-chain memo by
+            // default: re-presented proof chains (streams of distinct
+            // requests under one delegation) skip the exponentiations.
+            base_ctx: Mutex::new(
+                VerifyCtx::at(clock()).with_chain_memo(Arc::new(ChainMemo::new(1024))),
+            ),
             clock,
             rng: Mutex::new(rng),
             audit: EmitterSlot::new(),
@@ -482,7 +488,16 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
             verified.entries.retain(|_, e| !e.certs.contains(cert_hash));
             dropped += before - verified.entries.len();
         }
+        if let Some(memo) = self.base_ctx.plock().chain_memo() {
+            dropped += memo.evict_cert(cert_hash);
+        }
         dropped + self.macs.evict_by_cert(cert_hash)
+    }
+
+    /// The verified-chain memo every verification of this servlet consults
+    /// (exposed for counters and shared wiring).
+    pub fn chain_memo(&self) -> Option<Arc<ChainMemo>> {
+        self.base_ctx.plock().chain_memo().cloned()
     }
 
     /// Current statistics.
@@ -600,7 +615,7 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
         let epoch = self.cache_epoch.load(std::sync::atomic::Ordering::SeqCst);
         let mut ctx = self.base_ctx.plock().clone();
         ctx.now = now;
-        match proof.authorizes(&speaker, &issuer, &request_tag, &ctx) {
+        match ctx.authorize(&proof, &speaker, &issuer, &request_tag) {
             Ok(()) => {
                 self.stats.plock().proof_verifications += 1;
                 let expiry = match proof.conclusion().validity.not_after {
@@ -789,7 +804,7 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
         let store_epoch = self.macs.invalidation_epoch();
         let mut ctx = self.base_ctx.plock().clone();
         ctx.now = now;
-        match proof.authorizes(&speaker, &conclusion.issuer, &conclusion.tag, &ctx) {
+        match ctx.authorize(&proof, &speaker, &conclusion.issuer, &conclusion.tag) {
             Ok(()) => {
                 self.stats.plock().proof_verifications += 1;
                 let certs = proof.cert_hashes();
@@ -955,8 +970,7 @@ pub fn verify_document(
         .map_err(|e| format!("bad document proof: {e}"))?;
     let proof = Proof::from_sexp(&sexp).map_err(|e| format!("bad document proof: {e}"))?;
     let doc_principal = Principal::Message(HashVal::of(&resp.body));
-    proof
-        .authorizes(&doc_principal, expected_issuer, &Tag::Star, ctx)
+    ctx.authorize(&proof, &doc_principal, expected_issuer, &Tag::Star)
         .map_err(|e| format!("document proof rejected: {e}"))
 }
 

@@ -10,7 +10,7 @@
 //! restart.
 
 use snowflake_core::audit::{AuditEmitter, Decision, DecisionEvent};
-use snowflake_core::Time;
+use snowflake_core::{ChainMemo, Time};
 use snowflake_crypto::HashVal;
 use snowflake_http::{MacSessionStore, ProtectedServlet, SnowflakeService};
 use snowflake_prover::Prover;
@@ -27,6 +27,12 @@ pub trait RevocationBus: Send + Sync {
 impl RevocationBus for Prover {
     fn certificate_revoked(&self, cert_hash: &HashVal) -> usize {
         self.invalidate_cert(cert_hash)
+    }
+}
+
+impl RevocationBus for ChainMemo {
+    fn certificate_revoked(&self, cert_hash: &HashVal) -> usize {
+        self.evict_cert(cert_hash)
     }
 }
 

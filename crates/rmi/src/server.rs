@@ -5,7 +5,9 @@ use crate::proto::{Invocation, RmiFault, RmiReply, PROOF_RECIPIENT};
 use std::sync::Mutex;
 use snowflake_channel::AuthChannel;
 use snowflake_core::audit::{AuditEmitter, Decision, DecisionEvent, EmitterSlot};
-use snowflake_core::{ChannelId, Delegation, Principal, Proof, Tag, Time, Validity, VerifyCtx};
+use snowflake_core::{
+    ChainMemo, ChannelId, Delegation, Principal, Proof, Tag, Time, Validity, VerifyCtx,
+};
 use snowflake_crypto::PublicKey;
 use snowflake_sexpr::Sexp;
 use std::collections::HashMap;
@@ -116,7 +118,12 @@ impl RmiServer {
             cache: Mutex::new(HashMap::new()),
             cache_epoch: std::sync::atomic::AtomicU64::new(0),
             stats: Mutex::new(ProofCacheStats::default()),
-            base_ctx: Mutex::new(VerifyCtx::at(clock())),
+            // Proof verification goes through a verified-chain memo:
+            // reconnecting clients re-submitting a known chain skip the
+            // exponentiations.
+            base_ctx: Mutex::new(
+                VerifyCtx::at(clock()).with_chain_memo(Arc::new(ChainMemo::new(1024))),
+            ),
             clock,
             audit: EmitterSlot::new(),
         })
@@ -200,7 +207,17 @@ impl RmiServer {
             evicted += before - entries.len();
             !entries.is_empty()
         });
+        drop(cache);
+        if let Some(memo) = self.base_ctx.plock().chain_memo() {
+            evicted += memo.evict_cert(cert_hash);
+        }
         evicted
+    }
+
+    /// The verified-chain memo this server's verifications consult
+    /// (exposed for counters and shared wiring).
+    pub fn chain_memo(&self) -> Option<Arc<ChainMemo>> {
+        self.base_ctx.plock().chain_memo().cloned()
     }
 
     /// Hands a connection to the runtime's worker pool, the production
@@ -518,7 +535,7 @@ impl RmiServer {
             ctx.assume(&binding);
         }
 
-        if let Err(e) = proof.verify(&ctx) {
+        if let Err(e) = ctx.verify_cached(&proof) {
             self.audit(|| {
                 DecisionEvent::new(
                     ctx.now,

@@ -14,12 +14,13 @@ cargo test -q --offline
 echo "==> cargo doc --no-deps"
 cargo doc --no-deps --offline
 
-echo "==> contention + freshness + saturation + audit + wal + scaling + fanout benches (smoke mode: one iteration each)"
+echo "==> contention + freshness + saturation + audit + wal + scaling + fanout + crypto + table1 benches (smoke mode: one iteration each)"
 SF_BENCH_SMOKE=1 cargo bench -q -p snowflake-bench --offline \
     --bench prover_contention --bench mac_contention \
     --bench revocation_freshness --bench runtime_saturation \
     --bench audit_throughput --bench wal_throughput \
-    --bench connection_scaling --bench broker_fanout
+    --bench connection_scaling --bench broker_fanout \
+    --bench crypto_primitives --bench table1_breakdown
 
 echo "==> crash-recovery suites (byte-boundary fault injection)"
 # The durability claim is only as good as the harness that attacks it:
@@ -38,6 +39,18 @@ echo "==> connection-layer suites (slow-loris, drain-with-parked, reactor servin
 cargo test -q --offline -p snowflake-http --test connection_reactor
 cargo test -q --offline -p snowflake-rmi --test reactor_serving
 cargo test -q --offline -p snowflake-revocation --test reactor_push
+
+echo "==> verification fast-path suites (modpow vs reference, batch pinpointing, memo soundness)"
+# The fast paths are optimizations of an unchanged acceptance predicate,
+# and each has a suite proving it against the slow reference: bigint
+# sliding-window/fixed-base modpow vs square-and-multiply, batched
+# Schnorr accepts iff every member verifies individually (bit-flips are
+# pinpointed), and the verified-chain memo answers byte-identically to a
+# cold context while staying revocation-sound.  A change that deletes or
+# renames these suites must fail loudly here.
+cargo test -q --offline -p snowflake-bigint --test props
+cargo test -q --offline -p snowflake-crypto --test batch_props
+cargo test -q --offline -p snowflake-core --test chain_memo
 
 echo "==> broker suites (authz facade, subscribe-as-action, revocation-push cuts)"
 # The broker's claims — authz answers fail closed on malformed bodies,
@@ -126,6 +139,30 @@ for f in \
 done
 if [ "$audit_gate_failed" -ne 0 ]; then
     echo "FAIL: a server decision path lacks an audit emit call (see snowflake-audit)"
+    exit 1
+fi
+
+echo "==> memo gate: server surfaces verify through the memoized entry points"
+# Every server-facing verification must flow through VerifyCtx::authorize
+# or VerifyCtx::verify_cached so the verified-chain memo (and its
+# revocation eviction) covers it.  This gate fails if a surface file
+# regrows a direct proof.authorizes(...) / proof.verify(...) call outside
+# its #[cfg(test)] module — a call site that silently bypasses the memo
+# *and* its push-eviction wiring.
+memo_gate_failed=0
+for f in \
+    crates/http/src/server.rs \
+    crates/rmi/src/server.rs \
+    crates/broker/src/authz.rs crates/broker/src/topic.rs \
+    crates/apps/src/gateway.rs; do
+    if awk '/#\[cfg\(test\)\]/{exit} /\.authorizes\(|proof\.verify\(/{print FILENAME": "NR": "$0; found=1} END{exit found}' "$f"; then
+        :
+    else
+        memo_gate_failed=1
+    fi
+done
+if [ "$memo_gate_failed" -ne 0 ]; then
+    echo "FAIL: a server surface verifies proofs without the verified-chain memo (use VerifyCtx::authorize / verify_cached)"
     exit 1
 fi
 
