@@ -16,11 +16,12 @@
 //!    proof is a different key);
 //! 2. the **context fingerprint** — computed fresh by the caller at
 //!    lookup time, folding together which assumption leaves the context
-//!    vouches for (the trust-anchor set), the identity (validator +
-//!    serial + window) of every revocation artifact governing a
+//!    vouches for (the trust-anchor set), the content hash (over the
+//!    full signed wire form) of every revocation artifact governing a
 //!    certificate in the chain, and the context's revocation epoch.  Any
-//!    newly installed CRL, expired revalidation, or changed assumption
-//!    set changes the fingerprint and misses;
+//!    newly installed CRL — even a same-serial reissue with a different
+//!    revoked set — expired revalidation, or changed assumption set
+//!    changes the fingerprint and misses;
 //! 3. the **entry's validity interval** — `verified_at ≤ now ≤
 //!    valid_until`, where `valid_until` is the conservative minimum of
 //!    every consulted artifact's validity end.  Verification outcomes are
@@ -162,14 +163,22 @@ impl ChainMemo {
         certs: Vec<HashVal>,
         push_epoch_at_verify: u64,
     ) {
-        if self.push_epoch.load(Ordering::SeqCst) != push_epoch_at_verify {
-            return;
-        }
         let key = MemoKey {
             proof: proof.clone(),
             fingerprint: fingerprint.clone(),
         };
         let mut shard = self.shard(&key).lock().unwrap();
+        // Checked *under* the shard lock.  [`ChainMemo::evict_cert`] bumps
+        // the epoch before locking any shard, so holding the lock leaves
+        // exactly two orderings: the eviction's scan of this shard already
+        // ran (then its prior bump is visible here and the stale insert is
+        // discarded), or it has not run yet (then it will see — and judge —
+        // whatever we insert).  A pre-lock check would leave a third:
+        // check passes, the full eviction runs, *then* the stale insert
+        // lands and serves pre-revocation hits until expiry.
+        if self.push_epoch.load(Ordering::SeqCst) != push_epoch_at_verify {
+            return;
+        }
         while shard.entries.len() >= self.per_shard_cap {
             match shard.order.pop_front() {
                 Some(old) => {

@@ -99,6 +99,8 @@ pub struct Crl {
     /// part of the wire format or equality; mutating `revoked` after the
     /// first lookup is not supported (it would break the signature anyway).
     index: OnceLock<HashSet<HashVal>>,
+    /// Lazily computed [`Crl::content_hash`]; same caveats as `index`.
+    content_hash: OnceLock<HashVal>,
 }
 
 impl PartialEq for Crl {
@@ -142,6 +144,7 @@ impl Crl {
             signer: validator.public.clone(),
             signature,
             index: OnceLock::new(),
+            content_hash: OnceLock::new(),
         }
     }
 
@@ -186,6 +189,16 @@ impl Crl {
     /// The canonical to-be-signed bytes [`Crl::signature`] covers.
     pub fn signed_bytes(&self) -> Vec<u8> {
         Self::tbs(self.serial, &self.revoked, &self.validity).canonical()
+    }
+
+    /// Hash of the full signed wire form ([`Crl::to_sexp`] canonical
+    /// bytes: body, signer, *and* signature) — the identity caches key
+    /// this exact artifact under.  Two lists that differ anywhere hash
+    /// apart, including a reissue that reuses a serial and validity
+    /// window over a different revoked set.  Computed once per instance.
+    pub fn content_hash(&self) -> &HashVal {
+        self.content_hash
+            .get_or_init(|| HashVal::of(&self.to_sexp().canonical()))
     }
 
     /// Is `cert_hash` on the list?  O(1) after the first call builds the
@@ -246,6 +259,7 @@ impl Crl {
             signer: PublicKey::from_sexp(&body[1])?,
             signature: Signature::from_sexp(&body[2])?,
             index: OnceLock::new(),
+            content_hash: OnceLock::new(),
         })
     }
 }
@@ -313,6 +327,13 @@ impl Revalidation {
             return Err("revalidation signature invalid".into());
         }
         Ok(())
+    }
+
+    /// Hash of the full signed wire form ([`Revalidation::to_sexp`]
+    /// canonical bytes) — see [`Crl::content_hash`].  Revalidation bodies
+    /// are a few hundred bytes, so this is computed on demand.
+    pub fn content_hash(&self) -> HashVal {
+        HashVal::of(&self.to_sexp().canonical())
     }
 
     /// Serializes the full signed revalidation:

@@ -321,29 +321,25 @@ impl VerifyCtx {
     ///
     /// The fingerprint folds the revocation epoch, each assumption leaf's
     /// vouched/unvouched bit, and for each signed-certificate leaf the
-    /// identity (signer, serial, validity window) of the revocation
-    /// artifact [`VerifyCtx::check_revocation`] would resolve — through
-    /// the *same* [`VerifyCtx::resolve_crl`] / [`VerifyCtx::resolve_revalidation`]
+    /// **content hash** (the full signed wire bytes — body, signer, and
+    /// signature) of the revocation artifact
+    /// [`VerifyCtx::check_revocation`] would resolve — through the *same*
+    /// [`VerifyCtx::resolve_crl`] / [`VerifyCtx::resolve_revalidation`]
     /// helpers, so fingerprint and cold path can never disagree about
-    /// which artifact governs.  `valid_until` is the minimum validity end
-    /// of every consulted artifact: past it, a then-current artifact may
-    /// have lapsed (and the cold path would fail or fall back to a stale
-    /// list), so a memo hit must not outlive it.  Certificate-conclusion
-    /// expiry needs no folding — `Proof::verify` is time-dependent only
-    /// through artifact currency, and conclusion expiry is re-checked on
-    /// every request by [`Proof::check_conclusion`].
+    /// which artifact governs.  Hashing the artifact's *content*, not its
+    /// (signer, serial, window) identity, is load-bearing: a validator
+    /// that reissues a different revoked-set under a reused serial and
+    /// window (or a source that swaps a same-serial list) must change the
+    /// fingerprint, or a memo hit would keep answering for the old list
+    /// while the cold path enforces the new one.  `valid_until` is the
+    /// minimum validity end of every consulted artifact: past it, a
+    /// then-current artifact may have lapsed (and the cold path would
+    /// fail or fall back to a stale list), so a memo hit must not outlive
+    /// it.  Certificate-conclusion expiry needs no folding —
+    /// `Proof::verify` is time-dependent only through artifact currency,
+    /// and conclusion expiry is re-checked on every request by
+    /// [`Proof::check_conclusion`].
     pub fn memo_fingerprint(&self, proof: &Proof) -> (HashVal, Option<Time>) {
-        fn fold_validity(buf: &mut Vec<u8>, v: &Validity) {
-            for bound in [v.not_before, v.not_after] {
-                match bound {
-                    Some(Time(t)) => {
-                        buf.push(1);
-                        buf.extend_from_slice(&t.to_be_bytes());
-                    }
-                    None => buf.push(0),
-                }
-            }
-        }
         fn min_end(valid_until: &mut Option<Time>, v: &Validity) {
             if let Some(end) = v.not_after {
                 *valid_until = Some(match *valid_until {
@@ -374,9 +370,7 @@ impl VerifyCtx {
                         match self.resolve_crl(validator) {
                             Some(resolved) => {
                                 let crl = resolved.get();
-                                buf.extend_from_slice(&crl.signer.hash().bytes);
-                                buf.extend_from_slice(&crl.serial.to_be_bytes());
-                                fold_validity(&mut buf, &crl.validity);
+                                buf.extend_from_slice(&crl.content_hash().bytes);
                                 min_end(&mut valid_until, &crl.validity);
                             }
                             None => buf.push(b'?'),
@@ -390,8 +384,7 @@ impl VerifyCtx {
                         match self.resolve_revalidation(&hash) {
                             Some(resolved) => {
                                 let reval = resolved.get();
-                                buf.extend_from_slice(&reval.signer.hash().bytes);
-                                fold_validity(&mut buf, &reval.validity);
+                                buf.extend_from_slice(&reval.content_hash().bytes);
                                 min_end(&mut valid_until, &reval.validity);
                             }
                             None => buf.push(b'?'),

@@ -180,6 +180,39 @@ fn new_crl_serial_misses_even_without_push() {
 }
 
 #[test]
+fn same_serial_reissue_misses() {
+    // The fingerprint pins the governing CRL by *content*, not identity:
+    // a validator that reissues a different revoked-set under the same
+    // serial and validity window (so neither the serial fold nor the
+    // revocation epoch moves) must still change the fingerprint — the
+    // cold path now enforces the new list, and a memo hit answering for
+    // the old one would survive a revocation until the window lapsed.
+    let [alice, bob, carol, validator] = &keys()[..] else { unreachable!() };
+    let mut r = rng("same-serial-reissue");
+    let policy = RevocationPolicy::Crl { validator: validator.public.hash() };
+    let c1 = Certificate::issue(bob, deleg(carol, bob, false), &mut r);
+    let c2 = Certificate::issue_with_revocation(alice, deleg(bob, alice, true), Some(policy), &mut r);
+    let c2_hash = c2.hash();
+    let proof = Proof::signed_cert(c1).then(Proof::signed_cert(c2));
+
+    let memo = Arc::new(ChainMemo::new(64));
+    let mut ctx = VerifyCtx::at(Time(100)).with_chain_memo(memo.clone());
+    let window = Validity::until(Time(10_000));
+    ctx.install_crl(Crl::issue_with_serial(validator, 5, vec![], window.clone(), &mut r));
+    assert!(ctx.verify_cached(&proof).is_ok());
+    assert!(ctx.verify_cached(&proof).is_ok());
+    assert_eq!(memo.stats().hits, 1);
+
+    // Reissue under the *same* serial and window, now revoking c2.
+    ctx.install_crl(Crl::issue_with_serial(validator, 5, vec![c2_hash], window, &mut r));
+    match ctx.verify_cached(&proof) {
+        Err(ProofError::Revoked(_)) => {}
+        other => panic!("reissued list must govern, got {other:?}"),
+    }
+    assert_eq!(memo.stats().hits, 1, "stale entry must not answer for the reissued list");
+}
+
+#[test]
 fn memo_hit_cannot_outlive_consulted_artifact() {
     // The stale-CRL hazard: a CRL valid on [0, 100] governs the chain and
     // the chain verifies (and is memoized) at t=50. At t=150 a cold

@@ -6,18 +6,30 @@
 //! sign almost every certificate a verifier sees — so a small process-wide
 //! cache of per-`y` tables pays for itself after a couple of verifies.
 //!
-//! Two design points keep the cache honest:
+//! The cache sits on every signature verification across every server
+//! surface, so its design leans defensive:
 //!
+//! * **Sharded, clone-free lookups.** Sixteen shards keyed by a cheap
+//!   64-bit fingerprint of `(group, y)` keep concurrent verifies off one
+//!   another's locks, and a lookup never clones the key's big integer —
+//!   the fingerprint indexes the shard map and the stored `y` is compared
+//!   in place (a fingerprint collision with a *different* key is treated
+//!   as a miss, never served the colliding entry).
+//! * **Only validated keys are tracked.** An entry is inserted by
+//!   [`confirm_element`], i.e. only after the key has passed its
+//!   subgroup-membership check — so an attacker streaming distinct bogus
+//!   public keys never touches the map and cannot evict a promoted
+//!   issuer table.  Eviction within a shard prefers entries that have not
+//!   earned a table yet, so even a flood of *valid* one-shot keys leaves
+//!   promoted issuer tables standing as long as anything else can go.
 //! * **Promotion threshold.** Building a table costs roughly two to three
 //!   generic exponentiations, and some keys are seen exactly once (e.g. a
 //!   client key during MAC establishment).  A table is therefore built on
-//!   the *second* sighting of a key, never the first, and only after the
-//!   key has passed its subgroup-membership check — so a flood of verifies
-//!   against bogus keys cannot fill the cache with garbage tables.
+//!   the *second* validated sighting of a key, never the first.
 //! * **Cached membership.** `is_element(y)` is itself a full `q`-sized
 //!   exponentiation.  `y` and the group parameters are immutable, so a
-//!   membership check done once per key is sound to reuse; the cache
-//!   records it alongside the table slot.
+//!   membership check done once per key is sound to reuse; an entry's
+//!   presence in the map records it.
 //!
 //! Signing never consults this cache: the signer exponentiates only the
 //! generator (`r = g^k`), never its own `y`, so there is nothing for a
@@ -26,101 +38,155 @@
 use crate::group::Group;
 use crate::schnorr::PublicKey;
 use snowflake_bigint::{FixedBaseTable, Ubig};
-use std::collections::{HashMap, VecDeque};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Maximum number of distinct keys tracked; FIFO-evicted beyond this.
-const CACHE_CAP: usize = 128;
-/// Sightings before a key's table is built (never on the first).
+/// Lock shards; verifies for different issuers proceed concurrently.
+const SHARDS: usize = 16;
+/// Maximum validated keys tracked per shard (128 process-wide).
+const SHARD_CAP: usize = 8;
+/// Validated sightings before a key's table is built (never on the first).
 const PROMOTE_AT: u64 = 2;
 
-/// Cache keys pair the group's static identity with the public element.
-type Key = (usize, Ubig);
-
 struct Entry {
+    /// The group's static identity, for collision comparison.
+    group: usize,
+    /// The public element, for collision comparison (cloned once, at
+    /// insert — lookups compare in place).
+    y: Ubig,
+    /// Validated sightings of this key.
     seen: u64,
-    element_valid: bool,
     table: Option<Arc<FixedBaseTable>>,
 }
 
-#[derive(Default)]
-struct Cache {
-    map: HashMap<Key, Entry>,
-    order: VecDeque<Key>,
+impl Entry {
+    fn matches(&self, group: usize, key: &PublicKey) -> bool {
+        self.group == group && self.y == key.y
+    }
 }
 
-static CACHE: OnceLock<Mutex<Cache>> = OnceLock::new();
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    /// Insertion order (fingerprints); kept in sync with `map`.
+    order: Vec<u64>,
+}
+
+static SHARDS_CELL: OnceLock<Vec<Mutex<Shard>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static BUILDS: AtomicU64 = AtomicU64::new(0);
 static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
-fn cache() -> &'static Mutex<Cache> {
-    CACHE.get_or_init(|| Mutex::new(Cache::default()))
+fn shards() -> &'static Vec<Mutex<Shard>> {
+    SHARDS_CELL.get_or_init(|| (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect())
 }
 
-fn cache_key(key: &PublicKey) -> Key {
-    (key.group as *const Group as usize, key.y.clone())
+/// A 64-bit fingerprint of `(group, y)`: shard selector and map key.
+/// Collisions are survivable (compared against the stored key), just
+/// cache-defeating for the colliding pair.
+fn fingerprint(key: &PublicKey) -> u64 {
+    let mut h = DefaultHasher::new();
+    (key.group as *const Group as usize).hash(&mut h);
+    key.y.hash(&mut h);
+    h.finish()
+}
+
+fn shard_for(fp: u64) -> &'static Mutex<Shard> {
+    &shards()[fp as usize % SHARDS]
+}
+
+/// Drops entries until the shard has room, preferring victims that never
+/// earned a table so promoted issuer tables survive churn.
+fn make_room(s: &mut Shard) {
+    while s.map.len() >= SHARD_CAP {
+        let victim = s
+            .order
+            .iter()
+            .position(|fp| s.map.get(fp).is_some_and(|e| e.table.is_none()))
+            .unwrap_or(0);
+        if victim >= s.order.len() {
+            break;
+        }
+        let fp = s.order.remove(victim);
+        if s.map.remove(&fp).is_some() {
+            EVICTIONS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// What the cache knows about a key at verify time.
 pub(crate) struct Sighting {
     pub table: Option<Arc<FixedBaseTable>>,
+    /// `true` when the key is tracked, which implies it already passed
+    /// its subgroup-membership check (untracked keys must be re-checked).
     pub element_valid: bool,
 }
 
-/// Records a sighting of `key` and returns its cached state.
+/// Records a sighting of `key` and returns its cached state.  Untracked
+/// keys are *not* inserted here — only [`confirm_element`] (called after
+/// the subgroup check passes) admits a key to the cache.
 pub(crate) fn observe(key: &PublicKey) -> Sighting {
-    let k = cache_key(key);
-    let mut c = cache().lock().unwrap();
-    if !c.map.contains_key(&k) {
-        if c.map.len() >= CACHE_CAP {
-            while let Some(old) = c.order.pop_front() {
-                if c.map.remove(&old).is_some() {
-                    EVICTIONS.fetch_add(1, Ordering::Relaxed);
-                    break;
-                }
+    let fp = fingerprint(key);
+    let gp = key.group as *const Group as usize;
+    let mut s = shard_for(fp).lock().unwrap();
+    match s.map.get_mut(&fp) {
+        Some(en) if en.matches(gp, key) => {
+            en.seen += 1;
+            if en.table.is_some() {
+                HITS.fetch_add(1, Ordering::Relaxed);
+            }
+            Sighting {
+                table: en.table.clone(),
+                element_valid: true,
             }
         }
-        c.order.push_back(k.clone());
-        c.map.insert(
-            k.clone(),
-            Entry {
-                seen: 0,
-                element_valid: false,
-                table: None,
-            },
-        );
-    }
-    let entry = c.map.get_mut(&k).expect("just inserted");
-    entry.seen += 1;
-    if entry.table.is_some() {
-        HITS.fetch_add(1, Ordering::Relaxed);
-    }
-    Sighting {
-        table: entry.table.clone(),
-        element_valid: entry.element_valid,
+        _ => Sighting {
+            table: None,
+            element_valid: false,
+        },
     }
 }
 
-/// Marks `key` as having passed its subgroup-membership check, and builds
-/// its fixed-base table if the key has now been seen often enough.
+/// Admits `key` — which the caller has just subgroup-validated, or found
+/// already tracked — and builds its fixed-base table once the key has
+/// been sighted often enough.
 ///
-/// The table is built *outside* the cache lock (construction costs ~1000
+/// The table is built *outside* the shard lock (construction costs ~1000
 /// modular multiplies); a concurrent builder losing the install race just
 /// wastes one build.  Returns the installed table when one exists.
 pub(crate) fn confirm_element(key: &PublicKey) -> Option<Arc<FixedBaseTable>> {
-    let k = cache_key(key);
+    let fp = fingerprint(key);
+    let gp = key.group as *const Group as usize;
     let build = {
-        let mut c = cache().lock().unwrap();
-        let Some(entry) = c.map.get_mut(&k) else {
-            return None; // evicted between observe and confirm
-        };
-        entry.element_valid = true;
-        if let Some(t) = &entry.table {
-            return Some(t.clone());
+        let mut s = shard_for(fp).lock().unwrap();
+        match s.map.get_mut(&fp) {
+            Some(en) if en.matches(gp, key) => {
+                if let Some(t) = &en.table {
+                    return Some(t.clone());
+                }
+                en.seen >= PROMOTE_AT
+            }
+            // A different key owns this fingerprint; leave it alone.
+            Some(_) => return None,
+            None => {
+                // First validated sighting: start tracking the key.
+                make_room(&mut s);
+                s.order.push(fp);
+                s.map.insert(
+                    fp,
+                    Entry {
+                        group: gp,
+                        y: key.y.clone(),
+                        seen: 1,
+                        table: None,
+                    },
+                );
+                false
+            }
         }
-        entry.seen >= PROMOTE_AT
     };
     if !build {
         return None;
@@ -131,10 +197,10 @@ pub(crate) fn confirm_element(key: &PublicKey) -> Option<Arc<FixedBaseTable>> {
         key.group.q.bits(),
     ));
     BUILDS.fetch_add(1, Ordering::Relaxed);
-    let mut c = cache().lock().unwrap();
-    match c.map.get_mut(&k) {
-        Some(entry) => Some(entry.table.get_or_insert_with(|| table).clone()),
-        None => Some(table), // evicted meanwhile; still useful to the caller
+    let mut s = shard_for(fp).lock().unwrap();
+    match s.map.get_mut(&fp) {
+        Some(en) if en.matches(gp, key) => Some(en.table.get_or_insert_with(|| table).clone()),
+        _ => Some(table), // evicted meanwhile; still useful to the caller
     }
 }
 
@@ -145,7 +211,7 @@ pub struct KeyTableStats {
     pub hits: u64,
     /// Tables built (each replaces ~2 generic exponentiations per verify).
     pub builds: u64,
-    /// Keys FIFO-evicted to stay within the cache bound.
+    /// Keys evicted to stay within the cache bound.
     pub evictions: u64,
     /// Distinct keys currently tracked.
     pub keys: u64,
@@ -157,7 +223,10 @@ pub fn key_table_stats() -> KeyTableStats {
         hits: HITS.load(Ordering::Relaxed),
         builds: BUILDS.load(Ordering::Relaxed),
         evictions: EVICTIONS.load(Ordering::Relaxed),
-        keys: cache().lock().unwrap().map.len() as u64,
+        keys: shards()
+            .iter()
+            .map(|s| s.lock().unwrap().map.len() as u64)
+            .sum(),
     }
 }
 
@@ -182,9 +251,74 @@ mod tests {
         assert!(s2.element_valid, "membership check is remembered");
         assert!(s2.table.is_none());
         let t = confirm_element(key).expect("second sighting promotes");
-        assert_eq!(t.power(&Ubig::from(7u64)), key.y.modpow_basic(&Ubig::from(7u64), &key.group.p));
+        assert_eq!(
+            t.power(&Ubig::from(7u64)),
+            key.y.modpow_basic(&Ubig::from(7u64), &key.group.p)
+        );
 
         let s3 = observe(key);
         assert!(s3.table.is_some(), "table serves later sightings");
+    }
+
+    #[test]
+    fn unvalidated_keys_are_never_tracked() {
+        // A flood of keys that are merely *observed* (the subgroup check
+        // never passed, so confirm_element is never called) must not
+        // insert entries — and therefore cannot evict promoted tables.
+        let mut rng = DetRng::new(b"key-cache-bogus");
+        let mut r = move |buf: &mut [u8]| rng.fill(buf);
+        let issuer = KeyPair::generate(Group::test512(), &mut r);
+        observe(&issuer.public);
+        confirm_element(&issuer.public);
+        observe(&issuer.public);
+        confirm_element(&issuer.public).expect("issuer table promoted");
+
+        let keys_before = key_table_stats().keys;
+        for i in 0..512u64 {
+            let bogus = PublicKey {
+                group: Group::test512(),
+                // Not a subgroup element with overwhelming probability;
+                // the point is only that confirm_element never runs.
+                y: Ubig::from(3 + 2 * i),
+            };
+            let s = observe(&bogus);
+            assert!(!s.element_valid && s.table.is_none());
+        }
+        assert_eq!(
+            key_table_stats().keys,
+            keys_before,
+            "observe alone must not insert tracking entries"
+        );
+        let s = observe(&issuer.public);
+        assert!(
+            s.table.is_some(),
+            "issuer table survives an unvalidated-key flood"
+        );
+    }
+
+    #[test]
+    fn eviction_prefers_untabled_entries() {
+        // Fill well past the whole cache with validated one-shot keys;
+        // a previously promoted table must still be resident (victims
+        // are drawn from entries that never earned a table).
+        let mut rng = DetRng::new(b"key-cache-churn");
+        let mut r = move |buf: &mut [u8]| rng.fill(buf);
+        let issuer = KeyPair::generate(Group::test512(), &mut r);
+        observe(&issuer.public);
+        confirm_element(&issuer.public);
+        observe(&issuer.public);
+        confirm_element(&issuer.public).expect("issuer table promoted");
+
+        for _ in 0..(SHARDS * SHARD_CAP * 2) {
+            let one_shot = KeyPair::generate(Group::test512(), &mut r);
+            observe(&one_shot.public);
+            confirm_element(&one_shot.public); // validated, but seen once
+        }
+        let s = observe(&issuer.public);
+        assert!(
+            s.table.is_some(),
+            "promoted issuer table survives one-shot churn"
+        );
+        assert!(key_table_stats().evictions > 0, "churn actually evicted");
     }
 }

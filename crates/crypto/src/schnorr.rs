@@ -24,10 +24,11 @@ use crate::group::Group;
 use crate::hash::HashVal;
 use crate::key_cache;
 use crate::sha256::Sha256;
-use snowflake_bigint::Ubig;
+use snowflake_bigint::{FixedBaseTable, Ubig};
 use snowflake_sexpr::{ParseError, Sexp};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A Schnorr public key: group parameters plus `y = g^x`.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -124,13 +125,13 @@ impl PublicKey {
         }
         let sighting = key_cache::observe(self);
         let mut y_table = sighting.table;
-        if !sighting.element_valid {
-            if !group.is_element(&self.y) {
-                return false;
-            }
-            if let Some(t) = key_cache::confirm_element(self) {
-                y_table = Some(t);
-            }
+        if !sighting.element_valid && !group.is_element(&self.y) {
+            return false;
+        }
+        if y_table.is_none() {
+            // The first *validated* sighting registers the key in the
+            // cache; a later one promotes it to a fixed-base table.
+            y_table = key_cache::confirm_element(self);
         }
         let y_pow = |exp: &Ubig| match &y_table {
             Some(t) => t.power(exp),
@@ -312,20 +313,35 @@ impl BatchOutcome {
 /// Verifies a burst of signatures, sharing the exponentiation work.
 ///
 /// For members that carry their commitment `r` (every signature this
-/// library produces), a batch of N costs one multi-exponentiation instead
-/// of N independent verifies: with fresh random 128-bit coefficients
-/// `z_i`, checking
+/// library produces), a batch of N costs one multi-exponentiation plus
+/// one subgroup check per member instead of N independent verifies: with
+/// fresh random 128-bit coefficients `z_i`, checking
 ///
 /// ```text
 /// g^(Σ z_i·s_i mod q)  ==  Π r_i^(z_i) · Π_y y^(Σ_{i signed by y} z_i·e_i mod q)   (mod p)
 /// ```
 ///
-/// accepts a forged member with probability ≤ 2^-128 + ε: each `r_i` is
-/// bound by `e_i = H(r_i ‖ m_i)` (checked per member before batching), so
-/// an attacker cannot choose residuals that cancel across the random
-/// combination.  On batch failure every member is re-verified
-/// individually so the outcome pinpoints exactly the forged members —
-/// the batch never changes *what* verifies, only *how fast*.
+/// accepts a forged member with probability ≤ 2^-128 + ε.  Two per-member
+/// preconditions make the random combination sound:
+///
+/// * the hash binding `e_i = H(r_i ‖ m_i)`, so an attacker cannot choose
+///   `e_i` independently of `r_i`; and
+/// * **order-q subgroup membership of every `r_i`** (`r_i^q mod p == 1`,
+///   like the once-per-key check on `y`).  `Z_p^*` has cofactor
+///   `(p−1)/q` with small factors (`−1` at least), and a commitment
+///   smuggling a small-order component — e.g. `r' = −g^k`, which
+///   individual verification always rejects — would contribute a
+///   residual of order ℓ that the random `z_i` only catch with
+///   probability `1 − 1/ℓ`.  With every element confined to the order-q
+///   subgroup, any nonzero residual has prime order `q > 2^128` and the
+///   128 bits of `z_i` deliver the advertised bound.
+///
+/// On batch failure every member is re-verified individually so the
+/// outcome pinpoints exactly the forged members — the batch never
+/// changes *what* verifies, only *how fast*.  The subgroup checks are
+/// the dominant batch cost (one `q`-sized exponentiation per member),
+/// still well under the two-plus exponentiations of an uncached
+/// individual verify.
 ///
 /// Members without `r`, members in non-batchable singleton positions, and
 /// members whose structural/hash checks already fail are verified (or
@@ -396,20 +412,50 @@ fn batch_one_group(
         }
         live.push(i);
     }
-    // Subgroup membership per distinct key (cached across batches).
+    // Subgroup membership per distinct key (cached across batches),
+    // collecting any promoted fixed-base table for the per-key factors.
     let mut key_ok: HashMap<&Ubig, bool> = HashMap::new();
+    let mut y_tables: HashMap<&Ubig, Arc<FixedBaseTable>> = HashMap::new();
     live.retain(|&i| {
         let key = entries[i].key;
-        let ok = *key_ok.entry(&key.y).or_insert_with(|| {
-            let sighting = key_cache::observe(key);
-            sighting.element_valid || {
-                let valid = group.is_element(&key.y);
-                if valid {
-                    key_cache::confirm_element(key);
+        let ok = match key_ok.get(&key.y) {
+            Some(&ok) => ok,
+            None => {
+                let sighting = key_cache::observe(key);
+                let valid = sighting.element_valid || group.is_element(&key.y);
+                let mut table = sighting.table;
+                if valid && table.is_none() {
+                    table = key_cache::confirm_element(key);
                 }
+                if let Some(t) = table {
+                    y_tables.insert(&key.y, t);
+                }
+                key_ok.insert(&key.y, valid);
                 valid
             }
-        });
+        };
+        if !ok {
+            invalid.push(i);
+        }
+        ok
+    });
+    if live.len() < 2 {
+        for &i in &live {
+            if !entries[i].key.verify(entries[i].message, entries[i].sig) {
+                invalid.push(i);
+            }
+        }
+        return;
+    }
+    // Order-q subgroup membership of every carried commitment — the
+    // combination is only sound over the prime-order subgroup (see
+    // [`verify_batch`]).  A commitment outside it can never satisfy
+    // `g^s == r · y^e` (the left side and `y^e` both have order q), so
+    // failing members are definitively forged, no individual re-verify
+    // needed.
+    live.retain(|&i| {
+        let r = entries[i].sig.r.as_ref().expect("live members carry r");
+        let ok = r.modpow(&group.q, &group.p).is_one();
         if !ok {
             invalid.push(i);
         }
@@ -447,7 +493,11 @@ fn batch_one_group(
     let lhs = group.power(&a);
     let mut rhs = multi_exp(&r_terms, &group.p);
     for (y, b) in &per_key {
-        rhs = rhs.mulm(&y.modpow(b, &group.p), &group.p);
+        let y_pow = match y_tables.get(*y) {
+            Some(t) => t.power(b),
+            None => y.modpow(b, &group.p),
+        };
+        rhs = rhs.mulm(&y_pow, &group.p);
     }
     if lhs == rhs {
         return;
@@ -717,6 +767,62 @@ mod tests {
             verify_batch_with(&entries, &mut r),
             BatchOutcome::Invalid(vec![5])
         );
+    }
+
+    #[test]
+    fn batch_rejects_small_order_commitment() {
+        // A malicious signer who knows x can publish (r' = −g^k mod p,
+        // e = H(r' ‖ m), s = k + x·e): the hash binding holds, individual
+        // verification rejects it (g^s == r'·y^e fails on the sign), but
+        // without the subgroup check on carried commitments its batch
+        // residual is (−1)^{z_i}, which cancels whenever the random
+        // 128-bit coefficient is even — the batch would accept a
+        // signature the individual path rejects about half the time.
+        let mut r = det("small-order");
+        let kp = KeyPair::generate(Group::test512(), &mut r);
+        let group = kp.public.group;
+        let msg = b"forged under cofactor cover".to_vec();
+        let honest_msgs: Vec<Vec<u8>> =
+            (0..3).map(|i| format!("honest {i}").into_bytes()).collect();
+        let honest: Vec<Signature> = honest_msgs.iter().map(|m| kp.sign(m, &mut r)).collect();
+        let mut trials = 0;
+        while trials < 16 {
+            let k = group.random_exponent(&mut r);
+            let neg_r = group.p.sub(&group.power(&k)); // −g^k mod p
+            let e = challenge(group, &neg_r, &msg);
+            if e.is_zero() {
+                continue;
+            }
+            trials += 1;
+            let s = k.addm(&kp.x.mulm(&e, &group.q), &group.q);
+            let forged = Signature {
+                e,
+                s,
+                r: Some(neg_r),
+            };
+            assert!(!kp.public.verify(&msg, &forged));
+            assert!(!kp.public.verify_uncached(&msg, &forged));
+            let mut ens: Vec<BatchEntry<'_>> = honest_msgs
+                .iter()
+                .zip(&honest)
+                .map(|(m, sig)| BatchEntry {
+                    key: &kp.public,
+                    message: m,
+                    sig,
+                })
+                .collect();
+            ens.push(BatchEntry {
+                key: &kp.public,
+                message: &msg,
+                sig: &forged,
+            });
+            let mut zr = det(&format!("small-order-z-{trials}"));
+            assert_eq!(
+                verify_batch_with(&ens, &mut zr),
+                BatchOutcome::Invalid(vec![3]),
+                "cofactor forgery must never survive the batch"
+            );
+        }
     }
 
     #[test]
