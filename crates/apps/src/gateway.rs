@@ -48,6 +48,9 @@ pub struct QuotingGateway {
     /// client re-presents the same `R ⇒ C` proof, so repeat verification
     /// skips the exponentiations.
     memo: Arc<ChainMemo>,
+    /// Request latency in the per-surface request-duration family under
+    /// `surface="gateway"`.
+    latency: Arc<snowflake_metrics::LatencyHistogram>,
 }
 
 impl QuotingGateway {
@@ -58,7 +61,15 @@ impl QuotingGateway {
             clock,
             audit: EmitterSlot::new(),
             memo: Arc::new(ChainMemo::new(256)),
+            latency: snowflake_metrics::request_histogram("gateway"),
         }
+    }
+
+    /// Registers the gateway's chain memo with `registry` under
+    /// `surface="gateway"`; request latency already lands in the shared
+    /// per-surface histogram family at construction.
+    pub fn register_metrics(&self, registry: &snowflake_metrics::Registry) {
+        self.memo.register_metrics(registry, "gateway");
     }
 
     /// The gateway's verified-chain memo (exposed for counters and for
@@ -199,6 +210,7 @@ impl QuotingGateway {
 
 impl Handler for QuotingGateway {
     fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        let _timer = self.latency.start_timer();
         let Some((owner, folder)) = Self::parse_path(&req.path) else {
             return HttpResponse::not_found();
         };

@@ -106,6 +106,39 @@ impl AuditSink {
         }
     }
 
+    /// Events currently queued ahead of the drain worker.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Registers a scrape-time callback exposing [`SinkStats`] (plus the
+    /// live queue depth) under `sf_audit_*` — the same atomics
+    /// [`stats`](Self::stats) reads (collector id `"audit-sink"`).
+    pub fn register_metrics(self: &Arc<Self>, registry: &snowflake_metrics::Registry) {
+        use snowflake_metrics::Sample;
+        registry.set_help(
+            "sf_audit_dropped_total",
+            "Audit events refused because the sink queue was full (coverage lost to overload)",
+        );
+        let sink = Arc::downgrade(self);
+        registry.register_collector(
+            "audit-sink",
+            Arc::new(move |out: &mut Vec<Sample>| {
+                let Some(sink) = sink.upgrade() else { return };
+                let s = sink.stats();
+                out.push(Sample::gauge("sf_audit_queue_depth", &[], sink.queue_depth() as f64));
+                out.push(Sample::counter("sf_audit_accepted_total", &[], s.accepted));
+                out.push(Sample::counter("sf_audit_dropped_total", &[], s.dropped));
+                out.push(Sample::counter("sf_audit_drained_total", &[], s.drained));
+                out.push(Sample::counter(
+                    "sf_audit_append_failures_total",
+                    &[],
+                    s.append_failures,
+                ));
+            }),
+        );
+    }
+
     /// Waits until every event accepted *before this call* has been
     /// appended to the log (tests and orderly reporting; the hot path
     /// never calls this).

@@ -112,10 +112,10 @@ fn run_mac_requests(rig: &MacRig, n: usize) -> std::time::Duration {
     start.elapsed()
 }
 
-/// Floods a tiny sink, returning (elapsed, accepted, dropped).  The
-/// invariant checked everywhere: every emit is accounted for as accepted
-/// or dropped, and the flood never blocks on the drain.
-fn run_saturation(emits: u64) -> (std::time::Duration, u64, u64) {
+/// Floods a tiny sink, returning (elapsed, final stats).  The invariant
+/// checked everywhere: every emit is accounted for as accepted or
+/// dropped, and the flood never blocks on the drain.
+fn run_saturation(emits: u64) -> (std::time::Duration, snowflake_audit::SinkStats) {
     let sink = AuditSink::with_capacity(bench_log("sat", Box::new(MemoryBackend::new(4096))), 16);
     let start = std::time::Instant::now();
     for i in 0..emits {
@@ -126,7 +126,25 @@ fn run_saturation(emits: u64) -> (std::time::Duration, u64, u64) {
     let stats = sink.stats();
     assert_eq!(stats.accepted + stats.dropped, emits);
     assert_eq!(stats.drained, stats.accepted);
-    (elapsed, stats.accepted, stats.dropped)
+    (elapsed, stats)
+}
+
+/// One `report_json` line carrying the saturation run's [`SinkStats`]:
+/// the audit sink's health counters land in `BENCH_<date>.json` beside
+/// the latency rows, so the recorded trajectory covers audit overflow
+/// behavior too.
+fn report_sink_stats(emits: u64, elapsed: std::time::Duration, s: snowflake_audit::SinkStats) {
+    snowflake_bench::report_json(
+        "audit_sink_saturation",
+        &[
+            ("emits", emits.to_string()),
+            ("elapsed_us", (elapsed.as_micros() as u64).to_string()),
+            ("accepted", s.accepted.to_string()),
+            ("dropped", s.dropped.to_string()),
+            ("drained", s.drained.to_string()),
+            ("append_failures", s.append_failures.to_string()),
+        ],
+    );
 }
 
 fn audit_throughput(c: &mut Criterion) {
@@ -152,12 +170,14 @@ fn audit_throughput(c: &mut Criterion) {
         println!("audit_throughput/smoke/mac_off ok ({off:?} / 200 reqs)");
         println!("audit_throughput/smoke/mac_on  ok ({on:?} / 200 reqs)");
 
-        let (elapsed, accepted, dropped) = run_saturation(20_000);
-        assert!(dropped > 0, "a 16-slot queue must shed under a 20k flood");
+        let (elapsed, stats) = run_saturation(20_000);
+        assert!(stats.dropped > 0, "a 16-slot queue must shed under a 20k flood");
         println!(
             "audit_throughput/smoke/saturation ok ({elapsed:?} for 20k emits, \
-             {accepted} accepted, {dropped} dropped)"
+             {} accepted, {} dropped)",
+            stats.accepted, stats.dropped
         );
+        report_sink_stats(20_000, elapsed, stats);
         return;
     }
 
@@ -187,6 +207,9 @@ fn audit_throughput(c: &mut Criterion) {
         b.iter(|| run_saturation(20_000));
     });
     group.finish();
+
+    let (elapsed, stats) = run_saturation(20_000);
+    report_sink_stats(20_000, elapsed, stats);
 }
 
 criterion_group!(benches, audit_throughput);

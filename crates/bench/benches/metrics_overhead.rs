@@ -1,0 +1,125 @@
+//! What one metrics observation costs on the hot path.
+//!
+//! Every serving surface now records into a [`LatencyHistogram`] per
+//! request, and the runtime's shed/queue counters sit on the same relaxed
+//! atomics.  The budget: a `record` is three relaxed RMWs (bucket, sum,
+//! max) and a counter `inc` is one — tens of nanoseconds, invisible next
+//! to a microsecond of HMAC let alone a millisecond of Schnorr.  This
+//! bench holds that budget (the `ns_per_record` row in the JSON report
+//! must stay under 50ns) so observability never becomes the overhead it
+//! is supposed to expose.
+//!
+//! Four measurements:
+//!
+//! * `record` — one `record_ns` into a shared histogram (the per-request
+//!   surface cost).
+//! * `timer` — `start_timer()` + drop (adds the two `Instant` reads the
+//!   surfaces actually pay).
+//! * `counter_inc` — one relaxed counter increment (the shed/hit path).
+//! * `render` — one full registry render (the scrape, off the hot path).
+//!
+//! Set `SF_BENCH_SMOKE=1` to run each once (CI smoke: proves the rigs
+//! build, measures nothing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowflake_metrics::{Counter, LatencyHistogram, Registry};
+use std::sync::Arc;
+
+const RECORDS: u64 = 1_000_000;
+
+/// Times `n` `record_ns` calls on one histogram, returning ns/record.
+fn run_records(hist: &LatencyHistogram, n: u64) -> f64 {
+    let start = std::time::Instant::now();
+    for i in 0..n {
+        hist.record_ns(i.wrapping_mul(2654435761) >> 16);
+    }
+    start.elapsed().as_nanos() as f64 / n as f64
+}
+
+/// Times `n` timer guard cycles (two clock reads + one record).
+fn run_timers(hist: &Arc<LatencyHistogram>, n: u64) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..n {
+        let _timer = hist.start_timer();
+    }
+    start.elapsed().as_nanos() as f64 / n as f64
+}
+
+/// Times `n` relaxed counter increments.
+fn run_incs(counter: &Counter, n: u64) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..n {
+        counter.inc();
+    }
+    start.elapsed().as_nanos() as f64 / n as f64
+}
+
+/// A private registry with a few populated families, rendered once.
+fn run_render() -> (f64, usize) {
+    let registry = Registry::new();
+    for surface in ["http", "rmi", "gateway", "broker-sub"] {
+        let h = registry.histogram("sf_request_duration_seconds", &[("surface", surface)]);
+        for i in 0..1000u64 {
+            h.record_ns(i * 977);
+        }
+        registry
+            .counter("sf_sheds_total", &[("origin", "pool"), ("surface", surface)])
+            .add(surface.len() as u64);
+    }
+    let start = std::time::Instant::now();
+    let body = registry.render();
+    (start.elapsed().as_nanos() as f64, body.len())
+}
+
+fn metrics_overhead(c: &mut Criterion) {
+    let hist = Arc::new(LatencyHistogram::new());
+    let counter = Counter::new();
+
+    if std::env::var_os("SF_BENCH_SMOKE").is_some() {
+        let rec = run_records(&hist, 10_000);
+        let tim = run_timers(&hist, 10_000);
+        let inc = run_incs(&counter, 10_000);
+        let (render_ns, bytes) = run_render();
+        println!("metrics_overhead/smoke/record ok ({rec:.1}ns)");
+        println!("metrics_overhead/smoke/timer ok ({tim:.1}ns)");
+        println!("metrics_overhead/smoke/counter_inc ok ({inc:.1}ns)");
+        println!("metrics_overhead/smoke/render ok ({render_ns:.0}ns, {bytes} bytes)");
+        report(rec, tim, inc, render_ns);
+        return;
+    }
+
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.sample_size(10);
+    group.bench_function("record", |b| b.iter(|| run_records(&hist, 10_000)));
+    group.bench_function("timer", |b| b.iter(|| run_timers(&hist, 10_000)));
+    group.bench_function("counter_inc", |b| b.iter(|| run_incs(&counter, 10_000)));
+    group.bench_function("render", |b| b.iter(run_render));
+    group.finish();
+
+    // One long measured pass for the JSON-lines report; the record cost
+    // is the number the acceptance gate watches.
+    let rec = run_records(&hist, RECORDS);
+    let tim = run_timers(&hist, RECORDS / 10);
+    let inc = run_incs(&counter, RECORDS);
+    let (render_ns, _) = run_render();
+    assert!(
+        rec < 50.0,
+        "histogram record must stay under 50ns/record, measured {rec:.1}ns"
+    );
+    report(rec, tim, inc, render_ns);
+}
+
+fn report(rec: f64, tim: f64, inc: f64, render_ns: f64) {
+    snowflake_bench::report_json(
+        "metrics_overhead",
+        &[
+            ("ns_per_record", format!("{rec:.1}")),
+            ("ns_per_timer", format!("{tim:.1}")),
+            ("ns_per_counter_inc", format!("{inc:.1}")),
+            ("render_us", format!("{:.1}", render_ns / 1000.0)),
+        ],
+    );
+}
+
+criterion_group!(benches, metrics_overhead);
+criterion_main!(benches);

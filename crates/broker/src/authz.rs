@@ -181,6 +181,9 @@ pub struct AuthzEndpoint {
     /// typically resolves to the same proof, so re-verification skips the
     /// exponentiations.  Evicted by certificate hash on revocation push.
     memo: Arc<snowflake_core::ChainMemo>,
+    /// Question-answering latency
+    /// (`sf_request_duration_seconds{surface="authz"}`).
+    latency: Arc<snowflake_metrics::LatencyHistogram>,
 }
 
 impl AuthzEndpoint {
@@ -198,7 +201,14 @@ impl AuthzEndpoint {
             emitter: EmitterSlot::new(),
             clock,
             memo: Arc::new(snowflake_core::ChainMemo::new(1024)),
+            latency: snowflake_metrics::request_histogram("authz"),
         })
+    }
+
+    /// Registers this endpoint's verified-chain memo in a metrics
+    /// registry under `sf_chain_memo_*{surface="authz"}`.
+    pub fn register_metrics(&self, registry: &snowflake_metrics::Registry) {
+        self.memo.register_metrics(registry, "authz");
     }
 
     /// The endpoint's verified-chain memo (exposed for counters and for
@@ -317,6 +327,7 @@ impl AuthzEndpoint {
 
 impl Handler for AuthzEndpoint {
     fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        let _timer = self.latency.start_timer();
         self.answer(req)
     }
 }

@@ -25,6 +25,7 @@ use snowflake_channel::{TcpTransport, Transport};
 use snowflake_core::audit::{AuditEmitter, Decision, DecisionEvent, EmitterSlot};
 use snowflake_core::{ChainMemo, Principal, Proof, Time, VerifyCtx};
 use snowflake_crypto::HashVal;
+use snowflake_metrics::{request_histogram, LatencyHistogram, Registry, Sample};
 use snowflake_prover::Prover;
 use snowflake_revocation::RevocationBus;
 use snowflake_runtime::{Accepted, ListenerHandle, ServerRuntime, SinkHandle, SubmitError, Surface};
@@ -149,6 +150,11 @@ pub struct TopicBroker {
     /// Evicted by certificate hash on revocation push, alongside the
     /// stream cuts.
     memo: Arc<ChainMemo>,
+    /// Subscribe-path latency (handshake + in-process subscribe), in the
+    /// per-surface request-duration family under `surface="broker-sub"`.
+    sub_latency: Arc<LatencyHistogram>,
+    /// Publish acceptance latency, under `surface="broker-publish"`.
+    publish_latency: Arc<LatencyHistogram>,
 }
 
 impl TopicBroker {
@@ -193,7 +199,50 @@ impl TopicBroker {
             emitter: EmitterSlot::new(),
             clock,
             memo: Arc::new(ChainMemo::new(1024)),
+            sub_latency: request_histogram("broker-sub"),
+            publish_latency: request_histogram("broker-publish"),
         })
+    }
+
+    /// Registers the broker's counters and gauges with `registry`: the
+    /// live subscriber gauge, the `sf_broker_*` counters behind
+    /// [`TopicBroker::stats`], and the chain memo under
+    /// `surface="broker"`.  Dropping the broker retires its collector
+    /// output on the next scrape.
+    pub fn register_metrics(self: &Arc<Self>, registry: &Registry) {
+        registry.set_help("sf_broker_subscribers", "Live subscriptions parked on the broker");
+        registry.set_help("sf_broker_subscribes_total", "Granted subscriptions");
+        registry.set_help("sf_broker_denied_subscribes_total", "Refused subscriptions");
+        registry.set_help("sf_broker_publishes_total", "Accepted publishes");
+        registry.set_help("sf_broker_shed_publishes_total", "Publishes shed by a saturated pool");
+        registry.set_help("sf_broker_deliveries_total", "Frames delivered to subscriber sinks");
+        registry.set_help("sf_broker_pruned_total", "Dead subscriptions pruned");
+        registry.set_help("sf_broker_cut_streams_total", "Streams cut by revocation push");
+        let weak = Arc::downgrade(self);
+        registry.register_collector(
+            "broker",
+            Arc::new(move |out: &mut Vec<Sample>| {
+                let Some(broker) = weak.upgrade() else { return };
+                let s = broker.stats();
+                out.push(Sample::gauge("sf_broker_subscribers", &[], s.subscribers as f64));
+                out.push(Sample::counter("sf_broker_subscribes_total", &[], s.subscribes));
+                out.push(Sample::counter(
+                    "sf_broker_denied_subscribes_total",
+                    &[],
+                    s.denied_subscribes,
+                ));
+                out.push(Sample::counter("sf_broker_publishes_total", &[], s.publishes));
+                out.push(Sample::counter(
+                    "sf_broker_shed_publishes_total",
+                    &[],
+                    s.shed_publishes,
+                ));
+                out.push(Sample::counter("sf_broker_deliveries_total", &[], s.deliveries));
+                out.push(Sample::counter("sf_broker_pruned_total", &[], s.pruned));
+                out.push(Sample::counter("sf_broker_cut_streams_total", &[], s.cut_streams));
+            }),
+        );
+        self.memo.register_metrics(registry, "broker");
     }
 
     /// The broker's verified-chain memo (exposed for counters).
@@ -245,6 +294,7 @@ impl TopicBroker {
         proof: &Proof,
         sink: Arc<dyn SubscriberSink>,
     ) -> Result<u64, SubscribeError> {
+        let _timer = self.sub_latency.start_timer();
         let verdict = (|| {
             if !self.table.permits(path, "subscribe") {
                 return Err(SubscribeError::NoSuchTopic);
@@ -346,6 +396,7 @@ impl TopicBroker {
     /// in the per-surface ledger and audited — instead of queueing.
     /// Returns `Ok` once the fan-out is *accepted*, not delivered.
     pub fn publish(self: &Arc<Self>, path: &[&str], data: &[u8]) -> Result<(), SubmitError> {
+        let _timer = self.publish_latency.start_timer();
         let owned: Vec<String> = path.iter().map(|s| s.to_string()).collect();
         let permit = match self.runtime.pool().try_permit() {
             Ok(p) => p,
@@ -469,6 +520,7 @@ impl TopicBroker {
     /// reads ride a dup of the socket so the original fd can be adopted
     /// into the reactor once the grant is decided.
     fn handshake(self: &Arc<Self>, stream: std::net::TcpStream, reactor: &Arc<snowflake_runtime::Reactor>) {
+        let _timer = self.sub_latency.start_timer();
         let Ok(dup) = stream.try_clone() else { return };
         let mut transport = TcpTransport::new(dup);
         let _ = transport.set_read_timeout(Some(SUBSCRIBE_TIMEOUT));

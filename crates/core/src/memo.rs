@@ -240,6 +240,42 @@ impl ChainMemo {
         }
     }
 
+    /// Registers scrape-time callbacks exposing [`MemoStats`] under
+    /// `sf_chain_memo_*{surface="..."}` — the same atomics
+    /// [`stats`](Self::stats) reads.  One collector per surface label;
+    /// re-registering a surface replaces its callback.
+    pub fn register_metrics(
+        self: &std::sync::Arc<Self>,
+        registry: &snowflake_metrics::Registry,
+        surface: &str,
+    ) {
+        use snowflake_metrics::Sample;
+        registry.set_help(
+            "sf_chain_memo_hits_total",
+            "Verified-chain memo lookups answered without big-int work",
+        );
+        let memo = std::sync::Arc::downgrade(self);
+        let surface = surface.to_string();
+        registry.register_collector(
+            &format!("memo:{surface}"),
+            std::sync::Arc::new(move |out: &mut Vec<Sample>| {
+                let Some(memo) = memo.upgrade() else { return };
+                let s = memo.stats();
+                let labels: &[(&str, &str)] = &[("surface", &surface)];
+                out.push(Sample::counter("sf_chain_memo_hits_total", labels, s.hits));
+                out.push(Sample::counter("sf_chain_memo_misses_total", labels, s.misses));
+                out.push(Sample::counter("sf_chain_memo_inserts_total", labels, s.inserts));
+                out.push(Sample::counter("sf_chain_memo_evictions_total", labels, s.evictions));
+                out.push(Sample::counter(
+                    "sf_chain_memo_revocation_evictions_total",
+                    labels,
+                    s.revocation_evictions,
+                ));
+                out.push(Sample::gauge("sf_chain_memo_entries", labels, s.entries as f64));
+            }),
+        );
+    }
+
     /// Entries currently resident.
     pub fn len(&self) -> usize {
         self.shards

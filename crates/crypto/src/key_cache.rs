@@ -230,6 +230,27 @@ pub fn key_table_stats() -> KeyTableStats {
     }
 }
 
+/// Registers a scrape-time callback exposing [`KeyTableStats`] under
+/// `sf_key_table_*` — the cache is process-wide, so the collector reads
+/// [`key_table_stats`] directly (collector id `"key-table"`).
+pub fn register_metrics(registry: &snowflake_metrics::Registry) {
+    use snowflake_metrics::Sample;
+    registry.set_help(
+        "sf_key_table_hits_total",
+        "Schnorr verifies served by a prebuilt fixed-base table for the signer's key",
+    );
+    registry.register_collector(
+        "key-table",
+        std::sync::Arc::new(|out: &mut Vec<Sample>| {
+            let s = key_table_stats();
+            out.push(Sample::counter("sf_key_table_hits_total", &[], s.hits));
+            out.push(Sample::counter("sf_key_table_builds_total", &[], s.builds));
+            out.push(Sample::counter("sf_key_table_evictions_total", &[], s.evictions));
+            out.push(Sample::gauge("sf_key_table_keys", &[], s.keys as f64));
+        }),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,7 +35,7 @@ pub mod sha256;
 pub use dh::DhSecret;
 pub use group::Group;
 pub use hash::{HashAlg, HashVal};
-pub use key_cache::{key_table_stats, KeyTableStats};
+pub use key_cache::{key_table_stats, register_metrics as register_key_table_metrics, KeyTableStats};
 pub use schnorr::{
     verify_batch, verify_batch_with, BatchEntry, BatchOutcome, KeyPair, PublicKey, Signature,
 };

@@ -22,6 +22,10 @@
 //!   an encrypted MAC secret; later requests authenticate with a cheap
 //!   HMAC, and the MAC session is itself a principal in the end-to-end
 //!   chain.
+//! * [`metrics`] — the `GET /metrics` exporter surface: the process-global
+//!   [`snowflake_metrics::Registry`] rendered as Prometheus text, riding
+//!   the reactor with sheds counted and scrapes audited under
+//!   `surface="metrics"`.
 //! * [`client`] — an HTTP client and the Snowflake **proxy** of §5.3.5 that
 //!   answers challenges with its Prover, maintains MAC sessions, verifies
 //!   server document-authentication proofs (§5.3.3), and generates/imports
@@ -31,6 +35,7 @@ pub mod auth;
 pub mod client;
 pub mod mac;
 pub mod message;
+pub mod metrics;
 pub mod server;
 pub mod stream;
 
@@ -38,5 +43,6 @@ pub use auth::{request_hash, request_principal, WWW_AUTH_SNOWFLAKE};
 pub use client::{HttpClient, SnowflakeProxy};
 pub use mac::{MacSessionStore, DEFAULT_MAC_SHARDS, MAC_SESSION_PATH};
 pub use message::{HttpRequest, HttpResponse};
+pub use metrics::{serve_metrics, MetricsEndpoint, METRICS_CONTENT_TYPE, METRICS_PATH};
 pub use server::{Handler, HttpServer, ProtectedServlet, SnowflakeService};
 pub use stream::{bounded_duplex, duplex, ChannelStream, MemStream, DEFAULT_STREAM_CAPACITY};

@@ -51,6 +51,13 @@ pub struct HttpServer {
     /// Timestamps shed audit events (injected in tests, like every other
     /// decision point's clock).
     clock: fn() -> Time,
+    /// The surface name this server sheds, audits, and measures under
+    /// (`"http"` for application servers; the `/metrics` exporter runs a
+    /// dedicated server under `"metrics"`).
+    surface: &'static str,
+    /// Request latency, recorded around every routed dispatch into the
+    /// process-global `sf_request_duration_seconds{surface=...}` family.
+    latency: Arc<snowflake_metrics::LatencyHistogram>,
 }
 
 impl Default for HttpServer {
@@ -59,6 +66,8 @@ impl Default for HttpServer {
             routes: Mutex::new(Vec::new()),
             audit: EmitterSlot::new(),
             clock: Time::now,
+            surface: "http",
+            latency: snowflake_metrics::request_histogram("http"),
         }
     }
 }
@@ -78,6 +87,18 @@ impl HttpServer {
         })
     }
 
+    /// Creates an empty server shedding, auditing, and measuring under a
+    /// dedicated surface name instead of `"http"` (the `/metrics`
+    /// exporter rides the reactor under `"metrics"` this way).
+    pub fn with_surface(surface: &'static str, clock: fn() -> Time) -> Arc<HttpServer> {
+        Arc::new(HttpServer {
+            clock,
+            surface,
+            latency: snowflake_metrics::request_histogram(surface),
+            ..HttpServer::default()
+        })
+    }
+
     /// Attaches an audit emitter; accept-loop sheds are recorded through
     /// it (`surface: http`, `decision: shed`).
     pub fn set_audit_emitter(&self, emitter: Arc<dyn AuditEmitter>) {
@@ -88,7 +109,7 @@ impl HttpServer {
         self.audit.emit_with(|| {
             DecisionEvent::new(
                 (self.clock)(),
-                "http",
+                self.surface,
                 Decision::Shed,
                 "tcp-accept",
                 "connect",
@@ -111,6 +132,7 @@ impl HttpServer {
 
     /// Produces the response for one request (no I/O).
     pub fn respond(&self, req: &HttpRequest) -> HttpResponse {
+        let start = std::time::Instant::now();
         // Resolve the handler and release the routes lock before dispatch:
         // handlers may be slow (gateway RMI round-trips) or panic, and
         // neither should stall or poison routing for other connections.
@@ -121,10 +143,12 @@ impl HttpServer {
                 .find(|(prefix, _)| req.path.starts_with(prefix.as_str()))
                 .map(|(_, h)| Arc::clone(h))
         };
-        match handler {
+        let resp = match handler {
             Some(h) => h.handle(req),
             None => HttpResponse::not_found(),
-        }
+        };
+        self.latency.record(start.elapsed());
+        resp
     }
 
     /// Serves one connection (possibly multiple keep-alive requests).
@@ -192,7 +216,7 @@ impl HttpServer {
         runtime: &Arc<snowflake_runtime::ServerRuntime>,
     ) -> std::io::Result<snowflake_runtime::ListenerHandle> {
         let audit = Arc::clone(self);
-        let surface = snowflake_runtime::Surface::new("http")
+        let surface = snowflake_runtime::Surface::new(self.surface)
             .with_on_shed(move |detail| audit.audit_shed(detail))
             .with_shed_reply(|detail| {
                 let detail = if detail == "worker pool saturated" {
@@ -392,6 +416,9 @@ pub struct ProtectedServlet<S: SnowflakeService> {
     /// Audit emitter; every grant and deny this servlet decides goes
     /// through it (surfaces `http` and `http-mac`).
     audit: EmitterSlot,
+    /// Request latency across both the MAC fast path and the
+    /// signed-request path (`sf_request_duration_seconds{surface="servlet"}`).
+    latency: Arc<snowflake_metrics::LatencyHistogram>,
 }
 
 impl<S: SnowflakeService> ProtectedServlet<S> {
@@ -433,6 +460,7 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
             clock,
             rng: Mutex::new(rng),
             audit: EmitterSlot::new(),
+            latency: snowflake_metrics::request_histogram("servlet"),
         })
     }
 
@@ -503,6 +531,47 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
     /// Current statistics.
     pub fn stats(&self) -> ServletStats {
         *self.stats.plock()
+    }
+
+    /// The verified-chain memo's counters — the operator-facing snapshot
+    /// of this surface's memo hit ratio (zeroes if the memo was detached).
+    pub fn memo_stats(&self) -> snowflake_core::MemoStats {
+        self.chain_memo().map(|m| m.stats()).unwrap_or_default()
+    }
+
+    /// Registers scrape-time callbacks exposing [`ServletStats`] under
+    /// `sf_servlet_*` (collector id `"servlet"`) plus the servlet's
+    /// verified-chain memo under
+    /// `sf_chain_memo_*{surface="servlet"}` — the same counters
+    /// [`stats`](Self::stats) and [`memo_stats`](Self::memo_stats) read.
+    pub fn register_metrics(self: &Arc<Self>, registry: &snowflake_metrics::Registry)
+    where
+        S: 'static,
+    {
+        use snowflake_metrics::Sample;
+        registry.set_help(
+            "sf_servlet_mac_hits_total",
+            "Requests authorized via the cheap MAC fast path",
+        );
+        let servlet = Arc::downgrade(self);
+        registry.register_collector(
+            "servlet",
+            Arc::new(move |out: &mut Vec<Sample>| {
+                let Some(servlet) = servlet.upgrade() else { return };
+                let s = servlet.stats();
+                out.push(Sample::counter("sf_servlet_ident_hits_total", &[], s.ident_hits));
+                out.push(Sample::counter(
+                    "sf_servlet_proof_verifications_total",
+                    &[],
+                    s.proof_verifications,
+                ));
+                out.push(Sample::counter("sf_servlet_mac_hits_total", &[], s.mac_hits));
+                out.push(Sample::counter("sf_servlet_challenges_total", &[], s.challenges));
+            }),
+        );
+        if let Some(memo) = self.chain_memo() {
+            memo.register_metrics(registry, "servlet");
+        }
     }
 
     /// Clears the identical-request cache (benchmarks use this to force the
@@ -875,6 +944,7 @@ impl<S: SnowflakeService> ProtectedServlet<S> {
 
 impl<S: SnowflakeService> Handler for ProtectedServlet<S> {
     fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        let _timer = self.latency.start_timer();
         // MAC-authenticated fast path.
         if let Some(result) = self.try_mac(req) {
             return match result {

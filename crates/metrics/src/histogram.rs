@@ -1,0 +1,301 @@
+//! The fixed-bucket log-scale latency histogram.
+//!
+//! Recording is three relaxed atomic RMWs (bucket increment, sum add, max
+//! max) — no locks, no allocation, well under the 50ns/record budget the
+//! serving hot paths demand.  Buckets are powers of two over nanoseconds:
+//! bucket 0 holds everything below 2^[`MIN_SHIFT`] ns and bucket `i`
+//! covers `[2^(MIN_SHIFT+i-1), 2^(MIN_SHIFT+i))`, so the index is one
+//! `leading_zeros` away and the bucket layout is identical in every
+//! process — snapshots from different shards or machines merge by plain
+//! addition.
+//!
+//! Quantiles (p50/p90/p99/…) are derived from a [`HistogramSnapshot`] by
+//! rank-walking the cumulative counts and interpolating linearly inside
+//! the target bucket; the estimate is monotone in the requested quantile
+//! (the proptest suite pins this down).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// log2 of bucket 0's upper bound in nanoseconds: everything under 128ns
+/// lands in bucket 0.
+pub const MIN_SHIFT: u32 = 7;
+
+/// Number of buckets, including the final overflow (`+Inf`) bucket.  The
+/// last *finite* boundary is `2^(MIN_SHIFT + BUCKETS - 2)` ns ≈ 550s —
+/// wider than any request this system should ever serve.
+pub const BUCKETS: usize = 34;
+
+/// The bucket a sample of `ns` nanoseconds lands in.
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    let bits = 64 - ns.leading_zeros();
+    (bits.saturating_sub(MIN_SHIFT) as usize).min(BUCKETS - 1)
+}
+
+/// The exclusive upper bound of bucket `i` in nanoseconds, or `None` for
+/// the overflow bucket (`+Inf`).
+#[inline]
+pub fn bucket_upper_bound_ns(i: usize) -> Option<u64> {
+    if i + 1 >= BUCKETS {
+        None
+    } else {
+        Some(1u64 << (MIN_SHIFT as usize + i))
+    }
+}
+
+/// The inclusive lower bound of bucket `i` in nanoseconds.
+#[inline]
+pub fn bucket_lower_bound_ns(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (MIN_SHIFT as usize + i - 1)
+    }
+}
+
+/// A lock-free fixed-bucket log-scale latency histogram.
+///
+/// Shareable across every thread of a surface; recording never blocks and
+/// never allocates.  Reads ([`snapshot`](LatencyHistogram::snapshot)) are
+/// wait-free too: each counter is loaded relaxed, so a snapshot taken
+/// under concurrent recording is a consistent-enough point-in-time view
+/// (counts never go backwards, and the stress suite asserts no sample is
+/// ever lost).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.  Three relaxed atomic RMWs; safe on any hot
+    /// path.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Records an elapsed [`Duration`].
+    #[inline]
+    pub fn record(&self, elapsed: Duration) {
+        self.record_ns(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Starts a timer that records its elapsed time here when dropped —
+    /// the shape request handlers with early returns want:
+    /// `let _timer = latency.start_timer();` covers every exit path.
+    pub fn start_timer(&self) -> Timer<'_> {
+        Timer {
+            hist: self,
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// A point-in-time copy of every counter, from which quantiles and
+    /// the Prometheus exposition are derived.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Records elapsed time into its histogram on drop (see
+/// [`LatencyHistogram::start_timer`]).
+#[derive(Debug)]
+pub struct Timer<'a> {
+    hist: &'a LatencyHistogram,
+    start: std::time::Instant,
+}
+
+impl Drop for Timer<'_> {
+    fn drop(&mut self) {
+        self.hist.record(self.start.elapsed());
+    }
+}
+
+/// An owned copy of a histogram's counters.
+///
+/// Snapshots merge by addition ([`merge`](HistogramSnapshot::merge)) —
+/// per-shard or per-process histograms aggregate into one distribution
+/// because every histogram shares the same fixed bucket layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (not cumulative).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all recorded nanoseconds.
+    pub sum_ns: u64,
+    /// Largest single sample.
+    pub max_ns: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Folds another snapshot into this one (shard aggregation).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// The `q`-quantile estimate in nanoseconds (`q` in `[0, 1]`).
+    ///
+    /// Rank-walks the cumulative counts to the target bucket and
+    /// interpolates linearly between the bucket's bounds; the overflow
+    /// bucket interpolates toward the recorded max.  Returns 0 for an
+    /// empty snapshot.  Monotone in `q`.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cumulative + c >= rank {
+                let lower = bucket_lower_bound_ns(i) as f64;
+                let upper = match bucket_upper_bound_ns(i) {
+                    Some(u) => u as f64,
+                    // Overflow bucket: the recorded max is the only
+                    // honest upper bound (clamped so the slope stays
+                    // non-negative).
+                    None => (self.max_ns as f64).max(lower),
+                };
+                let frac = (rank - cumulative) as f64 / c as f64;
+                return lower + (upper - lower) * frac;
+            }
+            cumulative += c;
+        }
+        self.max_ns as f64
+    }
+
+    /// p50 in nanoseconds.
+    pub fn p50_ns(&self) -> f64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// p90 in nanoseconds.
+    pub fn p90_ns(&self) -> f64 {
+        self.quantile_ns(0.90)
+    }
+
+    /// p99 in nanoseconds.
+    pub fn p99_ns(&self) -> f64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_partition_the_axis() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(127), 0);
+        assert_eq!(bucket_index(128), 1);
+        assert_eq!(bucket_index(255), 1);
+        assert_eq!(bucket_index(256), 2);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Every finite boundary is the first value of the next bucket.
+        for i in 0..BUCKETS - 1 {
+            let upper = bucket_upper_bound_ns(i).unwrap();
+            assert_eq!(bucket_index(upper - 1), i);
+            assert_eq!(bucket_index(upper).min(BUCKETS - 1), (i + 1).min(BUCKETS - 1));
+            assert_eq!(bucket_lower_bound_ns(i + 1), upper);
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record_ns(1_000); // ~1µs
+        }
+        for _ in 0..10 {
+            h.record_ns(1_000_000); // ~1ms
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.max_ns, 1_000_000);
+        // p50 lands in the bucket containing 1µs; p99 in the 1ms bucket.
+        let p50 = s.p50_ns();
+        let p99 = s.p99_ns();
+        assert!(p50 >= 512.0 && p50 <= 2048.0, "p50={p50}");
+        assert!(p99 >= 524_288.0 && p99 <= 2_097_152.0, "p99={p99}");
+        assert!(p50 <= s.p90_ns() && s.p90_ns() <= p99);
+    }
+
+    #[test]
+    fn snapshots_merge_by_addition() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record_ns(100);
+        a.record_ns(10_000);
+        b.record_ns(100);
+        b.record_ns(50_000_000);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.sum_ns, 100 + 10_000 + 100 + 50_000_000);
+        assert_eq!(merged.max_ns, 50_000_000);
+    }
+}

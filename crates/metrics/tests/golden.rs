@@ -1,0 +1,83 @@
+//! Golden-file test of the Prometheus text exposition.
+//!
+//! The rendered `/metrics` text is an interface operators' scrapers
+//! parse; this pins the exact bytes — family grouping, HELP/TYPE lines,
+//! label ordering and escaping, cumulative bucket counts — for a
+//! deterministic registry.  Regenerate with
+//! `SF_BLESS_GOLDEN=1 cargo test -p snowflake-metrics --test golden`
+//! after an intentional format change, and review the diff.
+
+use snowflake_metrics::{Registry, Sample};
+use std::sync::Arc;
+
+fn deterministic_registry() -> Registry {
+    let r = Registry::new();
+    r.set_help("sf_request_duration_seconds", "Request handling latency by server surface");
+    let http = r.histogram("sf_request_duration_seconds", &[("surface", "http")]);
+    // Samples chosen to straddle bucket boundaries: two below 128ns,
+    // one in [256, 512), one in [65536, 131072).
+    http.record_ns(100);
+    http.record_ns(127);
+    http.record_ns(300);
+    http.record_ns(100_000);
+    let rmi = r.histogram("sf_request_duration_seconds", &[("surface", "rmi")]);
+    rmi.record_ns(2_000);
+
+    r.set_help("sf_sheds_total", "Requests refused under overload");
+    r.counter("sf_sheds_total", &[("origin", "pool")]).add(3);
+    r.counter("sf_sheds_total", &[("origin", "reactor"), ("surface", "http")])
+        .add(2);
+    r.gauge("sf_pool_queue_depth", &[]).set(4);
+    // A label value exercising the escaping rules.
+    r.counter("sf_odd_total", &[("path", "a\"b\\c\nd")]).add(1);
+    r.register_collector(
+        "servlet",
+        Arc::new(|out: &mut Vec<Sample>| {
+            out.push(Sample::counter("sf_servlet_mac_hits_total", &[], 9));
+            out.push(Sample::gauge("sf_chain_memo_entries", &[("surface", "servlet")], 5.0));
+        }),
+    );
+    r
+}
+
+#[test]
+fn exposition_matches_golden_file() {
+    let rendered = deterministic_registry().render();
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_metrics.txt");
+    if std::env::var("SF_BLESS_GOLDEN").is_ok() {
+        std::fs::write(golden_path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden file present");
+    assert_eq!(
+        rendered, golden,
+        "exposition drifted from tests/golden_metrics.txt; \
+         re-bless with SF_BLESS_GOLDEN=1 if intentional"
+    );
+}
+
+#[test]
+fn golden_buckets_are_cumulative_and_complete() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_metrics.txt");
+    let golden = std::fs::read_to_string(golden_path).expect("golden file present");
+    // Cumulativity: the http surface's bucket counts never decrease and
+    // end at the _count value.
+    let mut last = 0u64;
+    let mut buckets = 0;
+    for line in golden.lines() {
+        if let Some(rest) = line.strip_prefix("sf_request_duration_seconds_bucket{le=") {
+            panic!("bucket line lost its surface label: {rest}");
+        }
+        if line.starts_with("sf_request_duration_seconds_bucket{surface=\"http\"") {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-cumulative bucket line: {line}");
+            last = v;
+            buckets += 1;
+        }
+    }
+    assert_eq!(buckets, snowflake_metrics::BUCKETS, "a bucket line went missing");
+    assert!(
+        golden.contains(&format!("sf_request_duration_seconds_count{{surface=\"http\"}} {last}")),
+        "+Inf bucket disagrees with _count"
+    );
+}

@@ -1,0 +1,62 @@
+//! Property tests for the histogram math: samples land in the right
+//! log-scale bucket, bucket counts render cumulatively, and quantile
+//! estimates are monotone in the requested quantile.
+
+use proptest::prelude::*;
+use snowflake_metrics::{
+    bucket_index, bucket_lower_bound_ns, bucket_upper_bound_ns, LatencyHistogram, BUCKETS,
+};
+
+proptest! {
+    #[test]
+    fn sample_lands_in_its_bucket(ns in any::<u64>()) {
+        let i = bucket_index(ns);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(ns >= bucket_lower_bound_ns(i) || i == 0);
+        if let Some(upper) = bucket_upper_bound_ns(i) {
+            prop_assert!(ns < upper, "ns={ns} bucket={i} upper={upper}");
+        }
+        let h = LatencyHistogram::new();
+        h.record_ns(ns);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.buckets[i], 1);
+        prop_assert_eq!(snap.count(), 1);
+        prop_assert_eq!(snap.max_ns, ns);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(samples in proptest::collection::vec(any::<u64>(), 1..200),
+                              qa in 0..1000u64, qb in 0..1000u64) {
+        let h = LatencyHistogram::new();
+        for &s in &samples {
+            // Keep sums away from u64 overflow; the bucket math itself is
+            // exercised across the full range by the test above.
+            h.record_ns(s >> 8);
+        }
+        let snap = h.snapshot();
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let est_lo = snap.quantile_ns(lo as f64 / 1000.0);
+        let est_hi = snap.quantile_ns(hi as f64 / 1000.0);
+        prop_assert!(est_lo <= est_hi, "q{lo}={est_lo} > q{hi}={est_hi}");
+        // Every estimate is bounded by the recorded extremes' buckets.
+        prop_assert!(est_hi <= snap.max_ns as f64 + 1.0 || est_hi <= bucket_upper_bound_ns(bucket_index(snap.max_ns)).unwrap_or(u64::MAX) as f64);
+    }
+
+    #[test]
+    fn merged_quantiles_equal_pooled_recording(a in proptest::collection::vec(any::<u32>(), 0..100),
+                                               b in proptest::collection::vec(any::<u32>(), 0..100)) {
+        let sharded = (LatencyHistogram::new(), LatencyHistogram::new());
+        let pooled = LatencyHistogram::new();
+        for &s in &a {
+            sharded.0.record_ns(s as u64);
+            pooled.record_ns(s as u64);
+        }
+        for &s in &b {
+            sharded.1.record_ns(s as u64);
+            pooled.record_ns(s as u64);
+        }
+        let mut merged = sharded.0.snapshot();
+        merged.merge(&sharded.1.snapshot());
+        prop_assert_eq!(merged, pooled.snapshot());
+    }
+}

@@ -1,0 +1,53 @@
+//! Concurrent-recording stress: many threads hammer one histogram and
+//! one counter family; no sample may be lost and the sum must be exact.
+
+use snowflake_metrics::{LatencyHistogram, Registry};
+use std::sync::Arc;
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+
+    let registry = Arc::new(Registry::new());
+    let hist: Arc<LatencyHistogram> =
+        registry.histogram("sf_stress_seconds", &[("surface", "stress")]);
+    let ctr = registry.counter("sf_stress_total", &[]);
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            let ctr = Arc::clone(&ctr);
+            std::thread::spawn(move || {
+                // Distinct per-thread values so the expected sum is exact.
+                for i in 0..PER_THREAD {
+                    hist.record_ns(t as u64 * 1_000 + (i % 97));
+                    ctr.inc();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let total = THREADS as u64 * PER_THREAD;
+    let snap = hist.snapshot();
+    assert_eq!(snap.count(), total, "histogram lost samples");
+    assert_eq!(ctr.get(), total, "counter lost increments");
+
+    let expected_sum: u64 = (0..THREADS as u64)
+        .map(|t| (0..PER_THREAD).map(|i| t * 1_000 + (i % 97)).sum::<u64>())
+        .sum();
+    assert_eq!(snap.sum_ns, expected_sum, "histogram sum drifted");
+
+    // The rendered exposition agrees with the snapshot.
+    let text = registry.render();
+    assert!(
+        text.contains(&format!(
+            "sf_stress_seconds_count{{surface=\"stress\"}} {total}"
+        )),
+        "{text}"
+    );
+    assert!(text.contains(&format!("sf_stress_total {total}")), "{text}");
+}

@@ -395,6 +395,43 @@ impl Prover {
         s
     }
 
+    /// Registers a scrape-time callback exposing [`ProverStats`] under
+    /// `sf_prover_*` — the same graph and atomics
+    /// [`stats`](Self::stats) reads (collector id `"prover"`).
+    pub fn register_metrics(self: &Arc<Self>, registry: &snowflake_metrics::Registry) {
+        use snowflake_metrics::Sample;
+        registry.set_help(
+            "sf_prover_shortcut_edges",
+            "Cached derived proofs (the dotted edges of the paper's Figure 2)",
+        );
+        let prover = Arc::downgrade(self);
+        registry.register_collector(
+            "prover",
+            Arc::new(move |out: &mut Vec<Sample>| {
+                let Some(prover) = prover.upgrade() else { return };
+                let s = prover.stats();
+                out.push(Sample::gauge("sf_prover_base_edges", &[], s.base_edges as f64));
+                out.push(Sample::gauge(
+                    "sf_prover_shortcut_edges",
+                    &[],
+                    s.shortcut_edges as f64,
+                ));
+                out.push(Sample::gauge("sf_prover_finals", &[], s.finals as f64));
+                out.push(Sample::counter("sf_prover_expansions_total", &[], s.expansions));
+                out.push(Sample::counter(
+                    "sf_prover_invalidated_edges_total",
+                    &[],
+                    s.invalidated_edges,
+                ));
+                out.push(Sample::counter(
+                    "sf_prover_cert_invalidations_total",
+                    &[],
+                    s.cert_invalidations,
+                ));
+            }),
+        );
+    }
+
     /// Removes every edge — base or shortcut — whose proof depends on the
     /// certificate with this hash, returning how many distinct edges were
     /// dropped.

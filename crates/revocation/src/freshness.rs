@@ -175,6 +175,51 @@ impl FreshnessAgent {
         *self.stats.plock()
     }
 
+    /// Registers a scrape-time callback exposing [`FreshnessStats`]
+    /// under `sf_freshness_*` — the same counters
+    /// [`stats`](Self::stats) reads (collector id `"freshness"`).
+    pub fn register_metrics(self: &Arc<Self>, registry: &snowflake_metrics::Registry) {
+        use snowflake_metrics::Sample;
+        registry.set_help(
+            "sf_freshness_deltas_applied_total",
+            "Revocation push deltas applied by the verifier-side freshness agent",
+        );
+        let agent = Arc::downgrade(self);
+        registry.register_collector(
+            "freshness",
+            Arc::new(move |out: &mut Vec<Sample>| {
+                let Some(agent) = agent.upgrade() else { return };
+                let s = agent.stats();
+                out.push(Sample::counter("sf_freshness_refreshes_total", &[], s.refreshes));
+                out.push(Sample::counter(
+                    "sf_freshness_refresh_errors_total",
+                    &[],
+                    s.refresh_errors,
+                ));
+                out.push(Sample::counter(
+                    "sf_freshness_deltas_applied_total",
+                    &[],
+                    s.deltas_applied,
+                ));
+                out.push(Sample::counter(
+                    "sf_freshness_deltas_rejected_total",
+                    &[],
+                    s.deltas_rejected,
+                ));
+                out.push(Sample::counter(
+                    "sf_freshness_bus_invalidations_total",
+                    &[],
+                    s.bus_invalidations,
+                ));
+                out.push(Sample::counter(
+                    "sf_freshness_revalidations_total",
+                    &[],
+                    s.revalidations,
+                ));
+            }),
+        );
+    }
+
     /// Registers a validator this agent keeps fresh.  No fetch happens
     /// here; call [`FreshnessAgent::refresh_due`] (or apply a push delta)
     /// to load the first CRL.

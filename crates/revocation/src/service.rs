@@ -305,6 +305,42 @@ impl ValidatorService {
         self.state.plock().revoked.contains(cert_hash)
     }
 
+    /// Registers a scrape-time callback exposing [`ValidatorStats`]
+    /// under `sf_validator_*` — the same counters
+    /// [`stats`](Self::stats) reads (collector id `"validator"`).
+    pub fn register_metrics(self: &Arc<Self>, registry: &snowflake_metrics::Registry) {
+        use snowflake_metrics::Sample;
+        registry.set_help(
+            "sf_validator_revocations_total",
+            "Certificates revoked by this validator authority",
+        );
+        let svc = Arc::downgrade(self);
+        registry.register_collector(
+            "validator",
+            Arc::new(move |out: &mut Vec<Sample>| {
+                let Some(svc) = svc.upgrade() else { return };
+                let s = svc.stats();
+                out.push(Sample::counter("sf_validator_revocations_total", &[], s.revocations));
+                out.push(Sample::counter("sf_validator_crls_issued_total", &[], s.crls_issued));
+                out.push(Sample::counter(
+                    "sf_validator_revalidations_total",
+                    &[],
+                    s.revalidations,
+                ));
+                out.push(Sample::counter(
+                    "sf_validator_deltas_pushed_total",
+                    &[],
+                    s.deltas_pushed,
+                ));
+                out.push(Sample::counter(
+                    "sf_validator_subscribers_dropped_total",
+                    &[],
+                    s.subscribers_dropped,
+                ));
+            }),
+        );
+    }
+
     /// Issues (and caches) a CRL for the current state, bumping the serial.
     ///
     /// With a durable store the new serial is persisted **before** the

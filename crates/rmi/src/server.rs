@@ -102,6 +102,9 @@ pub struct RmiServer {
     /// Audit emitter; every `check_auth` verdict, proof receipt, and
     /// connection shed is recorded through it (surface `rmi`).
     audit: EmitterSlot,
+    /// Invocation latency (`sf_request_duration_seconds{surface="rmi"}`),
+    /// recorded around every dispatch.
+    latency: Arc<snowflake_metrics::LatencyHistogram>,
 }
 
 impl RmiServer {
@@ -126,6 +129,7 @@ impl RmiServer {
             ),
             clock,
             audit: EmitterSlot::new(),
+            latency: snowflake_metrics::request_histogram("rmi"),
         })
     }
 
@@ -173,6 +177,39 @@ impl RmiServer {
         let mut s = *self.stats.plock();
         s.proofs = self.cache.plock().values().map(Vec::len).sum();
         s
+    }
+
+    /// The verified-chain memo's counters — the operator-facing snapshot
+    /// of this surface's memo hit ratio (zeroes if the memo was detached).
+    pub fn memo_stats(&self) -> snowflake_core::MemoStats {
+        self.chain_memo().map(|m| m.stats()).unwrap_or_default()
+    }
+
+    /// Registers scrape-time callbacks exposing [`ProofCacheStats`]
+    /// under `sf_rmi_*` (collector id `"rmi"`) plus the server's
+    /// verified-chain memo under `sf_chain_memo_*{surface="rmi"}` — the
+    /// same counters [`cache_stats`](Self::cache_stats) and
+    /// [`memo_stats`](Self::memo_stats) read.
+    pub fn register_metrics(self: &Arc<Self>, registry: &snowflake_metrics::Registry) {
+        use snowflake_metrics::Sample;
+        registry.set_help(
+            "sf_rmi_proof_cache_hits_total",
+            "check_auth calls answered from the verified-proof cache",
+        );
+        let server = Arc::downgrade(self);
+        registry.register_collector(
+            "rmi",
+            Arc::new(move |out: &mut Vec<Sample>| {
+                let Some(server) = server.upgrade() else { return };
+                let s = server.cache_stats();
+                out.push(Sample::gauge("sf_rmi_proof_cache_entries", &[], s.proofs as f64));
+                out.push(Sample::counter("sf_rmi_proof_cache_hits_total", &[], s.hits));
+                out.push(Sample::counter("sf_rmi_proof_cache_misses_total", &[], s.misses));
+            }),
+        );
+        if let Some(memo) = self.chain_memo() {
+            memo.register_metrics(registry, "rmi");
+        }
     }
 
     /// Drops all cached proofs (benchmarks use this to force re-submission).
@@ -397,6 +434,7 @@ impl RmiServer {
         invocation: &Invocation,
         channel: &dyn AuthChannel,
     ) -> RmiReply {
+        let _timer = self.latency.start_timer();
         if invocation.object == PROOF_RECIPIENT {
             return self.receive_proof(invocation, channel);
         }

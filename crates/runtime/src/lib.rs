@@ -152,6 +152,59 @@ impl ServerRuntime {
         rows
     }
 
+    /// Registers scrape-time callbacks exposing [`RuntimeStats`],
+    /// [`ReactorStats`], and the per-surface shed ledger in a metrics
+    /// registry — the same atomics [`stats`](Self::stats) reads, so a
+    /// scrape can never disagree with the stats API.  Idempotent: the
+    /// collector is stored under the id `"runtime"` and re-registration
+    /// replaces it (a process is expected to have one serving runtime).
+    pub fn register_metrics(self: &Arc<Self>, registry: &snowflake_metrics::Registry) {
+        use snowflake_metrics::Sample;
+        registry.set_help(
+            "sf_sheds_total",
+            "Requests refused under overload, by origin (pool queue or reactor surface)",
+        );
+        registry.set_help("sf_pool_queue_depth", "Jobs waiting in the worker-pool queue");
+        let rt = Arc::downgrade(self);
+        registry.register_collector(
+            "runtime",
+            Arc::new(move |out: &mut Vec<Sample>| {
+                let Some(rt) = rt.upgrade() else { return };
+                let pool = rt.pool.stats();
+                out.push(Sample::gauge("sf_pool_workers", &[], pool.workers as f64));
+                out.push(Sample::gauge(
+                    "sf_pool_queue_capacity",
+                    &[],
+                    pool.queue_capacity as f64,
+                ));
+                out.push(Sample::gauge("sf_pool_queue_depth", &[], pool.queue_depth as f64));
+                out.push(Sample::gauge("sf_pool_in_flight", &[], pool.in_flight as f64));
+                out.push(Sample::counter("sf_jobs_submitted_total", &[], pool.submitted));
+                out.push(Sample::counter("sf_jobs_completed_total", &[], pool.completed));
+                out.push(Sample::counter("sf_sheds_total", &[("origin", "pool")], pool.shed));
+                for (surface, n) in rt.ledger.by_surface() {
+                    out.push(Sample::counter(
+                        "sf_sheds_total",
+                        &[("origin", "reactor"), ("surface", &surface)],
+                        n,
+                    ));
+                }
+                let r = rt.reactor_stats();
+                out.push(Sample::gauge("sf_conns_open", &[], r.open_connections as f64));
+                out.push(Sample::gauge("sf_conns_parked", &[], r.parked as f64));
+                out.push(Sample::gauge("sf_sinks_open", &[], r.open_sinks as f64));
+                out.push(Sample::counter("sf_conns_accepted_total", &[], r.accepted));
+                out.push(Sample::counter("sf_conns_adopted_total", &[], r.adopted));
+                out.push(Sample::counter("sf_conns_reaped_idle_total", &[], r.reaped_idle));
+                out.push(Sample::counter(
+                    "sf_frames_dispatched_total",
+                    &[],
+                    r.frames_dispatched,
+                ));
+            }),
+        );
+    }
+
     /// Has shutdown begun?
     pub fn is_shutting_down(&self) -> bool {
         self.pool.is_shutting_down()

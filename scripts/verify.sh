@@ -14,13 +14,14 @@ cargo test -q --offline
 echo "==> cargo doc --no-deps"
 cargo doc --no-deps --offline
 
-echo "==> contention + freshness + saturation + audit + wal + scaling + fanout + crypto + table1 benches (smoke mode: one iteration each)"
+echo "==> contention + freshness + saturation + audit + wal + scaling + fanout + crypto + table1 + metrics benches (smoke mode: one iteration each)"
 SF_BENCH_SMOKE=1 cargo bench -q -p snowflake-bench --offline \
     --bench prover_contention --bench mac_contention \
     --bench revocation_freshness --bench runtime_saturation \
     --bench audit_throughput --bench wal_throughput \
     --bench connection_scaling --bench broker_fanout \
-    --bench crypto_primitives --bench table1_breakdown
+    --bench crypto_primitives --bench table1_breakdown \
+    --bench metrics_overhead
 
 echo "==> crash-recovery suites (byte-boundary fault injection)"
 # The durability claim is only as good as the harness that attacks it:
@@ -60,6 +61,18 @@ echo "==> broker suites (authz facade, subscribe-as-action, revocation-push cuts
 # trail — each have a named suite that must keep existing and passing.
 cargo test -q --offline -p snowflake-broker --test broker
 cargo test -q --offline -p snowflake --test broker_e2e
+
+echo "==> metrics suites (exposition golden file, bucket/quantile props, live full-stack /metrics scrape)"
+# The metrics plane's claims — the Prometheus exposition format is
+# byte-stable, log-bucket quantiles are monotone, concurrent recording
+# loses nothing, and a live scrape over TCP shows every serving surface's
+# latency histogram plus the shed and cache counters — each have a named
+# suite that must keep existing and passing.  The e2e run is the smoke
+# curl of GET /metrics under real traffic on the reactor.
+cargo test -q --offline -p snowflake-metrics --test golden
+cargo test -q --offline -p snowflake-metrics --test props
+cargo test -q --offline -p snowflake-metrics --test stress
+cargo test -q --offline -p snowflake --test metrics_e2e
 
 echo "==> runtime gate: no raw thread::spawn in server accept paths"
 # Every server serves from crates/runtime (bounded pools, counted sheds).
@@ -163,6 +176,29 @@ for f in \
 done
 if [ "$memo_gate_failed" -ne 0 ]; then
     echo "FAIL: a server surface verifies proofs without the verified-chain memo (use VerifyCtx::authorize / verify_cached)"
+    exit 1
+fi
+
+echo "==> metrics gate: every serving surface records request latency"
+# Each server surface must keep recording into its per-surface
+# LatencyHistogram (request_histogram + a start_timer guard or an
+# explicit record) outside its #[cfg(test)] module; a surface that goes
+# quiet disappears from /metrics without failing any functional test.
+metrics_gate_failed=0
+for f in \
+    crates/http/src/server.rs \
+    crates/rmi/src/server.rs \
+    crates/broker/src/authz.rs crates/broker/src/topic.rs \
+    crates/apps/src/gateway.rs; do
+    if awk '/#\[cfg\(test\)\]/{exit} /request_histogram|start_timer|\.record\(|LatencyHistogram/{found=1} END{exit !found}' "$f"; then
+        :
+    else
+        echo "$f: no latency-histogram recording in a serving path"
+        metrics_gate_failed=1
+    fi
+done
+if [ "$metrics_gate_failed" -ne 0 ]; then
+    echo "FAIL: a serving surface stopped recording request latency (see snowflake-metrics)"
     exit 1
 fi
 

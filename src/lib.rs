@@ -13,6 +13,9 @@
 //! path-vector allow/deny questions over HTTP, and the protected topic
 //! broker where `subscribe` is a first-class authorized action
 //! revalidated by revocation push),
+//! [`snowflake_metrics`] (the operator-facing metrics plane: lock-free
+//! counters/gauges/latency histograms in a labeled registry rendering
+//! the Prometheus text format, served by `GET /metrics`),
 //! [`snowflake_apps`], and the substrates [`snowflake_sexpr`],
 //! [`snowflake_tags`], [`snowflake_crypto`], [`snowflake_bigint`],
 //! [`snowflake_reldb`].
@@ -25,6 +28,7 @@ pub use snowflake_channel as channel;
 pub use snowflake_core as core;
 pub use snowflake_crypto as crypto;
 pub use snowflake_http as http;
+pub use snowflake_metrics as metrics;
 pub use snowflake_prover as prover;
 pub use snowflake_reldb as reldb;
 pub use snowflake_revocation as revocation;
